@@ -1,0 +1,467 @@
+// Package nora's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation, each driving the same code path as the
+// corresponding cmd/ regeneration tool on reduced workloads (tiny zoo
+// models, small eval sets) so the full suite stays runnable in minutes.
+// Run with -v to see the regenerated rows; run the cmd/ tools for the
+// full-scale numbers recorded in EXPERIMENTS.md.
+package nora
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/harness"
+	"nora/internal/model"
+	"nora/internal/nn"
+	"nora/internal/rng"
+	"nora/internal/stats"
+	"nora/internal/tensor"
+	"nora/internal/textgen"
+)
+
+// ---- shared fixtures ---------------------------------------------------
+
+var (
+	benchOnce sync.Once
+	benchOPT  *harness.Workload
+	benchLLs  []*harness.Workload // tiny llama + mistral
+)
+
+func benchWorkloads(b *testing.B) (*harness.Workload, []*harness.Workload) {
+	b.Helper()
+	benchOnce.Do(func() {
+		mk := func(spec model.Spec) *harness.Workload {
+			m, res, err := model.Train(spec)
+			if err != nil {
+				panic(err)
+			}
+			if res.EvalAcc < 0.8 {
+				panic(fmt.Sprintf("%s undertrained: %.3f", spec.Key, res.EvalAcc))
+			}
+			corpus, err := spec.Corpus()
+			if err != nil {
+				panic(err)
+			}
+			return &harness.Workload{
+				Spec:  spec,
+				Model: m,
+				Eval:  corpus.Split("eval", 40),
+				Calib: corpus.Split("calibration", 12),
+			}
+		}
+		benchOPT = mk(model.TinySpec())
+		benchLLs = []*harness.Workload{mk(model.TinyLlamaSpec()), mk(model.TinyMistralSpec())}
+	})
+	return benchOPT, benchLLs
+}
+
+func logTable(b *testing.B, tbl *harness.Table) {
+	b.Helper()
+	var sb strings.Builder
+	if err := tbl.WriteText(&sb); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + sb.String())
+}
+
+// ---- Table I: the modeled non-idealities --------------------------------
+
+// BenchmarkTable1NoiseInventory exercises every modeled non-ideality once
+// on the reference feature map, regenerating Table I's inventory together
+// with the reference MSE each knob causes at its paper-preset value.
+func BenchmarkTable1NoiseInventory(b *testing.B) {
+	presets := map[harness.NoiseKind]float64{
+		harness.KindADCQuant:  64,     // 7-bit ADC
+		harness.KindDACQuant:  64,     // 7-bit DAC
+		harness.KindOutNoise:  0.04,   // Table II out_noise
+		harness.KindInNoise:   0.02,   // representative input noise
+		harness.KindIRDrop:    1.0,    // Table II ir_drop
+		harness.KindReadNoise: 0.0175, // Table II w_noise
+		harness.KindSShape:    1.0,    // representative nonlinearity
+		harness.KindProgNoise: 1.0,    // PCM-like programming noise
+	}
+	var rows *harness.Table
+	for i := 0; i < b.N; i++ {
+		rows = harness.NewTable("Table I — modeled non-idealities", "noise", "category", "preset", "ref-mse")
+		for _, kind := range harness.AllNoiseKinds() {
+			cat := "tile"
+			if kind.IsIO() {
+				cat = "IO"
+			}
+			mse := harness.MeasureMSE(harness.ConfigFor(kind, presets[kind]), 7)
+			rows.Add(kind.String(), cat, presets[kind], mse)
+		}
+	}
+	logTable(b, rows)
+}
+
+// ---- Table II: the aihwkit preset ---------------------------------------
+
+// BenchmarkTable2PaperPresetMVM measures the full Table II noise stack on
+// one analog MVM — the micro-operation every experiment is built from —
+// and reports its reference-map MSE.
+func BenchmarkTable2PaperPresetMVM(b *testing.B) {
+	cfg := analog.PaperPreset()
+	r := rng.New(3)
+	w := tensor.New(256, 256)
+	r.FillNormal(w.Data, 0, 1.0/16)
+	lin := analog.NewAnalogLinear("bench", w, nil, nil, cfg, rng.New(4))
+	x := tensor.New(4, 256)
+	r.FillNormal(x.Data, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lin.Forward(x)
+	}
+	b.StopTimer()
+	b.ReportMetric(harness.MeasureMSE(cfg, 9), "ref-mse")
+}
+
+// ---- Fig. 3: sensitivity study ------------------------------------------
+
+// BenchmarkFig3Sensitivity regenerates the sensitivity sweep (reduced: one
+// tiny model, two MSE levels) — naive-analog accuracy drop per noise kind.
+func BenchmarkFig3Sensitivity(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	targets := []float64{0.0006, 0.00275}
+	var points []harness.SensitivityPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points = harness.Sensitivity([]*harness.Workload{w}, targets)
+	}
+	b.StopTimer()
+	logTable(b, harness.SensitivityTable(points))
+}
+
+// ---- Fig. 4: activation vs weight distributions ---------------------------
+
+// BenchmarkFig4DistributionKDE regenerates the Fig. 4 analysis: kernel
+// density estimates and kurtosis of a layer's input activations vs its
+// query weights, showing the long-tail activation distribution.
+func BenchmarkFig4DistributionKDE(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	var tbl *harness.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var acts []float32
+		runner := nn.NewRunner(w.Model)
+		runner.PreLinear = func(name string, x *tensor.Matrix) {
+			if name == "layer1.attn.q" {
+				acts = append(acts, x.Data...)
+			}
+		}
+		for _, seq := range w.Eval[:8] {
+			runner.Logits(seq[:len(seq)-1])
+		}
+		var wdata []float32
+		for _, spec := range w.Model.Linears() {
+			if spec.Name == "layer1.attn.q" {
+				wdata = spec.W.Data
+			}
+		}
+		kAct, kW := stats.Kurtosis(acts), stats.Kurtosis(wdata)
+		kdeAct := stats.NewKDE(acts, 0)
+		kdeW := stats.NewKDE(wdata, 0)
+		tbl = harness.NewTable("Fig. 4 — layer1.attn.q distribution shape",
+			"series", "kurtosis", "kde(0)", "kde(3σ-act)")
+		sAct := stats.Summarize(acts)
+		tbl.Add("activations", kAct, kdeAct.At(0), kdeAct.At(3*sAct.Std))
+		tbl.Add("query weights", kW, kdeW.At(0), kdeW.At(3*sAct.Std))
+	}
+	b.StopTimer()
+	logTable(b, tbl)
+}
+
+// ---- Fig. 5(a): OPT ladder accuracy --------------------------------------
+
+// BenchmarkFig5aOPTAccuracy regenerates digital vs naive vs NORA accuracy
+// for the OPT-class workload under the Table II preset.
+func BenchmarkFig5aOPTAccuracy(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	var rows []harness.AccuracyRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.OverallAccuracy([]*harness.Workload{w}, analog.PaperPreset())
+	}
+	b.StopTimer()
+	logTable(b, harness.AccuracyTable("Fig. 5(a) — OPT-class (reduced)", rows))
+	b.ReportMetric(rows[0].Digital-rows[0].NORA, "nora-loss")
+	b.ReportMetric(rows[0].Digital-rows[0].Naive, "naive-loss")
+}
+
+// ---- Table III: LLaMA / Mistral accuracy ----------------------------------
+
+// BenchmarkTable3LlamaMistral regenerates NORA vs digital FP for the
+// LLaMA-class and Mistral-class workloads.
+func BenchmarkTable3LlamaMistral(b *testing.B) {
+	_, lls := benchWorkloads(b)
+	var rows []harness.AccuracyRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.OverallAccuracy(lls, analog.PaperPreset())
+	}
+	b.StopTimer()
+	logTable(b, harness.AccuracyTable("Table III — LLaMA/Mistral-class (reduced)", rows))
+}
+
+// ---- Fig. 5(b)(c): per-noise mitigation -----------------------------------
+
+// BenchmarkFig5bcMitigation regenerates the matched-MSE mitigation study:
+// naive vs NORA per noise kind at the 0.0015–0.0016 reference level.
+func BenchmarkFig5bcMitigation(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	var rows []harness.MitigationRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.Mitigation([]*harness.Workload{w}, harness.MitigationMSETarget)
+	}
+	b.StopTimer()
+	logTable(b, harness.MitigationTable(rows))
+}
+
+// ---- Fig. 6: kurtosis and scale factors -----------------------------------
+
+// BenchmarkFig6KurtosisAndScale regenerates the per-layer input/weight
+// kurtosis and α·γ·g_max analysis for the query projections.
+func BenchmarkFig6KurtosisAndScale(b *testing.B) {
+	w, lls := benchWorkloads(b)
+	ws := append([]*harness.Workload{w}, lls...)
+	var rows []harness.Fig6Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.DistributionAnalysis(ws, "attn.q", analog.PaperPreset())
+	}
+	b.StopTimer()
+	logTable(b, harness.Fig6Table(rows))
+}
+
+// ---- Extension: drift (paper §VII) ----------------------------------------
+
+// BenchmarkExtDrift regenerates the 1-hour drift study.
+func BenchmarkExtDrift(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	var rows []harness.DriftRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.DriftStudy([]*harness.Workload{w}, 3600)
+	}
+	b.StopTimer()
+	logTable(b, harness.DriftTable(rows))
+}
+
+// ---- Extension: λ ablation --------------------------------------------------
+
+// BenchmarkExtLambdaAblation regenerates the migration-strength sweep.
+func BenchmarkExtLambdaAblation(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	lambdas := []float64{0.25, 0.5, 0.75, 1}
+	var rows []harness.LambdaRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.LambdaAblation([]*harness.Workload{w}, lambdas)
+	}
+	b.StopTimer()
+	logTable(b, harness.LambdaTable(rows))
+}
+
+// ---- Extension: task generalization (paper §VII: more benchmarks) ----------
+
+// BenchmarkExtTaskGeneralization regenerates the recall-vs-majority task
+// comparison on tiny models.
+func BenchmarkExtTaskGeneralization(b *testing.B) {
+	spec := model.TinyMajoritySpec()
+	m, res, err := model.Train(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.EvalAcc < 0.8 {
+		b.Fatalf("majority model undertrained: %.3f", res.EvalAcc)
+	}
+	corpus, err := spec.Corpus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	maj := &harness.Workload{
+		Spec:  spec,
+		Model: m,
+		Eval:  corpus.Split("eval", 40),
+		Calib: corpus.Split("calibration", 12),
+	}
+	rec, _ := benchWorkloads(b)
+	var rows []harness.AccuracyRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.OverallAccuracy([]*harness.Workload{rec, maj}, analog.PaperPreset())
+	}
+	b.StopTimer()
+	logTable(b, harness.AccuracyTable("Ext. — task generalization (reduced)", rows))
+}
+
+// ---- Extension: multi-cell weight slicing (paper §VII) ----------------------
+
+// BenchmarkExtWeightSlicing regenerates the multi-cell weight-precision
+// study.
+func BenchmarkExtWeightSlicing(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	var rows []harness.SlicingRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.SlicingStudy([]*harness.Workload{w}, [][2]int{{2, 4}})
+	}
+	b.StopTimer()
+	logTable(b, harness.SlicingTable(rows))
+}
+
+// ---- Extension: tile operating modes (paper §II variants) ------------------
+
+// BenchmarkExtOperatingModes regenerates the voltage/bit-serial ×
+// single-shot/write-verify mode matrix.
+func BenchmarkExtOperatingModes(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	var rows []harness.ModeRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.ModeStudy([]*harness.Workload{w})
+	}
+	b.StopTimer()
+	logTable(b, harness.ModeTable(rows))
+}
+
+// ---- Extension: digital PTQ baselines (paper §VI related work) -------------
+
+// BenchmarkExtBaselines regenerates the digital W8A8 / SmoothQuant vs
+// analog naive / NORA comparison.
+func BenchmarkExtBaselines(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	var rows []harness.BaselineRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.BaselineComparison([]*harness.Workload{w}, analog.PaperPreset())
+	}
+	b.StopTimer()
+	logTable(b, harness.BaselineTable(rows))
+}
+
+// ---- Extension: per-layer sensitivity (paper §VII future work) -------------
+
+// BenchmarkExtPerLayer regenerates the one-layer-analog-at-a-time ablation.
+func BenchmarkExtPerLayer(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	var rows []harness.PerLayerRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.PerLayerSensitivity([]*harness.Workload{w}, analog.PaperPreset())
+	}
+	b.StopTimer()
+	logTable(b, harness.PerLayerTable(rows))
+}
+
+// ---- Extension: calibration clipping quantile -------------------------------
+
+// BenchmarkExtQuantileCalibration regenerates the calibration-quantile
+// ablation.
+func BenchmarkExtQuantileCalibration(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	qs := []float64{0.9, 0.99, 1.0}
+	var rows []harness.QuantileRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.CalibrationAblation([]*harness.Workload{w}, qs)
+	}
+	b.StopTimer()
+	logTable(b, harness.QuantileTable(rows))
+}
+
+// ---- Extension: energy/latency estimate (paper §VII future work) -----------
+
+// BenchmarkExtCostModel regenerates the hardware cost estimate.
+func BenchmarkExtCostModel(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	var rows []harness.CostRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = harness.CostStudy([]*harness.Workload{w}, analog.PaperPreset(), analog.DefaultCostModel())
+	}
+	b.StopTimer()
+	logTable(b, harness.CostTable(rows))
+}
+
+// ---- Extension: hardware-aware training baseline (Fig. 1 Challenge 1) ------
+
+// BenchmarkExtHWAvsNORA regenerates the HWA-fine-tuning vs NORA
+// comparison (reduced step budget).
+func BenchmarkExtHWAvsNORA(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	var row harness.HWARow
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err = harness.HWAStudy(w, 60, analog.PaperPreset())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logTable(b, harness.HWATable([]harness.HWARow{row}))
+}
+
+// ---- substrate micro-benchmarks -------------------------------------------
+
+// BenchmarkDigitalForward measures the digital inference forward pass.
+func BenchmarkDigitalForward(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	runner := nn.NewRunner(w.Model)
+	seq := w.Eval[0][:len(w.Eval[0])-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Logits(seq)
+	}
+}
+
+// BenchmarkAnalogForward measures the analog inference forward pass under
+// the full Table II noise stack.
+func BenchmarkAnalogForward(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	runner := core.Deploy(w.Model, core.DeployAnalogNaive, nil, analog.PaperPreset(), 1, core.Options{})
+	seq := w.Eval[0][:len(w.Eval[0])-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Logits(seq)
+	}
+}
+
+// BenchmarkTrainingStep measures one training step (batch 4) of the tiny
+// OPT-class model — the cost hardware-aware training would pay per step,
+// which NORA avoids.
+func BenchmarkTrainingStep(b *testing.B) {
+	spec := model.TinySpec()
+	corpus, err := textgen.New(textgen.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := nn.NewModel(spec.Cfg, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	batch := corpus.Batch(r, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LossOnBatch(batch)
+		for _, p := range m.Params() {
+			p.ZeroGrad()
+		}
+	}
+}
+
+// BenchmarkCalibration measures NORA's one-off calibration pass.
+func BenchmarkCalibration(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Calibrate(w.Model, w.Calib)
+	}
+}

@@ -1,0 +1,119 @@
+// Command nora-analysis regenerates the paper's Fig. 6 — per-layer input
+// and weight kurtosis (a, b) and the α·γ·g_max scale factors (c) under the
+// naive and NORA mappings — plus the extension studies: the 1-hour drift
+// experiment of §VII and the λ-migration ablation.
+//
+// Usage:
+//
+//	nora-analysis [-modeldir testdata/models] [-layer attn.q]
+//	              [-models opt-c3,llama3-c,mistral-c]
+//	              [-drift] [-driftsec 3600] [-lambda] [-csv prefix]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nora/internal/analog"
+	"nora/internal/harness"
+	"nora/internal/model"
+)
+
+func main() {
+	modelDir := flag.String("modeldir", "testdata/models", "directory with cached models")
+	layer := flag.String("layer", "attn.q", "layer-name filter for the Fig. 6 series (empty = all layers)")
+	models := flag.String("models", "opt-c3,llama3-c,mistral-c", "comma-separated zoo keys (Fig. 6 uses these three)")
+	evalN := flag.Int("eval", harness.EvalSize, "evaluation sequences (drift / λ studies)")
+	drift := flag.Bool("drift", false, "also run the 1-hour drift study (paper §VII)")
+	driftSec := flag.Float64("driftsec", 3600, "drift time in seconds")
+	lambda := flag.Bool("lambda", false, "also run the λ migration-strength ablation")
+	cost := flag.Bool("cost", false, "also estimate energy/latency of the analog deployment")
+	perLayer := flag.Bool("perlayer", false, "also run the per-layer analog sensitivity ablation")
+	quantile := flag.Bool("quantile", false, "also run the calibration clipping-quantile ablation")
+	slicing := flag.Bool("slicing", false, "also run the multi-cell weight-precision study")
+	modes := flag.Bool("modes", false, "also run the tile operating-mode study (bit-serial, write-verify)")
+	hwa := flag.Bool("hwa", false, "also compare against hardware-aware noise-injection fine-tuning")
+	hwaSteps := flag.Int("hwasteps", 300, "fine-tuning steps for the HWA baseline")
+	csvPrefix := flag.String("csv", "", "write CSVs with this path prefix")
+	flag.Parse()
+
+	var specs []model.Spec
+	for _, key := range strings.Split(*models, ",") {
+		spec, err := model.ByKey(strings.TrimSpace(key))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs = append(specs, spec)
+	}
+	ws, err := harness.LoadZoo(*modelDir, specs, *evalN, harness.CalibSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	emit := func(tbl *harness.Table, name string) {
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *csvPrefix != "" {
+			f, err := os.Create(*csvPrefix + name + ".csv")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := tbl.WriteCSV(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+
+	rows := harness.DistributionAnalysis(ws, *layer, analog.PaperPreset())
+	emit(harness.Fig6Table(rows), "fig6")
+
+	if *drift {
+		emit(harness.DriftTable(harness.DriftStudy(ws, *driftSec)), "drift")
+	}
+	if *lambda {
+		lambdas := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+		emit(harness.LambdaTable(harness.LambdaAblation(ws, lambdas)), "lambda")
+	}
+	if *cost {
+		rows := harness.CostStudy(ws, analog.PaperPreset(), analog.DefaultCostModel())
+		emit(harness.CostTable(rows), "cost")
+	}
+	if *perLayer {
+		rows := harness.PerLayerSensitivity(ws, analog.PaperPreset())
+		emit(harness.PerLayerTable(rows), "perlayer")
+	}
+	if *quantile {
+		qs := []float64{0.9, 0.99, 0.999, 1.0}
+		emit(harness.QuantileTable(harness.CalibrationAblation(ws, qs)), "quantile")
+	}
+	if *slicing {
+		schemes := [][2]int{{2, 4}, {3, 3}, {4, 2}}
+		emit(harness.SlicingTable(harness.SlicingStudy(ws, schemes)), "slicing")
+	}
+	if *modes {
+		emit(harness.ModeTable(harness.ModeStudy(ws)), "modes")
+	}
+	if *hwa {
+		var rows []harness.HWARow
+		for _, w := range ws {
+			row, err := harness.HWAStudy(w, *hwaSteps, analog.PaperPreset())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rows = append(rows, row)
+		}
+		emit(harness.HWATable(rows), "hwa")
+	}
+}

@@ -1,0 +1,111 @@
+// Command nora-eval regenerates the paper's headline accuracy results:
+// Fig. 5(a) — OPT-class models under digital FP, naive analog and NORA —
+// and Table III — NORA vs digital FP for the LLaMA/Mistral-class models.
+// Deployments use the Table II analog preset.
+//
+// Usage:
+//
+//	nora-eval [-modeldir testdata/models] [-eval 150] [-family all|opt|llama]
+//	          [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nora/internal/analog"
+	"nora/internal/harness"
+	"nora/internal/model"
+)
+
+func main() {
+	modelDir := flag.String("modeldir", "testdata/models", "directory with cached models")
+	evalN := flag.Int("eval", harness.EvalSize, "evaluation sequences per deployment")
+	family := flag.String("family", "all", "which models: all, opt (Fig. 5a), llama (Table III) or task (generalization pair)")
+	csvPath := flag.String("csv", "", "also write results as CSV to this path")
+	baselines := flag.Bool("baselines", false, "also compare against digital W8A8 / SmoothQuant PTQ baselines")
+	replicas := flag.Int("replicas", 1, "independent hardware instances per deployment (> 1 adds mean±std)")
+	flag.Parse()
+
+	var optRows, otherRows []harness.AccuracyRow
+	cfg := analog.PaperPreset()
+
+	if *family == "all" || *family == "opt" {
+		ws, err := harness.LoadZoo(*modelDir, model.OPTSpecs(), *evalN, harness.CalibSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var tbl *harness.Table
+		if *replicas > 1 {
+			stats := harness.OverallAccuracyReplicated(ws, cfg, *replicas)
+			tbl = harness.AccuracyStatsTable("Fig. 5(a) — OPT-class accuracy (mean±std over hardware instances)", stats)
+		} else {
+			optRows = harness.OverallAccuracy(ws, cfg)
+			tbl = harness.AccuracyTable("Fig. 5(a) — OPT-class accuracy: digital FP vs naive analog vs NORA", optRows)
+		}
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *family == "all" || *family == "llama" {
+		ws, err := harness.LoadZoo(*modelDir, model.OtherSpecs(), *evalN, harness.CalibSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		otherRows = harness.OverallAccuracy(ws, cfg)
+		tbl := harness.AccuracyTable("Table III — NORA accuracy for LLaMA/Mistral-class models", otherRows)
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *family == "all" || *family == "task" {
+		ws, err := harness.LoadZoo(*modelDir, model.TaskSpecs(), *evalN, harness.CalibSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		rows := harness.OverallAccuracy(ws, cfg)
+		tbl := harness.AccuracyTable("Ext. — task generalization: key recall vs majority vote (same architecture)", rows)
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *baselines {
+		ws, err := harness.LoadZoo(*modelDir, model.Zoo(), *evalN, harness.CalibSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		rows := harness.BaselineComparison(ws, cfg)
+		if err := harness.BaselineTable(rows).WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *csvPath != "" {
+		all := append(append([]harness.AccuracyRow{}, optRows...), otherRows...)
+		tbl := harness.AccuracyTable("overall accuracy", all)
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tbl.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command nora-mitigation regenerates the paper's Fig. 5(b)(c): each
+// non-ideality is scaled to the same matched reference MSE (0.0015–0.0016)
+// and applied alone; the naive analog and NORA deployments are compared,
+// reporting the fraction of the accuracy drop NORA recovers.
+//
+// Usage:
+//
+//	nora-mitigation [-modeldir testdata/models] [-eval 150] [-mse 0.00155]
+//	                [-models opt-c3,...] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nora/internal/harness"
+	"nora/internal/model"
+)
+
+func main() {
+	modelDir := flag.String("modeldir", "testdata/models", "directory with cached models")
+	evalN := flag.Int("eval", harness.EvalSize, "evaluation sequences per deployment")
+	mse := flag.Float64("mse", harness.MitigationMSETarget, "matched reference-map MSE level")
+	models := flag.String("models", "", "comma-separated zoo keys (default: all)")
+	csvPath := flag.String("csv", "", "also write results as CSV to this path")
+	flag.Parse()
+
+	specs := model.Zoo()
+	if *models != "" {
+		specs = specs[:0]
+		for _, key := range strings.Split(*models, ",") {
+			spec, err := model.ByKey(strings.TrimSpace(key))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			specs = append(specs, spec)
+		}
+	}
+	ws, err := harness.LoadZoo(*modelDir, specs, *evalN, harness.CalibSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rows := harness.Mitigation(ws, *mse)
+	tbl := harness.MitigationTable(rows)
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tbl.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

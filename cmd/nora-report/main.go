@@ -1,0 +1,195 @@
+// Command nora-report regenerates the complete evaluation — every table
+// and figure of the paper plus the extension studies — and writes one
+// consolidated markdown report. This is the single-command path from a
+// fresh checkout to the full results of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	nora-report [-modeldir testdata/models] [-out results/report.md]
+//	            [-eval 150] [-quick]
+//
+// -quick shrinks the evaluation sets and sweeps for a fast smoke run
+// (~2–3 min with a cached zoo); the default settings reproduce the
+// full-scale numbers (~20–30 min).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"os"
+	"time"
+
+	"nora/internal/analog"
+	"nora/internal/harness"
+	"nora/internal/model"
+)
+
+func main() {
+	modelDir := flag.String("modeldir", "testdata/models", "directory with cached models")
+	out := flag.String("out", "results/report.md", "output markdown path")
+	evalN := flag.Int("eval", harness.EvalSize, "evaluation sequences per point")
+	quick := flag.Bool("quick", false, "reduced sweep for a fast smoke run")
+	flag.Parse()
+
+	if *quick && *evalN == harness.EvalSize {
+		*evalN = 50
+	}
+
+	if err := run(*modelDir, *out, *evalN, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(modelDir, outPath string, evalN int, quick bool) error {
+	start := time.Now()
+	if err := os.MkdirAll(dirOf(outPath), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	fmt.Fprintf(f, "# NORA reproduction report\n\ngenerated %s · eval=%d per point · quick=%v\n\n",
+		time.Now().Format(time.RFC3339), evalN, quick)
+
+	emit := func(tbl *harness.Table) error {
+		if err := tbl.WriteMarkdown(f); err != nil {
+			return err
+		}
+		fmt.Printf("[%7s] %s\n", time.Since(start).Round(time.Second), tbl.Title)
+		return nil
+	}
+
+	// Workload sets.
+	all, err := harness.LoadZoo(modelDir, model.Zoo(), evalN, harness.CalibSize)
+	if err != nil {
+		return err
+	}
+	var opts, others, tasks, focus []*harness.Workload
+	for _, w := range all {
+		switch w.Spec.Family {
+		case "opt":
+			opts = append(opts, w)
+		case "llama", "mistral":
+			others = append(others, w)
+		}
+		if w.Spec.Key == "opt-c3" || w.Spec.Key == "opt-c3m" {
+			tasks = append(tasks, w)
+		}
+		if w.Spec.Key == "opt-c3" || w.Spec.Key == "llama3-c" || w.Spec.Key == "mistral-c" {
+			focus = append(focus, w)
+		}
+	}
+
+	// E1 — Fig. 3 (recall-protocol models only).
+	targets := harness.PaperMSETargets()
+	var sensWs []*harness.Workload
+	for _, w := range all {
+		if w.Spec.Task == "" || w.Spec.Task == "recall" {
+			sensWs = append(sensWs, w)
+		}
+	}
+	if quick {
+		targets = []float64{targets[1], targets[len(targets)-1]}
+		sensWs = focus
+	}
+	if err := emit(harness.SensitivityTable(harness.Sensitivity(sensWs, targets))); err != nil {
+		return err
+	}
+
+	// E3/E4 — Fig. 5(a), Table III.
+	cfg := analog.PaperPreset()
+	if err := emit(harness.AccuracyTable("Fig. 5(a) — OPT-class accuracy", harness.OverallAccuracy(opts, cfg))); err != nil {
+		return err
+	}
+	if err := emit(harness.AccuracyTable("Table III — LLaMA/Mistral-class accuracy", harness.OverallAccuracy(others, cfg))); err != nil {
+		return err
+	}
+
+	// E5 — Fig. 5(b)(c).
+	mitWs := sensWs
+	if err := emit(harness.MitigationTable(harness.Mitigation(mitWs, harness.MitigationMSETarget))); err != nil {
+		return err
+	}
+
+	// E6/E7 — Fig. 6.
+	if err := emit(harness.Fig6Table(harness.DistributionAnalysis(focus, "attn.q", cfg))); err != nil {
+		return err
+	}
+
+	// E8 — drift.
+	if err := emit(harness.DriftTable(harness.DriftStudy(focus, 3600))); err != nil {
+		return err
+	}
+
+	// E9 — λ ablation.
+	lambdas := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+	if quick {
+		lambdas = []float64{0.25, 0.5, 1.0}
+	}
+	if err := emit(harness.LambdaTable(harness.LambdaAblation(focus, lambdas))); err != nil {
+		return err
+	}
+
+	// E10 — cost estimate.
+	if err := emit(harness.CostTable(harness.CostStudy(focus, cfg, analog.DefaultCostModel()))); err != nil {
+		return err
+	}
+
+	// E11 — per-layer ablation (focused model only; it is eval-heavy).
+	if !quick {
+		if err := emit(harness.PerLayerTable(harness.PerLayerSensitivity(focus[:1], cfg))); err != nil {
+			return err
+		}
+	}
+
+	// E12 — digital PTQ baselines.
+	if err := emit(harness.BaselineTable(harness.BaselineComparison(focus, cfg))); err != nil {
+		return err
+	}
+
+	// E13 — calibration quantile.
+	qs := []float64{0.9, 0.99, 0.999, 1.0}
+	if quick {
+		qs = []float64{0.9, 1.0}
+	}
+	if err := emit(harness.QuantileTable(harness.CalibrationAblation(focus, qs))); err != nil {
+		return err
+	}
+
+	// E15 — multi-cell weight slicing.
+	schemes := [][2]int{{2, 4}, {3, 3}, {4, 2}}
+	if quick {
+		schemes = [][2]int{{2, 4}}
+	}
+	if err := emit(harness.SlicingTable(harness.SlicingStudy(focus, schemes))); err != nil {
+		return err
+	}
+
+	// E16 — task generalization.
+	if err := emit(harness.AccuracyTable("Ext. — task generalization (recall vs majority)", harness.OverallAccuracy(tasks, cfg))); err != nil {
+		return err
+	}
+
+	// E17 — operating modes.
+	if err := emit(harness.ModeTable(harness.ModeStudy(focus))); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(f, "---\ntotal wall time: %s\n", time.Since(start).Round(time.Second))
+	fmt.Printf("report written to %s (%s)\n", outPath, time.Since(start).Round(time.Second))
+	return nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

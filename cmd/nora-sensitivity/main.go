@@ -1,0 +1,83 @@
+// Command nora-sensitivity regenerates the paper's Fig. 3: the accuracy
+// drop each analog non-ideality causes alone, at noise levels calibrated
+// to fixed reference-map MSE values, across the model zoo.
+//
+// Usage:
+//
+//	nora-sensitivity [-modeldir testdata/models] [-eval 150] [-csv out.csv]
+//	                 [-models opt-c3,mistral-c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nora/internal/harness"
+	"nora/internal/model"
+)
+
+func main() {
+	modelDir := flag.String("modeldir", "testdata/models", "directory with cached models")
+	evalN := flag.Int("eval", harness.EvalSize, "evaluation sequences per point")
+	csvPath := flag.String("csv", "", "also write results as CSV to this path")
+	models := flag.String("models", "", "comma-separated zoo keys (default: all)")
+	chart := flag.Bool("chart", false, "also render ASCII accuracy-vs-MSE charts per noise kind")
+	flag.Parse()
+
+	specs, err := selectSpecs(*models)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ws, err := harness.LoadZoo(*modelDir, specs, *evalN, harness.CalibSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	points := harness.Sensitivity(ws, harness.PaperMSETargets())
+	tbl := harness.SensitivityTable(points)
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csvPath != "" {
+		if err := writeCSV(tbl, *csvPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *chart {
+		fmt.Println()
+		if err := harness.SensitivityCharts(points, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func selectSpecs(keys string) ([]model.Spec, error) {
+	if keys == "" {
+		return model.Zoo(), nil
+	}
+	var specs []model.Spec
+	for _, key := range strings.Split(keys, ",") {
+		spec, err := model.ByKey(strings.TrimSpace(key))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+func writeCSV(tbl *harness.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tbl.WriteCSV(f)
+}

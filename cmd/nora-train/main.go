@@ -1,0 +1,69 @@
+// Command nora-train trains the zoo models standing in for the paper's
+// LLMs (§V) and caches them under the model directory. Subsequent
+// experiment commands load the cache.
+//
+// Usage:
+//
+//	nora-train [-modeldir testdata/models] [-only key] [-force]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nora/internal/harness"
+	"nora/internal/model"
+)
+
+func main() {
+	modelDir := flag.String("modeldir", "testdata/models", "directory for cached models")
+	only := flag.String("only", "", "train a single zoo key (e.g. opt-c3)")
+	force := flag.Bool("force", false, "retrain even when a cache exists")
+	flag.Parse()
+
+	specs := model.Zoo()
+	if *only != "" {
+		spec, err := model.ByKey(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs = []model.Spec{spec}
+	}
+
+	tbl := harness.NewTable("Model zoo training", "key", "model", "params", "steps", "final-loss", "digital-acc", "chance", "time")
+	for _, spec := range specs {
+		path := model.CachePath(*modelDir, spec.Key)
+		if !*force {
+			if _, err := os.Stat(path); err == nil {
+				fmt.Printf("%-10s cached at %s (use -force to retrain)\n", spec.Key, path)
+				continue
+			}
+		}
+		start := time.Now()
+		m, res, err := model.Train(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "training %s: %v\n", spec.Key, err)
+			os.Exit(1)
+		}
+		if err := os.MkdirAll(*modelDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := m.SaveFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "saving %s: %v\n", spec.Key, err)
+			os.Exit(1)
+		}
+		tbl.Add(spec.Key, spec.Display, res.NumParams, res.Steps, res.FinalLoss, res.EvalAcc, res.EvalChance,
+			time.Since(start).Round(time.Millisecond).String())
+		fmt.Printf("%-10s trained: digital accuracy %.3f (chance %.3f), saved to %s\n",
+			spec.Key, res.EvalAcc, res.EvalChance, path)
+	}
+	fmt.Println()
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+// Drift study: program a model onto PCM tiles, let the conductances drift
+// (the paper's §VII limitation experiment uses 1 hour), and measure how
+// naive and NORA deployments degrade — with and without global drift
+// compensation.
+//
+// Run from the repository root:
+//
+//	go run ./examples/drift [-hours 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/harness"
+	"nora/internal/model"
+)
+
+func main() {
+	hours := flag.Float64("hours", 1, "drift time in hours")
+	flag.Parse()
+
+	spec := model.TinySpec()
+	fmt.Println("training", spec.Display, "...")
+	m, res, err := model.Train(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus, err := spec.Corpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	evalSet := corpus.Split("eval", 100)
+	cal := core.Calibrate(m, corpus.Split("calibration", 16))
+
+	tbl := harness.NewTable(
+		fmt.Sprintf("Drift study — %s after %.2g h (digital acc %.3f)", spec.Display, *hours, res.EvalAcc),
+		"drift", "compensation", "naive", "nora")
+	for _, t := range []float64{0, *hours * 3600} {
+		for _, comp := range []bool{false, true} {
+			if t == 0 && comp {
+				continue // compensation is a no-op at t=0
+			}
+			cfg := analog.PaperPreset()
+			cfg.DriftT = t
+			cfg.DriftCompensation = comp
+			naive := core.Deploy(m, core.DeployAnalogNaive, nil, cfg, 5, core.Options{})
+			nora := core.Deploy(m, core.DeployAnalogNORA, cal, cfg, 5, core.Options{})
+			tbl.Add(fmt.Sprintf("%.0fs", t), comp, naive.EvalAccuracy(evalSet), nora.EvalAccuracy(evalSet))
+		}
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n(The paper reports NORA becoming less effective after 1 h of drift in")
+	fmt.Println(" some models; global drift compensation recovers most of the loss.)")
+}

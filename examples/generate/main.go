@@ -1,0 +1,75 @@
+// Autoregressive generation on analog hardware: drive the KV-cached
+// incremental decoder through the analog tile deployment and check whether
+// the model still *generates* the right answer token after the query — the
+// generation-side view of the Lambada evaluation.
+//
+// Run from the repository root:
+//
+//	go run ./examples/generate
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/harness"
+	"nora/internal/model"
+	"nora/internal/nn"
+)
+
+func main() {
+	spec := model.TinySpec()
+	fmt.Println("training", spec.Display, "...")
+	m, res, err := model.Train(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus, err := spec.Corpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval := corpus.Split("eval", 80)
+	cal := core.Calibrate(m, corpus.Split("calibration", 16))
+	cfg := analog.PaperPreset()
+
+	deployments := []struct {
+		name   string
+		runner *nn.Runner
+	}{
+		{"digital-fp", core.Deploy(m, core.DeployDigital, nil, cfg, 1, core.Options{})},
+		{"analog-naive", core.Deploy(m, core.DeployAnalogNaive, nil, cfg, 1, core.Options{})},
+		{"analog-nora", core.Deploy(m, core.DeployAnalogNORA, cal, cfg, 1, core.Options{})},
+	}
+
+	tbl := harness.NewTable(
+		fmt.Sprintf("Greedy generation of the answer token — %s (trained to %.3f)", spec.Display, res.EvalAcc),
+		"deployment", "answers-correct")
+	for _, d := range deployments {
+		gen := nn.NewGenerator(d.runner)
+		correct := 0
+		for _, seq := range eval {
+			gen.Reset()
+			prompt := seq[:len(seq)-1] // up to and including the QUERY token
+			out := gen.Greedy(prompt, 1)
+			if len(out) == 1 && out[0] == seq[len(seq)-1] {
+				correct++
+			}
+		}
+		tbl.Add(d.name, float64(correct)/float64(len(eval)))
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Show one concrete generation per deployment.
+	sample := eval[0]
+	fmt.Printf("\nprompt (token ids): %v\nexpected answer:    %d\n", sample[:len(sample)-1], sample[len(sample)-1])
+	for _, d := range deployments {
+		gen := nn.NewGenerator(d.runner)
+		out := gen.Greedy(sample[:len(sample)-1], 1)
+		fmt.Printf("%-13s generates: %d\n", d.name, out[0])
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: deploy a transformer's linear layers on simulated analog CIM
+// tiles, with and without NORA rescaling, and compare last-word-prediction
+// accuracy against the digital full-precision baseline.
+//
+// This walks the full public API surface in ~60 lines:
+//
+//  1. obtain a model (train a tiny one here; the zoo caches bigger ones),
+//  2. calibrate NORA's per-channel statistics on a small calibration set,
+//  3. deploy digital / naive-analog / NORA-analog and evaluate.
+//
+// Run from the repository root:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/harness"
+	"nora/internal/model"
+)
+
+func main() {
+	// 1. A small OPT-class model with planted activation outliers,
+	//    trained on the synthetic Lambada-style task. With a cached zoo
+	//    (go run ./cmd/nora-train) use model.LoadOrTrain instead.
+	spec := model.TinySpec()
+	fmt.Printf("training %s (%d-ish seconds)...\n", spec.Display, spec.TrainSteps/50)
+	m, res, err := model.Train(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("digital accuracy after training: %.3f (chance %.3f)\n\n", res.EvalAcc, res.EvalChance)
+
+	corpus, err := spec.Corpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	evalSet := corpus.Split("eval", 100)
+	calibSet := corpus.Split("calibration", 16) // the "Pile" stand-in
+
+	// 2. Offline calibration: per-channel max|x_k| for every linear layer.
+	cal := core.Calibrate(m, calibSet)
+
+	// 3. Deploy under the paper's Table II analog settings.
+	cfg := analog.PaperPreset()
+
+	digital := core.Deploy(m, core.DeployDigital, nil, cfg, 1, core.Options{})
+	naive := core.Deploy(m, core.DeployAnalogNaive, nil, cfg, 1, core.Options{})
+	nora := core.Deploy(m, core.DeployAnalogNORA, cal, cfg, 1, core.Options{})
+
+	tbl := harness.NewTable("Quickstart — "+spec.Display+" on analog CIM (Table II preset)",
+		"deployment", "lambada-style accuracy")
+	tbl.Add(core.DeployDigital.String(), digital.EvalAccuracy(evalSet))
+	tbl.Add(core.DeployAnalogNaive.String(), naive.EvalAccuracy(evalSet))
+	tbl.Add(core.DeployAnalogNORA.String(), nora.EvalAccuracy(evalSet))
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

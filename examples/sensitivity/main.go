@@ -1,0 +1,68 @@
+// Sensitivity scan: sweep one analog non-ideality across MSE-matched
+// levels and watch the accuracy respond — a single-noise slice of the
+// paper's Fig. 3, driven through the public harness API.
+//
+// Run from the repository root (flags: -noise out-noise|adc-quant|...):
+//
+//	go run ./examples/sensitivity -noise adc-quant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nora/internal/core"
+	"nora/internal/harness"
+	"nora/internal/model"
+)
+
+func main() {
+	noiseName := flag.String("noise", "out-noise", "which non-ideality to sweep")
+	flag.Parse()
+
+	var kind harness.NoiseKind
+	found := false
+	for _, k := range harness.AllNoiseKinds() {
+		if k.String() == *noiseName {
+			kind, found = k, true
+			break
+		}
+	}
+	if !found {
+		log.Fatalf("unknown noise %q; one of: %v", *noiseName, harness.AllNoiseKinds())
+	}
+
+	// Train (or reuse) the tiny outlier-heavy model.
+	spec := model.TinySpec()
+	fmt.Println("training", spec.Display, "...")
+	m, res, err := model.Train(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus, err := spec.Corpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	evalSet := corpus.Split("eval", 100)
+
+	tbl := harness.NewTable(
+		fmt.Sprintf("Sensitivity of %s to %s (digital accuracy %.3f)", spec.Display, kind, res.EvalAcc),
+		"target-mse", "achieved-mse", "param", "accuracy", "drop")
+	for _, target := range harness.PaperMSETargets() {
+		lvl := harness.CalibrateToMSE(kind, target)
+		cfg := harness.ConfigFor(kind, lvl.Param)
+		runner := core.Deploy(m, core.DeployAnalogNaive, nil, cfg, 7, core.Options{})
+		acc := runner.EvalAccuracy(evalSet)
+		tbl.Add(lvl.TargetMSE, lvl.MSE, lvl.Param, acc, res.EvalAcc-acc)
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if kind.IsIO() {
+		fmt.Println("\n(I/O non-ideality: expect large drops — the paper's sensitive class.)")
+	} else {
+		fmt.Println("\n(Tile non-ideality: expect near-zero drops — the paper's resilient class.)")
+	}
+}

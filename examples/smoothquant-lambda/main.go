@@ -1,0 +1,78 @@
+// Migration-strength ablation: sweep NORA's λ — the knob dividing the
+// non-ideality burden between activations (λ→0) and weights (λ→1) — under
+// the full Table II noise stack, and report both accuracy and the mean
+// α·γ scale factor. The balanced λ = 0.5 minimizes α·γ and is the
+// deployment default; this is one of the ablations the paper's §VII lists
+// as future work.
+//
+// Run from the repository root:
+//
+//	go run ./examples/smoothquant-lambda
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/harness"
+	"nora/internal/model"
+	"nora/internal/nn"
+	"nora/internal/rng"
+	"nora/internal/tensor"
+)
+
+func main() {
+	spec := model.TinySpec()
+	fmt.Println("training", spec.Display, "...")
+	m, res, err := model.Train(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus, err := spec.Corpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	evalSet := corpus.Split("eval", 100)
+	cal := core.Calibrate(m, corpus.Split("calibration", 16))
+	cfg := analog.PaperPreset()
+
+	// Capture one layer's real input activations for the α·γ readout.
+	probeLayer := "layer0.attn.q"
+	var probe *tensor.Matrix
+	r := nn.NewRunner(m)
+	r.PreLinear = func(name string, x *tensor.Matrix) {
+		if name == probeLayer && probe == nil {
+			probe = x.Clone()
+		}
+	}
+	r.Logits(evalSet[0][:len(evalSet[0])-1])
+
+	var probeSpec nn.LinearSpec
+	for _, s := range m.Linears() {
+		if s.Name == probeLayer {
+			probeSpec = s
+		}
+	}
+
+	tbl := harness.NewTable(
+		fmt.Sprintf("NORA λ ablation — %s, Table II noise (digital acc %.3f)", spec.Display, res.EvalAcc),
+		"lambda", "accuracy", "alphagamma(layer0.attn.q)")
+	for _, lambda := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		runner := core.Deploy(m, core.DeployAnalogNORA, cal, cfg, 11, core.Options{Lambda: lambda})
+		acc := runner.EvalAccuracy(evalSet)
+		s := core.ComputeS(probeSpec.W, cal.InputMax[probeLayer], lambda)
+		lin := analog.NewAnalogLinear(probeLayer, probeSpec.W, probeSpec.B, s, cfg, rng.New(uint64(1000+int(lambda*100))))
+		tbl.Add(lambda, acc, lin.AlphaGammaMean(probe))
+	}
+	// naive reference row
+	naive := core.Deploy(m, core.DeployAnalogNaive, nil, cfg, 11, core.Options{})
+	naiveLin := analog.NewAnalogLinear(probeLayer, probeSpec.W, probeSpec.B, nil, cfg, rng.New(999))
+	tbl.Add("naive", naive.EvalAccuracy(evalSet), naiveLin.AlphaGammaMean(probe))
+
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module nora
+
+go 1.22

@@ -1,0 +1,241 @@
+// Package analog simulates a PCM-based analog compute-in-memory (CIM)
+// accelerator tile and the AnalogLinear layer that maps transformer linear
+// layers onto grids of such tiles, reproducing the aihwkit-style noise
+// model the paper evaluates with (Table I / Table II):
+//
+//	I/O non-idealities:  DAC quantization, ADC quantization + saturation,
+//	                     additive input noise, additive output noise,
+//	                     S-shape output nonlinearity
+//	tile non-idealities: programming noise, short-term weight read noise,
+//	                     IR-drop, long-term drift + 1/f read noise
+//
+// The MVM pipeline per input row and tile follows Eq. 3–5 of the paper:
+//
+//	y_ij = α_i·γ_j · f_adc( Σ_k (ŵ_kj + σ_w ξ)·(f_dac(x_ik/α_i) + σ_in ξ) + σ_out ξ )
+//
+// with per-column weight scales γ_j = max|w_j|/g_max and per-row input
+// scales α_i chosen by noise management. NORA (internal/core) injects its
+// per-channel component s_k by pre-scaling the weight columns and input
+// channels before this mapping (Eq. 6–7).
+package analog
+
+// NoiseManagement selects how the per-row input scale α_i is chosen.
+type NoiseManagement int
+
+const (
+	// NMAbsMax sets α_i = max_k |x_ik| per input row and tile (the
+	// paper's Eq. 5 and aihwkit's default noise management).
+	NMAbsMax NoiseManagement = iota
+	// NMConstant uses the fixed scale Config.AlphaConst; inputs beyond it
+	// clip at the DAC. Kept as the no-noise-management baseline.
+	NMConstant
+)
+
+// Config holds every tile parameter. The zero value is not useful; start
+// from PaperPreset or Ideal and modify.
+type Config struct {
+	// TileRows and TileCols give the crossbar dimensions; larger weight
+	// matrices are partitioned across a grid of tiles whose partial sums
+	// are accumulated digitally.
+	TileRows, TileCols int
+
+	// GMax is the maximum device conductance (arbitrary conductance
+	// units; enters only through the reported scale factors γ·g_max).
+	GMax float32
+
+	// InSteps and OutSteps are the DAC and ADC resolutions as quantization
+	// steps per side (2·steps+1 levels over the converter range); a b-bit
+	// converter has 2^(b−1) steps (see StepsForBits). 0 disables
+	// quantization on that converter (ideal converter). Matches aihwkit's
+	// in_res/out_res parameters.
+	InSteps, OutSteps int
+
+	// InNoise and OutNoise are the standard deviations of the additive
+	// Gaussian "system" noise at the DAC output and ADC input, in units
+	// of the normalized input (±1) and output, respectively.
+	InNoise, OutNoise float32
+
+	// WNoise is the standard deviation of short-term (cycle-by-cycle)
+	// weight read noise, relative to the unit-normalized weights.
+	WNoise float32
+
+	// ProgNoiseScale scales the conductance-dependent programming noise
+	// σ_prog(ĝ) = scale·(c0 + c1·ĝ + c2·ĝ²) applied once when weights
+	// are programmed. 0 disables. 1.0 matches the device model.
+	ProgNoiseScale float32
+
+	// ProgPoly overrides the programming-noise polynomial coefficients
+	// (c0, c1, c2). The zero value selects the PCM-like defaults;
+	// ReRAMPreset installs a flat (conductance-independent) polynomial.
+	ProgPoly [3]float32
+
+	// DriftScale multiplies the per-device drift exponents ν. 0 selects
+	// the PCM default of 1.0; ReRAM-class devices drift far less.
+	DriftScale float32
+
+	// IRDropScale scales the deterministic bitline IR-drop attenuation.
+	// 0 disables; 1.0 is the paper's setting.
+	IRDropScale float32
+
+	// SShape sets the severity a of the S-shaped output nonlinearity
+	// z → B·tanh(a·z/B)/tanh(a); 0 disables (linear).
+	SShape float32
+
+	// OutBound is the ADC full-scale bound B in normalized output units;
+	// analog outputs beyond ±B saturate.
+	OutBound float32
+
+	// BoundManagement re-runs a saturating MVM with the input scaled
+	// down by 2× (up to BMMaxIter times), trading input resolution for
+	// headroom — aihwkit's iterative bound management.
+	BoundManagement bool
+	BMMaxIter       int
+
+	// NM selects the input scaling policy; AlphaConst is used by
+	// NMConstant.
+	NM         NoiseManagement
+	AlphaConst float32
+
+	// PerTileScale replaces the per-column weight scales γ_j (Eq. 4) with
+	// a single scale per tile (γ = max|W_tile|/g_max) — the coarser
+	// mapping some accelerators use to save per-column digital
+	// multipliers. Columns with small weights then waste conductance
+	// range, which is exactly what the per-column γ of the paper's
+	// formulation avoids.
+	PerTileScale bool
+
+	// WriteVerify sets the number of write-verify refinement iterations
+	// used when programming weights (paper §II: conductances are set by a
+	// "write-verify memory programming process"). Each iteration reads
+	// the programmed conductance back (with read noise WNoise) and
+	// re-programs the residual, shrinking the effective programming error
+	// toward the read-noise floor. 0 keeps single-shot programming.
+	WriteVerify int
+
+	// BitSerial streams the DAC input as signed binary pulse planes over
+	// ⌈log2(InSteps)⌉+1 cycles instead of one analog voltage (paper §II:
+	// "input vectors are converted into analog signals or bit streams").
+	// Each plane runs the analog pipeline and its own ADC conversion;
+	// planes are combined digitally with shift-add. Requires InSteps > 0.
+	BitSerial bool
+
+	// WeightSlices > 1 decomposes every weight into that many
+	// base-2^SliceBits digits held on separate crossbar slices whose
+	// digitized outputs are shift-added (paper §VII: multi-cell weight
+	// precision for devices without continuous analog states). 0 or 1
+	// keeps the continuous single-cell mapping. SliceBits defaults to 4
+	// when unset.
+	WeightSlices int
+	SliceBits    int
+
+	// DifferentialPair stores each weight as a pair of unipolar
+	// conductances w = g⁺ − g⁻ (the standard PCM mapping). Programming
+	// noise and drift then act per device: a weight near zero is two
+	// *small* conductances whose independent errors do not cancel, and
+	// drift moves g⁺ and g⁻ with independent exponents. Off, the tile
+	// uses an idealized signed-conductance abstraction.
+	DifferentialPair bool
+
+	// ADCOffset is the standard deviation of the static per-column ADC
+	// offset error (normalized output units), drawn once at programming
+	// time. 0 disables.
+	ADCOffset float32
+
+	// ADCGainMismatch is the standard deviation of the static per-column
+	// ADC gain error around 1.0, drawn once at programming time. 0
+	// disables.
+	ADCGainMismatch float32
+
+	// DriftT is the time in seconds since programming. > 0 activates
+	// conductance drift ĝ(t) = ĝ·(t/t0)^(−ν) with per-device ν, plus
+	// 1/f read noise growing with log t.
+	DriftT float64
+
+	// DriftCompensation applies global drift compensation: outputs are
+	// rescaled by the measured average conductance decay (the simple
+	// compensation the paper alludes to for drift).
+	DriftCompensation bool
+}
+
+// Programming-noise polynomial σ_prog(ĝ)/scale = c0 + c1·ĝ + c2·ĝ², with ĝ
+// the unit-normalized conductance magnitude. Coefficients follow the
+// PCM-like noise model shipped with aihwkit, normalized to g_max = 25 µS.
+const (
+	progC0 = 0.0105
+	progC1 = 0.0786
+	progC2 = -0.0469
+)
+
+// Drift model constants (PCM): ν ~ N(nuMean, nuStd) clipped to
+// [nuMin, nuMax], reference time t0, and the 1/f read-noise coefficient.
+const (
+	driftNuMean = 0.031
+	driftNuStd  = 0.012
+	driftNuMin  = 0.0
+	driftNuMax  = 0.1
+	driftT0     = 20.0   // seconds
+	readNoise1F = 0.0057 // relative 1/f read noise coefficient
+	tRead       = 250e-9 // seconds, single read duration
+)
+
+// PaperPreset returns the aihwkit settings of Table II of the paper:
+// 7-bit DAC/ADC, out_noise 0.04, w_noise 0.0175, ir_drop 1.0, 512×512
+// tiles, with noise & bound management enabled and PCM-like programming
+// noise.
+func PaperPreset() Config {
+	return Config{
+		TileRows: 512, TileCols: 512,
+		GMax:     25,
+		InSteps:  StepsForBits(7),
+		OutSteps: StepsForBits(7),
+		InNoise:  0.0, OutNoise: 0.04,
+		WNoise:           0.0175,
+		ProgNoiseScale:   1.0,
+		IRDropScale:      1.0,
+		SShape:           0.0,
+		OutBound:         12,
+		BoundManagement:  true,
+		BMMaxIter:        4,
+		NM:               NMAbsMax,
+		DifferentialPair: true,
+	}
+}
+
+// ReRAMPreset returns a ReRAM-class variant of the paper preset (§VII:
+// "this method can also be extended to other NVM devices such as ReRAM"):
+// programming noise is roughly conductance-independent (filamentary
+// switching), random-telegraph read noise is higher than PCM's, and
+// long-term drift is an order of magnitude weaker.
+func ReRAMPreset() Config {
+	c := PaperPreset()
+	c.ProgPoly = [3]float32{0.03, 0, 0}
+	c.WNoise = 0.03
+	c.DriftScale = 0.1
+	return c
+}
+
+// Ideal returns a configuration with every non-ideality disabled; the
+// AnalogLinear then computes an exact (up to float32) x·W + b. Useful as
+// the digital baseline inside sweeps and as a correctness anchor in tests.
+func Ideal() Config {
+	return Config{
+		TileRows: 512, TileCols: 512,
+		GMax:     25,
+		OutBound: 1e9,
+		NM:       NMAbsMax,
+	}
+}
+
+// WithOnly returns a copy of the paper preset in which every noise source
+// is disabled except the named one, set via the modify callback. This is
+// the construction behind the paper's sensitivity study (Fig. 3), which
+// scales each non-ideality "independently with other non-idealities set
+// into the ideal situation".
+func WithOnly(modify func(*Config)) Config {
+	c := Ideal()
+	c.BoundManagement = true
+	c.BMMaxIter = 4
+	c.OutBound = 12
+	modify(&c)
+	return c
+}

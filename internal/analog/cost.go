@@ -1,0 +1,102 @@
+package analog
+
+import "sync/atomic"
+
+// OpCounters accumulates the hardware events of a tile (or a whole
+// AnalogLinear) needed for energy/latency estimation. The paper defers
+// power/area/latency evaluation to future work (§VII); this implements the
+// standard counting model those evaluations use. Counters are atomic so
+// concurrent experiment points sharing a deployment stay consistent.
+type OpCounters struct {
+	MVMs      int64 // analog matrix-vector multiplications issued
+	DACConvs  int64 // input conversions (one per wordline per attempt)
+	ADCConvs  int64 // output conversions (one per bitline per attempt)
+	CellReads int64 // crossbar cell activations (rows × cols per attempt)
+	BMRetries int64 // bound-management re-runs (extra attempts)
+}
+
+func (c *OpCounters) add(o OpCounters) {
+	atomic.AddInt64(&c.MVMs, o.MVMs)
+	atomic.AddInt64(&c.DACConvs, o.DACConvs)
+	atomic.AddInt64(&c.ADCConvs, o.ADCConvs)
+	atomic.AddInt64(&c.CellReads, o.CellReads)
+	atomic.AddInt64(&c.BMRetries, o.BMRetries)
+}
+
+// Snapshot returns a consistent copy of the counters.
+func (c *OpCounters) Snapshot() OpCounters {
+	return OpCounters{
+		MVMs:      atomic.LoadInt64(&c.MVMs),
+		DACConvs:  atomic.LoadInt64(&c.DACConvs),
+		ADCConvs:  atomic.LoadInt64(&c.ADCConvs),
+		CellReads: atomic.LoadInt64(&c.CellReads),
+		BMRetries: atomic.LoadInt64(&c.BMRetries),
+	}
+}
+
+// Reset zeroes the counters.
+func (c *OpCounters) Reset() {
+	atomic.StoreInt64(&c.MVMs, 0)
+	atomic.StoreInt64(&c.DACConvs, 0)
+	atomic.StoreInt64(&c.ADCConvs, 0)
+	atomic.StoreInt64(&c.CellReads, 0)
+	atomic.StoreInt64(&c.BMRetries, 0)
+}
+
+// CostModel holds per-event energy (pJ) and latency (ns) constants. The
+// defaults are representative mid-2020s estimates from the analog-CIM
+// literature (ISAAC-class crossbars, SAR ADCs, 7-bit converters, 8-bit
+// digital MACs with local SRAM access); they set relative magnitudes, not
+// silicon-exact numbers.
+type CostModel struct {
+	DACEnergyPJ      float64 // per input conversion
+	ADCEnergyPJ      float64 // per output conversion
+	CellReadEnergyPJ float64 // per crossbar cell per MVM attempt
+	DigitalMACPJ     float64 // per 8-bit digital MAC incl. operand access
+
+	TileMVMLatencyNS float64 // per analog MVM attempt (conversion + settle)
+	DigitalMACPerNS  float64 // digital MACs retired per ns (effective)
+	DigitalRowOverNS float64 // per-row digital pipeline overhead
+}
+
+// DefaultCostModel returns the documented default constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		DACEnergyPJ:      0.17,
+		ADCEnergyPJ:      1.6,
+		CellReadEnergyPJ: 0.001,
+		DigitalMACPJ:     1.2,
+		TileMVMLatencyNS: 100,
+		DigitalMACPerNS:  1000, // ~1 TMAC/s effective
+		DigitalRowOverNS: 5,
+	}
+}
+
+// CostReport is the estimated cost of a counted workload.
+type CostReport struct {
+	EnergyPJ  float64
+	LatencyNS float64
+	Counters  OpCounters
+}
+
+// AnalogCost estimates energy and latency for the counted analog events.
+// Latency assumes tiles within one layer operate in parallel, so the MVM
+// count is divided by tiles-per-layer stages only through the caller's
+// counting (each MVMRow is one sequential attempt here — a conservative
+// serial bound).
+func (m CostModel) AnalogCost(c OpCounters) CostReport {
+	energy := float64(c.DACConvs)*m.DACEnergyPJ +
+		float64(c.ADCConvs)*m.ADCEnergyPJ +
+		float64(c.CellReads)*m.CellReadEnergyPJ
+	latency := float64(c.MVMs+c.BMRetries) * m.TileMVMLatencyNS
+	return CostReport{EnergyPJ: energy, LatencyNS: latency, Counters: c}
+}
+
+// DigitalCost estimates the cost of executing the same linear layers as
+// rows×in×out digital MACs.
+func (m CostModel) DigitalCost(macs int64, rows int64) CostReport {
+	return CostReport{
+		EnergyPJ:  float64(macs) * m.DigitalMACPJ,
+		LatencyNS: float64(macs)/m.DigitalMACPerNS + float64(rows)*m.DigitalRowOverNS,
+	}
+}

@@ -1,0 +1,124 @@
+package analog
+
+import (
+	"testing"
+
+	"nora/internal/rng"
+	"nora/internal/tensor"
+)
+
+func TestOpCountersSnapshotReset(t *testing.T) {
+	var c OpCounters
+	c.add(OpCounters{MVMs: 2, DACConvs: 10, ADCConvs: 6, CellReads: 60, BMRetries: 1})
+	s := c.Snapshot()
+	if s.MVMs != 2 || s.DACConvs != 10 || s.ADCConvs != 6 || s.CellReads != 60 || s.BMRetries != 1 {
+		t.Fatalf("snapshot wrong: %+v", s)
+	}
+	c.Reset()
+	if c.Snapshot() != (OpCounters{}) {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestTileCountsOneMVM(t *testing.T) {
+	w := randMat(601, 12, 7)
+	tile := NewTile(Ideal(), w, rng.New(602))
+	tile.MVMRow(randVec(603, 12), rng.New(604))
+	c := tile.Counters().Snapshot()
+	want := OpCounters{MVMs: 1, DACConvs: 12, ADCConvs: 7, CellReads: 84, BMRetries: 0}
+	if c != want {
+		t.Fatalf("counters = %+v, want %+v", c, want)
+	}
+}
+
+func TestTileCountsBMRetries(t *testing.T) {
+	// All-ones workload saturates the bound, forcing at least one retry.
+	rows := 64
+	w := tensor.New(rows, 2)
+	w.Fill(0.5)
+	x := make([]float32, rows)
+	for i := range x {
+		x[i] = 1
+	}
+	cfg := Ideal()
+	cfg.OutBound = 12
+	cfg.BoundManagement = true
+	cfg.BMMaxIter = 4
+	tile := NewTile(cfg, w, rng.New(605))
+	tile.MVMRow(x, rng.New(606))
+	c := tile.Counters().Snapshot()
+	if c.BMRetries < 1 {
+		t.Fatalf("expected bound-management retries, got %+v", c)
+	}
+	if c.DACConvs != (c.BMRetries+1)*int64(rows) {
+		t.Fatalf("DAC conversions must count every attempt: %+v", c)
+	}
+}
+
+func TestZeroInputCountsNothing(t *testing.T) {
+	tile := NewTile(Ideal(), randMat(607, 8, 4), rng.New(608))
+	tile.MVMRow(make([]float32, 8), rng.New(609))
+	if tile.Counters().Snapshot() != (OpCounters{}) {
+		t.Fatal("skipped (α=0) MVMs must not count hardware events")
+	}
+}
+
+func TestAnalogLinearCostAggregation(t *testing.T) {
+	cfg := Ideal()
+	cfg.TileRows, cfg.TileCols = 8, 8 // 2×2 grid for in=16, out=16
+	w := randMat(610, 16, 16)
+	l := NewAnalogLinear("cost", w, nil, nil, cfg, rng.New(611))
+	x := randMat(612, 3, 16)
+	l.Forward(x)
+	c := l.CostCounters()
+	// 3 rows × 4 tiles = 12 MVMs; each tile 8×8
+	if c.MVMs != 12 || c.CellReads != 12*64 {
+		t.Fatalf("aggregated counters wrong: %+v", c)
+	}
+	if l.RowsProcessed() != 3 {
+		t.Fatalf("rows processed = %d", l.RowsProcessed())
+	}
+	if got := l.DigitalEquivalentMACs(); got != 3*16*16 {
+		t.Fatalf("digital MACs = %d", got)
+	}
+	l.ResetCost()
+	if l.CostCounters() != (OpCounters{}) || l.RowsProcessed() != 0 {
+		t.Fatal("ResetCost failed")
+	}
+}
+
+func TestCostModelEstimates(t *testing.T) {
+	cm := DefaultCostModel()
+	c := OpCounters{MVMs: 2, DACConvs: 100, ADCConvs: 50, CellReads: 5000, BMRetries: 1}
+	a := cm.AnalogCost(c)
+	wantE := 100*cm.DACEnergyPJ + 50*cm.ADCEnergyPJ + 5000*cm.CellReadEnergyPJ
+	if a.EnergyPJ != wantE {
+		t.Fatalf("analog energy = %v, want %v", a.EnergyPJ, wantE)
+	}
+	if a.LatencyNS != 3*cm.TileMVMLatencyNS {
+		t.Fatalf("analog latency = %v", a.LatencyNS)
+	}
+	d := cm.DigitalCost(1_000_000, 10)
+	if d.EnergyPJ != 1_000_000*cm.DigitalMACPJ {
+		t.Fatalf("digital energy = %v", d.EnergyPJ)
+	}
+	if d.LatencyNS <= 0 {
+		t.Fatal("digital latency must be positive")
+	}
+}
+
+// The headline hardware claim: for these workloads the analog estimate is
+// far more energy-efficient than the digital-MAC baseline.
+func TestAnalogBeatsDigitalEnergy(t *testing.T) {
+	cm := DefaultCostModel()
+	cfg := PaperPreset()
+	w := randMat(613, 256, 256)
+	l := NewAnalogLinear("big", w, nil, nil, cfg, rng.New(614))
+	x := randMat(615, 8, 256)
+	l.Forward(x)
+	a := cm.AnalogCost(l.CostCounters())
+	d := cm.DigitalCost(l.DigitalEquivalentMACs(), l.RowsProcessed())
+	if a.EnergyPJ >= d.EnergyPJ {
+		t.Fatalf("analog energy %v should beat digital %v on a 256×256 layer", a.EnergyPJ, d.EnergyPJ)
+	}
+}

@@ -1,0 +1,222 @@
+package analog
+
+import (
+	"fmt"
+
+	"nora/internal/rng"
+	"nora/internal/tensor"
+)
+
+// AnalogLinear maps one linear layer y = x·W + b onto a grid of analog CIM
+// tiles: W is partitioned into TileRows×TileCols slices, each programmed
+// onto its own tile; partial sums along the input dimension are accumulated
+// digitally after each tile's ADC, and the bias (when present) is added
+// digitally — the direct analogue of aihwkit's AnalogLinear with mapped
+// weights.
+//
+// When a NORA rescaling vector s is installed, the layer programs W⊙s
+// (rows scaled by s_k, Eq. 6) and streams x⊘s (channels divided by s_k,
+// Eq. 7); the product is mathematically unchanged while the non-ideality
+// burden moves from the activations to the weights.
+type AnalogLinear struct {
+	name string
+	cfg  Config
+	in   int
+	out  int
+	bias []float32
+	invS []float32 // nil when no rescaling is installed
+
+	rowOff []int // tile-grid row boundaries (len = #rowBlocks+1)
+	colOff []int // tile-grid column boundaries
+	tiles  [][]mvmTile
+
+	noise *rng.Rand // runtime read-noise stream
+
+	rowsProcessed int64 // activation rows seen (digital-equivalent costing)
+}
+
+// NewAnalogLinear programs weight matrix w (in × out) onto tiles.
+// bias may be nil. s may be nil (no rescaling) or a length-in positive
+// vector (the NORA component). root seeds both programming and runtime
+// noise streams; pass streams split per layer for reproducible experiments.
+func NewAnalogLinear(name string, w *tensor.Matrix, bias []float32, s []float32, cfg Config, root *rng.Rand) *AnalogLinear {
+	if cfg.TileRows <= 0 || cfg.TileCols <= 0 {
+		panic("analog: non-positive tile dimensions")
+	}
+	if s != nil && len(s) != w.Rows {
+		panic(fmt.Sprintf("analog: rescaling vector len %d, weight rows %d", len(s), w.Rows))
+	}
+	l := &AnalogLinear{
+		name:  name,
+		cfg:   cfg,
+		in:    w.Rows,
+		out:   w.Cols,
+		noise: root.Split("read"),
+	}
+	if bias != nil {
+		l.bias = append([]float32(nil), bias...)
+	}
+	ws := w
+	if s != nil {
+		l.invS = make([]float32, len(s))
+		for k, v := range s {
+			if v <= 0 {
+				panic(fmt.Sprintf("analog: non-positive rescaling component s[%d] = %v", k, v))
+			}
+			l.invS[k] = 1 / v
+		}
+		ws = tensor.ScaleRows(w, s)
+	}
+	l.rowOff = partition(l.in, cfg.TileRows)
+	l.colOff = partition(l.out, cfg.TileCols)
+	prog := root.Split("program")
+	for rb := 0; rb+1 < len(l.rowOff); rb++ {
+		var row []mvmTile
+		rows := ws.SliceRows(l.rowOff[rb], l.rowOff[rb+1])
+		for cb := 0; cb+1 < len(l.colOff); cb++ {
+			slice := rows.SliceCols(l.colOff[cb], l.colOff[cb+1])
+			tr := prog.Split(fmt.Sprintf("tile%d.%d", rb, cb))
+			if cfg.WeightSlices > 1 {
+				bits := cfg.SliceBits
+				if bits <= 0 {
+					bits = 4
+				}
+				row = append(row, NewSlicedTile(cfg, slice, cfg.WeightSlices, bits, tr))
+			} else {
+				row = append(row, NewTile(cfg, slice, tr))
+			}
+		}
+		l.tiles = append(l.tiles, row)
+	}
+	return l
+}
+
+// partition splits n into chunks of at most size, returning boundaries
+// [0, size, 2·size, …, n].
+func partition(n, size int) []int {
+	offs := []int{0}
+	for off := size; off < n; off += size {
+		offs = append(offs, off)
+	}
+	return append(offs, n)
+}
+
+// Name implements nn.LinearOp.
+func (l *AnalogLinear) Name() string { return l.name }
+
+// InDim returns the input width.
+func (l *AnalogLinear) InDim() int { return l.in }
+
+// OutDim returns the output width.
+func (l *AnalogLinear) OutDim() int { return l.out }
+
+// Config returns the tile configuration in use.
+func (l *AnalogLinear) Config() Config { return l.cfg }
+
+// Tiles returns the tile grid (row-major); entries are *Tile or
+// *SlicedTile depending on Config.WeightSlices.
+func (l *AnalogLinear) Tiles() [][]mvmTile { return l.tiles }
+
+// SetTime advances every tile to tSec seconds after programming (drift and
+// 1/f read-noise study, paper §VII).
+func (l *AnalogLinear) SetTime(tSec float64) {
+	for _, row := range l.tiles {
+		for _, t := range row {
+			t.SetTime(tSec)
+		}
+	}
+}
+
+// Forward implements nn.LinearOp: every row of x is streamed through the
+// tile grid, with digital accumulation of partial sums across input blocks.
+func (l *AnalogLinear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.in {
+		panic(fmt.Sprintf("analog: %s: input width %d, expected %d", l.name, x.Cols, l.in))
+	}
+	xs := x
+	if l.invS != nil {
+		xs = tensor.ScaleCols(x, l.invS)
+	}
+	l.rowsProcessed += int64(x.Rows)
+	out := tensor.New(x.Rows, l.out)
+	for i := 0; i < x.Rows; i++ {
+		row := xs.Row(i)
+		orow := out.Row(i)
+		for rb := 0; rb+1 < len(l.rowOff); rb++ {
+			slice := row[l.rowOff[rb]:l.rowOff[rb+1]]
+			for cb := 0; cb+1 < len(l.colOff); cb++ {
+				partial := l.tiles[rb][cb].MVMRow(slice, l.noise)
+				tensor.Axpy(1, partial, orow[l.colOff[cb]:l.colOff[cb+1]])
+			}
+		}
+	}
+	if l.bias != nil {
+		out.AddRowVecInPlace(l.bias)
+	}
+	return out
+}
+
+// CostCounters aggregates hardware-event counts across the layer's tiles.
+func (l *AnalogLinear) CostCounters() OpCounters {
+	var total OpCounters
+	for _, row := range l.tiles {
+		for _, t := range row {
+			total.add(t.Counters().Snapshot())
+		}
+	}
+	return total
+}
+
+// ResetCost clears all tile counters and the processed-row count.
+func (l *AnalogLinear) ResetCost() {
+	for _, row := range l.tiles {
+		for _, t := range row {
+			t.Counters().Reset()
+		}
+	}
+	l.rowsProcessed = 0
+}
+
+// DigitalEquivalentMACs returns the number of digital multiply-accumulates
+// an exact implementation of the processed workload would have executed.
+func (l *AnalogLinear) DigitalEquivalentMACs() int64 {
+	return l.rowsProcessed * int64(l.in) * int64(l.out)
+}
+
+// RowsProcessed returns the number of activation rows forwarded so far.
+func (l *AnalogLinear) RowsProcessed() int64 { return l.rowsProcessed }
+
+// AlphaGammaMean reports the average α_i·γ_j·g_max the layer would use on
+// input x: the quantity Fig. 6(c) of the paper tracks (smaller means larger
+// analog output currents and a higher SNR). The mean is taken per tile over
+// input rows (α) and output columns (γ·g_max), then averaged across tiles.
+func (l *AnalogLinear) AlphaGammaMean(x *tensor.Matrix) float64 {
+	if x.Cols != l.in {
+		panic("analog: AlphaGammaMean input width mismatch")
+	}
+	xs := x
+	if l.invS != nil {
+		xs = tensor.ScaleCols(x, l.invS)
+	}
+	var total float64
+	var nTiles int
+	for rb := 0; rb+1 < len(l.rowOff); rb++ {
+		lo, hi := l.rowOff[rb], l.rowOff[rb+1]
+		var alphaMean float64
+		for i := 0; i < xs.Rows; i++ {
+			alphaMean += float64(tensor.AbsMaxVec(xs.Row(i)[lo:hi]))
+		}
+		alphaMean /= float64(xs.Rows)
+		for cb := 0; cb+1 < len(l.colOff); cb++ {
+			var cMean float64
+			scales := l.tiles[rb][cb].ColScales()
+			for _, c := range scales {
+				cMean += float64(c)
+			}
+			cMean /= float64(len(scales))
+			total += alphaMean * cMean
+			nTiles++
+		}
+	}
+	return total / float64(nTiles)
+}

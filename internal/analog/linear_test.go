@@ -1,0 +1,252 @@
+package analog
+
+import (
+	"math"
+	"testing"
+
+	"nora/internal/rng"
+	"nora/internal/stats"
+	"nora/internal/tensor"
+)
+
+// smoothS computes the paper's rescaling component
+// s_k = max|x_k|^λ / max|w_k|^(1−λ) on raw statistics (the production
+// implementation lives in internal/core).
+func smoothS(x, w *tensor.Matrix, lambda float64) []float32 {
+	xmax := x.AbsMaxPerCol()
+	wmax := w.AbsMaxPerRow()
+	s := make([]float32, len(xmax))
+	for k := range s {
+		xm, wm := float64(xmax[k]), float64(wmax[k])
+		if xm < 1e-6 {
+			xm = 1e-6
+		}
+		if wm < 1e-6 {
+			wm = 1e-6
+		}
+		s[k] = float32(math.Pow(xm, lambda) / math.Pow(wm, 1-lambda))
+	}
+	return s
+}
+
+func TestPartition(t *testing.T) {
+	cases := []struct {
+		n, size int
+		want    []int
+	}{
+		{10, 4, []int{0, 4, 8, 10}},
+		{8, 4, []int{0, 4, 8}},
+		{3, 10, []int{0, 3}},
+		{1, 1, []int{0, 1}},
+	}
+	for _, c := range cases {
+		got := partition(c.n, c.size)
+		if len(got) != len(c.want) {
+			t.Fatalf("partition(%d,%d) = %v", c.n, c.size, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("partition(%d,%d) = %v", c.n, c.size, got)
+			}
+		}
+	}
+}
+
+func TestIdealLinearMatchesDigital(t *testing.T) {
+	w := randMat(70, 20, 12)
+	bias := randVec(71, 12)
+	x := randMat(72, 5, 20)
+	want := tensor.MatMul(x, w)
+	want.AddRowVecInPlace(bias)
+
+	cfg := Ideal()
+	cfg.TileRows, cfg.TileCols = 8, 8 // force a 3×2 tile grid
+	l := NewAnalogLinear("test", w, bias, nil, cfg, rng.New(73))
+	got := l.Forward(x)
+	if !got.AllClose(want, 1e-3*(1+want.AbsMax())) {
+		t.Fatalf("ideal multi-tile linear diverges, max want %v", want.AbsMax())
+	}
+	if l.InDim() != 20 || l.OutDim() != 12 || l.Name() != "test" {
+		t.Fatal("metadata wrong")
+	}
+	if len(l.Tiles()) != 3 || len(l.Tiles()[0]) != 2 {
+		t.Fatalf("tile grid %dx%d, want 3x2", len(l.Tiles()), len(l.Tiles()[0]))
+	}
+}
+
+// The NORA identity: with every non-ideality off, installing any positive
+// rescaling vector s must leave the computed product unchanged (Eq. 6-7
+// cancel exactly).
+func TestRescalingInvarianceUnderIdealConfig(t *testing.T) {
+	w := randMat(74, 16, 10)
+	x := randMat(75, 4, 16)
+	s := make([]float32, 16)
+	r := rng.New(76)
+	for i := range s {
+		s[i] = 0.2 + 3*r.Float32()
+	}
+	base := NewAnalogLinear("a", w, nil, nil, Ideal(), rng.New(77)).Forward(x)
+	scaled := NewAnalogLinear("b", w, nil, s, Ideal(), rng.New(78)).Forward(x)
+	if !base.AllClose(scaled, 2e-3*(1+base.AbsMax())) {
+		t.Fatal("rescaling changed the ideal product")
+	}
+}
+
+// The core NORA mechanism at layer level: with an outlier input channel and
+// a quantizing DAC, choosing s_k = max|x_k| (full migration, λ = 1)
+// reduces the quantization MSE versus the naive mapping.
+func TestRescalingMitigatesQuantizationOnOutliers(t *testing.T) {
+	const in, out, n = 32, 16, 8
+	w := randMat(80, in, out)
+	x := randMat(81, n, in)
+	// plant a hot channel: channel 5 carries values ~40× larger
+	for i := 0; i < n; i++ {
+		x.Set(i, 5, x.At(i, 5)*40)
+	}
+	want := tensor.MatMul(x, w)
+
+	cfg := WithOnly(func(c *Config) { c.InSteps = StepsForBits(7) })
+	naive := NewAnalogLinear("naive", w, nil, nil, cfg, rng.New(82)).Forward(x)
+
+	s := x.AbsMaxPerCol()
+	for k, v := range s {
+		if v == 0 {
+			s[k] = 1
+		}
+	}
+	nora := NewAnalogLinear("nora", w, nil, s, cfg, rng.New(83)).Forward(x)
+
+	mseNaive := tensor.MSE(naive, want)
+	mseNora := tensor.MSE(nora, want)
+	if mseNora >= mseNaive/2 {
+		t.Fatalf("rescaling should cut quantization MSE: naive %v nora %v", mseNaive, mseNora)
+	}
+}
+
+// Rescaling must also lower the α·γ product (Fig. 6c): smaller scale
+// factors mean larger normalized output currents and a better SNR against
+// additive output noise. This holds for the paper's balanced migration
+// s_k = max|x_k|^λ / max|w_k|^(1−λ) at λ = 0.5 (full migration λ = 1 can
+// overshoot by making the weight maxima the new outliers).
+func TestRescalingShrinksAlphaGamma(t *testing.T) {
+	const in, out, n = 64, 16, 8
+	w := randMat(84, in, out)
+	x := randMat(85, n, in)
+	for i := 0; i < n; i++ {
+		x.Set(i, 3, x.At(i, 3)*50)
+	}
+	s := smoothS(x, w, 0.5)
+	cfg := PaperPreset()
+	naive := NewAnalogLinear("naive", w, nil, nil, cfg, rng.New(86))
+	nora := NewAnalogLinear("nora", w, nil, s, cfg, rng.New(87))
+	agNaive := naive.AlphaGammaMean(x)
+	agNora := nora.AlphaGammaMean(x)
+	if agNora >= agNaive {
+		t.Fatalf("α·γ must shrink under NORA: %v vs %v", agNaive, agNora)
+	}
+}
+
+func TestRescalingImprovesOutputNoiseSNR(t *testing.T) {
+	// Under additive output noise only, the digital-side noise magnitude
+	// is α·γ·σ_out per column, so shrinking α·γ shrinks the output MSE.
+	const in, out, n = 32, 16, 16
+	w := randMat(88, in, out)
+	x := randMat(89, n, in)
+	for i := 0; i < n; i++ {
+		x.Set(i, 7, x.At(i, 7)*50)
+	}
+	want := tensor.MatMul(x, w)
+	cfg := WithOnly(func(c *Config) { c.OutNoise = 0.04 })
+	s := x.AbsMaxPerCol()
+	for k, v := range s {
+		if v == 0 {
+			s[k] = 1
+		}
+	}
+	var mseNaive, mseNora float64
+	for trial := uint64(0); trial < 8; trial++ {
+		naive := NewAnalogLinear("naive", w, nil, nil, cfg, rng.New(90+trial))
+		nora := NewAnalogLinear("nora", w, nil, s, cfg, rng.New(190+trial))
+		mseNaive += tensor.MSE(naive.Forward(x), want)
+		mseNora += tensor.MSE(nora.Forward(x), want)
+	}
+	if mseNora >= mseNaive {
+		t.Fatalf("rescaling should improve output-noise MSE: naive %v nora %v", mseNaive, mseNora)
+	}
+}
+
+func TestAnalogLinearValidation(t *testing.T) {
+	w := randMat(92, 8, 4)
+	for name, f := range map[string]func(){
+		"bad-s-len": func() {
+			NewAnalogLinear("x", w, nil, make([]float32, 3), Ideal(), rng.New(1))
+		},
+		"nonpositive-s": func() {
+			s := make([]float32, 8)
+			NewAnalogLinear("x", w, nil, s, Ideal(), rng.New(1))
+		},
+		"zero-tile": func() {
+			cfg := Ideal()
+			cfg.TileRows = 0
+			NewAnalogLinear("x", w, nil, nil, cfg, rng.New(1))
+		},
+		"fwd-width": func() {
+			l := NewAnalogLinear("x", w, nil, nil, Ideal(), rng.New(1))
+			l.Forward(tensor.New(2, 5))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAnalogLinearSetTime(t *testing.T) {
+	w := randMat(93, 16, 8)
+	x := randMat(94, 3, 16)
+	l := NewAnalogLinear("d", w, nil, nil, Ideal(), rng.New(95))
+	fresh := l.Forward(x)
+	l.SetTime(3600)
+	drifted := l.Forward(x)
+	var magF, magD float64
+	for i := range fresh.Data {
+		magF += math.Abs(float64(fresh.Data[i]))
+		magD += math.Abs(float64(drifted.Data[i]))
+	}
+	if magD >= magF {
+		t.Fatal("SetTime must propagate drift to all tiles")
+	}
+}
+
+func TestPaperPresetDegradesButBounded(t *testing.T) {
+	// Sanity: the full Table II stack introduces error but remains in the
+	// right ballpark (relative RMS error under ~20% for benign inputs).
+	w := randMat(96, 64, 64)
+	x := randMat(97, 16, 64)
+	want := tensor.MatMul(x, w)
+	l := NewAnalogLinear("p", w, nil, nil, PaperPreset(), rng.New(98))
+	got := l.Forward(x)
+	rel := math.Sqrt(tensor.MSE(got, want)) / (want.Frobenius() / math.Sqrt(float64(len(want.Data))))
+	if rel == 0 {
+		t.Fatal("paper preset should not be exact")
+	}
+	if rel > 0.2 {
+		t.Fatalf("paper preset error unreasonably large: rel RMS %v", rel)
+	}
+}
+
+func TestMSEHelperAgreement(t *testing.T) {
+	// cross-check tensor.MSE and stats.MSE used across analog tests
+	a := []float32{1, 2}
+	b := []float32{2, 4}
+	ma := tensor.FromSlice(1, 2, a)
+	mb := tensor.FromSlice(1, 2, b)
+	if stats.MSE(a, b) != tensor.MSE(ma, mb) {
+		t.Fatal("MSE helpers disagree")
+	}
+}

@@ -1,0 +1,59 @@
+package analog
+
+import "math"
+
+// quantizeUnit quantizes v to a symmetric uniform grid with `steps` levels
+// per side over [-1, 1] (2·steps+1 levels total). The DAC's full-scale
+// range always clips at ±1 — even an infinitely fine converter cannot
+// drive the wordline beyond full scale — while steps ≤ 0 skips only the
+// quantization (ideal resolution). This is the f_dac of Eq. 5; Table II's
+// "7 bit (128)" corresponds to 64 steps per side. Arbitrary step counts
+// mirror aihwkit's continuous in_res parameter and let sensitivity sweeps
+// hit exact MSE targets.
+func quantizeUnit(v float32, steps int) float32 {
+	if v > 1 {
+		v = 1
+	} else if v < -1 {
+		v = -1
+	}
+	if steps <= 0 {
+		return v
+	}
+	half := float32(steps)
+	return float32(math.Round(float64(v*half))) / half
+}
+
+// quantizeBounded quantizes v to 2·steps+1 levels over [-bound, bound],
+// saturating outside — the f_adc of Eq. 3. steps ≤ 0 only saturates.
+func quantizeBounded(v, bound float32, steps int) float32 {
+	if v > bound {
+		v = bound
+	} else if v < -bound {
+		v = -bound
+	}
+	if steps <= 0 {
+		return v
+	}
+	half := float32(steps)
+	return float32(math.Round(float64(v/bound*half))) / half * bound
+}
+
+// StepsForBits converts a converter bit width to steps per side:
+// b bits → 2^(b−1) steps (7 bit → 64, i.e. 128 steps peak-to-peak).
+func StepsForBits(bits int) int {
+	if bits <= 0 {
+		return 0
+	}
+	return 1 << (bits - 1)
+}
+
+// sShape applies the S-shaped output nonlinearity
+// z → B·tanh(a·z/B)/tanh(a). a ≤ 0 is the identity; the curve is linear
+// near zero and compresses toward ±B, matching the device nonlinearity of
+// Table I.
+func sShape(z, bound, a float32) float32 {
+	if a <= 0 {
+		return z
+	}
+	return bound * float32(math.Tanh(float64(a*z/bound))/math.Tanh(float64(a)))
+}

@@ -1,0 +1,135 @@
+package analog
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStepsForBits(t *testing.T) {
+	if StepsForBits(7) != 64 || StepsForBits(1) != 1 || StepsForBits(0) != 0 || StepsForBits(-3) != 0 {
+		t.Fatalf("StepsForBits wrong: %d %d %d", StepsForBits(7), StepsForBits(1), StepsForBits(0))
+	}
+}
+
+func TestQuantizeUnitZeroStepsClampsOnly(t *testing.T) {
+	for _, v := range []float32{-0.3, 0, 0.7, 1} {
+		if quantizeUnit(v, 0) != v {
+			t.Fatalf("steps=0 must pass through in-range values, got %v for %v", quantizeUnit(v, 0), v)
+		}
+	}
+	// full-scale clipping applies regardless of resolution
+	if quantizeUnit(5, 0) != 1 || quantizeUnit(-2, 0) != -1 {
+		t.Fatal("steps=0 must still clip at DAC full scale")
+	}
+}
+
+func TestQuantizeUnitClipping(t *testing.T) {
+	if quantizeUnit(3, 64) != 1 || quantizeUnit(-3, 64) != -1 {
+		t.Fatal("values beyond ±1 must clip")
+	}
+}
+
+func TestQuantizeUnitGrid(t *testing.T) {
+	// 7 bits → 64 steps per side; outputs must be multiples of 1/64.
+	steps := StepsForBits(7)
+	for _, v := range []float32{0.013, -0.5, 0.731, 0.9999} {
+		q := quantizeUnit(v, steps)
+		scaled := float64(q) * 64
+		if math.Abs(scaled-math.Round(scaled)) > 1e-5 {
+			t.Fatalf("quantizeUnit(%v) = %v not on the 1/64 grid", v, q)
+		}
+		if math.Abs(float64(q-v)) > 1.0/128+1e-6 {
+			t.Fatalf("quantization error too large: %v → %v", v, q)
+		}
+	}
+}
+
+func TestQuantizeUnitNonPowerOfTwoSteps(t *testing.T) {
+	// arbitrary step counts (aihwkit-style in_res) must land on the grid
+	q := quantizeUnit(0.42, 77)
+	scaled := float64(q) * 77
+	if math.Abs(scaled-math.Round(scaled)) > 1e-4 {
+		t.Fatalf("77-step quantizer off-grid: %v", q)
+	}
+	if math.Abs(float64(q)-0.42) > 1.0/154+1e-6 {
+		t.Fatalf("77-step error too large: %v", q)
+	}
+}
+
+func TestQuantizeUnitMonotone(t *testing.T) {
+	prev := float32(math.Inf(-1))
+	for v := float32(-1.2); v <= 1.2; v += 0.001 {
+		q := quantizeUnit(v, 16)
+		if q < prev {
+			t.Fatalf("quantizer not monotone at %v", v)
+		}
+		prev = q
+	}
+}
+
+func TestQuantizeUnitSymmetric(t *testing.T) {
+	for _, v := range []float32{0.1, 0.37, 0.88} {
+		if quantizeUnit(v, 32) != -quantizeUnit(-v, 32) {
+			t.Fatalf("quantizer not odd at %v", v)
+		}
+	}
+}
+
+func TestQuantizeBoundedSaturation(t *testing.T) {
+	if quantizeBounded(100, 12, 0) != 12 || quantizeBounded(-100, 12, 0) != -12 {
+		t.Fatal("must saturate at ±bound")
+	}
+	if quantizeBounded(5, 12, 0) != 5 {
+		t.Fatal("steps=0 inside bound must pass through")
+	}
+}
+
+func TestQuantizeBoundedGrid(t *testing.T) {
+	bound := float32(12)
+	q := quantizeBounded(3.1415, bound, 64)
+	scaled := float64(q/bound) * 64
+	if math.Abs(scaled-math.Round(scaled)) > 1e-5 {
+		t.Fatalf("quantizeBounded output %v not on grid", q)
+	}
+	if math.Abs(float64(q-3.1415)) > float64(bound)/128+1e-5 {
+		t.Fatalf("error too large: %v", q)
+	}
+}
+
+func TestSShapeIdentityAtZero(t *testing.T) {
+	for _, z := range []float32{-5, 0, 3} {
+		if sShape(z, 12, 0) != z {
+			t.Fatal("a=0 must be identity")
+		}
+	}
+}
+
+func TestSShapeProperties(t *testing.T) {
+	bound, a := float32(12), float32(2)
+	// odd function
+	if math.Abs(float64(sShape(3, bound, a)+sShape(-3, bound, a))) > 1e-6 {
+		t.Fatal("s-shape must be odd")
+	}
+	// fixed points at 0 and ±bound
+	if sShape(0, bound, a) != 0 {
+		t.Fatal("s-shape(0) != 0")
+	}
+	if math.Abs(float64(sShape(bound, bound, a)-bound)) > 1e-5 {
+		t.Fatal("s-shape(bound) != bound")
+	}
+	// monotone
+	prev := float32(math.Inf(-1))
+	for z := float32(-12); z <= 12; z += 0.1 {
+		f := sShape(z, bound, a)
+		if f < prev {
+			t.Fatal("s-shape not monotone")
+		}
+		prev = f
+	}
+	// severity grows with a: mid-range distortion larger for bigger a
+	d1 := math.Abs(float64(sShape(6, bound, 1) - 6))
+	d3 := math.Abs(float64(sShape(6, bound, 3) - 6))
+	if d3 <= d1 {
+		t.Fatalf("distortion should grow with a: %v vs %v", d1, d3)
+	}
+}

@@ -1,0 +1,145 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"nora/internal/rng"
+	"nora/internal/tensor"
+)
+
+// mvmTile is the tile abstraction AnalogLinear drives: a plain crossbar
+// (Tile) or a bit-sliced composite (SlicedTile).
+type mvmTile interface {
+	MVMRow(xs []float32, r *rng.Rand) []float32
+	ColScales() []float32
+	SetTime(tSec float64)
+	Counters() *OpCounters
+	Rows() int
+	Cols() int
+}
+
+var (
+	_ mvmTile = (*Tile)(nil)
+	_ mvmTile = (*SlicedTile)(nil)
+)
+
+// SlicedTile implements the paper's §VII extension for NVM devices that
+// cannot hold continuous analog weights: each weight is decomposed into
+// WeightSlices base-2^SliceBits digits, every digit lives on its own
+// crossbar slice, and slice outputs are combined digitally with shift-add.
+// The composite reaches WeightSlices·SliceBits bits of weight precision
+// ("over 8-bit weight precision by using multiple memory cells") while
+// every slice runs the full analog noise pipeline independently.
+type SlicedTile struct {
+	slices []*Tile
+	radix  float64 // 2^SliceBits
+	rows   int
+	cols   int
+
+	colScale []float32  // effective combined per-column scales
+	counters OpCounters // shift-add level counters (slices count their own)
+}
+
+// NewSlicedTile programs ws across slices·sliceBits of weight precision.
+// slices must be ≥ 2 and sliceBits ≥ 1.
+func NewSlicedTile(cfg Config, ws *tensor.Matrix, slices, sliceBits int, progRng *rng.Rand) *SlicedTile {
+	if slices < 2 || sliceBits < 1 {
+		panic(fmt.Sprintf("analog: NewSlicedTile needs slices ≥ 2 and sliceBits ≥ 1, got %d/%d", slices, sliceBits))
+	}
+	radix := math.Pow(2, float64(sliceBits))
+	levels := math.Pow(radix, float64(slices)) - 1 // b^S − 1 magnitude levels
+
+	st := &SlicedTile{
+		radix: radix,
+		rows:  ws.Rows,
+		cols:  ws.Cols,
+	}
+	// Per-column full scale of the composite weight.
+	colMax := ws.AbsMaxPerCol()
+
+	// Decompose: |w|/colMax ∈ [0,1] → integer magnitude in [0, b^S−1] →
+	// base-b digits. Slice s (least significant first) holds the real
+	// value sign·d_s·colMax/levels so that W = Σ_s b^s · A_s exactly on
+	// the quantized grid.
+	digitMats := make([]*tensor.Matrix, slices)
+	for s := range digitMats {
+		digitMats[s] = tensor.New(ws.Rows, ws.Cols)
+	}
+	for i := 0; i < ws.Rows; i++ {
+		for j := 0; j < ws.Cols; j++ {
+			v := ws.At(i, j)
+			if colMax[j] == 0 {
+				continue
+			}
+			sign := float32(1)
+			if v < 0 {
+				sign = -1
+				v = -v
+			}
+			mag := int64(math.Round(float64(v/colMax[j]) * levels))
+			unit := sign * colMax[j] / float32(levels)
+			b := int64(radix)
+			for s := 0; s < slices; s++ {
+				digit := mag % b
+				mag /= b
+				digitMats[s].Set(i, j, float32(digit)*unit)
+			}
+		}
+	}
+	for s := 0; s < slices; s++ {
+		st.slices = append(st.slices, NewTile(cfg, digitMats[s], progRng.Split(fmt.Sprintf("slice%d", s))))
+	}
+	// Effective combined scale per column: Σ_s b^s · c_s,j.
+	st.colScale = make([]float32, ws.Cols)
+	pow := 1.0
+	for s := 0; s < slices; s++ {
+		cs := st.slices[s].ColScales()
+		for j := range st.colScale {
+			st.colScale[j] += float32(pow) * cs[j]
+		}
+		pow *= radix
+	}
+	return st
+}
+
+// Rows returns the mapped input dimension.
+func (st *SlicedTile) Rows() int { return st.rows }
+
+// Cols returns the mapped output dimension.
+func (st *SlicedTile) Cols() int { return st.cols }
+
+// Slices returns the number of weight slices.
+func (st *SlicedTile) Slices() int { return len(st.slices) }
+
+// ColScales returns the effective combined per-column scale factors.
+func (st *SlicedTile) ColScales() []float32 { return st.colScale }
+
+// SetTime advances every slice to tSec seconds after programming.
+func (st *SlicedTile) SetTime(tSec float64) {
+	for _, s := range st.slices {
+		s.SetTime(tSec)
+	}
+}
+
+// Counters aggregates hardware events across all slices.
+func (st *SlicedTile) Counters() *OpCounters {
+	st.counters.Reset()
+	for _, s := range st.slices {
+		st.counters.add(s.Counters().Snapshot())
+	}
+	return &st.counters
+}
+
+// MVMRow runs the input through every slice and shift-adds the digitized
+// partial results: y = Σ_s b^s · y_s.
+func (st *SlicedTile) MVMRow(xs []float32, r *rng.Rand) []float32 {
+	out := make([]float32, st.cols)
+	pow := float32(1)
+	for _, s := range st.slices {
+		partial := s.MVMRow(xs, r)
+		tensor.Axpy(pow, partial, out)
+		pow *= float32(st.radix)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package analog
+
+import (
+	"math"
+	"testing"
+
+	"nora/internal/rng"
+	"nora/internal/stats"
+	"nora/internal/tensor"
+)
+
+func slicedIdeal(slices, bits int) Config {
+	cfg := Ideal()
+	cfg.WeightSlices = slices
+	cfg.SliceBits = bits
+	return cfg
+}
+
+func TestSlicedTileValidation(t *testing.T) {
+	w := randMat(801, 8, 4)
+	for name, f := range map[string]func(){
+		"one-slice": func() { NewSlicedTile(Ideal(), w, 1, 4, rng.New(1)) },
+		"zero-bits": func() { NewSlicedTile(Ideal(), w, 2, 0, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// With enough total precision (2 slices × 8 bits = 16 bits), the sliced
+// ideal tile must match the exact product to float tolerance.
+func TestSlicedTileHighPrecisionExact(t *testing.T) {
+	w := randMat(802, 24, 12)
+	tile := NewSlicedTile(Ideal(), w, 2, 8, rng.New(803))
+	x := randVec(804, 24)
+	got := tile.MVMRow(x, rng.New(805))
+	want := tensor.VecMul(x, w)
+	for j := range want {
+		if math.Abs(float64(got[j]-want[j])) > 2e-3*(1+math.Abs(float64(want[j]))) {
+			t.Fatalf("16-bit sliced tile diverges at %d: %v vs %v", j, got[j], want[j])
+		}
+	}
+	if tile.Slices() != 2 || tile.Rows() != 24 || tile.Cols() != 12 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+// Slicing precision: total weight precision S·B bits — more slices of the
+// same cell resolution must reduce the representation error.
+func TestSlicedPrecisionImprovesWithSlices(t *testing.T) {
+	w := randMat(806, 32, 16)
+	x := randVec(807, 32)
+	want := tensor.VecMul(x, w)
+	mse := func(slices int) float64 {
+		tile := NewSlicedTile(Ideal(), w, slices, 2, rng.New(808))
+		return stats.MSE(tile.MVMRow(x, rng.New(809)), want)
+	}
+	m2, m4 := mse(2), mse(4)
+	if m4 >= m2 {
+		t.Fatalf("4×2-bit slices (%v) should beat 2×2-bit (%v)", m4, m2)
+	}
+}
+
+// The digit decomposition must be exact on its own grid: reconstructing
+// W = Σ_s b^s·A_s from the slice tiles' ideal weights reproduces the
+// quantized weights within the grid resolution.
+func TestSlicedDecompositionReconstructs(t *testing.T) {
+	w := randMat(810, 16, 8)
+	slices, bits := 3, 3
+	tile := NewSlicedTile(Ideal(), w, slices, bits, rng.New(811))
+	x := randVec(812, 16)
+	got := tile.MVMRow(x, rng.New(813))
+	want := tensor.VecMul(x, w)
+	// 9 bits of weight precision → relative representation error ≈ 2^-9
+	for j := range want {
+		tol := 3e-2 * (1 + math.Abs(float64(want[j])))
+		if math.Abs(float64(got[j]-want[j])) > tol {
+			t.Fatalf("9-bit decomposition error too large at %d: %v vs %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestSlicedTileCountersScaleWithSlices(t *testing.T) {
+	w := randMat(814, 8, 4)
+	tile := NewSlicedTile(Ideal(), w, 3, 4, rng.New(815))
+	tile.MVMRow(randVec(816, 8), rng.New(817))
+	c := tile.Counters().Snapshot()
+	if c.MVMs != 3 {
+		t.Fatalf("3 slices must issue 3 MVMs, got %d", c.MVMs)
+	}
+	if c.ADCConvs != 3*4 || c.CellReads != 3*32 {
+		t.Fatalf("slice counters wrong: %+v", c)
+	}
+}
+
+func TestSlicedTileSetTimePropagates(t *testing.T) {
+	cfg := Ideal()
+	w := randMat(818, 16, 8)
+	tile := NewSlicedTile(cfg, w, 2, 4, rng.New(819))
+	x := randVec(820, 16)
+	fresh := tile.MVMRow(x, rng.New(821))
+	tile.SetTime(3600)
+	drifted := tile.MVMRow(x, rng.New(821))
+	var magF, magD float64
+	for j := range fresh {
+		magF += math.Abs(float64(fresh[j]))
+		magD += math.Abs(float64(drifted[j]))
+	}
+	if magD >= magF {
+		t.Fatal("SetTime must drift all slices")
+	}
+}
+
+func TestAnalogLinearWithSlicing(t *testing.T) {
+	cfg := slicedIdeal(2, 8)
+	w := randMat(822, 20, 12)
+	x := randMat(823, 4, 20)
+	want := tensor.MatMul(x, w)
+	l := NewAnalogLinear("sliced", w, nil, nil, cfg, rng.New(824))
+	got := l.Forward(x)
+	if !got.AllClose(want, 5e-3*(1+want.AbsMax())) {
+		t.Fatal("sliced ideal linear diverges from exact product")
+	}
+	// tiles must actually be sliced composites
+	if _, ok := l.Tiles()[0][0].(*SlicedTile); !ok {
+		t.Fatal("expected SlicedTile in the grid")
+	}
+}
+
+func TestSliceBitsDefault(t *testing.T) {
+	cfg := Ideal()
+	cfg.WeightSlices = 2 // SliceBits unset → default 4
+	w := randMat(825, 8, 4)
+	l := NewAnalogLinear("d", w, nil, nil, cfg, rng.New(826))
+	st, ok := l.Tiles()[0][0].(*SlicedTile)
+	if !ok || st.Slices() != 2 {
+		t.Fatal("default slicing not applied")
+	}
+}
+
+// Under the full paper noise stack, 2×4-bit slicing behaves comparably to
+// the continuous mapping (the paper's claim that multi-cell devices can
+// substitute for continuous analog weights).
+func TestSlicedUnderPaperNoiseComparable(t *testing.T) {
+	w := randMat(827, 64, 64)
+	x := randMat(828, 8, 64)
+	want := tensor.MatMul(x, w)
+	cont := PaperPreset()
+	sl := PaperPreset()
+	sl.WeightSlices = 2
+	sl.SliceBits = 4
+	mseC := tensor.MSE(NewAnalogLinear("c", w, nil, nil, cont, rng.New(829)).Forward(x), want)
+	mseS := tensor.MSE(NewAnalogLinear("s", w, nil, nil, sl, rng.New(830)).Forward(x), want)
+	if mseS > 10*mseC {
+		t.Fatalf("sliced mapping error %v far above continuous %v", mseS, mseC)
+	}
+}

@@ -1,0 +1,553 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"nora/internal/rng"
+	"nora/internal/tensor"
+)
+
+// irGamma is the bitline attenuation at full column load under
+// IRDropScale = 1: a column sinking its maximum possible current loses 5%
+// of its output. Typical activations load columns far below maximum, so
+// the paper-preset effect is small — matching the observation that
+// IR-drop barely moves transformer accuracy.
+const irGamma = 0.05
+
+// Tile models one analog crossbar holding a (rows × cols) slice of a weight
+// matrix as unit-normalized conductances, programmed once at construction
+// (write-verify with programming noise) and read by MVM. With
+// Config.DifferentialPair each weight is a g⁺/g⁻ device pair; otherwise a
+// signed-conductance abstraction is used.
+type Tile struct {
+	cfg  Config
+	rows int
+	cols int
+
+	colScale []float32 // c_j = γ_j·g_max = max_k |w_kj| of the mapped slice
+
+	// signed abstraction (DifferentialPair = false)
+	wProg *tensor.Matrix // programmed normalized weights (t = 0)
+	nu    *tensor.Matrix // per-device drift exponents
+
+	// differential pairs (DifferentialPair = true)
+	gPlus, gMinus   *tensor.Matrix // programmed unipolar conductances
+	nuPlus, nuMinus *tensor.Matrix // per-device drift exponents
+
+	wEff *tensor.Matrix // effective weights after drift
+	absW *tensor.Matrix // |wEff|, built lazily for IR-drop load estimation
+
+	adcOffset []float32 // static per-column ADC offset (nil when disabled)
+	adcGain   []float32 // static per-column ADC gain (nil when disabled)
+
+	readStd   float32 // additional 1/f read noise at the current time
+	driftComp float32 // global drift compensation multiplier
+
+	counters OpCounters // hardware-event counts for cost estimation
+}
+
+// NewTile programs the weight slice ws (rows × cols, already carrying any
+// NORA pre-scaling) onto a tile. progRng drives programming noise, drift
+// exponents and static ADC errors.
+func NewTile(cfg Config, ws *tensor.Matrix, progRng *rng.Rand) *Tile {
+	if ws.Rows > cfg.TileRows || ws.Cols > cfg.TileCols {
+		panic(fmt.Sprintf("analog: weight slice %dx%d exceeds tile %dx%d",
+			ws.Rows, ws.Cols, cfg.TileRows, cfg.TileCols))
+	}
+	t := &Tile{
+		cfg:       cfg,
+		rows:      ws.Rows,
+		cols:      ws.Cols,
+		colScale:  make([]float32, ws.Cols),
+		driftComp: 1,
+	}
+	// Per-column scaling γ_j = max|w_j|/g_max (Eq. 4); colScale keeps the
+	// full digital factor γ_j·g_max = max|w_j| so outputs rescale exactly.
+	// Under PerTileScale every column shares the tile-wide maximum.
+	for j := 0; j < ws.Cols; j++ {
+		var mx float32
+		for i := 0; i < ws.Rows; i++ {
+			v := ws.At(i, j)
+			if v < 0 {
+				v = -v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		t.colScale[j] = mx
+	}
+	if cfg.PerTileScale {
+		var mx float32
+		for _, v := range t.colScale {
+			if v > mx {
+				mx = v
+			}
+		}
+		for j := range t.colScale {
+			if t.colScale[j] > 0 {
+				t.colScale[j] = mx
+			}
+		}
+	}
+	ideal := tensor.New(ws.Rows, ws.Cols)
+	for i := 0; i < ws.Rows; i++ {
+		src := ws.Row(i)
+		dst := ideal.Row(i)
+		for j, v := range src {
+			if t.colScale[j] == 0 {
+				continue
+			}
+			dst[j] = v / t.colScale[j]
+		}
+	}
+	if cfg.DifferentialPair {
+		t.programDifferential(ideal, progRng)
+	} else {
+		t.programSigned(ideal, progRng)
+	}
+	if cfg.ADCOffset > 0 {
+		t.adcOffset = make([]float32, ws.Cols)
+		progRng.Split("adc-offset").FillNormal(t.adcOffset, 0, cfg.ADCOffset)
+	}
+	if cfg.ADCGainMismatch > 0 {
+		t.adcGain = make([]float32, ws.Cols)
+		progRng.Split("adc-gain").FillNormal(t.adcGain, 1, cfg.ADCGainMismatch)
+	}
+	if cfg.DriftT > 0 {
+		t.SetTime(cfg.DriftT)
+	}
+	return t
+}
+
+// progSigma is the conductance-dependent programming noise std for a
+// unit-normalized conductance magnitude, under the tile's device
+// polynomial (PCM-like by default).
+func (t *Tile) progSigma(mag float32) float32 {
+	c0, c1, c2 := float32(progC0), float32(progC1), float32(progC2)
+	if t.cfg.ProgPoly != [3]float32{} {
+		c0, c1, c2 = t.cfg.ProgPoly[0], t.cfg.ProgPoly[1], t.cfg.ProgPoly[2]
+	}
+	return t.cfg.ProgNoiseScale * (c0 + c1*mag + c2*mag*mag)
+}
+
+// drawNu fills a matrix with clipped per-device drift exponents, scaled by
+// the device's DriftScale (1.0 = PCM).
+func (t *Tile) drawNu(r *rng.Rand) *tensor.Matrix {
+	scale := t.cfg.DriftScale
+	if scale == 0 {
+		scale = 1
+	}
+	nu := tensor.New(t.rows, t.cols)
+	for i := range nu.Data {
+		v := driftNuMean + driftNuStd*r.NormFloat32()
+		if v < driftNuMin {
+			v = driftNuMin
+		} else if v > driftNuMax {
+			v = driftNuMax
+		}
+		nu.Data[i] = v * scale
+	}
+	return nu
+}
+
+// writeVerify refines programmed values toward their targets: each
+// iteration reads the device back (with the tile's short-term read noise)
+// and programs the residual, with programming noise proportional to the
+// correction magnitude. This models the paper's §II write-verify process;
+// the residual error converges to the read-noise / minimum-pulse floor.
+func (t *Tile) writeVerify(programmed, ideal []float32, lo, hi float32, vr *rng.Rand) {
+	for iter := 0; iter < t.cfg.WriteVerify; iter++ {
+		for i := range programmed {
+			read := programmed[i] + t.cfg.WNoise*vr.NormFloat32()
+			resid := ideal[i] - read
+			mag := resid
+			if mag < 0 {
+				mag = -mag
+			}
+			w := programmed[i] + resid + t.progSigma(mag)*vr.NormFloat32()
+			if w > hi {
+				w = hi
+			} else if w < lo {
+				w = lo
+			}
+			programmed[i] = w
+		}
+	}
+}
+
+// programSigned programs the idealized signed-conductance abstraction.
+func (t *Tile) programSigned(ideal *tensor.Matrix, progRng *rng.Rand) {
+	t.wProg = ideal.Clone()
+	if t.cfg.ProgNoiseScale > 0 {
+		pr := progRng.Split("prog")
+		for i := range t.wProg.Data {
+			w := t.wProg.Data[i]
+			mag := w
+			if mag < 0 {
+				mag = -mag
+			}
+			w += t.progSigma(mag) * pr.NormFloat32()
+			if w > 1 {
+				w = 1
+			} else if w < -1 {
+				w = -1
+			}
+			t.wProg.Data[i] = w
+		}
+		t.writeVerify(t.wProg.Data, ideal.Data, -1, 1, progRng.Split("verify"))
+	}
+	t.nu = t.drawNu(progRng.Split("nu"))
+	t.wEff = t.wProg
+}
+
+// programDifferential programs each weight as a g⁺/g⁻ unipolar pair:
+// w = g⁺ − g⁻ with g± ∈ [0, 1]. Only one device of each pair carries the
+// weight; the other is programmed to (noisy) zero, so near-zero weights
+// still suffer the full noise floor of two devices.
+func (t *Tile) programDifferential(ideal *tensor.Matrix, progRng *rng.Rand) {
+	t.gPlus = tensor.New(t.rows, t.cols)
+	t.gMinus = tensor.New(t.rows, t.cols)
+	for i, w := range ideal.Data {
+		if w >= 0 {
+			t.gPlus.Data[i] = w
+		} else {
+			t.gMinus.Data[i] = -w
+		}
+	}
+	if t.cfg.ProgNoiseScale > 0 {
+		prP := progRng.Split("prog+")
+		prM := progRng.Split("prog-")
+		clip01 := func(g float32) float32 {
+			if g < 0 {
+				return 0
+			}
+			if g > 1 {
+				return 1
+			}
+			return g
+		}
+		idealPlus := t.gPlus.Clone()
+		idealMinus := t.gMinus.Clone()
+		for i := range t.gPlus.Data {
+			gp := t.gPlus.Data[i]
+			gm := t.gMinus.Data[i]
+			t.gPlus.Data[i] = clip01(gp + t.progSigma(gp)*prP.NormFloat32())
+			t.gMinus.Data[i] = clip01(gm + t.progSigma(gm)*prM.NormFloat32())
+		}
+		t.writeVerify(t.gPlus.Data, idealPlus.Data, 0, 1, progRng.Split("verify+"))
+		t.writeVerify(t.gMinus.Data, idealMinus.Data, 0, 1, progRng.Split("verify-"))
+	}
+	t.nuPlus = t.drawNu(progRng.Split("nu+"))
+	t.nuMinus = t.drawNu(progRng.Split("nu-"))
+	t.wEff = tensor.Sub(t.gPlus, t.gMinus)
+	t.wProg = t.wEff // t=0 reference for SetTime(0) restoration
+}
+
+// Rows returns the mapped input dimension of this tile.
+func (t *Tile) Rows() int { return t.rows }
+
+// Cols returns the mapped output dimension of this tile.
+func (t *Tile) Cols() int { return t.cols }
+
+// ColScales returns the per-column digital scale factors γ_j·g_max.
+func (t *Tile) ColScales() []float32 { return t.colScale }
+
+// Counters exposes the tile's accumulated hardware-event counts.
+func (t *Tile) Counters() *OpCounters { return &t.counters }
+
+// SetTime advances the tile to time tSec since programming: conductances
+// drift as ĝ·(t/t0)^(−ν) (clamped to never grow), the 1/f read-noise floor
+// rises with √log(t), and — when DriftCompensation is set — a global
+// compensation factor is measured from the mean conductance decay.
+func (t *Tile) SetTime(tSec float64) {
+	if tSec <= 0 {
+		t.wEff = t.wProg
+		t.absW = nil
+		t.readStd = 0
+		t.driftComp = 1
+		return
+	}
+	base := tSec / driftT0
+	if base < 1 {
+		base = 1 // no "reverse drift" before the reference time
+	}
+	logBase := math.Log(base)
+	decay := func(g, nu float32) float32 {
+		return g * float32(math.Exp(-float64(nu)*logBase))
+	}
+	t.wEff = tensor.New(t.rows, t.cols)
+	t.absW = nil
+	var sumProg, sumEff float64
+	if t.cfg.DifferentialPair {
+		for i := range t.gPlus.Data {
+			gp := decay(t.gPlus.Data[i], t.nuPlus.Data[i])
+			gm := decay(t.gMinus.Data[i], t.nuMinus.Data[i])
+			t.wEff.Data[i] = gp - gm
+			sumProg += float64(t.gPlus.Data[i] + t.gMinus.Data[i])
+			sumEff += float64(gp + gm)
+		}
+	} else {
+		for i, w := range t.wProg.Data {
+			eff := decay(w, t.nu.Data[i])
+			t.wEff.Data[i] = eff
+			a, e := float64(w), float64(eff)
+			if a < 0 {
+				a, e = -a, -e
+			}
+			sumProg += a
+			sumEff += e
+		}
+	}
+	t.readStd = readNoise1F * float32(math.Sqrt(math.Log((tSec+tRead)/(2*tRead))))
+	t.driftComp = 1
+	if t.cfg.DriftCompensation && sumEff > 0 {
+		t.driftComp = float32(sumProg / sumEff)
+	}
+}
+
+// ensureAbsW builds the |wEff| matrix used to estimate column current load
+// for IR-drop.
+func (t *Tile) ensureAbsW() {
+	if t.absW != nil {
+		return
+	}
+	t.absW = tensor.Apply(t.wEff, func(v float32) float32 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	})
+}
+
+// MVMRow performs one analog matrix-vector multiplication: xs is the input
+// slice in weight units (length Rows, already divided by any NORA s
+// vector), and the result approximates xsᵀ·W_slice in the original scale.
+// r drives every stochastic noise source of this read.
+func (t *Tile) MVMRow(xs []float32, r *rng.Rand) []float32 {
+	if len(xs) != t.rows {
+		panic(fmt.Sprintf("analog: MVMRow input len %d, tile rows %d", len(xs), t.rows))
+	}
+	cfg := &t.cfg
+	// Noise management: per-row input scale α (Eq. 5).
+	var alpha float32
+	switch cfg.NM {
+	case NMAbsMax:
+		alpha = tensor.AbsMaxVec(xs)
+	case NMConstant:
+		alpha = cfg.AlphaConst
+	default:
+		panic("analog: unknown noise management mode")
+	}
+	out := make([]float32, t.cols)
+	if alpha == 0 {
+		return out
+	}
+
+	maxIter := 1
+	if cfg.BoundManagement {
+		maxIter += cfg.BMMaxIter
+	}
+	xhat := make([]float32, t.rows)
+	scale := alpha
+	attempts, reads := 0, 0
+	for iter := 0; iter < maxIter; iter++ {
+		attempts++
+		var z []float32
+		var saturated bool
+		if cfg.BitSerial {
+			z, saturated = t.bitSerialRead(xs, scale, r)
+			reads += t.bitPlanes()
+		} else {
+			// DAC conversion and additive input noise (Eq. 5).
+			for k, v := range xs {
+				q := quantizeUnit(v/scale, cfg.InSteps)
+				if cfg.InNoise > 0 {
+					q += cfg.InNoise * r.NormFloat32()
+				}
+				xhat[k] = q
+			}
+			z, saturated = t.analogRead(xhat, r)
+			reads++
+		}
+
+		// Bound management: on saturation, retry with inputs halved.
+		if saturated && cfg.BoundManagement && iter < maxIter-1 {
+			scale *= 2
+			continue
+		}
+
+		// Digital rescale by α·γ_j·g_max (Eq. 3).
+		for j := range z {
+			out[j] = scale * t.colScale[j] * z[j] * t.driftComp
+		}
+		break
+	}
+	t.recordMVM(attempts, reads)
+	return out
+}
+
+// analogRead drives one physical crossbar read of the pulse vector xvec
+// (normalized input units): analog MAC, short-term weight read noise,
+// IR-drop, S-shape nonlinearity, additive output noise, static ADC errors,
+// saturation detection and ADC quantization. The returned z is in
+// normalized (post-ADC) output units.
+func (t *Tile) analogRead(xvec []float32, r *rng.Rand) (z []float32, saturated bool) {
+	cfg := &t.cfg
+	z = tensor.VecMul(xvec, t.wEff)
+
+	// Short-term weight read noise: Σ_k x̂_k·σ_w·ξ_kj collapses to
+	// N(0, σ_w²·‖x̂‖²) independently per column — exact in distribution,
+	// avoiding rows×cols Gaussian draws per read. The 1/f read-noise floor
+	// after drift adds the same way.
+	if sigma := float32(math.Hypot(float64(cfg.WNoise), float64(t.readStd))); sigma > 0 {
+		var xnorm2 float64
+		for _, v := range xvec {
+			xnorm2 += float64(v) * float64(v)
+		}
+		sn := sigma * float32(math.Sqrt(xnorm2))
+		for j := range z {
+			z[j] += sn * r.NormFloat32()
+		}
+	}
+
+	// Deterministic IR-drop: columns sinking more current droop more.
+	if cfg.IRDropScale > 0 {
+		t.ensureAbsW()
+		xabs := make([]float32, len(xvec))
+		for k, v := range xvec {
+			if v < 0 {
+				v = -v
+			}
+			xabs[k] = v
+		}
+		load := tensor.VecMul(xabs, t.absW)
+		invRows := 1 / float32(t.rows)
+		for j := range z {
+			att := cfg.IRDropScale * irGamma * load[j] * invRows
+			if att > 0.9 {
+				att = 0.9
+			}
+			z[j] *= 1 - att
+		}
+	}
+
+	// S-shape device nonlinearity, then additive output noise.
+	if cfg.SShape > 0 {
+		for j := range z {
+			z[j] = sShape(z[j], cfg.OutBound, cfg.SShape)
+		}
+	}
+	if cfg.OutNoise > 0 {
+		for j := range z {
+			z[j] += cfg.OutNoise * r.NormFloat32()
+		}
+	}
+
+	// Static ADC column errors (gain mismatch, then offset).
+	if t.adcGain != nil {
+		for j := range z {
+			z[j] *= t.adcGain[j]
+		}
+	}
+	if t.adcOffset != nil {
+		for j := range z {
+			z[j] += t.adcOffset[j]
+		}
+	}
+
+	// Saturation detection, then ADC conversion.
+	limit := cfg.OutBound * 0.999
+	for j := range z {
+		if z[j] >= limit || z[j] <= -limit {
+			saturated = true
+		}
+		z[j] = quantizeBounded(z[j], cfg.OutBound, cfg.OutSteps)
+	}
+	return z, saturated
+}
+
+// bitPlanes returns the number of binary pulse planes needed to stream an
+// InSteps-level input.
+func (t *Tile) bitPlanes() int {
+	planes := 0
+	for s := t.cfg.InSteps; s > 0; s >>= 1 {
+		planes++
+	}
+	if planes == 0 {
+		planes = 1
+	}
+	return planes
+}
+
+// bitSerialRead streams the input as signed binary pulse planes: the
+// quantized integer magnitude m_k ∈ [−InSteps, InSteps] is decomposed into
+// bits, each plane ±1/0 pulses drive one full analog read (with its own
+// noise and ADC conversion), and the digitized planes are shift-added as
+// z = Σ_b 2^b·z_b / InSteps. Requires InSteps > 0.
+func (t *Tile) bitSerialRead(xs []float32, scale float32, r *rng.Rand) (z []float32, saturated bool) {
+	cfg := &t.cfg
+	if cfg.InSteps <= 0 {
+		panic("analog: BitSerial requires InSteps > 0")
+	}
+	steps := float32(cfg.InSteps)
+	mags := make([]int32, t.rows)
+	signs := make([]float32, t.rows)
+	for k, v := range xs {
+		q := v / scale
+		if q > 1 {
+			q = 1
+		} else if q < -1 {
+			q = -1
+		}
+		m := int32(math.Round(float64(q * steps)))
+		if m < 0 {
+			signs[k] = -1
+			mags[k] = -m
+		} else {
+			signs[k] = 1
+			mags[k] = m
+		}
+	}
+	planes := t.bitPlanes()
+	z = make([]float32, t.cols)
+	pulse := make([]float32, t.rows)
+	pow := float32(1)
+	for b := 0; b < planes; b++ {
+		for k := range pulse {
+			var p float32
+			if mags[k]&(1<<uint(b)) != 0 {
+				p = signs[k]
+			}
+			if cfg.InNoise > 0 {
+				p += cfg.InNoise * r.NormFloat32()
+			}
+			pulse[k] = p
+		}
+		zb, sat := t.analogRead(pulse, r)
+		if sat {
+			saturated = true
+		}
+		f := pow / steps
+		for j := range z {
+			z[j] += f * zb[j]
+		}
+		pow *= 2
+	}
+	return z, saturated
+}
+
+// recordMVM folds one MVM (attempts bound-management attempts totalling
+// the given number of physical crossbar reads) into the tile's
+// hardware-event counters.
+func (t *Tile) recordMVM(attempts, reads int) {
+	n := int64(reads)
+	t.counters.add(OpCounters{
+		MVMs:      1,
+		DACConvs:  n * int64(t.rows),
+		ADCConvs:  n * int64(t.cols),
+		CellReads: n * int64(t.rows) * int64(t.cols),
+		BMRetries: int64(attempts) - 1,
+	})
+}

@@ -1,0 +1,384 @@
+package analog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nora/internal/rng"
+	"nora/internal/stats"
+	"nora/internal/tensor"
+)
+
+func randMat(seed uint64, rows, cols int) *tensor.Matrix {
+	r := rng.New(seed)
+	m := tensor.New(rows, cols)
+	r.FillNormal(m.Data, 0, 1)
+	return m
+}
+
+func randVec(seed uint64, n int) []float32 {
+	r := rng.New(seed)
+	v := make([]float32, n)
+	r.FillNormal(v, 0, 1)
+	return v
+}
+
+func TestIdealTileMatchesExactMVM(t *testing.T) {
+	w := randMat(1, 24, 16)
+	tile := NewTile(Ideal(), w, rng.New(2))
+	x := randVec(3, 24)
+	got := tile.MVMRow(x, rng.New(4))
+	want := tensor.VecMul(x, w)
+	for j := range want {
+		if math.Abs(float64(got[j]-want[j])) > 1e-4*(1+math.Abs(float64(want[j]))) {
+			t.Fatalf("ideal tile diverges at %d: %v vs %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestIdealTileProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		rows, cols := 2+r.Intn(30), 2+r.Intn(30)
+		w := tensor.New(rows, cols)
+		r.FillNormal(w.Data, 0, 1)
+		x := make([]float32, rows)
+		r.FillNormal(x, 0, 2)
+		tile := NewTile(Ideal(), w, r.Split("prog"))
+		got := tile.MVMRow(x, r.Split("read"))
+		want := tensor.VecMul(x, w)
+		for j := range want {
+			if math.Abs(float64(got[j]-want[j])) > 2e-4*(1+math.Abs(float64(want[j]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroInputGivesZeroOutput(t *testing.T) {
+	w := randMat(5, 8, 8)
+	tile := NewTile(PaperPreset(), w, rng.New(6))
+	got := tile.MVMRow(make([]float32, 8), rng.New(7))
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("zero input must give exactly zero output (α = 0 short-circuit)")
+		}
+	}
+}
+
+func TestZeroWeightColumn(t *testing.T) {
+	w := randMat(8, 6, 4)
+	for i := 0; i < 6; i++ {
+		w.Set(i, 2, 0)
+	}
+	tile := NewTile(Ideal(), w, rng.New(9))
+	got := tile.MVMRow(randVec(10, 6), rng.New(11))
+	if got[2] != 0 {
+		t.Fatalf("all-zero column must output 0, got %v", got[2])
+	}
+}
+
+func TestTileDeterminism(t *testing.T) {
+	w := randMat(12, 16, 16)
+	x := randVec(13, 16)
+	mk := func() []float32 {
+		tile := NewTile(PaperPreset(), w, rng.New(14))
+		return tile.MVMRow(x, rng.New(15))
+	}
+	a, b := mk(), mk()
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("same seeds must reproduce identical noisy MVMs")
+		}
+	}
+}
+
+func TestDACQuantizationErrorBounded(t *testing.T) {
+	cfg := WithOnly(func(c *Config) { c.InSteps = StepsForBits(7) })
+	w := randMat(16, 32, 32)
+	tile := NewTile(cfg, w, rng.New(17))
+	x := randVec(18, 32)
+	got := tile.MVMRow(x, rng.New(19))
+	want := tensor.VecMul(x, w)
+	mse := stats.MSE(got, want)
+	if mse == 0 {
+		t.Fatal("7-bit DAC should introduce some error")
+	}
+	// error must shrink with more bits
+	cfg12 := WithOnly(func(c *Config) { c.InSteps = StepsForBits(12) })
+	tile12 := NewTile(cfg12, w, rng.New(17))
+	mse12 := stats.MSE(tile12.MVMRow(x, rng.New(19)), want)
+	if mse12 >= mse {
+		t.Fatalf("12-bit DAC error %v not below 7-bit %v", mse12, mse)
+	}
+}
+
+func TestADCQuantizationError(t *testing.T) {
+	w := randMat(20, 32, 32)
+	x := randVec(21, 32)
+	want := tensor.VecMul(x, w)
+	mse := func(bits int) float64 {
+		cfg := WithOnly(func(c *Config) { c.OutSteps = StepsForBits(bits) })
+		tile := NewTile(cfg, w, rng.New(22))
+		return stats.MSE(tile.MVMRow(x, rng.New(23)), want)
+	}
+	if mse(5) <= mse(9) {
+		t.Fatal("coarser ADC must hurt more")
+	}
+}
+
+func TestOutputNoiseVariance(t *testing.T) {
+	// With only output noise, y_j = α·c_j·(z + σ_out·ξ): the deviation's
+	// std over reads should be ≈ α·c_j·σ_out.
+	const sigma = 0.1
+	cfg := WithOnly(func(c *Config) { c.OutNoise = sigma })
+	w := randMat(24, 16, 4)
+	tile := NewTile(cfg, w, rng.New(25))
+	x := randVec(26, 16)
+	want := tensor.VecMul(x, w)
+	alpha := tensor.AbsMaxVec(x)
+	r := rng.New(27)
+	const n = 3000
+	for j := 0; j < 4; j++ {
+		var sum2 float64
+		for i := 0; i < n; i++ {
+			got := tile.MVMRow(x, r)
+			d := float64(got[j] - want[j])
+			sum2 += d * d
+		}
+		std := math.Sqrt(sum2 / n)
+		expect := float64(alpha) * float64(tile.ColScales()[j]) * sigma
+		if math.Abs(std-expect) > 0.25*expect {
+			t.Fatalf("col %d: output-noise std %v, expected ≈%v", j, std, expect)
+		}
+	}
+}
+
+func TestWeightReadNoiseVariance(t *testing.T) {
+	// With only w-noise, deviation std ≈ α·c_j·σ_w·‖x̂‖.
+	const sigma = 0.05
+	cfg := WithOnly(func(c *Config) { c.WNoise = sigma })
+	w := randMat(28, 16, 3)
+	tile := NewTile(cfg, w, rng.New(29))
+	x := randVec(30, 16)
+	want := tensor.VecMul(x, w)
+	alpha := tensor.AbsMaxVec(x)
+	var xn float64
+	for _, v := range x {
+		u := float64(v / alpha)
+		xn += u * u
+	}
+	xnorm := math.Sqrt(xn)
+	r := rng.New(31)
+	const n = 3000
+	var sum2 float64
+	for i := 0; i < n; i++ {
+		got := tile.MVMRow(x, r)
+		d := float64(got[0] - want[0])
+		sum2 += d * d
+	}
+	std := math.Sqrt(sum2 / n)
+	expect := float64(alpha) * float64(tile.ColScales()[0]) * sigma * xnorm
+	if math.Abs(std-expect) > 0.25*expect {
+		t.Fatalf("w-noise std %v, expected ≈%v", std, expect)
+	}
+}
+
+func TestInputNoisePropagates(t *testing.T) {
+	cfg := WithOnly(func(c *Config) { c.InNoise = 0.05 })
+	w := randMat(32, 16, 8)
+	tile := NewTile(cfg, w, rng.New(33))
+	x := randVec(34, 16)
+	want := tensor.VecMul(x, w)
+	got := tile.MVMRow(x, rng.New(35))
+	if stats.MSE(got, want) == 0 {
+		t.Fatal("input noise had no effect")
+	}
+}
+
+func TestProgrammingNoisePersistsAcrossReads(t *testing.T) {
+	cfg := WithOnly(func(c *Config) { c.ProgNoiseScale = 3 })
+	w := randMat(36, 16, 8)
+	tile := NewTile(cfg, w, rng.New(37))
+	x := randVec(38, 16)
+	want := tensor.VecMul(x, w)
+	a := tile.MVMRow(x, rng.New(39))
+	b := tile.MVMRow(x, rng.New(40))
+	if stats.MSE(a, want) == 0 {
+		t.Fatal("programming noise had no effect")
+	}
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("programming noise must be frozen at program time (reads deterministic)")
+		}
+	}
+}
+
+func TestBoundManagementRecoversSaturation(t *testing.T) {
+	// All-positive weights and inputs drive z toward rows ≫ OutBound.
+	rows := 64
+	w := tensor.New(rows, 2)
+	w.Fill(0.5)
+	x := make([]float32, rows)
+	for i := range x {
+		x[i] = 1
+	}
+	want := tensor.VecMul(x, w)
+
+	mk := func(bm bool) []float32 {
+		cfg := Ideal()
+		cfg.OutBound = 12
+		cfg.BoundManagement = bm
+		cfg.BMMaxIter = 4
+		tile := NewTile(cfg, w, rng.New(41))
+		return tile.MVMRow(x, rng.New(42))
+	}
+	noBM := mk(false)
+	withBM := mk(true)
+	errNo := stats.MSE(noBM, want)
+	errBM := stats.MSE(withBM, want)
+	if errNo < 1 {
+		t.Fatalf("test vector failed to saturate (err %v)", errNo)
+	}
+	if errBM > errNo/100 {
+		t.Fatalf("bound management did not recover: %v vs %v", errBM, errNo)
+	}
+}
+
+func TestIRDropShrinksLoadedColumns(t *testing.T) {
+	rows := 32
+	w := tensor.New(rows, 2)
+	for i := 0; i < rows; i++ {
+		w.Set(i, 0, 1)    // column 0: heavy load
+		w.Set(i, 1, 0.01) // column 1: light load
+	}
+	w.Set(0, 1, 1) // keep col scales comparable
+	x := make([]float32, rows)
+	for i := range x {
+		x[i] = 1
+	}
+	cfg := WithOnly(func(c *Config) { c.IRDropScale = 1 })
+	cfg.OutBound = 1e9 // isolate IR-drop from saturation
+	tile := NewTile(cfg, w, rng.New(43))
+	got := tile.MVMRow(x, rng.New(44))
+	want := tensor.VecMul(x, w)
+	rel0 := float64((want[0] - got[0]) / want[0])
+	rel1 := float64((want[1] - got[1]) / want[1])
+	if rel0 <= 0 {
+		t.Fatalf("heavily loaded column must droop, rel err %v", rel0)
+	}
+	if rel0 <= rel1 {
+		t.Fatalf("heavy column droop %v must exceed light column %v", rel0, rel1)
+	}
+	// deterministic
+	again := tile.MVMRow(x, rng.New(45))
+	if got[0] != again[0] {
+		t.Fatal("IR-drop must be deterministic")
+	}
+}
+
+func TestSShapeCompressesLargeOutputs(t *testing.T) {
+	rows := 32
+	w := tensor.New(rows, 1)
+	w.Fill(1)
+	x := make([]float32, rows)
+	for i := range x {
+		x[i] = 1
+	}
+	cfg := WithOnly(func(c *Config) { c.SShape = 2 })
+	cfg.BoundManagement = false
+	tile := NewTile(cfg, w, rng.New(46))
+	got := tile.MVMRow(x, rng.New(47))
+	want := tensor.VecMul(x, w)
+	if got[0] >= want[0] {
+		t.Fatalf("s-shape must compress: %v vs %v", got[0], want[0])
+	}
+}
+
+func TestDriftReducesConductance(t *testing.T) {
+	w := randMat(48, 16, 8)
+	cfg := Ideal()
+	tile := NewTile(cfg, w, rng.New(49))
+	x := randVec(50, 16)
+	fresh := tile.MVMRow(x, rng.New(51))
+	tile.SetTime(3600) // 1 hour, the paper's drift experiment
+	drifted := tile.MVMRow(x, rng.New(51))
+	var magF, magD float64
+	for j := range fresh {
+		magF += math.Abs(float64(fresh[j]))
+		magD += math.Abs(float64(drifted[j]))
+	}
+	if magD >= magF {
+		t.Fatalf("drift must shrink outputs: %v → %v", magF, magD)
+	}
+	// drift also raises the read-noise floor
+	if tile.readStd <= 0 {
+		t.Fatal("1/f read noise must grow with time")
+	}
+	// back to t=0 restores exactness
+	tile.SetTime(0)
+	restored := tile.MVMRow(x, rng.New(51))
+	for j := range fresh {
+		if restored[j] != fresh[j] {
+			t.Fatal("SetTime(0) must restore programmed state")
+		}
+	}
+}
+
+func TestDriftCompensationRecoversScale(t *testing.T) {
+	w := randMat(52, 32, 8)
+	x := randVec(53, 32)
+	want := tensor.VecMul(x, w)
+
+	run := func(comp bool) float64 {
+		cfg := Ideal()
+		cfg.DriftT = 3600
+		cfg.DriftCompensation = comp
+		tile := NewTile(cfg, w, rng.New(54))
+		got := tile.MVMRow(x, rng.New(55))
+		return stats.MSE(got, want)
+	}
+	if c, n := run(true), run(false); c >= n {
+		t.Fatalf("drift compensation must reduce error: %v vs %v", c, n)
+	}
+}
+
+func TestNMConstantClipsOutliers(t *testing.T) {
+	w := randMat(56, 8, 4)
+	x := []float32{5, 0.1, -0.2, 0.3, 0.1, -0.1, 0.2, 0.05} // outlier at 0
+	cfg := Ideal()
+	cfg.NM = NMConstant
+	cfg.AlphaConst = 1 // DAC range ±1 → the 5 clips hard
+	tile := NewTile(cfg, w, rng.New(57))
+	got := tile.MVMRow(x, rng.New(58))
+	want := tensor.VecMul(x, w)
+	if stats.MSE(got, want) < 1e-3 {
+		t.Fatal("constant-α with outlier input must clip and err")
+	}
+}
+
+func TestTileTooBigPanics(t *testing.T) {
+	cfg := Ideal()
+	cfg.TileRows, cfg.TileCols = 4, 4
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTile(cfg, tensor.New(8, 2), rng.New(59))
+}
+
+func TestMVMRowLengthPanics(t *testing.T) {
+	tile := NewTile(Ideal(), tensor.New(4, 2), rng.New(60))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tile.MVMRow(make([]float32, 5), rng.New(61))
+}

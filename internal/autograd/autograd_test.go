@@ -1,0 +1,224 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+
+	"nora/internal/tensor"
+)
+
+func TestParamLifecycle(t *testing.T) {
+	p := NewParam("w", tensor.FromRows([][]float32{{1, 2}}))
+	if p.NumEl() != 2 || p.Name != "w" {
+		t.Fatal("param metadata wrong")
+	}
+	p.Grad.Set(0, 0, 5)
+	p.ZeroGrad()
+	if p.Grad.At(0, 0) != 0 {
+		t.Fatal("ZeroGrad failed")
+	}
+}
+
+func TestBackwardAccumulatesIntoParam(t *testing.T) {
+	p := NewParam("w", tensor.FromRows([][]float32{{2, 3}}))
+	x := tensor.FromRows([][]float32{{1, 1}})
+
+	run := func() {
+		tp := NewTape()
+		w := tp.Param(p)
+		y := tp.Mul(w, tp.Const(x))
+		tp.Backward(tp.Mean(y))
+	}
+	run()
+	// d(mean(w⊙1))/dw = 1/2 per element
+	if math.Abs(float64(p.Grad.At(0, 0))-0.5) > 1e-6 {
+		t.Fatalf("grad = %v", p.Grad)
+	}
+	run() // second pass without ZeroGrad accumulates
+	if math.Abs(float64(p.Grad.At(0, 0))-1.0) > 1e-6 {
+		t.Fatalf("grad after accumulation = %v", p.Grad)
+	}
+}
+
+func TestConstReceivesNoGradient(t *testing.T) {
+	tp := NewTape()
+	c := tp.Const(tensor.FromRows([][]float32{{1, 2}}))
+	y := tp.Mul(c, c)
+	if y.needGrad {
+		t.Fatal("const-only graphs should not require grad")
+	}
+	if tp.Len() != 0 {
+		t.Fatal("const-only ops must not record backward closures")
+	}
+}
+
+func TestBackwardNonScalarPanics(t *testing.T) {
+	tp := NewTape()
+	v := tp.Leaf(tensor.New(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar Backward")
+		}
+	}()
+	tp.Backward(v)
+}
+
+func TestCrossEntropyValue(t *testing.T) {
+	tp := NewTape()
+	// uniform logits over 4 classes → loss = ln(4)
+	logits := tp.Const(tensor.New(3, 4))
+	loss := tp.CrossEntropy(logits, []int{0, 1, 2})
+	if got, want := float64(loss.Val.At(0, 0)), math.Log(4); math.Abs(got-want) > 1e-5 {
+		t.Fatalf("uniform CE = %v, want %v", got, want)
+	}
+}
+
+func TestCrossEntropyMasking(t *testing.T) {
+	tp := NewTape()
+	m := tensor.New(2, 3)
+	m.Set(0, 0, 100) // confident & correct on row 0
+	logits := tp.Const(m)
+	loss := tp.CrossEntropy(logits, []int{0, -1})
+	if loss.Val.At(0, 0) > 1e-4 {
+		t.Fatalf("masked CE = %v, want ≈0", loss.Val.At(0, 0))
+	}
+}
+
+func TestCrossEntropyAllMasked(t *testing.T) {
+	tp := NewTape()
+	x := tp.Leaf(tensor.New(2, 3))
+	loss := tp.CrossEntropy(x, []int{-1, -1})
+	if loss.Val.At(0, 0) != 0 {
+		t.Fatal("all-masked CE must be 0")
+	}
+	tp.Backward(loss) // must not panic, gradient stays zero
+	if x.grad().AbsMax() != 0 {
+		t.Fatal("all-masked CE must produce zero gradient")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromRows([][]float32{
+		{1, 0, 0},
+		{0, 5, 0},
+		{0, 0, 2},
+		{9, 0, 0},
+	})
+	if got := Accuracy(logits, []int{0, 1, 0, -1}); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if Accuracy(logits, []int{-1, -1, -1, -1}) != 0 {
+		t.Fatal("all-masked accuracy should be 0")
+	}
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	// Fit y = x·W on random data; loss must drop by >10x.
+	target := tensor.FromRows([][]float32{{1, -2}, {3, 0.5}})
+	p := NewParam("w", tensor.New(2, 2))
+	opt := NewAdam([]*Param{p}, 0.05)
+	x := tensor.FromRows([][]float32{{1, 0}, {0, 1}, {1, 1}, {2, -1}})
+	want := tensor.MatMul(x, target)
+
+	lossAt := func() float64 {
+		tp := NewTape()
+		pred := tp.MatMul(tp.Const(x), tp.Param(p))
+		diff := tp.Sub(pred, tp.Const(want))
+		loss := tp.Mean(tp.Mul(diff, diff))
+		tp.Backward(loss)
+		return float64(loss.Val.At(0, 0))
+	}
+	first := lossAt()
+	p.ZeroGrad()
+	for i := 0; i < 300; i++ {
+		lossAt()
+		opt.Step()
+	}
+	last := lossAt()
+	if last > first/100 {
+		t.Fatalf("Adam failed to fit: first %v last %v", first, last)
+	}
+}
+
+func TestAdamClipNorm(t *testing.T) {
+	p := NewParam("w", tensor.FromRows([][]float32{{0}}))
+	opt := NewAdam([]*Param{p}, 0.1)
+	opt.ClipNorm = 1
+	p.Grad.Set(0, 0, 1000)
+	if got := opt.GradNorm(); math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("GradNorm = %v", got)
+	}
+	opt.Step()
+	// After clipping the gradient to 1, first Adam step ≈ lr·sign = 0.1.
+	if got := math.Abs(float64(p.Value.At(0, 0))); got > 0.11 {
+		t.Fatalf("clipped step moved %v, want ≤ ~0.1", got)
+	}
+}
+
+func TestSGDMomentum(t *testing.T) {
+	p := NewParam("w", tensor.FromRows([][]float32{{1}}))
+	opt := NewSGD([]*Param{p}, 0.1, 0.9)
+	p.Grad.Set(0, 0, 1)
+	opt.Step()
+	if got := p.Value.At(0, 0); math.Abs(float64(got)-0.9) > 1e-6 {
+		t.Fatalf("after step 1: %v", got)
+	}
+	if p.Grad.At(0, 0) != 0 {
+		t.Fatal("Step must clear gradients")
+	}
+	p.Grad.Set(0, 0, 1)
+	opt.Step() // velocity = 0.9*1 + 1 = 1.9 → value 0.9 - 0.19
+	if got := p.Value.At(0, 0); math.Abs(float64(got)-0.71) > 1e-5 {
+		t.Fatalf("after step 2: %v", got)
+	}
+}
+
+func TestEmbeddingOutOfRangePanics(t *testing.T) {
+	tp := NewTape()
+	table := tp.Const(tensor.New(3, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tp.Embedding(table, []int{3})
+}
+
+func TestRoPEPositionZeroIsIdentity(t *testing.T) {
+	tp := NewTape()
+	x := randMat(300, 1, 8)
+	out := tp.RoPE(tp.Const(x), 4, []int{0}, 10000)
+	if !out.Val.AllClose(x, 1e-6) {
+		t.Fatal("RoPE at position 0 must be identity")
+	}
+}
+
+func TestRoPEPreservesNorm(t *testing.T) {
+	tp := NewTape()
+	x := randMat(301, 5, 8)
+	out := tp.RoPE(tp.Const(x), 8, []int{0, 3, 7, 11, 100}, 10000)
+	for i := 0; i < x.Rows; i++ {
+		var n1, n2 float64
+		for j := 0; j < x.Cols; j++ {
+			n1 += float64(x.At(i, j)) * float64(x.At(i, j))
+			n2 += float64(out.Val.At(i, j)) * float64(out.Val.At(i, j))
+		}
+		if math.Abs(n1-n2) > 1e-3*(1+n1) {
+			t.Fatalf("row %d norm changed: %v → %v", i, n1, n2)
+		}
+	}
+}
+
+func TestAddConstMask(t *testing.T) {
+	tp := NewTape()
+	x := tp.Leaf(tensor.FromRows([][]float32{{1, 2}}))
+	mask := tensor.FromRows([][]float32{{0, -1e9}})
+	y := tp.AddConst(x, mask)
+	if y.Val.At(0, 1) > -1e8 {
+		t.Fatal("mask not applied")
+	}
+	tp.Backward(tp.Mean(y))
+	if x.grad().At(0, 0) != 0.5 {
+		t.Fatal("AddConst gradient must pass through")
+	}
+}

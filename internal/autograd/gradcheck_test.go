@@ -1,0 +1,207 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+
+	"nora/internal/rng"
+	"nora/internal/tensor"
+)
+
+// numericGrad estimates d(loss)/d(input) via central differences, where
+// loss = f(input) must return a scalar.
+func numericGrad(input *tensor.Matrix, f func(*tensor.Matrix) float64) *tensor.Matrix {
+	const h = 1e-3
+	g := tensor.New(input.Rows, input.Cols)
+	for i := range input.Data {
+		orig := input.Data[i]
+		input.Data[i] = orig + h
+		up := f(input)
+		input.Data[i] = orig - h
+		down := f(input)
+		input.Data[i] = orig
+		g.Data[i] = float32((up - down) / (2 * h))
+	}
+	return g
+}
+
+// checkGrad runs forward through build (which must register exactly one
+// differentiable leaf wrapping input and return a scalar loss Var), then
+// compares the analytic gradient against central differences.
+func checkGrad(t *testing.T, name string, input *tensor.Matrix, build func(tp *Tape, x *Var) *Var) {
+	t.Helper()
+	tp := NewTape()
+	x := tp.Leaf(input)
+	loss := build(tp, x)
+	tp.Backward(loss)
+	analytic := x.grad()
+
+	numeric := numericGrad(input, func(m *tensor.Matrix) float64 {
+		tp2 := NewTape()
+		x2 := tp2.Leaf(m)
+		return float64(build(tp2, x2).Val.At(0, 0))
+	})
+
+	for i := range analytic.Data {
+		a, n := float64(analytic.Data[i]), float64(numeric.Data[i])
+		denom := math.Max(1, math.Max(math.Abs(a), math.Abs(n)))
+		if math.Abs(a-n)/denom > 3e-2 {
+			t.Fatalf("%s: grad[%d] analytic %v vs numeric %v", name, i, a, n)
+		}
+	}
+}
+
+// sumAll reduces a Var to a scalar by averaging a squared transform, which
+// exercises nonlinearity in the chain.
+func squareMean(tp *Tape, v *Var) *Var {
+	return tp.Mean(tp.Mul(v, v))
+}
+
+func randMat(seed uint64, rows, cols int) *tensor.Matrix {
+	r := rng.New(seed)
+	m := tensor.New(rows, cols)
+	r.FillNormal(m.Data, 0, 1)
+	return m
+}
+
+func TestGradMatMul(t *testing.T) {
+	w := randMat(100, 4, 3)
+	checkGrad(t, "matmul-lhs", randMat(101, 5, 4), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.MatMul(x, tp.Const(w)))
+	})
+	a := randMat(102, 5, 4)
+	checkGrad(t, "matmul-rhs", randMat(103, 4, 3), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.MatMul(tp.Const(a), x))
+	})
+}
+
+func TestGradMatMulT(t *testing.T) {
+	b := randMat(104, 6, 4)
+	checkGrad(t, "matmulT-lhs", randMat(105, 5, 4), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.MatMulT(x, tp.Const(b)))
+	})
+	a := randMat(106, 5, 4)
+	checkGrad(t, "matmulT-rhs", randMat(107, 6, 4), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.MatMulT(tp.Const(a), x))
+	})
+}
+
+func TestGradAddSubMulScale(t *testing.T) {
+	o := randMat(110, 3, 4)
+	checkGrad(t, "add", randMat(111, 3, 4), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.Add(x, tp.Const(o)))
+	})
+	checkGrad(t, "sub", randMat(112, 3, 4), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.Sub(tp.Const(o), x))
+	})
+	checkGrad(t, "mul", randMat(113, 3, 4), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.Mul(x, tp.Const(o)))
+	})
+	checkGrad(t, "scale", randMat(114, 3, 4), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.Scale(x, -1.7))
+	})
+}
+
+func TestGradActivations(t *testing.T) {
+	checkGrad(t, "relu", randMat(120, 4, 5), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.ReLU(x))
+	})
+	checkGrad(t, "gelu", randMat(121, 4, 5), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.GELU(x))
+	})
+	checkGrad(t, "silu", randMat(122, 4, 5), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.SiLU(x))
+	})
+}
+
+func TestGradSoftmax(t *testing.T) {
+	o := randMat(130, 4, 6)
+	checkGrad(t, "softmax", randMat(131, 4, 6), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.Mul(tp.SoftmaxRows(x), tp.Const(o)))
+	})
+}
+
+func TestGradLayerNorm(t *testing.T) {
+	gain := randMat(140, 1, 6)
+	bias := randMat(141, 1, 6)
+	checkGrad(t, "layernorm-x", randMat(142, 5, 6), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.LayerNorm(x, tp.Const(gain), tp.Const(bias), 1e-5))
+	})
+	xin := randMat(143, 5, 6)
+	checkGrad(t, "layernorm-gain", gain.Clone(), func(tp *Tape, g *Var) *Var {
+		return squareMean(tp, tp.LayerNorm(tp.Const(xin), g, tp.Const(bias), 1e-5))
+	})
+	checkGrad(t, "layernorm-bias", bias.Clone(), func(tp *Tape, b *Var) *Var {
+		return squareMean(tp, tp.LayerNorm(tp.Const(xin), tp.Const(gain), b, 1e-5))
+	})
+}
+
+func TestGradRMSNorm(t *testing.T) {
+	gain := randMat(150, 1, 6)
+	checkGrad(t, "rmsnorm-x", randMat(151, 5, 6), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.RMSNorm(x, tp.Const(gain), 1e-5))
+	})
+	xin := randMat(152, 5, 6)
+	checkGrad(t, "rmsnorm-gain", gain.Clone(), func(tp *Tape, g *Var) *Var {
+		return squareMean(tp, tp.RMSNorm(tp.Const(xin), g, 1e-5))
+	})
+}
+
+func TestGradAddBias(t *testing.T) {
+	b := randMat(160, 1, 4)
+	checkGrad(t, "addbias-x", randMat(161, 3, 4), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.AddBias(x, tp.Const(b)))
+	})
+	xin := randMat(162, 3, 4)
+	checkGrad(t, "addbias-b", b.Clone(), func(tp *Tape, bv *Var) *Var {
+		return squareMean(tp, tp.AddBias(tp.Const(xin), bv))
+	})
+}
+
+func TestGradEmbedding(t *testing.T) {
+	ids := []int{2, 0, 2, 1}
+	checkGrad(t, "embedding", randMat(170, 3, 5), func(tp *Tape, table *Var) *Var {
+		return squareMean(tp, tp.Embedding(table, ids))
+	})
+}
+
+func TestGradSliceConcat(t *testing.T) {
+	checkGrad(t, "slice", randMat(180, 4, 8), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.SliceCols(x, 2, 6))
+	})
+	checkGrad(t, "concat", randMat(181, 4, 6), func(tp *Tape, x *Var) *Var {
+		a := tp.SliceCols(x, 0, 3)
+		b := tp.SliceCols(x, 3, 6)
+		return squareMean(tp, tp.ConcatCols(b, a))
+	})
+}
+
+func TestGradRoPE(t *testing.T) {
+	positions := []int{0, 1, 2, 3}
+	checkGrad(t, "rope", randMat(190, 4, 8), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.RoPE(x, 4, positions, 10000))
+	})
+}
+
+func TestGradCrossEntropy(t *testing.T) {
+	targets := []int{1, 3, 0, -1} // includes a masked row
+	checkGrad(t, "xent", randMat(200, 4, 5), func(tp *Tape, x *Var) *Var {
+		return tp.CrossEntropy(x, targets)
+	})
+}
+
+func TestGradComposite(t *testing.T) {
+	// A miniature transformer-like block: LN → linear → GELU → linear → CE.
+	w1 := randMat(210, 6, 10)
+	w2 := randMat(211, 10, 4)
+	gain := randMat(212, 1, 6)
+	bias := tensor.New(1, 6)
+	targets := []int{0, 1, 2, 3, 0}
+	checkGrad(t, "composite", randMat(213, 5, 6), func(tp *Tape, x *Var) *Var {
+		h := tp.LayerNorm(x, tp.Const(gain), tp.Const(bias), 1e-5)
+		h = tp.MatMul(h, tp.Const(w1))
+		h = tp.GELU(h)
+		h = tp.MatMul(h, tp.Const(w2))
+		return tp.CrossEntropy(h, targets)
+	})
+}

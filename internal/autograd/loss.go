@@ -1,0 +1,92 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"nora/internal/tensor"
+)
+
+// CrossEntropy computes the mean negative log-likelihood of targets under a
+// row-wise softmax of logits, fused for numerical stability. It returns a
+// 1×1 loss node. Rows with target < 0 are ignored (masked), matching the
+// usual language-model convention for padding.
+func (t *Tape) CrossEntropy(logits *Var, targets []int) *Var {
+	rows, cols := logits.Val.Rows, logits.Val.Cols
+	if len(targets) != rows {
+		panic(fmt.Sprintf("autograd: CrossEntropy %d targets for %d rows", len(targets), rows))
+	}
+	probs := logits.Val.Clone()
+	probs.SoftmaxRows()
+	var loss float64
+	active := 0
+	for i, tgt := range targets {
+		if tgt < 0 {
+			continue
+		}
+		if tgt >= cols {
+			panic(fmt.Sprintf("autograd: CrossEntropy target %d out of range [0,%d)", tgt, cols))
+		}
+		p := float64(probs.At(i, tgt))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		active++
+	}
+	if active > 0 {
+		loss /= float64(active)
+	}
+	val := tensor.New(1, 1)
+	val.Set(0, 0, float32(loss))
+	out := newResult(val, logits)
+	if out.needGrad {
+		targetsCopy := append([]int(nil), targets...)
+		t.push(func() {
+			if active == 0 {
+				return
+			}
+			scale := out.grad().At(0, 0) / float32(active)
+			lg := logits.grad()
+			for i, tgt := range targetsCopy {
+				if tgt < 0 {
+					continue
+				}
+				prow := probs.Row(i)
+				grow := lg.Row(i)
+				for j, p := range prow {
+					g := p
+					if j == tgt {
+						g -= 1
+					}
+					grow[j] += scale * g
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the target
+// (targets < 0 are skipped). It is not differentiable and records nothing
+// on the tape.
+func Accuracy(logits *tensor.Matrix, targets []int) float64 {
+	if len(targets) != logits.Rows {
+		panic("autograd: Accuracy target length mismatch")
+	}
+	pred := logits.ArgmaxRows()
+	correct, active := 0, 0
+	for i, tgt := range targets {
+		if tgt < 0 {
+			continue
+		}
+		active++
+		if pred[i] == tgt {
+			correct++
+		}
+	}
+	if active == 0 {
+		return 0
+	}
+	return float64(correct) / float64(active)
+}

@@ -1,0 +1,533 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"nora/internal/tensor"
+)
+
+// MatMul returns a·b with gradients dA += dOut·bᵀ and dB += aᵀ·dOut.
+func (t *Tape) MatMul(a, b *Var) *Var {
+	out := newResult(tensor.MatMul(a.Val, b.Val), a, b)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			if a.needGrad {
+				a.grad().AddInPlace(tensor.MatMulT(g, b.Val))
+			}
+			if b.needGrad {
+				b.grad().AddInPlace(tensor.MatMul(a.Val.Transpose(), g))
+			}
+		})
+	}
+	return out
+}
+
+// Add returns a + b (same shape).
+func (t *Tape) Add(a, b *Var) *Var {
+	out := newResult(tensor.Add(a.Val, b.Val), a, b)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			if a.needGrad {
+				a.grad().AddInPlace(g)
+			}
+			if b.needGrad {
+				b.grad().AddInPlace(g)
+			}
+		})
+	}
+	return out
+}
+
+// Sub returns a - b.
+func (t *Tape) Sub(a, b *Var) *Var {
+	out := newResult(tensor.Sub(a.Val, b.Val), a, b)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			if a.needGrad {
+				a.grad().AddInPlace(g)
+			}
+			if b.needGrad {
+				b.grad().SubInPlace(g)
+			}
+		})
+	}
+	return out
+}
+
+// Mul returns the elementwise product a ⊙ b.
+func (t *Tape) Mul(a, b *Var) *Var {
+	out := newResult(tensor.Mul(a.Val, b.Val), a, b)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			if a.needGrad {
+				a.grad().AddInPlace(tensor.Mul(g, b.Val))
+			}
+			if b.needGrad {
+				b.grad().AddInPlace(tensor.Mul(g, a.Val))
+			}
+		})
+	}
+	return out
+}
+
+// Scale returns s·a for a compile-time constant s.
+func (t *Tape) Scale(a *Var, s float32) *Var {
+	out := newResult(tensor.Scale(a.Val, s), a)
+	if out.needGrad {
+		t.push(func() {
+			a.grad().AddInPlace(tensor.Scale(out.grad(), s))
+		})
+	}
+	return out
+}
+
+// AddBias adds a 1×n bias row to every row of a.
+func (t *Tape) AddBias(a, bias *Var) *Var {
+	if bias.Val.Rows != 1 || bias.Val.Cols != a.Val.Cols {
+		panic(fmt.Sprintf("autograd: AddBias bias %dx%d vs input %dx%d",
+			bias.Val.Rows, bias.Val.Cols, a.Val.Rows, a.Val.Cols))
+	}
+	out := newResult(tensor.AddRowVec(a.Val, bias.Val.Row(0)), a, bias)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			if a.needGrad {
+				a.grad().AddInPlace(g)
+			}
+			if bias.needGrad {
+				bg := bias.grad().Row(0)
+				for i := 0; i < g.Rows; i++ {
+					row := g.Row(i)
+					for j, v := range row {
+						bg[j] += v
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// AddConst adds a constant matrix (no gradient flows into it); used for
+// causal attention masks.
+func (t *Tape) AddConst(a *Var, c *tensor.Matrix) *Var {
+	out := newResult(tensor.Add(a.Val, c), a)
+	if out.needGrad {
+		t.push(func() {
+			a.grad().AddInPlace(out.grad())
+		})
+	}
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+func (t *Tape) ReLU(a *Var) *Var {
+	val := tensor.Apply(a.Val, func(v float32) float32 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+	out := newResult(val, a)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			ag := a.grad()
+			for i, v := range a.Val.Data {
+				if v > 0 {
+					ag.Data[i] += g.Data[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+func geluForward(x float64) (y, dy float64) {
+	u := geluC * (x + 0.044715*x*x*x)
+	th := math.Tanh(u)
+	y = 0.5 * x * (1 + th)
+	du := geluC * (1 + 3*0.044715*x*x)
+	dy = 0.5*(1+th) + 0.5*x*(1-th*th)*du
+	return
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit.
+func (t *Tape) GELU(a *Var) *Var {
+	val := tensor.New(a.Val.Rows, a.Val.Cols)
+	var deriv []float32
+	if a.needGrad {
+		deriv = make([]float32, len(a.Val.Data))
+	}
+	for i, v := range a.Val.Data {
+		y, dy := geluForward(float64(v))
+		val.Data[i] = float32(y)
+		if deriv != nil {
+			deriv[i] = float32(dy)
+		}
+	}
+	out := newResult(val, a)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			ag := a.grad()
+			for i := range g.Data {
+				ag.Data[i] += g.Data[i] * deriv[i]
+			}
+		})
+	}
+	return out
+}
+
+// SiLU applies x·sigmoid(x) elementwise (the gate activation of
+// LLaMA/Mistral-style MLPs).
+func (t *Tape) SiLU(a *Var) *Var {
+	val := tensor.New(a.Val.Rows, a.Val.Cols)
+	var deriv []float32
+	if a.needGrad {
+		deriv = make([]float32, len(a.Val.Data))
+	}
+	for i, v := range a.Val.Data {
+		x := float64(v)
+		sig := 1 / (1 + math.Exp(-x))
+		val.Data[i] = float32(x * sig)
+		if deriv != nil {
+			deriv[i] = float32(sig * (1 + x*(1-sig)))
+		}
+	}
+	out := newResult(val, a)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			ag := a.grad()
+			for i := range g.Data {
+				ag.Data[i] += g.Data[i] * deriv[i]
+			}
+		})
+	}
+	return out
+}
+
+// SoftmaxRows applies a row-wise softmax. Backward uses
+// dX = P ⊙ (dP − rowsum(dP ⊙ P)).
+func (t *Tape) SoftmaxRows(a *Var) *Var {
+	val := a.Val.Clone()
+	val.SoftmaxRows()
+	out := newResult(val, a)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			ag := a.grad()
+			for i := 0; i < val.Rows; i++ {
+				p := val.Row(i)
+				gp := g.Row(i)
+				var dot float64
+				for j := range p {
+					dot += float64(gp[j]) * float64(p[j])
+				}
+				dr := ag.Row(i)
+				for j := range p {
+					dr[j] += p[j] * (gp[j] - float32(dot))
+				}
+			}
+		})
+	}
+	return out
+}
+
+// LayerNorm normalizes each row to zero mean / unit variance, then applies a
+// per-channel affine transform: y = (x − μ)/√(σ²+ε) ⊙ g + b. gain and bias
+// are 1×n.
+func (t *Tape) LayerNorm(a, gain, bias *Var, eps float32) *Var {
+	rows, cols := a.Val.Rows, a.Val.Cols
+	if gain.Val.Cols != cols || bias.Val.Cols != cols {
+		panic("autograd: LayerNorm gain/bias width mismatch")
+	}
+	val := tensor.New(rows, cols)
+	xhat := tensor.New(rows, cols)
+	invStd := make([]float32, rows)
+	g0 := gain.Val.Row(0)
+	b0 := bias.Val.Row(0)
+	for i := 0; i < rows; i++ {
+		row := a.Val.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(cols)
+		var varr float64
+		for _, v := range row {
+			d := float64(v) - mean
+			varr += d * d
+		}
+		varr /= float64(cols)
+		is := float32(1 / math.Sqrt(varr+float64(eps)))
+		invStd[i] = is
+		xh := xhat.Row(i)
+		vr := val.Row(i)
+		for j, v := range row {
+			h := (v - float32(mean)) * is
+			xh[j] = h
+			vr[j] = h*g0[j] + b0[j]
+		}
+	}
+	out := newResult(val, a, gain, bias)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			for i := 0; i < rows; i++ {
+				gr := g.Row(i)
+				xh := xhat.Row(i)
+				if gain.needGrad {
+					gg := gain.grad().Row(0)
+					for j := range gr {
+						gg[j] += gr[j] * xh[j]
+					}
+				}
+				if bias.needGrad {
+					bg := bias.grad().Row(0)
+					for j := range gr {
+						bg[j] += gr[j]
+					}
+				}
+				if a.needGrad {
+					// dxhat = g ⊙ gain; dx = invStd*(dxhat − mean(dxhat) − xhat·mean(dxhat⊙xhat))
+					n := float64(cols)
+					var sum, sumXh float64
+					dxhat := make([]float64, cols)
+					for j := range gr {
+						d := float64(gr[j]) * float64(g0[j])
+						dxhat[j] = d
+						sum += d
+						sumXh += d * float64(xh[j])
+					}
+					ag := a.grad().Row(i)
+					is := float64(invStd[i])
+					for j := range gr {
+						ag[j] += float32(is * (dxhat[j] - sum/n - float64(xh[j])*sumXh/n))
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// RMSNorm normalizes each row by its root mean square and applies a
+// per-channel gain: y = x/√(mean(x²)+ε) ⊙ g (the LLaMA/Mistral norm).
+func (t *Tape) RMSNorm(a, gain *Var, eps float32) *Var {
+	rows, cols := a.Val.Rows, a.Val.Cols
+	if gain.Val.Cols != cols {
+		panic("autograd: RMSNorm gain width mismatch")
+	}
+	val := tensor.New(rows, cols)
+	invRMS := make([]float32, rows)
+	g0 := gain.Val.Row(0)
+	for i := 0; i < rows; i++ {
+		row := a.Val.Row(i)
+		var ms float64
+		for _, v := range row {
+			ms += float64(v) * float64(v)
+		}
+		ms /= float64(cols)
+		ir := float32(1 / math.Sqrt(ms+float64(eps)))
+		invRMS[i] = ir
+		vr := val.Row(i)
+		for j, v := range row {
+			vr[j] = v * ir * g0[j]
+		}
+	}
+	out := newResult(val, a, gain)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			for i := 0; i < rows; i++ {
+				gr := g.Row(i)
+				row := a.Val.Row(i)
+				ir := float64(invRMS[i])
+				if gain.needGrad {
+					gg := gain.grad().Row(0)
+					for j := range gr {
+						gg[j] += gr[j] * row[j] * float32(ir)
+					}
+				}
+				if a.needGrad {
+					// dx = ir·(g⊙gain) − x·ir³·Σ(g⊙gain⊙x)/n
+					n := float64(cols)
+					var dot float64
+					for j := range gr {
+						dot += float64(gr[j]) * float64(g0[j]) * float64(row[j])
+					}
+					ag := a.grad().Row(i)
+					c := ir * ir * ir * dot / n
+					for j := range gr {
+						ag[j] += float32(ir*float64(gr[j])*float64(g0[j]) - c*float64(row[j]))
+					}
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Embedding gathers rows of table by ids: out[i] = table[ids[i]]. Backward
+// scatter-adds into the table gradient.
+func (t *Tape) Embedding(table *Var, ids []int) *Var {
+	val := tensor.New(len(ids), table.Val.Cols)
+	for i, id := range ids {
+		if id < 0 || id >= table.Val.Rows {
+			panic(fmt.Sprintf("autograd: Embedding id %d out of range [0,%d)", id, table.Val.Rows))
+		}
+		copy(val.Row(i), table.Val.Row(id))
+	}
+	out := newResult(val, table)
+	if out.needGrad {
+		idsCopy := append([]int(nil), ids...)
+		t.push(func() {
+			g := out.grad()
+			tg := table.grad()
+			for i, id := range idsCopy {
+				tensor.Axpy(1, g.Row(i), tg.Row(id))
+			}
+		})
+	}
+	return out
+}
+
+// SliceCols extracts columns [lo, hi); backward pastes the gradient back.
+func (t *Tape) SliceCols(a *Var, lo, hi int) *Var {
+	out := newResult(a.Val.SliceCols(lo, hi), a)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			ag := a.grad()
+			for i := 0; i < g.Rows; i++ {
+				tensor.Axpy(1, g.Row(i), ag.Row(i)[lo:hi])
+			}
+		})
+	}
+	return out
+}
+
+// ConcatCols concatenates vars horizontally; backward splits the gradient.
+func (t *Tape) ConcatCols(vs ...*Var) *Var {
+	mats := make([]*tensor.Matrix, len(vs))
+	for i, v := range vs {
+		mats[i] = v.Val
+	}
+	out := newResult(tensor.ConcatCols(mats...), vs...)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			off := 0
+			for _, v := range vs {
+				w := v.Val.Cols
+				if v.needGrad {
+					vg := v.grad()
+					for i := 0; i < g.Rows; i++ {
+						tensor.Axpy(1, g.Row(i)[off:off+w], vg.Row(i))
+					}
+				}
+				off += w
+			}
+		})
+	}
+	return out
+}
+
+// MatMulT returns a·bᵀ (used for attention scores q·kᵀ).
+func (t *Tape) MatMulT(a, b *Var) *Var {
+	out := newResult(tensor.MatMulT(a.Val, b.Val), a, b)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			if a.needGrad {
+				a.grad().AddInPlace(tensor.MatMul(g, b.Val))
+			}
+			if b.needGrad {
+				b.grad().AddInPlace(tensor.MatMul(g.Transpose(), a.Val))
+			}
+		})
+	}
+	return out
+}
+
+// RoPE applies rotary position embeddings: within each head of width
+// headDim, channel pairs (2i, 2i+1) of the row at position pos[r] are
+// rotated by θ_i = pos · base^(−2i/headDim). Backward rotates the gradient
+// by −θ.
+func (t *Tape) RoPE(a *Var, headDim int, positions []int, base float64) *Var {
+	rows, cols := a.Val.Rows, a.Val.Cols
+	if headDim <= 0 || headDim%2 != 0 || cols%headDim != 0 {
+		panic(fmt.Sprintf("autograd: RoPE headDim %d incompatible with width %d", headDim, cols))
+	}
+	if len(positions) != rows {
+		panic("autograd: RoPE positions length mismatch")
+	}
+	cosv := tensor.New(rows, cols/2)
+	sinv := tensor.New(rows, cols/2)
+	for r := 0; r < rows; r++ {
+		pos := float64(positions[r])
+		cr, sr := cosv.Row(r), sinv.Row(r)
+		for c := 0; c < cols/2; c++ {
+			i := c % (headDim / 2)
+			theta := pos * math.Pow(base, -2*float64(i)/float64(headDim))
+			cr[c] = float32(math.Cos(theta))
+			sr[c] = float32(math.Sin(theta))
+		}
+	}
+	val := tensor.New(rows, cols)
+	rotate(val, a.Val, cosv, sinv, false)
+	out := newResult(val, a)
+	if out.needGrad {
+		t.push(func() {
+			tmp := tensor.New(rows, cols)
+			rotate(tmp, out.grad(), cosv, sinv, true)
+			a.grad().AddInPlace(tmp)
+		})
+	}
+	return out
+}
+
+// rotate applies the 2-D rotations defined by cosv/sinv to src pairs,
+// writing into dst. invert=true applies the transpose (inverse) rotation.
+func rotate(dst, src, cosv, sinv *tensor.Matrix, invert bool) {
+	for r := 0; r < src.Rows; r++ {
+		s := src.Row(r)
+		d := dst.Row(r)
+		cr, sr := cosv.Row(r), sinv.Row(r)
+		for c := 0; c < src.Cols/2; c++ {
+			x0, x1 := s[2*c], s[2*c+1]
+			co, si := cr[c], sr[c]
+			if invert {
+				si = -si
+			}
+			d[2*c] = x0*co - x1*si
+			d[2*c+1] = x0*si + x1*co
+		}
+	}
+}
+
+// Mean returns the scalar mean of all elements.
+func (t *Tape) Mean(a *Var) *Var {
+	val := tensor.New(1, 1)
+	val.Set(0, 0, float32(a.Val.Mean()))
+	out := newResult(val, a)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad().At(0, 0) / float32(len(a.Val.Data))
+			ag := a.grad()
+			for i := range ag.Data {
+				ag.Data[i] += g
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package autograd
+
+import (
+	"math"
+
+	"nora/internal/tensor"
+)
+
+// Adam implements the Adam optimizer with optional decoupled weight decay
+// (AdamW) and global-norm gradient clipping.
+type Adam struct {
+	LR          float32
+	Beta1       float32
+	Beta2       float32
+	Eps         float32
+	WeightDecay float32
+	ClipNorm    float32 // 0 disables clipping
+
+	params []*Param
+	m, v   []*tensor.Matrix
+	step   int
+}
+
+// NewAdam returns an Adam optimizer over params with standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params []*Param, lr float32) *Adam {
+	a := &Adam{
+		LR:     lr,
+		Beta1:  0.9,
+		Beta2:  0.999,
+		Eps:    1e-8,
+		params: params,
+	}
+	for _, p := range params {
+		a.m = append(a.m, tensor.New(p.Value.Rows, p.Value.Cols))
+		a.v = append(a.v, tensor.New(p.Value.Rows, p.Value.Cols))
+	}
+	return a
+}
+
+// Params returns the parameter set being optimized.
+func (a *Adam) Params() []*Param { return a.params }
+
+// GradNorm returns the global L2 norm of all parameter gradients.
+func (a *Adam) GradNorm() float64 {
+	var s float64
+	for _, p := range a.params {
+		for _, g := range p.Grad.Data {
+			s += float64(g) * float64(g)
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Step applies one Adam update from the accumulated gradients and clears
+// them.
+func (a *Adam) Step() {
+	a.step++
+	clip := float32(1)
+	if a.ClipNorm > 0 {
+		if norm := a.GradNorm(); norm > float64(a.ClipNorm) {
+			clip = a.ClipNorm / float32(norm)
+		}
+	}
+	bc1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.step)))
+	bc2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.step)))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad.Data {
+			g *= clip
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
+			mhat := m.Data[j] / bc1
+			vhat := v.Data[j] / bc2
+			upd := a.LR * mhat / (float32(math.Sqrt(float64(vhat))) + a.Eps)
+			if a.WeightDecay > 0 {
+				upd += a.LR * a.WeightDecay * p.Value.Data[j]
+			}
+			p.Value.Data[j] -= upd
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SGD is a plain (optionally momentum) stochastic gradient descent
+// optimizer, kept as a baseline and for tests.
+type SGD struct {
+	LR       float32
+	Momentum float32
+
+	params []*Param
+	vel    []*tensor.Matrix
+}
+
+// NewSGD returns an SGD optimizer over params.
+func NewSGD(params []*Param, lr, momentum float32) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum, params: params}
+	for _, p := range params {
+		s.vel = append(s.vel, tensor.New(p.Value.Rows, p.Value.Cols))
+	}
+	return s
+}
+
+// Step applies one SGD update and clears gradients.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		v := s.vel[i]
+		for j, g := range p.Grad.Data {
+			v.Data[j] = s.Momentum*v.Data[j] + g
+			p.Value.Data[j] -= s.LR * v.Data[j]
+		}
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,119 @@
+// Package autograd implements tape-based reverse-mode automatic
+// differentiation over dense float32 matrices.
+//
+// The NORA paper deliberately avoids hardware-aware training ("non-trivial,
+// if not prohibitive for LLMs"), but the reproduction still needs ordinary
+// digital training to obtain working transformer models for the zoo. This
+// package provides exactly that: a Wengert-list tape whose forward ops
+// append backward closures, replayed in reverse by Backward.
+//
+// Typical use:
+//
+//	tape := autograd.NewTape()
+//	x := tape.Const(input)
+//	w := tape.Param(weights)          // weights is a persistent *Param
+//	y := tape.MatMul(x, w)
+//	loss := tape.CrossEntropy(y, targets)
+//	tape.Backward(loss)               // gradients accumulate into weights.Grad
+package autograd
+
+import (
+	"fmt"
+
+	"nora/internal/tensor"
+)
+
+// Param is a persistent trainable parameter: a value matrix plus a gradient
+// accumulator that survives across tapes (training steps).
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam wraps value as a named trainable parameter with a zero gradient.
+func NewParam(name string, value *tensor.Matrix) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumEl returns the number of scalar elements in the parameter.
+func (p *Param) NumEl() int { return p.Value.Rows * p.Value.Cols }
+
+// Var is a node in the computation graph. Val is the forward value; Grad is
+// the accumulated adjoint (allocated lazily — nil until the backward pass
+// first touches it, unless the Var wraps a Param).
+type Var struct {
+	Val      *tensor.Matrix
+	Grad     *tensor.Matrix
+	needGrad bool
+}
+
+// grad returns the gradient accumulator for v, allocating it on first use.
+func (v *Var) grad() *tensor.Matrix {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Val.Rows, v.Val.Cols)
+	}
+	return v.Grad
+}
+
+// Tape is a Wengert list: ops append backward closures during the forward
+// pass; Backward replays them in reverse.
+type Tape struct {
+	backward []func()
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Len returns the number of recorded backward closures (useful in tests).
+func (t *Tape) Len() int { return len(t.backward) }
+
+// push records a backward closure.
+func (t *Tape) push(f func()) { t.backward = append(t.backward, f) }
+
+// Const wraps a matrix as a non-differentiable graph input.
+func (t *Tape) Const(m *tensor.Matrix) *Var {
+	return &Var{Val: m}
+}
+
+// Leaf wraps a matrix as a differentiable graph input whose gradient can be
+// inspected after Backward (used by gradient checking and by analyses that
+// need input sensitivities).
+func (t *Tape) Leaf(m *tensor.Matrix) *Var {
+	return &Var{Val: m, needGrad: true}
+}
+
+// Param wraps a persistent parameter. The returned Var shares the parameter's
+// gradient accumulator, so Backward adds directly into p.Grad.
+func (t *Tape) Param(p *Param) *Var {
+	return &Var{Val: p.Value, Grad: p.Grad, needGrad: true}
+}
+
+// Backward seeds d(loss)/d(loss) = 1 and replays the tape in reverse,
+// accumulating adjoints into every differentiable node. loss must be a 1×1
+// matrix.
+func (t *Tape) Backward(loss *Var) {
+	if loss.Val.Rows != 1 || loss.Val.Cols != 1 {
+		panic(fmt.Sprintf("autograd: Backward on non-scalar %dx%d", loss.Val.Rows, loss.Val.Cols))
+	}
+	loss.grad().Set(0, 0, 1)
+	for i := len(t.backward) - 1; i >= 0; i-- {
+		t.backward[i]()
+	}
+}
+
+// newResult allocates the output Var for an op whose inputs are ins; the
+// output requires grad iff any input does.
+func newResult(val *tensor.Matrix, ins ...*Var) *Var {
+	out := &Var{Val: val}
+	for _, in := range ins {
+		if in.needGrad {
+			out.needGrad = true
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"nora/internal/analog"
+	"nora/internal/nn"
+	"nora/internal/rng"
+	"nora/internal/stats"
+	"nora/internal/tensor"
+)
+
+// LayerReport captures, for one linear layer, the distribution and scale
+// statistics behind Fig. 6 of the paper: input and weight kurtosis under
+// the naive mapping and under NORA, and the mean α·γ·g_max scale factor of
+// both deployments.
+type LayerReport struct {
+	Name string
+
+	InputKurtosisNaive float64
+	InputKurtosisNORA  float64
+
+	WeightKurtosisNaive float64
+	WeightKurtosisNORA  float64
+
+	AlphaGammaNaive float64
+	AlphaGammaNORA  float64
+}
+
+// maxSampleRows caps the number of activation rows retained per layer when
+// analyzing distributions, to bound memory on long sample sets.
+const maxSampleRows = 4096
+
+// AnalyzeLayers computes a LayerReport for every linear layer, using
+// sample sequences to materialize the activations each layer actually sees.
+// cal supplies the NORA statistics; lambda ≤ 0 selects DefaultLambda.
+// cfg provides the tile geometry used for the α·γ estimate.
+func AnalyzeLayers(model *nn.Model, cal *Calibration, sample [][]int, lambda float64, cfg analog.Config) []LayerReport {
+	if lambda <= 0 {
+		lambda = DefaultLambda
+	}
+	// 1. Capture per-layer input activations on the sample set.
+	captured := make(map[string]*tensor.Matrix)
+	runner := nn.NewRunner(model)
+	runner.PreLinear = func(name string, x *tensor.Matrix) {
+		prev := captured[name]
+		if prev == nil {
+			captured[name] = x.Clone()
+			return
+		}
+		if prev.Rows >= maxSampleRows {
+			return
+		}
+		captured[name] = tensor.ConcatRows(prev, x)
+	}
+	for _, seq := range sample {
+		runner.Logits(seq)
+	}
+
+	// 2. Per layer: kurtosis and α·γ under both mappings.
+	specs := model.Linears()
+	reports := make([]LayerReport, 0, len(specs))
+	root := rng.New(1)
+	for _, spec := range specs {
+		x := captured[spec.Name]
+		if x == nil {
+			continue
+		}
+		s := ComputeS(spec.W, cal.InputMax[spec.Name], lambda)
+		invS := make([]float32, len(s))
+		for k, v := range s {
+			invS[k] = 1 / v
+		}
+		xNORA := tensor.ScaleCols(x, invS)
+		wNORA := tensor.ScaleRows(spec.W, s)
+
+		naiveLin := analog.NewAnalogLinear(spec.Name, spec.W, spec.B, nil, cfg, root.Split("n:"+spec.Name))
+		noraLin := analog.NewAnalogLinear(spec.Name, spec.W, spec.B, s, cfg, root.Split("r:"+spec.Name))
+
+		reports = append(reports, LayerReport{
+			Name:                spec.Name,
+			InputKurtosisNaive:  stats.Kurtosis(x.Data),
+			InputKurtosisNORA:   stats.Kurtosis(xNORA.Data),
+			WeightKurtosisNaive: stats.Kurtosis(spec.W.Data),
+			WeightKurtosisNORA:  stats.Kurtosis(wNORA.Data),
+			AlphaGammaNaive:     naiveLin.AlphaGammaMean(x),
+			AlphaGammaNORA:      noraLin.AlphaGammaMean(x),
+		})
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Name < reports[j].Name })
+	return reports
+}
+
+// FilterReports returns only the reports whose layer name contains substr
+// (e.g. "attn.q" for the per-layer query-projection series of Fig. 6).
+func FilterReports(reports []LayerReport, substr string) []LayerReport {
+	var out []LayerReport
+	for _, r := range reports {
+		if strings.Contains(r.Name, substr) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/nn"
+	"nora/internal/quant"
+)
+
+// BaselineRow compares NORA against the digital-quantization baselines of
+// the related-work discussion (paper §VI): naive W8A8 PTQ and SmoothQuant
+// W8A8 on digital hardware, versus naive and NORA deployments on analog
+// tiles.
+type BaselineRow struct {
+	Model       string
+	Digital     float64 // FP32 digital
+	W8A8        float64 // digital INT8, no smoothing
+	SmoothQuant float64 // digital INT8 + SmoothQuant (λ = 0.5)
+	AnalogNaive float64 // Table II tiles, plain scale factors
+	AnalogNORA  float64 // Table II tiles, NORA scale factors
+}
+
+// deployQuant builds a Runner whose linear layers are simulated digital
+// INT8 (optionally SmoothQuant-rescaled using the NORA calibration).
+func deployQuant(w *Workload, smooth bool) *nn.Runner {
+	runner := nn.NewRunner(w.Model)
+	cal := w.Calibration()
+	for _, spec := range w.Model.Linears() {
+		cfg := quant.W8A8()
+		if smooth {
+			cfg.Smooth = core.ComputeS(spec.W, cal.InputMax[spec.Name], core.DefaultLambda)
+		}
+		runner.SetLinear(spec.Name, quant.NewLinear(spec.Name, spec.W, spec.B, cfg))
+	}
+	return runner
+}
+
+// BaselineComparison evaluates all five deployments per workload under the
+// Table II analog preset for the analog rows.
+func BaselineComparison(ws []*Workload, cfg analog.Config) []BaselineRow {
+	rows := make([]BaselineRow, len(ws))
+	for _, w := range ws {
+		w.DigitalAccuracy()
+		w.Calibration()
+	}
+	const variants = 4
+	parallelFor(len(ws)*variants, func(idx int) {
+		w := ws[idx/variants]
+		r := &rows[idx/variants]
+		switch idx % variants {
+		case 0:
+			r.W8A8 = deployQuant(w, false).EvalAccuracy(w.Eval)
+		case 1:
+			r.SmoothQuant = deployQuant(w, true).EvalAccuracy(w.Eval)
+		case 2:
+			seed := seedFor("baseline-naive", w.Spec.Key)
+			r.AnalogNaive = core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{}).EvalAccuracy(w.Eval)
+		case 3:
+			seed := seedFor("baseline-nora", w.Spec.Key)
+			r.AnalogNORA = core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), cfg, seed, core.Options{}).EvalAccuracy(w.Eval)
+		}
+	})
+	for i, w := range ws {
+		rows[i].Model = w.Spec.Display
+		rows[i].Digital = w.DigitalAccuracy()
+	}
+	return rows
+}
+
+// BaselineTable renders baseline-comparison rows.
+func BaselineTable(rows []BaselineRow) *Table {
+	t := NewTable("Ext. — digital PTQ baselines vs analog deployments",
+		"model", "digital-fp", "w8a8", "smoothquant-w8a8", "analog-naive", "analog-nora")
+	for _, r := range rows {
+		t.Add(r.Model, r.Digital, r.W8A8, r.SmoothQuant, r.AnalogNaive, r.AnalogNORA)
+	}
+	return t
+}

@@ -1,0 +1,633 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+)
+
+// --- E1: sensitivity study (Fig. 3) -----------------------------------
+
+// SensitivityPoint is one (model, noise kind, level) measurement of the
+// sensitivity study: the accuracy drop a single non-ideality causes at an
+// MSE-calibrated level under the naive analog mapping.
+type SensitivityPoint struct {
+	Model     string
+	Kind      NoiseKind
+	Level     int     // index into the MSE target ladder
+	TargetMSE float64 // requested reference-map MSE
+	MSE       float64 // achieved reference-map MSE
+	Param     float64 // noise parameter realizing the level
+	Accuracy  float64 // naive-analog accuracy under this noise alone
+	Drop      float64 // digital accuracy − Accuracy
+}
+
+// Sensitivity reproduces Fig. 3: for every workload and noise kind, sweep
+// the MSE-calibrated levels and measure the accuracy drop. Levels are
+// calibrated once per kind (they are model-independent by construction).
+func Sensitivity(ws []*Workload, targets []float64) []SensitivityPoint {
+	kinds := AllNoiseKinds()
+	levels := make([][]CalibratedLevel, len(kinds))
+	parallelFor(len(kinds), func(i int) {
+		levels[i] = make([]CalibratedLevel, len(targets))
+		for j, target := range targets {
+			levels[i][j] = CalibrateToMSE(kinds[i], target)
+		}
+	})
+
+	// Digital baselines (serial: cached on the workload).
+	for _, w := range ws {
+		w.DigitalAccuracy()
+	}
+
+	points := make([]SensitivityPoint, len(ws)*len(kinds)*len(targets))
+	parallelFor(len(points), func(idx int) {
+		wi := idx / (len(kinds) * len(targets))
+		rest := idx % (len(kinds) * len(targets))
+		ki := rest / len(targets)
+		li := rest % len(targets)
+		w, kind, lvl := ws[wi], kinds[ki], levels[ki][li]
+
+		cfg := ConfigFor(kind, lvl.Param)
+		seed := seedFor("sensitivity", w.Spec.Key, kind.String(), fmt.Sprint(li))
+		runner := core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{})
+		acc := runner.EvalAccuracy(w.Eval)
+		points[idx] = SensitivityPoint{
+			Model:     w.Spec.Display,
+			Kind:      kind,
+			Level:     li,
+			TargetMSE: lvl.TargetMSE,
+			MSE:       lvl.MSE,
+			Param:     lvl.Param,
+			Accuracy:  acc,
+			Drop:      w.DigitalAccuracy() - acc,
+		}
+	})
+	return points
+}
+
+// --- E3/E4: overall accuracy (Fig. 5a, Table III) ----------------------
+
+// AccuracyRow compares the three deployments of one model under a full
+// noise stack.
+type AccuracyRow struct {
+	Model   string
+	Family  string
+	Digital float64
+	Naive   float64
+	NORA    float64
+}
+
+// OverallAccuracy reproduces Fig. 5(a) and Table III: digital FP vs naive
+// analog vs NORA under cfg (typically analog.PaperPreset()).
+func OverallAccuracy(ws []*Workload, cfg analog.Config) []AccuracyRow {
+	rows := make([]AccuracyRow, len(ws))
+	for _, w := range ws {
+		w.DigitalAccuracy()
+		w.Calibration()
+	}
+	parallelFor(len(ws)*2, func(idx int) {
+		w := ws[idx/2]
+		seed := seedFor("overall", w.Spec.Key)
+		if idx%2 == 0 {
+			r := core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{})
+			rows[idx/2].Naive = r.EvalAccuracy(w.Eval)
+		} else {
+			r := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), cfg, seed, core.Options{})
+			rows[idx/2].NORA = r.EvalAccuracy(w.Eval)
+		}
+	})
+	for i, w := range ws {
+		rows[i].Model = w.Spec.Display
+		rows[i].Family = w.Spec.Family
+		rows[i].Digital = w.DigitalAccuracy()
+	}
+	return rows
+}
+
+// AccuracyStats extends AccuracyRow with across-seed variability: each
+// analog deployment is re-programmed and re-evaluated under R independent
+// seeds (fresh programming noise, fresh read-noise streams), reporting
+// mean and standard deviation.
+type AccuracyStats struct {
+	Model     string
+	Digital   float64
+	NaiveMean float64
+	NaiveStd  float64
+	NORAMean  float64
+	NORAStd   float64
+	Replicas  int
+}
+
+// OverallAccuracyReplicated runs the Fig. 5(a)/Table III protocol across
+// replicas independent hardware instances per deployment, quantifying the
+// programming-noise lottery a single-seed number hides.
+func OverallAccuracyReplicated(ws []*Workload, cfg analog.Config, replicas int) []AccuracyStats {
+	if replicas < 1 {
+		panic("harness: OverallAccuracyReplicated needs replicas ≥ 1")
+	}
+	for _, w := range ws {
+		w.DigitalAccuracy()
+		w.Calibration()
+	}
+	type cell struct{ naive, nora float64 }
+	cells := make([]cell, len(ws)*replicas)
+	parallelFor(len(cells)*2, func(idx2 int) {
+		idx, variant := idx2/2, idx2%2
+		w := ws[idx/replicas]
+		rep := idx % replicas
+		seed := seedFor("replicated", w.Spec.Key, fmt.Sprint(rep))
+		if variant == 0 {
+			r := core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{})
+			cells[idx].naive = r.EvalAccuracy(w.Eval)
+		} else {
+			r := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), cfg, seed, core.Options{})
+			cells[idx].nora = r.EvalAccuracy(w.Eval)
+		}
+	})
+	out := make([]AccuracyStats, len(ws))
+	for i, w := range ws {
+		var nSum, nSum2, rSum, rSum2 float64
+		for rep := 0; rep < replicas; rep++ {
+			c := cells[i*replicas+rep]
+			nSum += c.naive
+			nSum2 += c.naive * c.naive
+			rSum += c.nora
+			rSum2 += c.nora * c.nora
+		}
+		n := float64(replicas)
+		nm, rm := nSum/n, rSum/n
+		out[i] = AccuracyStats{
+			Model:     w.Spec.Display,
+			Digital:   w.DigitalAccuracy(),
+			NaiveMean: nm,
+			NaiveStd:  math.Sqrt(math.Max(0, nSum2/n-nm*nm)),
+			NORAMean:  rm,
+			NORAStd:   math.Sqrt(math.Max(0, rSum2/n-rm*rm)),
+			Replicas:  replicas,
+		}
+	}
+	return out
+}
+
+// AccuracyStatsTable renders replicated accuracy rows.
+func AccuracyStatsTable(title string, rows []AccuracyStats) *Table {
+	t := NewTable(title, "model", "digital-fp", "naive-mean", "naive-std", "nora-mean", "nora-std", "replicas")
+	for _, r := range rows {
+		t.Add(r.Model, r.Digital, r.NaiveMean, r.NaiveStd, r.NORAMean, r.NORAStd, r.Replicas)
+	}
+	return t
+}
+
+// --- E5: per-noise mitigation (Fig. 5b/c) -------------------------------
+
+// MitigationRow measures, for one model and one noise kind at the matched
+// MSE level, how much of the naive accuracy drop NORA recovers.
+type MitigationRow struct {
+	Model     string
+	Kind      NoiseKind
+	TargetMSE float64
+	Param     float64
+	Digital   float64
+	Naive     float64
+	NORA      float64
+	// Recovery is (NORA − Naive) / (Digital − Naive); 1 = full recovery.
+	// NaN-free: 0 when the naive deployment shows no drop.
+	Recovery float64
+}
+
+// Mitigation reproduces Fig. 5(b)(c): every noise kind is scaled to the
+// same reference MSE (MitigationMSETarget) and applied alone; naive and
+// NORA deployments are compared.
+func Mitigation(ws []*Workload, target float64) []MitigationRow {
+	kinds := AllNoiseKinds()
+	levels := make([]CalibratedLevel, len(kinds))
+	parallelFor(len(kinds), func(i int) {
+		levels[i] = CalibrateToMSE(kinds[i], target)
+	})
+	for _, w := range ws {
+		w.DigitalAccuracy()
+		w.Calibration()
+	}
+	rows := make([]MitigationRow, len(ws)*len(kinds))
+	parallelFor(len(rows)*2, func(idx2 int) {
+		idx, variant := idx2/2, idx2%2
+		w := ws[idx/len(kinds)]
+		lvl := levels[idx%len(kinds)]
+		cfg := ConfigFor(lvl.Kind, lvl.Param)
+		seed := seedFor("mitigation", w.Spec.Key, lvl.Kind.String())
+		if variant == 0 {
+			r := core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{})
+			rows[idx].Naive = r.EvalAccuracy(w.Eval)
+		} else {
+			r := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), cfg, seed, core.Options{})
+			rows[idx].NORA = r.EvalAccuracy(w.Eval)
+		}
+	})
+	for idx := range rows {
+		w := ws[idx/len(kinds)]
+		lvl := levels[idx%len(kinds)]
+		rows[idx].Model = w.Spec.Display
+		rows[idx].Kind = lvl.Kind
+		rows[idx].TargetMSE = lvl.TargetMSE
+		rows[idx].Param = lvl.Param
+		rows[idx].Digital = w.DigitalAccuracy()
+		drop := rows[idx].Digital - rows[idx].Naive
+		if drop > 1e-9 {
+			rows[idx].Recovery = (rows[idx].NORA - rows[idx].Naive) / drop
+		}
+	}
+	return rows
+}
+
+// --- E6/E7: distribution & scale-factor analysis (Fig. 6) ---------------
+
+// Fig6Row is one layer's entry in the Fig. 6 series.
+type Fig6Row struct {
+	Model string
+	core.LayerReport
+}
+
+// DistributionAnalysis reproduces Fig. 6: per-layer input/weight kurtosis
+// and α·γ·g_max under naive vs NORA mappings. layerFilter selects the
+// series (e.g. "attn.q" for the paper's query-projection plots; empty for
+// all layers).
+func DistributionAnalysis(ws []*Workload, layerFilter string, cfg analog.Config) []Fig6Row {
+	var rows []Fig6Row
+	for _, w := range ws {
+		sample := w.Eval
+		if len(sample) > 12 {
+			sample = sample[:12]
+		}
+		reports := core.AnalyzeLayers(w.Model, w.Calibration(), sample, 0, cfg)
+		if layerFilter != "" {
+			reports = core.FilterReports(reports, layerFilter)
+		}
+		for _, r := range reports {
+			rows = append(rows, Fig6Row{Model: w.Spec.Display, LayerReport: r})
+		}
+	}
+	return rows
+}
+
+// --- E8: drift study (paper §VII) ---------------------------------------
+
+// DriftRow compares deployments after tSec seconds of conductance drift.
+type DriftRow struct {
+	Model        string
+	DriftSeconds float64
+	Compensated  bool
+	Digital      float64
+	Naive        float64
+	NORA         float64
+}
+
+// DriftStudy reproduces the paper's limitation experiment: accuracy after
+// drifting the weights (1 hour in the paper), with and without global
+// drift compensation.
+func DriftStudy(ws []*Workload, driftSeconds float64) []DriftRow {
+	var rows []DriftRow
+	for _, w := range ws {
+		w.DigitalAccuracy()
+		w.Calibration()
+		for _, comp := range []bool{false, true} {
+			cfg := analog.PaperPreset()
+			cfg.DriftT = driftSeconds
+			cfg.DriftCompensation = comp
+			seed := seedFor("drift", w.Spec.Key, fmt.Sprint(comp))
+			naive := core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{})
+			nora := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), cfg, seed, core.Options{})
+			rows = append(rows, DriftRow{
+				Model:        w.Spec.Display,
+				DriftSeconds: driftSeconds,
+				Compensated:  comp,
+				Digital:      w.DigitalAccuracy(),
+				Naive:        naive.EvalAccuracy(w.Eval),
+				NORA:         nora.EvalAccuracy(w.Eval),
+			})
+		}
+	}
+	return rows
+}
+
+// --- E15: multi-cell weight precision (paper §VII) ------------------------
+
+// SlicingRow is the accuracy of naive/NORA deployments when weights are
+// held as multi-cell digit slices instead of continuous conductances.
+type SlicingRow struct {
+	Model  string
+	Scheme string // "continuous" or "SxB-bit"
+	Naive  float64
+	NORA   float64
+}
+
+// SlicingStudy reproduces the paper's §VII remark that devices without
+// continuous analog states can reach the needed weight precision with
+// multiple memory cells: it compares the continuous mapping against
+// sliced mappings under the full Table II noise stack.
+func SlicingStudy(ws []*Workload, schemes [][2]int) []SlicingRow {
+	type cfgRow struct {
+		name string
+		cfg  analog.Config
+	}
+	cfgs := []cfgRow{{"continuous", analog.PaperPreset()}}
+	for _, s := range schemes {
+		c := analog.PaperPreset()
+		c.WeightSlices = s[0]
+		c.SliceBits = s[1]
+		cfgs = append(cfgs, cfgRow{fmt.Sprintf("%dx%d-bit", s[0], s[1]), c})
+	}
+	for _, w := range ws {
+		w.Calibration()
+	}
+	rows := make([]SlicingRow, len(ws)*len(cfgs))
+	parallelFor(len(rows)*2, func(idx2 int) {
+		idx, variant := idx2/2, idx2%2
+		w := ws[idx/len(cfgs)]
+		c := cfgs[idx%len(cfgs)]
+		seed := seedFor("slicing", w.Spec.Key, c.name)
+		if variant == 0 {
+			r := core.Deploy(w.Model, core.DeployAnalogNaive, nil, c.cfg, seed, core.Options{})
+			rows[idx].Naive = r.EvalAccuracy(w.Eval)
+		} else {
+			r := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), c.cfg, seed, core.Options{})
+			rows[idx].NORA = r.EvalAccuracy(w.Eval)
+		}
+	})
+	for idx := range rows {
+		rows[idx].Model = ws[idx/len(cfgs)].Spec.Display
+		rows[idx].Scheme = cfgs[idx%len(cfgs)].name
+	}
+	return rows
+}
+
+// SlicingTable renders multi-cell precision rows.
+func SlicingTable(rows []SlicingRow) *Table {
+	t := NewTable("Ext. — multi-cell weight precision (paper-preset noise)",
+		"model", "weight-scheme", "analog-naive", "analog-nora")
+	for _, r := range rows {
+		t.Add(r.Model, r.Scheme, r.Naive, r.NORA)
+	}
+	return t
+}
+
+// --- E17: hardware operating modes ----------------------------------------
+
+// ModeRow compares alternative tile operating modes under the full noise
+// stack: voltage-mode vs bit-serial input streaming, and single-shot vs
+// write-verify programming (both from the paper's §II hardware
+// description).
+type ModeRow struct {
+	Model string
+	Mode  string
+	Naive float64
+	NORA  float64
+}
+
+// ModeStudy evaluates the operating-mode matrix.
+func ModeStudy(ws []*Workload) []ModeRow {
+	type mode struct {
+		name string
+		cfg  analog.Config
+	}
+	base := analog.PaperPreset()
+	bitSerial := base
+	bitSerial.BitSerial = true
+	wv := base
+	wv.WriteVerify = 3
+	both := base
+	both.BitSerial = true
+	both.WriteVerify = 3
+	modes := []mode{
+		{"voltage", base},
+		{"bit-serial", bitSerial},
+		{"write-verify×3", wv},
+		{"bit-serial+wv×3", both},
+		{"reram-device", analog.ReRAMPreset()},
+	}
+	for _, w := range ws {
+		w.Calibration()
+	}
+	rows := make([]ModeRow, len(ws)*len(modes))
+	parallelFor(len(rows)*2, func(idx2 int) {
+		idx, variant := idx2/2, idx2%2
+		w := ws[idx/len(modes)]
+		m := modes[idx%len(modes)]
+		seed := seedFor("mode", w.Spec.Key, m.name)
+		if variant == 0 {
+			r := core.Deploy(w.Model, core.DeployAnalogNaive, nil, m.cfg, seed, core.Options{})
+			rows[idx].Naive = r.EvalAccuracy(w.Eval)
+		} else {
+			r := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), m.cfg, seed, core.Options{})
+			rows[idx].NORA = r.EvalAccuracy(w.Eval)
+		}
+	})
+	for idx := range rows {
+		rows[idx].Model = ws[idx/len(modes)].Spec.Display
+		rows[idx].Mode = modes[idx%len(modes)].name
+	}
+	return rows
+}
+
+// ModeTable renders operating-mode rows.
+func ModeTable(rows []ModeRow) *Table {
+	t := NewTable("Ext. — tile operating modes (paper-preset noise)",
+		"model", "mode", "analog-naive", "analog-nora")
+	for _, r := range rows {
+		t.Add(r.Model, r.Mode, r.Naive, r.NORA)
+	}
+	return t
+}
+
+// --- E12: calibration-quantile ablation ----------------------------------
+
+// QuantileRow is NORA accuracy when calibration clips per-channel
+// statistics at quantile q (q = 1 is the paper's exact-max calibration).
+type QuantileRow struct {
+	Model    string
+	Quantile float64
+	Accuracy float64
+}
+
+// CalibrationAblation sweeps the calibration clipping quantile under the
+// full paper noise stack: clipping the very statistics that encode the
+// outliers weakens the rescaling, so accuracy should fall as q drops.
+func CalibrationAblation(ws []*Workload, quantiles []float64) []QuantileRow {
+	rows := make([]QuantileRow, len(ws)*len(quantiles))
+	parallelFor(len(rows), func(idx int) {
+		w := ws[idx/len(quantiles)]
+		q := quantiles[idx%len(quantiles)]
+		cal := core.CalibrateQuantile(w.Model, w.Calib, q)
+		cfg := analog.PaperPreset()
+		seed := seedFor("quantile", w.Spec.Key, fmt.Sprint(q))
+		r := core.Deploy(w.Model, core.DeployAnalogNORA, cal, cfg, seed, core.Options{})
+		rows[idx] = QuantileRow{Model: w.Spec.Display, Quantile: q, Accuracy: r.EvalAccuracy(w.Eval)}
+	})
+	return rows
+}
+
+// QuantileTable renders calibration-quantile ablation rows.
+func QuantileTable(rows []QuantileRow) *Table {
+	t := NewTable("Ext. — calibration clipping-quantile ablation (NORA, paper-preset noise)",
+		"model", "quantile", "accuracy")
+	for _, r := range rows {
+		t.Add(r.Model, r.Quantile, r.Accuracy)
+	}
+	return t
+}
+
+// --- E11: per-layer sensitivity ablation (paper §VII future work) -------
+
+// PerLayerRow measures the accuracy when only one linear layer runs on
+// analog hardware (everything else digital) — identifying which layers
+// carry the deployment risk.
+type PerLayerRow struct {
+	Model   string
+	Layer   string
+	Digital float64
+	Naive   float64 // only this layer analog, naive mapping
+	NORA    float64 // only this layer analog, NORA mapping
+}
+
+// PerLayerSensitivity reproduces the per-layer ablation the paper lists as
+// future work: each linear layer is deployed on analog tiles alone, under
+// cfg, in both naive and NORA mappings.
+func PerLayerSensitivity(ws []*Workload, cfg analog.Config) []PerLayerRow {
+	type job struct {
+		w     *Workload
+		layer string
+	}
+	var jobs []job
+	for _, w := range ws {
+		w.DigitalAccuracy()
+		w.Calibration()
+		for _, spec := range w.Model.Linears() {
+			jobs = append(jobs, job{w, spec.Name})
+		}
+	}
+	rows := make([]PerLayerRow, len(jobs))
+	parallelFor(len(jobs)*2, func(idx2 int) {
+		idx, variant := idx2/2, idx2%2
+		j := jobs[idx]
+		opt := core.Options{Layers: []string{j.layer}}
+		seed := seedFor("perlayer", j.w.Spec.Key, j.layer)
+		if variant == 0 {
+			r := core.Deploy(j.w.Model, core.DeployAnalogNaive, nil, cfg, seed, opt)
+			rows[idx].Naive = r.EvalAccuracy(j.w.Eval)
+		} else {
+			r := core.Deploy(j.w.Model, core.DeployAnalogNORA, j.w.Calibration(), cfg, seed, opt)
+			rows[idx].NORA = r.EvalAccuracy(j.w.Eval)
+		}
+	})
+	for idx, j := range jobs {
+		rows[idx].Model = j.w.Spec.Display
+		rows[idx].Layer = j.layer
+		rows[idx].Digital = j.w.DigitalAccuracy()
+	}
+	return rows
+}
+
+// --- E10: energy/latency estimate (paper §VII future work) --------------
+
+// CostRow reports the estimated hardware cost of one deployment's eval
+// pass against the digital-MAC equivalent.
+type CostRow struct {
+	Model  string
+	Deploy string
+
+	AnalogEnergyPJ   float64
+	AnalogLatencyNS  float64
+	DigitalEnergyPJ  float64
+	DigitalLatencyNS float64
+	EnergySaving     float64 // digital energy / analog energy
+	BMRetries        int64
+	Accuracy         float64
+}
+
+// CostStudy runs one eval pass per deployment mode and estimates analog
+// energy/latency from the tile event counters, against a digital-MAC
+// baseline for the same linear-layer workload. The paper lists
+// power/latency evaluation as future work (§VII); this implements the
+// standard counting estimate.
+func CostStudy(ws []*Workload, cfg analog.Config, cm analog.CostModel) []CostRow {
+	var rows []CostRow
+	for _, w := range ws {
+		w.Calibration()
+		for _, mode := range []core.DeployMode{core.DeployAnalogNaive, core.DeployAnalogNORA} {
+			seed := seedFor("cost", w.Spec.Key, mode.String())
+			runner := core.Deploy(w.Model, mode, w.Calibration(), cfg, seed, core.Options{})
+			acc := runner.EvalAccuracy(w.Eval)
+			var counters analog.OpCounters
+			var macs, procRows int64
+			for _, spec := range w.Model.Linears() {
+				lin, ok := runner.Linear(spec.Name).(*analog.AnalogLinear)
+				if !ok {
+					continue
+				}
+				c := lin.CostCounters()
+				counters.MVMs += c.MVMs
+				counters.DACConvs += c.DACConvs
+				counters.ADCConvs += c.ADCConvs
+				counters.CellReads += c.CellReads
+				counters.BMRetries += c.BMRetries
+				macs += lin.DigitalEquivalentMACs()
+				procRows += lin.RowsProcessed()
+			}
+			a := cm.AnalogCost(counters)
+			d := cm.DigitalCost(macs, procRows)
+			saving := 0.0
+			if a.EnergyPJ > 0 {
+				saving = d.EnergyPJ / a.EnergyPJ
+			}
+			rows = append(rows, CostRow{
+				Model:            w.Spec.Display,
+				Deploy:           mode.String(),
+				AnalogEnergyPJ:   a.EnergyPJ,
+				AnalogLatencyNS:  a.LatencyNS,
+				DigitalEnergyPJ:  d.EnergyPJ,
+				DigitalLatencyNS: d.LatencyNS,
+				EnergySaving:     saving,
+				BMRetries:        counters.BMRetries,
+				Accuracy:         acc,
+			})
+		}
+	}
+	return rows
+}
+
+// --- E9: λ ablation (paper §VII future work) ----------------------------
+
+// LambdaRow is NORA accuracy at one migration strength.
+type LambdaRow struct {
+	Model    string
+	Lambda   float64
+	Accuracy float64
+}
+
+// LambdaAblation sweeps the migration strength λ under the full paper
+// noise stack. λ→0 degenerates toward weight-max normalization only; the
+// balanced λ=0.5 is the deployment default.
+func LambdaAblation(ws []*Workload, lambdas []float64) []LambdaRow {
+	for _, w := range ws {
+		w.Calibration()
+	}
+	rows := make([]LambdaRow, len(ws)*len(lambdas))
+	parallelFor(len(rows), func(idx int) {
+		w := ws[idx/len(lambdas)]
+		lambda := lambdas[idx%len(lambdas)]
+		cfg := analog.PaperPreset()
+		seed := seedFor("lambda", w.Spec.Key, fmt.Sprint(lambda))
+		r := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), cfg, seed, core.Options{Lambda: lambda})
+		rows[idx] = LambdaRow{Model: w.Spec.Display, Lambda: lambda, Accuracy: r.EvalAccuracy(w.Eval)}
+	})
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Model != rows[j].Model {
+			return rows[i].Model < rows[j].Model
+		}
+		return rows[i].Lambda < rows[j].Lambda
+	})
+	return rows
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"time"
+
+	"nora/internal/analog"
+	"nora/internal/autograd"
+	"nora/internal/core"
+	"nora/internal/nn"
+	"nora/internal/rng"
+)
+
+// HWARow compares hardware-aware noise-injection fine-tuning — the prior
+// approach the paper calls "non-trivial, if not prohibitive for LLMs"
+// (§I, Fig. 1 Challenge 1) — against NORA's calibration-only deployment.
+type HWARow struct {
+	Model string
+	Steps int
+
+	// Wall-clock costs of the two mitigation strategies.
+	HWATrainSeconds  float64
+	CalibrateSeconds float64
+
+	Digital  float64 // FP accuracy of the original model
+	Naive    float64 // original model, naive analog
+	HWA      float64 // fine-tuned model, naive analog
+	HWAFP    float64 // fine-tuned model, digital (accuracy cost of HWA)
+	NORA     float64 // original model, NORA deployment
+	NoiseRel float64 // injected relative noise level (matched to cfg)
+}
+
+// cloneModel deep-copies a model through its serialization.
+func cloneModel(m *nn.Model) (*nn.Model, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return nn.Load(&buf)
+}
+
+// HWAStudy fine-tunes a copy of the workload's model with straight-through
+// noise injection matched to the analog stack's reference error, then
+// deploys it naively on analog tiles; NORA's calibration-only path is
+// measured on the original model for comparison. steps controls the
+// fine-tuning budget.
+func HWAStudy(w *Workload, steps int, cfg analog.Config) (HWARow, error) {
+	row := HWARow{Model: w.Spec.Display, Steps: steps}
+	row.Digital = w.DigitalAccuracy()
+
+	// Matched injection level: the analog stack's relative RMS error on
+	// the unit-variance reference map.
+	row.NoiseRel = math.Sqrt(MeasureMSE(cfg, 11))
+
+	// NORA path (original model): time the calibration.
+	calStart := time.Now()
+	cal := core.Calibrate(w.Model, w.Calib)
+	row.CalibrateSeconds = time.Since(calStart).Seconds()
+	seed := seedFor("hwa", w.Spec.Key)
+	row.NORA = core.Deploy(w.Model, core.DeployAnalogNORA, cal, cfg, seed, core.Options{}).EvalAccuracy(w.Eval)
+	row.Naive = core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{}).EvalAccuracy(w.Eval)
+
+	// HWA path: fine-tune a copy with noise injection.
+	tuned, err := cloneModel(w.Model)
+	if err != nil {
+		return row, err
+	}
+	corpus, err := w.Spec.Corpus()
+	if err != nil {
+		return row, err
+	}
+	tuned.SetTrainNoise(float32(row.NoiseRel), rng.New(seedFor("hwa-noise", w.Spec.Key)))
+	opt := autograd.NewAdam(tuned.Params(), 1e-3)
+	opt.ClipNorm = 1
+	dataRng := rng.New(seedFor("hwa-data", w.Spec.Key))
+	trainStart := time.Now()
+	for step := 0; step < steps; step++ {
+		tuned.LossOnBatch(corpus.Batch(dataRng, 8))
+		opt.Step()
+	}
+	row.HWATrainSeconds = time.Since(trainStart).Seconds()
+	tuned.SetTrainNoise(0, nil)
+
+	row.HWAFP = nn.NewRunner(tuned).EvalAccuracy(w.Eval)
+	row.HWA = core.Deploy(tuned, core.DeployAnalogNaive, nil, cfg, seed, core.Options{}).EvalAccuracy(w.Eval)
+	return row, nil
+}
+
+// HWATable renders HWA-vs-NORA rows.
+func HWATable(rows []HWARow) *Table {
+	t := NewTable("Ext. — hardware-aware training vs NORA (paper Fig. 1 Challenge 1)",
+		"model", "digital", "naive", "hwa-analog", "hwa-digital", "nora-analog",
+		"hwa-train-s", "nora-calib-s", "steps", "noise-rel")
+	for _, r := range rows {
+		t.Add(r.Model, r.Digital, r.Naive, r.HWA, r.HWAFP, r.NORA,
+			r.HWATrainSeconds, r.CalibrateSeconds, r.Steps, r.NoiseRel)
+	}
+	return t
+}

@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table with an optional CSV form.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable starts a table with the given title and headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; values are formatted with %v, floats with 4 decimals.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteText renders the table as aligned text.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "=== %s ===\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored markdown table,
+// with the title as a level-3 heading when present.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" " + strings.ReplaceAll(c, "|", "\\|") + " |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (quoting cells containing commas).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SensitivityTable renders sensitivity points grouped like Fig. 3.
+func SensitivityTable(points []SensitivityPoint) *Table {
+	t := NewTable("Fig. 3 — sensitivity of LLM accuracy to single non-idealities (naive analog)",
+		"model", "noise", "level", "target-mse", "achieved-mse", "param", "accuracy", "drop")
+	for _, p := range points {
+		t.Add(p.Model, p.Kind.String(), p.Level, p.TargetMSE, p.MSE, p.Param, p.Accuracy, p.Drop)
+	}
+	return t
+}
+
+// AccuracyTable renders overall accuracy rows (Fig. 5a / Table III).
+func AccuracyTable(title string, rows []AccuracyRow) *Table {
+	t := NewTable(title, "model", "digital-fp", "analog-naive", "analog-nora", "nora-loss-vs-fp")
+	for _, r := range rows {
+		t.Add(r.Model, r.Digital, r.Naive, r.NORA, r.Digital-r.NORA)
+	}
+	return t
+}
+
+// MitigationTable renders mitigation rows (Fig. 5b/c).
+func MitigationTable(rows []MitigationRow) *Table {
+	t := NewTable("Fig. 5(b)(c) — per-noise mitigation at matched MSE",
+		"model", "noise", "target-mse", "digital", "naive", "nora", "recovery")
+	for _, r := range rows {
+		t.Add(r.Model, r.Kind.String(), r.TargetMSE, r.Digital, r.Naive, r.NORA, r.Recovery)
+	}
+	return t
+}
+
+// Fig6Table renders distribution/scale analysis rows.
+func Fig6Table(rows []Fig6Row) *Table {
+	t := NewTable("Fig. 6 — per-layer kurtosis and scale factors (naive vs NORA)",
+		"model", "layer", "in-kurt-naive", "in-kurt-nora", "w-kurt-naive", "w-kurt-nora",
+		"alphagamma-naive", "alphagamma-nora")
+	for _, r := range rows {
+		t.Add(r.Model, r.Name, r.InputKurtosisNaive, r.InputKurtosisNORA,
+			r.WeightKurtosisNaive, r.WeightKurtosisNORA, r.AlphaGammaNaive, r.AlphaGammaNORA)
+	}
+	return t
+}
+
+// DriftTable renders drift-study rows.
+func DriftTable(rows []DriftRow) *Table {
+	t := NewTable("Ext. — accuracy after conductance drift",
+		"model", "drift-s", "compensated", "digital", "naive", "nora")
+	for _, r := range rows {
+		t.Add(r.Model, r.DriftSeconds, r.Compensated, r.Digital, r.Naive, r.NORA)
+	}
+	return t
+}
+
+// PerLayerTable renders per-layer ablation rows.
+func PerLayerTable(rows []PerLayerRow) *Table {
+	t := NewTable("Ext. — per-layer analog sensitivity (one layer analog at a time)",
+		"model", "layer", "digital", "naive-only-this", "nora-only-this")
+	for _, r := range rows {
+		t.Add(r.Model, r.Layer, r.Digital, r.Naive, r.NORA)
+	}
+	return t
+}
+
+// CostTable renders energy/latency estimate rows.
+func CostTable(rows []CostRow) *Table {
+	t := NewTable("Ext. — estimated energy/latency of the linear layers (eval pass)",
+		"model", "deploy", "analog-uJ", "analog-ms", "digital-uJ", "digital-ms",
+		"energy-saving", "bm-retries", "accuracy")
+	for _, r := range rows {
+		t.Add(r.Model, r.Deploy,
+			r.AnalogEnergyPJ/1e6, r.AnalogLatencyNS/1e6,
+			r.DigitalEnergyPJ/1e6, r.DigitalLatencyNS/1e6,
+			r.EnergySaving, r.BMRetries, r.Accuracy)
+	}
+	return t
+}
+
+// LambdaTable renders λ-ablation rows.
+func LambdaTable(rows []LambdaRow) *Table {
+	t := NewTable("Ext. — NORA migration strength λ ablation (paper-preset noise)",
+		"model", "lambda", "accuracy")
+	for _, r := range rows {
+		t.Add(r.Model, r.Lambda, r.Accuracy)
+	}
+	return t
+}

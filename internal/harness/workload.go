@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nora/internal/core"
+	"nora/internal/model"
+	"nora/internal/nn"
+)
+
+// Workload bundles one zoo model with its evaluation and calibration data
+// and its digital-baseline accuracy.
+type Workload struct {
+	Spec  model.Spec
+	Model *nn.Model
+	Eval  [][]int // Lambada-style last-word sequences
+	Calib [][]int // Pile-style calibration sequences
+
+	digOnce    sync.Once
+	digitalAcc float64
+
+	calOnce sync.Once
+	cal     *core.Calibration
+}
+
+// EvalSize and CalibSize are the default dataset sizes; evaluation cost
+// scales linearly with EvalSize.
+const (
+	EvalSize  = 150
+	CalibSize = 24
+)
+
+// NewWorkload assembles a workload for spec, loading (or training and
+// caching) the model from modelDir.
+func NewWorkload(modelDir string, spec model.Spec, evalN, calibN int) (*Workload, error) {
+	m, err := model.LoadOrTrain(modelDir, spec)
+	if err != nil {
+		return nil, fmt.Errorf("harness: loading %s: %w", spec.Key, err)
+	}
+	corpus, err := spec.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	if evalN <= 0 {
+		evalN = EvalSize
+	}
+	if calibN <= 0 {
+		calibN = CalibSize
+	}
+	return &Workload{
+		Spec:  spec,
+		Model: m,
+		Eval:  corpus.Split("eval", evalN),
+		Calib: corpus.Split("calibration", calibN),
+	}, nil
+}
+
+// LoadZoo assembles workloads for every spec, training missing models.
+func LoadZoo(modelDir string, specs []model.Spec, evalN, calibN int) ([]*Workload, error) {
+	ws := make([]*Workload, 0, len(specs))
+	for _, spec := range specs {
+		w, err := NewWorkload(modelDir, spec, evalN, calibN)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// DigitalAccuracy returns (computing once) the digital full-precision
+// accuracy of the workload on its eval split.
+func (w *Workload) DigitalAccuracy() float64 {
+	w.digOnce.Do(func() {
+		w.digitalAcc = nn.NewRunner(w.Model).EvalAccuracy(w.Eval)
+	})
+	return w.digitalAcc
+}
+
+// Calibration returns (computing once) the NORA calibration statistics.
+func (w *Workload) Calibration() *core.Calibration {
+	w.calOnce.Do(func() {
+		w.cal = core.Calibrate(w.Model, w.Calib)
+	})
+	return w.cal
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines.
+// Experiment points are independent (each builds its own deployment with
+// its own seeded noise streams), so order does not affect results.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// seedFor derives a stable experiment seed from string labels.
+func seedFor(labels ...string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h ^= uint64(l[i])
+			h *= prime
+		}
+		h ^= '/'
+		h *= prime
+	}
+	return h
+}

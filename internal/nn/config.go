@@ -1,0 +1,92 @@
+// Package nn implements the transformer substrate of the NORA reproduction:
+// OPT-style and LLaMA/Mistral-style decoder architectures with
+//
+//   - a training forward pass built on the autograd tape, and
+//   - an inference forward pass (Runner) in which every weight-bearing
+//     linear layer is a pluggable LinearOp, so that linears can be swapped
+//     for analog CIM tiles exactly as the paper converts nn.Linear into
+//     AnalogLinear while keeping normalization, activation functions and
+//     self-attention digital (paper §V, Fig. 2b).
+package nn
+
+import "fmt"
+
+// Arch selects the transformer family.
+type Arch int
+
+const (
+	// ArchOPT is the OPT-style decoder: pre-LayerNorm, learned positional
+	// embeddings, biased linears, ReLU MLP.
+	ArchOPT Arch = iota
+	// ArchLLaMA is the LLaMA-style decoder: RMSNorm, rotary position
+	// embeddings, bias-free linears, SwiGLU MLP.
+	ArchLLaMA
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchOPT:
+		return "opt"
+	case ArchLLaMA:
+		return "llama"
+	default:
+		return fmt.Sprintf("arch(%d)", int(a))
+	}
+}
+
+// Config describes a transformer model instance.
+type Config struct {
+	Name    string // registry name, e.g. "opt-c3"
+	Arch    Arch
+	Vocab   int // vocabulary size
+	DModel  int // residual width
+	NHeads  int // attention (query) heads (DModel % NHeads == 0)
+	NLayers int // transformer blocks
+	DFF     int // MLP hidden width
+	MaxSeq  int // maximum sequence length (positional table size)
+
+	// NKVHeads enables grouped-query attention: the key/value projections
+	// produce only NKVHeads heads, each shared by NHeads/NKVHeads query
+	// heads (LLaMA-3-style GQA). 0 means NKVHeads == NHeads (standard
+	// multi-head attention).
+	NKVHeads int
+
+	// RoPEBase is the rotary base frequency (LLaMA arch only).
+	RoPEBase float64
+	// Window limits attention to the previous Window positions when > 0
+	// (Mistral-style sliding-window attention). 0 means full causal.
+	Window int
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.Vocab <= 0 || c.DModel <= 0 || c.NLayers <= 0 || c.DFF <= 0 || c.MaxSeq <= 0:
+		return fmt.Errorf("nn: config %q has non-positive dimension", c.Name)
+	case c.NHeads <= 0 || c.DModel%c.NHeads != 0:
+		return fmt.Errorf("nn: config %q: DModel %d not divisible by NHeads %d", c.Name, c.DModel, c.NHeads)
+	case c.Arch == ArchLLaMA && (c.DModel/c.NHeads)%2 != 0:
+		return fmt.Errorf("nn: config %q: RoPE needs even head dim, got %d", c.Name, c.DModel/c.NHeads)
+	case c.Arch == ArchLLaMA && c.RoPEBase <= 0:
+		return fmt.Errorf("nn: config %q: LLaMA arch requires RoPEBase > 0", c.Name)
+	case c.Window < 0:
+		return fmt.Errorf("nn: config %q: negative attention window", c.Name)
+	case c.NKVHeads < 0 || (c.NKVHeads > 0 && (c.NKVHeads > c.NHeads || c.NHeads%c.NKVHeads != 0)):
+		return fmt.Errorf("nn: config %q: NKVHeads %d must divide NHeads %d", c.Name, c.NKVHeads, c.NHeads)
+	}
+	return nil
+}
+
+// HeadDim returns DModel / NHeads.
+func (c Config) HeadDim() int { return c.DModel / c.NHeads }
+
+// KVHeads returns the effective number of key/value heads.
+func (c Config) KVHeads() int {
+	if c.NKVHeads > 0 {
+		return c.NKVHeads
+	}
+	return c.NHeads
+}
+
+// KVDim returns the width of the key/value projections.
+func (c Config) KVDim() int { return c.KVHeads() * c.HeadDim() }

@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"math"
+
+	"nora/internal/autograd"
+	"nora/internal/tensor"
+)
+
+// ForwardTrain runs the differentiable forward pass on one token sequence,
+// returning per-position logits (len(tokens) × vocab). Gradients flow into
+// the model parameters when Backward is called on a loss derived from the
+// result.
+func (m *Model) ForwardTrain(tp *autograd.Tape, tokens []int) *autograd.Var {
+	n := len(tokens)
+	if n == 0 || n > m.Cfg.MaxSeq {
+		panic("nn: ForwardTrain sequence length out of range")
+	}
+	x := tp.Embedding(tp.Param(m.TokEmb), tokens)
+	if m.Cfg.Arch == ArchOPT {
+		positions := make([]int, n)
+		for i := range positions {
+			positions[i] = i
+		}
+		x = tp.Add(x, tp.Embedding(tp.Param(m.PosEmb), positions))
+	}
+	mask := CausalMask(n, m.Cfg.Window)
+	positions := make([]int, n)
+	for i := range positions {
+		positions[i] = i
+	}
+	for _, b := range m.Blocks {
+		x = m.blockTrain(tp, b, x, mask, positions)
+	}
+	var h *autograd.Var
+	if m.Cfg.Arch == ArchOPT {
+		h = tp.LayerNorm(x, tp.Param(m.FinalNormGain), tp.Param(m.FinalNormBias), normEps)
+	} else {
+		h = tp.RMSNorm(x, tp.Param(m.FinalNormGain), normEps)
+	}
+	return tp.MatMul(h, tp.Param(m.LMHead))
+}
+
+const normEps = 1e-5
+
+func (m *Model) blockTrain(tp *autograd.Tape, b *Block, x *autograd.Var, mask *tensor.Matrix, positions []int) *autograd.Var {
+	// --- attention sub-block (pre-norm) ---
+	var h *autograd.Var
+	if m.Cfg.Arch == ArchOPT {
+		h = tp.LayerNorm(x, tp.Param(b.AttnNormGain), tp.Param(b.AttnNormBias), normEps)
+	} else {
+		h = tp.RMSNorm(x, tp.Param(b.AttnNormGain), normEps)
+	}
+	lin := func(w, bias *autograd.Param, in *autograd.Var) *autograd.Var {
+		out := tp.MatMul(in, tp.Param(w))
+		if bias != nil {
+			out = tp.AddBias(out, tp.Param(bias))
+		}
+		if m.trainNoiseRel > 0 {
+			// Hardware-aware noise injection: perturb the linear output
+			// like the analog tile would, straight-through for gradients.
+			noise := tensor.New(out.Val.Rows, out.Val.Cols)
+			m.trainNoiseRng.FillNormal(noise.Data, 0, m.trainNoiseRel*out.Val.AbsMax())
+			out = tp.AddConst(out, noise)
+		}
+		return out
+	}
+	q := lin(b.WQ, b.BQ, h)
+	k := lin(b.WK, b.BK, h)
+	v := lin(b.WV, b.BV, h)
+	if m.Cfg.Arch == ArchLLaMA {
+		q = tp.RoPE(q, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
+		k = tp.RoPE(k, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
+	}
+	attn := m.attentionTrain(tp, q, k, v, mask)
+	x = tp.Add(x, lin(b.WO, b.BO, attn))
+
+	// --- MLP sub-block (pre-norm) ---
+	if m.Cfg.Arch == ArchOPT {
+		h = tp.LayerNorm(x, tp.Param(b.MLPNormGain), tp.Param(b.MLPNormBias), normEps)
+		h = tp.ReLU(lin(b.W1, b.B1, h))
+		h = lin(b.W2, b.B2, h)
+	} else {
+		h = tp.RMSNorm(x, tp.Param(b.MLPNormGain), normEps)
+		gate := tp.SiLU(lin(b.WGate, nil, h))
+		up := lin(b.WUp, nil, h)
+		h = lin(b.WDown, nil, tp.Mul(gate, up))
+	}
+	return tp.Add(x, h)
+}
+
+// attentionTrain computes multi-head causal self-attention from q (n × d)
+// and k/v (n × kvDim), slicing per head. Under grouped-query attention
+// each group of NHeads/KVHeads query heads shares one key/value head.
+func (m *Model) attentionTrain(tp *autograd.Tape, q, k, v *autograd.Var, mask *tensor.Matrix) *autograd.Var {
+	dh := m.Cfg.HeadDim()
+	group := m.Cfg.NHeads / m.Cfg.KVHeads()
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	heads := make([]*autograd.Var, m.Cfg.NHeads)
+	for hIdx := 0; hIdx < m.Cfg.NHeads; hIdx++ {
+		lo, hi := hIdx*dh, (hIdx+1)*dh
+		kvLo := (hIdx / group) * dh
+		qh := tp.SliceCols(q, lo, hi)
+		kh := tp.SliceCols(k, kvLo, kvLo+dh)
+		vh := tp.SliceCols(v, kvLo, kvLo+dh)
+		scores := tp.Scale(tp.MatMulT(qh, kh), scale)
+		scores = tp.AddConst(scores, mask)
+		probs := tp.SoftmaxRows(scores)
+		heads[hIdx] = tp.MatMul(probs, vh)
+	}
+	return tp.ConcatCols(heads...)
+}
+
+// LossOnBatch runs ForwardTrain on each sequence of a batch, accumulating
+// the mean cross-entropy of next-token prediction (targets[i] = tokens[i+1];
+// the final position is masked). Backward is called per sequence so the
+// caller only needs to invoke the optimizer afterwards. Returns the mean
+// loss over the batch.
+func (m *Model) LossOnBatch(batch [][]int) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	var total float64
+	inv := float32(1 / float64(len(batch)))
+	for _, tokens := range batch {
+		tp := autograd.NewTape()
+		logits := m.ForwardTrain(tp, tokens)
+		targets := make([]int, len(tokens))
+		for i := 0; i < len(tokens)-1; i++ {
+			targets[i] = tokens[i+1]
+		}
+		targets[len(tokens)-1] = -1
+		loss := tp.CrossEntropy(logits, targets)
+		scaled := tp.Scale(loss, inv)
+		tp.Backward(scaled)
+		total += float64(loss.Val.At(0, 0))
+	}
+	return total / float64(len(batch))
+}

@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"nora/internal/rng"
+)
+
+// FuzzLoad hardens the model reader: arbitrary byte streams must produce
+// an error, never a panic or an implausible allocation.
+func FuzzLoad(f *testing.F) {
+	// seed with a valid model file and a few mutations
+	m, err := NewModel(Config{
+		Name: "fz", Arch: ArchOPT,
+		Vocab: 8, DModel: 8, NHeads: 2, NLayers: 1, DFF: 8, MaxSeq: 8,
+	}, rng.New(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte("NORAMDL1"))
+	f.Add([]byte{})
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	corrupt := append([]byte(nil), valid...)
+	for i := 9; i < 40 && i < len(corrupt); i += 3 {
+		corrupt[i] ^= 0xff
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err == nil && m == nil {
+			t.Fatal("nil model with nil error")
+		}
+		if m != nil {
+			// a successfully loaded model must be internally consistent
+			if err := m.Cfg.Validate(); err != nil {
+				t.Fatalf("loaded invalid config: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzCausalMask checks mask invariants over arbitrary shapes.
+func FuzzCausalMask(f *testing.F) {
+	f.Add(4, 0)
+	f.Add(8, 3)
+	f.Add(1, 1)
+	f.Fuzz(func(t *testing.T, n, window int) {
+		if n < 1 || n > 64 || window < 0 || window > 64 {
+			t.Skip()
+		}
+		m := CausalMask(n, window)
+		for i := 0; i < n; i++ {
+			if m.At(i, i) != 0 {
+				t.Fatal("diagonal must be attendable")
+			}
+			for j := i + 1; j < n; j++ {
+				if m.At(i, j) > -1e8 {
+					t.Fatal("future positions must be masked")
+				}
+			}
+		}
+	})
+}

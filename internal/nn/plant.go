@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"fmt"
+
+	"nora/internal/autograd"
+)
+
+// PlantOutliers installs activation outliers into the model in a
+// function-preserving way: for every transformer block and every channel k
+// in channels, the pre-linear normalization output channel k is scaled up
+// by factor (gain and, when present, bias), while row k of every weight
+// matrix consuming that normalization output is scaled down by 1/factor.
+// The FP32 function computed by the model is unchanged (the normalization
+// output feeds only those linears), but the activations streamed into the
+// linear layers now carry per-channel outliers — the high-kurtosis,
+// fixed-channel structure real OPT/LLaMA activations exhibit (paper Fig. 4,
+// refs [4], [33]).
+//
+// This is the reproduction's stand-in for loading real LLM checkpoints:
+// OPT-class models get a large factor (heavy outliers), LLaMA/Mistral-class
+// models a mild one. See DESIGN.md §2.
+func PlantOutliers(m *Model, channels []int, factor float32) {
+	if factor <= 0 {
+		panic("nn: PlantOutliers factor must be positive")
+	}
+	d := m.Cfg.DModel
+	for _, k := range channels {
+		if k < 0 || k >= d {
+			panic(fmt.Sprintf("nn: PlantOutliers channel %d out of range [0,%d)", k, d))
+		}
+	}
+	inv := 1 / factor
+	for _, b := range m.Blocks {
+		for _, k := range channels {
+			// attention sub-block
+			b.AttnNormGain.Value.Data[k] *= factor
+			if b.AttnNormBias != nil {
+				b.AttnNormBias.Value.Data[k] *= factor
+			}
+			scaleRow(b.WQ, k, inv)
+			scaleRow(b.WK, k, inv)
+			scaleRow(b.WV, k, inv)
+
+			// MLP sub-block
+			b.MLPNormGain.Value.Data[k] *= factor
+			if b.MLPNormBias != nil {
+				b.MLPNormBias.Value.Data[k] *= factor
+			}
+			if b.W1 != nil {
+				scaleRow(b.W1, k, inv)
+			}
+			if b.WGate != nil {
+				scaleRow(b.WGate, k, inv)
+				scaleRow(b.WUp, k, inv)
+			}
+		}
+	}
+}
+
+func scaleRow(p *autograd.Param, k int, f float32) {
+	row := p.Value.Row(k)
+	for j := range row {
+		row[j] *= f
+	}
+}

@@ -1,0 +1,286 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"nora/internal/tensor"
+)
+
+// LinearOp computes y = f(x) for one weight-bearing linear layer during
+// inference. The digital implementation is an exact x·W + b; the analog
+// package provides a CIM-tile implementation with the full noise pipeline.
+type LinearOp interface {
+	// Name returns the layer's stable identifier (e.g. "layer2.attn.q").
+	Name() string
+	// Forward maps an (n × in) activation matrix to (n × out).
+	Forward(x *tensor.Matrix) *tensor.Matrix
+}
+
+// DigitalLinear is the exact float32 linear layer y = x·W + b.
+type DigitalLinear struct {
+	spec LinearSpec
+}
+
+// NewDigitalLinear wraps a LinearSpec as an exact digital operator.
+func NewDigitalLinear(spec LinearSpec) *DigitalLinear { return &DigitalLinear{spec: spec} }
+
+// Name implements LinearOp.
+func (d *DigitalLinear) Name() string { return d.spec.Name }
+
+// Forward implements LinearOp.
+func (d *DigitalLinear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := tensor.MatMul(x, d.spec.W)
+	if d.spec.B != nil {
+		y.AddRowVecInPlace(d.spec.B)
+	}
+	return y
+}
+
+// Runner executes the inference forward pass of a model with pluggable
+// linear operators. A fresh Runner uses exact digital linears everywhere
+// (the paper's "Digital Full precision" baseline).
+type Runner struct {
+	model *Model
+	ops   map[string]LinearOp
+
+	// PreLinear, when non-nil, observes the input activations of every
+	// linear layer just before the operator runs. NORA's calibration pass
+	// uses this to collect per-channel max|x_k| statistics.
+	PreLinear func(name string, x *tensor.Matrix)
+}
+
+// NewRunner returns a Runner over m with all-digital linears.
+func NewRunner(m *Model) *Runner {
+	r := &Runner{model: m, ops: make(map[string]LinearOp)}
+	for _, spec := range m.Linears() {
+		r.ops[spec.Name] = NewDigitalLinear(spec)
+	}
+	return r
+}
+
+// Model returns the underlying model.
+func (r *Runner) Model() *Model { return r.model }
+
+// SetLinear swaps the operator for one layer. It panics if the layer name
+// is unknown (a typo here would silently skip a layer otherwise).
+func (r *Runner) SetLinear(name string, op LinearOp) {
+	if _, ok := r.ops[name]; !ok {
+		panic(fmt.Sprintf("nn: SetLinear: unknown layer %q", name))
+	}
+	r.ops[name] = op
+}
+
+// ReplaceAll swaps every linear layer using the factory — the analog of the
+// paper's "convert all nn.Linear layers of models into AnalogLinear".
+func (r *Runner) ReplaceAll(factory func(spec LinearSpec) LinearOp) {
+	for _, spec := range r.model.Linears() {
+		r.ops[spec.Name] = factory(spec)
+	}
+}
+
+// Linear returns the operator currently installed for name.
+func (r *Runner) Linear(name string) LinearOp { return r.ops[name] }
+
+func (r *Runner) apply(name string, x *tensor.Matrix) *tensor.Matrix {
+	if r.PreLinear != nil {
+		r.PreLinear(name, x)
+	}
+	op, ok := r.ops[name]
+	if !ok {
+		panic(fmt.Sprintf("nn: no operator for layer %q", name))
+	}
+	return op.Forward(x)
+}
+
+// Logits runs the full forward pass, returning (len(tokens) × vocab) logits.
+func (r *Runner) Logits(tokens []int) *tensor.Matrix {
+	m := r.model
+	n := len(tokens)
+	if n == 0 || n > m.Cfg.MaxSeq {
+		panic("nn: Logits sequence length out of range")
+	}
+	x := tensor.New(n, m.Cfg.DModel)
+	for i, id := range tokens {
+		if id < 0 || id >= m.Cfg.Vocab {
+			panic(fmt.Sprintf("nn: token %d out of range", id))
+		}
+		copy(x.Row(i), m.TokEmb.Value.Row(id))
+	}
+	if m.Cfg.Arch == ArchOPT {
+		for i := 0; i < n; i++ {
+			tensor.Axpy(1, m.PosEmb.Value.Row(i), x.Row(i))
+		}
+	}
+	mask := CausalMask(n, m.Cfg.Window)
+	positions := make([]int, n)
+	for i := range positions {
+		positions[i] = i
+	}
+	for l, b := range m.Blocks {
+		x = r.blockInfer(l, b, x, mask, positions)
+	}
+	var h *tensor.Matrix
+	if m.Cfg.Arch == ArchOPT {
+		h = layerNormInfer(x, m.FinalNormGain.Value.Row(0), m.FinalNormBias.Value.Row(0))
+	} else {
+		h = rmsNormInfer(x, m.FinalNormGain.Value.Row(0))
+	}
+	return tensor.MatMul(h, m.LMHead.Value)
+}
+
+func (r *Runner) blockInfer(layer int, b *Block, x, mask *tensor.Matrix, positions []int) *tensor.Matrix {
+	m := r.model
+	p := func(s string) string { return fmt.Sprintf("layer%d.%s", layer, s) }
+
+	var h *tensor.Matrix
+	if m.Cfg.Arch == ArchOPT {
+		h = layerNormInfer(x, b.AttnNormGain.Value.Row(0), b.AttnNormBias.Value.Row(0))
+	} else {
+		h = rmsNormInfer(x, b.AttnNormGain.Value.Row(0))
+	}
+	q := r.apply(p("attn.q"), h)
+	k := r.apply(p("attn.k"), h)
+	v := r.apply(p("attn.v"), h)
+	if m.Cfg.Arch == ArchLLaMA {
+		ropeInferInPlace(q, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
+		ropeInferInPlace(k, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
+	}
+	attn := attentionInfer(q, k, v, m.Cfg.NHeads, m.Cfg.KVHeads(), mask)
+	x = tensor.Add(x, r.apply(p("attn.o"), attn))
+
+	if m.Cfg.Arch == ArchOPT {
+		h = layerNormInfer(x, b.MLPNormGain.Value.Row(0), b.MLPNormBias.Value.Row(0))
+		h = r.apply(p("mlp.fc1"), h)
+		h.ApplyInPlace(func(v float32) float32 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		})
+		h = r.apply(p("mlp.fc2"), h)
+	} else {
+		h = rmsNormInfer(x, b.MLPNormGain.Value.Row(0))
+		gate := r.apply(p("mlp.gate"), h)
+		gate.ApplyInPlace(siluScalar)
+		up := r.apply(p("mlp.up"), h)
+		h = r.apply(p("mlp.down"), tensor.Mul(gate, up))
+	}
+	return tensor.Add(x, h)
+}
+
+// PredictLast returns the argmax next-token prediction at the final
+// position of the context.
+func (r *Runner) PredictLast(context []int) int {
+	logits := r.Logits(context)
+	last := logits.Row(logits.Rows - 1)
+	best, bi := float32(math.Inf(-1)), 0
+	for j, v := range last {
+		if v > best {
+			best, bi = v, j
+		}
+	}
+	return bi
+}
+
+// EvalAccuracy measures last-word prediction accuracy over sequences: for
+// each sequence the final token is the target and the preceding tokens are
+// the context (the Lambada protocol).
+func (r *Runner) EvalAccuracy(sequences [][]int) float64 {
+	if len(sequences) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, seq := range sequences {
+		if len(seq) < 2 {
+			panic("nn: EvalAccuracy needs sequences of length ≥ 2")
+		}
+		if r.PredictLast(seq[:len(seq)-1]) == seq[len(seq)-1] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(sequences))
+}
+
+// --- digital inference kernels (mirror the autograd forward exactly) ---
+
+func layerNormInfer(x *tensor.Matrix, gain, bias []float32) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(x.Cols)
+		var varr float64
+		for _, v := range row {
+			d := float64(v) - mean
+			varr += d * d
+		}
+		varr /= float64(x.Cols)
+		is := float32(1 / math.Sqrt(varr+normEps))
+		o := out.Row(i)
+		for j, v := range row {
+			o[j] = (v-float32(mean))*is*gain[j] + bias[j]
+		}
+	}
+	return out
+}
+
+func rmsNormInfer(x *tensor.Matrix, gain []float32) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var ms float64
+		for _, v := range row {
+			ms += float64(v) * float64(v)
+		}
+		ms /= float64(x.Cols)
+		ir := float32(1 / math.Sqrt(ms+normEps))
+		o := out.Row(i)
+		for j, v := range row {
+			o[j] = v * ir * gain[j]
+		}
+	}
+	return out
+}
+
+func siluScalar(v float32) float32 {
+	return float32(float64(v) / (1 + math.Exp(-float64(v))))
+}
+
+func ropeInferInPlace(x *tensor.Matrix, headDim int, positions []int, base float64) {
+	for r := 0; r < x.Rows; r++ {
+		pos := float64(positions[r])
+		row := x.Row(r)
+		for c := 0; c < x.Cols/2; c++ {
+			i := c % (headDim / 2)
+			theta := pos * math.Pow(base, -2*float64(i)/float64(headDim))
+			co, si := float32(math.Cos(theta)), float32(math.Sin(theta))
+			x0, x1 := row[2*c], row[2*c+1]
+			row[2*c] = x0*co - x1*si
+			row[2*c+1] = x0*si + x1*co
+		}
+	}
+}
+
+func attentionInfer(q, k, v *tensor.Matrix, nHeads, kvHeads int, mask *tensor.Matrix) *tensor.Matrix {
+	dh := q.Cols / nHeads
+	group := nHeads / kvHeads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	out := tensor.New(q.Rows, q.Cols)
+	for h := 0; h < nHeads; h++ {
+		lo, hi := h*dh, (h+1)*dh
+		kvLo := (h / group) * dh
+		qh := q.SliceCols(lo, hi)
+		kh := k.SliceCols(kvLo, kvLo+dh)
+		vh := v.SliceCols(kvLo, kvLo+dh)
+		scores := tensor.MatMulT(qh, kh)
+		scores.ScaleInPlace(scale)
+		scores.AddInPlace(mask)
+		scores.SoftmaxRows()
+		out.PasteCols(lo, tensor.MatMul(scores, vh))
+	}
+	return out
+}

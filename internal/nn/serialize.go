@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"nora/internal/rng"
+)
+
+// Model files use a simple little-endian binary format:
+//
+//	magic "NORAMDL2"
+//	config: name, arch, vocab, dmodel, nheads, nlayers, dff, maxseq,
+//	        window, nkvheads, ropeBase (float64)
+//	param count, then per parameter: name, rows, cols, float32 data
+//
+// Parameters are written in Params() order and verified by name and shape
+// on load. Version-1 files (no NKVHeads field) remain loadable.
+const (
+	modelMagic   = "NORAMDL2"
+	modelMagicV1 = "NORAMDL1"
+)
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("nn: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Save writes the model to w.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, modelMagic); err != nil {
+		return err
+	}
+	if err := writeString(bw, m.Cfg.Name); err != nil {
+		return err
+	}
+	ints := []int64{
+		int64(m.Cfg.Arch), int64(m.Cfg.Vocab), int64(m.Cfg.DModel),
+		int64(m.Cfg.NHeads), int64(m.Cfg.NLayers), int64(m.Cfg.DFF),
+		int64(m.Cfg.MaxSeq), int64(m.Cfg.Window), int64(m.Cfg.NKVHeads),
+	}
+	for _, v := range ints {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.Cfg.RoPEBase); err != nil {
+		return err
+	}
+	params := m.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeString(bw, p.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, int64(p.Value.Rows)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, int64(p.Value.Cols)); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*len(p.Value.Data))
+		for i, v := range p.Value.Data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	nInts := 9
+	switch string(magic) {
+	case modelMagic:
+	case modelMagicV1:
+		nInts = 8
+	default:
+		return nil, fmt.Errorf("nn: bad magic %q", magic)
+	}
+	var cfg Config
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Name = name
+	ints := make([]int64, nInts)
+	for i := range ints {
+		if err := binary.Read(br, binary.LittleEndian, &ints[i]); err != nil {
+			return nil, err
+		}
+	}
+	cfg.Arch = Arch(ints[0])
+	cfg.Vocab, cfg.DModel, cfg.NHeads = int(ints[1]), int(ints[2]), int(ints[3])
+	cfg.NLayers, cfg.DFF, cfg.MaxSeq = int(ints[4]), int(ints[5]), int(ints[6])
+	cfg.Window = int(ints[7])
+	if nInts > 8 {
+		cfg.NKVHeads = int(ints[8])
+	}
+	if err := binary.Read(br, binary.LittleEndian, &cfg.RoPEBase); err != nil {
+		return nil, err
+	}
+	// Reject corrupt or hostile headers before NewModel allocates: a few
+	// flipped bytes must not turn into a multi-gigabyte allocation.
+	const maxDim = 1 << 20
+	for _, v := range []int{cfg.Vocab, cfg.DModel, cfg.NHeads, cfg.NLayers, cfg.DFF, cfg.MaxSeq} {
+		if v < 0 || v > maxDim {
+			return nil, fmt.Errorf("nn: implausible config dimension %d", v)
+		}
+	}
+	if cfg.Window < 0 || cfg.Window > maxDim {
+		return nil, fmt.Errorf("nn: implausible window %d", cfg.Window)
+	}
+	total := int64(cfg.Vocab)*int64(cfg.DModel) +
+		int64(cfg.NLayers)*int64(cfg.DModel)*(4*int64(cfg.DModel)+3*int64(cfg.DFF)) +
+		int64(cfg.MaxSeq)*int64(cfg.DModel)
+	if total > 1<<26 { // 64M core params ≈ 256 MB — far above any zoo model
+		return nil, fmt.Errorf("nn: model too large to load (%d core params)", total)
+	}
+	m, err := NewModel(cfg, rng.New(0))
+	if err != nil {
+		return nil, err
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	params := m.Params()
+	if int(count) != len(params) {
+		return nil, fmt.Errorf("nn: file has %d params, model expects %d", count, len(params))
+	}
+	for _, p := range params {
+		pname, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		if pname != p.Name {
+			return nil, fmt.Errorf("nn: param order mismatch: file %q vs model %q", pname, p.Name)
+		}
+		var rows, cols int64
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return nil, err
+		}
+		if int(rows) != p.Value.Rows || int(cols) != p.Value.Cols {
+			return nil, fmt.Errorf("nn: param %q shape %dx%d, model expects %dx%d",
+				pname, rows, cols, p.Value.Rows, p.Value.Cols)
+		}
+		buf := make([]byte, 4*int(rows)*int(cols))
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		for i := range p.Value.Data {
+			p.Value.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to path (creating parent-relative path as-is).
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,165 @@
+// Package quant implements digital post-training quantization baselines
+// for the related-work comparison (paper §VI): a simulated W8A8 integer
+// linear layer (per-output-channel weight quantization, dynamic per-token
+// activation quantization) with optional SmoothQuant rescaling — the
+// digital-GPU method NORA adapts to analog CIM. Deploying these alongside
+// the analog paths lets the harness compare "SmoothQuant on digital INT8"
+// against "NORA on analog tiles" on identical models.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"nora/internal/tensor"
+)
+
+// Config selects the quantization scheme.
+type Config struct {
+	// WeightBits and ActBits are the integer widths (8 for W8A8). 0
+	// disables quantization on that operand.
+	WeightBits, ActBits int
+
+	// PerChannelWeights selects per-output-channel weight scales (the
+	// standard scheme); false uses one scale for the whole matrix.
+	PerChannelWeights bool
+
+	// Smooth, when non-nil, applies SmoothQuant rescaling before
+	// quantization: weights are stored as W⊙s (rows scaled) and incoming
+	// activations are divided channel-wise by s. len(Smooth) must equal
+	// the layer's input width.
+	Smooth []float32
+}
+
+// W8A8 returns the standard 8-bit configuration.
+func W8A8() Config {
+	return Config{WeightBits: 8, ActBits: 8, PerChannelWeights: true}
+}
+
+// qmax returns the symmetric integer ceiling for a bit width (127 for 8).
+func qmax(bits int) float32 {
+	return float32(int32(1)<<(bits-1) - 1)
+}
+
+// Linear is a simulated integer-quantized digital linear layer
+// implementing nn.LinearOp. Weights are quantized once at construction;
+// activations are quantized dynamically per row at Forward time. The
+// arithmetic is carried out in float32 on the dequantized grid — bit-exact
+// integer kernels are unnecessary for accuracy studies.
+type Linear struct {
+	name string
+	cfg  Config
+	in   int
+	out  int
+
+	wq   *tensor.Matrix // quantized-and-dequantized weights (with Smooth folded in)
+	bias []float32
+	invS []float32 // nil when no smoothing
+}
+
+// NewLinear quantizes weight matrix w (in × out) under cfg. bias may be
+// nil.
+func NewLinear(name string, w *tensor.Matrix, bias []float32, cfg Config) *Linear {
+	if cfg.Smooth != nil && len(cfg.Smooth) != w.Rows {
+		panic(fmt.Sprintf("quant: smoothing vector len %d, weight rows %d", len(cfg.Smooth), w.Rows))
+	}
+	l := &Linear{name: name, cfg: cfg, in: w.Rows, out: w.Cols}
+	if bias != nil {
+		l.bias = append([]float32(nil), bias...)
+	}
+	ws := w
+	if cfg.Smooth != nil {
+		l.invS = make([]float32, len(cfg.Smooth))
+		for k, v := range cfg.Smooth {
+			if v <= 0 {
+				panic(fmt.Sprintf("quant: non-positive smoothing component s[%d] = %v", k, v))
+			}
+			l.invS[k] = 1 / v
+		}
+		ws = tensor.ScaleRows(w, cfg.Smooth)
+	}
+	l.wq = quantizeWeights(ws, cfg)
+	return l
+}
+
+func quantizeWeights(w *tensor.Matrix, cfg Config) *tensor.Matrix {
+	if cfg.WeightBits <= 0 {
+		return w.Clone()
+	}
+	q := qmax(cfg.WeightBits)
+	out := tensor.New(w.Rows, w.Cols)
+	if cfg.PerChannelWeights {
+		scales := w.AbsMaxPerCol()
+		for j := range scales {
+			if scales[j] == 0 {
+				scales[j] = 1
+			}
+		}
+		for i := 0; i < w.Rows; i++ {
+			src := w.Row(i)
+			dst := out.Row(i)
+			for j, v := range src {
+				step := scales[j] / q
+				dst[j] = float32(math.Round(float64(v/step))) * step
+			}
+		}
+		return out
+	}
+	scale := w.AbsMax()
+	if scale == 0 {
+		return out
+	}
+	step := scale / q
+	for i, v := range w.Data {
+		out.Data[i] = float32(math.Round(float64(v/step))) * step
+	}
+	return out
+}
+
+// Name implements nn.LinearOp.
+func (l *Linear) Name() string { return l.name }
+
+// Forward implements nn.LinearOp: per-row dynamic activation quantization
+// followed by the (pre-quantized) weight product.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.in {
+		panic(fmt.Sprintf("quant: %s: input width %d, expected %d", l.name, x.Cols, l.in))
+	}
+	xs := x
+	if l.invS != nil {
+		xs = tensor.ScaleCols(x, l.invS)
+	}
+	xq := xs
+	if l.cfg.ActBits > 0 {
+		q := qmax(l.cfg.ActBits)
+		xq = tensor.New(xs.Rows, xs.Cols)
+		for i := 0; i < xs.Rows; i++ {
+			row := xs.Row(i)
+			scale := tensor.AbsMaxVec(row)
+			dst := xq.Row(i)
+			if scale == 0 {
+				continue
+			}
+			step := scale / q
+			for k, v := range row {
+				dst[k] = float32(math.Round(float64(v/step))) * step
+			}
+		}
+	}
+	y := tensor.MatMul(xq, l.wq)
+	if l.bias != nil {
+		y.AddRowVecInPlace(l.bias)
+	}
+	return y
+}
+
+// WeightMSE reports the quantization MSE of the stored weights against the
+// effective (smoothed) full-precision weights — a direct measure of how
+// much precision smoothing costs on the weight side.
+func (l *Linear) WeightMSE(w *tensor.Matrix) float64 {
+	ws := w
+	if l.cfg.Smooth != nil {
+		ws = tensor.ScaleRows(w, l.cfg.Smooth)
+	}
+	return tensor.MSE(l.wq, ws)
+}

@@ -1,0 +1,201 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nora/internal/rng"
+	"nora/internal/tensor"
+)
+
+func randMat(seed uint64, rows, cols int) *tensor.Matrix {
+	r := rng.New(seed)
+	m := tensor.New(rows, cols)
+	r.FillNormal(m.Data, 0, 1)
+	return m
+}
+
+func TestW8A8Config(t *testing.T) {
+	cfg := W8A8()
+	if cfg.WeightBits != 8 || cfg.ActBits != 8 || !cfg.PerChannelWeights {
+		t.Fatalf("W8A8 = %+v", cfg)
+	}
+}
+
+func TestQmax(t *testing.T) {
+	if qmax(8) != 127 || qmax(4) != 7 {
+		t.Fatalf("qmax: %v %v", qmax(8), qmax(4))
+	}
+}
+
+func TestZeroBitsIsExact(t *testing.T) {
+	w := randMat(1, 16, 8)
+	x := randMat(2, 4, 16)
+	l := NewLinear("fp", w, nil, Config{})
+	want := tensor.MatMul(x, w)
+	if !l.Forward(x).AllClose(want, 1e-6) {
+		t.Fatal("bits=0 must be exact")
+	}
+}
+
+func TestW8A8ErrorSmallOnBenignData(t *testing.T) {
+	w := randMat(3, 32, 16)
+	x := randMat(4, 8, 32)
+	l := NewLinear("q", w, nil, W8A8())
+	want := tensor.MatMul(x, w)
+	got := l.Forward(x)
+	rel := math.Sqrt(tensor.MSE(got, want)) / (1e-9 + want.Frobenius()/math.Sqrt(float64(len(want.Data))))
+	if rel == 0 {
+		t.Fatal("8-bit quantization should not be exact")
+	}
+	if rel > 0.02 {
+		t.Fatalf("W8A8 relative error %v too large for benign data", rel)
+	}
+}
+
+func TestFewerBitsHurtMore(t *testing.T) {
+	w := randMat(5, 32, 16)
+	x := randMat(6, 8, 32)
+	want := tensor.MatMul(x, w)
+	mse := func(bits int) float64 {
+		cfg := Config{WeightBits: bits, ActBits: bits, PerChannelWeights: true}
+		return tensor.MSE(NewLinear("q", w, nil, cfg).Forward(x), want)
+	}
+	if mse(4) <= mse(8) {
+		t.Fatal("4-bit must err more than 8-bit")
+	}
+}
+
+func TestPerChannelBeatsPerTensorOnSkewedWeights(t *testing.T) {
+	// one giant column forces a huge per-tensor scale
+	w := randMat(7, 32, 16)
+	for i := 0; i < 32; i++ {
+		w.Set(i, 0, w.At(i, 0)*100)
+	}
+	x := randMat(8, 8, 32)
+	want := tensor.MatMul(x, w)
+	pc := tensor.MSE(NewLinear("pc", w, nil, Config{WeightBits: 8, ActBits: 0, PerChannelWeights: true}).Forward(x), want)
+	pt := tensor.MSE(NewLinear("pt", w, nil, Config{WeightBits: 8, ActBits: 0}).Forward(x), want)
+	if pc >= pt {
+		t.Fatalf("per-channel (%v) should beat per-tensor (%v) on skewed weights", pc, pt)
+	}
+}
+
+// The SmoothQuant identity: smoothing must not change the exact product
+// when quantization is disabled.
+func TestSmoothingInvarianceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		in, out, n := 4+r.Intn(12), 2+r.Intn(8), 1+r.Intn(5)
+		w := tensor.New(in, out)
+		r.FillNormal(w.Data, 0, 1)
+		x := tensor.New(n, in)
+		r.FillNormal(x.Data, 0, 1)
+		s := make([]float32, in)
+		for k := range s {
+			s[k] = 0.25 + 3*r.Float32()
+		}
+		base := tensor.MatMul(x, w)
+		smoothed := NewLinear("s", w, nil, Config{Smooth: s}).Forward(x)
+		return smoothed.AllClose(base, 3e-4*(1+base.AbsMax()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SmoothQuant's claim: with activation outliers, smoothing before W8A8
+// quantization cuts the end-to-end error.
+func TestSmoothingMitigatesOutlierQuantization(t *testing.T) {
+	const in, out, n = 32, 16, 8
+	w := randMat(9, in, out)
+	x := randMat(10, n, in)
+	for i := 0; i < n; i++ {
+		x.Set(i, 5, x.At(i, 5)*40)
+	}
+	want := tensor.MatMul(x, w)
+
+	naive := NewLinear("naive", w, nil, W8A8()).Forward(x)
+
+	// λ = 0.5 smoothing from the observed maxima
+	xmax := x.AbsMaxPerCol()
+	wmax := w.AbsMaxPerRow()
+	s := make([]float32, in)
+	for k := range s {
+		s[k] = float32(math.Sqrt(float64(xmax[k]) / (1e-9 + float64(wmax[k]))))
+		if s[k] <= 0 {
+			s[k] = 1
+		}
+	}
+	cfg := W8A8()
+	cfg.Smooth = s
+	smooth := NewLinear("smooth", w, nil, cfg).Forward(x)
+
+	if m1, m2 := tensor.MSE(naive, want), tensor.MSE(smooth, want); m2 >= m1/2 {
+		t.Fatalf("smoothing should cut W8A8 MSE: naive %v smooth %v", m1, m2)
+	}
+}
+
+func TestSmoothingShiftsErrorToWeights(t *testing.T) {
+	w := randMat(11, 32, 16)
+	s := make([]float32, 32)
+	for k := range s {
+		s[k] = 4 // uniform up-scale widens the weight grid steps
+	}
+	cfg := W8A8()
+	cfg.ActBits = 0
+	plain := NewLinear("p", w, nil, cfg)
+	cfgS := cfg
+	cfgS.Smooth = s
+	smoothed := NewLinear("s", w, nil, cfgS)
+	// weight error measured against the *effective* weights grows in
+	// absolute terms when weights are scaled up 4× (grid steps scale too,
+	// so the ratio is ~16× in MSE)
+	mPlain := plain.WeightMSE(w)
+	mSmooth := smoothed.WeightMSE(w)
+	if mSmooth <= mPlain {
+		t.Fatalf("scaled-up weights should carry more absolute quantization error: %v vs %v", mSmooth, mPlain)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	w := randMat(12, 8, 4)
+	for name, f := range map[string]func(){
+		"smooth-len": func() { NewLinear("x", w, nil, Config{Smooth: make([]float32, 3)}) },
+		"smooth-val": func() { NewLinear("x", w, nil, Config{Smooth: make([]float32, 8)}) },
+		"fwd-width":  func() { NewLinear("x", w, nil, Config{}).Forward(tensor.New(1, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZeroActivationRow(t *testing.T) {
+	w := randMat(13, 8, 4)
+	l := NewLinear("z", w, nil, W8A8())
+	x := tensor.New(2, 8) // all-zero rows must not divide by zero
+	got := l.Forward(x)
+	for _, v := range got.Data {
+		if v != 0 {
+			t.Fatal("zero input must give zero output")
+		}
+	}
+}
+
+func TestBiasApplied(t *testing.T) {
+	w := randMat(14, 4, 3)
+	bias := []float32{1, 2, 3}
+	l := NewLinear("b", w, bias, Config{})
+	x := tensor.New(1, 4)
+	got := l.Forward(x)
+	if got.At(0, 0) != 1 || got.At(0, 2) != 3 {
+		t.Fatal("bias not applied")
+	}
+}

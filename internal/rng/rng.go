@@ -1,0 +1,194 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams for the NORA simulator.
+//
+// Every stochastic component of the analog hardware model (programming
+// noise, read noise, additive I/O noise, ...) owns its own stream so that
+// enabling or disabling one noise source never perturbs the draws seen by
+// another. Streams are derived from a root seed with a string label using
+// SplitMix64 over an FNV-style hash, and the generator itself is a
+// PCG-XSH-RR 64/32 pair packaged as a 64-bit generator.
+package rng
+
+import (
+	"math"
+)
+
+// Rand is a deterministic pseudo-random generator. The zero value is not
+// valid; use New or (*Rand).Split.
+type Rand struct {
+	state uint64
+	inc   uint64
+
+	// cached second Gaussian from Box-Muller
+	gauss   float64
+	hasG    bool
+	gaussOK bool
+}
+
+const (
+	pcgMult     = 6364136223846793005
+	splitMixInc = 0x9e3779b97f4a7c15
+)
+
+// splitmix64 advances a SplitMix64 state and returns the next value.
+func splitmix64(state *uint64) uint64 {
+	*state += splitMixInc
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Two generators created with the
+// same seed produce identical streams.
+func New(seed uint64) *Rand {
+	sm := seed
+	s0 := splitmix64(&sm)
+	s1 := splitmix64(&sm)
+	r := &Rand{}
+	r.init(s0, s1)
+	return r
+}
+
+func (r *Rand) init(initState, initSeq uint64) {
+	r.state = 0
+	r.inc = (initSeq << 1) | 1
+	r.Uint64()
+	r.state += initState
+	r.Uint64()
+	r.hasG = false
+}
+
+// hashLabel folds a string label into a 64-bit value (FNV-1a).
+func hashLabel(label string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime
+	}
+	return h
+}
+
+// Split derives an independent child stream identified by label. Splitting
+// does not advance the parent stream, so the set of children is a pure
+// function of (parent seed, label).
+func (r *Rand) Split(label string) *Rand {
+	sm := r.state ^ hashLabel(label)
+	s0 := splitmix64(&sm)
+	s1 := splitmix64(&sm) ^ r.inc
+	c := &Rand{}
+	c.init(s0, s1)
+	return c
+}
+
+// Uint32 returns the next 32 random bits (PCG-XSH-RR).
+func (r *Rand) Uint32() uint32 {
+	old := r.state
+	r.state = old*pcgMult + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31))
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	hi := uint64(r.Uint32())
+	lo := uint64(r.Uint32())
+	return hi<<32 | lo
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling on 32 bits when
+	// possible, falling back to 64-bit modulo for huge n.
+	if n <= math.MaxInt32 {
+		bound := uint32(n)
+		for {
+			v := r.Uint32()
+			prod := uint64(v) * uint64(bound)
+			low := uint32(prod)
+			if low >= bound || low >= uint32(-int32(bound))%bound {
+				return int(prod >> 32)
+			}
+		}
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (r *Rand) Float32() float32 {
+	return float32(r.Uint32()>>8) / (1 << 24)
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller with caching).
+func (r *Rand) NormFloat64() float64 {
+	if r.hasG {
+		r.hasG = false
+		return r.gauss
+	}
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		mag := math.Sqrt(-2 * math.Log(u))
+		ang := 2 * math.Pi * v
+		r.gauss = mag * math.Sin(ang)
+		r.hasG = true
+		return mag * math.Cos(ang)
+	}
+}
+
+// NormFloat32 returns a standard normal variate as float32.
+func (r *Rand) NormFloat32() float32 {
+	return float32(r.NormFloat64())
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the swap callback.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// FillNormal fills dst with i.i.d. Gaussian(mu, sigma) float32 samples.
+func (r *Rand) FillNormal(dst []float32, mu, sigma float32) {
+	for i := range dst {
+		dst[i] = mu + sigma*r.NormFloat32()
+	}
+}
+
+// FillUniform fills dst with i.i.d. uniform samples in [lo, hi).
+func (r *Rand) FillUniform(dst []float32, lo, hi float32) {
+	span := hi - lo
+	for i := range dst {
+		dst[i] = lo + span*r.Float32()
+	}
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"nora/internal/rng"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram([]float32{0.1, 0.1, 0.9, -5, 5}, 2, 0, 1)
+	if h.Total != 5 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	// -5 clamps into bin 0, 5 clamps into bin 1
+	if h.Counts[0] != 3 || h.Counts[1] != 2 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if c := h.BinCenter(0); math.Abs(c-0.25) > 1e-12 {
+		t.Fatalf("bin center = %v", c)
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	r := rng.New(31)
+	xs := make([]float32, 10000)
+	r.FillUniform(xs, 0, 1)
+	h := NewHistogram(xs, 20, 0, 1)
+	width := 1.0 / 20
+	var integral float64
+	for i := range h.Counts {
+		integral += h.Density(i) * width
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Fatalf("density integral = %v", integral)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(nil, 0, 0, 1)
+}
+
+func TestKDEGaussianShape(t *testing.T) {
+	r := rng.New(32)
+	xs := make([]float32, 20000)
+	r.FillNormal(xs, 0, 1)
+	k := NewKDE(xs, 0) // Silverman bandwidth
+	// peak near 0 should approximate N(0,1) density 0.3989
+	if got := k.At(0); math.Abs(got-0.3989) > 0.05 {
+		t.Fatalf("KDE(0) = %v", got)
+	}
+	// symmetric tails
+	if math.Abs(k.At(1)-k.At(-1)) > 0.02 {
+		t.Fatal("KDE should be roughly symmetric for a symmetric sample")
+	}
+	if k.At(0) < k.At(2) {
+		t.Fatal("KDE peak must dominate the tail")
+	}
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	r := rng.New(33)
+	xs := make([]float32, 5000)
+	r.FillNormal(xs, 0, 0.5)
+	k := NewKDE(xs, 0)
+	gridX, gridY := k.Grid(-4, 4, 801)
+	var integral float64
+	for i := 1; i < len(gridX); i++ {
+		integral += 0.5 * (gridY[i] + gridY[i-1]) * (gridX[i] - gridX[i-1])
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Fatalf("KDE integral = %v", integral)
+	}
+}
+
+func TestKDEEmptyAndSingle(t *testing.T) {
+	k := NewKDE(nil, 0)
+	if k.At(0) != 0 {
+		t.Fatal("empty KDE must be zero")
+	}
+	k1 := NewKDE([]float32{2}, 0.5)
+	if k1.At(2) <= k1.At(5) {
+		t.Fatal("single-sample KDE must peak at the sample")
+	}
+}
+
+func TestKDEGridSinglePoint(t *testing.T) {
+	k := NewKDE([]float32{0}, 1)
+	xs, ys := k.Grid(1, 5, 1)
+	if len(xs) != 1 || xs[0] != 1 || ys[0] != k.At(1) {
+		t.Fatal("Grid n=1 wrong")
+	}
+}
+
+// High-kurtosis (outlier-laden) activations have heavier KDE tails than
+// matched-variance Gaussians — the visual claim of Fig. 4(b).
+func TestKDELongTailFromOutliers(t *testing.T) {
+	r := rng.New(34)
+	tight := make([]float32, 20000)
+	r.FillNormal(tight, 0, 1)
+	spiky := make([]float32, 20000)
+	copy(spiky, tight)
+	for i := 0; i < 40; i++ { // plant outliers in 0.2% of samples
+		spiky[r.Intn(len(spiky))] = 12 * (1 - 2*r.Float32())
+	}
+	kt := NewKDE(tight, 0.3)
+	ks := NewKDE(spiky, 0.3)
+	if ks.At(10) <= kt.At(10)*2 {
+		t.Fatalf("outlier KDE tail %v not heavier than gaussian %v", ks.At(10), kt.At(10))
+	}
+}

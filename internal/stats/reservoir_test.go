@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"nora/internal/rng"
+)
+
+func TestReservoirSmallStreamExact(t *testing.T) {
+	rv := NewReservoir(100, rng.New(1))
+	for _, v := range []float32{5, 1, 3, 2, 4} {
+		rv.Observe(v)
+	}
+	if rv.Count() != 5 {
+		t.Fatalf("count = %d", rv.Count())
+	}
+	if rv.Max() != 5 {
+		t.Fatalf("max = %v", rv.Max())
+	}
+	if got := rv.Quantile(0.5); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := rv.Quantile(0); got != 1 {
+		t.Fatalf("min = %v", got)
+	}
+	if got := rv.Quantile(1); got != 5 {
+		t.Fatalf("q=1 must be the exact max, got %v", got)
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	rv := NewReservoir(10, rng.New(2))
+	if rv.Quantile(0.5) != 0 || rv.Max() != 0 {
+		t.Fatal("empty reservoir must return 0")
+	}
+}
+
+func TestReservoirCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReservoir(0, rng.New(3))
+}
+
+func TestReservoirLargeStreamQuantiles(t *testing.T) {
+	// Uniform(0,1) stream: the 0.9 quantile estimate should be near 0.9.
+	rv := NewReservoir(512, rng.New(4))
+	src := rng.New(5)
+	for i := 0; i < 100000; i++ {
+		rv.Observe(src.Float32())
+	}
+	if got := rv.Quantile(0.9); math.Abs(got-0.9) > 0.05 {
+		t.Fatalf("q0.9 = %v", got)
+	}
+	if got := rv.Quantile(0.5); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("q0.5 = %v", got)
+	}
+	// exact max tracked even when the sample rotated it out
+	rv.Observe(42)
+	for i := 0; i < 10000; i++ {
+		rv.Observe(src.Float32())
+	}
+	if rv.Max() != 42 {
+		t.Fatalf("exact max lost: %v", rv.Max())
+	}
+}
+
+func TestReservoirKeepsCapBounded(t *testing.T) {
+	rv := NewReservoir(16, rng.New(6))
+	for i := 0; i < 1000; i++ {
+		rv.Observe(float32(i))
+	}
+	if len(rv.samples) != 16 {
+		t.Fatalf("reservoir grew to %d", len(rv.samples))
+	}
+}
+
+func TestChannelQuantileTracker(t *testing.T) {
+	tr := NewChannelQuantileTracker(3, 64, 7)
+	if tr.Channels() != 3 {
+		t.Fatal("channel count")
+	}
+	src := rng.New(8)
+	for i := 0; i < 2000; i++ {
+		// channel 0 tight, channel 1 wide, channel 2 has rare huge spikes
+		row := []float32{
+			0.1 * src.NormFloat32(),
+			2 * src.NormFloat32(),
+			0.1 * src.NormFloat32(),
+		}
+		if i%200 == 0 {
+			row[2] = 50
+		}
+		tr.Observe(row)
+	}
+	qs := tr.Quantiles(0.99, 1e-6)
+	if qs[1] < 10*qs[0] {
+		t.Fatalf("wide channel quantile %v not ≫ tight %v", qs[1], qs[0])
+	}
+	// the 0.99 quantile of the spiky channel should ignore the 0.5% spikes
+	if qs[2] > 5 {
+		t.Fatalf("q0.99 of spiky channel %v should clip the rare spikes", qs[2])
+	}
+	// but the exact max (q=1) keeps them
+	maxes := tr.Quantiles(1, 1e-6)
+	if maxes[2] < 49 {
+		t.Fatalf("q=1 must keep the spike, got %v", maxes[2])
+	}
+	// floor applies
+	empty := NewChannelQuantileTracker(1, 8, 9)
+	if empty.Quantiles(0.5, 0.25)[0] != 0.25 {
+		t.Fatal("floor not applied")
+	}
+}
+
+func TestChannelQuantileTrackerPanics(t *testing.T) {
+	tr := NewChannelQuantileTracker(2, 8, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Observe([]float32{1})
+}

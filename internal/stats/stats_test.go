@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nora/internal/rng"
+)
+
+func TestSummarizeConstants(t *testing.T) {
+	s := Summarize([]float32{5, 5, 5, 5})
+	if s.Mean != 5 || s.Variance != 0 || s.Std != 0 {
+		t.Fatalf("constant sample: %+v", s)
+	}
+	if s.Kurtosis != 0 || s.Skew != 0 {
+		t.Fatal("degenerate sample must report zero skew/kurtosis")
+	}
+	if s.Min != 5 || s.Max != 5 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty sample: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float32{1, 2, 3, 4})
+	if math.Abs(s.Mean-2.5) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Variance-1.25) > 1e-9 {
+		t.Fatalf("variance = %v", s.Variance)
+	}
+	// symmetric sample: skew 0
+	if math.Abs(s.Skew) > 1e-9 {
+		t.Fatalf("skew = %v", s.Skew)
+	}
+}
+
+func TestGaussianKurtosisNear3(t *testing.T) {
+	r := rng.New(21)
+	xs := make([]float32, 200000)
+	r.FillNormal(xs, 0, 2)
+	k := Kurtosis(xs)
+	if math.Abs(k-3) > 0.1 {
+		t.Fatalf("gaussian kurtosis = %v, want ≈3", k)
+	}
+}
+
+func TestUniformKurtosisNear1p8(t *testing.T) {
+	r := rng.New(22)
+	xs := make([]float32, 200000)
+	r.FillUniform(xs, -1, 1)
+	k := Kurtosis(xs)
+	if math.Abs(k-1.8) > 0.05 {
+		t.Fatalf("uniform kurtosis = %v, want ≈1.8", k)
+	}
+}
+
+// Planting a single large outlier in an otherwise tight sample must raise
+// kurtosis dramatically — this is the LLM-activation phenomenon the paper
+// builds on.
+func TestOutliersRaiseKurtosis(t *testing.T) {
+	r := rng.New(23)
+	xs := make([]float32, 10000)
+	r.FillNormal(xs, 0, 0.1)
+	base := Kurtosis(xs)
+	xs[0] = 50
+	spiked := Kurtosis(xs)
+	if spiked < 10*base {
+		t.Fatalf("outlier kurtosis %v not ≫ base %v", spiked, base)
+	}
+}
+
+// Kurtosis is invariant under affine transforms x → a·x + b (a ≠ 0).
+func TestKurtosisAffineInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		xs := make([]float32, 500)
+		r.FillNormal(xs, 0, 1)
+		xs[0] = 30 // ensure non-trivial shape
+		a := 0.5 + 3*r.Float32()
+		b := r.NormFloat32()
+		ys := make([]float32, len(xs))
+		for i, v := range xs {
+			ys[i] = a*v + b
+		}
+		k1, k2 := Kurtosis(xs), Kurtosis(ys)
+		return math.Abs(k1-k2) < 1e-2*k1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSEAndRMSE(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{1, 4, 3}
+	if got := MSE(a, b); math.Abs(got-4.0/3.0) > 1e-9 {
+		t.Fatalf("MSE = %v", got)
+	}
+	if got := RMSE(a, b); math.Abs(got-math.Sqrt(4.0/3.0)) > 1e-9 {
+		t.Fatalf("RMSE = %v", got)
+	}
+	if MSE(a, a) != 0 {
+		t.Fatal("MSE(a,a) != 0")
+	}
+}
+
+func TestMSEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MSE([]float32{1}, []float32{1, 2})
+}
+
+func TestSNRdB(t *testing.T) {
+	sig := []float32{1, 1, 1, 1}
+	if !math.IsInf(SNRdB(sig, sig), 1) {
+		t.Fatal("identical signals must give +Inf SNR")
+	}
+	noisy := []float32{1.1, 0.9, 1.1, 0.9}
+	got := SNRdB(sig, noisy)
+	want := 10 * math.Log10(4.0/(4*0.01))
+	if math.Abs(got-want) > 1e-4 { // float32 representation of 1.1 is inexact
+		t.Fatalf("SNRdB = %v, want %v", got, want)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float32{4, 1, 3, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if got := Quantile(xs, 0.5); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("median = %v", got)
+	}
+	// input must not be reordered
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated input")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestChannelTracker(t *testing.T) {
+	tr := NewChannelTracker(3)
+	tr.Observe([]float32{1, -5, 0})
+	tr.Observe([]float32{-2, 3, 0})
+	got := tr.MaxAbs(0.1)
+	if got[0] != 2 || got[1] != 5 {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+	if got[2] != 0.1 {
+		t.Fatalf("floor not applied: %v", got[2])
+	}
+	if tr.Count() != 2 || tr.Channels() != 3 {
+		t.Fatal("count/channels wrong")
+	}
+}
+
+func TestChannelTrackerObserveMatrix(t *testing.T) {
+	tr := NewChannelTracker(2)
+	tr.ObserveMatrix(3, 2, []float32{1, 2, -7, 0, 3, -4})
+	got := tr.MaxAbs(0)
+	if got[0] != 7 || got[1] != 4 {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+}
+
+func TestChannelTrackerMerge(t *testing.T) {
+	a := NewChannelTracker(2)
+	b := NewChannelTracker(2)
+	a.Observe([]float32{1, 9})
+	b.Observe([]float32{5, 2})
+	a.Merge(b)
+	got := a.MaxAbs(0)
+	if got[0] != 5 || got[1] != 9 {
+		t.Fatalf("merged MaxAbs = %v", got)
+	}
+	if a.Count() != 2 {
+		t.Fatal("merge must sum counts")
+	}
+}
+
+func TestChannelTrackerPanics(t *testing.T) {
+	tr := NewChannelTracker(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Observe([]float32{1})
+}

@@ -1,0 +1,79 @@
+package stats
+
+import "fmt"
+
+// ChannelTracker accumulates per-channel absolute maxima over a stream of
+// activation rows. NORA's calibration pass feeds every linear-layer input
+// through one of these to obtain max|x_k| for each input channel k
+// (paper §IV: "this component could be calculated by a small calibration
+// dataset offline").
+type ChannelTracker struct {
+	maxAbs []float64
+	count  int64
+}
+
+// NewChannelTracker returns a tracker for the given channel count.
+func NewChannelTracker(channels int) *ChannelTracker {
+	return &ChannelTracker{maxAbs: make([]float64, channels)}
+}
+
+// Channels returns the number of tracked channels.
+func (t *ChannelTracker) Channels() int { return len(t.maxAbs) }
+
+// Count returns the number of rows observed.
+func (t *ChannelTracker) Count() int64 { return t.count }
+
+// Observe folds one activation row into the tracker.
+func (t *ChannelTracker) Observe(row []float32) {
+	if len(row) != len(t.maxAbs) {
+		panic(fmt.Sprintf("stats: ChannelTracker.Observe row len %d, channels %d", len(row), len(t.maxAbs)))
+	}
+	for k, v := range row {
+		f := float64(v)
+		if f < 0 {
+			f = -f
+		}
+		if f > t.maxAbs[k] {
+			t.maxAbs[k] = f
+		}
+	}
+	t.count++
+}
+
+// ObserveMatrix folds every row of a (rows × channels) activation matrix.
+func (t *ChannelTracker) ObserveMatrix(rows, cols int, data []float32) {
+	if cols != len(t.maxAbs) || len(data) != rows*cols {
+		panic("stats: ChannelTracker.ObserveMatrix shape mismatch")
+	}
+	for i := 0; i < rows; i++ {
+		t.Observe(data[i*cols : (i+1)*cols])
+	}
+}
+
+// MaxAbs returns the per-channel absolute maxima as float32, clamped below
+// by floor so downstream divisions by max|x_k|^λ stay finite even for
+// channels that were always zero during calibration.
+func (t *ChannelTracker) MaxAbs(floor float32) []float32 {
+	out := make([]float32, len(t.maxAbs))
+	for k, v := range t.maxAbs {
+		f := float32(v)
+		if f < floor {
+			f = floor
+		}
+		out[k] = f
+	}
+	return out
+}
+
+// Merge folds another tracker (same channel count) into t.
+func (t *ChannelTracker) Merge(o *ChannelTracker) {
+	if len(o.maxAbs) != len(t.maxAbs) {
+		panic("stats: ChannelTracker.Merge channel mismatch")
+	}
+	for k, v := range o.maxAbs {
+		if v > t.maxAbs[k] {
+			t.maxAbs[k] = v
+		}
+	}
+	t.count += o.count
+}

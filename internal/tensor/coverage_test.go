@@ -1,0 +1,201 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShape(t *testing.T) {
+	r, c := New(3, 4).Shape()
+	if r != 3 || c != 4 {
+		t.Fatalf("Shape = %d,%d", r, c)
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := FromRows([][]float32{{1, 2}, {3, 4}})
+	s := small.String()
+	if !strings.Contains(s, "Matrix(2x2)") || !strings.Contains(s, "1 2; 3 4") {
+		t.Fatalf("small String = %q", s)
+	}
+	large := New(100, 100)
+	if got := large.String(); got != "Matrix(100x100)" {
+		t.Fatalf("large String = %q", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := FromRows([][]float32{{1, -2}})
+	got := Scale(m, 3)
+	if !got.AllClose(FromRows([][]float32{{3, -6}}), 0) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if m.At(0, 0) != 1 {
+		t.Fatal("Scale must not mutate input")
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if New(0, 0).Mean() != 0 {
+		t.Fatal("empty Mean should be 0")
+	}
+}
+
+func TestFromRowsEmptyAndRagged(t *testing.T) {
+	e := FromRows(nil)
+	if e.Rows != 0 || e.Cols != 0 {
+		t.Fatal("empty FromRows wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows must panic")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}
+
+func TestSetColPanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.SetCol(0, []float32{1})
+}
+
+func TestSliceRowsPanics(t *testing.T) {
+	m := New(3, 2)
+	for _, f := range []func(){
+		func() { m.SliceRows(-1, 2) },
+		func() { m.SliceRows(2, 1) },
+		func() { m.SliceRows(0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSliceColsPanics(t *testing.T) {
+	m := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.SliceCols(2, 5)
+}
+
+func TestPasteColsPanics(t *testing.T) {
+	m := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.PasteCols(2, New(2, 2))
+}
+
+func TestConcatEmptyAndMismatch(t *testing.T) {
+	if got := ConcatCols(); got.Rows != 0 || got.Cols != 0 {
+		t.Fatal("empty ConcatCols wrong")
+	}
+	if got := ConcatRows(); got.Rows != 0 || got.Cols != 0 {
+		t.Fatal("empty ConcatRows wrong")
+	}
+	for name, f := range map[string]func(){
+		"cols": func() { ConcatCols(New(2, 1), New(3, 1)) },
+		"rows": func() { ConcatRows(New(1, 2), New(1, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMulVecVecMulPanics(t *testing.T) {
+	m := New(2, 3)
+	for name, f := range map[string]func(){
+		"mulvec": func() { MulVec(m, make([]float32, 2)) },
+		"vecmul": func() { VecMul(make([]float32, 3), m) },
+		"dot":    func() { Dot(make([]float32, 1), make([]float32, 2)) },
+		"axpy":   func() { Axpy(1, make([]float32, 1), make([]float32, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMatMulTDimPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMulT(New(2, 3), New(2, 4))
+}
+
+func TestVecMulSkipsZeros(t *testing.T) {
+	// the zero-skip fast path must not change results
+	m := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	got := VecMul([]float32{0, 1, 0}, m)
+	if got[0] != 3 || got[1] != 4 {
+		t.Fatalf("VecMul = %v", got)
+	}
+}
+
+func TestInPlaceScaleVariantsPanics(t *testing.T) {
+	m := New(2, 3)
+	for name, f := range map[string]func(){
+		"scaleColsIP": func() { m.ScaleColsInPlace(make([]float32, 2)) },
+		"scaleRowsIP": func() { m.ScaleRowsInPlace(make([]float32, 3)) },
+		"scaleRows":   func() { ScaleRows(m, make([]float32, 3)) },
+		"addRowVec":   func() { AddRowVec(m, make([]float32, 2)) },
+		"addRowVecIP": func() { m.AddRowVecInPlace(make([]float32, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMatMulParallelMatchesSerialExactly(t *testing.T) {
+	// the chunked parallel path must be bit-identical to the serial path
+	// (same per-row accumulation order)
+	a := New(80, 90)
+	b := New(90, 70)
+	for i := range a.Data {
+		a.Data[i] = float32(i%13) - 6
+	}
+	for i := range b.Data {
+		b.Data[i] = float32(i%7) - 3
+	}
+	parallel := MatMul(a, b)
+	serial := New(a.Rows, b.Cols)
+	matMulRange(serial, a, b, 0, a.Rows)
+	if !parallel.AllClose(serial, 0) {
+		t.Fatal("parallel and serial MatMul differ")
+	}
+}

@@ -1,0 +1,166 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-adds below which MatMul stays
+// single-threaded; spawning goroutines for tiny products costs more than it
+// saves.
+const parallelThreshold = 64 * 1024
+
+// MatMul returns a·b. Panics if the inner dimensions disagree.
+//
+// The kernel uses the i-k-j loop order so the innermost loop streams both a
+// row of b and a row of the output, and parallelizes across row blocks of a.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim %d != %d", a.Cols, b.Rows))
+	}
+	out := New(a.Rows, b.Cols)
+	matMulInto(out, a, b)
+	return out
+}
+
+func matMulInto(out, a, b *Matrix) {
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold || a.Rows < 2 {
+		matMulRange(out, a, b, 0, a.Rows)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func matMulRange(out, a, b *Matrix, rowLo, rowHi int) {
+	n := b.Cols
+	for i := rowLo; i < rowHi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT returns a·bᵀ without materializing the transpose. b is treated as
+// a (cols(a) × rows(b)) matrix read row-wise, i.e. out[i,j] = Σ_k a[i,k]·b[j,k].
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT inner dim %d != %d", a.Cols, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	work := a.Rows * a.Cols * b.Rows
+	if work < parallelThreshold || a.Rows < 2 {
+		matMulTRange(out, a, b, 0, a.Rows)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulTRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func matMulTRange(out, a, b *Matrix, rowLo, rowHi int) {
+	for i := rowLo; i < rowHi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// MulVec returns m·x for a column vector x (len = m.Cols).
+func MulVec(m *Matrix, x []float32) []float32 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: MulVec len(x)=%d, cols=%d", len(x), m.Cols))
+	}
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float32
+		for k, v := range row {
+			s += v * x[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMul returns xᵀ·m for a row vector x (len = m.Rows); this is the GEMV
+// orientation an analog crossbar computes (inputs on wordlines = rows,
+// outputs on bitlines = columns).
+func VecMul(x []float32, m *Matrix) []float32 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("tensor: VecMul len(x)=%d, rows=%d", len(x), m.Rows))
+	}
+	out := make([]float32, m.Cols)
+	for k, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := m.Row(k)
+		for j, wv := range row {
+			out[j] += xv * wv
+		}
+	}
+	return out
+}
+
+// Outer returns the outer product a·bᵀ of two vectors as a len(a)×len(b)
+// matrix.
+func Outer(a, b []float32) *Matrix {
+	out := New(len(a), len(b))
+	for i, av := range a {
+		row := out.Row(i)
+		for j, bv := range b {
+			row[j] = av * bv
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nora/internal/rng"
+)
+
+// naive reference matmul used to validate the blocked/parallel kernel.
+func matMulNaive(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			out.Set(i, j, float32(s))
+		}
+	}
+	return out
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	got := MatMul(a, b)
+	want := FromRows([][]float32{{19, 22}, {43, 50}})
+	if !got.AllClose(want, 0) {
+		t.Fatalf("MatMul = %v", got)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := rng.New(4)
+	m := randMatrix(r, 13, 13)
+	id := New(13, 13)
+	for i := 0; i < 13; i++ {
+		id.Set(i, i, 1)
+	}
+	if !MatMul(m, id).AllClose(m, 1e-6) || !MatMul(id, m).AllClose(m, 1e-6) {
+		t.Fatal("identity multiplication failed")
+	}
+}
+
+func TestMatMulMatchesNaiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n, k, m := 1+r.Intn(17), 1+r.Intn(23), 1+r.Intn(17)
+		a := randMatrix(r, n, k)
+		b := randMatrix(r, k, m)
+		got := MatMul(a, b)
+		want := matMulNaive(a, b)
+		return got.AllClose(want, 1e-4*(1+want.AbsMax()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulParallelPath(t *testing.T) {
+	// Large enough to cross parallelThreshold.
+	r := rng.New(5)
+	a := randMatrix(r, 128, 96)
+	b := randMatrix(r, 96, 64)
+	got := MatMul(a, b)
+	want := matMulNaive(a, b)
+	if !got.AllClose(want, 1e-3) {
+		t.Fatal("parallel MatMul diverges from naive")
+	}
+}
+
+func TestMatMulT(t *testing.T) {
+	r := rng.New(6)
+	a := randMatrix(r, 7, 11)
+	b := randMatrix(r, 9, 11)
+	got := MatMulT(a, b)
+	want := MatMul(a, b.Transpose())
+	if !got.AllClose(want, 1e-4) {
+		t.Fatal("MatMulT != MatMul(a, bᵀ)")
+	}
+}
+
+func TestMatMulTParallelPath(t *testing.T) {
+	r := rng.New(7)
+	a := randMatrix(r, 120, 90)
+	b := randMatrix(r, 80, 90)
+	got := MatMulT(a, b)
+	want := MatMul(a, b.Transpose())
+	if !got.AllClose(want, 1e-3) {
+		t.Fatal("parallel MatMulT diverges")
+	}
+}
+
+func TestMulVecAndVecMul(t *testing.T) {
+	m := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	mv := MulVec(m, []float32{1, 0, -1})
+	if mv[0] != -2 || mv[1] != -2 {
+		t.Fatalf("MulVec = %v", mv)
+	}
+	vm := VecMul([]float32{1, -1}, m)
+	if vm[0] != -3 || vm[1] != -3 || vm[2] != -3 {
+		t.Fatalf("VecMul = %v", vm)
+	}
+}
+
+// VecMul(x, W) must agree with the corresponding row of MatMul: the analog
+// tile computes GEMV in exactly this orientation.
+func TestVecMulConsistentWithMatMul(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k, m := 1+r.Intn(20), 1+r.Intn(20)
+		x := make([]float32, k)
+		r.FillNormal(x, 0, 1)
+		w := randMatrix(r, k, m)
+		got := VecMul(x, w)
+		want := MatMul(FromSlice(1, k, x), w)
+		return FromSlice(1, m, got).AllClose(want, 1e-4*(1+want.AbsMax()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOuter(t *testing.T) {
+	got := Outer([]float32{1, 2}, []float32{3, 4, 5})
+	want := FromRows([][]float32{{3, 4, 5}, {6, 8, 10}})
+	if !got.AllClose(want, 0) {
+		t.Fatalf("Outer = %v", got)
+	}
+}
+
+func TestMatMulDimPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	r := rng.New(8)
+	x := randMatrix(r, 128, 128)
+	y := randMatrix(r, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}

@@ -1,0 +1,251 @@
+// Package tensor implements the dense float32 matrix kernel used throughout
+// the NORA simulator: storage, elementwise operations, reductions, and a
+// goroutine-parallel GEMM.
+//
+// All matrices are dense row-major. Compute is float32 (matching the
+// deployment precision the paper assumes for the digital parts); statistics
+// that need extra headroom accumulate in float64.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zero-initialized rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (row-major, length rows*cols) in a Matrix without
+// copying.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows (copying).
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic("tensor: FromRows with ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float32 {
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// SetCol overwrites column j with v.
+func (m *Matrix) SetCol(j int, v []float32) {
+	if len(v) != m.Rows {
+		panic("tensor: SetCol length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+j] = v[i]
+	}
+}
+
+// Shape returns (rows, cols).
+func (m *Matrix) Shape() (int, int) { return m.Rows, m.Cols }
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() { m.Fill(0) }
+
+// Transpose returns a newly allocated transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	const block = 32
+	for ii := 0; ii < m.Rows; ii += block {
+		iMax := min(ii+block, m.Rows)
+		for jj := 0; jj < m.Cols; jj += block {
+			jMax := min(jj+block, m.Cols)
+			for i := ii; i < iMax; i++ {
+				row := m.Data[i*m.Cols:]
+				for j := jj; j < jMax; j++ {
+					t.Data[j*t.Cols+i] = row[j]
+				}
+			}
+		}
+	}
+	return t
+}
+
+// SliceRows returns rows [lo, hi) as a view (shared storage).
+func (m *Matrix) SliceRows(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// SliceCols returns columns [lo, hi) as a copy.
+func (m *Matrix) SliceCols(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range for %d cols", lo, hi, m.Cols))
+	}
+	out := New(m.Rows, hi-lo)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[lo:hi])
+	}
+	return out
+}
+
+// PasteCols copies src into columns [lo, lo+src.Cols) of m.
+func (m *Matrix) PasteCols(lo int, src *Matrix) {
+	if src.Rows != m.Rows || lo < 0 || lo+src.Cols > m.Cols {
+		panic("tensor: PasteCols shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Row(i)[lo:lo+src.Cols], src.Row(i))
+	}
+}
+
+// ConcatCols concatenates matrices horizontally (all must share Rows).
+func ConcatCols(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("tensor: ConcatCols row mismatch")
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		out.PasteCols(off, m)
+		off += m.Cols
+	}
+	return out
+}
+
+// ConcatRows concatenates matrices vertically (all must share Cols).
+func ConcatRows(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic("tensor: ConcatRows col mismatch")
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.Data[off:], m.Data)
+		off += len(m.Data)
+	}
+	return out
+}
+
+// String renders a small matrix for debugging.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+// AllClose reports whether all elements of m and o differ by at most tol.
+func (m *Matrix) AllClose(o *Matrix, tol float32) bool {
+	if !m.SameShape(o) {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - o.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol || math.IsNaN(float64(d)) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNaN reports whether any element is NaN or Inf.
+func (m *Matrix) HasNaN() bool {
+	for _, v := range m.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

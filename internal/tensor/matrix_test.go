@@ -1,0 +1,215 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"nora/internal/rng"
+)
+
+func randMatrix(r *rng.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	r.FillNormal(m.Data, 0, 1)
+	return m
+}
+
+func TestNewShape(t *testing.T) {
+	m := New(3, 5)
+	if m.Rows != 3 || m.Cols != 5 || len(m.Data) != 15 {
+		t.Fatalf("New(3,5) = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New must zero-initialize")
+		}
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dims")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float32{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, d)
+	if m.At(0, 0) != 1 || m.At(0, 2) != 3 || m.At(1, 0) != 4 || m.At(1, 2) != 6 {
+		t.Fatalf("FromSlice layout wrong: %v", m)
+	}
+	// shares storage
+	d[0] = 42
+	if m.At(0, 0) != 42 {
+		t.Fatal("FromSlice must not copy")
+	}
+}
+
+func TestFromSliceLengthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 3, make([]float32, 5))
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("FromRows wrong: %v", m)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must deep copy")
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := New(2, 2)
+	m.Row(1)[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must alias storage")
+	}
+}
+
+func TestColAndSetCol(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("Col(1) = %v", c)
+	}
+	m.SetCol(0, []float32{9, 8})
+	if m.At(0, 0) != 9 || m.At(1, 0) != 8 {
+		t.Fatal("SetCol failed")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	r := rng.New(1)
+	m := randMatrix(r, 37, 53)
+	tr := m.Transpose()
+	if tr.Rows != 53 || tr.Cols != 37 {
+		t.Fatalf("Transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// double transpose is identity
+	if !m.AllClose(tr.Transpose(), 0) {
+		t.Fatal("double transpose != identity")
+	}
+}
+
+func TestSliceRowsView(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	s := m.SliceRows(1, 3)
+	if s.Rows != 2 || s.At(0, 0) != 3 {
+		t.Fatalf("SliceRows wrong: %v", s)
+	}
+	s.Set(0, 0, 42)
+	if m.At(1, 0) != 42 {
+		t.Fatal("SliceRows must be a view")
+	}
+}
+
+func TestSliceColsCopy(t *testing.T) {
+	m := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	s := m.SliceCols(1, 3)
+	if s.Cols != 2 || s.At(1, 0) != 5 {
+		t.Fatalf("SliceCols wrong: %v", s)
+	}
+	s.Set(0, 0, 99)
+	if m.At(0, 1) == 99 {
+		t.Fatal("SliceCols must copy")
+	}
+}
+
+func TestConcatColsRoundTrip(t *testing.T) {
+	r := rng.New(2)
+	m := randMatrix(r, 5, 11)
+	a := m.SliceCols(0, 4)
+	b := m.SliceCols(4, 11)
+	back := ConcatCols(a, b)
+	if !m.AllClose(back, 0) {
+		t.Fatal("ConcatCols(SliceCols) != original")
+	}
+}
+
+func TestConcatRowsRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	m := randMatrix(r, 9, 4)
+	a := m.SliceRows(0, 3).Clone()
+	b := m.SliceRows(3, 9).Clone()
+	back := ConcatRows(a, b)
+	if !m.AllClose(back, 0) {
+		t.Fatal("ConcatRows(SliceRows) != original")
+	}
+}
+
+func TestPasteCols(t *testing.T) {
+	m := New(2, 4)
+	src := FromRows([][]float32{{1, 2}, {3, 4}})
+	m.PasteCols(1, src)
+	want := FromRows([][]float32{{0, 1, 2, 0}, {0, 3, 4, 0}})
+	if !m.AllClose(want, 0) {
+		t.Fatalf("PasteCols = %v", m)
+	}
+}
+
+func TestAllClose(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	b := FromRows([][]float32{{1.0005, 2}})
+	if !a.AllClose(b, 1e-3) {
+		t.Fatal("should be close")
+	}
+	if a.AllClose(b, 1e-5) {
+		t.Fatal("should not be close at 1e-5")
+	}
+	c := New(2, 1)
+	if a.AllClose(c, 1) {
+		t.Fatal("different shapes are never close")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	m := New(2, 2)
+	if m.HasNaN() {
+		t.Fatal("zero matrix has no NaN")
+	}
+	m.Set(1, 1, float32(math.NaN()))
+	if !m.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+	m.Set(1, 1, float32(math.Inf(1)))
+	if !m.HasNaN() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestFillAndZero(t *testing.T) {
+	m := New(2, 3)
+	m.Fill(7)
+	for _, v := range m.Data {
+		if v != 7 {
+			t.Fatal("Fill failed")
+		}
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}

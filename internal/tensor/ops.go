@@ -1,0 +1,346 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns m + o as a new matrix.
+func Add(m, o *Matrix) *Matrix {
+	checkSame("Add", m, o)
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v + o.Data[i]
+	}
+	return out
+}
+
+// Sub returns m - o as a new matrix.
+func Sub(m, o *Matrix) *Matrix {
+	checkSame("Sub", m, o)
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v - o.Data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product m ⊙ o.
+func Mul(m, o *Matrix) *Matrix {
+	checkSame("Mul", m, o)
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v * o.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates o into m.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	checkSame("AddInPlace", m, o)
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// SubInPlace subtracts o from m in place.
+func (m *Matrix) SubInPlace(o *Matrix) {
+	checkSame("SubInPlace", m, o)
+	for i, v := range o.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Scale returns s·m as a new matrix.
+func Scale(m *Matrix, s float32) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of m by s.
+func (m *Matrix) ScaleInPlace(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Apply returns f applied elementwise to m.
+func Apply(m *Matrix, f func(float32) float32) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ApplyInPlace applies f elementwise to m.
+func (m *Matrix) ApplyInPlace(f func(float32) float32) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// ScaleCols multiplies column k of m by s[k] (returns a new matrix).
+// This is m · diag(s).
+func ScaleCols(m *Matrix, s []float32) *Matrix {
+	if len(s) != m.Cols {
+		panic(fmt.Sprintf("tensor: ScaleCols len(s)=%d, cols=%d", len(s), m.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		for j, v := range src {
+			dst[j] = v * s[j]
+		}
+	}
+	return out
+}
+
+// ScaleColsInPlace multiplies column k of m by s[k].
+func (m *Matrix) ScaleColsInPlace(s []float32) {
+	if len(s) != m.Cols {
+		panic(fmt.Sprintf("tensor: ScaleColsInPlace len(s)=%d, cols=%d", len(s), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= s[j]
+		}
+	}
+}
+
+// ScaleRows multiplies row k of m by s[k] (returns a new matrix).
+// This is diag(s) · m.
+func ScaleRows(m *Matrix, s []float32) *Matrix {
+	if len(s) != m.Rows {
+		panic(fmt.Sprintf("tensor: ScaleRows len(s)=%d, rows=%d", len(s), m.Rows))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		f := s[i]
+		for j, v := range src {
+			dst[j] = v * f
+		}
+	}
+	return out
+}
+
+// ScaleRowsInPlace multiplies row k of m by s[k].
+func (m *Matrix) ScaleRowsInPlace(s []float32) {
+	if len(s) != m.Rows {
+		panic(fmt.Sprintf("tensor: ScaleRowsInPlace len(s)=%d, rows=%d", len(s), m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		f := s[i]
+		for j := range row {
+			row[j] *= f
+		}
+	}
+}
+
+// AddRowVec adds vector v to every row of m (broadcast add), returning a new
+// matrix. Used for biases.
+func AddRowVec(m *Matrix, v []float32) *Matrix {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVec len(v)=%d, cols=%d", len(v), m.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		for j, x := range src {
+			dst[j] = x + v[j]
+		}
+	}
+	return out
+}
+
+// AddRowVecInPlace adds vector v to every row of m.
+func (m *Matrix) AddRowVecInPlace(v []float32) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVecInPlace len(v)=%d, cols=%d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// AbsMax returns the maximum absolute value over all elements (0 for empty).
+func (m *Matrix) AbsMax() float32 {
+	var mx float32
+	for _, v := range m.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// AbsMaxPerRow returns max_j |m[i,j]| for each row i.
+func (m *Matrix) AbsMaxPerRow() []float32 {
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var mx float32
+		for _, v := range m.Row(i) {
+			if v < 0 {
+				v = -v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		out[i] = mx
+	}
+	return out
+}
+
+// AbsMaxPerCol returns max_i |m[i,j]| for each column j.
+func (m *Matrix) AbsMaxPerCol() []float32 {
+	out := make([]float32, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			if v > out[j] {
+				out[j] = v
+			}
+		}
+	}
+	return out
+}
+
+// Sum returns the float64 sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the float64 mean of all elements (0 for empty).
+func (m *Matrix) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// MSE returns the mean squared error between m and o in float64.
+func MSE(m, o *Matrix) float64 {
+	checkSame("MSE", m, o)
+	if len(m.Data) == 0 {
+		return 0
+	}
+	var s float64
+	for i, v := range m.Data {
+		d := float64(v) - float64(o.Data[i])
+		s += d * d
+	}
+	return s / float64(len(m.Data))
+}
+
+// Frobenius returns the Frobenius norm of m.
+func (m *Matrix) Frobenius() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row in place.
+func (m *Matrix) SoftmaxRows() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		mx := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - mx)))
+			row[j] = e
+			sum += float64(e)
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// ArgmaxRows returns the index of the max element of each row.
+func (m *Matrix) ArgmaxRows() []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best, bi := float32(math.Inf(-1)), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// Dot returns the float64 dot product of a and b.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += float64(v) * float64(b[i])
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// AbsMaxVec returns max_i |v[i]| (0 for empty).
+func AbsMaxVec(v []float32) float32 {
+	var mx float32
+	for _, x := range v {
+		if x < 0 {
+			x = -x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}
+
+func checkSame(op string, m, o *Matrix) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}

@@ -1,0 +1,136 @@
+package textgen
+
+import (
+	"fmt"
+
+	"nora/internal/rng"
+)
+
+// MajorityConfig describes the second synthetic benchmark (the paper's
+// §VII asks for additional benchmarks beyond Lambada): each sequence is a
+// stream of tokens from two classes, and the final answer token names the
+// class holding the majority. Solving it requires *aggregating* evidence
+// across the whole context — a different computation than the key-recall
+// task, which requires *retrieving* a single token.
+type MajorityConfig struct {
+	Vocab       int     // total vocabulary size (shared layout with Config)
+	ClassTokens int     // distinct tokens per class
+	SeqLen      int     // sequence length; body length must come out odd
+	Bias        float64 // per-token probability of drawing the majority class
+	Seed        uint64
+}
+
+// Majority token layout:
+//
+//	0                        BOS
+//	1                        QUERY
+//	[2, 2+C)                 class-A tokens
+//	[2+C, 2+2C)              class-B tokens
+//	2+2C, 2+2C+1             answer tokens (A-majority, B-majority)
+const majorityAnswerBase = tokenKey0
+
+// Validate checks the configuration. The body (SeqLen−3 tokens between BOS
+// and QUERY) must have odd length so a majority always exists.
+func (c MajorityConfig) Validate() error {
+	switch {
+	case c.ClassTokens < 1:
+		return fmt.Errorf("textgen: majority needs ≥ 1 token per class")
+	case c.Vocab < 2+2*c.ClassTokens+2:
+		return fmt.Errorf("textgen: majority vocab %d too small for %d class tokens", c.Vocab, c.ClassTokens)
+	case c.SeqLen < 7:
+		return fmt.Errorf("textgen: majority SeqLen %d too short", c.SeqLen)
+	case (c.SeqLen-3)%2 == 0:
+		return fmt.Errorf("textgen: majority body length %d must be odd", c.SeqLen-3)
+	case c.Bias <= 0.5 || c.Bias >= 1:
+		return fmt.Errorf("textgen: majority bias %v must be in (0.5, 1)", c.Bias)
+	}
+	return nil
+}
+
+// MajorityCorpus generates majority-vote sequences. It exposes the same
+// Sample/Batch/Split/ChanceAccuracy surface as Corpus.
+type MajorityCorpus struct {
+	cfg MajorityConfig
+}
+
+// NewMajority builds a majority corpus.
+func NewMajority(cfg MajorityConfig) (*MajorityCorpus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &MajorityCorpus{cfg: cfg}, nil
+}
+
+// Cfg returns the corpus configuration.
+func (c *MajorityCorpus) Cfg() MajorityConfig { return c.cfg }
+
+// Vocab returns the vocabulary size.
+func (c *MajorityCorpus) Vocab() int { return c.cfg.Vocab }
+
+// ClassAToken returns the i-th class-A token id.
+func (c *MajorityCorpus) ClassAToken(i int) int { return tokenKey0 + i }
+
+// ClassBToken returns the i-th class-B token id.
+func (c *MajorityCorpus) ClassBToken(i int) int { return tokenKey0 + c.cfg.ClassTokens + i }
+
+// AnswerToken returns the answer id for class 0 (A) or 1 (B).
+func (c *MajorityCorpus) AnswerToken(class int) int {
+	return majorityAnswerBase + 2*c.cfg.ClassTokens + class
+}
+
+// ChanceAccuracy is 0.5 (two possible answers).
+func (c *MajorityCorpus) ChanceAccuracy() float64 { return 0.5 }
+
+// Sample draws one sequence: BOS, an odd-length body of class tokens with
+// a biased majority, QUERY, and the answer named by the *actual* majority
+// of the emitted body.
+func (c *MajorityCorpus) Sample(r *rng.Rand) []int {
+	n := c.cfg.SeqLen
+	seq := make([]int, n)
+	seq[0] = TokenBOS
+	majority := r.Intn(2)
+	countA := 0
+	for i := 1; i < n-2; i++ {
+		class := majority
+		if float64(r.Float32()) >= c.cfg.Bias {
+			class = 1 - majority
+		}
+		tok := c.ClassAToken(r.Intn(c.cfg.ClassTokens))
+		if class == 1 {
+			tok = c.ClassBToken(r.Intn(c.cfg.ClassTokens))
+		} else {
+			countA++
+		}
+		seq[i] = tok
+	}
+	seq[n-2] = TokenQuery
+	body := n - 3
+	actual := 1
+	if countA*2 > body {
+		actual = 0
+	}
+	seq[n-1] = c.AnswerToken(actual)
+	return seq
+}
+
+// Batch draws n sequences.
+func (c *MajorityCorpus) Batch(r *rng.Rand, n int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = c.Sample(r)
+	}
+	return out
+}
+
+// Split returns a deterministic named dataset of n sequences.
+func (c *MajorityCorpus) Split(name string, n int) [][]int {
+	r := rng.New(c.cfg.Seed).Split("majority:" + name)
+	return c.Batch(r, n)
+}
+
+// DefaultMajorityConfig matches the zoo's vocabulary and sequence length:
+// 64-token vocabulary, 6 tokens per class, 32-token sequences (29-token
+// odd body), bias 0.7.
+func DefaultMajorityConfig(seed uint64) MajorityConfig {
+	return MajorityConfig{Vocab: 64, ClassTokens: 6, SeqLen: 32, Bias: 0.7, Seed: seed}
+}

@@ -1,0 +1,133 @@
+package textgen
+
+import (
+	"testing"
+
+	"nora/internal/rng"
+)
+
+func TestMajorityValidate(t *testing.T) {
+	if err := DefaultMajorityConfig(1).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := map[string]func(c *MajorityConfig){
+		"no-classes": func(c *MajorityConfig) { c.ClassTokens = 0 },
+		"tiny-vocab": func(c *MajorityConfig) { c.Vocab = 10 },
+		"short":      func(c *MajorityConfig) { c.SeqLen = 5 },
+		"even-body":  func(c *MajorityConfig) { c.SeqLen = 33 },
+		"low-bias":   func(c *MajorityConfig) { c.Bias = 0.5 },
+		"high-bias":  func(c *MajorityConfig) { c.Bias = 1 },
+	}
+	for name, mutate := range cases {
+		c := DefaultMajorityConfig(1)
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Fatalf("%s: invalid config accepted", name)
+		}
+	}
+	if _, err := NewMajority(MajorityConfig{}); err == nil {
+		t.Fatal("NewMajority accepted zero config")
+	}
+}
+
+func TestMajoritySampleStructure(t *testing.T) {
+	c, err := NewMajority(DefaultMajorityConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	answers := map[int]int{}
+	for trial := 0; trial < 300; trial++ {
+		seq := c.Sample(r)
+		cfg := c.Cfg()
+		if len(seq) != cfg.SeqLen || seq[0] != TokenBOS || seq[cfg.SeqLen-2] != TokenQuery {
+			t.Fatal("frame tokens wrong")
+		}
+		countA, countB := 0, 0
+		for _, tok := range seq[1 : cfg.SeqLen-2] {
+			switch {
+			case tok >= tokenKey0 && tok < tokenKey0+cfg.ClassTokens:
+				countA++
+			case tok >= tokenKey0+cfg.ClassTokens && tok < tokenKey0+2*cfg.ClassTokens:
+				countB++
+			default:
+				t.Fatalf("body token %d outside class ranges", tok)
+			}
+		}
+		if countA+countB != cfg.SeqLen-3 {
+			t.Fatal("body length wrong")
+		}
+		if countA == countB {
+			t.Fatal("odd body must never tie")
+		}
+		want := c.AnswerToken(1)
+		if countA > countB {
+			want = c.AnswerToken(0)
+		}
+		if seq[cfg.SeqLen-1] != want {
+			t.Fatalf("answer %d does not match actual majority (A=%d B=%d)", seq[cfg.SeqLen-1], countA, countB)
+		}
+		answers[seq[cfg.SeqLen-1]]++
+	}
+	// both answers occur with reasonable balance
+	if len(answers) != 2 {
+		t.Fatalf("answers seen: %v", answers)
+	}
+	for tok, n := range answers {
+		if n < 60 {
+			t.Fatalf("answer %d occurs only %d/300 times", tok, n)
+		}
+	}
+}
+
+func TestMajorityDeterministicSplits(t *testing.T) {
+	a, _ := NewMajority(DefaultMajorityConfig(7))
+	b, _ := NewMajority(DefaultMajorityConfig(7))
+	sa, sb := a.Split("eval", 10), b.Split("eval", 10)
+	for i := range sa {
+		for j := range sa[i] {
+			if sa[i][j] != sb[i][j] {
+				t.Fatal("same seed must reproduce")
+			}
+		}
+	}
+	other := a.Split("train", 10)
+	same := true
+	for j := range sa[0] {
+		if sa[0][j] != other[0][j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different splits should differ")
+	}
+}
+
+func TestMajorityChance(t *testing.T) {
+	c, _ := NewMajority(DefaultMajorityConfig(9))
+	if c.ChanceAccuracy() != 0.5 {
+		t.Fatal("chance accuracy must be 0.5")
+	}
+}
+
+func TestMajorityTokenLayoutDisjoint(t *testing.T) {
+	c, _ := NewMajority(DefaultMajorityConfig(10))
+	cfg := c.Cfg()
+	seen := map[int]bool{TokenBOS: true, TokenQuery: true}
+	add := func(tok int) {
+		if tok >= cfg.Vocab {
+			t.Fatalf("token %d outside vocab", tok)
+		}
+		if seen[tok] {
+			t.Fatalf("token %d reused", tok)
+		}
+		seen[tok] = true
+	}
+	for i := 0; i < cfg.ClassTokens; i++ {
+		add(c.ClassAToken(i))
+		add(c.ClassBToken(i))
+	}
+	add(c.AnswerToken(0))
+	add(c.AnswerToken(1))
+}

@@ -1,0 +1,187 @@
+// Package textgen generates the synthetic language-modeling workload that
+// stands in for the paper's datasets (see DESIGN.md §2):
+//
+//   - The *evaluation* protocol mirrors Lambada's last-word prediction:
+//     each sequence carries a key token early in the context, a stretch of
+//     Markov filler text, a query trigger, and a final answer token that is
+//     a fixed permutation of the key. Predicting the answer requires
+//     attending across the whole context — the "broad discourse context"
+//     property Lambada was built to test.
+//   - The *calibration* split (the Pile stand-in) draws from the same
+//     generator family with a disjoint stream, since NORA's calibration
+//     only needs in-distribution per-channel activation maxima.
+package textgen
+
+import (
+	"fmt"
+
+	"nora/internal/rng"
+)
+
+// Config describes a synthetic corpus.
+type Config struct {
+	Vocab   int    // total vocabulary size
+	NumKeys int    // number of distinct key (and answer) tokens
+	SeqLen  int    // generated sequence length, answer at position SeqLen-1
+	KeyLo   int    // earliest key position (≥ 1, after BOS)
+	KeyHi   int    // latest key position (inclusive)
+	Seed    uint64 // corpus identity: permutation + Markov table
+}
+
+// Token layout within the vocabulary:
+//
+//	0                  BOS
+//	1                  QUERY trigger
+//	[2, 2+K)           keys
+//	[2+K, 2+2K)        answers
+//	[2+2K, Vocab)      filler
+const (
+	TokenBOS   = 0
+	TokenQuery = 1
+	tokenKey0  = 2
+)
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	fillerLo := tokenKey0 + 2*c.NumKeys
+	switch {
+	case c.NumKeys < 2:
+		return fmt.Errorf("textgen: need ≥ 2 keys, got %d", c.NumKeys)
+	case c.Vocab < fillerLo+4:
+		return fmt.Errorf("textgen: vocab %d too small for %d keys (need ≥ %d)", c.Vocab, c.NumKeys, fillerLo+4)
+	case c.SeqLen < 6:
+		return fmt.Errorf("textgen: SeqLen %d too short", c.SeqLen)
+	case c.KeyLo < 1 || c.KeyHi < c.KeyLo || c.KeyHi > c.SeqLen-3:
+		return fmt.Errorf("textgen: key window [%d,%d] invalid for SeqLen %d", c.KeyLo, c.KeyHi, c.SeqLen)
+	}
+	return nil
+}
+
+// Corpus is a deterministic synthetic text distribution.
+type Corpus struct {
+	cfg  Config
+	perm []int       // key index → answer index
+	cdf  [][]float32 // filler Markov transition CDFs
+}
+
+// New builds a corpus from cfg. The key→answer permutation and the filler
+// Markov chain are pure functions of cfg.Seed.
+func New(cfg Config) (*Corpus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	c := &Corpus{cfg: cfg}
+	c.perm = root.Split("perm").Perm(cfg.NumKeys)
+
+	// Sparse-ish random row-stochastic transition table over filler tokens.
+	nf := c.numFiller()
+	tr := root.Split("markov")
+	c.cdf = make([][]float32, nf)
+	for i := 0; i < nf; i++ {
+		weights := make([]float32, nf)
+		var sum float32
+		for j := range weights {
+			w := tr.Float32()
+			if w < 0.55 { // sparsify: ~55% of transitions are (nearly) absent
+				w = 0.01
+			}
+			weights[j] = w
+			sum += w
+		}
+		cdf := make([]float32, nf)
+		var acc float32
+		for j, w := range weights {
+			acc += w / sum
+			cdf[j] = acc
+		}
+		cdf[nf-1] = 1
+		c.cdf[i] = cdf
+	}
+	return c, nil
+}
+
+// Cfg returns the corpus configuration.
+func (c *Corpus) Cfg() Config { return c.cfg }
+
+// Vocab returns the vocabulary size.
+func (c *Corpus) Vocab() int { return c.cfg.Vocab }
+
+func (c *Corpus) numFiller() int { return c.cfg.Vocab - tokenKey0 - 2*c.cfg.NumKeys }
+
+func (c *Corpus) fillerBase() int { return tokenKey0 + 2*c.cfg.NumKeys }
+
+// KeyToken returns the vocabulary id of key i.
+func (c *Corpus) KeyToken(i int) int { return tokenKey0 + i }
+
+// AnswerToken returns the vocabulary id of the answer for key i (through
+// the corpus permutation).
+func (c *Corpus) AnswerToken(i int) int { return tokenKey0 + c.cfg.NumKeys + c.perm[i] }
+
+// ChanceAccuracy is the accuracy of guessing answers uniformly.
+func (c *Corpus) ChanceAccuracy() float64 { return 1 / float64(c.cfg.NumKeys) }
+
+// nextFiller samples a filler token following prev (a filler token id, or
+// -1 to draw from the uniform initial distribution).
+func (c *Corpus) nextFiller(r *rng.Rand, prev int) int {
+	nf := c.numFiller()
+	if prev < 0 {
+		return c.fillerBase() + r.Intn(nf)
+	}
+	row := c.cdf[prev-c.fillerBase()]
+	u := r.Float32()
+	for j, acc := range row {
+		if u <= acc {
+			return c.fillerBase() + j
+		}
+	}
+	return c.fillerBase() + nf - 1
+}
+
+// Sample draws one sequence of length SeqLen:
+//
+//	BOS  filler…  KEY  filler…  QUERY  ANSWER
+//
+// with the key position uniform in [KeyLo, KeyHi].
+func (c *Corpus) Sample(r *rng.Rand) []int {
+	n := c.cfg.SeqLen
+	seq := make([]int, n)
+	seq[0] = TokenBOS
+	keyIdx := r.Intn(c.cfg.NumKeys)
+	keyPos := c.cfg.KeyLo + r.Intn(c.cfg.KeyHi-c.cfg.KeyLo+1)
+	prev := -1
+	for i := 1; i < n-2; i++ {
+		if i == keyPos {
+			seq[i] = c.KeyToken(keyIdx)
+			continue // filler chain resumes from its previous state
+		}
+		prev = c.nextFiller(r, prev)
+		seq[i] = prev
+	}
+	seq[n-2] = TokenQuery
+	seq[n-1] = c.AnswerToken(keyIdx)
+	return seq
+}
+
+// Batch draws n sequences.
+func (c *Corpus) Batch(r *rng.Rand, n int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = c.Sample(r)
+	}
+	return out
+}
+
+// Split returns a deterministic named dataset of n sequences; distinct
+// names give disjoint streams. Conventional names: "train", "calibration"
+// (the Pile stand-in), "eval" (the Lambada stand-in).
+func (c *Corpus) Split(name string, n int) [][]int {
+	r := rng.New(c.cfg.Seed).Split("split:" + name)
+	return c.Batch(r, n)
+}
+
+// DefaultConfig is the corpus used by the model zoo: 64-token vocabulary,
+// 12 keys, sequences of 32 tokens with the key in positions 1..8.
+func DefaultConfig(seed uint64) Config {
+	return Config{Vocab: 64, NumKeys: 12, SeqLen: 32, KeyLo: 1, KeyHi: 8, Seed: seed}
+}

@@ -1,0 +1,249 @@
+package textgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nora/internal/rng"
+)
+
+func testConfig() Config { return DefaultConfig(7) }
+
+func TestValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := map[string]func(c *Config){
+		"one-key":      func(c *Config) { c.NumKeys = 1 },
+		"tiny-vocab":   func(c *Config) { c.Vocab = 10 },
+		"short-seq":    func(c *Config) { c.SeqLen = 4 },
+		"key-at-bos":   func(c *Config) { c.KeyLo = 0 },
+		"key-too-late": func(c *Config) { c.KeyHi = c.SeqLen - 1 },
+		"key-inverted": func(c *Config) { c.KeyLo = 5; c.KeyHi = 3 },
+	}
+	for name, mutate := range cases {
+		c := testConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Fatalf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	c := testConfig()
+	c.NumKeys = 1
+	if _, err := New(c); err == nil {
+		t.Fatal("New accepted invalid config")
+	}
+}
+
+func TestSampleStructure(t *testing.T) {
+	c, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for trial := 0; trial < 200; trial++ {
+		seq := c.Sample(r)
+		cfg := c.Cfg()
+		if len(seq) != cfg.SeqLen {
+			t.Fatalf("len = %d", len(seq))
+		}
+		if seq[0] != TokenBOS {
+			t.Fatal("missing BOS")
+		}
+		if seq[cfg.SeqLen-2] != TokenQuery {
+			t.Fatal("missing QUERY before answer")
+		}
+		// exactly one key, inside the window, and the answer matches it
+		keyCount, keyIdx, keyPos := 0, -1, -1
+		for i, tok := range seq {
+			if tok >= tokenKey0 && tok < tokenKey0+cfg.NumKeys {
+				keyCount++
+				keyIdx = tok - tokenKey0
+				keyPos = i
+			}
+		}
+		if keyCount != 1 {
+			t.Fatalf("found %d keys", keyCount)
+		}
+		if keyPos < cfg.KeyLo || keyPos > cfg.KeyHi {
+			t.Fatalf("key at %d outside [%d,%d]", keyPos, cfg.KeyLo, cfg.KeyHi)
+		}
+		if seq[cfg.SeqLen-1] != c.AnswerToken(keyIdx) {
+			t.Fatal("answer does not match key")
+		}
+		// every token in range
+		for _, tok := range seq {
+			if tok < 0 || tok >= cfg.Vocab {
+				t.Fatalf("token %d out of vocab", tok)
+			}
+		}
+	}
+}
+
+func TestPermutationIsBijection(t *testing.T) {
+	c, _ := New(testConfig())
+	seen := map[int]bool{}
+	for i := 0; i < c.Cfg().NumKeys; i++ {
+		a := c.AnswerToken(i)
+		lo := tokenKey0 + c.Cfg().NumKeys
+		if a < lo || a >= lo+c.Cfg().NumKeys {
+			t.Fatalf("answer token %d out of answer range", a)
+		}
+		if seen[a] {
+			t.Fatalf("answer %d repeated", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	a, _ := New(testConfig())
+	b, _ := New(testConfig())
+	sa := a.Split("eval", 5)
+	sb := b.Split("eval", 5)
+	for i := range sa {
+		for j := range sa[i] {
+			if sa[i][j] != sb[i][j] {
+				t.Fatal("same seed + split must reproduce identical data")
+			}
+		}
+	}
+}
+
+func TestSplitsDisjointStreams(t *testing.T) {
+	c, _ := New(testConfig())
+	train := c.Split("train", 20)
+	eval := c.Split("eval", 20)
+	same := 0
+	for i := range train {
+		identical := true
+		for j := range train[i] {
+			if train[i][j] != eval[i][j] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("train/eval share %d/20 sequences", same)
+	}
+}
+
+func TestDifferentSeedsDifferentPermutation(t *testing.T) {
+	a, _ := New(DefaultConfig(1))
+	b, _ := New(DefaultConfig(2))
+	diff := false
+	for i := 0; i < a.Cfg().NumKeys; i++ {
+		if a.AnswerToken(i) != b.AnswerToken(i) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("permutations of different corpora coincide (possible but astronomically unlikely)")
+	}
+}
+
+func TestChanceAccuracy(t *testing.T) {
+	c, _ := New(testConfig())
+	if got := c.ChanceAccuracy(); got != 1.0/12 {
+		t.Fatalf("chance accuracy = %v", got)
+	}
+}
+
+func TestKeysUniform(t *testing.T) {
+	c, _ := New(testConfig())
+	r := rng.New(99)
+	counts := make([]int, c.Cfg().NumKeys)
+	const n = 6000
+	for i := 0; i < n; i++ {
+		seq := c.Sample(r)
+		ans := seq[len(seq)-1]
+		for k := 0; k < c.Cfg().NumKeys; k++ {
+			if c.AnswerToken(k) == ans {
+				counts[k]++
+			}
+		}
+	}
+	want := n / c.Cfg().NumKeys
+	for k, got := range counts {
+		if got < want/2 || got > want*2 {
+			t.Fatalf("key %d sampled %d times, want ≈%d", k, got, want)
+		}
+	}
+}
+
+func TestBatchProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		c, err := New(DefaultConfig(seed % 1000))
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		batch := c.Batch(r, 3)
+		if len(batch) != 3 {
+			return false
+		}
+		for _, seq := range batch {
+			if len(seq) != c.Cfg().SeqLen || seq[0] != TokenBOS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkovFillerNotUniform(t *testing.T) {
+	// The filler chain must actually be a (learnable) Markov chain: the
+	// conditional next-token distribution should deviate from uniform.
+	c, _ := New(testConfig())
+	r := rng.New(5)
+	nf := c.numFiller()
+	base := c.fillerBase()
+	counts := make(map[int]map[int]int)
+	for i := 0; i < 3000; i++ {
+		seq := c.Sample(r)
+		for j := 1; j < len(seq)-3; j++ {
+			a, b := seq[j], seq[j+1]
+			if a >= base && b >= base {
+				if counts[a] == nil {
+					counts[a] = map[int]int{}
+				}
+				counts[a][b]++
+			}
+		}
+	}
+	// pick the most-observed predecessor and check its distribution skew
+	var bestA, bestN int
+	for a, m := range counts {
+		n := 0
+		for _, v := range m {
+			n += v
+		}
+		if n > bestN {
+			bestA, bestN = a, n
+		}
+	}
+	if bestN < 100 {
+		t.Skip("not enough bigram data")
+	}
+	maxP := 0.0
+	for _, v := range counts[bestA] {
+		p := float64(v) / float64(bestN)
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if maxP < 1.5/float64(nf) {
+		t.Fatalf("filler looks uniform: max conditional prob %v with %d filler tokens", maxP, nf)
+	}
+}
