@@ -14,6 +14,7 @@ import (
 
 	"nora/internal/analog"
 	"nora/internal/core"
+	"nora/internal/engine"
 	"nora/internal/harness"
 	"nora/internal/model"
 	"nora/internal/nn"
@@ -130,7 +131,7 @@ func BenchmarkFig3Sensitivity(b *testing.B) {
 	var points []harness.SensitivityPoint
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		points = harness.Sensitivity([]*harness.Workload{w}, targets)
+		points = harness.Sensitivity(engine.New(engine.Config{}), []*harness.Workload{w}, targets)
 	}
 	b.StopTimer()
 	logTable(b, harness.SensitivityTable(points))
@@ -184,7 +185,7 @@ func BenchmarkFig5aOPTAccuracy(b *testing.B) {
 	var rows []harness.AccuracyRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.OverallAccuracy([]*harness.Workload{w}, analog.PaperPreset())
+		rows = harness.OverallAccuracy(engine.New(engine.Config{}), []*harness.Workload{w}, analog.PaperPreset())
 	}
 	b.StopTimer()
 	logTable(b, harness.AccuracyTable("Fig. 5(a) — OPT-class (reduced)", rows))
@@ -201,7 +202,7 @@ func BenchmarkTable3LlamaMistral(b *testing.B) {
 	var rows []harness.AccuracyRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.OverallAccuracy(lls, analog.PaperPreset())
+		rows = harness.OverallAccuracy(engine.New(engine.Config{}), lls, analog.PaperPreset())
 	}
 	b.StopTimer()
 	logTable(b, harness.AccuracyTable("Table III — LLaMA/Mistral-class (reduced)", rows))
@@ -216,7 +217,7 @@ func BenchmarkFig5bcMitigation(b *testing.B) {
 	var rows []harness.MitigationRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.Mitigation([]*harness.Workload{w}, harness.MitigationMSETarget)
+		rows = harness.Mitigation(engine.New(engine.Config{}), []*harness.Workload{w}, harness.MitigationMSETarget)
 	}
 	b.StopTimer()
 	logTable(b, harness.MitigationTable(rows))
@@ -232,7 +233,7 @@ func BenchmarkFig6KurtosisAndScale(b *testing.B) {
 	var rows []harness.Fig6Row
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.DistributionAnalysis(ws, "attn.q", analog.PaperPreset())
+		rows = harness.DistributionAnalysis(engine.New(engine.Config{}), ws, "attn.q", analog.PaperPreset())
 	}
 	b.StopTimer()
 	logTable(b, harness.Fig6Table(rows))
@@ -246,7 +247,7 @@ func BenchmarkExtDrift(b *testing.B) {
 	var rows []harness.DriftRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.DriftStudy([]*harness.Workload{w}, 3600)
+		rows = harness.DriftStudy(engine.New(engine.Config{}), []*harness.Workload{w}, 3600)
 	}
 	b.StopTimer()
 	logTable(b, harness.DriftTable(rows))
@@ -261,7 +262,7 @@ func BenchmarkExtLambdaAblation(b *testing.B) {
 	var rows []harness.LambdaRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.LambdaAblation([]*harness.Workload{w}, lambdas)
+		rows = harness.LambdaAblation(engine.New(engine.Config{}), []*harness.Workload{w}, lambdas)
 	}
 	b.StopTimer()
 	logTable(b, harness.LambdaTable(rows))
@@ -294,7 +295,7 @@ func BenchmarkExtTaskGeneralization(b *testing.B) {
 	var rows []harness.AccuracyRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.OverallAccuracy([]*harness.Workload{rec, maj}, analog.PaperPreset())
+		rows = harness.OverallAccuracy(engine.New(engine.Config{}), []*harness.Workload{rec, maj}, analog.PaperPreset())
 	}
 	b.StopTimer()
 	logTable(b, harness.AccuracyTable("Ext. — task generalization (reduced)", rows))
@@ -309,7 +310,7 @@ func BenchmarkExtWeightSlicing(b *testing.B) {
 	var rows []harness.SlicingRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.SlicingStudy([]*harness.Workload{w}, [][2]int{{2, 4}})
+		rows = harness.SlicingStudy(engine.New(engine.Config{}), []*harness.Workload{w}, [][2]int{{2, 4}})
 	}
 	b.StopTimer()
 	logTable(b, harness.SlicingTable(rows))
@@ -324,7 +325,7 @@ func BenchmarkExtOperatingModes(b *testing.B) {
 	var rows []harness.ModeRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.ModeStudy([]*harness.Workload{w})
+		rows = harness.ModeStudy(engine.New(engine.Config{}), []*harness.Workload{w})
 	}
 	b.StopTimer()
 	logTable(b, harness.ModeTable(rows))
@@ -339,7 +340,7 @@ func BenchmarkExtBaselines(b *testing.B) {
 	var rows []harness.BaselineRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.BaselineComparison([]*harness.Workload{w}, analog.PaperPreset())
+		rows = harness.BaselineComparison(engine.New(engine.Config{}), []*harness.Workload{w}, analog.PaperPreset())
 	}
 	b.StopTimer()
 	logTable(b, harness.BaselineTable(rows))
@@ -353,7 +354,7 @@ func BenchmarkExtPerLayer(b *testing.B) {
 	var rows []harness.PerLayerRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.PerLayerSensitivity([]*harness.Workload{w}, analog.PaperPreset())
+		rows = harness.PerLayerSensitivity(engine.New(engine.Config{}), []*harness.Workload{w}, analog.PaperPreset())
 	}
 	b.StopTimer()
 	logTable(b, harness.PerLayerTable(rows))
@@ -369,7 +370,7 @@ func BenchmarkExtQuantileCalibration(b *testing.B) {
 	var rows []harness.QuantileRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.CalibrationAblation([]*harness.Workload{w}, qs)
+		rows = harness.CalibrationAblation(engine.New(engine.Config{}), []*harness.Workload{w}, qs)
 	}
 	b.StopTimer()
 	logTable(b, harness.QuantileTable(rows))
@@ -383,7 +384,7 @@ func BenchmarkExtCostModel(b *testing.B) {
 	var rows []harness.CostRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = harness.CostStudy([]*harness.Workload{w}, analog.PaperPreset(), analog.DefaultCostModel())
+		rows = harness.CostStudy(engine.New(engine.Config{}), []*harness.Workload{w}, analog.PaperPreset(), analog.DefaultCostModel())
 	}
 	b.StopTimer()
 	logTable(b, harness.CostTable(rows))
@@ -399,13 +400,69 @@ func BenchmarkExtHWAvsNORA(b *testing.B) {
 	var err error
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		row, err = harness.HWAStudy(w, 60, analog.PaperPreset())
+		row, err = harness.HWAStudy(engine.New(engine.Config{}), w, 60, analog.PaperPreset())
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
 	logTable(b, harness.HWATable([]harness.HWARow{row}))
+}
+
+// ---- engine: deployment cache and parallel eval ----------------------------
+
+// BenchmarkEngineDeployCacheMiss measures a cold deployment build through
+// the engine (every iteration uses a distinct salt, so nothing is reused).
+func BenchmarkEngineDeployCacheMiss(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	eng := engine.New(engine.Config{})
+	cfg := analog.PaperPreset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Deploy(w.Request(core.DeployAnalogNaive, cfg, core.Options{}, fmt.Sprintf("miss%d", i)))
+	}
+	b.StopTimer()
+	if s := eng.Stats(); s.DeployBuilds != int64(b.N) {
+		b.Fatalf("expected %d builds, got %+v", b.N, s)
+	}
+}
+
+// BenchmarkEngineDeployCacheHit measures the cached path: the same request
+// served repeatedly from the LRU.
+func BenchmarkEngineDeployCacheHit(b *testing.B) {
+	w, _ := benchWorkloads(b)
+	eng := engine.New(engine.Config{})
+	cfg := analog.PaperPreset()
+	req := w.Request(core.DeployAnalogNaive, cfg, core.Options{}, "")
+	eng.Deploy(req) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Deploy(req)
+	}
+	b.StopTimer()
+	if s := eng.Stats(); s.DeployHits != int64(b.N) {
+		b.Fatalf("expected %d hits, got %+v", b.N, s)
+	}
+}
+
+// BenchmarkEvalSerial measures the analog evaluation pass on one worker.
+func BenchmarkEvalSerial(b *testing.B) {
+	benchmarkEval(b, 1)
+}
+
+// BenchmarkEvalParallel measures the same pass on GOMAXPROCS workers; the
+// result is bit-identical to the serial pass by the noise-scoping design.
+func BenchmarkEvalParallel(b *testing.B) {
+	benchmarkEval(b, 0)
+}
+
+func benchmarkEval(b *testing.B, workers int) {
+	w, _ := benchWorkloads(b)
+	runner := core.Deploy(w.Model, core.DeployAnalogNaive, nil, analog.PaperPreset(), 1, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Eval(w.Eval, workers)
+	}
 }
 
 // ---- substrate micro-benchmarks -------------------------------------------

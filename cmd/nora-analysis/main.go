@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"nora/internal/analog"
+	"nora/internal/engine"
 	"nora/internal/harness"
 	"nora/internal/model"
 )
@@ -75,39 +76,40 @@ func main() {
 		}
 	}
 
-	rows := harness.DistributionAnalysis(ws, *layer, analog.PaperPreset())
+	eng := engine.New(engine.Config{})
+	rows := harness.DistributionAnalysis(eng, ws, *layer, analog.PaperPreset())
 	emit(harness.Fig6Table(rows), "fig6")
 
 	if *drift {
-		emit(harness.DriftTable(harness.DriftStudy(ws, *driftSec)), "drift")
+		emit(harness.DriftTable(harness.DriftStudy(eng, ws, *driftSec)), "drift")
 	}
 	if *lambda {
 		lambdas := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
-		emit(harness.LambdaTable(harness.LambdaAblation(ws, lambdas)), "lambda")
+		emit(harness.LambdaTable(harness.LambdaAblation(eng, ws, lambdas)), "lambda")
 	}
 	if *cost {
-		rows := harness.CostStudy(ws, analog.PaperPreset(), analog.DefaultCostModel())
+		rows := harness.CostStudy(eng, ws, analog.PaperPreset(), analog.DefaultCostModel())
 		emit(harness.CostTable(rows), "cost")
 	}
 	if *perLayer {
-		rows := harness.PerLayerSensitivity(ws, analog.PaperPreset())
+		rows := harness.PerLayerSensitivity(eng, ws, analog.PaperPreset())
 		emit(harness.PerLayerTable(rows), "perlayer")
 	}
 	if *quantile {
 		qs := []float64{0.9, 0.99, 0.999, 1.0}
-		emit(harness.QuantileTable(harness.CalibrationAblation(ws, qs)), "quantile")
+		emit(harness.QuantileTable(harness.CalibrationAblation(eng, ws, qs)), "quantile")
 	}
 	if *slicing {
 		schemes := [][2]int{{2, 4}, {3, 3}, {4, 2}}
-		emit(harness.SlicingTable(harness.SlicingStudy(ws, schemes)), "slicing")
+		emit(harness.SlicingTable(harness.SlicingStudy(eng, ws, schemes)), "slicing")
 	}
 	if *modes {
-		emit(harness.ModeTable(harness.ModeStudy(ws)), "modes")
+		emit(harness.ModeTable(harness.ModeStudy(eng, ws)), "modes")
 	}
 	if *hwa {
 		var rows []harness.HWARow
 		for _, w := range ws {
-			row, err := harness.HWAStudy(w, *hwaSteps, analog.PaperPreset())
+			row, err := harness.HWAStudy(eng, w, *hwaSteps, analog.PaperPreset())
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"nora/internal/analog"
+	"nora/internal/engine"
 	"nora/internal/harness"
 	"nora/internal/model"
 )
@@ -30,6 +31,7 @@ func main() {
 
 	var optRows, otherRows []harness.AccuracyRow
 	cfg := analog.PaperPreset()
+	eng := engine.New(engine.Config{})
 
 	if *family == "all" || *family == "opt" {
 		ws, err := harness.LoadZoo(*modelDir, model.OPTSpecs(), *evalN, harness.CalibSize)
@@ -39,10 +41,10 @@ func main() {
 		}
 		var tbl *harness.Table
 		if *replicas > 1 {
-			stats := harness.OverallAccuracyReplicated(ws, cfg, *replicas)
+			stats := harness.OverallAccuracyReplicated(eng, ws, cfg, *replicas)
 			tbl = harness.AccuracyStatsTable("Fig. 5(a) — OPT-class accuracy (mean±std over hardware instances)", stats)
 		} else {
-			optRows = harness.OverallAccuracy(ws, cfg)
+			optRows = harness.OverallAccuracy(eng, ws, cfg)
 			tbl = harness.AccuracyTable("Fig. 5(a) — OPT-class accuracy: digital FP vs naive analog vs NORA", optRows)
 		}
 		if err := tbl.WriteText(os.Stdout); err != nil {
@@ -57,7 +59,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		otherRows = harness.OverallAccuracy(ws, cfg)
+		otherRows = harness.OverallAccuracy(eng, ws, cfg)
 		tbl := harness.AccuracyTable("Table III — NORA accuracy for LLaMA/Mistral-class models", otherRows)
 		if err := tbl.WriteText(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -72,7 +74,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
-		rows := harness.OverallAccuracy(ws, cfg)
+		rows := harness.OverallAccuracy(eng, ws, cfg)
 		tbl := harness.AccuracyTable("Ext. — task generalization: key recall vs majority vote (same architecture)", rows)
 		if err := tbl.WriteText(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -87,7 +89,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
-		rows := harness.BaselineComparison(ws, cfg)
+		rows := harness.BaselineComparison(eng, ws, cfg)
 		if err := harness.BaselineTable(rows).WriteText(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"nora/internal/engine"
 	"nora/internal/harness"
 	"nora/internal/model"
 )
@@ -45,7 +46,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	rows := harness.Mitigation(ws, *mse)
+	eng := engine.New(engine.Config{})
+	rows := harness.Mitigation(eng, ws, *mse)
 	tbl := harness.MitigationTable(rows)
 	if err := tbl.WriteText(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)

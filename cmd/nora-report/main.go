@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"nora/internal/analog"
+	"nora/internal/engine"
 	"nora/internal/harness"
 	"nora/internal/model"
 )
@@ -64,6 +65,8 @@ func run(modelDir, outPath string, evalN int, quick bool) error {
 		return nil
 	}
 
+	eng := engine.New(engine.Config{})
+
 	// Workload sets.
 	all, err := harness.LoadZoo(modelDir, model.Zoo(), evalN, harness.CalibSize)
 	if err != nil {
@@ -97,32 +100,32 @@ func run(modelDir, outPath string, evalN int, quick bool) error {
 		targets = []float64{targets[1], targets[len(targets)-1]}
 		sensWs = focus
 	}
-	if err := emit(harness.SensitivityTable(harness.Sensitivity(sensWs, targets))); err != nil {
+	if err := emit(harness.SensitivityTable(harness.Sensitivity(eng, sensWs, targets))); err != nil {
 		return err
 	}
 
 	// E3/E4 — Fig. 5(a), Table III.
 	cfg := analog.PaperPreset()
-	if err := emit(harness.AccuracyTable("Fig. 5(a) — OPT-class accuracy", harness.OverallAccuracy(opts, cfg))); err != nil {
+	if err := emit(harness.AccuracyTable("Fig. 5(a) — OPT-class accuracy", harness.OverallAccuracy(eng, opts, cfg))); err != nil {
 		return err
 	}
-	if err := emit(harness.AccuracyTable("Table III — LLaMA/Mistral-class accuracy", harness.OverallAccuracy(others, cfg))); err != nil {
+	if err := emit(harness.AccuracyTable("Table III — LLaMA/Mistral-class accuracy", harness.OverallAccuracy(eng, others, cfg))); err != nil {
 		return err
 	}
 
 	// E5 — Fig. 5(b)(c).
 	mitWs := sensWs
-	if err := emit(harness.MitigationTable(harness.Mitigation(mitWs, harness.MitigationMSETarget))); err != nil {
+	if err := emit(harness.MitigationTable(harness.Mitigation(eng, mitWs, harness.MitigationMSETarget))); err != nil {
 		return err
 	}
 
 	// E6/E7 — Fig. 6.
-	if err := emit(harness.Fig6Table(harness.DistributionAnalysis(focus, "attn.q", cfg))); err != nil {
+	if err := emit(harness.Fig6Table(harness.DistributionAnalysis(eng, focus, "attn.q", cfg))); err != nil {
 		return err
 	}
 
 	// E8 — drift.
-	if err := emit(harness.DriftTable(harness.DriftStudy(focus, 3600))); err != nil {
+	if err := emit(harness.DriftTable(harness.DriftStudy(eng, focus, 3600))); err != nil {
 		return err
 	}
 
@@ -131,24 +134,24 @@ func run(modelDir, outPath string, evalN int, quick bool) error {
 	if quick {
 		lambdas = []float64{0.25, 0.5, 1.0}
 	}
-	if err := emit(harness.LambdaTable(harness.LambdaAblation(focus, lambdas))); err != nil {
+	if err := emit(harness.LambdaTable(harness.LambdaAblation(eng, focus, lambdas))); err != nil {
 		return err
 	}
 
 	// E10 — cost estimate.
-	if err := emit(harness.CostTable(harness.CostStudy(focus, cfg, analog.DefaultCostModel()))); err != nil {
+	if err := emit(harness.CostTable(harness.CostStudy(eng, focus, cfg, analog.DefaultCostModel()))); err != nil {
 		return err
 	}
 
 	// E11 — per-layer ablation (focused model only; it is eval-heavy).
 	if !quick {
-		if err := emit(harness.PerLayerTable(harness.PerLayerSensitivity(focus[:1], cfg))); err != nil {
+		if err := emit(harness.PerLayerTable(harness.PerLayerSensitivity(eng, focus[:1], cfg))); err != nil {
 			return err
 		}
 	}
 
 	// E12 — digital PTQ baselines.
-	if err := emit(harness.BaselineTable(harness.BaselineComparison(focus, cfg))); err != nil {
+	if err := emit(harness.BaselineTable(harness.BaselineComparison(eng, focus, cfg))); err != nil {
 		return err
 	}
 
@@ -157,7 +160,7 @@ func run(modelDir, outPath string, evalN int, quick bool) error {
 	if quick {
 		qs = []float64{0.9, 1.0}
 	}
-	if err := emit(harness.QuantileTable(harness.CalibrationAblation(focus, qs))); err != nil {
+	if err := emit(harness.QuantileTable(harness.CalibrationAblation(eng, focus, qs))); err != nil {
 		return err
 	}
 
@@ -166,21 +169,24 @@ func run(modelDir, outPath string, evalN int, quick bool) error {
 	if quick {
 		schemes = [][2]int{{2, 4}}
 	}
-	if err := emit(harness.SlicingTable(harness.SlicingStudy(focus, schemes))); err != nil {
+	if err := emit(harness.SlicingTable(harness.SlicingStudy(eng, focus, schemes))); err != nil {
 		return err
 	}
 
 	// E16 — task generalization.
-	if err := emit(harness.AccuracyTable("Ext. — task generalization (recall vs majority)", harness.OverallAccuracy(tasks, cfg))); err != nil {
+	if err := emit(harness.AccuracyTable("Ext. — task generalization (recall vs majority)", harness.OverallAccuracy(eng, tasks, cfg))); err != nil {
 		return err
 	}
 
 	// E17 — operating modes.
-	if err := emit(harness.ModeTable(harness.ModeStudy(focus))); err != nil {
+	if err := emit(harness.ModeTable(harness.ModeStudy(eng, focus))); err != nil {
 		return err
 	}
 
-	fmt.Fprintf(f, "---\ntotal wall time: %s\n", time.Since(start).Round(time.Second))
+	stats := eng.Stats()
+	fmt.Fprintf(f, "---\nengine stats: `%s`\n\ntotal wall time: %s\n",
+		stats, time.Since(start).Round(time.Second))
+	fmt.Println(stats)
 	fmt.Printf("report written to %s (%s)\n", outPath, time.Since(start).Round(time.Second))
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"nora/internal/engine"
 	"nora/internal/harness"
 	"nora/internal/model"
 )
@@ -37,7 +38,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	points := harness.Sensitivity(ws, harness.PaperMSETargets())
+	eng := engine.New(engine.Config{})
+	points := harness.Sensitivity(eng, ws, harness.PaperMSETargets())
 	tbl := harness.SensitivityTable(points)
 	if err := tbl.WriteText(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -49,6 +51,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	fmt.Fprintln(os.Stderr, eng.Stats())
 	if *chart {
 		fmt.Println()
 		if err := harness.SensitivityCharts(points, os.Stdout); err != nil {

@@ -19,6 +19,8 @@
 // channels before this mapping (Eq. 6–7).
 package analog
 
+import "fmt"
+
 // NoiseManagement selects how the per-row input scale α_i is chosen.
 type NoiseManagement int
 
@@ -177,6 +179,32 @@ const (
 	readNoise1F = 0.0057 // relative 1/f read noise coefficient
 	tRead       = 250e-9 // seconds, single read duration
 )
+
+// configFieldCount is the number of fields Fingerprint must cover. A test
+// checks it against reflect.TypeOf(Config{}).NumField() so that adding a
+// field without extending Fingerprint fails loudly instead of silently
+// aliasing distinct configurations in the engine's deployment cache.
+const configFieldCount = 28
+
+// Fingerprint returns a stable, content-derived identifier of the
+// configuration: two Configs share a fingerprint iff every field is equal.
+// The engine uses it as a deployment cache-key component and as an input to
+// seed derivation, so the encoding must stay deterministic across runs —
+// it lists every field explicitly rather than relying on struct layout.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf(
+		"tile=%dx%d;gmax=%g;in=%d;out=%d;innoise=%g;outnoise=%g;wnoise=%g;"+
+			"prog=%g;poly=%g,%g,%g;driftscale=%g;ir=%g;sshape=%g;bound=%g;"+
+			"bm=%t,%d;nm=%d;alpha=%g;pertile=%t;wv=%d;bitserial=%t;"+
+			"slices=%d,%d;diffpair=%t;adcoff=%g;adcgain=%g;driftt=%g;driftcomp=%t",
+		c.TileRows, c.TileCols, c.GMax, c.InSteps, c.OutSteps, c.InNoise, c.OutNoise, c.WNoise,
+		c.ProgNoiseScale, c.ProgPoly[0], c.ProgPoly[1], c.ProgPoly[2], c.DriftScale,
+		c.IRDropScale, c.SShape, c.OutBound,
+		c.BoundManagement, c.BMMaxIter, int(c.NM), c.AlphaConst, c.PerTileScale,
+		c.WriteVerify, c.BitSerial,
+		c.WeightSlices, c.SliceBits, c.DifferentialPair, c.ADCOffset, c.ADCGainMismatch,
+		c.DriftT, c.DriftCompensation)
+}
 
 // PaperPreset returns the aihwkit settings of Table II of the paper:
 // 7-bit DAC/ADC, out_noise 0.04, w_noise 0.0175, ir_drop 1.0, 512×512

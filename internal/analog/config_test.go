@@ -1,0 +1,48 @@
+package analog
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Guard against silently adding a Config field without extending
+// Fingerprint: distinct configurations would then alias in the engine's
+// deployment cache and share hardware instances incorrectly.
+func TestConfigFieldCountGuard(t *testing.T) {
+	if n := reflect.TypeOf(Config{}).NumField(); n != configFieldCount {
+		t.Fatalf("Config has %d fields but Fingerprint covers %d — "+
+			"extend Fingerprint and bump configFieldCount", n, configFieldCount)
+	}
+}
+
+func TestConfigFingerprintDistinguishesEveryField(t *testing.T) {
+	base := PaperPreset()
+	ref := base.Fingerprint()
+	if ref != base.Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+
+	// Perturb each field via reflection and require a distinct fingerprint.
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		mod := base
+		v := reflect.ValueOf(&mod).Elem().Field(i)
+		switch v.Kind() {
+		case reflect.Int:
+			v.SetInt(v.Int() + 1)
+		case reflect.Uint8: // NM enum
+			v.SetUint(v.Uint() + 1)
+		case reflect.Float32, reflect.Float64:
+			v.SetFloat(v.Float() + 0.125)
+		case reflect.Bool:
+			v.SetBool(!v.Bool())
+		case reflect.Array: // ProgPoly
+			v.Index(0).SetFloat(v.Index(0).Float() + 0.125)
+		default:
+			t.Fatalf("field %s: unhandled kind %s", typ.Field(i).Name, v.Kind())
+		}
+		if mod.Fingerprint() == ref {
+			t.Fatalf("changing field %s did not change the fingerprint", typ.Field(i).Name)
+		}
+	}
+}

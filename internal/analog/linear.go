@@ -2,7 +2,9 @@ package analog
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"nora/internal/nn"
 	"nora/internal/rng"
 	"nora/internal/tensor"
 )
@@ -30,10 +32,13 @@ type AnalogLinear struct {
 	colOff []int // tile-grid column boundaries
 	tiles  [][]mvmTile
 
-	noise *rng.Rand // runtime read-noise stream
+	noise     *rng.Rand // runtime read-noise stream (un-scoped Forward calls)
+	scopeRoot *rng.Rand // never advanced; WithNoiseScope splits labels off it
 
-	rowsProcessed int64 // activation rows seen (digital-equivalent costing)
+	rowsProcessed *atomic.Int64 // activation rows seen, shared across scoped views
 }
+
+var _ nn.NoiseScopedOp = (*AnalogLinear)(nil)
 
 // NewAnalogLinear programs weight matrix w (in × out) onto tiles.
 // bias may be nil. s may be nil (no rescaling) or a length-in positive
@@ -47,11 +52,13 @@ func NewAnalogLinear(name string, w *tensor.Matrix, bias []float32, s []float32,
 		panic(fmt.Sprintf("analog: rescaling vector len %d, weight rows %d", len(s), w.Rows))
 	}
 	l := &AnalogLinear{
-		name:  name,
-		cfg:   cfg,
-		in:    w.Rows,
-		out:   w.Cols,
-		noise: root.Split("read"),
+		name:          name,
+		cfg:           cfg,
+		in:            w.Rows,
+		out:           w.Cols,
+		noise:         root.Split("read"),
+		scopeRoot:     root.Split("read-scope"),
+		rowsProcessed: new(atomic.Int64),
 	}
 	if bias != nil {
 		l.bias = append([]float32(nil), bias...)
@@ -104,6 +111,18 @@ func partition(n, size int) []int {
 // Name implements nn.LinearOp.
 func (l *AnalogLinear) Name() string { return l.name }
 
+// WithNoiseScope implements nn.NoiseScopedOp: the returned view shares the
+// programmed tiles and counters but draws its runtime read noise from a
+// stream that is a pure function of (layer seed, label). Scoped views of
+// the same layer under the same label always see identical noise, no matter
+// how many other scopes ran before or concurrently — the property behind
+// the engine's "parallel eval ≡ serial eval" determinism guarantee.
+func (l *AnalogLinear) WithNoiseScope(label string) nn.LinearOp {
+	view := *l
+	view.noise = l.scopeRoot.Split(label)
+	return &view
+}
+
 // InDim returns the input width.
 func (l *AnalogLinear) InDim() int { return l.in }
 
@@ -137,7 +156,7 @@ func (l *AnalogLinear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if l.invS != nil {
 		xs = tensor.ScaleCols(x, l.invS)
 	}
-	l.rowsProcessed += int64(x.Rows)
+	l.rowsProcessed.Add(int64(x.Rows))
 	out := tensor.New(x.Rows, l.out)
 	for i := 0; i < x.Rows; i++ {
 		row := xs.Row(i)
@@ -174,17 +193,17 @@ func (l *AnalogLinear) ResetCost() {
 			t.Counters().Reset()
 		}
 	}
-	l.rowsProcessed = 0
+	l.rowsProcessed.Store(0)
 }
 
 // DigitalEquivalentMACs returns the number of digital multiply-accumulates
 // an exact implementation of the processed workload would have executed.
 func (l *AnalogLinear) DigitalEquivalentMACs() int64 {
-	return l.rowsProcessed * int64(l.in) * int64(l.out)
+	return l.rowsProcessed.Load() * int64(l.in) * int64(l.out)
 }
 
 // RowsProcessed returns the number of activation rows forwarded so far.
-func (l *AnalogLinear) RowsProcessed() int64 { return l.rowsProcessed }
+func (l *AnalogLinear) RowsProcessed() int64 { return l.rowsProcessed.Load() }
 
 // AlphaGammaMean reports the average α_i·γ_j·g_max the layer would use on
 // input x: the quantity Fig. 6(c) of the paper tracks (smaller means larger

@@ -38,6 +38,7 @@ func TestPartition(t *testing.T) {
 		{8, 4, []int{0, 4, 8}},
 		{3, 10, []int{0, 3}},
 		{1, 1, []int{0, 1}},
+		{5, 1, []int{0, 1, 2, 3, 4, 5}},
 	}
 	for _, c := range cases {
 		got := partition(c.n, c.size)

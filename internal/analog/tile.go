@@ -118,6 +118,11 @@ func NewTile(cfg Config, ws *tensor.Matrix, progRng *rng.Rand) *Tile {
 	if cfg.DriftT > 0 {
 		t.SetTime(cfg.DriftT)
 	}
+	if cfg.IRDropScale > 0 {
+		// Build the |wEff| load matrix eagerly: MVMRow may run concurrently
+		// across evaluation sequences and must not race on lazy state.
+		t.ensureAbsW()
+	}
 	return t
 }
 
@@ -267,6 +272,9 @@ func (t *Tile) SetTime(tSec float64) {
 		t.absW = nil
 		t.readStd = 0
 		t.driftComp = 1
+		if t.cfg.IRDropScale > 0 {
+			t.ensureAbsW()
+		}
 		return
 	}
 	base := tSec / driftT0
@@ -304,6 +312,9 @@ func (t *Tile) SetTime(tSec float64) {
 	t.driftComp = 1
 	if t.cfg.DriftCompensation && sumEff > 0 {
 		t.driftComp = float32(sumProg / sumEff)
+	}
+	if t.cfg.IRDropScale > 0 {
+		t.ensureAbsW()
 	}
 }
 

@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"nora/internal/analog"
 	"nora/internal/nn"
@@ -43,6 +44,47 @@ type Calibration struct {
 	InputMax map[string][]float32
 	// Sequences is the number of calibration sequences observed.
 	Sequences int
+}
+
+// Fingerprint returns a stable content hash of the calibration statistics:
+// two calibrations with identical per-channel maxima (bit-for-bit) share a
+// fingerprint. Layer names are folded in sorted order so map iteration
+// order never leaks in. A nil calibration hashes to 0. The engine includes
+// this in its deployment cache key — calibrations from different quantiles
+// or calibration sets must never alias the same cached deployment.
+func (c *Calibration) Fingerprint() uint64 {
+	if c == nil {
+		return 0
+	}
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	names := make([]string, 0, len(c.InputMax))
+	for name := range c.InputMax {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (v >> shift) & 0xff
+			h *= prime
+		}
+	}
+	for _, name := range names {
+		for i := 0; i < len(name); i++ {
+			h ^= uint64(name[i])
+			h *= prime
+		}
+		stats := c.InputMax[name]
+		mix(uint64(len(stats)))
+		for _, v := range stats {
+			mix(uint64(math.Float32bits(v)))
+		}
+	}
+	mix(uint64(c.Sequences))
+	return h
 }
 
 // Calibrate runs the model digitally over the calibration set, recording

@@ -227,19 +227,43 @@ func TestNORARecoversAccuracyUnderPaperNoise(t *testing.T) {
 	}
 }
 
-// Deployments must be reproducible: same seed → identical noisy accuracy.
+// Deployments must be reproducible: same (mode, cfg, seed) → identical
+// noisy accuracy, bit for bit, across both analog modes and several seeds.
 func TestDeployDeterminism(t *testing.T) {
-	m, eval, _ := trained(t)
+	m, eval, calib := trained(t)
 	cfg := analog.PaperPreset()
 	cfg.TileRows, cfg.TileCols = 64, 64
 	sub := eval[:20]
-	a := Deploy(m, DeployAnalogNaive, nil, cfg, 7, Options{}).EvalAccuracy(sub)
-	b := Deploy(m, DeployAnalogNaive, nil, cfg, 7, Options{}).EvalAccuracy(sub)
-	if a != b {
-		t.Fatalf("same seed produced different accuracies: %v vs %v", a, b)
+	cal := Calibrate(m, calib)
+	for _, mode := range []DeployMode{DeployAnalogNaive, DeployAnalogNORA} {
+		var c *Calibration
+		if mode == DeployAnalogNORA {
+			c = cal
+		}
+		for _, seed := range []uint64{7, 8} {
+			a := Deploy(m, mode, c, cfg, seed, Options{}).EvalAccuracy(sub)
+			b := Deploy(m, mode, c, cfg, seed, Options{}).EvalAccuracy(sub)
+			if a != b {
+				t.Fatalf("%s seed %d: different accuracies %v vs %v", mode, seed, a, b)
+			}
+		}
 	}
-	c := Deploy(m, DeployAnalogNaive, nil, cfg, 8, Options{}).EvalAccuracy(sub)
-	_ = c // different seed may coincide on accuracy; just ensure it runs
+}
+
+func TestCalibrationFingerprint(t *testing.T) {
+	m, _, calib := trained(t)
+	cal := Calibrate(m, calib)
+	again := Calibrate(m, calib)
+	if cal.Fingerprint() != again.Fingerprint() {
+		t.Fatal("identical calibrations must fingerprint identically")
+	}
+	if (*Calibration)(nil).Fingerprint() != 0 {
+		t.Fatal("nil calibration must fingerprint to zero")
+	}
+	other := Calibrate(m, calib[:len(calib)-4])
+	if other.Fingerprint() == cal.Fingerprint() {
+		t.Fatal("different calibration data should change the fingerprint")
+	}
 }
 
 func TestAnalyzeLayersFig6Shape(t *testing.T) {

@@ -1,0 +1,347 @@
+// Package engine factors the deploy→eval pattern shared by every harness
+// experiment into one instrumented component: a Deployment handle wrapping
+// core.Deploy behind a content-keyed, bounded LRU cache, memoized parallel
+// evaluation, and a generic grid runner (RunGrid) that absorbs the
+// per-experiment worker-pool boilerplate.
+//
+// Determinism contract: deployments are seeded from the content key alone
+// (model key, mode, config fingerprint, calibration fingerprint, options,
+// salt), and evaluation draws every sequence's read noise from a stream
+// derived purely from (layer seed, sequence index). Consequently
+//
+//   - a cached deployment re-evaluated later is bit-identical to a freshly
+//     built one for the same request, and
+//   - Eval with any worker count equals serial evaluation exactly.
+//
+// Identical requests issued from different experiments therefore
+// intentionally collide in the cache: revisiting a (model, mode, config)
+// point costs a map lookup instead of reprogramming every tile.
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/nn"
+)
+
+// Config tunes an Engine. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// CacheSize bounds the number of live cached deployments; the least
+	// recently used entry is evicted beyond it. <= 0 selects
+	// DefaultCacheSize.
+	CacheSize int
+
+	// EvalWorkers is the goroutine count for sequence-level evaluation
+	// inside one deployment. <= 0 selects GOMAXPROCS.
+	EvalWorkers int
+
+	// GridWorkers is the goroutine count RunGrid uses across experiment
+	// points. <= 0 selects GOMAXPROCS.
+	GridWorkers int
+}
+
+// DefaultCacheSize bounds the deployment cache when Config.CacheSize is
+// unset. Deployments hold fully programmed tile grids (the dominant memory
+// cost), so the bound is deliberately modest.
+const DefaultCacheSize = 64
+
+// Engine owns the deployment cache and the run statistics. It is safe for
+// concurrent use; concurrent Deploy calls for the same request coalesce
+// into a single build (duplicate waiters block until the builder finishes).
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	order   *list.List // *cacheEntry, front = most recently used
+	entries map[string]*list.Element
+
+	stats statCounters
+}
+
+type cacheEntry struct {
+	key   string
+	ready chan struct{} // closed once dep is populated
+	dep   *Deployment
+}
+
+// New returns an Engine with the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	return &Engine{
+		cfg:     cfg,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// EvalWorkers returns the effective sequence-level worker count, for
+// callers that evaluate runners built outside the engine (for example the
+// digital-quantization baselines) but want matching parallelism.
+func (e *Engine) EvalWorkers() int { return e.cfg.EvalWorkers }
+
+// Request names one deployment: which model, onto what hardware, under
+// which rescaling. Everything except Net enters the content key; Net is
+// the live model instance the deployment is built from.
+type Request struct {
+	// Model is the stable identity of the network (for example the zoo
+	// spec key). Two distinct models must never share a Model string, or
+	// their deployments would alias in the cache.
+	Model string
+	// Net is the model instance to deploy.
+	Net *nn.Model
+	// Mode selects digital / analog-naive / analog-NORA.
+	Mode core.DeployMode
+	// Cal supplies calibration statistics; required for DeployAnalogNORA
+	// and ignored (also for keying) otherwise.
+	Cal *core.Calibration
+	// Config is the analog tile configuration (ignored for DeployDigital
+	// by core.Deploy but still keyed, so pass a canonical zero Config for
+	// digital requests).
+	Config analog.Config
+	// Opt tunes NORA; Lambda 0 is normalized to core.DefaultLambda so the
+	// zero value and the explicit default share one cache slot.
+	Opt core.Options
+	// Salt separates deployments that must not share hardware state with
+	// anyone else (for example the cost study, which reads per-layer event
+	// counters after its eval). Empty for the common shared pool.
+	Salt string
+}
+
+// contentKey is the canonical string over everything that determines the
+// deployed hardware state. It excludes the Net pointer so the derived seed
+// is stable across processes.
+func (r Request) contentKey() string {
+	lambda := r.Opt.Lambda
+	if lambda == 0 {
+		lambda = core.DefaultLambda
+	}
+	var cal uint64
+	if r.Mode == core.DeployAnalogNORA {
+		cal = r.Cal.Fingerprint()
+	}
+	return fmt.Sprintf("model=%s;mode=%s;cfg=%s;cal=%016x;lambda=%g;layers=%s;salt=%s",
+		r.Model, r.Mode, r.Config.Fingerprint(), cal, lambda,
+		strings.Join(r.Opt.Layers, ","), r.Salt)
+}
+
+// Seed returns the deployment seed: a pure function of the content key, so
+// revisiting a (model, mode, config, calibration, options) point — from
+// any experiment, in any order — programs identical hardware.
+func (r Request) Seed() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(r.contentKey()))
+	return h.Sum64()
+}
+
+// cacheKey extends the content key with the model instance, so two live
+// models that happen to share a Model string (a bug, but a cheap one to
+// contain) cannot serve each other's cached deployments.
+func (r Request) cacheKey() string {
+	return fmt.Sprintf("%s;net=%p", r.contentKey(), r.Net)
+}
+
+// Deployment is a cached handle on one deployed runner. Eval results are
+// memoized per sequence set, so re-walking a grid point costs nothing.
+type Deployment struct {
+	eng *Engine
+
+	// Key is the request's content key (diagnostics; also the cache key
+	// modulo the model instance).
+	Key string
+	// Seed is the deployment seed derived from Key.
+	Seed uint64
+	// BuildTime is the wall-clock cost of the core.Deploy call that built
+	// this deployment (zero for every cache hit that reuses it).
+	BuildTime time.Duration
+
+	runner *nn.Runner
+
+	evalMu sync.Mutex
+	evals  map[uint64]*evalEntry
+}
+
+type evalEntry struct {
+	ready chan struct{}
+	res   nn.EvalResult
+}
+
+// Deploy returns the cached deployment for req, building (and caching) it
+// on a miss. Concurrent misses on the same key build once.
+func (e *Engine) Deploy(req Request) *Deployment {
+	key := req.cacheKey()
+	e.mu.Lock()
+	if el, ok := e.entries[key]; ok {
+		e.order.MoveToFront(el)
+		entry := el.Value.(*cacheEntry)
+		e.mu.Unlock()
+		<-entry.ready
+		e.stats.deployHits.Add(1)
+		return entry.dep
+	}
+	entry := &cacheEntry{key: key, ready: make(chan struct{})}
+	e.entries[key] = e.order.PushFront(entry)
+	for e.order.Len() > e.cfg.CacheSize {
+		oldest := e.order.Back()
+		e.order.Remove(oldest)
+		delete(e.entries, oldest.Value.(*cacheEntry).key)
+		e.stats.evictions.Add(1)
+	}
+	e.mu.Unlock()
+
+	start := time.Now()
+	runner := core.Deploy(req.Net, req.Mode, req.Cal, req.Config, req.Seed(), req.Opt)
+	build := time.Since(start)
+	entry.dep = &Deployment{
+		eng:       e,
+		Key:       req.contentKey(),
+		Seed:      req.Seed(),
+		BuildTime: build,
+		runner:    runner,
+		evals:     make(map[uint64]*evalEntry),
+	}
+	close(entry.ready)
+	e.stats.deployBuilds.Add(1)
+	e.stats.deployNanos.Add(build.Nanoseconds())
+	return entry.dep
+}
+
+// Runner exposes the deployed runner for callers that need direct access
+// (layer inspection, custom probes). Mutating its operators would poison
+// the cache; treat it as read-only.
+func (d *Deployment) Runner() *nn.Runner { return d.runner }
+
+// Eval scores the sequence set on the engine's eval workers, memoizing per
+// sequence set: repeated evaluation of the same deployment on the same
+// sequences returns the recorded result without re-running the model.
+// Results are bit-identical across worker counts and across cache
+// hits/misses (see the package comment).
+func (d *Deployment) Eval(sequences [][]int) nn.EvalResult {
+	key := hashSequences(sequences)
+	d.evalMu.Lock()
+	if entry, ok := d.evals[key]; ok {
+		d.evalMu.Unlock()
+		<-entry.ready
+		d.eng.stats.evalHits.Add(1)
+		return entry.res
+	}
+	entry := &evalEntry{ready: make(chan struct{})}
+	d.evals[key] = entry
+	d.evalMu.Unlock()
+
+	start := time.Now()
+	res := d.runner.Eval(sequences, d.eng.cfg.EvalWorkers)
+	entry.res = res
+	close(entry.ready)
+
+	s := &d.eng.stats
+	s.evalRuns.Add(1)
+	s.evalNanos.Add(time.Since(start).Nanoseconds())
+	s.sequences.Add(int64(res.Evaluated))
+	s.skipped.Add(int64(res.Skipped))
+	s.tokens.Add(res.Tokens)
+	return res
+}
+
+// EvalAccuracy is Eval reduced to the accuracy scalar.
+func (d *Deployment) EvalAccuracy(sequences [][]int) float64 {
+	return d.Eval(sequences).Accuracy()
+}
+
+// hashSequences fingerprints a sequence set (FNV-64a over lengths and
+// token ids) for the per-deployment eval memo.
+func hashSequences(sequences [][]int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	word(uint64(len(sequences)))
+	for _, seq := range sequences {
+		word(uint64(len(seq)))
+		for _, tok := range seq {
+			word(uint64(tok))
+		}
+	}
+	return h.Sum64()
+}
+
+// statCounters are the engine's live atomic counters.
+type statCounters struct {
+	deployBuilds atomic.Int64
+	deployHits   atomic.Int64
+	evictions    atomic.Int64
+	deployNanos  atomic.Int64
+
+	evalRuns  atomic.Int64
+	evalHits  atomic.Int64
+	evalNanos atomic.Int64
+	sequences atomic.Int64
+	skipped   atomic.Int64
+	tokens    atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of engine activity.
+type Stats struct {
+	DeployBuilds int64         // deployments actually built
+	DeployHits   int64         // Deploy calls served from cache
+	Evictions    int64         // cache entries dropped by the LRU bound
+	DeployTime   time.Duration // cumulative core.Deploy wall-clock
+	Evals        int64         // evaluation passes actually run
+	EvalHits     int64         // Eval calls served from the memo
+	EvalTime     time.Duration // cumulative evaluation wall-clock
+	Sequences    int64         // sequences scored (excluding skips)
+	SkippedSeqs  int64         // sequences skipped as too short
+	Tokens       int64         // context tokens forwarded during evals
+}
+
+// Stats returns a consistent snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := &e.stats
+	return Stats{
+		DeployBuilds: s.deployBuilds.Load(),
+		DeployHits:   s.deployHits.Load(),
+		Evictions:    s.evictions.Load(),
+		DeployTime:   time.Duration(s.deployNanos.Load()),
+		Evals:        s.evalRuns.Load(),
+		EvalHits:     s.evalHits.Load(),
+		EvalTime:     time.Duration(s.evalNanos.Load()),
+		Sequences:    s.sequences.Load(),
+		SkippedSeqs:  s.skipped.Load(),
+		Tokens:       s.tokens.Load(),
+	}
+}
+
+// TokensPerSecond is the aggregate evaluation throughput: context tokens
+// forwarded per second of cumulative eval wall-clock (0 before any eval).
+// Note the denominator sums per-eval wall-clock across concurrent evals,
+// so this is a per-eval-pass rate, not a machine-wide one.
+func (s Stats) TokensPerSecond() float64 {
+	if s.EvalTime <= 0 {
+		return 0
+	}
+	return float64(s.Tokens) / s.EvalTime.Seconds()
+}
+
+// String renders the snapshot as a compact single-block summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"engine: deploys=%d hits=%d evictions=%d deploy-time=%s | "+
+			"evals=%d eval-hits=%d eval-time=%s | seqs=%d skipped=%d tokens=%d (%.0f tok/s)",
+		s.DeployBuilds, s.DeployHits, s.Evictions, s.DeployTime.Round(time.Millisecond),
+		s.Evals, s.EvalHits, s.EvalTime.Round(time.Millisecond),
+		s.Sequences, s.SkippedSeqs, s.Tokens, s.TokensPerSecond())
+}

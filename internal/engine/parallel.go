@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelFor runs fn(i) for i in [0, n) on up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS). It is the single shared grid-level
+// parallelism primitive; callers must make fn(i) independent of execution
+// order. n <= 0 runs nothing; workers == 1 degenerates to a plain loop.
+func ParallelFor(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// RunGrid evaluates fn over every point of an experiment grid on the
+// engine's grid workers, returning the results in point order. Points must
+// be independent; the engine's deployment cache and eval memo make
+// overlapping points cheap, and in-flight duplicates coalesce rather than
+// recompute. A nil engine runs with GOMAXPROCS workers and no caching
+// context (fn then must not touch eng).
+func RunGrid[P, R any](eng *Engine, points []P, fn func(i int, p P) R) []R {
+	out := make([]R, len(points))
+	workers := 0
+	if eng != nil {
+		workers = eng.cfg.GridWorkers
+	}
+	ParallelFor(workers, len(points), func(i int) {
+		out[i] = fn(i, points[i])
+	})
+	return out
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"nora/internal/analog"
 	"nora/internal/core"
+	"nora/internal/engine"
 	"nora/internal/nn"
 	"nora/internal/quant"
 )
@@ -21,7 +22,9 @@ type BaselineRow struct {
 }
 
 // deployQuant builds a Runner whose linear layers are simulated digital
-// INT8 (optionally SmoothQuant-rescaled using the NORA calibration).
+// INT8 (optionally SmoothQuant-rescaled using the NORA calibration). The
+// quantized operators are deterministic, so these runners bypass the
+// engine's deployment cache and only borrow its eval parallelism.
 func deployQuant(w *Workload, smooth bool) *nn.Runner {
 	runner := nn.NewRunner(w.Model)
 	cal := w.Calibration()
@@ -36,33 +39,46 @@ func deployQuant(w *Workload, smooth bool) *nn.Runner {
 }
 
 // BaselineComparison evaluates all five deployments per workload under the
-// Table II analog preset for the analog rows.
-func BaselineComparison(ws []*Workload, cfg analog.Config) []BaselineRow {
-	rows := make([]BaselineRow, len(ws))
+// Table II analog preset for the analog rows. The analog variants share
+// the engine's cached paper-preset deployments with OverallAccuracy.
+func BaselineComparison(eng *engine.Engine, ws []*Workload, cfg analog.Config) []BaselineRow {
 	for _, w := range ws {
-		w.DigitalAccuracy()
+		w.DigitalAccuracy(eng)
 		w.Calibration()
 	}
 	const variants = 4
-	parallelFor(len(ws)*variants, func(idx int) {
-		w := ws[idx/variants]
-		r := &rows[idx/variants]
-		switch idx % variants {
+	type point struct {
+		w       *Workload
+		variant int
+	}
+	points := make([]point, 0, len(ws)*variants)
+	for _, w := range ws {
+		for v := 0; v < variants; v++ {
+			points = append(points, point{w, v})
+		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		switch p.variant {
 		case 0:
-			r.W8A8 = deployQuant(w, false).EvalAccuracy(w.Eval)
+			return deployQuant(p.w, false).Eval(p.w.Eval, eng.EvalWorkers()).Accuracy()
 		case 1:
-			r.SmoothQuant = deployQuant(w, true).EvalAccuracy(w.Eval)
+			return deployQuant(p.w, true).Eval(p.w.Eval, eng.EvalWorkers()).Accuracy()
 		case 2:
-			seed := seedFor("baseline-naive", w.Spec.Key)
-			r.AnalogNaive = core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{}).EvalAccuracy(w.Eval)
-		case 3:
-			seed := seedFor("baseline-nora", w.Spec.Key)
-			r.AnalogNORA = core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), cfg, seed, core.Options{}).EvalAccuracy(w.Eval)
+			return eng.Deploy(p.w.Request(core.DeployAnalogNaive, cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
+		default:
+			return eng.Deploy(p.w.Request(core.DeployAnalogNORA, cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
 		}
 	})
+	rows := make([]BaselineRow, len(ws))
 	for i, w := range ws {
-		rows[i].Model = w.Spec.Display
-		rows[i].Digital = w.DigitalAccuracy()
+		rows[i] = BaselineRow{
+			Model:       w.Spec.Display,
+			Digital:     w.DigitalAccuracy(eng),
+			W8A8:        accs[i*variants],
+			SmoothQuant: accs[i*variants+1],
+			AnalogNaive: accs[i*variants+2],
+			AnalogNORA:  accs[i*variants+3],
+		}
 	}
 	return rows
 }

@@ -7,7 +7,17 @@ import (
 
 	"nora/internal/analog"
 	"nora/internal/core"
+	"nora/internal/engine"
 )
+
+// Every experiment routes its deploy→eval points through the engine:
+// engine.RunGrid supplies the grid-level worker pool, eng.Deploy the
+// content-keyed deployment cache, and Deployment.Eval the memoized
+// sequence-parallel evaluation. Identical (model, mode, config, options)
+// points — which recur across experiments by construction, e.g. the
+// paper-preset naive/NORA deployments of OverallAccuracy, SlicingStudy's
+// "continuous" scheme, and ModeStudy's "voltage" mode — intentionally
+// share one cached deployment and one recorded eval.
 
 // --- E1: sensitivity study (Fig. 3) -----------------------------------
 
@@ -28,45 +38,50 @@ type SensitivityPoint struct {
 // Sensitivity reproduces Fig. 3: for every workload and noise kind, sweep
 // the MSE-calibrated levels and measure the accuracy drop. Levels are
 // calibrated once per kind (they are model-independent by construction).
-func Sensitivity(ws []*Workload, targets []float64) []SensitivityPoint {
+func Sensitivity(eng *engine.Engine, ws []*Workload, targets []float64) []SensitivityPoint {
 	kinds := AllNoiseKinds()
 	levels := make([][]CalibratedLevel, len(kinds))
-	parallelFor(len(kinds), func(i int) {
+	engine.ParallelFor(0, len(kinds), func(i int) {
 		levels[i] = make([]CalibratedLevel, len(targets))
 		for j, target := range targets {
 			levels[i][j] = CalibrateToMSE(kinds[i], target)
 		}
 	})
 
-	// Digital baselines (serial: cached on the workload).
+	// Digital baselines (cached on the workload and in the engine).
 	for _, w := range ws {
-		w.DigitalAccuracy()
+		w.DigitalAccuracy(eng)
 	}
 
-	points := make([]SensitivityPoint, len(ws)*len(kinds)*len(targets))
-	parallelFor(len(points), func(idx int) {
-		wi := idx / (len(kinds) * len(targets))
-		rest := idx % (len(kinds) * len(targets))
-		ki := rest / len(targets)
-		li := rest % len(targets)
-		w, kind, lvl := ws[wi], kinds[ki], levels[ki][li]
-
-		cfg := ConfigFor(kind, lvl.Param)
-		seed := seedFor("sensitivity", w.Spec.Key, kind.String(), fmt.Sprint(li))
-		runner := core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{})
-		acc := runner.EvalAccuracy(w.Eval)
-		points[idx] = SensitivityPoint{
-			Model:     w.Spec.Display,
-			Kind:      kind,
-			Level:     li,
-			TargetMSE: lvl.TargetMSE,
-			MSE:       lvl.MSE,
-			Param:     lvl.Param,
+	type point struct {
+		w    *Workload
+		kind NoiseKind
+		lvl  CalibratedLevel
+		li   int
+	}
+	points := make([]point, 0, len(ws)*len(kinds)*len(targets))
+	for _, w := range ws {
+		for ki, kind := range kinds {
+			for li := range targets {
+				points = append(points, point{w, kind, levels[ki][li], li})
+			}
+		}
+	}
+	return engine.RunGrid(eng, points, func(_ int, p point) SensitivityPoint {
+		cfg := ConfigFor(p.kind, p.lvl.Param)
+		acc := eng.Deploy(p.w.Request(core.DeployAnalogNaive, cfg, core.Options{}, "")).
+			EvalAccuracy(p.w.Eval)
+		return SensitivityPoint{
+			Model:     p.w.Spec.Display,
+			Kind:      p.kind,
+			Level:     p.li,
+			TargetMSE: p.lvl.TargetMSE,
+			MSE:       p.lvl.MSE,
+			Param:     p.lvl.Param,
 			Accuracy:  acc,
-			Drop:      w.DigitalAccuracy() - acc,
+			Drop:      p.w.DigitalAccuracy(eng) - acc,
 		}
 	})
-	return points
 }
 
 // --- E3/E4: overall accuracy (Fig. 5a, Table III) ----------------------
@@ -81,29 +96,39 @@ type AccuracyRow struct {
 	NORA    float64
 }
 
+// analogModes are the two analog deployment variants most experiments
+// compare side by side.
+var analogModes = []core.DeployMode{core.DeployAnalogNaive, core.DeployAnalogNORA}
+
 // OverallAccuracy reproduces Fig. 5(a) and Table III: digital FP vs naive
 // analog vs NORA under cfg (typically analog.PaperPreset()).
-func OverallAccuracy(ws []*Workload, cfg analog.Config) []AccuracyRow {
-	rows := make([]AccuracyRow, len(ws))
+func OverallAccuracy(eng *engine.Engine, ws []*Workload, cfg analog.Config) []AccuracyRow {
 	for _, w := range ws {
-		w.DigitalAccuracy()
+		w.DigitalAccuracy(eng)
 		w.Calibration()
 	}
-	parallelFor(len(ws)*2, func(idx int) {
-		w := ws[idx/2]
-		seed := seedFor("overall", w.Spec.Key)
-		if idx%2 == 0 {
-			r := core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{})
-			rows[idx/2].Naive = r.EvalAccuracy(w.Eval)
-		} else {
-			r := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), cfg, seed, core.Options{})
-			rows[idx/2].NORA = r.EvalAccuracy(w.Eval)
+	type point struct {
+		w    *Workload
+		mode core.DeployMode
+	}
+	points := make([]point, 0, len(ws)*len(analogModes))
+	for _, w := range ws {
+		for _, mode := range analogModes {
+			points = append(points, point{w, mode})
 		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		return eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
 	})
+	rows := make([]AccuracyRow, len(ws))
 	for i, w := range ws {
-		rows[i].Model = w.Spec.Display
-		rows[i].Family = w.Spec.Family
-		rows[i].Digital = w.DigitalAccuracy()
+		rows[i] = AccuracyRow{
+			Model:   w.Spec.Display,
+			Family:  w.Spec.Family,
+			Digital: w.DigitalAccuracy(eng),
+			Naive:   accs[2*i],
+			NORA:    accs[2*i+1],
+		}
 	}
 	return rows
 }
@@ -122,47 +147,60 @@ type AccuracyStats struct {
 	Replicas  int
 }
 
+// replicaSalt names replica rep's deployment. Replica 0 uses the empty
+// salt so it aliases the single-seed experiments' deployments in the
+// engine cache; later replicas get their own salted (hence independently
+// seeded) hardware instances.
+func replicaSalt(rep int) string {
+	if rep == 0 {
+		return ""
+	}
+	return fmt.Sprintf("rep%d", rep)
+}
+
 // OverallAccuracyReplicated runs the Fig. 5(a)/Table III protocol across
 // replicas independent hardware instances per deployment, quantifying the
 // programming-noise lottery a single-seed number hides.
-func OverallAccuracyReplicated(ws []*Workload, cfg analog.Config, replicas int) []AccuracyStats {
+func OverallAccuracyReplicated(eng *engine.Engine, ws []*Workload, cfg analog.Config, replicas int) []AccuracyStats {
 	if replicas < 1 {
 		panic("harness: OverallAccuracyReplicated needs replicas ≥ 1")
 	}
 	for _, w := range ws {
-		w.DigitalAccuracy()
+		w.DigitalAccuracy(eng)
 		w.Calibration()
 	}
-	type cell struct{ naive, nora float64 }
-	cells := make([]cell, len(ws)*replicas)
-	parallelFor(len(cells)*2, func(idx2 int) {
-		idx, variant := idx2/2, idx2%2
-		w := ws[idx/replicas]
-		rep := idx % replicas
-		seed := seedFor("replicated", w.Spec.Key, fmt.Sprint(rep))
-		if variant == 0 {
-			r := core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{})
-			cells[idx].naive = r.EvalAccuracy(w.Eval)
-		} else {
-			r := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), cfg, seed, core.Options{})
-			cells[idx].nora = r.EvalAccuracy(w.Eval)
+	type point struct {
+		w    *Workload
+		mode core.DeployMode
+		salt string
+	}
+	points := make([]point, 0, len(ws)*replicas*len(analogModes))
+	for _, w := range ws {
+		for rep := 0; rep < replicas; rep++ {
+			for _, mode := range analogModes {
+				points = append(points, point{w, mode, replicaSalt(rep)})
+			}
 		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		return eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, p.salt)).EvalAccuracy(p.w.Eval)
 	})
 	out := make([]AccuracyStats, len(ws))
 	for i, w := range ws {
 		var nSum, nSum2, rSum, rSum2 float64
 		for rep := 0; rep < replicas; rep++ {
-			c := cells[i*replicas+rep]
-			nSum += c.naive
-			nSum2 += c.naive * c.naive
-			rSum += c.nora
-			rSum2 += c.nora * c.nora
+			naive := accs[(i*replicas+rep)*2]
+			nora := accs[(i*replicas+rep)*2+1]
+			nSum += naive
+			nSum2 += naive * naive
+			rSum += nora
+			rSum2 += nora * nora
 		}
 		n := float64(replicas)
 		nm, rm := nSum/n, rSum/n
 		out[i] = AccuracyStats{
 			Model:     w.Spec.Display,
-			Digital:   w.DigitalAccuracy(),
+			Digital:   w.DigitalAccuracy(eng),
 			NaiveMean: nm,
 			NaiveStd:  math.Sqrt(math.Max(0, nSum2/n-nm*nm)),
 			NORAMean:  rm,
@@ -202,39 +240,46 @@ type MitigationRow struct {
 // Mitigation reproduces Fig. 5(b)(c): every noise kind is scaled to the
 // same reference MSE (MitigationMSETarget) and applied alone; naive and
 // NORA deployments are compared.
-func Mitigation(ws []*Workload, target float64) []MitigationRow {
+func Mitigation(eng *engine.Engine, ws []*Workload, target float64) []MitigationRow {
 	kinds := AllNoiseKinds()
 	levels := make([]CalibratedLevel, len(kinds))
-	parallelFor(len(kinds), func(i int) {
+	engine.ParallelFor(0, len(kinds), func(i int) {
 		levels[i] = CalibrateToMSE(kinds[i], target)
 	})
 	for _, w := range ws {
-		w.DigitalAccuracy()
+		w.DigitalAccuracy(eng)
 		w.Calibration()
 	}
-	rows := make([]MitigationRow, len(ws)*len(kinds))
-	parallelFor(len(rows)*2, func(idx2 int) {
-		idx, variant := idx2/2, idx2%2
-		w := ws[idx/len(kinds)]
-		lvl := levels[idx%len(kinds)]
-		cfg := ConfigFor(lvl.Kind, lvl.Param)
-		seed := seedFor("mitigation", w.Spec.Key, lvl.Kind.String())
-		if variant == 0 {
-			r := core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{})
-			rows[idx].Naive = r.EvalAccuracy(w.Eval)
-		} else {
-			r := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), cfg, seed, core.Options{})
-			rows[idx].NORA = r.EvalAccuracy(w.Eval)
+	type point struct {
+		w    *Workload
+		lvl  CalibratedLevel
+		mode core.DeployMode
+	}
+	points := make([]point, 0, len(ws)*len(kinds)*len(analogModes))
+	for _, w := range ws {
+		for _, lvl := range levels {
+			for _, mode := range analogModes {
+				points = append(points, point{w, lvl, mode})
+			}
 		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		cfg := ConfigFor(p.lvl.Kind, p.lvl.Param)
+		return eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
 	})
+	rows := make([]MitigationRow, len(ws)*len(kinds))
 	for idx := range rows {
 		w := ws[idx/len(kinds)]
 		lvl := levels[idx%len(kinds)]
-		rows[idx].Model = w.Spec.Display
-		rows[idx].Kind = lvl.Kind
-		rows[idx].TargetMSE = lvl.TargetMSE
-		rows[idx].Param = lvl.Param
-		rows[idx].Digital = w.DigitalAccuracy()
+		rows[idx] = MitigationRow{
+			Model:     w.Spec.Display,
+			Kind:      lvl.Kind,
+			TargetMSE: lvl.TargetMSE,
+			Param:     lvl.Param,
+			Digital:   w.DigitalAccuracy(eng),
+			Naive:     accs[idx*2],
+			NORA:      accs[idx*2+1],
+		}
 		drop := rows[idx].Digital - rows[idx].Naive
 		if drop > 1e-9 {
 			rows[idx].Recovery = (rows[idx].NORA - rows[idx].Naive) / drop
@@ -254,10 +299,10 @@ type Fig6Row struct {
 // DistributionAnalysis reproduces Fig. 6: per-layer input/weight kurtosis
 // and α·γ·g_max under naive vs NORA mappings. layerFilter selects the
 // series (e.g. "attn.q" for the paper's query-projection plots; empty for
-// all layers).
-func DistributionAnalysis(ws []*Workload, layerFilter string, cfg analog.Config) []Fig6Row {
-	var rows []Fig6Row
-	for _, w := range ws {
+// all layers). The analysis probes activations directly rather than
+// deploying, so only the grid runner is engine-driven here.
+func DistributionAnalysis(eng *engine.Engine, ws []*Workload, layerFilter string, cfg analog.Config) []Fig6Row {
+	perWorkload := engine.RunGrid(eng, ws, func(_ int, w *Workload) []Fig6Row {
 		sample := w.Eval
 		if len(sample) > 12 {
 			sample = sample[:12]
@@ -266,9 +311,15 @@ func DistributionAnalysis(ws []*Workload, layerFilter string, cfg analog.Config)
 		if layerFilter != "" {
 			reports = core.FilterReports(reports, layerFilter)
 		}
+		rows := make([]Fig6Row, 0, len(reports))
 		for _, r := range reports {
 			rows = append(rows, Fig6Row{Model: w.Spec.Display, LayerReport: r})
 		}
+		return rows
+	})
+	var rows []Fig6Row
+	for _, part := range perWorkload {
+		rows = append(rows, part...)
 	}
 	return rows
 }
@@ -288,27 +339,41 @@ type DriftRow struct {
 // DriftStudy reproduces the paper's limitation experiment: accuracy after
 // drifting the weights (1 hour in the paper), with and without global
 // drift compensation.
-func DriftStudy(ws []*Workload, driftSeconds float64) []DriftRow {
-	var rows []DriftRow
+func DriftStudy(eng *engine.Engine, ws []*Workload, driftSeconds float64) []DriftRow {
 	for _, w := range ws {
-		w.DigitalAccuracy()
+		w.DigitalAccuracy(eng)
 		w.Calibration()
+	}
+	type point struct {
+		w    *Workload
+		comp bool
+		mode core.DeployMode
+	}
+	var points []point
+	for _, w := range ws {
 		for _, comp := range []bool{false, true} {
-			cfg := analog.PaperPreset()
-			cfg.DriftT = driftSeconds
-			cfg.DriftCompensation = comp
-			seed := seedFor("drift", w.Spec.Key, fmt.Sprint(comp))
-			naive := core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{})
-			nora := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), cfg, seed, core.Options{})
-			rows = append(rows, DriftRow{
-				Model:        w.Spec.Display,
-				DriftSeconds: driftSeconds,
-				Compensated:  comp,
-				Digital:      w.DigitalAccuracy(),
-				Naive:        naive.EvalAccuracy(w.Eval),
-				NORA:         nora.EvalAccuracy(w.Eval),
-			})
+			for _, mode := range analogModes {
+				points = append(points, point{w, comp, mode})
+			}
 		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		cfg := analog.PaperPreset()
+		cfg.DriftT = driftSeconds
+		cfg.DriftCompensation = p.comp
+		return eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
+	})
+	rows := make([]DriftRow, 0, len(points)/2)
+	for i := 0; i < len(points); i += 2 {
+		p := points[i]
+		rows = append(rows, DriftRow{
+			Model:        p.w.Spec.Display,
+			DriftSeconds: driftSeconds,
+			Compensated:  p.comp,
+			Digital:      p.w.DigitalAccuracy(eng),
+			Naive:        accs[i],
+			NORA:         accs[i+1],
+		})
 	}
 	return rows
 }
@@ -328,7 +393,7 @@ type SlicingRow struct {
 // continuous analog states can reach the needed weight precision with
 // multiple memory cells: it compares the continuous mapping against
 // sliced mappings under the full Table II noise stack.
-func SlicingStudy(ws []*Workload, schemes [][2]int) []SlicingRow {
+func SlicingStudy(eng *engine.Engine, ws []*Workload, schemes [][2]int) []SlicingRow {
 	type cfgRow struct {
 		name string
 		cfg  analog.Config
@@ -343,23 +408,31 @@ func SlicingStudy(ws []*Workload, schemes [][2]int) []SlicingRow {
 	for _, w := range ws {
 		w.Calibration()
 	}
-	rows := make([]SlicingRow, len(ws)*len(cfgs))
-	parallelFor(len(rows)*2, func(idx2 int) {
-		idx, variant := idx2/2, idx2%2
-		w := ws[idx/len(cfgs)]
-		c := cfgs[idx%len(cfgs)]
-		seed := seedFor("slicing", w.Spec.Key, c.name)
-		if variant == 0 {
-			r := core.Deploy(w.Model, core.DeployAnalogNaive, nil, c.cfg, seed, core.Options{})
-			rows[idx].Naive = r.EvalAccuracy(w.Eval)
-		} else {
-			r := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), c.cfg, seed, core.Options{})
-			rows[idx].NORA = r.EvalAccuracy(w.Eval)
+	type point struct {
+		w    *Workload
+		c    cfgRow
+		mode core.DeployMode
+	}
+	points := make([]point, 0, len(ws)*len(cfgs)*len(analogModes))
+	for _, w := range ws {
+		for _, c := range cfgs {
+			for _, mode := range analogModes {
+				points = append(points, point{w, c, mode})
+			}
 		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		return eng.Deploy(p.w.Request(p.mode, p.c.cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
 	})
-	for idx := range rows {
-		rows[idx].Model = ws[idx/len(cfgs)].Spec.Display
-		rows[idx].Scheme = cfgs[idx%len(cfgs)].name
+	rows := make([]SlicingRow, 0, len(points)/2)
+	for i := 0; i < len(points); i += 2 {
+		p := points[i]
+		rows = append(rows, SlicingRow{
+			Model:  p.w.Spec.Display,
+			Scheme: p.c.name,
+			Naive:  accs[i],
+			NORA:   accs[i+1],
+		})
 	}
 	return rows
 }
@@ -388,8 +461,8 @@ type ModeRow struct {
 }
 
 // ModeStudy evaluates the operating-mode matrix.
-func ModeStudy(ws []*Workload) []ModeRow {
-	type mode struct {
+func ModeStudy(eng *engine.Engine, ws []*Workload) []ModeRow {
+	type opMode struct {
 		name string
 		cfg  analog.Config
 	}
@@ -401,7 +474,7 @@ func ModeStudy(ws []*Workload) []ModeRow {
 	both := base
 	both.BitSerial = true
 	both.WriteVerify = 3
-	modes := []mode{
+	modes := []opMode{
 		{"voltage", base},
 		{"bit-serial", bitSerial},
 		{"write-verify×3", wv},
@@ -411,23 +484,31 @@ func ModeStudy(ws []*Workload) []ModeRow {
 	for _, w := range ws {
 		w.Calibration()
 	}
-	rows := make([]ModeRow, len(ws)*len(modes))
-	parallelFor(len(rows)*2, func(idx2 int) {
-		idx, variant := idx2/2, idx2%2
-		w := ws[idx/len(modes)]
-		m := modes[idx%len(modes)]
-		seed := seedFor("mode", w.Spec.Key, m.name)
-		if variant == 0 {
-			r := core.Deploy(w.Model, core.DeployAnalogNaive, nil, m.cfg, seed, core.Options{})
-			rows[idx].Naive = r.EvalAccuracy(w.Eval)
-		} else {
-			r := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), m.cfg, seed, core.Options{})
-			rows[idx].NORA = r.EvalAccuracy(w.Eval)
+	type point struct {
+		w    *Workload
+		m    opMode
+		mode core.DeployMode
+	}
+	points := make([]point, 0, len(ws)*len(modes)*len(analogModes))
+	for _, w := range ws {
+		for _, m := range modes {
+			for _, mode := range analogModes {
+				points = append(points, point{w, m, mode})
+			}
 		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		return eng.Deploy(p.w.Request(p.mode, p.m.cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
 	})
-	for idx := range rows {
-		rows[idx].Model = ws[idx/len(modes)].Spec.Display
-		rows[idx].Mode = modes[idx%len(modes)].name
+	rows := make([]ModeRow, 0, len(points)/2)
+	for i := 0; i < len(points); i += 2 {
+		p := points[i]
+		rows = append(rows, ModeRow{
+			Model: p.w.Spec.Display,
+			Mode:  p.m.name,
+			Naive: accs[i],
+			NORA:  accs[i+1],
+		})
 	}
 	return rows
 }
@@ -455,18 +536,30 @@ type QuantileRow struct {
 // CalibrationAblation sweeps the calibration clipping quantile under the
 // full paper noise stack: clipping the very statistics that encode the
 // outliers weakens the rescaling, so accuracy should fall as q drops.
-func CalibrationAblation(ws []*Workload, quantiles []float64) []QuantileRow {
-	rows := make([]QuantileRow, len(ws)*len(quantiles))
-	parallelFor(len(rows), func(idx int) {
-		w := ws[idx/len(quantiles)]
-		q := quantiles[idx%len(quantiles)]
-		cal := core.CalibrateQuantile(w.Model, w.Calib, q)
-		cfg := analog.PaperPreset()
-		seed := seedFor("quantile", w.Spec.Key, fmt.Sprint(q))
-		r := core.Deploy(w.Model, core.DeployAnalogNORA, cal, cfg, seed, core.Options{})
-		rows[idx] = QuantileRow{Model: w.Spec.Display, Quantile: q, Accuracy: r.EvalAccuracy(w.Eval)}
+// Each point carries its own calibration, so the deployments are keyed
+// apart by the calibration fingerprint rather than by a salt.
+func CalibrationAblation(eng *engine.Engine, ws []*Workload, quantiles []float64) []QuantileRow {
+	type point struct {
+		w *Workload
+		q float64
+	}
+	points := make([]point, 0, len(ws)*len(quantiles))
+	for _, w := range ws {
+		for _, q := range quantiles {
+			points = append(points, point{w, q})
+		}
+	}
+	return engine.RunGrid(eng, points, func(_ int, p point) QuantileRow {
+		cal := core.CalibrateQuantile(p.w.Model, p.w.Calib, p.q)
+		dep := eng.Deploy(engine.Request{
+			Model:  p.w.Spec.Key,
+			Net:    p.w.Model,
+			Mode:   core.DeployAnalogNORA,
+			Cal:    cal,
+			Config: analog.PaperPreset(),
+		})
+		return QuantileRow{Model: p.w.Spec.Display, Quantile: p.q, Accuracy: dep.EvalAccuracy(p.w.Eval)}
 	})
-	return rows
 }
 
 // QuantileTable renders calibration-quantile ablation rows.
@@ -495,37 +588,36 @@ type PerLayerRow struct {
 // PerLayerSensitivity reproduces the per-layer ablation the paper lists as
 // future work: each linear layer is deployed on analog tiles alone, under
 // cfg, in both naive and NORA mappings.
-func PerLayerSensitivity(ws []*Workload, cfg analog.Config) []PerLayerRow {
-	type job struct {
+func PerLayerSensitivity(eng *engine.Engine, ws []*Workload, cfg analog.Config) []PerLayerRow {
+	type point struct {
 		w     *Workload
 		layer string
+		mode  core.DeployMode
 	}
-	var jobs []job
+	var points []point
 	for _, w := range ws {
-		w.DigitalAccuracy()
+		w.DigitalAccuracy(eng)
 		w.Calibration()
 		for _, spec := range w.Model.Linears() {
-			jobs = append(jobs, job{w, spec.Name})
+			for _, mode := range analogModes {
+				points = append(points, point{w, spec.Name, mode})
+			}
 		}
 	}
-	rows := make([]PerLayerRow, len(jobs))
-	parallelFor(len(jobs)*2, func(idx2 int) {
-		idx, variant := idx2/2, idx2%2
-		j := jobs[idx]
-		opt := core.Options{Layers: []string{j.layer}}
-		seed := seedFor("perlayer", j.w.Spec.Key, j.layer)
-		if variant == 0 {
-			r := core.Deploy(j.w.Model, core.DeployAnalogNaive, nil, cfg, seed, opt)
-			rows[idx].Naive = r.EvalAccuracy(j.w.Eval)
-		} else {
-			r := core.Deploy(j.w.Model, core.DeployAnalogNORA, j.w.Calibration(), cfg, seed, opt)
-			rows[idx].NORA = r.EvalAccuracy(j.w.Eval)
-		}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		opt := core.Options{Layers: []string{p.layer}}
+		return eng.Deploy(p.w.Request(p.mode, cfg, opt, "")).EvalAccuracy(p.w.Eval)
 	})
-	for idx, j := range jobs {
-		rows[idx].Model = j.w.Spec.Display
-		rows[idx].Layer = j.layer
-		rows[idx].Digital = j.w.DigitalAccuracy()
+	rows := make([]PerLayerRow, 0, len(points)/2)
+	for i := 0; i < len(points); i += 2 {
+		p := points[i]
+		rows = append(rows, PerLayerRow{
+			Model:   p.w.Spec.Display,
+			Layer:   p.layer,
+			Digital: p.w.DigitalAccuracy(eng),
+			Naive:   accs[i],
+			NORA:    accs[i+1],
+		})
 	}
 	return rows
 }
@@ -552,50 +644,61 @@ type CostRow struct {
 // baseline for the same linear-layer workload. The paper lists
 // power/latency evaluation as future work (§VII); this implements the
 // standard counting estimate.
-func CostStudy(ws []*Workload, cfg analog.Config, cm analog.CostModel) []CostRow {
-	var rows []CostRow
+//
+// The deployments are salted "cost" so no other experiment shares them:
+// the counters must reflect exactly one eval pass over the workload's
+// eval split, which only holds while this study is the deployment's sole
+// user.
+func CostStudy(eng *engine.Engine, ws []*Workload, cfg analog.Config, cm analog.CostModel) []CostRow {
+	type point struct {
+		w    *Workload
+		mode core.DeployMode
+	}
+	points := make([]point, 0, len(ws)*len(analogModes))
 	for _, w := range ws {
 		w.Calibration()
-		for _, mode := range []core.DeployMode{core.DeployAnalogNaive, core.DeployAnalogNORA} {
-			seed := seedFor("cost", w.Spec.Key, mode.String())
-			runner := core.Deploy(w.Model, mode, w.Calibration(), cfg, seed, core.Options{})
-			acc := runner.EvalAccuracy(w.Eval)
-			var counters analog.OpCounters
-			var macs, procRows int64
-			for _, spec := range w.Model.Linears() {
-				lin, ok := runner.Linear(spec.Name).(*analog.AnalogLinear)
-				if !ok {
-					continue
-				}
-				c := lin.CostCounters()
-				counters.MVMs += c.MVMs
-				counters.DACConvs += c.DACConvs
-				counters.ADCConvs += c.ADCConvs
-				counters.CellReads += c.CellReads
-				counters.BMRetries += c.BMRetries
-				macs += lin.DigitalEquivalentMACs()
-				procRows += lin.RowsProcessed()
-			}
-			a := cm.AnalogCost(counters)
-			d := cm.DigitalCost(macs, procRows)
-			saving := 0.0
-			if a.EnergyPJ > 0 {
-				saving = d.EnergyPJ / a.EnergyPJ
-			}
-			rows = append(rows, CostRow{
-				Model:            w.Spec.Display,
-				Deploy:           mode.String(),
-				AnalogEnergyPJ:   a.EnergyPJ,
-				AnalogLatencyNS:  a.LatencyNS,
-				DigitalEnergyPJ:  d.EnergyPJ,
-				DigitalLatencyNS: d.LatencyNS,
-				EnergySaving:     saving,
-				BMRetries:        counters.BMRetries,
-				Accuracy:         acc,
-			})
+		for _, mode := range analogModes {
+			points = append(points, point{w, mode})
 		}
 	}
-	return rows
+	return engine.RunGrid(eng, points, func(_ int, p point) CostRow {
+		dep := eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, "cost"))
+		acc := dep.EvalAccuracy(p.w.Eval)
+		runner := dep.Runner()
+		var counters analog.OpCounters
+		var macs, procRows int64
+		for _, spec := range p.w.Model.Linears() {
+			lin, ok := runner.Linear(spec.Name).(*analog.AnalogLinear)
+			if !ok {
+				continue
+			}
+			c := lin.CostCounters()
+			counters.MVMs += c.MVMs
+			counters.DACConvs += c.DACConvs
+			counters.ADCConvs += c.ADCConvs
+			counters.CellReads += c.CellReads
+			counters.BMRetries += c.BMRetries
+			macs += lin.DigitalEquivalentMACs()
+			procRows += lin.RowsProcessed()
+		}
+		a := cm.AnalogCost(counters)
+		d := cm.DigitalCost(macs, procRows)
+		saving := 0.0
+		if a.EnergyPJ > 0 {
+			saving = d.EnergyPJ / a.EnergyPJ
+		}
+		return CostRow{
+			Model:            p.w.Spec.Display,
+			Deploy:           p.mode.String(),
+			AnalogEnergyPJ:   a.EnergyPJ,
+			AnalogLatencyNS:  a.LatencyNS,
+			DigitalEnergyPJ:  d.EnergyPJ,
+			DigitalLatencyNS: d.LatencyNS,
+			EnergySaving:     saving,
+			BMRetries:        counters.BMRetries,
+			Accuracy:         acc,
+		}
+	})
 }
 
 // --- E9: λ ablation (paper §VII future work) ----------------------------
@@ -609,19 +712,26 @@ type LambdaRow struct {
 
 // LambdaAblation sweeps the migration strength λ under the full paper
 // noise stack. λ→0 degenerates toward weight-max normalization only; the
-// balanced λ=0.5 is the deployment default.
-func LambdaAblation(ws []*Workload, lambdas []float64) []LambdaRow {
+// balanced λ=0.5 is the deployment default (and shares its deployment
+// with the other paper-preset NORA experiments in the engine cache).
+func LambdaAblation(eng *engine.Engine, ws []*Workload, lambdas []float64) []LambdaRow {
 	for _, w := range ws {
 		w.Calibration()
 	}
-	rows := make([]LambdaRow, len(ws)*len(lambdas))
-	parallelFor(len(rows), func(idx int) {
-		w := ws[idx/len(lambdas)]
-		lambda := lambdas[idx%len(lambdas)]
-		cfg := analog.PaperPreset()
-		seed := seedFor("lambda", w.Spec.Key, fmt.Sprint(lambda))
-		r := core.Deploy(w.Model, core.DeployAnalogNORA, w.Calibration(), cfg, seed, core.Options{Lambda: lambda})
-		rows[idx] = LambdaRow{Model: w.Spec.Display, Lambda: lambda, Accuracy: r.EvalAccuracy(w.Eval)}
+	type point struct {
+		w      *Workload
+		lambda float64
+	}
+	points := make([]point, 0, len(ws)*len(lambdas))
+	for _, w := range ws {
+		for _, lambda := range lambdas {
+			points = append(points, point{w, lambda})
+		}
+	}
+	rows := engine.RunGrid(eng, points, func(_ int, p point) LambdaRow {
+		opt := core.Options{Lambda: p.lambda}
+		dep := eng.Deploy(p.w.Request(core.DeployAnalogNORA, analog.PaperPreset(), opt, ""))
+		return LambdaRow{Model: p.w.Spec.Display, Lambda: p.lambda, Accuracy: dep.EvalAccuracy(p.w.Eval)}
 	})
 	sort.SliceStable(rows, func(i, j int) bool {
 		if rows[i].Model != rows[j].Model {

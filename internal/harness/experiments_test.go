@@ -5,12 +5,18 @@ import (
 	"testing"
 
 	"nora/internal/analog"
+	"nora/internal/engine"
 	"nora/internal/model"
 )
 
 var (
 	fixtureOnce sync.Once
 	fixture     *Workload
+
+	// testEng is shared across experiment tests: deterministic content-keyed
+	// deployments mean a cache hit returns exactly what a fresh build would,
+	// so sharing only speeds the suite up.
+	testEng = engine.New(engine.Config{})
 )
 
 // tinyWorkload trains the shared test model once and wraps it with a small
@@ -45,8 +51,8 @@ func TestWorkloadLazyCaches(t *testing.T) {
 		t.Skip("needs trained fixture")
 	}
 	w := tinyWorkload(t)
-	a := w.DigitalAccuracy()
-	b := w.DigitalAccuracy()
+	a := w.DigitalAccuracy(testEng)
+	b := w.DigitalAccuracy(testEng)
 	if a != b || a < 0.9 {
 		t.Fatalf("digital accuracy cache broken: %v vs %v", a, b)
 	}
@@ -86,7 +92,7 @@ func TestSensitivityIOvsTile(t *testing.T) {
 		t.Skip("full experiment in test")
 	}
 	w := tinyWorkload(t)
-	points := Sensitivity([]*Workload{w}, []float64{0.0015})
+	points := Sensitivity(testEng, []*Workload{w}, []float64{0.0015})
 	if len(points) != len(AllNoiseKinds()) {
 		t.Fatalf("got %d points", len(points))
 	}
@@ -113,7 +119,7 @@ func TestOverallAccuracyShape(t *testing.T) {
 		t.Skip("full experiment in test")
 	}
 	w := tinyWorkload(t)
-	rows := OverallAccuracy([]*Workload{w}, analog.PaperPreset())
+	rows := OverallAccuracy(testEng, []*Workload{w}, analog.PaperPreset())
 	if len(rows) != 1 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -138,7 +144,7 @@ func TestMitigationRecovery(t *testing.T) {
 		t.Skip("full experiment in test")
 	}
 	w := tinyWorkload(t)
-	rows := Mitigation([]*Workload{w}, MitigationMSETarget)
+	rows := Mitigation(testEng, []*Workload{w}, MitigationMSETarget)
 	if len(rows) != len(AllNoiseKinds()) {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -157,7 +163,7 @@ func TestDistributionAnalysisShape(t *testing.T) {
 		t.Skip("full experiment in test")
 	}
 	w := tinyWorkload(t)
-	rows := DistributionAnalysis([]*Workload{w}, "attn.q", analog.PaperPreset())
+	rows := DistributionAnalysis(testEng, []*Workload{w}, "attn.q", analog.PaperPreset())
 	if len(rows) != w.Model.Cfg.NLayers {
 		t.Fatalf("rows = %d, want %d", len(rows), w.Model.Cfg.NLayers)
 	}
@@ -167,7 +173,7 @@ func TestDistributionAnalysisShape(t *testing.T) {
 				r.Name, r.InputKurtosisNaive, r.InputKurtosisNORA)
 		}
 	}
-	all := DistributionAnalysis([]*Workload{w}, "", analog.PaperPreset())
+	all := DistributionAnalysis(testEng, []*Workload{w}, "", analog.PaperPreset())
 	if len(all) != len(w.Model.Linears()) {
 		t.Fatalf("unfiltered rows = %d", len(all))
 	}
@@ -178,7 +184,7 @@ func TestDriftStudyShape(t *testing.T) {
 		t.Skip("full experiment in test")
 	}
 	w := tinyWorkload(t)
-	rows := DriftStudy([]*Workload{w}, 3600)
+	rows := DriftStudy(testEng, []*Workload{w}, 3600)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -197,7 +203,7 @@ func TestHWAStudyShape(t *testing.T) {
 		t.Skip("fine-tuning in test")
 	}
 	w := tinyWorkload(t)
-	row, err := HWAStudy(w, 120, analog.PaperPreset())
+	row, err := HWAStudy(testEng, w, 120, analog.PaperPreset())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +235,7 @@ func TestOverallAccuracyReplicated(t *testing.T) {
 		t.Skip("full experiment in test")
 	}
 	w := tinyWorkload(t)
-	stats := OverallAccuracyReplicated([]*Workload{w}, analog.PaperPreset(), 3)
+	stats := OverallAccuracyReplicated(testEng, []*Workload{w}, analog.PaperPreset(), 3)
 	if len(stats) != 1 {
 		t.Fatalf("rows = %d", len(stats))
 	}
@@ -258,7 +264,7 @@ func TestOverallAccuracyReplicated(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	OverallAccuracyReplicated([]*Workload{w}, analog.PaperPreset(), 0)
+	OverallAccuracyReplicated(testEng, []*Workload{w}, analog.PaperPreset(), 0)
 }
 
 func TestModeStudyShape(t *testing.T) {
@@ -266,7 +272,7 @@ func TestModeStudyShape(t *testing.T) {
 		t.Skip("full experiment in test")
 	}
 	w := tinyWorkload(t)
-	rows := ModeStudy([]*Workload{w})
+	rows := ModeStudy(testEng, []*Workload{w})
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -293,7 +299,7 @@ func TestSlicingStudyShape(t *testing.T) {
 		t.Skip("full experiment in test")
 	}
 	w := tinyWorkload(t)
-	rows := SlicingStudy([]*Workload{w}, [][2]int{{2, 4}})
+	rows := SlicingStudy(testEng, []*Workload{w}, [][2]int{{2, 4}})
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -320,7 +326,7 @@ func TestCalibrationAblationShape(t *testing.T) {
 	}
 	w := tinyWorkload(t)
 	quantiles := []float64{0.9, 1.0}
-	rows := CalibrationAblation([]*Workload{w}, quantiles)
+	rows := CalibrationAblation(testEng, []*Workload{w}, quantiles)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -347,7 +353,7 @@ func TestBaselineComparisonShape(t *testing.T) {
 		t.Skip("full experiment in test")
 	}
 	w := tinyWorkload(t)
-	rows := BaselineComparison([]*Workload{w}, analog.PaperPreset())
+	rows := BaselineComparison(testEng, []*Workload{w}, analog.PaperPreset())
 	if len(rows) != 1 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -375,7 +381,7 @@ func TestPerLayerSensitivityShape(t *testing.T) {
 		t.Skip("full experiment in test")
 	}
 	w := tinyWorkload(t)
-	rows := PerLayerSensitivity([]*Workload{w}, analog.PaperPreset())
+	rows := PerLayerSensitivity(testEng, []*Workload{w}, analog.PaperPreset())
 	if len(rows) != len(w.Model.Linears()) {
 		t.Fatalf("rows = %d, want %d", len(rows), len(w.Model.Linears()))
 	}
@@ -407,7 +413,7 @@ func TestCostStudyShape(t *testing.T) {
 		t.Skip("full experiment in test")
 	}
 	w := tinyWorkload(t)
-	rows := CostStudy([]*Workload{w}, analog.PaperPreset(), analog.DefaultCostModel())
+	rows := CostStudy(testEng, []*Workload{w}, analog.PaperPreset(), analog.DefaultCostModel())
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -440,7 +446,7 @@ func TestLambdaAblationShape(t *testing.T) {
 	}
 	w := tinyWorkload(t)
 	lambdas := []float64{0.25, 0.5, 0.75}
-	rows := LambdaAblation([]*Workload{w}, lambdas)
+	rows := LambdaAblation(testEng, []*Workload{w}, lambdas)
 	if len(rows) != len(lambdas) {
 		t.Fatalf("rows = %d", len(rows))
 	}

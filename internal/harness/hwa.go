@@ -8,6 +8,7 @@ import (
 	"nora/internal/analog"
 	"nora/internal/autograd"
 	"nora/internal/core"
+	"nora/internal/engine"
 	"nora/internal/nn"
 	"nora/internal/rng"
 )
@@ -44,22 +45,28 @@ func cloneModel(m *nn.Model) (*nn.Model, error) {
 // noise injection matched to the analog stack's reference error, then
 // deploys it naively on analog tiles; NORA's calibration-only path is
 // measured on the original model for comparison. steps controls the
-// fine-tuning budget.
-func HWAStudy(w *Workload, steps int, cfg analog.Config) (HWARow, error) {
+// fine-tuning budget. The tuned model is a distinct network, so its engine
+// requests carry a derived model key — it must never alias the original
+// model's cached deployments.
+func HWAStudy(eng *engine.Engine, w *Workload, steps int, cfg analog.Config) (HWARow, error) {
 	row := HWARow{Model: w.Spec.Display, Steps: steps}
-	row.Digital = w.DigitalAccuracy()
+	row.Digital = w.DigitalAccuracy(eng)
 
 	// Matched injection level: the analog stack's relative RMS error on
 	// the unit-variance reference map.
 	row.NoiseRel = math.Sqrt(MeasureMSE(cfg, 11))
 
-	// NORA path (original model): time the calibration.
+	// NORA path (original model): time the calibration. The freshly
+	// computed statistics are content-identical to w.Calibration(), so the
+	// resulting deployment intentionally shares the cache slot of the
+	// other paper-preset NORA experiments.
 	calStart := time.Now()
 	cal := core.Calibrate(w.Model, w.Calib)
 	row.CalibrateSeconds = time.Since(calStart).Seconds()
-	seed := seedFor("hwa", w.Spec.Key)
-	row.NORA = core.Deploy(w.Model, core.DeployAnalogNORA, cal, cfg, seed, core.Options{}).EvalAccuracy(w.Eval)
-	row.Naive = core.Deploy(w.Model, core.DeployAnalogNaive, nil, cfg, seed, core.Options{}).EvalAccuracy(w.Eval)
+	row.NORA = eng.Deploy(engine.Request{
+		Model: w.Spec.Key, Net: w.Model, Mode: core.DeployAnalogNORA, Cal: cal, Config: cfg,
+	}).EvalAccuracy(w.Eval)
+	row.Naive = eng.Deploy(w.Request(core.DeployAnalogNaive, cfg, core.Options{}, "")).EvalAccuracy(w.Eval)
 
 	// HWA path: fine-tune a copy with noise injection.
 	tuned, err := cloneModel(w.Model)
@@ -82,8 +89,13 @@ func HWAStudy(w *Workload, steps int, cfg analog.Config) (HWARow, error) {
 	row.HWATrainSeconds = time.Since(trainStart).Seconds()
 	tuned.SetTrainNoise(0, nil)
 
-	row.HWAFP = nn.NewRunner(tuned).EvalAccuracy(w.Eval)
-	row.HWA = core.Deploy(tuned, core.DeployAnalogNaive, nil, cfg, seed, core.Options{}).EvalAccuracy(w.Eval)
+	tunedKey := w.Spec.Key + "/hwa-tuned"
+	row.HWAFP = eng.Deploy(engine.Request{
+		Model: tunedKey, Net: tuned, Mode: core.DeployDigital,
+	}).EvalAccuracy(w.Eval)
+	row.HWA = eng.Deploy(engine.Request{
+		Model: tunedKey, Net: tuned, Mode: core.DeployAnalogNaive, Config: cfg,
+	}).EvalAccuracy(w.Eval)
 	return row, nil
 }
 

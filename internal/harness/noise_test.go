@@ -3,7 +3,6 @@ package harness
 import (
 	"math"
 	"strings"
-	"sync/atomic"
 	"testing"
 
 	"nora/internal/analog"
@@ -169,31 +168,6 @@ func TestSeedForStableAndDistinct(t *testing.T) {
 	}
 	if a == c || a == d {
 		t.Fatal("seedFor collisions on simple labels")
-	}
-}
-
-func TestParallelForCoversAll(t *testing.T) {
-	const n = 1000
-	var hits [n]int32
-	var count int32
-	parallelFor(n, func(i int) {
-		atomic.AddInt32(&hits[i], 1)
-		atomic.AddInt32(&count, 1)
-	})
-	if count != n {
-		t.Fatalf("ran %d of %d", count, n)
-	}
-	for i, h := range hits {
-		if h != 1 {
-			t.Fatalf("index %d ran %d times", i, h)
-		}
-	}
-	// n=0 and n=1 edge cases
-	parallelFor(0, func(int) { t.Fatal("must not run") })
-	ran := false
-	parallelFor(1, func(int) { ran = true })
-	if !ran {
-		t.Fatal("n=1 did not run")
 	}
 }
 

@@ -2,10 +2,11 @@ package harness
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
+	"nora/internal/analog"
 	"nora/internal/core"
+	"nora/internal/engine"
 	"nora/internal/model"
 	"nora/internal/nn"
 )
@@ -70,11 +71,39 @@ func LoadZoo(modelDir string, specs []model.Spec, evalN, calibN int) ([]*Workloa
 	return ws, nil
 }
 
+// Request names the engine deployment of this workload's model under the
+// given mode, configuration, options, and salt. The calibration statistics
+// are attached (computing them once) only for the NORA mode, which is the
+// only mode core.Deploy reads them in — so naive and digital requests key
+// identically whether or not a calibration exists yet.
+func (w *Workload) Request(mode core.DeployMode, cfg analog.Config, opt core.Options, salt string) engine.Request {
+	req := engine.Request{
+		Model:  w.Spec.Key,
+		Net:    w.Model,
+		Mode:   mode,
+		Config: cfg,
+		Opt:    opt,
+		Salt:   salt,
+	}
+	if mode == core.DeployAnalogNORA {
+		req.Cal = w.Calibration()
+	}
+	return req
+}
+
 // DigitalAccuracy returns (computing once) the digital full-precision
-// accuracy of the workload on its eval split.
-func (w *Workload) DigitalAccuracy() float64 {
+// accuracy of the workload on its eval split. With a non-nil engine the
+// pass runs through the engine (parallel eval, shared memo); a nil engine
+// falls back to a serial stand-alone runner. Both paths agree exactly —
+// digital inference is deterministic.
+func (w *Workload) DigitalAccuracy(eng *engine.Engine) float64 {
 	w.digOnce.Do(func() {
-		w.digitalAcc = nn.NewRunner(w.Model).EvalAccuracy(w.Eval)
+		if eng != nil {
+			dep := eng.Deploy(w.Request(core.DeployDigital, analog.Config{}, core.Options{}, ""))
+			w.digitalAcc = dep.EvalAccuracy(w.Eval)
+		} else {
+			w.digitalAcc = nn.NewRunner(w.Model).EvalAccuracy(w.Eval)
+		}
 	})
 	return w.digitalAcc
 }
@@ -87,39 +116,9 @@ func (w *Workload) Calibration() *core.Calibration {
 	return w.cal
 }
 
-// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines.
-// Experiment points are independent (each builds its own deployment with
-// its own seeded noise streams), so order does not affect results.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
-
-// seedFor derives a stable experiment seed from string labels.
+// seedFor derives a stable experiment seed from string labels. Deployment
+// seeds now come from engine.Request.Seed; this remains for auxiliary
+// streams (the HWA study's training-noise and data-order seeds).
 func seedFor(labels ...string) uint64 {
 	const (
 		offset = 14695981039346656037

@@ -367,15 +367,36 @@ func TestEvalAccuracyPerfectOnMemorized(t *testing.T) {
 	}
 }
 
-func TestEvalAccuracyPanicsOnShortSeq(t *testing.T) {
+func TestEvalSkipsShortSeq(t *testing.T) {
 	m, _ := NewModel(optConfig(), rng.New(13))
 	r := NewRunner(m)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	r.EvalAccuracy([][]int{{1}})
+	// Length-<2 sequences carry no (context, target) pair: they are counted
+	// as skipped, not evaluated, and must not abort the pass.
+	res := r.Eval([][]int{{1}, {}, {2, 3}}, 1)
+	if res.Skipped != 2 || res.Evaluated != 1 {
+		t.Fatalf("skip accounting: %+v", res)
+	}
+	// Empty and all-skipped inputs yield accuracy 0, not NaN or a panic.
+	if acc := r.EvalAccuracy(nil); acc != 0 {
+		t.Fatalf("empty eval accuracy = %v", acc)
+	}
+	if acc := r.EvalAccuracy([][]int{{7}}); acc != 0 {
+		t.Fatalf("all-skipped eval accuracy = %v", acc)
+	}
+}
+
+func TestEvalParallelMatchesSerial(t *testing.T) {
+	m, _ := NewModel(optConfig(), rng.New(15))
+	r := NewRunner(m)
+	seqs := [][]int{{1, 2, 3}, {4, 5}, {6}, {7, 8, 9, 10}, {11, 12}, {13, 14, 15}}
+	serial := r.Eval(seqs, 1)
+	parallel := r.Eval(seqs, 4)
+	if serial != parallel {
+		t.Fatalf("worker count changed the result: %+v vs %+v", serial, parallel)
+	}
+	if serial.Tokens != 2+1+3+1+2 {
+		t.Fatalf("token accounting: %+v", serial)
+	}
 }
 
 func TestLogitsValidation(t *testing.T) {

@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"nora/internal/tensor"
 )
@@ -81,6 +83,43 @@ func (r *Runner) ReplaceAll(factory func(spec LinearSpec) LinearOp) {
 
 // Linear returns the operator currently installed for name.
 func (r *Runner) Linear(name string) LinearOp { return r.ops[name] }
+
+// NoiseScopedOp is a LinearOp whose runtime stochastic behaviour can be
+// re-derived as a pure function of a scope label: WithNoiseScope returns a
+// lightweight view of the operator drawing its noise from a stream that
+// depends only on (operator seed, label), never on how many draws other
+// scopes have consumed. This is what makes parallel evaluation bit-identical
+// to serial evaluation regardless of scheduling order.
+type NoiseScopedOp interface {
+	LinearOp
+	WithNoiseScope(label string) LinearOp
+}
+
+// WithNoiseScope returns a view of the runner in which every NoiseScopedOp
+// is replaced by its scoped view; deterministic operators are shared. The
+// view shares the underlying model and any programmed hardware state.
+func (r *Runner) WithNoiseScope(label string) *Runner {
+	ops := make(map[string]LinearOp, len(r.ops))
+	for name, op := range r.ops {
+		if s, ok := op.(NoiseScopedOp); ok {
+			ops[name] = s.WithNoiseScope(label)
+		} else {
+			ops[name] = op
+		}
+	}
+	return &Runner{model: r.model, ops: ops, PreLinear: r.PreLinear}
+}
+
+// hasScopedOps reports whether any installed operator carries re-derivable
+// runtime noise (pure digital runners skip per-sequence scoping entirely).
+func (r *Runner) hasScopedOps() bool {
+	for _, op := range r.ops {
+		if _, ok := op.(NoiseScopedOp); ok {
+			return true
+		}
+	}
+	return false
+}
 
 func (r *Runner) apply(name string, x *tensor.Matrix) *tensor.Matrix {
 	if r.PreLinear != nil {
@@ -183,23 +222,107 @@ func (r *Runner) PredictLast(context []int) int {
 	return bi
 }
 
-// EvalAccuracy measures last-word prediction accuracy over sequences: for
-// each sequence the final token is the target and the preceding tokens are
-// the context (the Lambada protocol).
-func (r *Runner) EvalAccuracy(sequences [][]int) float64 {
-	if len(sequences) == 0 {
+// EvalResult summarizes one evaluation pass over a sequence set.
+type EvalResult struct {
+	Correct   int   // sequences whose final token was predicted exactly
+	Evaluated int   // sequences actually scored
+	Skipped   int   // sequences shorter than 2 tokens (no context/target pair)
+	Tokens    int64 // context tokens forwarded through the model
+}
+
+// Accuracy returns Correct/Evaluated; it is 0 when nothing was evaluated.
+func (e EvalResult) Accuracy() float64 {
+	if e.Evaluated == 0 {
 		return 0
 	}
-	correct := 0
-	for _, seq := range sequences {
+	return float64(e.Correct) / float64(e.Evaluated)
+}
+
+// EvalAccuracy measures last-word prediction accuracy over sequences: for
+// each sequence the final token is the target and the preceding tokens are
+// the context (the Lambada protocol). Sequences shorter than 2 tokens carry
+// no (context, target) pair; they are skipped (and counted in the Skipped
+// field of Eval's result) instead of aborting the pass. An empty or
+// all-skipped sequence set yields accuracy 0.
+func (r *Runner) EvalAccuracy(sequences [][]int) float64 {
+	return r.Eval(sequences, 1).Accuracy()
+}
+
+// Eval is the batched evaluation entry point: sequences are scored on up to
+// workers goroutines (workers <= 0 selects GOMAXPROCS). Every sequence's
+// stochastic operators draw from a noise stream derived purely from the
+// operator's seed and the sequence index, so the result is bit-identical
+// for any worker count — Eval(seqs, 1) and Eval(seqs, 32) agree exactly,
+// and repeated calls on the same runner reproduce the same result.
+func (r *Runner) Eval(sequences [][]int, workers int) EvalResult {
+	scoped := r.hasScopedOps()
+	type outcome struct {
+		correct bool
+		skipped bool
+		tokens  int64
+	}
+	outcomes := make([]outcome, len(sequences))
+	evalOne := func(i int) {
+		seq := sequences[i]
 		if len(seq) < 2 {
-			panic("nn: EvalAccuracy needs sequences of length ≥ 2")
+			outcomes[i].skipped = true
+			return
 		}
-		if r.PredictLast(seq[:len(seq)-1]) == seq[len(seq)-1] {
-			correct++
+		rr := r
+		if scoped {
+			rr = r.WithNoiseScope(fmt.Sprintf("eval/seq%d", i))
+		}
+		ctx := seq[:len(seq)-1]
+		outcomes[i] = outcome{
+			correct: rr.PredictLast(ctx) == seq[len(seq)-1],
+			tokens:  int64(len(ctx)),
 		}
 	}
-	return float64(correct) / float64(len(sequences))
+
+	n := len(sequences)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			evalOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					evalOne(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	var res EvalResult
+	for _, o := range outcomes {
+		switch {
+		case o.skipped:
+			res.Skipped++
+		default:
+			res.Evaluated++
+			res.Tokens += o.tokens
+			if o.correct {
+				res.Correct++
+			}
+		}
+	}
+	return res
 }
 
 // --- digital inference kernels (mirror the autograd forward exactly) ---
