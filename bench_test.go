@@ -113,12 +113,40 @@ func BenchmarkTable2PaperPresetMVM(b *testing.B) {
 	lin := analog.NewAnalogLinear("bench", w, nil, nil, cfg, rng.New(4))
 	x := tensor.New(4, 256)
 	r.FillNormal(x.Data, 0, 1)
+	out := tensor.New(4, 256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		lin.Forward(x)
+		lin.ForwardInto(out, x)
 	}
 	b.StopTimer()
 	b.ReportMetric(harness.MeasureMSE(cfg, 9), "ref-mse")
+}
+
+// BenchmarkMVMRowAllocs is a hard regression gate on the zero-allocation
+// read path: it fails outright if the steady-state analog MVM allocates.
+// The small tolerance absorbs rare sync.Pool refills after a GC.
+func BenchmarkMVMRowAllocs(b *testing.B) {
+	cfg := analog.PaperPreset()
+	r := rng.New(3)
+	w := tensor.New(256, 256)
+	r.FillNormal(w.Data, 0, 1.0/16)
+	lin := analog.NewAnalogLinear("bench", w, nil, nil, cfg, rng.New(4))
+	x := tensor.New(4, 256)
+	r.FillNormal(x.Data, 0, 1)
+	out := tensor.New(4, 256)
+	lin.ForwardInto(out, x) // prime the scratch pool
+	avg := testing.AllocsPerRun(20, func() {
+		lin.ForwardInto(out, x)
+	})
+	b.ReportMetric(avg, "allocs/op")
+	if avg > 0.5 {
+		b.Fatalf("analog read path allocates %.2f/op, want 0", avg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lin.ForwardInto(out, x)
+	}
 }
 
 // ---- Fig. 3: sensitivity study ------------------------------------------
@@ -459,6 +487,7 @@ func BenchmarkEvalParallel(b *testing.B) {
 func benchmarkEval(b *testing.B, workers int) {
 	w, _ := benchWorkloads(b)
 	runner := core.Deploy(w.Model, core.DeployAnalogNaive, nil, analog.PaperPreset(), 1, core.Options{})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runner.Eval(w.Eval, workers)
@@ -484,6 +513,7 @@ func BenchmarkAnalogForward(b *testing.B) {
 	w, _ := benchWorkloads(b)
 	runner := core.Deploy(w.Model, core.DeployAnalogNaive, nil, analog.PaperPreset(), 1, core.Options{})
 	seq := w.Eval[0][:len(w.Eval[0])-1]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runner.Logits(seq)

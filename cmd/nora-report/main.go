@@ -24,6 +24,7 @@ import (
 	"nora/internal/engine"
 	"nora/internal/harness"
 	"nora/internal/model"
+	"nora/internal/prof"
 )
 
 func main() {
@@ -37,7 +38,10 @@ func main() {
 		*evalN = 50
 	}
 
-	if err := run(*modelDir, *out, *evalN, *quick); err != nil {
+	stopProf := prof.Start()
+	err := run(*modelDir, *out, *evalN, *quick)
+	stopProf()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

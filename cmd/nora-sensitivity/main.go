@@ -17,6 +17,7 @@ import (
 	"nora/internal/engine"
 	"nora/internal/harness"
 	"nora/internal/model"
+	"nora/internal/prof"
 )
 
 func main() {
@@ -26,6 +27,9 @@ func main() {
 	models := flag.String("models", "", "comma-separated zoo keys (default: all)")
 	chart := flag.Bool("chart", false, "also render ASCII accuracy-vs-MSE charts per noise kind")
 	flag.Parse()
+
+	stopProf := prof.Start()
+	defer stopProf()
 
 	specs, err := selectSpecs(*models)
 	if err != nil {

@@ -1,0 +1,56 @@
+//go:build !race
+
+// Allocation-count assertions are meaningless under the race detector
+// (instrumentation allocates), so this file is excluded from -race runs.
+
+package analog
+
+import (
+	"testing"
+
+	"nora/internal/rng"
+	"nora/internal/tensor"
+)
+
+// TestMVMRowIntoZeroAllocs pins the tentpole invariant: with a leased
+// scratch, a tile read performs zero heap allocations — including under
+// bound management, bit-serial streaming, and weight slicing.
+func TestMVMRowIntoZeroAllocs(t *testing.T) {
+	for name, cfg := range determinismConfigs() {
+		cfg.TileRows, cfg.TileCols = 64, 64
+		w := randMat(61, 48, 32)
+		var tile mvmTile
+		if cfg.WeightSlices > 1 {
+			tile = NewSlicedTile(cfg, w, cfg.WeightSlices, 4, rng.New(62))
+		} else {
+			tile = NewTile(cfg, w, rng.New(62))
+		}
+		x := randVec(63, 48)
+		dst := make([]float32, 32)
+		r := rng.New(64)
+		s := getScratch()
+		if avg := testing.AllocsPerRun(100, func() {
+			tile.MVMRowInto(1, dst, x, r, s)
+		}); avg != 0 {
+			t.Errorf("%s: MVMRowInto allocates %.2f/op, want 0", name, avg)
+		}
+		putScratch(s)
+	}
+}
+
+// TestForwardIntoSteadyStateAllocs: a whole-layer ForwardInto should only
+// touch the scratch pool (amortized zero); tolerate the occasional pool
+// refill after a GC.
+func TestForwardIntoSteadyStateAllocs(t *testing.T) {
+	cfg := determinismConfigs()["paper"]
+	w := randMat(71, 40, 30)
+	l := NewAnalogLinear("l", w, nil, nil, cfg, rng.New(72))
+	x := randMat(73, 2, 40)
+	out := tensor.New(2, 30)
+	l.ForwardInto(out, x) // prime the pool
+	if avg := testing.AllocsPerRun(50, func() {
+		l.ForwardInto(out, x)
+	}); avg > 0.5 {
+		t.Errorf("ForwardInto allocates %.2f/op in steady state, want ~0", avg)
+	}
+}

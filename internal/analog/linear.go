@@ -149,30 +149,51 @@ func (l *AnalogLinear) SetTime(tSec float64) {
 // Forward implements nn.LinearOp: every row of x is streamed through the
 // tile grid, with digital accumulation of partial sums across input blocks.
 func (l *AnalogLinear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, l.out)
+	l.ForwardInto(out, x)
+	return out
+}
+
+// ForwardInto is the zero-allocation forward pass: it overwrites out
+// (x.Rows × OutDim) with the layer result. One scratch is leased from the
+// pool for the whole call — every tile read reuses its buffers, any NORA
+// rescaling is applied row-by-row into scratch instead of materializing a
+// scaled copy of x, and partial sums accumulate directly into out's rows.
+// The RNG draw order matches the historical allocating implementation
+// exactly, so results are bit-identical.
+func (l *AnalogLinear) ForwardInto(out, x *tensor.Matrix) {
 	if x.Cols != l.in {
 		panic(fmt.Sprintf("analog: %s: input width %d, expected %d", l.name, x.Cols, l.in))
 	}
-	xs := x
-	if l.invS != nil {
-		xs = tensor.ScaleCols(x, l.invS)
+	if out.Rows != x.Rows || out.Cols != l.out {
+		panic(fmt.Sprintf("analog: %s: output %dx%d, expected %dx%d", l.name, out.Rows, out.Cols, x.Rows, l.out))
 	}
 	l.rowsProcessed.Add(int64(x.Rows))
-	out := tensor.New(x.Rows, l.out)
+	s := getScratch()
+	defer putScratch(s)
 	for i := 0; i < x.Rows; i++ {
-		row := xs.Row(i)
+		row := x.Row(i)
+		if l.invS != nil {
+			xr := grow(&s.xrow, l.in)
+			for k, v := range row {
+				xr[k] = v * l.invS[k]
+			}
+			row = xr
+		}
 		orow := out.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
 		for rb := 0; rb+1 < len(l.rowOff); rb++ {
 			slice := row[l.rowOff[rb]:l.rowOff[rb+1]]
 			for cb := 0; cb+1 < len(l.colOff); cb++ {
-				partial := l.tiles[rb][cb].MVMRow(slice, l.noise)
-				tensor.Axpy(1, partial, orow[l.colOff[cb]:l.colOff[cb+1]])
+				l.tiles[rb][cb].MVMRowInto(1, orow[l.colOff[cb]:l.colOff[cb+1]], slice, l.noise, s)
 			}
 		}
 	}
 	if l.bias != nil {
 		out.AddRowVecInPlace(l.bias)
 	}
-	return out
 }
 
 // CostCounters aggregates hardware-event counts across the layer's tiles.
@@ -213,19 +234,35 @@ func (l *AnalogLinear) AlphaGammaMean(x *tensor.Matrix) float64 {
 	if x.Cols != l.in {
 		panic("analog: AlphaGammaMean input width mismatch")
 	}
-	xs := x
-	if l.invS != nil {
-		xs = tensor.ScaleCols(x, l.invS)
-	}
 	var total float64
 	var nTiles int
 	for rb := 0; rb+1 < len(l.rowOff); rb++ {
 		lo, hi := l.rowOff[rb], l.rowOff[rb+1]
 		var alphaMean float64
-		for i := 0; i < xs.Rows; i++ {
-			alphaMean += float64(tensor.AbsMaxVec(xs.Row(i)[lo:hi]))
+		for i := 0; i < x.Rows; i++ {
+			// α of the row slice the tile sees — with any NORA rescaling
+			// folded in on the fly instead of materializing ScaleCols(x,
+			// invS) (callers stream calibration batches through here; the
+			// full scaled copy was pure overhead).
+			row := x.Row(i)[lo:hi]
+			var mx float32
+			if l.invS != nil {
+				inv := l.invS[lo:hi]
+				for k, v := range row {
+					v *= inv[k]
+					if v < 0 {
+						v = -v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+			} else {
+				mx = tensor.AbsMaxVec(row)
+			}
+			alphaMean += float64(mx)
 		}
-		alphaMean /= float64(xs.Rows)
+		alphaMean /= float64(x.Rows)
 		for cb := 0; cb+1 < len(l.colOff); cb++ {
 			var cMean float64
 			scales := l.tiles[rb][cb].ColScales()

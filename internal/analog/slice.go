@@ -9,9 +9,12 @@ import (
 )
 
 // mvmTile is the tile abstraction AnalogLinear drives: a plain crossbar
-// (Tile) or a bit-sliced composite (SlicedTile).
+// (Tile) or a bit-sliced composite (SlicedTile). MVMRowInto is the
+// zero-allocation hot path (dst[j] += coef·y_j with pooled scratch);
+// MVMRow is its allocating convenience wrapper.
 type mvmTile interface {
 	MVMRow(xs []float32, r *rng.Rand) []float32
+	MVMRowInto(coef float32, dst, xs []float32, r *rng.Rand, s *readScratch)
 	ColScales() []float32
 	SetTime(tSec float64)
 	Counters() *OpCounters
@@ -135,11 +138,29 @@ func (st *SlicedTile) Counters() *OpCounters {
 // partial results: y = Σ_s b^s · y_s.
 func (st *SlicedTile) MVMRow(xs []float32, r *rng.Rand) []float32 {
 	out := make([]float32, st.cols)
+	s := getScratch()
+	st.MVMRowInto(1, out, xs, r, s)
+	putScratch(s)
+	return out
+}
+
+// MVMRowInto accumulates coef times the shift-added composite result into
+// dst without allocating. The composite y = Σ_s b^s·y_s is built in a
+// scratch buffer first and added to dst in one pass — NOT folded slice by
+// slice directly into dst, which would re-associate the float32 sums
+// against partial results already accumulated there and break bit-identity
+// with the historical MVMRow+Axpy path.
+func (st *SlicedTile) MVMRowInto(coef float32, dst, xs []float32, r *rng.Rand, s *readScratch) {
+	comp := grow(&s.comp, len(dst))
+	for j := range comp {
+		comp[j] = 0
+	}
 	pow := float32(1)
-	for _, s := range st.slices {
-		partial := s.MVMRow(xs, r)
-		tensor.Axpy(pow, partial, out)
+	for _, sl := range st.slices {
+		sl.MVMRowInto(pow, comp, xs, r, s)
 		pow *= float32(st.radix)
 	}
-	return out
+	for j, v := range comp {
+		dst[j] += coef * v
+	}
 }

@@ -41,8 +41,16 @@ type Tile struct {
 	adcOffset []float32 // static per-column ADC offset (nil when disabled)
 	adcGain   []float32 // static per-column ADC gain (nil when disabled)
 
-	readStd   float32 // additional 1/f read noise at the current time
-	driftComp float32 // global drift compensation multiplier
+	readStd    float32 // additional 1/f read noise at the current time
+	wReadSigma float32 // hypot(WNoise, readStd), cached off the read path
+	driftComp  float32 // global drift compensation multiplier
+
+	// Reciprocals of the DAC/ADC step counts, cached when the counts are
+	// powers of two (0 otherwise): scaling by an exact power of two is
+	// bit-identical whether done by division or by multiplication with the
+	// reciprocal, so the read path can use the cheaper multiply.
+	invInSteps  float32
+	invOutSteps float32
 
 	counters OpCounters // hardware-event counts for cost estimation
 }
@@ -114,6 +122,13 @@ func NewTile(cfg Config, ws *tensor.Matrix, progRng *rng.Rand) *Tile {
 	if cfg.ADCGainMismatch > 0 {
 		t.adcGain = make([]float32, ws.Cols)
 		progRng.Split("adc-gain").FillNormal(t.adcGain, 1, cfg.ADCGainMismatch)
+	}
+	t.wReadSigma = t.combinedReadSigma()
+	if isPow2(cfg.InSteps) {
+		t.invInSteps = 1 / float32(cfg.InSteps)
+	}
+	if isPow2(cfg.OutSteps) && cfg.OutBound > 0 {
+		t.invOutSteps = 1 / float32(cfg.OutSteps)
 	}
 	if cfg.DriftT > 0 {
 		t.SetTime(cfg.DriftT)
@@ -271,6 +286,7 @@ func (t *Tile) SetTime(tSec float64) {
 		t.wEff = t.wProg
 		t.absW = nil
 		t.readStd = 0
+		t.wReadSigma = t.combinedReadSigma()
 		t.driftComp = 1
 		if t.cfg.IRDropScale > 0 {
 			t.ensureAbsW()
@@ -309,6 +325,7 @@ func (t *Tile) SetTime(tSec float64) {
 		}
 	}
 	t.readStd = readNoise1F * float32(math.Sqrt(math.Log((tSec+tRead)/(2*tRead))))
+	t.wReadSigma = t.combinedReadSigma()
 	t.driftComp = 1
 	if t.cfg.DriftCompensation && sumEff > 0 {
 		t.driftComp = float32(sumProg / sumEff)
@@ -316,6 +333,16 @@ func (t *Tile) SetTime(tSec float64) {
 	if t.cfg.IRDropScale > 0 {
 		t.ensureAbsW()
 	}
+}
+
+// isPow2 reports whether n is a positive power of two.
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// combinedReadSigma folds the short-term weight read noise and the current
+// 1/f floor into one std, exactly as the read path historically computed it
+// per read. Cached whenever readStd changes so MVMs skip the math.Hypot.
+func (t *Tile) combinedReadSigma() float32 {
+	return float32(math.Hypot(float64(t.cfg.WNoise), float64(t.readStd)))
 }
 
 // ensureAbsW builds the |wEff| matrix used to estimate column current load
@@ -336,9 +363,30 @@ func (t *Tile) ensureAbsW() {
 // slice in weight units (length Rows, already divided by any NORA s
 // vector), and the result approximates xsᵀ·W_slice in the original scale.
 // r drives every stochastic noise source of this read.
+//
+// MVMRow is the allocating convenience wrapper around MVMRowInto, which the
+// hot path (AnalogLinear.ForwardInto) calls directly with pooled scratch.
 func (t *Tile) MVMRow(xs []float32, r *rng.Rand) []float32 {
+	out := make([]float32, t.cols)
+	s := getScratch()
+	t.MVMRowInto(1, out, xs, r, s)
+	putScratch(s)
+	return out
+}
+
+// MVMRowInto accumulates coef times the analog MVM result into dst
+// (dst[j] += coef·y_j, len(dst) = Cols), drawing every transient buffer
+// from s — zero heap allocations in steady state. coef folds the caller's
+// digital shift-add weight (1 for a plain layer, the slice radix power for
+// SlicedTile) into the final rescale loop; the RNG draw order and all
+// floating-point accumulation orders are identical to the historical
+// allocating implementation, so results are bit-identical.
+func (t *Tile) MVMRowInto(coef float32, dst, xs []float32, r *rng.Rand, s *readScratch) {
 	if len(xs) != t.rows {
 		panic(fmt.Sprintf("analog: MVMRow input len %d, tile rows %d", len(xs), t.rows))
+	}
+	if len(dst) != t.cols {
+		panic(fmt.Sprintf("analog: MVMRowInto dst len %d, tile cols %d", len(dst), t.cols))
 	}
 	cfg := &t.cfg
 	// Noise management: per-row input scale α (Eq. 5).
@@ -351,35 +399,49 @@ func (t *Tile) MVMRow(xs []float32, r *rng.Rand) []float32 {
 	default:
 		panic("analog: unknown noise management mode")
 	}
-	out := make([]float32, t.cols)
 	if alpha == 0 {
-		return out
+		return
 	}
 
 	maxIter := 1
 	if cfg.BoundManagement {
 		maxIter += cfg.BMMaxIter
 	}
-	xhat := make([]float32, t.rows)
+	z := grow(&s.z, t.cols)
 	scale := alpha
 	attempts, reads := 0, 0
 	for iter := 0; iter < maxIter; iter++ {
 		attempts++
-		var z []float32
 		var saturated bool
 		if cfg.BitSerial {
-			z, saturated = t.bitSerialRead(xs, scale, r)
+			saturated = t.bitSerialReadInto(z, xs, scale, r, s)
 			reads += t.bitPlanes()
 		} else {
-			// DAC conversion and additive input noise (Eq. 5).
-			for k, v := range xs {
-				q := quantizeUnit(v/scale, cfg.InSteps)
-				if cfg.InNoise > 0 {
-					q += cfg.InNoise * r.NormFloat32()
+			// DAC conversion and additive input noise (Eq. 5). xhat is
+			// leased lazily so the bit-serial path never touches it.
+			xhat := grow(&s.xhat, t.rows)
+			if inv := t.invInSteps; inv != 0 {
+				// Power-of-two step count: replace quantizeUnit's final
+				// division with an exact reciprocal multiply.
+				half := float32(cfg.InSteps)
+				for k, v := range xs {
+					q := v / scale
+					if q > 1 {
+						q = 1
+					} else if q < -1 {
+						q = -1
+					}
+					xhat[k] = float32(math.Round(float64(q*half))) * inv
 				}
-				xhat[k] = q
+			} else {
+				for k, v := range xs {
+					xhat[k] = quantizeUnit(v/scale, cfg.InSteps)
+				}
 			}
-			z, saturated = t.analogRead(xhat, r)
+			if cfg.InNoise > 0 {
+				r.FillNormalAdd(xhat, cfg.InNoise)
+			}
+			saturated = t.analogReadInto(z, xhat, r, s)
 			reads++
 		}
 
@@ -391,49 +453,47 @@ func (t *Tile) MVMRow(xs []float32, r *rng.Rand) []float32 {
 
 		// Digital rescale by α·γ_j·g_max (Eq. 3).
 		for j := range z {
-			out[j] = scale * t.colScale[j] * z[j] * t.driftComp
+			dst[j] += coef * (scale * t.colScale[j] * z[j] * t.driftComp)
 		}
 		break
 	}
 	t.recordMVM(attempts, reads)
-	return out
 }
 
-// analogRead drives one physical crossbar read of the pulse vector xvec
-// (normalized input units): analog MAC, short-term weight read noise,
-// IR-drop, S-shape nonlinearity, additive output noise, static ADC errors,
-// saturation detection and ADC quantization. The returned z is in
-// normalized (post-ADC) output units.
-func (t *Tile) analogRead(xvec []float32, r *rng.Rand) (z []float32, saturated bool) {
+// analogReadInto drives one physical crossbar read of the pulse vector xvec
+// (normalized input units) into z (len = Cols, overwritten): analog MAC,
+// short-term weight read noise, IR-drop, S-shape nonlinearity, additive
+// output noise, static ADC errors, saturation detection and ADC
+// quantization. z is in normalized (post-ADC) output units.
+func (t *Tile) analogReadInto(z, xvec []float32, r *rng.Rand, s *readScratch) (saturated bool) {
 	cfg := &t.cfg
-	z = tensor.VecMul(xvec, t.wEff)
+	tensor.VecMulInto(z, xvec, t.wEff)
 
 	// Short-term weight read noise: Σ_k x̂_k·σ_w·ξ_kj collapses to
 	// N(0, σ_w²·‖x̂‖²) independently per column — exact in distribution,
 	// avoiding rows×cols Gaussian draws per read. The 1/f read-noise floor
 	// after drift adds the same way.
-	if sigma := float32(math.Hypot(float64(cfg.WNoise), float64(t.readStd))); sigma > 0 {
+	if sigma := t.wReadSigma; sigma > 0 {
 		var xnorm2 float64
 		for _, v := range xvec {
 			xnorm2 += float64(v) * float64(v)
 		}
 		sn := sigma * float32(math.Sqrt(xnorm2))
-		for j := range z {
-			z[j] += sn * r.NormFloat32()
-		}
+		r.FillNormalAdd(z, sn)
 	}
 
 	// Deterministic IR-drop: columns sinking more current droop more.
 	if cfg.IRDropScale > 0 {
 		t.ensureAbsW()
-		xabs := make([]float32, len(xvec))
+		xabs := grow(&s.xabs, len(xvec))
 		for k, v := range xvec {
 			if v < 0 {
 				v = -v
 			}
 			xabs[k] = v
 		}
-		load := tensor.VecMul(xabs, t.absW)
+		load := grow(&s.load, t.cols)
+		tensor.VecMulInto(load, xabs, t.absW)
 		invRows := 1 / float32(t.rows)
 		for j := range z {
 			att := cfg.IRDropScale * irGamma * load[j] * invRows
@@ -451,9 +511,7 @@ func (t *Tile) analogRead(xvec []float32, r *rng.Rand) (z []float32, saturated b
 		}
 	}
 	if cfg.OutNoise > 0 {
-		for j := range z {
-			z[j] += cfg.OutNoise * r.NormFloat32()
-		}
+		r.FillNormalAdd(z, cfg.OutNoise)
 	}
 
 	// Static ADC column errors (gain mismatch, then offset).
@@ -470,13 +528,32 @@ func (t *Tile) analogRead(xvec []float32, r *rng.Rand) (z []float32, saturated b
 
 	// Saturation detection, then ADC conversion.
 	limit := cfg.OutBound * 0.999
+	if inv := t.invOutSteps; inv != 0 {
+		// Power-of-two step count: quantizeBounded's (…/half)·bound tail
+		// becomes (…·inv)·bound — an exact reciprocal multiply.
+		bound := cfg.OutBound
+		half := float32(cfg.OutSteps)
+		for j := range z {
+			v := z[j]
+			if v >= limit || v <= -limit {
+				saturated = true
+			}
+			if v > bound {
+				v = bound
+			} else if v < -bound {
+				v = -bound
+			}
+			z[j] = float32(math.Round(float64(v/bound*half))) * inv * bound
+		}
+		return saturated
+	}
 	for j := range z {
 		if z[j] >= limit || z[j] <= -limit {
 			saturated = true
 		}
 		z[j] = quantizeBounded(z[j], cfg.OutBound, cfg.OutSteps)
 	}
-	return z, saturated
+	return saturated
 }
 
 // bitPlanes returns the number of binary pulse planes needed to stream an
@@ -492,19 +569,20 @@ func (t *Tile) bitPlanes() int {
 	return planes
 }
 
-// bitSerialRead streams the input as signed binary pulse planes: the
-// quantized integer magnitude m_k ∈ [−InSteps, InSteps] is decomposed into
-// bits, each plane ±1/0 pulses drive one full analog read (with its own
-// noise and ADC conversion), and the digitized planes are shift-added as
-// z = Σ_b 2^b·z_b / InSteps. Requires InSteps > 0.
-func (t *Tile) bitSerialRead(xs []float32, scale float32, r *rng.Rand) (z []float32, saturated bool) {
+// bitSerialReadInto streams the input as signed binary pulse planes into z
+// (len = Cols, overwritten): the quantized integer magnitude
+// m_k ∈ [−InSteps, InSteps] is decomposed into bits, each plane ±1/0 pulses
+// drive one full analog read (with its own noise and ADC conversion), and
+// the digitized planes are shift-added as z = Σ_b 2^b·z_b / InSteps.
+// Requires InSteps > 0.
+func (t *Tile) bitSerialReadInto(z, xs []float32, scale float32, r *rng.Rand, s *readScratch) (saturated bool) {
 	cfg := &t.cfg
 	if cfg.InSteps <= 0 {
 		panic("analog: BitSerial requires InSteps > 0")
 	}
 	steps := float32(cfg.InSteps)
-	mags := make([]int32, t.rows)
-	signs := make([]float32, t.rows)
+	mags := growI32(&s.mags, t.rows)
+	signs := grow(&s.signs, t.rows)
 	for k, v := range xs {
 		q := v / scale
 		if q > 1 {
@@ -522,8 +600,11 @@ func (t *Tile) bitSerialRead(xs []float32, scale float32, r *rng.Rand) (z []floa
 		}
 	}
 	planes := t.bitPlanes()
-	z = make([]float32, t.cols)
-	pulse := make([]float32, t.rows)
+	for j := range z {
+		z[j] = 0
+	}
+	pulse := grow(&s.pulse, t.rows)
+	zb := grow(&s.zb, t.cols)
 	pow := float32(1)
 	for b := 0; b < planes; b++ {
 		for k := range pulse {
@@ -531,12 +612,12 @@ func (t *Tile) bitSerialRead(xs []float32, scale float32, r *rng.Rand) (z []floa
 			if mags[k]&(1<<uint(b)) != 0 {
 				p = signs[k]
 			}
-			if cfg.InNoise > 0 {
-				p += cfg.InNoise * r.NormFloat32()
-			}
 			pulse[k] = p
 		}
-		zb, sat := t.analogRead(pulse, r)
+		if cfg.InNoise > 0 {
+			r.FillNormalAdd(pulse, cfg.InNoise)
+		}
+		sat := t.analogReadInto(zb, pulse, r, s)
 		if sat {
 			saturated = true
 		}
@@ -546,7 +627,7 @@ func (t *Tile) bitSerialRead(xs []float32, scale float32, r *rng.Rand) (z []floa
 		}
 		pow *= 2
 	}
-	return z, saturated
+	return saturated
 }
 
 // recordMVM folds one MVM (attempts bound-management attempts totalling

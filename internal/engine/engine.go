@@ -22,6 +22,7 @@ import (
 	"container/list"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -239,18 +240,42 @@ func (d *Deployment) Eval(sequences [][]int) nn.EvalResult {
 	d.evals[key] = entry
 	d.evalMu.Unlock()
 
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocs0 := ms.Mallocs
+	reads0 := d.analogMVMs()
+
 	start := time.Now()
 	res := d.runner.Eval(sequences, d.eng.cfg.EvalWorkers)
+	elapsed := time.Since(start)
 	entry.res = res
 	close(entry.ready)
 
+	runtime.ReadMemStats(&ms)
+
 	s := &d.eng.stats
 	s.evalRuns.Add(1)
-	s.evalNanos.Add(time.Since(start).Nanoseconds())
+	s.evalNanos.Add(elapsed.Nanoseconds())
 	s.sequences.Add(int64(res.Evaluated))
 	s.skipped.Add(int64(res.Skipped))
 	s.tokens.Add(res.Tokens)
+	s.analogReads.Add(d.analogMVMs() - reads0)
+	s.mallocs.Add(int64(ms.Mallocs - mallocs0))
 	return res
+}
+
+// analogMVMs sums the analog MVM read counters across the deployment's
+// operators (zero for digital deployments). Deltas around an eval measure
+// the crossbar reads that eval issued.
+func (d *Deployment) analogMVMs() int64 {
+	type costOp interface{ CostCounters() analog.OpCounters }
+	var total int64
+	for _, spec := range d.runner.Model().Linears() {
+		if op, ok := d.runner.Linear(spec.Name).(costOp); ok {
+			total += op.CostCounters().MVMs
+		}
+	}
+	return total
 }
 
 // EvalAccuracy is Eval reduced to the accuracy scalar.
@@ -286,12 +311,14 @@ type statCounters struct {
 	evictions    atomic.Int64
 	deployNanos  atomic.Int64
 
-	evalRuns  atomic.Int64
-	evalHits  atomic.Int64
-	evalNanos atomic.Int64
-	sequences atomic.Int64
-	skipped   atomic.Int64
-	tokens    atomic.Int64
+	evalRuns    atomic.Int64
+	evalHits    atomic.Int64
+	evalNanos   atomic.Int64
+	sequences   atomic.Int64
+	skipped     atomic.Int64
+	tokens      atomic.Int64
+	analogReads atomic.Int64
+	mallocs     atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of engine activity.
@@ -306,6 +333,16 @@ type Stats struct {
 	Sequences    int64         // sequences scored (excluding skips)
 	SkippedSeqs  int64         // sequences skipped as too short
 	Tokens       int64         // context tokens forwarded during evals
+
+	// AnalogReads counts analog tile MVM reads issued by evaluation runs
+	// (per-operator hardware counter deltas around each eval; zero for
+	// digital deployments).
+	AnalogReads int64
+	// Mallocs counts heap allocations during evaluation runs, measured as
+	// runtime.MemStats.Mallocs deltas around each eval. The counter is
+	// process-global, so concurrent non-eval work inflates it; treat it as
+	// an upper bound that approaches exact on quiet single-eval runs.
+	Mallocs int64
 }
 
 // Stats returns a consistent snapshot of the engine counters.
@@ -322,6 +359,8 @@ func (e *Engine) Stats() Stats {
 		Sequences:    s.sequences.Load(),
 		SkippedSeqs:  s.skipped.Load(),
 		Tokens:       s.tokens.Load(),
+		AnalogReads:  s.analogReads.Load(),
+		Mallocs:      s.mallocs.Load(),
 	}
 }
 
@@ -336,12 +375,32 @@ func (s Stats) TokensPerSecond() float64 {
 	return float64(s.Tokens) / s.EvalTime.Seconds()
 }
 
+// ReadsPerSecond is the analog MVM read throughput over cumulative eval
+// wall-clock (0 before any eval, and for all-digital runs).
+func (s Stats) ReadsPerSecond() float64 {
+	if s.EvalTime <= 0 {
+		return 0
+	}
+	return float64(s.AnalogReads) / s.EvalTime.Seconds()
+}
+
+// AllocsPerSequence is the average heap allocations per evaluated sequence
+// (0 before any eval). See Stats.Mallocs for measurement caveats.
+func (s Stats) AllocsPerSequence() float64 {
+	if s.Sequences <= 0 {
+		return 0
+	}
+	return float64(s.Mallocs) / float64(s.Sequences)
+}
+
 // String renders the snapshot as a compact single-block summary.
 func (s Stats) String() string {
 	return fmt.Sprintf(
 		"engine: deploys=%d hits=%d evictions=%d deploy-time=%s | "+
-			"evals=%d eval-hits=%d eval-time=%s | seqs=%d skipped=%d tokens=%d (%.0f tok/s)",
+			"evals=%d eval-hits=%d eval-time=%s | seqs=%d skipped=%d tokens=%d (%.0f tok/s) | "+
+			"reads=%d (%.0f reads/s) allocs=%d (%.1f allocs/seq)",
 		s.DeployBuilds, s.DeployHits, s.Evictions, s.DeployTime.Round(time.Millisecond),
 		s.Evals, s.EvalHits, s.EvalTime.Round(time.Millisecond),
-		s.Sequences, s.SkippedSeqs, s.Tokens, s.TokensPerSecond())
+		s.Sequences, s.SkippedSeqs, s.Tokens, s.TokensPerSecond(),
+		s.AnalogReads, s.ReadsPerSecond(), s.Mallocs, s.AllocsPerSequence())
 }

@@ -198,8 +198,22 @@ func TestEvalStatsAndThroughput(t *testing.T) {
 	if s.TokensPerSecond() <= 0 {
 		t.Fatalf("throughput not positive: %+v", s)
 	}
+	if s.AnalogReads != 0 {
+		t.Fatalf("digital deployment counted analog reads: %+v", s)
+	}
+	if s.Mallocs <= 0 || s.AllocsPerSequence() <= 0 {
+		t.Fatalf("eval allocation accounting: %+v", s)
+	}
 	if s.String() == "" {
 		t.Fatal("empty stats string")
+	}
+
+	// An analog deployment must attribute its crossbar reads to the eval.
+	adep := eng.Deploy(Request{Model: "m", Net: m, Mode: core.DeployAnalogNaive, Config: testConfig()})
+	adep.Eval(testSeqs(3, 6))
+	s = eng.Stats()
+	if s.AnalogReads <= 0 || s.ReadsPerSecond() <= 0 {
+		t.Fatalf("analog read accounting: %+v", s)
 	}
 }
 

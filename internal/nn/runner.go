@@ -39,12 +39,33 @@ func (d *DigitalLinear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return y
 }
 
+// ForwardInto implements ForwardIntoOp.
+func (d *DigitalLinear) ForwardInto(out, x *tensor.Matrix) {
+	tensor.MatMulInto(out, x, d.spec.W)
+	if d.spec.B != nil {
+		out.AddRowVecInPlace(d.spec.B)
+	}
+}
+
+// ForwardIntoOp is a LinearOp that can write its result into caller-owned
+// storage instead of allocating a fresh matrix per call. Results must be
+// bit-identical to Forward. The inference runner uses this to keep the
+// steady-state forward pass allocation-free.
+type ForwardIntoOp interface {
+	LinearOp
+	ForwardInto(out, x *tensor.Matrix)
+}
+
 // Runner executes the inference forward pass of a model with pluggable
 // linear operators. A fresh Runner uses exact digital linears everywhere
 // (the paper's "Digital Full precision" baseline).
 type Runner struct {
 	model *Model
 	ops   map[string]LinearOp
+
+	// layerNames pre-renders the "layer%d.%s" operator keys so the per-block
+	// inference loop does not format strings (and allocate) on every call.
+	layerNames []map[string]string
 
 	// PreLinear, when non-nil, observes the input activations of every
 	// linear layer just before the operator runs. NORA's calibration pass
@@ -57,6 +78,17 @@ func NewRunner(m *Model) *Runner {
 	r := &Runner{model: m, ops: make(map[string]LinearOp)}
 	for _, spec := range m.Linears() {
 		r.ops[spec.Name] = NewDigitalLinear(spec)
+	}
+	r.layerNames = make([]map[string]string, len(m.Blocks))
+	for l := range m.Blocks {
+		names := make(map[string]string)
+		for _, suffix := range []string{
+			"attn.q", "attn.k", "attn.v", "attn.o",
+			"mlp.fc1", "mlp.fc2", "mlp.gate", "mlp.up", "mlp.down",
+		} {
+			names[suffix] = fmt.Sprintf("layer%d.%s", l, suffix)
+		}
+		r.layerNames[l] = names
 	}
 	return r
 }
@@ -107,7 +139,7 @@ func (r *Runner) WithNoiseScope(label string) *Runner {
 			ops[name] = op
 		}
 	}
-	return &Runner{model: r.model, ops: ops, PreLinear: r.PreLinear}
+	return &Runner{model: r.model, ops: ops, layerNames: r.layerNames, PreLinear: r.PreLinear}
 }
 
 // hasScopedOps reports whether any installed operator carries re-derivable
@@ -121,6 +153,23 @@ func (r *Runner) hasScopedOps() bool {
 	return false
 }
 
+// maskCache memoizes CausalMask results for the inference path: eval
+// workloads re-walk the same few sequence lengths thousands of times, and
+// the masks are read-only once built (attentionInfer only ever adds them
+// into fresh score matrices). Keys are (n, window), so the cache stays
+// bounded by the distinct context lengths seen. The training path keeps
+// building private masks — its tape records gradients through them.
+var maskCache sync.Map
+
+func cachedCausalMask(n, window int) *tensor.Matrix {
+	key := [2]int{n, window}
+	if m, ok := maskCache.Load(key); ok {
+		return m.(*tensor.Matrix)
+	}
+	m, _ := maskCache.LoadOrStore(key, CausalMask(n, window))
+	return m.(*tensor.Matrix)
+}
+
 func (r *Runner) apply(name string, x *tensor.Matrix) *tensor.Matrix {
 	if r.PreLinear != nil {
 		r.PreLinear(name, x)
@@ -132,14 +181,70 @@ func (r *Runner) apply(name string, x *tensor.Matrix) *tensor.Matrix {
 	return op.Forward(x)
 }
 
+// applyInto runs the named operator writing into out (caller-owned, fully
+// overwritten). Operators without a ForwardInto fast path fall back to
+// Forward plus a copy, so custom LinearOps keep working unchanged.
+func (r *Runner) applyInto(name string, x, out *tensor.Matrix) {
+	if r.PreLinear != nil {
+		r.PreLinear(name, x)
+	}
+	op, ok := r.ops[name]
+	if !ok {
+		panic(fmt.Sprintf("nn: no operator for layer %q", name))
+	}
+	if fi, ok := op.(ForwardIntoOp); ok {
+		fi.ForwardInto(out, x)
+		return
+	}
+	res := op.Forward(x)
+	if res.Rows != out.Rows || res.Cols != out.Cols {
+		panic(fmt.Sprintf("nn: %s: result %dx%d, expected %dx%d", name, res.Rows, res.Cols, out.Rows, out.Cols))
+	}
+	copy(out.Data, res.Data)
+}
+
+// inferScratch pools every intermediate activation matrix of one Logits
+// call. All buffers are fully overwritten before being read (linear Into
+// kernels, norm Into helpers and attentionInferInto overwrite their
+// destinations), so reuse across calls and goroutines cannot perturb
+// results — the forward pass stays bit-identical to the historical
+// allocate-per-step implementation while doing no steady-state heap work.
+type inferScratch struct {
+	x    []float32 // residual stream (n × dmodel), updated in place
+	h    []float32 // normed activations / MLP output staging (n × dmodel)
+	q    []float32 // query projection (n × dmodel)
+	k    []float32 // key projection (n × kv width)
+	v    []float32 // value projection (n × kv width)
+	attn []float32 // attention mix output (n × dmodel)
+	o    []float32 // per-block linear output staging (n × dmodel)
+	ff1  []float32 // first MLP projection / gate (n × ff)
+	ff2  []float32 // up projection, LLaMA-style MLP (n × ff)
+	pos  []int     // position indices [0, n)
+}
+
+var inferPool = sync.Pool{New: func() any { return new(inferScratch) }}
+
+func growInt(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // Logits runs the full forward pass, returning (len(tokens) × vocab) logits.
+// Every intermediate activation lives in pooled scratch; the only per-call
+// allocation in steady state is the returned logits matrix.
 func (r *Runner) Logits(tokens []int) *tensor.Matrix {
 	m := r.model
 	n := len(tokens)
 	if n == 0 || n > m.Cfg.MaxSeq {
 		panic("nn: Logits sequence length out of range")
 	}
-	x := tensor.New(n, m.Cfg.DModel)
+	s := inferPool.Get().(*inferScratch)
+	defer inferPool.Put(s)
+	d := m.Cfg.DModel
+	x := tensor.FromSlice(n, d, growF(&s.x, n*d))
 	for i, id := range tokens {
 		if id < 0 || id >= m.Cfg.Vocab {
 			panic(fmt.Sprintf("nn: token %d out of range", id))
@@ -151,61 +256,76 @@ func (r *Runner) Logits(tokens []int) *tensor.Matrix {
 			tensor.Axpy(1, m.PosEmb.Value.Row(i), x.Row(i))
 		}
 	}
-	mask := CausalMask(n, m.Cfg.Window)
-	positions := make([]int, n)
+	mask := cachedCausalMask(n, m.Cfg.Window)
+	positions := growInt(&s.pos, n)
 	for i := range positions {
 		positions[i] = i
 	}
 	for l, b := range m.Blocks {
-		x = r.blockInfer(l, b, x, mask, positions)
+		r.blockInfer(l, b, x, mask, positions, s)
 	}
-	var h *tensor.Matrix
+	h := tensor.FromSlice(n, d, growF(&s.h, n*d))
 	if m.Cfg.Arch == ArchOPT {
-		h = layerNormInfer(x, m.FinalNormGain.Value.Row(0), m.FinalNormBias.Value.Row(0))
+		layerNormInferInto(h, x, m.FinalNormGain.Value.Row(0), m.FinalNormBias.Value.Row(0))
 	} else {
-		h = rmsNormInfer(x, m.FinalNormGain.Value.Row(0))
+		rmsNormInferInto(h, x, m.FinalNormGain.Value.Row(0))
 	}
 	return tensor.MatMul(h, m.LMHead.Value)
 }
 
-func (r *Runner) blockInfer(layer int, b *Block, x, mask *tensor.Matrix, positions []int) *tensor.Matrix {
+// blockInfer runs one transformer block over the residual stream x in place,
+// staging every intermediate in the call's pooled scratch.
+func (r *Runner) blockInfer(layer int, b *Block, x, mask *tensor.Matrix, positions []int, s *inferScratch) {
 	m := r.model
-	p := func(s string) string { return fmt.Sprintf("layer%d.%s", layer, s) }
+	p := func(s string) string { return r.layerNames[layer][s] }
+	n, d := x.Rows, x.Cols
 
-	var h *tensor.Matrix
+	h := tensor.FromSlice(n, d, growF(&s.h, n*d))
 	if m.Cfg.Arch == ArchOPT {
-		h = layerNormInfer(x, b.AttnNormGain.Value.Row(0), b.AttnNormBias.Value.Row(0))
+		layerNormInferInto(h, x, b.AttnNormGain.Value.Row(0), b.AttnNormBias.Value.Row(0))
 	} else {
-		h = rmsNormInfer(x, b.AttnNormGain.Value.Row(0))
+		rmsNormInferInto(h, x, b.AttnNormGain.Value.Row(0))
 	}
-	q := r.apply(p("attn.q"), h)
-	k := r.apply(p("attn.k"), h)
-	v := r.apply(p("attn.v"), h)
+	q := tensor.FromSlice(n, b.WQ.Value.Cols, growF(&s.q, n*b.WQ.Value.Cols))
+	k := tensor.FromSlice(n, b.WK.Value.Cols, growF(&s.k, n*b.WK.Value.Cols))
+	v := tensor.FromSlice(n, b.WV.Value.Cols, growF(&s.v, n*b.WV.Value.Cols))
+	r.applyInto(p("attn.q"), h, q)
+	r.applyInto(p("attn.k"), h, k)
+	r.applyInto(p("attn.v"), h, v)
 	if m.Cfg.Arch == ArchLLaMA {
 		ropeInferInPlace(q, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
 		ropeInferInPlace(k, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
 	}
-	attn := attentionInfer(q, k, v, m.Cfg.NHeads, m.Cfg.KVHeads(), mask)
-	x = tensor.Add(x, r.apply(p("attn.o"), attn))
+	attn := tensor.FromSlice(n, d, growF(&s.attn, n*d))
+	attentionInferInto(attn, q, k, v, m.Cfg.NHeads, m.Cfg.KVHeads(), mask)
+	o := tensor.FromSlice(n, d, growF(&s.o, n*d))
+	r.applyInto(p("attn.o"), attn, o)
+	x.AddInPlace(o)
 
 	if m.Cfg.Arch == ArchOPT {
-		h = layerNormInfer(x, b.MLPNormGain.Value.Row(0), b.MLPNormBias.Value.Row(0))
-		h = r.apply(p("mlp.fc1"), h)
-		h.ApplyInPlace(func(v float32) float32 {
+		layerNormInferInto(h, x, b.MLPNormGain.Value.Row(0), b.MLPNormBias.Value.Row(0))
+		ff := b.W1.Value.Cols
+		f1 := tensor.FromSlice(n, ff, growF(&s.ff1, n*ff))
+		r.applyInto(p("mlp.fc1"), h, f1)
+		f1.ApplyInPlace(func(v float32) float32 {
 			if v > 0 {
 				return v
 			}
 			return 0
 		})
-		h = r.apply(p("mlp.fc2"), h)
+		r.applyInto(p("mlp.fc2"), f1, o)
 	} else {
-		h = rmsNormInfer(x, b.MLPNormGain.Value.Row(0))
-		gate := r.apply(p("mlp.gate"), h)
+		rmsNormInferInto(h, x, b.MLPNormGain.Value.Row(0))
+		ff := b.WGate.Value.Cols
+		gate := tensor.FromSlice(n, ff, growF(&s.ff1, n*ff))
+		r.applyInto(p("mlp.gate"), h, gate)
 		gate.ApplyInPlace(siluScalar)
-		up := r.apply(p("mlp.up"), h)
-		h = r.apply(p("mlp.down"), tensor.Mul(gate, up))
+		up := tensor.FromSlice(n, ff, growF(&s.ff2, n*ff))
+		r.applyInto(p("mlp.up"), h, up)
+		gate.MulInPlace(up)
+		r.applyInto(p("mlp.down"), gate, o)
 	}
-	return tensor.Add(x, h)
+	x.AddInPlace(o)
 }
 
 // PredictLast returns the argmax next-token prediction at the final
@@ -329,6 +449,11 @@ func (r *Runner) Eval(sequences [][]int, workers int) EvalResult {
 
 func layerNormInfer(x *tensor.Matrix, gain, bias []float32) *tensor.Matrix {
 	out := tensor.New(x.Rows, x.Cols)
+	layerNormInferInto(out, x, gain, bias)
+	return out
+}
+
+func layerNormInferInto(out, x *tensor.Matrix, gain, bias []float32) {
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		var mean float64
@@ -348,11 +473,15 @@ func layerNormInfer(x *tensor.Matrix, gain, bias []float32) *tensor.Matrix {
 			o[j] = (v-float32(mean))*is*gain[j] + bias[j]
 		}
 	}
-	return out
 }
 
 func rmsNormInfer(x *tensor.Matrix, gain []float32) *tensor.Matrix {
 	out := tensor.New(x.Rows, x.Cols)
+	rmsNormInferInto(out, x, gain)
+	return out
+}
+
+func rmsNormInferInto(out, x *tensor.Matrix, gain []float32) {
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		var ms float64
@@ -366,20 +495,43 @@ func rmsNormInfer(x *tensor.Matrix, gain []float32) *tensor.Matrix {
 			o[j] = v * ir * gain[j]
 		}
 	}
-	return out
 }
 
 func siluScalar(v float32) float32 {
 	return float32(float64(v) / (1 + math.Exp(-float64(v))))
 }
 
+// ropeFreqCache memoizes the per-index RoPE frequencies base^(−2i/headDim):
+// they depend only on (headDim, base), and recomputing math.Pow per element
+// per call dominated the rotary cost. The cached values are produced by the
+// exact expression the loop historically evaluated, so rotations are
+// bit-identical.
+var ropeFreqCache sync.Map
+
+func ropeFreqs(headDim int, base float64) []float64 {
+	type key struct {
+		headDim int
+		base    float64
+	}
+	k := key{headDim, base}
+	if f, ok := ropeFreqCache.Load(k); ok {
+		return f.([]float64)
+	}
+	freqs := make([]float64, headDim/2)
+	for i := range freqs {
+		freqs[i] = math.Pow(base, -2*float64(i)/float64(headDim))
+	}
+	f, _ := ropeFreqCache.LoadOrStore(k, freqs)
+	return f.([]float64)
+}
+
 func ropeInferInPlace(x *tensor.Matrix, headDim int, positions []int, base float64) {
+	freqs := ropeFreqs(headDim, base)
 	for r := 0; r < x.Rows; r++ {
 		pos := float64(positions[r])
 		row := x.Row(r)
 		for c := 0; c < x.Cols/2; c++ {
-			i := c % (headDim / 2)
-			theta := pos * math.Pow(base, -2*float64(i)/float64(headDim))
+			theta := pos * freqs[c%(headDim/2)]
 			co, si := float32(math.Cos(theta)), float32(math.Sin(theta))
 			x0, x1 := row[2*c], row[2*c+1]
 			row[2*c] = x0*co - x1*si
@@ -388,22 +540,54 @@ func ropeInferInPlace(x *tensor.Matrix, headDim int, positions []int, base float
 	}
 }
 
+// attnScratch pools the per-head working matrices of attentionInfer so the
+// inference attention path stops allocating per head per layer per call.
+// Every buffer is fully overwritten before it is read (the Into kernels
+// zero their destinations), so reuse cannot perturb results.
+type attnScratch struct {
+	qh, kh, vh, scores, av []float32
+}
+
+var attnPool = sync.Pool{New: func() any { return new(attnScratch) }}
+
+func growF(buf *[]float32, n int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 func attentionInfer(q, k, v *tensor.Matrix, nHeads, kvHeads int, mask *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(q.Rows, q.Cols)
+	attentionInferInto(out, q, k, v, nHeads, kvHeads, mask)
+	return out
+}
+
+// attentionInferInto writes multi-head attention into out (q.Rows × q.Cols,
+// fully overwritten), staging per-head slices in pooled scratch.
+func attentionInferInto(out, q, k, v *tensor.Matrix, nHeads, kvHeads int, mask *tensor.Matrix) {
 	dh := q.Cols / nHeads
 	group := nHeads / kvHeads
 	scale := float32(1 / math.Sqrt(float64(dh)))
-	out := tensor.New(q.Rows, q.Cols)
+	s := attnPool.Get().(*attnScratch)
+	qh := tensor.FromSlice(q.Rows, dh, growF(&s.qh, q.Rows*dh))
+	kh := tensor.FromSlice(k.Rows, dh, growF(&s.kh, k.Rows*dh))
+	vh := tensor.FromSlice(v.Rows, dh, growF(&s.vh, v.Rows*dh))
+	av := tensor.FromSlice(q.Rows, dh, growF(&s.av, q.Rows*dh))
+	scores := tensor.FromSlice(q.Rows, k.Rows, growF(&s.scores, q.Rows*k.Rows))
 	for h := 0; h < nHeads; h++ {
 		lo, hi := h*dh, (h+1)*dh
 		kvLo := (h / group) * dh
-		qh := q.SliceCols(lo, hi)
-		kh := k.SliceCols(kvLo, kvLo+dh)
-		vh := v.SliceCols(kvLo, kvLo+dh)
-		scores := tensor.MatMulT(qh, kh)
+		q.SliceColsInto(qh, lo, hi)
+		k.SliceColsInto(kh, kvLo, kvLo+dh)
+		v.SliceColsInto(vh, kvLo, kvLo+dh)
+		tensor.MatMulTInto(scores, qh, kh)
 		scores.ScaleInPlace(scale)
 		scores.AddInPlace(mask)
 		scores.SoftmaxRows()
-		out.PasteCols(lo, tensor.MatMul(scores, vh))
+		tensor.MatMulInto(av, scores, vh)
+		out.PasteCols(lo, av)
 	}
-	return out
+	attnPool.Put(s)
 }

@@ -20,9 +20,8 @@ type Rand struct {
 	inc   uint64
 
 	// cached second Gaussian from Box-Muller
-	gauss   float64
-	hasG    bool
-	gaussOK bool
+	gauss float64
+	hasG  bool
 }
 
 const (
@@ -132,12 +131,11 @@ func (r *Rand) Float32() float32 {
 	return float32(r.Uint32()>>8) / (1 << 24)
 }
 
-// NormFloat64 returns a standard normal variate (Box-Muller with caching).
-func (r *Rand) NormFloat64() float64 {
-	if r.hasG {
-		r.hasG = false
-		return r.gauss
-	}
+// normPair draws one fresh Box-Muller pair, bypassing the one-value cache.
+// The pair (cos, sin) is returned in the order NormFloat64 hands the values
+// out, so batched fills built on normPair reproduce the scalar draw
+// sequence exactly.
+func (r *Rand) normPair() (c, s float64) {
 	for {
 		u := r.Float64()
 		if u == 0 {
@@ -145,11 +143,25 @@ func (r *Rand) NormFloat64() float64 {
 		}
 		v := r.Float64()
 		mag := math.Sqrt(-2 * math.Log(u))
-		ang := 2 * math.Pi * v
-		r.gauss = mag * math.Sin(ang)
-		r.hasG = true
-		return mag * math.Cos(ang)
+		// math.Sincos shares one argument reduction between the two
+		// evaluations; its results are bit-identical to separate
+		// math.Sin/math.Cos calls (asserted by TestSincosBitIdentical),
+		// so the historical draw values are preserved exactly.
+		sin, cos := math.Sincos(2 * math.Pi * v)
+		return mag * cos, mag * sin
 	}
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller with caching).
+func (r *Rand) NormFloat64() float64 {
+	if r.hasG {
+		r.hasG = false
+		return r.gauss
+	}
+	c, s := r.normPair()
+	r.gauss = s
+	r.hasG = true
+	return c
 }
 
 // NormFloat32 returns a standard normal variate as float32.
@@ -179,9 +191,48 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 }
 
 // FillNormal fills dst with i.i.d. Gaussian(mu, sigma) float32 samples.
+// The draw sequence (including the Box-Muller pair cache) is identical to
+// calling mu + sigma*NormFloat32() once per element.
 func (r *Rand) FillNormal(dst []float32, mu, sigma float32) {
-	for i := range dst {
-		dst[i] = mu + sigma*r.NormFloat32()
+	i := 0
+	if r.hasG && len(dst) > 0 {
+		r.hasG = false
+		dst[0] = mu + sigma*float32(r.gauss)
+		i = 1
+	}
+	for ; i+1 < len(dst); i += 2 {
+		c, s := r.normPair()
+		dst[i] = mu + sigma*float32(c)
+		dst[i+1] = mu + sigma*float32(s)
+	}
+	if i < len(dst) {
+		c, s := r.normPair()
+		dst[i] = mu + sigma*float32(c)
+		r.gauss, r.hasG = s, true
+	}
+}
+
+// FillNormalAdd adds sigma-scaled standard normal samples to dst in place:
+// dst[i] += sigma*N(0,1). The draw order is bit-identical to the scalar
+// loop dst[i] += sigma*NormFloat32() — the batched form exists so hot read
+// paths (input/output/weight-read noise) pay one call instead of one per
+// element, without perturbing any downstream stream state.
+func (r *Rand) FillNormalAdd(dst []float32, sigma float32) {
+	i := 0
+	if r.hasG && len(dst) > 0 {
+		r.hasG = false
+		dst[0] += sigma * float32(r.gauss)
+		i = 1
+	}
+	for ; i+1 < len(dst); i += 2 {
+		c, s := r.normPair()
+		dst[i] += sigma * float32(c)
+		dst[i+1] += sigma * float32(s)
+	}
+	if i < len(dst) {
+		c, s := r.normPair()
+		dst[i] += sigma * float32(c)
+		r.gauss, r.hasG = s, true
 	}
 }
 

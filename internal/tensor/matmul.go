@@ -11,10 +11,32 @@ import (
 // saves.
 const parallelThreshold = 64 * 1024
 
+// kPanelBytes bounds the working set of one k-panel (the rows of b a blocked
+// kernel streams repeatedly) so it stays resident in L1/L2 across the output
+// rows that reuse it.
+const kPanelBytes = 16 * 1024
+
+// kPanelFor returns the number of k-rows per panel for row width n, so a
+// panel occupies about kPanelBytes. Panels never shrink below 16 rows: the
+// blocking overhead would exceed the locality win.
+func kPanelFor(n int) int {
+	if n <= 0 {
+		return 16
+	}
+	kc := kPanelBytes / (4 * n)
+	if kc < 16 {
+		kc = 16
+	}
+	return kc
+}
+
 // MatMul returns a·b. Panics if the inner dimensions disagree.
 //
 // The kernel uses the i-k-j loop order so the innermost loop streams both a
-// row of b and a row of the output, and parallelizes across row blocks of a.
+// row of b and a row of the output, k-panel blocks b for cache reuse across
+// output rows, and parallelizes across row blocks of a. Accumulation into
+// every output element happens in strictly increasing k order, so results
+// are bit-identical to the naive triple loop.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dim %d != %d", a.Cols, b.Rows))
@@ -22,6 +44,21 @@ func MatMul(a, b *Matrix) *Matrix {
 	out := New(a.Rows, b.Cols)
 	matMulInto(out, a, b)
 	return out
+}
+
+// MatMulInto computes out = a·b into caller-owned storage, overwriting out
+// without allocating. Results are bit-identical to MatMul.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim %d != %d", a.Cols, b.Rows))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto out %dx%d, expected %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	matMulInto(out, a, b)
 }
 
 func matMulInto(out, a, b *Matrix) {
@@ -52,17 +89,57 @@ func matMulInto(out, a, b *Matrix) {
 
 func matMulRange(out, a, b *Matrix, rowLo, rowHi int) {
 	n := b.Cols
-	for i := rowLo; i < rowHi; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*n : k*n+n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+	if n == 0 {
+		return
+	}
+	kc := kPanelFor(n)
+	for k0 := 0; k0 < a.Cols; k0 += kc {
+		k1 := k0 + kc
+		if k1 > a.Cols {
+			k1 = a.Cols
+		}
+		for i := rowLo; i < rowHi; i++ {
+			accumRows(out.Row(i), a.Row(i)[k0:k1], b, k0)
+		}
+	}
+}
+
+// accumRows computes dst[j] += Σ_k x[k]·b[k0+k][j] — the shared axpy kernel
+// behind MatMul and VecMul. The k loop is unrolled 4-way with one load/store
+// of dst per group instead of per row; each dst element still receives its
+// addends in strictly increasing k order, so the result is bit-identical to
+// the scalar loop (adding a zero product is exact: the accumulator can never
+// be −0, because it starts at the running +0-rooted sum).
+func accumRows(dst, x []float32, b *Matrix, k0 int) {
+	n := b.Cols
+	k := 0
+	for ; k+3 < len(x); k += 4 {
+		x0, x1, x2, x3 := x[k], x[k+1], x[k+2], x[k+3]
+		if x0 == 0 && x1 == 0 && x2 == 0 && x3 == 0 {
+			continue
+		}
+		base := (k0 + k) * n
+		r0 := b.Data[base : base+n][:len(dst)]
+		r1 := b.Data[base+n : base+2*n][:len(dst)]
+		r2 := b.Data[base+2*n : base+3*n][:len(dst)]
+		r3 := b.Data[base+3*n : base+4*n][:len(dst)]
+		for j, d := range dst {
+			d += x0 * r0[j]
+			d += x1 * r1[j]
+			d += x2 * r2[j]
+			d += x3 * r3[j]
+			dst[j] = d
+		}
+	}
+	for ; k < len(x); k++ {
+		xv := x[k]
+		if xv == 0 {
+			continue
+		}
+		base := (k0 + k) * n
+		row := b.Data[base : base+n][:len(dst)]
+		for j, rv := range row {
+			dst[j] += xv * rv
 		}
 	}
 }
@@ -70,14 +147,29 @@ func matMulRange(out, a, b *Matrix, rowLo, rowHi int) {
 // MatMulT returns a·bᵀ without materializing the transpose. b is treated as
 // a (cols(a) × rows(b)) matrix read row-wise, i.e. out[i,j] = Σ_k a[i,k]·b[j,k].
 func MatMulT(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulTInto(out, a, b)
+	return out
+}
+
+// MatMulTInto computes out = a·bᵀ into caller-owned storage, overwriting out
+// without allocating. Results are bit-identical to MatMulT.
+func MatMulTInto(out, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT inner dim %d != %d", a.Cols, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTInto out %dx%d, expected %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	// matMulTRange accumulates onto the running sums already in out, so a
+	// reused destination must start from zero to match MatMulT exactly.
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
 	work := a.Rows * a.Cols * b.Rows
 	if work < parallelThreshold || a.Rows < 2 {
 		matMulTRange(out, a, b, 0, a.Rows)
-		return out
+		return
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > a.Rows {
@@ -97,59 +189,131 @@ func MatMulT(a, b *Matrix) *Matrix {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
+// matMulTRange is the dot-product-oriented kernel: k-panel blocked so the
+// panel of b rows stays cache-resident across output rows, with the column
+// loop unrolled 4-way — four independent accumulator chains share each load
+// of the a row. Every output element accumulates its partial dot products in
+// strictly increasing k order (the running sum round-trips through out
+// between panels, which does not reassociate any addition), so results are
+// bit-identical to the naive version.
 func matMulTRange(out, a, b *Matrix, rowLo, rowHi int) {
-	for i := rowLo; i < rowHi; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float32
-			for k, av := range arow {
-				s += av * brow[k]
+	if b.Rows == 0 || a.Cols == 0 {
+		for i := rowLo; i < rowHi; i++ {
+			orow := out.Row(i)
+			for j := range orow {
+				orow[j] = 0
 			}
-			orow[j] = s
+		}
+		return
+	}
+	kc := kPanelFor(b.Rows)
+	for k0 := 0; k0 < a.Cols; k0 += kc {
+		k1 := k0 + kc
+		if k1 > a.Cols {
+			k1 = a.Cols
+		}
+		for i := rowLo; i < rowHi; i++ {
+			arow := a.Row(i)[k0:k1]
+			orow := out.Row(i)
+			j := 0
+			for ; j+3 < b.Rows; j += 4 {
+				b0 := b.Row(j)[k0:k1]
+				b1 := b.Row(j + 1)[k0:k1]
+				b2 := b.Row(j + 2)[k0:k1]
+				b3 := b.Row(j + 3)[k0:k1]
+				s0, s1, s2, s3 := orow[j], orow[j+1], orow[j+2], orow[j+3]
+				for k, av := range arow {
+					s0 += av * b0[k]
+					s1 += av * b1[k]
+					s2 += av * b2[k]
+					s3 += av * b3[k]
+				}
+				orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+			}
+			for ; j < b.Rows; j++ {
+				brow := b.Row(j)[k0:k1]
+				s := orow[j]
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
+			}
 		}
 	}
 }
 
 // MulVec returns m·x for a column vector x (len = m.Cols).
 func MulVec(m *Matrix, x []float32) []float32 {
+	out := make([]float32, m.Rows)
+	MulVecInto(out, m, x)
+	return out
+}
+
+// MulVecInto computes dst = m·x (len(dst) = m.Rows, len(x) = m.Cols),
+// overwriting dst without allocating. The row loop is unrolled 4-way: four
+// independent dot-product chains share each load of x, and every output
+// element keeps the strict k-order single accumulator chain of the scalar
+// loop, so results are bit-identical.
+func MulVecInto(dst []float32, m *Matrix, x []float32) {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("tensor: MulVec len(x)=%d, cols=%d", len(x), m.Cols))
 	}
-	out := make([]float32, m.Rows)
-	for i := 0; i < m.Rows; i++ {
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: MulVecInto len(dst)=%d, rows=%d", len(dst), m.Rows))
+	}
+	n := m.Cols
+	i := 0
+	for ; i+3 < m.Rows; i += 4 {
+		base := i * n
+		r0 := m.Data[base : base+n][:len(x)]
+		r1 := m.Data[base+n : base+2*n][:len(x)]
+		r2 := m.Data[base+2*n : base+3*n][:len(x)]
+		r3 := m.Data[base+3*n : base+4*n][:len(x)]
+		var s0, s1, s2, s3 float32
+		for k, xv := range x {
+			s0 += r0[k] * xv
+			s1 += r1[k] * xv
+			s2 += r2[k] * xv
+			s3 += r3[k] * xv
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = s0, s1, s2, s3
+	}
+	for ; i < m.Rows; i++ {
 		row := m.Row(i)
 		var s float32
 		for k, v := range row {
 			s += v * x[k]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // VecMul returns xᵀ·m for a row vector x (len = m.Rows); this is the GEMV
 // orientation an analog crossbar computes (inputs on wordlines = rows,
 // outputs on bitlines = columns).
 func VecMul(x []float32, m *Matrix) []float32 {
+	out := make([]float32, m.Cols)
+	VecMulInto(out, x, m)
+	return out
+}
+
+// VecMulInto computes dst = xᵀ·m (len(dst) = m.Cols), overwriting dst
+// without allocating — the zero-allocation kernel behind the analog read
+// path. It shares MatMul's unrolled axpy kernel, so results are
+// bit-identical to the scalar k-j loop.
+func VecMulInto(dst []float32, x []float32, m *Matrix) {
 	if len(x) != m.Rows {
 		panic(fmt.Sprintf("tensor: VecMul len(x)=%d, rows=%d", len(x), m.Rows))
 	}
-	out := make([]float32, m.Cols)
-	for k, xv := range x {
-		if xv == 0 {
-			continue
-		}
-		row := m.Row(k)
-		for j, wv := range row {
-			out[j] += xv * wv
-		}
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: VecMulInto len(dst)=%d, cols=%d", len(dst), m.Cols))
 	}
-	return out
+	for j := range dst {
+		dst[j] = 0
+	}
+	accumRows(dst, x, m, 0)
 }
 
 // Outer returns the outer product a·bᵀ of two vectors as a len(a)×len(b)

@@ -135,10 +135,22 @@ func (m *Matrix) SliceCols(lo, hi int) *Matrix {
 		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range for %d cols", lo, hi, m.Cols))
 	}
 	out := New(m.Rows, hi-lo)
-	for i := 0; i < m.Rows; i++ {
-		copy(out.Row(i), m.Row(i)[lo:hi])
-	}
+	m.SliceColsInto(out, lo, hi)
 	return out
+}
+
+// SliceColsInto copies columns [lo, hi) into dst (m.Rows × hi−lo),
+// overwriting it without allocating.
+func (m *Matrix) SliceColsInto(dst *Matrix, lo, hi int) {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range for %d cols", lo, hi, m.Cols))
+	}
+	if dst.Rows != m.Rows || dst.Cols != hi-lo {
+		panic(fmt.Sprintf("tensor: SliceColsInto dst %dx%d, expected %dx%d", dst.Rows, dst.Cols, m.Rows, hi-lo))
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(dst.Row(i), m.Row(i)[lo:hi])
+	}
 }
 
 // PasteCols copies src into columns [lo, lo+src.Cols) of m.

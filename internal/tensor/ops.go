@@ -35,6 +35,14 @@ func Mul(m, o *Matrix) *Matrix {
 	return out
 }
 
+// MulInPlace multiplies m by o elementwise in place.
+func (m *Matrix) MulInPlace(o *Matrix) {
+	checkSame("MulInPlace", m, o)
+	for i, v := range o.Data {
+		m.Data[i] *= v
+	}
+}
+
 // AddInPlace accumulates o into m.
 func (m *Matrix) AddInPlace(o *Matrix) {
 	checkSame("AddInPlace", m, o)
