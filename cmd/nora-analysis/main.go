@@ -20,6 +20,7 @@ import (
 	"nora/internal/engine"
 	"nora/internal/harness"
 	"nora/internal/model"
+	"nora/internal/rng"
 )
 
 func main() {
@@ -38,7 +39,16 @@ func main() {
 	hwa := flag.Bool("hwa", false, "also compare against hardware-aware noise-injection fine-tuning")
 	hwaSteps := flag.Int("hwasteps", 300, "fine-tuning steps for the HWA baseline")
 	csvPrefix := flag.String("csv", "", "write CSVs with this path prefix")
+	batch := flag.Int("batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
+	stream := flag.String("noise-stream", "v1", "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
 	flag.Parse()
+
+	sv, err := rng.ParseStreamVersion(*stream)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	analog.SetDefaultNoiseStream(sv)
 
 	var specs []model.Spec
 	for _, key := range strings.Split(*models, ",") {
@@ -76,7 +86,7 @@ func main() {
 		}
 	}
 
-	eng := engine.New(engine.Config{})
+	eng := engine.New(engine.Config{BatchRows: *batch})
 	rows := harness.DistributionAnalysis(eng, ws, *layer, analog.PaperPreset())
 	emit(harness.Fig6Table(rows), "fig6")
 

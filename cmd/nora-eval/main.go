@@ -18,6 +18,7 @@ import (
 	"nora/internal/engine"
 	"nora/internal/harness"
 	"nora/internal/model"
+	"nora/internal/rng"
 )
 
 func main() {
@@ -27,11 +28,20 @@ func main() {
 	csvPath := flag.String("csv", "", "also write results as CSV to this path")
 	baselines := flag.Bool("baselines", false, "also compare against digital W8A8 / SmoothQuant PTQ baselines")
 	replicas := flag.Int("replicas", 1, "independent hardware instances per deployment (> 1 adds mean±std)")
+	batch := flag.Int("batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
+	stream := flag.String("noise-stream", "v1", "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
 	flag.Parse()
+
+	sv, err := rng.ParseStreamVersion(*stream)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	analog.SetDefaultNoiseStream(sv)
 
 	var optRows, otherRows []harness.AccuracyRow
 	cfg := analog.PaperPreset()
-	eng := engine.New(engine.Config{})
+	eng := engine.New(engine.Config{BatchRows: *batch})
 
 	if *family == "all" || *family == "opt" {
 		ws, err := harness.LoadZoo(*modelDir, model.OPTSpecs(), *evalN, harness.CalibSize)

@@ -15,9 +15,11 @@ import (
 	"os"
 	"strings"
 
+	"nora/internal/analog"
 	"nora/internal/engine"
 	"nora/internal/harness"
 	"nora/internal/model"
+	"nora/internal/rng"
 )
 
 func main() {
@@ -26,7 +28,16 @@ func main() {
 	mse := flag.Float64("mse", harness.MitigationMSETarget, "matched reference-map MSE level")
 	models := flag.String("models", "", "comma-separated zoo keys (default: all)")
 	csvPath := flag.String("csv", "", "also write results as CSV to this path")
+	batch := flag.Int("batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
+	stream := flag.String("noise-stream", "v1", "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
 	flag.Parse()
+
+	sv, err := rng.ParseStreamVersion(*stream)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	analog.SetDefaultNoiseStream(sv)
 
 	specs := model.Zoo()
 	if *models != "" {
@@ -46,7 +57,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	eng := engine.New(engine.Config{})
+	eng := engine.New(engine.Config{BatchRows: *batch})
 	rows := harness.Mitigation(eng, ws, *mse)
 	tbl := harness.MitigationTable(rows)
 	if err := tbl.WriteText(os.Stdout); err != nil {

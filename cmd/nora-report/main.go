@@ -25,6 +25,7 @@ import (
 	"nora/internal/harness"
 	"nora/internal/model"
 	"nora/internal/prof"
+	"nora/internal/rng"
 )
 
 func main() {
@@ -32,14 +33,22 @@ func main() {
 	out := flag.String("out", "results/report.md", "output markdown path")
 	evalN := flag.Int("eval", harness.EvalSize, "evaluation sequences per point")
 	quick := flag.Bool("quick", false, "reduced sweep for a fast smoke run")
+	batch := flag.Int("batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
+	stream := flag.String("noise-stream", "v1", "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
 	flag.Parse()
 
 	if *quick && *evalN == harness.EvalSize {
 		*evalN = 50
 	}
+	sv, err := rng.ParseStreamVersion(*stream)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	analog.SetDefaultNoiseStream(sv)
 
 	stopProf := prof.Start()
-	err := run(*modelDir, *out, *evalN, *quick)
+	err = run(*modelDir, *out, *evalN, *quick, *batch)
 	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -47,7 +56,7 @@ func main() {
 	}
 }
 
-func run(modelDir, outPath string, evalN int, quick bool) error {
+func run(modelDir, outPath string, evalN int, quick bool, batch int) error {
 	start := time.Now()
 	if err := os.MkdirAll(dirOf(outPath), 0o755); err != nil {
 		return err
@@ -69,7 +78,7 @@ func run(modelDir, outPath string, evalN int, quick bool) error {
 		return nil
 	}
 
-	eng := engine.New(engine.Config{})
+	eng := engine.New(engine.Config{BatchRows: batch})
 
 	// Workload sets.
 	all, err := harness.LoadZoo(modelDir, model.Zoo(), evalN, harness.CalibSize)

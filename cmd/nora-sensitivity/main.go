@@ -14,10 +14,12 @@ import (
 	"os"
 	"strings"
 
+	"nora/internal/analog"
 	"nora/internal/engine"
 	"nora/internal/harness"
 	"nora/internal/model"
 	"nora/internal/prof"
+	"nora/internal/rng"
 )
 
 func main() {
@@ -26,7 +28,16 @@ func main() {
 	csvPath := flag.String("csv", "", "also write results as CSV to this path")
 	models := flag.String("models", "", "comma-separated zoo keys (default: all)")
 	chart := flag.Bool("chart", false, "also render ASCII accuracy-vs-MSE charts per noise kind")
+	batch := flag.Int("batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
+	stream := flag.String("noise-stream", "v1", "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
 	flag.Parse()
+
+	sv, err := rng.ParseStreamVersion(*stream)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	analog.SetDefaultNoiseStream(sv)
 
 	stopProf := prof.Start()
 	defer stopProf()
@@ -42,7 +53,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	eng := engine.New(engine.Config{})
+	eng := engine.New(engine.Config{BatchRows: *batch})
 	points := harness.Sensitivity(eng, ws, harness.PaperMSETargets())
 	tbl := harness.SensitivityTable(points)
 	if err := tbl.WriteText(os.Stdout); err != nil {

@@ -54,3 +54,48 @@ func TestForwardIntoSteadyStateAllocs(t *testing.T) {
 		t.Errorf("ForwardInto allocates %.2f/op in steady state, want ~0", avg)
 	}
 }
+
+// TestMVMBatchIntoZeroAllocs extends the zero-allocation gate to the
+// standalone batched tile read: once the arena has converged, MVMBatchInto
+// must not allocate — in the two-phase batch modes and in the row-loop
+// fallback (bit-serial) alike.
+func TestMVMBatchIntoZeroAllocs(t *testing.T) {
+	for name, cfg := range determinismConfigs() {
+		cfg.TileRows, cfg.TileCols = 64, 64
+		w := randMat(61, 48, 32)
+		var tile mvmTile
+		if cfg.WeightSlices > 1 {
+			tile = NewSlicedTile(cfg, w, cfg.WeightSlices, 4, rng.New(62))
+		} else {
+			tile = NewTile(cfg, w, rng.New(62))
+		}
+		xs := randMat(63, 5, 48)
+		out := tensor.New(5, 32)
+		r := rng.New(64)
+		tile.MVMBatchInto(1, out, xs, r) // prime the arenas
+		if avg := testing.AllocsPerRun(100, func() {
+			tile.MVMBatchInto(1, out, xs, r)
+		}); avg != 0 {
+			t.Errorf("%s: MVMBatchInto allocates %.2f/op, want 0", name, avg)
+		}
+	}
+}
+
+// TestForwardBatchedSteadyStateAllocs gates the batched forward across
+// multiple chunks of a multi-tile grid (8 rows at batch 3 → 3 chunks per
+// call) with the serial MAC default — the configuration CI's zero-alloc
+// gate runs under.
+func TestForwardBatchedSteadyStateAllocs(t *testing.T) {
+	cfg := determinismConfigs()["paper"]
+	w := randMat(71, 40, 30)
+	l := NewAnalogLinear("l", w, nil, nil, cfg, rng.New(72))
+	l.SetBatchRows(3)
+	x := randMat(73, 8, 40)
+	out := tensor.New(8, 30)
+	l.ForwardInto(out, x) // prime the pools
+	if avg := testing.AllocsPerRun(50, func() {
+		l.ForwardInto(out, x)
+	}); avg > 0.5 {
+		t.Errorf("batched ForwardInto allocates %.2f/op in steady state, want ~0", avg)
+	}
+}

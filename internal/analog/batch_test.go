@@ -1,0 +1,244 @@
+package analog
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"nora/internal/rng"
+	"nora/internal/tensor"
+)
+
+// The sequence-batched read path (MVMBatchInto / forwardBatched) promises
+// results BIT-IDENTICAL to the historical row loop for every read mode and
+// every batch size. These tests pin that promise at the tile level (batch
+// vs scalar row loop), at the layer level (batch-size invariance, rescaling
+// on/off), under the opt-in StreamV2 noise stream, and under phase-1 MAC
+// parallelism (run with -race to certify the panel fan-out).
+
+// TestMVMBatchIntoMatchesRowLoop drives two identically programmed tiles —
+// one through MVMBatchInto, one through the scalar MVMRowInto loop — with
+// identically seeded noise streams, across every read mode and several
+// batch shapes.
+func TestMVMBatchIntoMatchesRowLoop(t *testing.T) {
+	for name, cfg := range determinismConfigs() {
+		cfg.TileRows, cfg.TileCols = 64, 64
+		w := randMat(81, 24, 18)
+		var ta, tb mvmTile
+		if cfg.WeightSlices > 1 {
+			ta = NewSlicedTile(cfg, w, cfg.WeightSlices, 4, rng.New(82))
+			tb = NewSlicedTile(cfg, w, cfg.WeightSlices, 4, rng.New(82))
+		} else {
+			ta = NewTile(cfg, w, rng.New(82))
+			tb = NewTile(cfg, w, rng.New(82))
+		}
+		ra, rb := rng.New(83), rng.New(83)
+		for _, rows := range []int{1, 3, 7} {
+			xs := randMat(uint64(84+rows), rows, 24)
+			got := tensor.New(rows, 18)
+			ta.MVMBatchInto(1, got, xs, ra)
+
+			want := tensor.New(rows, 18)
+			s := getScratch()
+			for i := 0; i < rows; i++ {
+				tb.MVMRowInto(1, want.Row(i), xs.Row(i), rb, s)
+			}
+			putScratch(s)
+			requireBitsEqual(t, name, got, want)
+		}
+	}
+}
+
+// TestMVMBatchIntoSilentRows: rows whose α is zero must contribute nothing
+// and — exactly like the scalar path — consume no noise draws, so the
+// streams of the two paths stay aligned across silent rows.
+func TestMVMBatchIntoSilentRows(t *testing.T) {
+	cfg := determinismConfigs()["paper"]
+	cfg.TileRows, cfg.TileCols = 64, 64
+	w := randMat(86, 24, 18)
+	ta := NewTile(cfg, w, rng.New(87))
+	tb := NewTile(cfg, w, rng.New(87))
+	ra, rb := rng.New(88), rng.New(88)
+
+	xs := randMat(89, 4, 24)
+	for k := range xs.Row(1) { // silence row 1
+		xs.Row(1)[k] = 0
+	}
+	got := tensor.New(4, 18)
+	ta.MVMBatchInto(1, got, xs, ra)
+
+	want := tensor.New(4, 18)
+	s := getScratch()
+	for i := 0; i < 4; i++ {
+		tb.MVMRowInto(1, want.Row(i), xs.Row(i), rb, s)
+	}
+	putScratch(s)
+	requireBitsEqual(t, "silent-row", got, want)
+	for j, v := range got.Row(1) {
+		if v != 0 {
+			t.Fatalf("silent row produced non-zero output at col %d: %v", j, v)
+		}
+	}
+	// Both streams must be in lockstep afterwards.
+	if av, bv := ra.NormFloat64(), rb.NormFloat64(); av != bv {
+		t.Fatalf("noise streams diverged after silent row: %v vs %v", av, bv)
+	}
+}
+
+// TestForwardBatchSizeInvariance pins the layer-level contract: the forward
+// result is bit-identical for the legacy row loop (batch 1) and any batch
+// size, across every read mode, with and without NORA rescaling.
+func TestForwardBatchSizeInvariance(t *testing.T) {
+	const in, out, rows = 40, 30, 8
+	w := randMat(91, in, out)
+	bias := randVec(92, out)
+	sv := randVec(93, in)
+	for i := range sv {
+		sv[i] = 0.5 + sv[i]*sv[i]
+	}
+	x := randMat(94, rows, in)
+	for name, cfg := range determinismConfigs() {
+		for _, rescale := range []bool{false, true} {
+			s := []float32(nil)
+			if rescale {
+				s = sv
+			}
+			ref := NewAnalogLinear("l", w, bias, s, cfg, rng.New(95))
+			ref.SetBatchRows(1) // historical row loop
+			want := ref.Forward(x)
+			for _, batch := range []int{2, 3, rows, 64} {
+				l := NewAnalogLinear("l", w, bias, s, cfg, rng.New(95))
+				l.SetBatchRows(batch)
+				requireBitsEqual(t, name, l.Forward(x), want)
+			}
+		}
+	}
+}
+
+// TestForwardStreamV2 pins the StreamV2 contract at the layer level: the
+// batch-size invariance holds under the ziggurat stream too (the two-phase
+// split is draw-order preserving for any sampler), and V2 results actually
+// differ from V1 (the version reaches the noise streams).
+func TestForwardStreamV2(t *testing.T) {
+	cfg := determinismConfigs()["paper"]
+	cfg.NoiseStream = rng.StreamV2
+	w := randMat(96, 40, 30)
+	x := randMat(97, 6, 40)
+
+	ref := NewAnalogLinear("l", w, nil, nil, cfg, rng.NewStream(98, rng.StreamV2))
+	ref.SetBatchRows(1)
+	want := ref.Forward(x)
+	for _, batch := range []int{3, 64} {
+		l := NewAnalogLinear("l", w, nil, nil, cfg, rng.NewStream(98, rng.StreamV2))
+		l.SetBatchRows(batch)
+		requireBitsEqual(t, "stream-v2", l.Forward(x), want)
+	}
+
+	v1cfg := cfg
+	v1cfg.NoiseStream = rng.StreamV1
+	v1 := NewAnalogLinear("l", w, nil, nil, v1cfg, rng.New(98))
+	got := v1.Forward(x)
+	same := true
+	for i, v := range got.Data {
+		if math.Float32bits(v) != math.Float32bits(want.Data[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("StreamV2 produced the identical output to StreamV1 — version not reaching the noise pipeline")
+	}
+}
+
+// TestForwardBatchedParallelMAC certifies the phase-1 panel fan-out: with
+// MACWorkers > 1 the batched forward must stay bit-identical to the serial
+// result, under concurrent scoped forwards contending on the scratch pools.
+// Run with -race to certify the memory discipline of the panel workers.
+func TestForwardBatchedParallelMAC(t *testing.T) {
+	cfg := determinismConfigs()["paper"] // 16×12 tiles → multi-panel grid
+	w := randMat(101, 40, 30)
+	l := NewAnalogLinear("l", w, nil, nil, cfg, rng.New(102))
+	x := randMat(103, 6, 40)
+
+	labels := []string{"s0", "s1", "s2", "s3"}
+	serial := make([]*tensor.Matrix, len(labels))
+	for i, lb := range labels {
+		serial[i] = l.WithNoiseScope(lb).Forward(x)
+	}
+
+	SetMACWorkers(4)
+	defer SetMACWorkers(0)
+	iters := 16
+	if testing.Short() {
+		iters = 4
+	}
+	errc := make(chan error, len(labels))
+	var wg sync.WaitGroup
+	for i, lb := range labels {
+		wg.Add(1)
+		go func(i int, lb string) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				got := l.WithNoiseScope(lb).Forward(x)
+				for j, v := range got.Data {
+					if math.Float32bits(v) != math.Float32bits(serial[i].Data[j]) {
+						errc <- errMismatch(lb, it, j)
+						return
+					}
+				}
+			}
+		}(i, lb)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct {
+	label string
+	iter  int
+	elem  int
+}
+
+func (e mismatchError) Error() string {
+	return "parallel-MAC forward diverged from serial: label=" + e.label
+}
+
+func errMismatch(label string, iter, elem int) error {
+	return mismatchError{label, iter, elem}
+}
+
+// TestBatchKnobs covers the batch-size resolution chain: package default,
+// process override, per-layer override.
+func TestBatchKnobs(t *testing.T) {
+	if BatchRows() != DefaultBatchRows {
+		t.Fatalf("BatchRows() = %d, want DefaultBatchRows", BatchRows())
+	}
+	SetDefaultBatchRows(7)
+	if BatchRows() != 7 {
+		t.Fatalf("BatchRows() after override = %d, want 7", BatchRows())
+	}
+	SetDefaultBatchRows(0)
+	if BatchRows() != DefaultBatchRows {
+		t.Fatalf("BatchRows() after reset = %d, want DefaultBatchRows", BatchRows())
+	}
+
+	cfg := determinismConfigs()["paper"]
+	l := NewAnalogLinear("l", randMat(111, 20, 10), nil, nil, cfg, rng.New(112))
+	if l.effectiveBatchRows() != DefaultBatchRows {
+		t.Fatal("layer should inherit the package default")
+	}
+	l.SetBatchRows(3)
+	if l.effectiveBatchRows() != 3 {
+		t.Fatal("per-layer override not applied")
+	}
+	l.SetBatchRows(0)
+	if l.effectiveBatchRows() != DefaultBatchRows {
+		t.Fatal("per-layer reset not applied")
+	}
+	if MACWorkers() != 1 {
+		t.Fatalf("MACWorkers() default = %d, want 1", MACWorkers())
+	}
+}

@@ -19,7 +19,32 @@
 // channels before this mapping (Eq. 6–7).
 package analog
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nora/internal/rng"
+)
+
+// defaultNoiseStream is the stream version the preset constructors stamp on
+// new Configs; 0 means rng.StreamV1. Process-wide so a single -noise-stream
+// flag reaches every harness experiment that builds its configs internally.
+var defaultNoiseStream atomic.Uint32
+
+// SetDefaultNoiseStream selects the rng stream version PaperPreset, Ideal
+// and their derivatives stamp on the configurations they return. Intended
+// to be set once at process start (the cmd binaries' -noise-stream flag);
+// explicitly constructed Configs are unaffected. The version is part of the
+// config fingerprint, so switching it re-keys every deployment: results
+// under different streams never alias in the engine cache.
+func SetDefaultNoiseStream(v rng.StreamVersion) {
+	defaultNoiseStream.Store(uint32(v.Canon()))
+}
+
+// DefaultNoiseStream returns the stream version presets currently stamp.
+func DefaultNoiseStream() rng.StreamVersion {
+	return rng.StreamVersion(defaultNoiseStream.Load()).Canon()
+}
 
 // NoiseManagement selects how the per-row input scale α_i is chosen.
 type NoiseManagement int
@@ -157,6 +182,16 @@ type Config struct {
 	// rescaled by the measured average conductance decay (the simple
 	// compensation the paper alludes to for drift).
 	DriftCompensation bool
+
+	// NoiseStream selects the rng stream version used for every stochastic
+	// draw of a deployment built with this config — programming noise, read
+	// noise and ADC errors alike. The zero value canonicalizes to
+	// rng.StreamV1 (the frozen Box-Muller contract), so legacy configs keep
+	// bit-identical results and identical fingerprints; rng.StreamV2 opts
+	// into the faster ziggurat sampler, which is statistically equivalent
+	// but draws a different sequence and therefore fingerprints (and caches)
+	// separately.
+	NoiseStream rng.StreamVersion
 }
 
 // Programming-noise polynomial σ_prog(ĝ)/scale = c0 + c1·ĝ + c2·ĝ², with ĝ
@@ -184,7 +219,7 @@ const (
 // checks it against reflect.TypeOf(Config{}).NumField() so that adding a
 // field without extending Fingerprint fails loudly instead of silently
 // aliasing distinct configurations in the engine's deployment cache.
-const configFieldCount = 28
+const configFieldCount = 29
 
 // Fingerprint returns a stable, content-derived identifier of the
 // configuration: two Configs share a fingerprint iff every field is equal.
@@ -192,7 +227,7 @@ const configFieldCount = 28
 // seed derivation, so the encoding must stay deterministic across runs —
 // it lists every field explicitly rather than relying on struct layout.
 func (c Config) Fingerprint() string {
-	return fmt.Sprintf(
+	fp := fmt.Sprintf(
 		"tile=%dx%d;gmax=%g;in=%d;out=%d;innoise=%g;outnoise=%g;wnoise=%g;"+
 			"prog=%g;poly=%g,%g,%g;driftscale=%g;ir=%g;sshape=%g;bound=%g;"+
 			"bm=%t,%d;nm=%d;alpha=%g;pertile=%t;wv=%d;bitserial=%t;"+
@@ -204,6 +239,14 @@ func (c Config) Fingerprint() string {
 		c.WriteVerify, c.BitSerial,
 		c.WeightSlices, c.SliceBits, c.DifferentialPair, c.ADCOffset, c.ADCGainMismatch,
 		c.DriftT, c.DriftCompensation)
+	// The canonical StreamV1 adds no suffix so every pre-versioning
+	// fingerprint — and therefore every cached deployment seed — is
+	// preserved verbatim; non-default streams key (and cache) separately so
+	// deployments never mix stream versions.
+	if s := c.NoiseStream.Canon(); s != rng.StreamV1 {
+		fp += fmt.Sprintf(";stream=%s", s)
+	}
+	return fp
 }
 
 // PaperPreset returns the aihwkit settings of Table II of the paper:
@@ -226,6 +269,7 @@ func PaperPreset() Config {
 		BMMaxIter:        4,
 		NM:               NMAbsMax,
 		DifferentialPair: true,
+		NoiseStream:      DefaultNoiseStream(),
 	}
 }
 
@@ -248,9 +292,10 @@ func ReRAMPreset() Config {
 func Ideal() Config {
 	return Config{
 		TileRows: 512, TileCols: 512,
-		GMax:     25,
-		OutBound: 1e9,
-		NM:       NMAbsMax,
+		GMax:        25,
+		OutBound:    1e9,
+		NM:          NMAbsMax,
+		NoiseStream: DefaultNoiseStream(),
 	}
 }
 

@@ -10,16 +10,27 @@ import (
 
 // mvmTile is the tile abstraction AnalogLinear drives: a plain crossbar
 // (Tile) or a bit-sliced composite (SlicedTile). MVMRowInto is the
-// zero-allocation hot path (dst[j] += coef·y_j with pooled scratch);
-// MVMRow is its allocating convenience wrapper.
+// zero-allocation scalar hot path (dst[j] += coef·y_j with pooled scratch);
+// MVMRow is its allocating convenience wrapper; MVMBatchInto is the
+// sequence-batched read (bit-identical to the row loop). The unexported
+// prepareInputs/leaseMAC/runMAC/finishRow quartet exposes the two batch
+// phases individually so AnalogLinear can interleave them across the tile
+// grid in the historical row-then-tile order (see batch.go).
 type mvmTile interface {
 	MVMRow(xs []float32, r *rng.Rand) []float32
 	MVMRowInto(coef float32, dst, xs []float32, r *rng.Rand, s *readScratch)
+	MVMBatchInto(coef float32, dst, xs *tensor.Matrix, r *rng.Rand)
 	ColScales() []float32
 	SetTime(tSec float64)
 	Counters() *OpCounters
 	Rows() int
 	Cols() int
+
+	batchable() bool
+	prepareInputs(ip *inputPrep, xs *tensor.Matrix, bs *batchScratch)
+	leaseMAC(p *tilePrep, ip *inputPrep, bs *batchScratch)
+	runMAC(p *tilePrep, ip *inputPrep)
+	finishRow(coef float32, dst []float32, ip *inputPrep, p *tilePrep, i int, r *rng.Rand, s *readScratch)
 }
 
 var (
@@ -135,13 +146,13 @@ func (st *SlicedTile) Counters() *OpCounters {
 }
 
 // MVMRow runs the input through every slice and shift-adds the digitized
-// partial results: y = Σ_s b^s · y_s.
+// partial results: y = Σ_s b^s · y_s. Like (*Tile).MVMRow it routes through
+// the batched path at T = 1 so every read shares one code path.
 func (st *SlicedTile) MVMRow(xs []float32, r *rng.Rand) []float32 {
-	out := make([]float32, st.cols)
-	s := getScratch()
-	st.MVMRowInto(1, out, xs, r, s)
-	putScratch(s)
-	return out
+	out := tensor.New(1, st.cols)
+	xm := &tensor.Matrix{Rows: 1, Cols: len(xs), Data: xs}
+	st.MVMBatchInto(1, out, xm, r)
+	return out.Data
 }
 
 // MVMRowInto accumulates coef times the shift-added composite result into
@@ -158,6 +169,58 @@ func (st *SlicedTile) MVMRowInto(coef float32, dst, xs []float32, r *rng.Rand, s
 	pow := float32(1)
 	for _, sl := range st.slices {
 		sl.MVMRowInto(pow, comp, xs, r, s)
+		pow *= float32(st.radix)
+	}
+	for j, v := range comp {
+		dst[j] += coef * v
+	}
+}
+
+// batchable reports whether the composite can take the two-phase batched
+// read path; slices share one Config, so the first slice decides.
+func (st *SlicedTile) batchable() bool { return st.slices[0].batchable() }
+
+// prepareInputs delegates to the first slice: every slice shares the tile
+// Config and input width, so α, X̂ and ‖x̂‖² are identical across slices and
+// computed once for the composite.
+func (st *SlicedTile) prepareInputs(ip *inputPrep, xs *tensor.Matrix, bs *batchScratch) {
+	st.slices[0].prepareInputs(ip, xs, bs)
+}
+
+// leaseMAC sizes one sub-prep per weight slice from the arena (serial).
+func (st *SlicedTile) leaseMAC(p *tilePrep, ip *inputPrep, bs *batchScratch) {
+	if cap(p.subs) < len(st.slices) {
+		subs := make([]tilePrep, len(st.slices))
+		copy(subs, p.subs)
+		p.subs = subs
+	}
+	p.subs = p.subs[:len(st.slices)]
+	for k, sl := range st.slices {
+		sl.leaseMAC(&p.subs[k], ip, bs)
+	}
+	p.z, p.load = nil, nil
+}
+
+// runMAC executes every slice's batched MACs (safe to run concurrently with
+// other tiles' runMAC calls — all writes land in this prep's buffers).
+func (st *SlicedTile) runMAC(p *tilePrep, ip *inputPrep) {
+	for k, sl := range st.slices {
+		sl.runMAC(&p.subs[k], ip)
+	}
+}
+
+// finishRow digitizes row i of every slice in slice order — consuming noise
+// draws exactly as the scalar MVMRowInto loop — and shift-adds the composite
+// into dst via the same scratch-then-add pass that keeps float32 association
+// identical to the historical path.
+func (st *SlicedTile) finishRow(coef float32, dst []float32, ip *inputPrep, p *tilePrep, i int, r *rng.Rand, s *readScratch) {
+	comp := grow(&s.comp, len(dst))
+	for j := range comp {
+		comp[j] = 0
+	}
+	pow := float32(1)
+	for k, sl := range st.slices {
+		sl.finishRow(pow, comp, ip, &p.subs[k], i, r, s)
 		pow *= float32(st.radix)
 	}
 	for j, v := range comp {

@@ -364,14 +364,61 @@ func (t *Tile) ensureAbsW() {
 // vector), and the result approximates xsᵀ·W_slice in the original scale.
 // r drives every stochastic noise source of this read.
 //
-// MVMRow is the allocating convenience wrapper around MVMRowInto, which the
-// hot path (AnalogLinear.ForwardInto) calls directly with pooled scratch.
+// MVMRow is the allocating convenience wrapper; it routes through
+// MVMBatchInto with a single-row batch, so the batch machinery and the
+// scalar loop are one code path (and permanently cross-checked by the
+// MVMRow-vs-MVMRowInto determinism tests).
 func (t *Tile) MVMRow(xs []float32, r *rng.Rand) []float32 {
-	out := make([]float32, t.cols)
-	s := getScratch()
-	t.MVMRowInto(1, out, xs, r, s)
-	putScratch(s)
-	return out
+	out := tensor.New(1, t.cols)
+	xm := &tensor.Matrix{Rows: 1, Cols: len(xs), Data: xs}
+	t.MVMBatchInto(1, out, xm, r)
+	return out.Data
+}
+
+// rowAlpha returns the noise-management input scale α for one input row
+// (Eq. 5). α = 0 marks a silent row: no draws, no counters, no output.
+func (t *Tile) rowAlpha(xs []float32) float32 {
+	switch t.cfg.NM {
+	case NMAbsMax:
+		return tensor.AbsMaxVec(xs)
+	case NMConstant:
+		return t.cfg.AlphaConst
+	default:
+		panic("analog: unknown noise management mode")
+	}
+}
+
+// quantizeRowInto fills xhat with the DAC conversion of xs at input scale
+// `scale` — the single f_dac implementation shared by the scalar, batched
+// and bound-management-retry paths.
+func (t *Tile) quantizeRowInto(xhat, xs []float32, scale float32) {
+	if inv := t.invInSteps; inv != 0 {
+		// Power-of-two step count: replace quantizeUnit's final
+		// division with an exact reciprocal multiply.
+		half := float32(t.cfg.InSteps)
+		for k, v := range xs {
+			q := v / scale
+			if q > 1 {
+				q = 1
+			} else if q < -1 {
+				q = -1
+			}
+			xhat[k] = float32(math.Round(float64(q*half))) * inv
+		}
+		return
+	}
+	for k, v := range xs {
+		xhat[k] = quantizeUnit(v/scale, t.cfg.InSteps)
+	}
+}
+
+// batchable reports whether reads of this tile may be batched across rows:
+// the batch path computes all MACs up front and fills noise per row
+// afterwards, which preserves the historical draw order only when no
+// stochastic draw happens before the MAC. Bit-serial streaming and additive
+// input noise both draw pre-MAC, so they fall back to the row loop.
+func (t *Tile) batchable() bool {
+	return !t.cfg.BitSerial && t.cfg.InNoise == 0
 }
 
 // MVMRowInto accumulates coef times the analog MVM result into dst
@@ -388,21 +435,37 @@ func (t *Tile) MVMRowInto(coef float32, dst, xs []float32, r *rng.Rand, s *readS
 	if len(dst) != t.cols {
 		panic(fmt.Sprintf("analog: MVMRowInto dst len %d, tile cols %d", len(dst), t.cols))
 	}
-	cfg := &t.cfg
-	// Noise management: per-row input scale α (Eq. 5).
-	var alpha float32
-	switch cfg.NM {
-	case NMAbsMax:
-		alpha = tensor.AbsMaxVec(xs)
-	case NMConstant:
-		alpha = cfg.AlphaConst
-	default:
-		panic("analog: unknown noise management mode")
-	}
+	alpha := t.rowAlpha(xs)
 	if alpha == 0 {
 		return
 	}
+	if !t.batchable() {
+		t.mvmRowNoisy(coef, dst, xs, alpha, r, s)
+		return
+	}
+	// Voltage-mode read without input noise: compute the first-attempt MAC
+	// here and hand the stochastic tail to finishRowCore — the same tail
+	// the batched path drives with precomputed MACs.
+	xhat := grow(&s.xhat, t.rows)
+	t.quantizeRowInto(xhat, xs, alpha)
+	z := grow(&s.z, t.cols)
+	tensor.VecMulInto(z, xhat, t.wEff)
+	var xnorm2 float64
+	if t.wReadSigma > 0 {
+		xnorm2 = norm2(xhat)
+	}
+	var load []float32
+	if t.cfg.IRDropScale > 0 {
+		load = t.columnLoad(xhat, s)
+	}
+	t.finishRowCore(coef, dst, z, xnorm2, load, xs, alpha, r, s)
+}
 
+// mvmRowNoisy is the historical per-row read loop for the modes the batch
+// path cannot cover (bit-serial streaming, additive input noise): every
+// bound-management attempt re-quantizes, draws and reads in sequence.
+func (t *Tile) mvmRowNoisy(coef float32, dst, xs []float32, alpha float32, r *rng.Rand, s *readScratch) {
+	cfg := &t.cfg
 	maxIter := 1
 	if cfg.BoundManagement {
 		maxIter += cfg.BMMaxIter
@@ -420,24 +483,7 @@ func (t *Tile) MVMRowInto(coef float32, dst, xs []float32, r *rng.Rand, s *readS
 			// DAC conversion and additive input noise (Eq. 5). xhat is
 			// leased lazily so the bit-serial path never touches it.
 			xhat := grow(&s.xhat, t.rows)
-			if inv := t.invInSteps; inv != 0 {
-				// Power-of-two step count: replace quantizeUnit's final
-				// division with an exact reciprocal multiply.
-				half := float32(cfg.InSteps)
-				for k, v := range xs {
-					q := v / scale
-					if q > 1 {
-						q = 1
-					} else if q < -1 {
-						q = -1
-					}
-					xhat[k] = float32(math.Round(float64(q*half))) * inv
-				}
-			} else {
-				for k, v := range xs {
-					xhat[k] = quantizeUnit(v/scale, cfg.InSteps)
-				}
-			}
+			t.quantizeRowInto(xhat, xs, scale)
 			if cfg.InNoise > 0 {
 				r.FillNormalAdd(xhat, cfg.InNoise)
 			}
@@ -460,40 +506,114 @@ func (t *Tile) MVMRowInto(coef float32, dst, xs []float32, r *rng.Rand, s *readS
 	t.recordMVM(attempts, reads)
 }
 
+// finishRowCore runs the stochastic tail of one MVM row whose first-attempt
+// MAC (z, with its ‖x̂‖² and IR-drop column load) is already computed:
+// digitize, bound-management retries (each a full scalar re-read at the
+// doubled scale), the digital rescale into dst, and the event counters.
+// It is the single bound-management/rescale implementation behind both the
+// scalar path (MVMRowInto computes the MAC inline) and the batched path
+// (finishRow hands in one row of the phase-1 MAC block).
+func (t *Tile) finishRowCore(coef float32, dst, z []float32, xnorm2 float64, load, xs []float32, alpha float32, r *rng.Rand, s *readScratch) {
+	cfg := &t.cfg
+	maxIter := 1
+	if cfg.BoundManagement {
+		maxIter += cfg.BMMaxIter
+	}
+	scale := alpha
+	attempts, reads := 0, 0
+	for iter := 0; iter < maxIter; iter++ {
+		attempts++
+		var saturated bool
+		if iter == 0 {
+			saturated = t.digitizeRow(z, xnorm2, load, r)
+		} else {
+			// Retry at the doubled scale: re-quantize and run a complete
+			// scalar read — exactly what the historical loop did.
+			xhat := grow(&s.xhat, t.rows)
+			t.quantizeRowInto(xhat, xs, scale)
+			z = grow(&s.z, t.cols)
+			saturated = t.analogReadInto(z, xhat, r, s)
+		}
+		reads++
+
+		if saturated && cfg.BoundManagement && iter < maxIter-1 {
+			scale *= 2
+			continue
+		}
+
+		// Digital rescale by α·γ_j·g_max (Eq. 3).
+		for j := range z {
+			dst[j] += coef * (scale * t.colScale[j] * z[j] * t.driftComp)
+		}
+		break
+	}
+	t.recordMVM(attempts, reads)
+}
+
+// norm2 returns ‖v‖² accumulated in float64 — the exact accumulation the
+// read-noise model historically used.
+func norm2(v []float32) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return s
+}
+
+// columnLoad computes the IR-drop column load |x̂|ᵀ·|W| into s.load (via
+// s.xabs), identical to the historical in-line computation.
+func (t *Tile) columnLoad(xhat []float32, s *readScratch) []float32 {
+	t.ensureAbsW()
+	xabs := grow(&s.xabs, len(xhat))
+	for k, v := range xhat {
+		if v < 0 {
+			v = -v
+		}
+		xabs[k] = v
+	}
+	load := grow(&s.load, t.cols)
+	tensor.VecMulInto(load, xabs, t.absW)
+	return load
+}
+
 // analogReadInto drives one physical crossbar read of the pulse vector xvec
 // (normalized input units) into z (len = Cols, overwritten): analog MAC,
-// short-term weight read noise, IR-drop, S-shape nonlinearity, additive
-// output noise, static ADC errors, saturation detection and ADC
-// quantization. z is in normalized (post-ADC) output units.
+// then the digitizeRow tail (noise, IR-drop, nonlinearity, ADC). z is in
+// normalized (post-ADC) output units.
 func (t *Tile) analogReadInto(z, xvec []float32, r *rng.Rand, s *readScratch) (saturated bool) {
-	cfg := &t.cfg
 	tensor.VecMulInto(z, xvec, t.wEff)
+	var xnorm2 float64
+	if t.wReadSigma > 0 {
+		xnorm2 = norm2(xvec)
+	}
+	var load []float32
+	if t.cfg.IRDropScale > 0 {
+		load = t.columnLoad(xvec, s)
+	}
+	return t.digitizeRow(z, xnorm2, load, r)
+}
+
+// digitizeRow applies the post-MAC analog pipeline to one output row z:
+// short-term weight read noise (from the precomputed ‖x̂‖²), deterministic
+// IR-drop (from the precomputed column load, nil when disabled), S-shape
+// nonlinearity, additive output noise, static ADC errors, saturation
+// detection and ADC quantization. This is the single noise/ADC
+// implementation every read mode funnels through; its draw order against r
+// is the bit-exactness contract.
+func (t *Tile) digitizeRow(z []float32, xnorm2 float64, load []float32, r *rng.Rand) (saturated bool) {
+	cfg := &t.cfg
 
 	// Short-term weight read noise: Σ_k x̂_k·σ_w·ξ_kj collapses to
 	// N(0, σ_w²·‖x̂‖²) independently per column — exact in distribution,
 	// avoiding rows×cols Gaussian draws per read. The 1/f read-noise floor
 	// after drift adds the same way.
 	if sigma := t.wReadSigma; sigma > 0 {
-		var xnorm2 float64
-		for _, v := range xvec {
-			xnorm2 += float64(v) * float64(v)
-		}
 		sn := sigma * float32(math.Sqrt(xnorm2))
 		r.FillNormalAdd(z, sn)
 	}
 
 	// Deterministic IR-drop: columns sinking more current droop more.
-	if cfg.IRDropScale > 0 {
-		t.ensureAbsW()
-		xabs := grow(&s.xabs, len(xvec))
-		for k, v := range xvec {
-			if v < 0 {
-				v = -v
-			}
-			xabs[k] = v
-		}
-		load := grow(&s.load, t.cols)
-		tensor.VecMulInto(load, xabs, t.absW)
+	if load != nil {
 		invRows := 1 / float32(t.rows)
 		for j := range z {
 			att := cfg.IRDropScale * irGamma * load[j] * invRows

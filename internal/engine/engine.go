@@ -31,6 +31,7 @@ import (
 	"nora/internal/analog"
 	"nora/internal/core"
 	"nora/internal/nn"
+	"nora/internal/rng"
 )
 
 // Config tunes an Engine. The zero value selects the defaults noted on
@@ -48,6 +49,22 @@ type Config struct {
 	// GridWorkers is the goroutine count RunGrid uses across experiment
 	// points. <= 0 selects GOMAXPROCS.
 	GridWorkers int
+
+	// BatchRows is the activation-row batch size installed on every analog
+	// layer the engine deploys: n ≥ 2 runs the sequence-batched read path
+	// in chunks of n rows, 1 forces the row-at-a-time legacy loop, <= 0
+	// selects the analog package default (analog.DefaultBatchRows). Batch
+	// size never changes results — the batched path is bit-identical to the
+	// row loop — so it is deliberately NOT part of the deployment content
+	// key.
+	BatchRows int
+
+	// MACWorkers is the goroutine count for the deterministic MAC phase of
+	// batched analog reads, fanned out across a layer's tile panels. <= 1
+	// keeps the serial (allocation-free) default; useful when sequence-level
+	// EvalWorkers parallelism does not already saturate the cores. Applied
+	// process-wide (analog.SetMACWorkers) by New. Never changes results.
+	MACWorkers int
 }
 
 // DefaultCacheSize bounds the deployment cache when Config.CacheSize is
@@ -78,6 +95,9 @@ type cacheEntry struct {
 func New(cfg Config) *Engine {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.MACWorkers > 1 {
+		analog.SetMACWorkers(cfg.MACWorkers)
 	}
 	return &Engine{
 		cfg:     cfg,
@@ -180,6 +200,9 @@ type evalEntry struct {
 // Deploy returns the cached deployment for req, building (and caching) it
 // on a miss. Concurrent misses on the same key build once.
 func (e *Engine) Deploy(req Request) *Deployment {
+	if req.Mode != core.DeployDigital {
+		e.stats.recordStream(req.Config.NoiseStream)
+	}
 	key := req.cacheKey()
 	e.mu.Lock()
 	if el, ok := e.entries[key]; ok {
@@ -203,6 +226,17 @@ func (e *Engine) Deploy(req Request) *Deployment {
 	start := time.Now()
 	runner := core.Deploy(req.Net, req.Mode, req.Cal, req.Config, req.Seed(), req.Opt)
 	build := time.Since(start)
+	if e.cfg.BatchRows > 0 {
+		// Install the engine's batch size on every analog layer. A pure
+		// performance knob: results are bit-identical at any batch size, so
+		// cached deployments may safely serve requests issued before or
+		// after the knob existed.
+		for _, spec := range runner.Model().Linears() {
+			if op, ok := runner.Linear(spec.Name).(*analog.AnalogLinear); ok {
+				op.SetBatchRows(e.cfg.BatchRows)
+			}
+		}
+	}
 	entry.dep = &Deployment{
 		eng:       e,
 		Key:       req.contentKey(),
@@ -244,6 +278,7 @@ func (d *Deployment) Eval(sequences [][]int) nn.EvalResult {
 	runtime.ReadMemStats(&ms)
 	mallocs0 := ms.Mallocs
 	reads0 := d.analogMVMs()
+	rows0 := d.analogRows()
 
 	start := time.Now()
 	res := d.runner.Eval(sequences, d.eng.cfg.EvalWorkers)
@@ -260,6 +295,7 @@ func (d *Deployment) Eval(sequences [][]int) nn.EvalResult {
 	s.skipped.Add(int64(res.Skipped))
 	s.tokens.Add(res.Tokens)
 	s.analogReads.Add(d.analogMVMs() - reads0)
+	s.analogRows.Add(d.analogRows() - rows0)
 	s.mallocs.Add(int64(ms.Mallocs - mallocs0))
 	return res
 }
@@ -273,6 +309,20 @@ func (d *Deployment) analogMVMs() int64 {
 	for _, spec := range d.runner.Model().Linears() {
 		if op, ok := d.runner.Linear(spec.Name).(costOp); ok {
 			total += op.CostCounters().MVMs
+		}
+	}
+	return total
+}
+
+// analogRows sums processed activation rows across the deployment's analog
+// layers. Each row is one full pass through a layer's tile grid, so deltas
+// around an eval measure the batched read path's unit of work.
+func (d *Deployment) analogRows() int64 {
+	type rowsOp interface{ RowsProcessed() int64 }
+	var total int64
+	for _, spec := range d.runner.Model().Linears() {
+		if op, ok := d.runner.Linear(spec.Name).(rowsOp); ok {
+			total += op.RowsProcessed()
 		}
 	}
 	return total
@@ -318,7 +368,26 @@ type statCounters struct {
 	skipped     atomic.Int64
 	tokens      atomic.Int64
 	analogReads atomic.Int64
+	analogRows  atomic.Int64
 	mallocs     atomic.Int64
+
+	// streamMask records every noise-stream version requested from this
+	// engine for an analog deployment, as a bitmask (bit v = StreamVersion
+	// v seen). Diagnostics for the report footer: a single experiment run
+	// mixing versions is almost always a configuration mistake.
+	streamMask atomic.Uint32
+}
+
+// recordStream sets the bit for the (canonicalized) stream version with a
+// CAS loop (atomic Or of a uint32 needs go ≥ 1.23; this module pins 1.22).
+func (s *statCounters) recordStream(v rng.StreamVersion) {
+	bit := uint32(1) << uint32(v.Canon())
+	for {
+		old := s.streamMask.Load()
+		if old&bit != 0 || s.streamMask.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
 }
 
 // Stats is a point-in-time snapshot of engine activity.
@@ -338,6 +407,17 @@ type Stats struct {
 	// (per-operator hardware counter deltas around each eval; zero for
 	// digital deployments).
 	AnalogReads int64
+	// AnalogRows counts activation rows pushed through analog layers by
+	// evaluation runs — the unit the sequence-batched read path chunks.
+	AnalogRows int64
+	// BatchRows is the effective analog batch size in force (the engine
+	// config override, or the analog package default).
+	BatchRows int
+	// NoiseStreams names every noise-stream version requested for analog
+	// deployments so far (comma-joined, e.g. "v1-boxmuller"); empty before
+	// the first analog deploy. More than one entry in a single run usually
+	// indicates a configuration mistake.
+	NoiseStreams string
 	// Mallocs counts heap allocations during evaluation runs, measured as
 	// runtime.MemStats.Mallocs deltas around each eval. The counter is
 	// process-global, so concurrent non-eval work inflates it; treat it as
@@ -348,6 +428,17 @@ type Stats struct {
 // Stats returns a consistent snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	s := &e.stats
+	batch := e.cfg.BatchRows
+	if batch <= 0 {
+		batch = analog.BatchRows()
+	}
+	var streams []string
+	mask := s.streamMask.Load()
+	for v := rng.StreamVersion(1); v <= rng.StreamV2; v++ {
+		if mask&(1<<uint32(v)) != 0 {
+			streams = append(streams, v.String())
+		}
+	}
 	return Stats{
 		DeployBuilds: s.deployBuilds.Load(),
 		DeployHits:   s.deployHits.Load(),
@@ -360,6 +451,9 @@ func (e *Engine) Stats() Stats {
 		SkippedSeqs:  s.skipped.Load(),
 		Tokens:       s.tokens.Load(),
 		AnalogReads:  s.analogReads.Load(),
+		AnalogRows:   s.analogRows.Load(),
+		BatchRows:    batch,
+		NoiseStreams: strings.Join(streams, ","),
 		Mallocs:      s.mallocs.Load(),
 	}
 }
@@ -384,6 +478,16 @@ func (s Stats) ReadsPerSecond() float64 {
 	return float64(s.AnalogReads) / s.EvalTime.Seconds()
 }
 
+// RowsPerSecond is the analog activation-row throughput over cumulative
+// eval wall-clock (0 before any eval, and for all-digital runs) — the
+// headline number the sequence-batched read path moves.
+func (s Stats) RowsPerSecond() float64 {
+	if s.EvalTime <= 0 {
+		return 0
+	}
+	return float64(s.AnalogRows) / s.EvalTime.Seconds()
+}
+
 // AllocsPerSequence is the average heap allocations per evaluated sequence
 // (0 before any eval). See Stats.Mallocs for measurement caveats.
 func (s Stats) AllocsPerSequence() float64 {
@@ -395,12 +499,19 @@ func (s Stats) AllocsPerSequence() float64 {
 
 // String renders the snapshot as a compact single-block summary.
 func (s Stats) String() string {
+	streams := s.NoiseStreams
+	if streams == "" {
+		streams = "none"
+	}
 	return fmt.Sprintf(
 		"engine: deploys=%d hits=%d evictions=%d deploy-time=%s | "+
 			"evals=%d eval-hits=%d eval-time=%s | seqs=%d skipped=%d tokens=%d (%.0f tok/s) | "+
-			"reads=%d (%.0f reads/s) allocs=%d (%.1f allocs/seq)",
+			"reads=%d (%.0f reads/s) rows=%d (%.0f rows/s) batch=%d stream=%s | "+
+			"allocs=%d (%.1f allocs/seq)",
 		s.DeployBuilds, s.DeployHits, s.Evictions, s.DeployTime.Round(time.Millisecond),
 		s.Evals, s.EvalHits, s.EvalTime.Round(time.Millisecond),
 		s.Sequences, s.SkippedSeqs, s.Tokens, s.TokensPerSecond(),
-		s.AnalogReads, s.ReadsPerSecond(), s.Mallocs, s.AllocsPerSequence())
+		s.AnalogReads, s.ReadsPerSecond(), s.AnalogRows, s.RowsPerSecond(),
+		s.BatchRows, streams,
+		s.Mallocs, s.AllocsPerSequence())
 }

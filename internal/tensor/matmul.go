@@ -63,13 +63,15 @@ func MatMulInto(out, a, b *Matrix) {
 
 func matMulInto(out, a, b *Matrix) {
 	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold || a.Rows < 2 {
-		matMulRange(out, a, b, 0, a.Rows)
-		return
-	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > a.Rows {
 		workers = a.Rows
+	}
+	// A single worker would spawn one goroutine just to wait on it —
+	// pure overhead (and a heap allocation) on single-CPU machines.
+	if work < parallelThreshold || workers <= 1 {
+		matMulRange(out, a, b, 0, a.Rows)
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (a.Rows + workers - 1) / workers
@@ -144,6 +146,25 @@ func accumRows(dst, x []float32, b *Matrix, k0 int) {
 	}
 }
 
+// MatMulSerialInto computes out = a·b like MatMulInto but never spawns
+// goroutines, whatever the product size — the kernel for callers that need
+// a strict zero-allocation guarantee (the analog batched read path, whose
+// steady state is gated at 0 allocs/op). Results are bit-identical to
+// MatMul: the same k-panel blocked accumRows kernel runs over the same
+// panels in the same order.
+func MatMulSerialInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim %d != %d", a.Cols, b.Rows))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulSerialInto out %dx%d, expected %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	matMulRange(out, a, b, 0, a.Rows)
+}
+
 // MatMulT returns a·bᵀ without materializing the transpose. b is treated as
 // a (cols(a) × rows(b)) matrix read row-wise, i.e. out[i,j] = Σ_k a[i,k]·b[j,k].
 func MatMulT(a, b *Matrix) *Matrix {
@@ -167,13 +188,13 @@ func MatMulTInto(out, a, b *Matrix) {
 		out.Data[i] = 0
 	}
 	work := a.Rows * a.Cols * b.Rows
-	if work < parallelThreshold || a.Rows < 2 {
-		matMulTRange(out, a, b, 0, a.Rows)
-		return
-	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > a.Rows {
 		workers = a.Rows
+	}
+	if work < parallelThreshold || workers <= 1 {
+		matMulTRange(out, a, b, 0, a.Rows)
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (a.Rows + workers - 1) / workers

@@ -1,0 +1,139 @@
+// Command benchsummary distills `go test -bench` output on stdin into a
+// compact JSON artifact: per benchmark, the median ns/op, B/op and
+// allocs/op across repeated -count runs (medians are robust to the odd
+// noisy run on shared CI machines). scripts/bench.sh pipes into it to
+// produce the checked-in BENCH_*.json files.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkAnalogForward-8   1302   1565855 ns/op   9490 B/op   28 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// metric matches trailing "<value> <unit>" pairs after ns/op.
+var metric = regexp.MustCompile(`([0-9.]+) (\S+)`)
+
+type summary struct {
+	Name     string   `json:"name"`
+	Runs     int      `json:"runs"`
+	NsOp     float64  `json:"ns_per_op_median"`
+	BytesOp  *float64 `json:"bytes_per_op_median,omitempty"`
+	AllocsOp *float64 `json:"allocs_per_op_median,omitempty"`
+}
+
+type output struct {
+	Command    string    `json:"command"`
+	Goos       string    `json:"goos,omitempty"`
+	Goarch     string    `json:"goarch,omitempty"`
+	CPU        string    `json:"cpu,omitempty"`
+	Benchmarks []summary `json:"benchmarks"`
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	flag.Parse()
+
+	res := output{Command: "go test -run '^$' -bench 'MVM|Forward' -count N"}
+	ns := map[string][]float64{}
+	bytes := map[string][]float64{}
+	allocs := map[string][]float64{}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			res.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			res.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			res.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		ns[name] = append(ns[name], v)
+		for _, mm := range metric.FindAllStringSubmatch(m[4], -1) {
+			x, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				continue
+			}
+			switch mm[2] {
+			case "B/op":
+				bytes[name] = append(bytes[name], x)
+			case "allocs/op":
+				allocs[name] = append(allocs[name], x)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+	if len(ns) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsummary: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(ns))
+	for name := range ns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := summary{Name: name, Runs: len(ns[name]), NsOp: median(ns[name])}
+		if xs := bytes[name]; len(xs) > 0 {
+			v := median(xs)
+			s.BytesOp = &v
+		}
+		if xs := allocs[name]; len(xs) > 0 {
+			v := median(xs)
+			s.AllocsOp = &v
+		}
+		res.Benchmarks = append(res.Benchmarks, s)
+	}
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+}
