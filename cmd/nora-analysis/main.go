@@ -72,17 +72,10 @@ func main() {
 		}
 		fmt.Println()
 		if *csvPrefix != "" {
-			f, err := os.Create(*csvPrefix + name + ".csv")
-			if err != nil {
+			if err := tbl.WriteCSVFile(*csvPrefix + name + ".csv"); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			if err := tbl.WriteCSV(f); err != nil {
-				f.Close()
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			f.Close()
 		}
 	}
 

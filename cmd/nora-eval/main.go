@@ -109,13 +109,7 @@ func main() {
 	if *csvPath != "" {
 		all := append(append([]harness.AccuracyRow{}, optRows...), otherRows...)
 		tbl := harness.AccuracyTable("overall accuracy", all)
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := tbl.WriteCSV(f); err != nil {
+		if err := tbl.WriteCSVFile(*csvPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -65,13 +65,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := tbl.WriteCSV(f); err != nil {
+		if err := tbl.WriteCSVFile(*csvPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

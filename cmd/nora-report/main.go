@@ -56,7 +56,7 @@ func main() {
 	}
 }
 
-func run(modelDir, outPath string, evalN int, quick bool, batch int) error {
+func run(modelDir, outPath string, evalN int, quick bool, batch int) (err error) {
 	start := time.Now()
 	if err := os.MkdirAll(dirOf(outPath), 0o755); err != nil {
 		return err
@@ -65,10 +65,18 @@ func run(modelDir, outPath string, evalN int, quick bool, batch int) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// A close error means the tail of the report never reached disk; it must
+	// fail the run, not leave a silently truncated report behind.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 
-	fmt.Fprintf(f, "# NORA reproduction report\n\ngenerated %s · eval=%d per point · quick=%v\n\n",
-		time.Now().Format(time.RFC3339), evalN, quick)
+	if _, err := fmt.Fprintf(f, "# NORA reproduction report\n\ngenerated %s · eval=%d per point · quick=%v\n\n",
+		time.Now().Format(time.RFC3339), evalN, quick); err != nil {
+		return err
+	}
 
 	emit := func(tbl *harness.Table) error {
 		if err := tbl.WriteMarkdown(f); err != nil {
@@ -196,9 +204,25 @@ func run(modelDir, outPath string, evalN int, quick bool, batch int) error {
 		return err
 	}
 
+	// E19 — device-fault robustness (stuck-at faults, drift aging).
+	rates := harness.DefaultFaultRates()
+	ages := harness.DefaultDriftAges()
+	if quick {
+		rates = []float64{0, 0.01, 0.05}
+		ages = []float64{0, 3600}
+	}
+	if err := emit(harness.FaultTable(harness.FaultSweep(eng, focus, cfg, rates))); err != nil {
+		return err
+	}
+	if err := emit(harness.DriftAgeTable(harness.DriftAgeSweep(eng, focus, cfg, ages))); err != nil {
+		return err
+	}
+
 	stats := eng.Stats()
-	fmt.Fprintf(f, "---\nengine stats: `%s`\n\ntotal wall time: %s\n",
-		stats, time.Since(start).Round(time.Second))
+	if _, err := fmt.Fprintf(f, "---\nengine stats: `%s`\n\ntotal wall time: %s\n",
+		stats, time.Since(start).Round(time.Second)); err != nil {
+		return err
+	}
 	fmt.Println(stats)
 	fmt.Printf("report written to %s (%s)\n", outPath, time.Since(start).Round(time.Second))
 	return nil

@@ -61,7 +61,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *csvPath != "" {
-		if err := writeCSV(tbl, *csvPath); err != nil {
+		if err := tbl.WriteCSVFile(*csvPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -89,13 +89,4 @@ func selectSpecs(keys string) ([]model.Spec, error) {
 		specs = append(specs, spec)
 	}
 	return specs, nil
-}
-
-func writeCSV(tbl *harness.Table, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return tbl.WriteCSV(f)
 }

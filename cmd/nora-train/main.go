@@ -15,6 +15,7 @@ import (
 
 	"nora/internal/harness"
 	"nora/internal/model"
+	"nora/internal/nn"
 )
 
 func main() {
@@ -37,9 +38,18 @@ func main() {
 	for _, spec := range specs {
 		path := model.CachePath(*modelDir, spec.Key)
 		if !*force {
+			// Validate the cache, don't just stat it: a corrupt or stale file
+			// would otherwise be reported as cached here and then silently
+			// retrained (and rewritten) by whichever experiment loads it next.
 			if _, err := os.Stat(path); err == nil {
-				fmt.Printf("%-10s cached at %s (use -force to retrain)\n", spec.Key, path)
-				continue
+				if m, err := nn.LoadFile(path); err == nil && m.Cfg == spec.Cfg {
+					fmt.Printf("%-10s cached at %s (use -force to retrain)\n", spec.Key, path)
+					continue
+				} else if err != nil {
+					fmt.Printf("%-10s cache at %s unreadable (%v) — retraining\n", spec.Key, path, err)
+				} else {
+					fmt.Printf("%-10s cache at %s is stale (spec changed) — retraining\n", spec.Key, path)
+				}
 			}
 		}
 		start := time.Now()

@@ -192,6 +192,68 @@ type Config struct {
 	// but draws a different sequence and therefore fingerprints (and caches)
 	// separately.
 	NoiseStream rng.StreamVersion
+
+	// FaultRate is the per-device stuck-at fault probability, drawn once at
+	// programming time: a faulty device ignores programming and pins its
+	// conductance to a rail. 0 disables device faults. Under
+	// DifferentialPair the g⁺ and g⁻ devices of a weight fault
+	// independently.
+	FaultRate float32
+
+	// FaultSA1Frac is the fraction of faulty devices stuck at G_max
+	// ("stuck-at-1"); the remainder are stuck at G_min ("stuck-at-0", the
+	// dominant failure mode of formed PCM/ReRAM cells). 0 makes every fault
+	// stuck-at-G_min.
+	FaultSA1Frac float32
+
+	// GMaxStd is the standard deviation of the per-tile log-normal global
+	// conductance scale exp(σ·ξ) applied to every programmed conductance —
+	// the chip-to-chip (and macro-to-macro) G_max transfer variation of real
+	// deployments, which the digital rescale chain calibrated for nominal
+	// G_max does not correct. 0 disables.
+	GMaxStd float32
+
+	// PVRetries enables the program-verify retry mitigation: after initial
+	// programming, up to PVRetries passes read every device back (with the
+	// tile's read noise) and re-program the cells whose realized
+	// conductance deviates from the target by more than PVTol. Stuck
+	// devices cannot be corrected by re-programming; they are left for
+	// SpareCols remapping. 0 disables the retry loop.
+	PVRetries int
+
+	// PVTol is the program-verify acceptance tolerance in unit-normalized
+	// conductance; 0 selects DefaultPVTol. Only read when PVRetries > 0 or
+	// SpareCols > 0.
+	PVTol float32
+
+	// SpareCols is the number of spare crossbar columns per tile available
+	// for fault remapping: after the retry loop, columns still holding an
+	// out-of-tolerance cell are re-routed to a fault-free spare column,
+	// re-programmed from the ideal targets (ROMER-style replacement).
+	// 0 disables remapping.
+	SpareCols int
+}
+
+// DefaultPVTol is the program-verify acceptance tolerance used when
+// Config.PVTol is unset: 2% of the full conductance range, a little above
+// the PCM programming-noise floor so healthy cells converge in one or two
+// retries.
+const DefaultPVTol = 0.02
+
+// pvTol returns the effective program-verify tolerance.
+func (c Config) pvTol() float32 {
+	if c.PVTol > 0 {
+		return c.PVTol
+	}
+	return DefaultPVTol
+}
+
+// faultFree reports whether every device-fault/mitigation extension of this
+// configuration is disabled — the condition under which Fingerprint stays
+// suffix-free and programming is bit-identical to the pre-fault code.
+func (c Config) faultFree() bool {
+	return c.FaultRate == 0 && c.FaultSA1Frac == 0 && c.GMaxStd == 0 &&
+		c.PVRetries == 0 && c.PVTol == 0 && c.SpareCols == 0
 }
 
 // Programming-noise polynomial σ_prog(ĝ)/scale = c0 + c1·ĝ + c2·ĝ², with ĝ
@@ -219,7 +281,7 @@ const (
 // checks it against reflect.TypeOf(Config{}).NumField() so that adding a
 // field without extending Fingerprint fails loudly instead of silently
 // aliasing distinct configurations in the engine's deployment cache.
-const configFieldCount = 29
+const configFieldCount = 35
 
 // Fingerprint returns a stable, content-derived identifier of the
 // configuration: two Configs share a fingerprint iff every field is equal.
@@ -245,6 +307,13 @@ func (c Config) Fingerprint() string {
 	// deployments never mix stream versions.
 	if s := c.NoiseStream.Canon(); s != rng.StreamV1 {
 		fp += fmt.Sprintf(";stream=%s", s)
+	}
+	// Device-fault and mitigation fields likewise add no suffix while all
+	// disabled, keeping every pre-fault fingerprint (and deployment seed)
+	// byte-identical; any non-zero field keys the whole group.
+	if !c.faultFree() {
+		fp += fmt.Sprintf(";fault=%g,%g;gmaxstd=%g;pv=%d,%g;spare=%d",
+			c.FaultRate, c.FaultSA1Frac, c.GMaxStd, c.PVRetries, c.PVTol, c.SpareCols)
 	}
 	return fp
 }

@@ -31,12 +31,19 @@ func determinismConfigs() map[string]Config {
 	bits.BitSerial = true
 	sliced := small(PaperPreset())
 	sliced.WeightSlices = 2
+	faulty := small(PaperPreset())
+	faulty.FaultRate = 0.05
+	faulty.FaultSA1Frac = 0.3
+	faulty.GMaxStd = 0.05
+	faulty.PVRetries = 2
+	faulty.SpareCols = 2
 	return map[string]Config{
 		"ideal":     small(Ideal()),
 		"paper":     paper,
 		"no-bm":     noBM,
 		"bitserial": bits,
 		"sliced":    sliced,
+		"faulty":    faulty,
 	}
 }
 

@@ -23,6 +23,7 @@ type mvmTile interface {
 	ColScales() []float32
 	SetTime(tSec float64)
 	Counters() *OpCounters
+	FaultStats() FaultStats
 	Rows() int
 	Cols() int
 

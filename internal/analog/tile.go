@@ -52,6 +52,9 @@ type Tile struct {
 	invInSteps  float32
 	invOutSteps float32
 
+	chipScale float32    // realized chip-to-chip G_max scale (1 when GMaxStd = 0)
+	fstats    FaultStats // programming-time fault/mitigation statistics
+
 	counters OpCounters // hardware-event counts for cost estimation
 }
 
@@ -69,6 +72,7 @@ func NewTile(cfg Config, ws *tensor.Matrix, progRng *rng.Rand) *Tile {
 		cols:      ws.Cols,
 		colScale:  make([]float32, ws.Cols),
 		driftComp: 1,
+		chipScale: 1,
 	}
 	// Per-column scaling γ_j = max|w_j|/g_max (Eq. 4); colScale keeps the
 	// full digital factor γ_j·g_max = max|w_j| so outputs rescale exactly.
@@ -218,7 +222,14 @@ func (t *Tile) programSigned(ideal *tensor.Matrix, progRng *rng.Rand) {
 		}
 		t.writeVerify(t.wProg.Data, ideal.Data, -1, 1, progRng.Split("verify"))
 	}
+	var mask []uint8
+	if !t.cfg.faultFree() {
+		pl := &progPlane{programmed: t.wProg.Data, ideal: ideal.Data, lo: -1, hi: 1, signed: true}
+		t.applyFaultModel([]*progPlane{pl}, progRng)
+		mask = pl.mask
+	}
 	t.nu = t.drawNu(progRng.Split("nu"))
+	zeroNuStuck(t.nu.Data, mask)
 	t.wEff = t.wProg
 }
 
@@ -236,6 +247,11 @@ func (t *Tile) programDifferential(ideal *tensor.Matrix, progRng *rng.Rand) {
 			t.gMinus.Data[i] = -w
 		}
 	}
+	var idealPlus, idealMinus *tensor.Matrix
+	if t.cfg.ProgNoiseScale > 0 || !t.cfg.faultFree() {
+		idealPlus = t.gPlus.Clone()
+		idealMinus = t.gMinus.Clone()
+	}
 	if t.cfg.ProgNoiseScale > 0 {
 		prP := progRng.Split("prog+")
 		prM := progRng.Split("prog-")
@@ -248,8 +264,6 @@ func (t *Tile) programDifferential(ideal *tensor.Matrix, progRng *rng.Rand) {
 			}
 			return g
 		}
-		idealPlus := t.gPlus.Clone()
-		idealMinus := t.gMinus.Clone()
 		for i := range t.gPlus.Data {
 			gp := t.gPlus.Data[i]
 			gm := t.gMinus.Data[i]
@@ -259,8 +273,17 @@ func (t *Tile) programDifferential(ideal *tensor.Matrix, progRng *rng.Rand) {
 		t.writeVerify(t.gPlus.Data, idealPlus.Data, 0, 1, progRng.Split("verify+"))
 		t.writeVerify(t.gMinus.Data, idealMinus.Data, 0, 1, progRng.Split("verify-"))
 	}
+	var maskP, maskM []uint8
+	if !t.cfg.faultFree() {
+		plP := &progPlane{programmed: t.gPlus.Data, ideal: idealPlus.Data, lo: 0, hi: 1, tag: "+"}
+		plM := &progPlane{programmed: t.gMinus.Data, ideal: idealMinus.Data, lo: 0, hi: 1, tag: "-"}
+		t.applyFaultModel([]*progPlane{plP, plM}, progRng)
+		maskP, maskM = plP.mask, plM.mask
+	}
 	t.nuPlus = t.drawNu(progRng.Split("nu+"))
 	t.nuMinus = t.drawNu(progRng.Split("nu-"))
+	zeroNuStuck(t.nuPlus.Data, maskP)
+	zeroNuStuck(t.nuMinus.Data, maskM)
 	t.wEff = tensor.Sub(t.gPlus, t.gMinus)
 	t.wProg = t.wEff // t=0 reference for SetTime(0) restoration
 }

@@ -82,6 +82,12 @@ type Engine struct {
 	order   *list.List // *cacheEntry, front = most recently used
 	entries map[string]*list.Element
 
+	// shapes records the layer-shape signature first seen for each content
+	// key, for the Request.Model aliasing guard. Entries outlive cache
+	// eviction on purpose: a collision with an evicted deployment is just as
+	// much a bug as one with a live entry.
+	shapes map[string]uint64
+
 	stats statCounters
 }
 
@@ -96,13 +102,15 @@ func New(cfg Config) *Engine {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = DefaultCacheSize
 	}
-	if cfg.MACWorkers > 1 {
-		analog.SetMACWorkers(cfg.MACWorkers)
-	}
+	// Always store the MAC worker setting: it is process-wide, so skipping
+	// the call for MACWorkers <= 1 would leave a previous engine's parallel
+	// setting in force. SetMACWorkers clamps <= 1 back to the serial default.
+	analog.SetMACWorkers(cfg.MACWorkers)
 	return &Engine{
 		cfg:     cfg,
 		order:   list.New(),
 		entries: make(map[string]*list.Element),
+		shapes:  make(map[string]uint64),
 	}
 }
 
@@ -172,6 +180,49 @@ func (r Request) cacheKey() string {
 	return fmt.Sprintf("%s;net=%p", r.contentKey(), r.Net)
 }
 
+// shapeSig fingerprints the network's layer structure (layer names and
+// weight dimensions). It deliberately excludes the weight values — the
+// content key's job is naming hardware-determining state, and Model is the
+// caller's promise of weight identity — but structurally different networks
+// sharing a Model string are always a caller bug, and the signature lets
+// Deploy reject that aliasing instead of silently serving one network's
+// deployment seed (and cache slot) for the other.
+func (r Request) shapeSig() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, spec := range r.Net.Linears() {
+		h.Write([]byte(spec.Name))
+		word(uint64(spec.W.Rows))
+		word(uint64(spec.W.Cols))
+	}
+	return h.Sum64()
+}
+
+// checkShape reports a non-nil error if the request's content key was
+// previously seen with a different layer-shape signature — the documented
+// Request.Model cache-aliasing hazard, now detected instead of trusted.
+// Callers must hold e.mu.
+func (e *Engine) checkShape(contentKey string, sig uint64) error {
+	prev, ok := e.shapes[contentKey]
+	if !ok {
+		e.shapes[contentKey] = sig
+		return nil
+	}
+	if prev != sig {
+		return fmt.Errorf(
+			"engine: two structurally different networks share one deployment identity %q "+
+				"(layer-shape signature %016x vs %016x); give each distinct model its own Request.Model",
+			contentKey, prev, sig)
+	}
+	return nil
+}
+
 // Deployment is a cached handle on one deployed runner. Eval results are
 // memoized per sequence set, so re-walking a grid point costs nothing.
 type Deployment struct {
@@ -204,7 +255,12 @@ func (e *Engine) Deploy(req Request) *Deployment {
 		e.stats.recordStream(req.Config.NoiseStream)
 	}
 	key := req.cacheKey()
+	sig := req.shapeSig()
 	e.mu.Lock()
+	if err := e.checkShape(req.contentKey(), sig); err != nil {
+		e.mu.Unlock()
+		panic(err)
+	}
 	if el, ok := e.entries[key]; ok {
 		e.order.MoveToFront(el)
 		entry := el.Value.(*cacheEntry)
@@ -309,6 +365,21 @@ func (d *Deployment) analogMVMs() int64 {
 	for _, spec := range d.runner.Model().Linears() {
 		if op, ok := d.runner.Linear(spec.Name).(costOp); ok {
 			total += op.CostCounters().MVMs
+		}
+	}
+	return total
+}
+
+// FaultStats aggregates programming-time device-fault and mitigation
+// statistics across the deployment's analog layers (all zero for digital or
+// fault-free deployments). The counts are fixed at programming time, so
+// reading them never races with evaluation.
+func (d *Deployment) FaultStats() analog.FaultStats {
+	type faultOp interface{ FaultStats() analog.FaultStats }
+	var total analog.FaultStats
+	for _, spec := range d.runner.Model().Linears() {
+		if op, ok := d.runner.Linear(spec.Name).(faultOp); ok {
+			total.Add(op.FaultStats())
 		}
 	}
 	return total

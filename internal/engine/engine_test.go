@@ -217,6 +217,90 @@ func TestEvalStatsAndThroughput(t *testing.T) {
 	}
 }
 
+// Fault-model configurations must uphold the engine's determinism contract
+// exactly like the noise model: same seed + fault config → bit-identical
+// accuracy across cached vs. fresh deployments, eval worker counts, batch
+// sizes, and MAC worker counts.
+func TestFaultConfigDeterminism(t *testing.T) {
+	defer analog.SetMACWorkers(0)
+	m := testModel(t)
+	seqs := testSeqs(10, 6)
+	cfg := testConfig()
+	cfg.FaultRate = 0.02
+	cfg.FaultSA1Frac = 0.3
+	cfg.GMaxStd = 0.05
+	cfg.PVRetries = 2
+	cfg.SpareCols = 2
+	req := Request{Model: "m", Net: m, Mode: core.DeployAnalogNaive, Config: cfg}
+
+	var results []nn.EvalResult
+	for _, ec := range []Config{
+		{EvalWorkers: 1, BatchRows: 1}, // serial row loop
+		{EvalWorkers: 4},               // parallel eval, default batching
+		{EvalWorkers: 2, BatchRows: 3, MACWorkers: 4}, // odd batch + parallel MACs
+	} {
+		eng := New(ec)
+		dep := eng.Deploy(req)
+		first := dep.Eval(seqs)
+		if again := eng.Deploy(req).Eval(seqs); first != again {
+			t.Fatalf("cached faulty deployment diverged under %+v: %+v vs %+v", ec, first, again)
+		}
+		results = append(results, first)
+	}
+	for i, r := range results[1:] {
+		if r != results[0] {
+			t.Fatalf("faulty eval varied with engine config %d: %+v vs %+v", i+1, r, results[0])
+		}
+	}
+	analog.SetMACWorkers(0)
+	fresh := core.Deploy(m, req.Mode, nil, req.Config, req.Seed(), core.Options{})
+	if serial := fresh.Eval(seqs, 1); serial != results[0] {
+		t.Fatalf("fresh serial faulty eval %+v != engine eval %+v", serial, results[0])
+	}
+}
+
+// Regression: engine.New used to install MACWorkers only when > 1, so an
+// engine configured for serial MAC silently inherited the process-wide
+// parallel setting of a previously constructed engine.
+func TestMACWorkersResetBetweenEngines(t *testing.T) {
+	defer analog.SetMACWorkers(0)
+	New(Config{MACWorkers: 4})
+	if got := analog.MACWorkers(); got != 4 {
+		t.Fatalf("first engine did not install its MAC worker count: got %d", got)
+	}
+	New(Config{}) // zero value = serial; must override, not inherit
+	if got := analog.MACWorkers(); got != 1 {
+		t.Fatalf("second engine inherited the previous process-wide MAC worker count: got %d", got)
+	}
+}
+
+// Two structurally different networks sharing one Model string is the
+// documented cache-aliasing hazard; Deploy must reject it instead of serving
+// one network's deployment identity for the other. A second instance of the
+// *same* structure keeps working — instances are separated by cacheKey.
+func TestModelAliasShapeGuard(t *testing.T) {
+	m1 := testModel(t)
+	eng := New(Config{})
+	eng.Deploy(Request{Model: "m", Net: m1, Mode: core.DeployAnalogNaive, Config: testConfig()})
+
+	// Same structure, different live instance: allowed.
+	eng.Deploy(Request{Model: "m", Net: testModel(t), Mode: core.DeployAnalogNaive, Config: testConfig()})
+
+	wide, err := nn.NewModel(nn.Config{
+		Arch: nn.ArchOPT, Vocab: 40, DModel: 24, NHeads: 2,
+		NLayers: 1, DFF: 48, MaxSeq: 16,
+	}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("structurally different network reusing a Model string must be rejected")
+		}
+	}()
+	eng.Deploy(Request{Model: "m", Net: wide, Mode: core.DeployAnalogNaive, Config: testConfig()})
+}
+
 func TestParallelFor(t *testing.T) {
 	// Work conservation: every index runs exactly once, even with far more
 	// work items than workers.

@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/engine"
+)
+
+// --- E19: device-fault robustness study ---------------------------------
+//
+// The paper's accuracy numbers describe a healthy array at t = 0. This
+// study measures what survives deployment reality: stuck-at device faults
+// at increasing rates, and conductance aging at increasing read times, each
+// compared across three arms —
+//
+//	naive      plain analog mapping, faults unmitigated
+//	nora       NORA rescaling, faults unmitigated
+//	mitigated  NORA rescaling + hardware mitigation (program-verify retry
+//	           with spare-column remapping for faults; global drift
+//	           compensation for aging)
+//
+// Every deployment is engine-cached and content-seeded, so the fault
+// patterns are deterministic and each (model, config) point is programmed
+// exactly once no matter how many arms or sweeps revisit it.
+
+// RobustnessSA1Frac is the stuck-at-G_max share of drawn faults used by the
+// sweep: an even split between set-stuck and reset-stuck devices, the
+// neutral assumption when no device population is specified.
+const RobustnessSA1Frac = 0.5
+
+// RobustnessPVRetries is the program-verify retry budget of the mitigated
+// arm.
+const RobustnessPVRetries = 3
+
+// Mitigate returns cfg with the programming-time fault mitigation enabled:
+// RobustnessPVRetries program-verify passes and a spare-column budget of
+// ~3% of the tile width (at least 4 columns) for fault remapping.
+func Mitigate(cfg analog.Config) analog.Config {
+	cfg.PVRetries = RobustnessPVRetries
+	spares := cfg.TileCols / 32
+	if spares < 4 {
+		spares = 4
+	}
+	cfg.SpareCols = spares
+	return cfg
+}
+
+// FaultRow is one (model, fault rate) measurement of the robustness study.
+type FaultRow struct {
+	Model     string
+	FaultRate float64
+	Digital   float64
+	Naive     float64 // naive analog, unmitigated
+	NORA      float64 // NORA rescaling, unmitigated
+	Mitigated float64 // NORA + program-verify retry + spare columns
+
+	// Realized hardware statistics of the mitigated deployment.
+	StuckFraction float64
+	RemappedCols  int64
+}
+
+// FaultSweep measures accuracy against the stuck-at device fault rate under
+// base (typically analog.PaperPreset()). Rates should include 0 so the
+// sweep anchors at the fault-free accuracy of each arm.
+func FaultSweep(eng *engine.Engine, ws []*Workload, base analog.Config, rates []float64) []FaultRow {
+	for _, w := range ws {
+		w.DigitalAccuracy(eng)
+		w.Calibration()
+	}
+	type arm struct {
+		mode core.DeployMode
+		mit  bool
+	}
+	arms := []arm{
+		{core.DeployAnalogNaive, false},
+		{core.DeployAnalogNORA, false},
+		{core.DeployAnalogNORA, true},
+	}
+	type point struct {
+		w    *Workload
+		rate float64
+		a    arm
+	}
+	points := make([]point, 0, len(ws)*len(rates)*len(arms))
+	for _, w := range ws {
+		for _, rate := range rates {
+			for _, a := range arms {
+				points = append(points, point{w, rate, a})
+			}
+		}
+	}
+	type result struct {
+		acc   float64
+		stats analog.FaultStats
+	}
+	results := engine.RunGrid(eng, points, func(_ int, p point) result {
+		cfg := base
+		cfg.FaultRate = float32(p.rate)
+		if cfg.FaultRate > 0 {
+			cfg.FaultSA1Frac = RobustnessSA1Frac
+		}
+		if p.a.mit {
+			cfg = Mitigate(cfg)
+		}
+		dep := eng.Deploy(p.w.Request(p.a.mode, cfg, core.Options{}, ""))
+		return result{acc: dep.EvalAccuracy(p.w.Eval), stats: dep.FaultStats()}
+	})
+	rows := make([]FaultRow, 0, len(points)/len(arms))
+	for i := 0; i < len(points); i += len(arms) {
+		p := points[i]
+		mit := results[i+2]
+		rows = append(rows, FaultRow{
+			Model:         p.w.Spec.Display,
+			FaultRate:     p.rate,
+			Digital:       p.w.DigitalAccuracy(eng),
+			Naive:         results[i].acc,
+			NORA:          results[i+1].acc,
+			Mitigated:     mit.acc,
+			StuckFraction: mit.stats.StuckFraction(),
+			RemappedCols:  mit.stats.RemappedCols,
+		})
+	}
+	return rows
+}
+
+// DriftAgeRow is one (model, deploy age) measurement of the robustness
+// study: accuracy when evaluation happens ageSeconds after programming.
+type DriftAgeRow struct {
+	Model      string
+	AgeSeconds float64
+	Digital    float64
+	Naive      float64 // naive analog, no compensation
+	NORA       float64 // NORA rescaling, no compensation
+	Mitigated  float64 // NORA + global drift compensation
+}
+
+// DriftAgeSweep measures accuracy against the deploy-time age parameter
+// (Config.DriftT): conductances decay as G(t) = G(0)·(t/t0)^(−ν) with
+// per-device log-normal drift, and the 1/f read-noise floor rises with the
+// read time. Ages should include 0 for the fresh-array anchor.
+func DriftAgeSweep(eng *engine.Engine, ws []*Workload, base analog.Config, ages []float64) []DriftAgeRow {
+	for _, w := range ws {
+		w.DigitalAccuracy(eng)
+		w.Calibration()
+	}
+	type arm struct {
+		mode core.DeployMode
+		comp bool
+	}
+	arms := []arm{
+		{core.DeployAnalogNaive, false},
+		{core.DeployAnalogNORA, false},
+		{core.DeployAnalogNORA, true},
+	}
+	type point struct {
+		w   *Workload
+		age float64
+		a   arm
+	}
+	points := make([]point, 0, len(ws)*len(ages)*len(arms))
+	for _, w := range ws {
+		for _, age := range ages {
+			for _, a := range arms {
+				points = append(points, point{w, age, a})
+			}
+		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		cfg := base
+		cfg.DriftT = p.age
+		cfg.DriftCompensation = p.a.comp
+		dep := eng.Deploy(p.w.Request(p.a.mode, cfg, core.Options{}, ""))
+		return dep.EvalAccuracy(p.w.Eval)
+	})
+	rows := make([]DriftAgeRow, 0, len(points)/len(arms))
+	for i := 0; i < len(points); i += len(arms) {
+		p := points[i]
+		rows = append(rows, DriftAgeRow{
+			Model:      p.w.Spec.Display,
+			AgeSeconds: p.age,
+			Digital:    p.w.DigitalAccuracy(eng),
+			Naive:      accs[i],
+			NORA:       accs[i+1],
+			Mitigated:  accs[i+2],
+		})
+	}
+	return rows
+}
+
+// FaultTable renders fault-sweep rows.
+func FaultTable(rows []FaultRow) *Table {
+	t := NewTable("E19 — accuracy vs stuck-at device fault rate (paper-preset noise)",
+		"model", "fault-rate", "digital", "naive", "nora", "mitigated", "stuck-frac", "remapped-cols")
+	for _, r := range rows {
+		t.Add(r.Model, r.FaultRate, r.Digital, r.Naive, r.NORA, r.Mitigated,
+			r.StuckFraction, r.RemappedCols)
+	}
+	return t
+}
+
+// DriftAgeTable renders drift-age sweep rows.
+func DriftAgeTable(rows []DriftAgeRow) *Table {
+	t := NewTable("E19 — accuracy vs deploy age under conductance drift (paper-preset noise)",
+		"model", "age-s", "digital", "naive", "nora", "nora+comp")
+	for _, r := range rows {
+		t.Add(r.Model, r.AgeSeconds, r.Digital, r.Naive, r.NORA, r.Mitigated)
+	}
+	return t
+}
+
+// DefaultFaultRates is the stuck-at fault-rate ladder of the robustness
+// study (0 anchors each arm at its fault-free accuracy).
+func DefaultFaultRates() []float64 { return []float64{0, 0.001, 0.005, 0.01, 0.02, 0.05} }
+
+// DefaultDriftAges is the deploy-age ladder of the robustness study: fresh,
+// one minute, one hour (the paper's drift point), one day, one month.
+func DefaultDriftAges() []float64 { return []float64{0, 60, 3600, 86400, 2.592e6} }

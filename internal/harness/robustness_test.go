@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"testing"
+
+	"nora/internal/analog"
+	"nora/internal/engine"
+)
+
+// The robustness study's acceptance contract: mitigation is never worse
+// than the naive deployment at any fault rate, accuracy degrades
+// monotonically from the fault-free anchor to the highest rate, and the
+// whole sweep is deterministic — a fresh engine reproduces every number
+// exactly.
+func TestFaultSweepOrderingAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment in test")
+	}
+	w := tinyWorkload(t)
+	rates := []float64{0, 0.03, 0.1}
+	rows := FaultSweep(testEng, []*Workload{w}, analog.PaperPreset(), rates)
+	if len(rows) != len(rates) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		t.Logf("rate %.3f: digital %.3f naive %.3f nora %.3f mitigated %.3f (stuck %.4f, remapped %d)",
+			r.FaultRate, r.Digital, r.Naive, r.NORA, r.Mitigated, r.StuckFraction, r.RemappedCols)
+		if r.FaultRate != rates[i] {
+			t.Fatalf("row %d rate %v, want %v", i, r.FaultRate, rates[i])
+		}
+		if r.Mitigated < r.Naive {
+			t.Fatalf("rate %v: mitigated %.3f below naive %.3f", r.FaultRate, r.Mitigated, r.Naive)
+		}
+		if r.Mitigated < r.NORA-0.05 {
+			t.Fatalf("rate %v: mitigation hurt NORA markedly (%.3f vs %.3f)", r.FaultRate, r.Mitigated, r.NORA)
+		}
+		if r.FaultRate > 0 {
+			if frac := r.StuckFraction; frac < r.FaultRate/2 || frac > r.FaultRate*2 {
+				t.Fatalf("rate %v: realized stuck fraction %.4f implausible", r.FaultRate, frac)
+			}
+		}
+	}
+	// Monotone degradation (small wiggle room for the tiny eval split), with
+	// a clear drop from the fault-free anchor to the highest rate.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].NORA > rows[i-1].NORA+0.02 {
+			t.Fatalf("NORA accuracy rose with fault rate: %.3f → %.3f", rows[i-1].NORA, rows[i].NORA)
+		}
+		if rows[i].Mitigated > rows[i-1].Mitigated+0.02 {
+			t.Fatalf("mitigated accuracy rose with fault rate: %.3f → %.3f", rows[i-1].Mitigated, rows[i].Mitigated)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.NORA > rows[0].NORA-0.05 {
+		t.Fatalf("unmitigated NORA did not degrade by the top fault rate: %.3f vs %.3f", last.NORA, rows[0].NORA)
+	}
+
+	// Determinism: a fresh engine (no shared cache) reproduces every number.
+	fresh := FaultSweep(engine.New(engine.Config{EvalWorkers: 2}), []*Workload{w}, analog.PaperPreset(), rates)
+	for i := range rows {
+		if rows[i] != fresh[i] {
+			t.Fatalf("fault sweep not deterministic: row %d %+v vs %+v", i, rows[i], fresh[i])
+		}
+	}
+	if tb := FaultTable(rows); len(tb.Rows) != len(rows) {
+		t.Fatal("FaultTable row count")
+	}
+}
+
+func TestDriftAgeSweepOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment in test")
+	}
+	w := tinyWorkload(t)
+	ages := []float64{0, 3600, 2.592e6}
+	rows := DriftAgeSweep(testEng, []*Workload{w}, analog.PaperPreset(), ages)
+	if len(rows) != len(ages) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("age %.0fs: digital %.3f naive %.3f nora %.3f nora+comp %.3f",
+			r.AgeSeconds, r.Digital, r.Naive, r.NORA, r.Mitigated)
+		if r.Mitigated < r.Naive {
+			t.Fatalf("age %v: compensated arm %.3f below naive %.3f", r.AgeSeconds, r.Mitigated, r.Naive)
+		}
+		if r.Mitigated < r.NORA-0.05 {
+			t.Fatalf("age %v: drift compensation hurt markedly (%.3f vs %.3f)", r.AgeSeconds, r.Mitigated, r.NORA)
+		}
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].NORA > rows[i-1].NORA+0.02 {
+			t.Fatalf("NORA accuracy rose with age: %.3f → %.3f", rows[i-1].NORA, rows[i].NORA)
+		}
+	}
+	if last := rows[len(rows)-1]; last.NORA > rows[0].NORA-0.03 {
+		t.Fatalf("NORA did not degrade by one month of drift: %.3f vs %.3f", last.NORA, rows[0].NORA)
+	}
+	if tb := DriftAgeTable(rows); len(tb.Rows) != len(rows) {
+		t.Fatal("DriftAgeTable row count")
+	}
+}
+
+// Mitigate must only turn on mitigation knobs — never touch the noise model
+// — and must scale the spare budget with the tile width.
+func TestMitigateConfig(t *testing.T) {
+	base := analog.PaperPreset()
+	m := Mitigate(base)
+	if m.PVRetries != RobustnessPVRetries || m.SpareCols != base.TileCols/32 {
+		t.Fatalf("mitigation knobs: %+v", m)
+	}
+	m.PVRetries, m.SpareCols = 0, 0
+	if m.Fingerprint() != base.Fingerprint() {
+		t.Fatal("Mitigate changed fields beyond PVRetries/SpareCols")
+	}
+	small := base
+	small.TileCols = 32
+	if got := Mitigate(small).SpareCols; got != 4 {
+		t.Fatalf("small-tile spare floor: %d", got)
+	}
+}

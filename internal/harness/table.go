@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
 	"strings"
 )
 
@@ -123,6 +124,22 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// WriteCSVFile writes the table as CSV to path, propagating write AND close
+// errors — a result file truncated by a failing close must fail the run,
+// not silently pass as a shorter CSV.
+func (t *Table) WriteCSVFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return t.WriteCSV(f)
 }
 
 // SensitivityTable renders sensitivity points grouped like Fig. 3.
