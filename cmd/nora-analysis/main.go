@@ -14,20 +14,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"nora/internal/analog"
-	"nora/internal/engine"
+	"nora/internal/cli"
 	"nora/internal/harness"
-	"nora/internal/model"
-	"nora/internal/rng"
 )
 
 func main() {
-	modelDir := flag.String("modeldir", "testdata/models", "directory with cached models")
+	var opt cli.Options
+	opt.RegisterFlags(flag.CommandLine)
 	layer := flag.String("layer", "attn.q", "layer-name filter for the Fig. 6 series (empty = all layers)")
 	models := flag.String("models", "opt-c3,llama3-c,mistral-c", "comma-separated zoo keys (Fig. 6 uses these three)")
-	evalN := flag.Int("eval", harness.EvalSize, "evaluation sequences (drift / λ studies)")
 	drift := flag.Bool("drift", false, "also run the 1-hour drift study (paper §VII)")
 	driftSec := flag.Float64("driftsec", 3600, "drift time in seconds")
 	lambda := flag.Bool("lambda", false, "also run the λ migration-strength ablation")
@@ -39,27 +36,13 @@ func main() {
 	hwa := flag.Bool("hwa", false, "also compare against hardware-aware noise-injection fine-tuning")
 	hwaSteps := flag.Int("hwasteps", 300, "fine-tuning steps for the HWA baseline")
 	csvPrefix := flag.String("csv", "", "write CSVs with this path prefix")
-	batch := flag.Int("batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
-	stream := flag.String("noise-stream", "v1", "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
 	flag.Parse()
 
-	sv, err := rng.ParseStreamVersion(*stream)
-	if err != nil {
+	if err := opt.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	analog.SetDefaultNoiseStream(sv)
-
-	var specs []model.Spec
-	for _, key := range strings.Split(*models, ",") {
-		spec, err := model.ByKey(strings.TrimSpace(key))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		specs = append(specs, spec)
-	}
-	ws, err := harness.LoadZoo(*modelDir, specs, *evalN, harness.CalibSize)
+	ws, err := opt.LoadModels(*models)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -79,7 +62,7 @@ func main() {
 		}
 	}
 
-	eng := engine.New(engine.Config{BatchRows: *batch})
+	eng := opt.NewEngine()
 	rows := harness.DistributionAnalysis(eng, ws, *layer, analog.PaperPreset())
 	emit(harness.Fig6Table(rows), "fig6")
 

@@ -15,36 +15,31 @@ import (
 	"os"
 
 	"nora/internal/analog"
-	"nora/internal/engine"
+	"nora/internal/cli"
 	"nora/internal/harness"
 	"nora/internal/model"
-	"nora/internal/rng"
 )
 
 func main() {
-	modelDir := flag.String("modeldir", "testdata/models", "directory with cached models")
-	evalN := flag.Int("eval", harness.EvalSize, "evaluation sequences per deployment")
+	var opt cli.Options
+	opt.RegisterFlags(flag.CommandLine)
 	family := flag.String("family", "all", "which models: all, opt (Fig. 5a), llama (Table III) or task (generalization pair)")
 	csvPath := flag.String("csv", "", "also write results as CSV to this path")
 	baselines := flag.Bool("baselines", false, "also compare against digital W8A8 / SmoothQuant PTQ baselines")
 	replicas := flag.Int("replicas", 1, "independent hardware instances per deployment (> 1 adds mean±std)")
-	batch := flag.Int("batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
-	stream := flag.String("noise-stream", "v1", "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
 	flag.Parse()
 
-	sv, err := rng.ParseStreamVersion(*stream)
-	if err != nil {
+	if err := opt.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	analog.SetDefaultNoiseStream(sv)
 
 	var optRows, otherRows []harness.AccuracyRow
 	cfg := analog.PaperPreset()
-	eng := engine.New(engine.Config{BatchRows: *batch})
+	eng := opt.NewEngine()
 
 	if *family == "all" || *family == "opt" {
-		ws, err := harness.LoadZoo(*modelDir, model.OPTSpecs(), *evalN, harness.CalibSize)
+		ws, err := opt.LoadWorkloads(model.OPTSpecs())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -64,7 +59,7 @@ func main() {
 		fmt.Println()
 	}
 	if *family == "all" || *family == "llama" {
-		ws, err := harness.LoadZoo(*modelDir, model.OtherSpecs(), *evalN, harness.CalibSize)
+		ws, err := opt.LoadWorkloads(model.OtherSpecs())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -78,7 +73,7 @@ func main() {
 	}
 
 	if *family == "all" || *family == "task" {
-		ws, err := harness.LoadZoo(*modelDir, model.TaskSpecs(), *evalN, harness.CalibSize)
+		ws, err := opt.LoadWorkloads(model.TaskSpecs())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -93,7 +88,7 @@ func main() {
 	}
 
 	if *baselines {
-		ws, err := harness.LoadZoo(*modelDir, model.Zoo(), *evalN, harness.CalibSize)
+		ws, err := opt.LoadWorkloads(model.Zoo())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,0 +1,221 @@
+// Command nora-loadgen is a closed-loop load generator for nora-serve:
+// for each concurrency level it keeps that many in-flight predict requests
+// against the server for a fixed duration, then reports client-side
+// latency quantiles (p50/p95/p99), throughput, and rejection counts, plus
+// the server-side micro-batch statistics read back from /statz. The result
+// is the throughput-vs-concurrency curve that shows dynamic batching
+// amortizing analog reads across requests.
+//
+// Usage:
+//
+//	nora-loadgen [-url http://localhost:8080] [-model opt-c1] [-mode nora]
+//	             [-concurrency 1,8,32] [-duration 10s] [-ctxlen 12]
+//	             [-seed 1] [-csv out.csv]
+//
+// Contexts are random token windows drawn from the model's vocabulary
+// (deterministic per -seed); the server's answers are deterministic per
+// context, so two identical loadgen runs exercise identical work.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"nora/internal/cli"
+	"nora/internal/harness"
+	"nora/internal/model"
+	"nora/internal/rng"
+	"nora/internal/serve"
+)
+
+type levelResult struct {
+	concurrency int
+	ok, rejects int
+	errs        int
+	elapsed     time.Duration
+	latencies   []time.Duration // successful requests only
+}
+
+func (l *levelResult) quantile(q float64) time.Duration {
+	if len(l.latencies) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(l.latencies)-1))
+	return l.latencies[idx]
+}
+
+func main() {
+	var opt cli.Options
+	opt.RegisterFlags(flag.CommandLine)
+	url := flag.String("url", "http://localhost:8080", "nora-serve base URL")
+	modelKey := flag.String("model", "opt-c1", "zoo key of the model to load")
+	mode := flag.String("mode", "nora", "deployment mode: digital, naive or nora")
+	levels := flag.String("concurrency", "1,8,32", "comma-separated closed-loop concurrency levels")
+	duration := flag.Duration("duration", 10*time.Second, "measurement window per concurrency level")
+	ctxLen := flag.Int("ctxlen", 12, "tokens per predict context")
+	seed := flag.Uint64("seed", 1, "context generator seed")
+	csvPath := flag.String("csv", "", "also write the result table as CSV to this path")
+	flag.Parse()
+	if err := opt.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	spec, err := model.ByKey(*modelKey)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	conc, err := cli.ParseInts(*levels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	n := *ctxLen
+	if n < 1 {
+		n = 1
+	}
+	if n > spec.Cfg.MaxSeq {
+		n = spec.Cfg.MaxSeq
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	if err := waitHealthy(client, *url); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	tbl := harness.NewTable(
+		fmt.Sprintf("nora-loadgen — %s/%s, %v per level, ctx %d", *modelKey, *mode, *duration, n),
+		"concurrency", "req/s", "ok", "429", "errors", "p50 ms", "p95 ms", "p99 ms", "mean batch")
+	for _, c := range conc {
+		res := runLevel(client, *url, *modelKey, *mode, spec.Cfg.Vocab, n, c, *duration, *seed)
+		// Server-side batching stats, delta'd per level via absolute counters.
+		statz, err := fetchStatz(client, *url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tbl.Add(
+			fmt.Sprintf("%d", c),
+			float64(res.ok)/res.elapsed.Seconds(),
+			float64(res.ok), float64(res.rejects), float64(res.errs),
+			float64(res.quantile(0.50))/1e6,
+			float64(res.quantile(0.95))/1e6,
+			float64(res.quantile(0.99))/1e6,
+			statz.Batch.MeanBatch,
+		)
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	statz, err := fetchStatz(client, *url)
+	if err == nil {
+		fmt.Printf("\nserver: %d batches carried %d predicts (mean %.2f, max %d), %d rejected, eval-memo hit rate %.0f%%\n",
+			statz.Batch.Batches, statz.Batch.Requests, statz.Batch.MeanBatch,
+			statz.Batch.MaxBatch, statz.Batch.QueueFull, 100*statz.EvalMemoHitRate)
+	}
+	if *csvPath != "" {
+		if err := tbl.WriteCSVFile(*csvPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runLevel keeps `workers` requests in flight for `d`, closed-loop: each
+// worker issues its next request as soon as the previous one answers.
+func runLevel(client *http.Client, url, modelKey, mode string, vocab, ctxLen, workers int, d time.Duration, seed uint64) levelResult {
+	res := levelResult{concurrency: workers}
+	deadline := time.Now().Add(d)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(seed + uint64(w)*7919)
+			var lats []time.Duration
+			ok, rejects, errs := 0, 0, 0
+			for time.Now().Before(deadline) {
+				ctx := make([]int, ctxLen)
+				for i := range ctx {
+					ctx[i] = int(r.Uint64() % uint64(vocab))
+				}
+				body, _ := json.Marshal(map[string]any{"model": modelKey, "mode": mode, "context": ctx})
+				t0 := time.Now()
+				resp, err := client.Post(url+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok++
+					lats = append(lats, time.Since(t0))
+				case http.StatusTooManyRequests:
+					rejects++
+					time.Sleep(time.Millisecond) // honor backpressure briefly
+				default:
+					errs++
+				}
+			}
+			mu.Lock()
+			res.ok += ok
+			res.rejects += rejects
+			res.errs += errs
+			res.latencies = append(res.latencies, lats...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	return res
+}
+
+func fetchStatz(client *http.Client, url string) (serve.Statz, error) {
+	var statz serve.Statz
+	resp, err := client.Get(url + "/statz")
+	if err != nil {
+		return statz, fmt.Errorf("statz: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
+		return statz, fmt.Errorf("statz: %w", err)
+	}
+	return statz, nil
+}
+
+// waitHealthy polls /healthz so a loadgen started alongside the server
+// doesn't count startup as errors.
+func waitHealthy(client *http.Client, url string) error {
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		resp, err := client.Get(url + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("healthz: status %d", resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s never became healthy: %w", url, lastErr)
+}

@@ -13,51 +13,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"nora/internal/analog"
-	"nora/internal/engine"
+	"nora/internal/cli"
 	"nora/internal/harness"
-	"nora/internal/model"
-	"nora/internal/rng"
 )
 
 func main() {
-	modelDir := flag.String("modeldir", "testdata/models", "directory with cached models")
-	evalN := flag.Int("eval", harness.EvalSize, "evaluation sequences per deployment")
+	var opt cli.Options
+	opt.RegisterFlags(flag.CommandLine)
 	mse := flag.Float64("mse", harness.MitigationMSETarget, "matched reference-map MSE level")
 	models := flag.String("models", "", "comma-separated zoo keys (default: all)")
 	csvPath := flag.String("csv", "", "also write results as CSV to this path")
-	batch := flag.Int("batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
-	stream := flag.String("noise-stream", "v1", "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
 	flag.Parse()
 
-	sv, err := rng.ParseStreamVersion(*stream)
-	if err != nil {
+	if err := opt.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	analog.SetDefaultNoiseStream(sv)
-
-	specs := model.Zoo()
-	if *models != "" {
-		specs = specs[:0]
-		for _, key := range strings.Split(*models, ",") {
-			spec, err := model.ByKey(strings.TrimSpace(key))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			specs = append(specs, spec)
-		}
-	}
-	ws, err := harness.LoadZoo(*modelDir, specs, *evalN, harness.CalibSize)
+	ws, err := opt.LoadModels(*models)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	eng := engine.New(engine.Config{BatchRows: *batch})
+	eng := opt.NewEngine()
 	rows := harness.Mitigation(eng, ws, *mse)
 	tbl := harness.MitigationTable(rows)
 	if err := tbl.WriteText(os.Stdout); err != nil {

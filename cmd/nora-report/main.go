@@ -16,39 +16,31 @@ package main
 import (
 	"flag"
 	"fmt"
-
 	"os"
+	"path/filepath"
 	"time"
 
 	"nora/internal/analog"
-	"nora/internal/engine"
+	"nora/internal/cli"
 	"nora/internal/harness"
 	"nora/internal/model"
 	"nora/internal/prof"
-	"nora/internal/rng"
 )
 
 func main() {
-	modelDir := flag.String("modeldir", "testdata/models", "directory with cached models")
+	var opt cli.Options
+	opt.RegisterFlags(flag.CommandLine)
 	out := flag.String("out", "results/report.md", "output markdown path")
-	evalN := flag.Int("eval", harness.EvalSize, "evaluation sequences per point")
-	quick := flag.Bool("quick", false, "reduced sweep for a fast smoke run")
-	batch := flag.Int("batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
-	stream := flag.String("noise-stream", "v1", "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
 	flag.Parse()
 
-	if *quick && *evalN == harness.EvalSize {
-		*evalN = 50
-	}
-	sv, err := rng.ParseStreamVersion(*stream)
-	if err != nil {
+	if err := opt.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	analog.SetDefaultNoiseStream(sv)
+	opt.QuickEval(50)
 
 	stopProf := prof.Start()
-	err = run(*modelDir, *out, *evalN, *quick, *batch)
+	err := run(&opt, *out)
 	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -56,9 +48,10 @@ func main() {
 	}
 }
 
-func run(modelDir, outPath string, evalN int, quick bool, batch int) (err error) {
+func run(opt *cli.Options, outPath string) (err error) {
 	start := time.Now()
-	if err := os.MkdirAll(dirOf(outPath), 0o755); err != nil {
+	evalN, quick := opt.EvalN, opt.Quick
+	if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
 		return err
 	}
 	f, err := os.Create(outPath)
@@ -86,10 +79,10 @@ func run(modelDir, outPath string, evalN int, quick bool, batch int) (err error)
 		return nil
 	}
 
-	eng := engine.New(engine.Config{BatchRows: batch})
+	eng := opt.NewEngine()
 
 	// Workload sets.
-	all, err := harness.LoadZoo(modelDir, model.Zoo(), evalN, harness.CalibSize)
+	all, err := opt.LoadWorkloads(model.Zoo())
 	if err != nil {
 		return err
 	}
@@ -226,13 +219,4 @@ func run(modelDir, outPath string, evalN int, quick bool, batch int) (err error)
 	fmt.Println(stats)
 	fmt.Printf("report written to %s (%s)\n", outPath, time.Since(start).Round(time.Second))
 	return nil
-}
-
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
 }

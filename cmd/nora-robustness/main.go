@@ -15,77 +15,63 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"nora/internal/analog"
-	"nora/internal/engine"
+	"nora/internal/cli"
 	"nora/internal/harness"
-	"nora/internal/model"
 	"nora/internal/prof"
-	"nora/internal/rng"
 )
 
 func main() {
-	modelDir := flag.String("modeldir", "testdata/models", "directory with cached models")
-	evalN := flag.Int("eval", harness.EvalSize, "evaluation sequences per point")
+	var opt cli.Options
+	opt.RegisterFlags(flag.CommandLine)
 	csvPrefix := flag.String("csv", "", "also write results as CSV to <prefix>-faults.csv and <prefix>-drift.csv")
 	models := flag.String("models", "", "comma-separated zoo keys (default: all)")
 	rates := flag.String("rates", "", "comma-separated stuck-at fault rates (default: study ladder)")
 	ages := flag.String("ages", "", "comma-separated deploy ages in seconds (default: study ladder)")
-	quick := flag.Bool("quick", false, "smoke mode: one model, small eval split, short ladders")
-	batch := flag.Int("batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
-	stream := flag.String("noise-stream", "v1", "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
 	flag.Parse()
-	if err := run(*modelDir, *csvPrefix, *models, *rates, *ages, *evalN, *batch, *stream, *quick); err != nil {
+	if err := run(&opt, *csvPrefix, *models, *rates, *ages); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(modelDir, csvPrefix, models, rates, ages string, evalN, batch int, stream string, quick bool) error {
-	sv, err := rng.ParseStreamVersion(stream)
-	if err != nil {
+func run(opt *cli.Options, csvPrefix, models, rates, ages string) error {
+	if err := opt.Finish(); err != nil {
 		return err
 	}
-	analog.SetDefaultNoiseStream(sv)
 
 	stopProf := prof.Start()
 	defer stopProf()
 
 	rateLadder := harness.DefaultFaultRates()
 	ageLadder := harness.DefaultDriftAges()
-	if quick {
+	if opt.Quick {
 		rateLadder = []float64{0, 0.01, 0.05}
 		ageLadder = []float64{0, 3600}
 		if models == "" {
 			models = "opt-c3"
 		}
-		if evalN == harness.EvalSize {
-			evalN = 30
-		}
+		opt.QuickEval(30)
 	}
+	var err error
 	if rates != "" {
-		if rateLadder, err = parseFloats(rates); err != nil {
+		if rateLadder, err = cli.ParseFloats(rates); err != nil {
 			return fmt.Errorf("-rates: %w", err)
 		}
 	}
 	if ages != "" {
-		if ageLadder, err = parseFloats(ages); err != nil {
+		if ageLadder, err = cli.ParseFloats(ages); err != nil {
 			return fmt.Errorf("-ages: %w", err)
 		}
 	}
 
-	specs, err := selectSpecs(models)
-	if err != nil {
-		return err
-	}
-	ws, err := harness.LoadZoo(modelDir, specs, evalN, harness.CalibSize)
+	ws, err := opt.LoadModels(models)
 	if err != nil {
 		return err
 	}
 
-	eng := engine.New(engine.Config{BatchRows: batch})
+	eng := opt.NewEngine()
 	base := analog.PaperPreset()
 
 	faultRows := harness.FaultSweep(eng, ws, base, rateLadder)
@@ -110,31 +96,4 @@ func run(modelDir, csvPrefix, models, rates, ages string, evalN, batch int, stre
 	}
 	fmt.Fprintln(os.Stderr, eng.Stats())
 	return nil
-}
-
-func selectSpecs(keys string) ([]model.Spec, error) {
-	if keys == "" {
-		return model.Zoo(), nil
-	}
-	var specs []model.Spec
-	for _, key := range strings.Split(keys, ",") {
-		spec, err := model.ByKey(strings.TrimSpace(key))
-		if err != nil {
-			return nil, err
-		}
-		specs = append(specs, spec)
-	}
-	return specs, nil
-}
-
-func parseFloats(list string) ([]float64, error) {
-	var out []float64
-	for _, s := range strings.Split(list, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }

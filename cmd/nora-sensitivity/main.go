@@ -12,48 +12,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"nora/internal/analog"
-	"nora/internal/engine"
+	"nora/internal/cli"
 	"nora/internal/harness"
-	"nora/internal/model"
 	"nora/internal/prof"
-	"nora/internal/rng"
 )
 
 func main() {
-	modelDir := flag.String("modeldir", "testdata/models", "directory with cached models")
-	evalN := flag.Int("eval", harness.EvalSize, "evaluation sequences per point")
+	var opt cli.Options
+	opt.RegisterFlags(flag.CommandLine)
 	csvPath := flag.String("csv", "", "also write results as CSV to this path")
 	models := flag.String("models", "", "comma-separated zoo keys (default: all)")
 	chart := flag.Bool("chart", false, "also render ASCII accuracy-vs-MSE charts per noise kind")
-	batch := flag.Int("batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
-	stream := flag.String("noise-stream", "v1", "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
 	flag.Parse()
 
-	sv, err := rng.ParseStreamVersion(*stream)
-	if err != nil {
+	if err := opt.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	analog.SetDefaultNoiseStream(sv)
 
 	stopProf := prof.Start()
 	defer stopProf()
 
-	specs, err := selectSpecs(*models)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	ws, err := harness.LoadZoo(*modelDir, specs, *evalN, harness.CalibSize)
+	ws, err := opt.LoadModels(*models)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	eng := engine.New(engine.Config{BatchRows: *batch})
+	eng := opt.NewEngine()
 	points := harness.Sensitivity(eng, ws, harness.PaperMSETargets())
 	tbl := harness.SensitivityTable(points)
 	if err := tbl.WriteText(os.Stdout); err != nil {
@@ -74,19 +61,4 @@ func main() {
 			os.Exit(1)
 		}
 	}
-}
-
-func selectSpecs(keys string) ([]model.Spec, error) {
-	if keys == "" {
-		return model.Zoo(), nil
-	}
-	var specs []model.Spec
-	for _, key := range strings.Split(keys, ",") {
-		spec, err := model.ByKey(strings.TrimSpace(key))
-		if err != nil {
-			return nil, err
-		}
-		specs = append(specs, spec)
-	}
-	return specs, nil
 }

@@ -13,16 +13,23 @@ import (
 	"os"
 	"time"
 
+	"nora/internal/cli"
 	"nora/internal/harness"
 	"nora/internal/model"
 	"nora/internal/nn"
 )
 
 func main() {
-	modelDir := flag.String("modeldir", "testdata/models", "directory for cached models")
+	var opt cli.Options
+	opt.RegisterFlags(flag.CommandLine)
 	only := flag.String("only", "", "train a single zoo key (e.g. opt-c3)")
 	force := flag.Bool("force", false, "retrain even when a cache exists")
 	flag.Parse()
+
+	if err := opt.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	specs := model.Zoo()
 	if *only != "" {
@@ -36,7 +43,7 @@ func main() {
 
 	tbl := harness.NewTable("Model zoo training", "key", "model", "params", "steps", "final-loss", "digital-acc", "chance", "time")
 	for _, spec := range specs {
-		path := model.CachePath(*modelDir, spec.Key)
+		path := model.CachePath(opt.ModelDir, spec.Key)
 		if !*force {
 			// Validate the cache, don't just stat it: a corrupt or stale file
 			// would otherwise be reported as cached here and then silently
@@ -58,7 +65,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "training %s: %v\n", spec.Key, err)
 			os.Exit(1)
 		}
-		if err := os.MkdirAll(*modelDir, 0o755); err != nil {
+		if err := os.MkdirAll(opt.ModelDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

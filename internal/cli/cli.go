@@ -1,0 +1,192 @@
+// Package cli is the single home of the flag surface shared by every nora
+// binary: model directory, evaluation size, quick mode, analog batch rows,
+// and noise-stream selection. Before this package each command re-declared
+// the same five flags and re-derived an engine.Config from them by hand,
+// and the copies drifted (defaults, help strings, stream validation). Now
+// every binary registers one Options value and resolves engine
+// configuration through one code path, so two commands given identical
+// flags are guaranteed to build identical engines — a property pinned by
+// TestBinariesResolveIdenticalEngineConfig.
+//
+// Usage pattern (all nine cmd binaries):
+//
+//	var opt cli.Options
+//	opt.RegisterFlags(flag.CommandLine)
+//	// ... binary-specific flags ...
+//	flag.Parse()
+//	if err := opt.Finish(); err != nil { ... }
+//	eng := opt.NewEngine()
+//	ws, err := opt.LoadModels("")
+//
+// Flags that a particular binary does not consume (for example -batch on
+// nora-train, which never deploys analog hardware) are still accepted, so
+// the flag surface — and its defaults — is uniform across the whole tool
+// set.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nora/internal/analog"
+	"nora/internal/engine"
+	"nora/internal/harness"
+	"nora/internal/model"
+	"nora/internal/rng"
+)
+
+// Options is the shared configuration every nora binary accepts. The zero
+// value is not ready to use; RegisterFlags installs the shared defaults.
+type Options struct {
+	// ModelDir is the directory holding the cached model zoo (-modeldir).
+	ModelDir string
+	// EvalN is the number of evaluation sequences per point (-eval).
+	EvalN int
+	// Quick selects a reduced sweep for fast smoke runs (-quick). Binaries
+	// interpret it through QuickEval plus their own sweep shrinking.
+	Quick bool
+	// BatchRows is the analog activation-row batch size (-batch); it never
+	// changes results (see engine.Config.BatchRows).
+	BatchRows int
+	// NoiseStream names the analog read-noise stream version
+	// (-noise-stream): "v1" (Box-Muller, bit-compatible with prior runs) or
+	// "v2" (ziggurat, faster). Finish validates and applies it.
+	NoiseStream string
+
+	stream   rng.StreamVersion
+	finished bool
+}
+
+// Default flag values, shared by every binary. Exported so tests (and the
+// serve layer) can assert against the single canonical set.
+const (
+	DefaultModelDir    = "testdata/models"
+	DefaultNoiseStream = "v1"
+)
+
+// RegisterFlags installs the shared flag set on fs with the canonical
+// defaults. Call before fs.Parse; binary-specific flags register alongside.
+func (o *Options) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&o.ModelDir, "modeldir", DefaultModelDir, "directory with cached models")
+	fs.IntVar(&o.EvalN, "eval", harness.EvalSize, "evaluation sequences per point")
+	fs.BoolVar(&o.Quick, "quick", false, "reduced sweep for a fast smoke run")
+	fs.IntVar(&o.BatchRows, "batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
+	fs.StringVar(&o.NoiseStream, "noise-stream", DefaultNoiseStream, "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
+}
+
+// Finish validates the parsed options and applies the process-wide ones
+// (the analog noise-stream default). Call exactly once, after flag parsing
+// and before NewEngine/LoadWorkloads.
+func (o *Options) Finish() error {
+	sv, err := rng.ParseStreamVersion(o.NoiseStream)
+	if err != nil {
+		return err
+	}
+	o.stream = sv
+	analog.SetDefaultNoiseStream(sv)
+	o.finished = true
+	return nil
+}
+
+// Stream returns the validated noise-stream version (Finish must have
+// succeeded first).
+func (o *Options) Stream() rng.StreamVersion {
+	o.mustFinish("Stream")
+	return o.stream
+}
+
+// Engine resolves the options into an engine configuration. Every binary
+// derives its engine from this one function, so identical flags always
+// mean identical engines.
+func (o *Options) Engine() engine.Config {
+	return engine.Config{BatchRows: o.BatchRows}
+}
+
+// NewEngine builds the engine for the resolved configuration.
+func (o *Options) NewEngine() *engine.Engine {
+	o.mustFinish("NewEngine")
+	return engine.New(o.Engine())
+}
+
+// QuickEval shrinks the evaluation size to n when -quick is set and -eval
+// was left at its default, mirroring the historical per-binary behaviour
+// (an explicit -eval always wins over -quick).
+func (o *Options) QuickEval(n int) {
+	if o.Quick && o.EvalN == harness.EvalSize {
+		o.EvalN = n
+	}
+}
+
+// LoadWorkloads assembles workloads for the given specs from the model
+// directory, at the configured evaluation size and the standard
+// calibration size (training and caching any missing models).
+func (o *Options) LoadWorkloads(specs []model.Spec) ([]*harness.Workload, error) {
+	o.mustFinish("LoadWorkloads")
+	return harness.LoadZoo(o.ModelDir, specs, o.EvalN, harness.CalibSize)
+}
+
+// LoadModels is LoadWorkloads over a comma-separated zoo key list (empty
+// selects the full zoo) — the selection syntax shared by -models flags.
+func (o *Options) LoadModels(keys string) ([]*harness.Workload, error) {
+	specs, err := ParseModels(keys)
+	if err != nil {
+		return nil, err
+	}
+	return o.LoadWorkloads(specs)
+}
+
+// mustFinish panics when Finish was skipped: silently running with an
+// unvalidated (and unapplied) noise stream would be a correctness bug, not
+// a recoverable condition.
+func (o *Options) mustFinish(method string) {
+	if !o.finished {
+		panic(fmt.Sprintf("cli: Options.%s called before Finish", method))
+	}
+}
+
+// ParseModels resolves a comma-separated list of zoo keys into specs; an
+// empty list selects the full zoo.
+func ParseModels(keys string) ([]model.Spec, error) {
+	if keys == "" {
+		return model.Zoo(), nil
+	}
+	var specs []model.Spec
+	for _, key := range strings.Split(keys, ",") {
+		spec, err := model.ByKey(strings.TrimSpace(key))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// ParseFloats parses a comma-separated float list (ladder flags like
+// -rates and -ages).
+func ParseFloats(list string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseInts parses a comma-separated int list (the loadgen concurrency
+// ladder).
+func ParseInts(list string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package cli
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+
+	"nora/internal/engine"
+	"nora/internal/harness"
+)
+
+// parseAs stands in for one binary's flag path: a fresh FlagSet with the
+// shared options registered, parsed over args.
+func parseAs(t *testing.T, name string, args []string) *Options {
+	t.Helper()
+	var o Options
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	o.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	if err := o.Finish(); err != nil {
+		t.Fatalf("%s: finish: %v", name, err)
+	}
+	return &o
+}
+
+// TestBinariesResolveIdenticalEngineConfig pins the api_redesign contract:
+// nora-report and nora-sensitivity (and by construction every other
+// binary) resolve identical engine.Configs from identical flags, because
+// both register the one shared Options and derive the engine through
+// Options.Engine. Before internal/cli each binary hand-rolled this
+// plumbing and the copies could drift.
+func TestBinariesResolveIdenticalEngineConfig(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-batch", "8"},
+		{"-modeldir", "elsewhere", "-eval", "42", "-batch", "1", "-noise-stream", "v2", "-quick"},
+	} {
+		report := parseAs(t, "nora-report", args)
+		sensitivity := parseAs(t, "nora-sensitivity", args)
+		if !reflect.DeepEqual(report.Engine(), sensitivity.Engine()) {
+			t.Fatalf("args %v: engine configs diverge: %+v vs %+v",
+				args, report.Engine(), sensitivity.Engine())
+		}
+		if *report != *sensitivity {
+			t.Fatalf("args %v: resolved options diverge: %+v vs %+v", args, report, sensitivity)
+		}
+	}
+}
+
+func TestSharedDefaults(t *testing.T) {
+	o := parseAs(t, "any", nil)
+	if o.ModelDir != DefaultModelDir {
+		t.Fatalf("default modeldir = %q, want %q", o.ModelDir, DefaultModelDir)
+	}
+	if o.EvalN != harness.EvalSize {
+		t.Fatalf("default eval = %d, want %d", o.EvalN, harness.EvalSize)
+	}
+	if o.Quick || o.BatchRows != 0 {
+		t.Fatalf("unexpected defaults: quick=%v batch=%d", o.Quick, o.BatchRows)
+	}
+	if got, want := o.Engine(), (engine.Config{}); got != want {
+		t.Fatalf("default engine config = %+v, want zero value", got)
+	}
+}
+
+func TestFinishRejectsUnknownStream(t *testing.T) {
+	var o Options
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-noise-stream", "v9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Finish(); err == nil {
+		t.Fatal("Finish accepted an unknown noise stream")
+	}
+}
+
+func TestQuickEval(t *testing.T) {
+	o := parseAs(t, "x", []string{"-quick"})
+	o.QuickEval(50)
+	if o.EvalN != 50 {
+		t.Fatalf("quick eval = %d, want 50", o.EvalN)
+	}
+	// An explicit -eval wins over -quick.
+	o = parseAs(t, "x", []string{"-quick", "-eval", "77"})
+	o.QuickEval(50)
+	if o.EvalN != 77 {
+		t.Fatalf("explicit eval overridden: got %d, want 77", o.EvalN)
+	}
+	// Without -quick the default stands.
+	o = parseAs(t, "x", nil)
+	o.QuickEval(50)
+	if o.EvalN != harness.EvalSize {
+		t.Fatalf("non-quick eval shrunk to %d", o.EvalN)
+	}
+}
+
+func TestParseModels(t *testing.T) {
+	specs, err := ParseModels("")
+	if err != nil || len(specs) == 0 {
+		t.Fatalf("empty key list should select the zoo: %v, %d specs", err, len(specs))
+	}
+	specs, err = ParseModels("opt-c3, mistral-c")
+	if err != nil || len(specs) != 2 || specs[0].Key != "opt-c3" || specs[1].Key != "mistral-c" {
+		t.Fatalf("ParseModels: %v %+v", err, specs)
+	}
+	if _, err := ParseModels("no-such-model"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	fs, err := ParseFloats("0, 0.01,0.05")
+	if err != nil || len(fs) != 3 || fs[1] != 0.01 {
+		t.Fatalf("ParseFloats: %v %v", fs, err)
+	}
+	if _, err := ParseFloats("a,b"); err == nil {
+		t.Fatal("ParseFloats accepted garbage")
+	}
+	is, err := ParseInts("1, 8,32")
+	if err != nil || len(is) != 3 || is[2] != 32 {
+		t.Fatalf("ParseInts: %v %v", is, err)
+	}
+	if _, err := ParseInts("1.5"); err == nil {
+		t.Fatal("ParseInts accepted a float")
+	}
+}
+
+func TestUseBeforeFinishPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEngine before Finish did not panic")
+		}
+	}()
+	var o Options
+	o.NewEngine()
+}

@@ -20,6 +20,7 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -246,6 +247,12 @@ type Deployment struct {
 type evalEntry struct {
 	ready chan struct{}
 	res   nn.EvalResult
+	// err is non-nil when the builder's context was canceled before the
+	// pass finished; the entry has then already been removed from the memo
+	// (failed runs never poison it) and waiters retry as fresh builders.
+	// Written before ready is closed, read only after it, so the channel
+	// close orders the accesses.
+	err error
 }
 
 // Deploy returns the cached deployment for req, building (and caching) it
@@ -318,42 +325,86 @@ func (d *Deployment) Runner() *nn.Runner { return d.runner }
 // Results are bit-identical across worker counts and across cache
 // hits/misses (see the package comment).
 func (d *Deployment) Eval(sequences [][]int) nn.EvalResult {
-	key := hashSequences(sequences)
-	d.evalMu.Lock()
-	if entry, ok := d.evals[key]; ok {
-		d.evalMu.Unlock()
-		<-entry.ready
-		d.eng.stats.evalHits.Add(1)
-		return entry.res
-	}
-	entry := &evalEntry{ready: make(chan struct{})}
-	d.evals[key] = entry
-	d.evalMu.Unlock()
-
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	mallocs0 := ms.Mallocs
-	reads0 := d.analogMVMs()
-	rows0 := d.analogRows()
-
-	start := time.Now()
-	res := d.runner.Eval(sequences, d.eng.cfg.EvalWorkers)
-	elapsed := time.Since(start)
-	entry.res = res
-	close(entry.ready)
-
-	runtime.ReadMemStats(&ms)
-
-	s := &d.eng.stats
-	s.evalRuns.Add(1)
-	s.evalNanos.Add(elapsed.Nanoseconds())
-	s.sequences.Add(int64(res.Evaluated))
-	s.skipped.Add(int64(res.Skipped))
-	s.tokens.Add(res.Tokens)
-	s.analogReads.Add(d.analogMVMs() - reads0)
-	s.analogRows.Add(d.analogRows() - rows0)
-	s.mallocs.Add(int64(ms.Mallocs - mallocs0))
+	// A background context never cancels, so EvalCtx's error path is dead
+	// and the result is bit-identical to the historical uncancellable Eval.
+	res, _ := d.EvalCtx(context.Background(), sequences)
 	return res
+}
+
+// EvalCtx is Eval with cooperative cancellation (nn.Runner.EvalCtx's
+// contract: checked between sequences, partial-result-free error, bit-
+// identical to Eval when ctx is never canceled). Cancellation never
+// corrupts shared state:
+//
+//   - the memo only ever records completed results — a canceled pass is
+//     removed before waiters can observe it, and the next caller for the
+//     same sequences re-runs it from scratch;
+//   - the aggregate counters (evals, sequences, tokens, eval time, analog
+//     reads) are only advanced by completed passes, so a storm of canceled
+//     requests leaves Stats exactly as if the storm never happened, except
+//     for the EvalsCanceled diagnostic counter.
+//
+// A caller whose ctx is canceled while waiting on another caller's
+// in-flight pass returns ctx.Err() immediately; the in-flight pass itself
+// is unaffected (its owner may still want the result).
+func (d *Deployment) EvalCtx(ctx context.Context, sequences [][]int) (nn.EvalResult, error) {
+	key := hashSequences(sequences)
+	for {
+		d.evalMu.Lock()
+		if entry, ok := d.evals[key]; ok {
+			d.evalMu.Unlock()
+			select {
+			case <-entry.ready:
+			case <-ctx.Done():
+				d.eng.stats.evalCanceled.Add(1)
+				return nn.EvalResult{}, ctx.Err()
+			}
+			if entry.err != nil {
+				// The builder we were waiting on was canceled (and has
+				// removed its entry); race to become the next builder.
+				continue
+			}
+			d.eng.stats.evalHits.Add(1)
+			return entry.res, nil
+		}
+		entry := &evalEntry{ready: make(chan struct{})}
+		d.evals[key] = entry
+		d.evalMu.Unlock()
+
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mallocs0 := ms.Mallocs
+		reads0 := d.analogMVMs()
+		rows0 := d.analogRows()
+
+		start := time.Now()
+		res, err := d.runner.EvalCtx(ctx, sequences, d.eng.cfg.EvalWorkers)
+		elapsed := time.Since(start)
+		if err != nil {
+			d.evalMu.Lock()
+			delete(d.evals, key)
+			d.evalMu.Unlock()
+			entry.err = err
+			close(entry.ready)
+			d.eng.stats.evalCanceled.Add(1)
+			return nn.EvalResult{}, err
+		}
+		entry.res = res
+		close(entry.ready)
+
+		runtime.ReadMemStats(&ms)
+
+		s := &d.eng.stats
+		s.evalRuns.Add(1)
+		s.evalNanos.Add(elapsed.Nanoseconds())
+		s.sequences.Add(int64(res.Evaluated))
+		s.skipped.Add(int64(res.Skipped))
+		s.tokens.Add(res.Tokens)
+		s.analogReads.Add(d.analogMVMs() - reads0)
+		s.analogRows.Add(d.analogRows() - rows0)
+		s.mallocs.Add(int64(ms.Mallocs - mallocs0))
+		return res, nil
+	}
 }
 
 // analogMVMs sums the analog MVM read counters across the deployment's
@@ -432,15 +483,16 @@ type statCounters struct {
 	evictions    atomic.Int64
 	deployNanos  atomic.Int64
 
-	evalRuns    atomic.Int64
-	evalHits    atomic.Int64
-	evalNanos   atomic.Int64
-	sequences   atomic.Int64
-	skipped     atomic.Int64
-	tokens      atomic.Int64
-	analogReads atomic.Int64
-	analogRows  atomic.Int64
-	mallocs     atomic.Int64
+	evalRuns     atomic.Int64
+	evalHits     atomic.Int64
+	evalCanceled atomic.Int64
+	evalNanos    atomic.Int64
+	sequences    atomic.Int64
+	skipped      atomic.Int64
+	tokens       atomic.Int64
+	analogReads  atomic.Int64
+	analogRows   atomic.Int64
+	mallocs      atomic.Int64
 
 	// streamMask records every noise-stream version requested from this
 	// engine for an analog deployment, as a bitmask (bit v = StreamVersion
@@ -467,12 +519,17 @@ type Stats struct {
 	DeployHits   int64         // Deploy calls served from cache
 	Evictions    int64         // cache entries dropped by the LRU bound
 	DeployTime   time.Duration // cumulative core.Deploy wall-clock
-	Evals        int64         // evaluation passes actually run
+	Evals        int64         // evaluation passes actually run to completion
 	EvalHits     int64         // Eval calls served from the memo
-	EvalTime     time.Duration // cumulative evaluation wall-clock
-	Sequences    int64         // sequences scored (excluding skips)
-	SkippedSeqs  int64         // sequences skipped as too short
-	Tokens       int64         // context tokens forwarded during evals
+	// EvalsCanceled counts EvalCtx calls that returned early on a canceled
+	// context (while running or while waiting on another caller's pass).
+	// Canceled passes advance no other counter: the memo and the aggregate
+	// stats only ever reflect completed work.
+	EvalsCanceled int64
+	EvalTime      time.Duration // cumulative evaluation wall-clock
+	Sequences     int64         // sequences scored (excluding skips)
+	SkippedSeqs   int64         // sequences skipped as too short
+	Tokens        int64         // context tokens forwarded during evals
 
 	// AnalogReads counts analog tile MVM reads issued by evaluation runs
 	// (per-operator hardware counter deltas around each eval; zero for
@@ -511,21 +568,22 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	return Stats{
-		DeployBuilds: s.deployBuilds.Load(),
-		DeployHits:   s.deployHits.Load(),
-		Evictions:    s.evictions.Load(),
-		DeployTime:   time.Duration(s.deployNanos.Load()),
-		Evals:        s.evalRuns.Load(),
-		EvalHits:     s.evalHits.Load(),
-		EvalTime:     time.Duration(s.evalNanos.Load()),
-		Sequences:    s.sequences.Load(),
-		SkippedSeqs:  s.skipped.Load(),
-		Tokens:       s.tokens.Load(),
-		AnalogReads:  s.analogReads.Load(),
-		AnalogRows:   s.analogRows.Load(),
-		BatchRows:    batch,
-		NoiseStreams: strings.Join(streams, ","),
-		Mallocs:      s.mallocs.Load(),
+		DeployBuilds:  s.deployBuilds.Load(),
+		DeployHits:    s.deployHits.Load(),
+		Evictions:     s.evictions.Load(),
+		DeployTime:    time.Duration(s.deployNanos.Load()),
+		Evals:         s.evalRuns.Load(),
+		EvalHits:      s.evalHits.Load(),
+		EvalsCanceled: s.evalCanceled.Load(),
+		EvalTime:      time.Duration(s.evalNanos.Load()),
+		Sequences:     s.sequences.Load(),
+		SkippedSeqs:   s.skipped.Load(),
+		Tokens:        s.tokens.Load(),
+		AnalogReads:   s.analogReads.Load(),
+		AnalogRows:    s.analogRows.Load(),
+		BatchRows:     batch,
+		NoiseStreams:  strings.Join(streams, ","),
+		Mallocs:       s.mallocs.Load(),
 	}
 }
 

@@ -235,8 +235,8 @@ func TestFaultConfigDeterminism(t *testing.T) {
 
 	var results []nn.EvalResult
 	for _, ec := range []Config{
-		{EvalWorkers: 1, BatchRows: 1}, // serial row loop
-		{EvalWorkers: 4},               // parallel eval, default batching
+		{EvalWorkers: 1, BatchRows: 1},                // serial row loop
+		{EvalWorkers: 4},                              // parallel eval, default batching
 		{EvalWorkers: 2, BatchRows: 3, MACWorkers: 4}, // odd batch + parallel MACs
 	} {
 		eng := New(ec)

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"nora/internal/core"
+)
+
+// TestEvalCtxMatchesEvalAndMemoizes pins that the context-aware path and
+// the classic path share one memo and one result.
+func TestEvalCtxMatchesEvalAndMemoizes(t *testing.T) {
+	m := testModel(t)
+	eng := New(Config{})
+	dep := eng.Deploy(Request{Model: "m", Net: m, Mode: core.DeployAnalogNaive, Config: testConfig()})
+	seqs := testSeqs(10, 8)
+
+	want := dep.Eval(seqs)
+	got, err := dep.EvalCtx(context.Background(), seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("EvalCtx = %+v, Eval = %+v", got, want)
+	}
+	if s := eng.Stats(); s.Evals != 1 || s.EvalHits != 1 {
+		t.Fatalf("memo not shared across Eval/EvalCtx: %+v", s)
+	}
+}
+
+// TestEvalCtxCancelStormLeavesEngineClean is the serving-layer determinism
+// guarantee: a storm of canceled requests must corrupt neither the engine
+// stats nor the cached deployment — re-running the same eval afterwards
+// returns the bit-identical result, counted as exactly one completed pass.
+func TestEvalCtxCancelStormLeavesEngineClean(t *testing.T) {
+	m := testModel(t)
+	eng := New(Config{})
+	req := Request{Model: "m", Net: m, Mode: core.DeployAnalogNaive, Config: testConfig()}
+	dep := eng.Deploy(req)
+	seqs := testSeqs(12, 8)
+
+	// Baseline from a fresh, quiet engine of identical configuration.
+	baselineEng := New(Config{})
+	baseline := baselineEng.Deploy(req).Eval(seqs)
+
+	// The storm: concurrent EvalCtx calls with already-canceled contexts.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := dep.EvalCtx(canceled, seqs)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("storm call: err = %v, want context.Canceled", err)
+			}
+			if res.Evaluated != 0 || res.Correct != 0 {
+				t.Errorf("storm call leaked a partial result %+v", res)
+			}
+		}()
+	}
+	wg.Wait()
+
+	mid := eng.Stats()
+	if mid.Evals != 0 || mid.Sequences != 0 || mid.Tokens != 0 || mid.EvalHits != 0 {
+		t.Fatalf("canceled storm advanced completed-work counters: %+v", mid)
+	}
+	if mid.EvalsCanceled == 0 {
+		t.Fatalf("storm not visible in EvalsCanceled: %+v", mid)
+	}
+
+	// The same eval after the storm: bit-identical to the quiet engine.
+	after := dep.Eval(seqs)
+	if after != baseline {
+		t.Fatalf("post-storm eval %+v != quiet baseline %+v", after, baseline)
+	}
+	if s := eng.Stats(); s.Evals != 1 {
+		t.Fatalf("post-storm eval should be the first completed pass: %+v", s)
+	}
+	// And it memoized normally.
+	if dep.Eval(seqs) != baseline {
+		t.Fatal("memoized post-storm eval diverged")
+	}
+	if s := eng.Stats(); s.EvalHits != 1 {
+		t.Fatalf("post-storm memo broken: %+v", s)
+	}
+}
+
+// TestEvalCtxWaiterCancellation: a caller canceled while waiting on
+// another caller's in-flight pass returns promptly without disturbing the
+// builder, whose result lands in the memo as usual.
+func TestEvalCtxWaiterCancellation(t *testing.T) {
+	m := testModel(t)
+	eng := New(Config{EvalWorkers: 1})
+	dep := eng.Deploy(Request{Model: "m", Net: m, Mode: core.DeployAnalogNaive, Config: testConfig()})
+	seqs := testSeqs(64, 8)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	builderDone := make(chan nn0)
+	go func() {
+		res, err := dep.EvalCtx(context.Background(), seqs)
+		builderDone <- nn0{res.Evaluated, err}
+	}()
+	// The waiter: may become the builder or the waiter depending on
+	// scheduling; canceling it must hurt neither case's invariants.
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := dep.EvalCtx(ctx, seqs)
+		waiterDone <- err
+	}()
+	cancel()
+	if b := <-builderDone; b.err != nil || b.n != len(seqs) {
+		t.Fatalf("builder disturbed by canceled waiter: %+v", b)
+	}
+	if err := <-waiterDone; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter: unexpected error %v", err)
+	}
+	// Whatever the interleaving, the memo now serves the completed result.
+	if res, err := dep.EvalCtx(context.Background(), seqs); err != nil || res.Evaluated != len(seqs) {
+		t.Fatalf("memo after waiter cancellation: %+v, %v", res, err)
+	}
+}
+
+type nn0 struct {
+	n   int
+	err error
+}

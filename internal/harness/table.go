@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -126,10 +127,18 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return err
 }
 
-// WriteCSVFile writes the table as CSV to path, propagating write AND close
-// errors — a result file truncated by a failing close must fail the run,
-// not silently pass as a shorter CSV.
+// WriteCSVFile writes the table as CSV to path, creating the parent
+// directory if needed and propagating write AND close errors — a result
+// file truncated by a failing close must fail the run, not silently pass
+// as a shorter CSV. (Creating the parent here, rather than in each caller,
+// is what lets `-csv results/foo.csv` work on a fresh checkout from every
+// binary, not just the ones that happened to MkdirAll first.)
 func (t *Table) WriteCSVFile(path string) (err error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"nora/internal/rng"
+)
+
+func evalCtxTestModel(t *testing.T) *Model {
+	t.Helper()
+	cfg := Config{
+		Arch: ArchOPT, Vocab: 32, DModel: 16, NHeads: 2,
+		NLayers: 1, DFF: 32, MaxSeq: 16,
+	}
+	m, err := NewModel(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func evalCtxTestSeqs(n, length int) [][]int {
+	r := rng.New(11)
+	seqs := make([][]int, n)
+	for i := range seqs {
+		seq := make([]int, length)
+		for j := range seq {
+			seq[j] = int(r.Uint64() % 32)
+		}
+		seqs[i] = seq
+	}
+	return seqs
+}
+
+// TestEvalCtxMatchesEval pins the contract's determinism half: with a
+// never-canceled context, EvalCtx is bit-identical to Eval at every worker
+// count (including the serial path).
+func TestEvalCtxMatchesEval(t *testing.T) {
+	m := evalCtxTestModel(t)
+	r := NewRunner(m)
+	seqs := evalCtxTestSeqs(12, 8)
+	want := r.Eval(seqs, 1)
+	for _, workers := range []int{1, 3, 8} {
+		got, err := r.EvalCtx(context.Background(), seqs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: EvalCtx = %+v, Eval = %+v", workers, got, want)
+		}
+	}
+}
+
+// TestEvalCtxCanceled pins the cancellation half: an already-canceled
+// context returns promptly with ctx.Err() and a zero (partial-result-free)
+// EvalResult, for both the serial and the parallel path.
+func TestEvalCtxCanceled(t *testing.T) {
+	m := evalCtxTestModel(t)
+	r := NewRunner(m)
+	seqs := evalCtxTestSeqs(64, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		res, err := r.EvalCtx(ctx, seqs, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if res != (EvalResult{}) {
+			t.Fatalf("workers=%d: canceled eval leaked a partial result %+v", workers, res)
+		}
+	}
+}
+
+// TestEvalCtxDeadline exercises cancellation arriving mid-pass: a deadline
+// far shorter than the full pass must abort it promptly (well before the
+// uncancelled pass would finish) and report DeadlineExceeded.
+func TestEvalCtxDeadline(t *testing.T) {
+	m := evalCtxTestModel(t)
+	r := NewRunner(m)
+	// A large sequence set so the pass takes a macroscopic amount of time.
+	seqs := evalCtxTestSeqs(4096, 12)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := r.EvalCtx(ctx, seqs, 2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// "Promptly" = a few sequences' worth of work, not the whole set. A
+	// second is orders of magnitude above one sequence's cost and orders
+	// below the full pass on any machine slow enough to matter.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("canceled pass took %v, not prompt", elapsed)
+	}
+}

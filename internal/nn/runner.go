@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -375,6 +376,29 @@ func (r *Runner) EvalAccuracy(sequences [][]int) float64 {
 // for any worker count — Eval(seqs, 1) and Eval(seqs, 32) agree exactly,
 // and repeated calls on the same runner reproduce the same result.
 func (r *Runner) Eval(sequences [][]int, workers int) EvalResult {
+	// A background context is never canceled, so the error path is dead and
+	// the result is bit-identical to the historical uncancellable Eval.
+	res, _ := r.evalCtx(context.Background(), sequences, workers)
+	return res
+}
+
+// EvalCtx is Eval with cooperative cancellation. The contract:
+//
+//   - Cancellation is checked between sequences: a canceled ctx stops new
+//     sequences from starting, waits only for the at-most-`workers`
+//     in-flight sequences to finish, and returns ctx.Err() promptly.
+//   - The error return is partial-result-free: on cancellation the
+//     EvalResult is the zero value, never a partially aggregated count
+//     that could be mistaken for a (much worse) real accuracy.
+//   - When ctx is never canceled the result is bit-identical to
+//     Eval(sequences, workers) — per-sequence noise scoping keeps every
+//     sequence's stochastic draws independent of scheduling, and the
+//     context adds no draws.
+func (r *Runner) EvalCtx(ctx context.Context, sequences [][]int, workers int) (EvalResult, error) {
+	return r.evalCtx(ctx, sequences, workers)
+}
+
+func (r *Runner) evalCtx(ctx context.Context, sequences [][]int, workers int) (EvalResult, error) {
 	scoped := r.hasScopedOps()
 	type outcome struct {
 		correct bool
@@ -408,6 +432,9 @@ func (r *Runner) Eval(sequences [][]int, workers int) EvalResult {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return EvalResult{}, err
+			}
 			evalOne(i)
 		}
 	} else {
@@ -422,11 +449,22 @@ func (r *Runner) Eval(sequences [][]int, workers int) EvalResult {
 				}
 			}()
 		}
+		var canceled error
 		for i := 0; i < n; i++ {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				canceled = ctx.Err()
+			}
+			if canceled != nil {
+				break
+			}
 		}
 		close(next)
 		wg.Wait()
+		if canceled != nil {
+			return EvalResult{}, canceled
+		}
 	}
 
 	var res EvalResult
@@ -442,7 +480,7 @@ func (r *Runner) Eval(sequences [][]int, workers int) EvalResult {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // --- digital inference kernels (mirror the autograd forward exactly) ---

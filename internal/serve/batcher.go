@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nora/internal/core"
+	"nora/internal/engine"
+	"nora/internal/harness"
+)
+
+// predictJob is one admitted predict request travelling through a batcher.
+type predictJob struct {
+	ctx      context.Context
+	tokens   []int
+	scope    string
+	enqueued time.Time
+	done     chan predictOutcome // buffered 1; the batcher never blocks on it
+}
+
+type predictOutcome struct {
+	token int
+	batch int           // server-side batch size the job rode in
+	wait  time.Duration // queue time until its batch started
+	err   error         // context error when the job was dropped
+}
+
+// batcher coalesces predict requests for one (model, mode, config)
+// deployment. One goroutine owns the loop: it blocks for the first request,
+// then collects company until the batch is full (MaxBatch) or stale
+// (MaxDelay since the first request), and runs the whole batch through the
+// deployment on the engine's eval workers.
+type batcher struct {
+	srv  *Server
+	wl   *harness.Workload
+	mode core.DeployMode
+
+	queue chan *predictJob // buffered QueueDepth: the admission bound
+	stop  chan struct{}    // closed by Server.Close after admission stops
+}
+
+// batcherFor returns (creating and starting on first use) the micro-batcher
+// for one workload and mode. Returns an error once the server is closed.
+func (s *Server) batcherFor(wl *harness.Workload, mode core.DeployMode) (*batcher, error) {
+	key := wl.Spec.Key + "/" + mode.String()
+	s.mu.RLock()
+	b, ok := s.batchers[key]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("server shutting down")
+	}
+	if ok {
+		return b, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server shutting down")
+	}
+	if b, ok := s.batchers[key]; ok {
+		return b, nil
+	}
+	b = &batcher{
+		srv:   s,
+		wl:    wl,
+		mode:  mode,
+		queue: make(chan *predictJob, s.cfg.QueueDepth),
+		stop:  make(chan struct{}),
+	}
+	s.batchers[key] = b
+	s.wg.Add(1)
+	go b.loop()
+	return b, nil
+}
+
+// enqueue admits the job into the bounded queue, reporting false when the
+// queue is full. The read lock orders admission against Close: once Close
+// has set closed (under the write lock), no new job can slip into a queue
+// the drain pass has already emptied.
+func (b *batcher) enqueue(job *predictJob) bool {
+	b.srv.mu.RLock()
+	defer b.srv.mu.RUnlock()
+	if b.srv.closed {
+		return false
+	}
+	select {
+	case b.queue <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// loop is the batcher goroutine: deploy once, then coalesce-and-run until
+// the server closes, finishing with a drain of everything still queued.
+func (b *batcher) loop() {
+	defer b.srv.wg.Done()
+	// Deploy here — not in the request path — so tile programming cost (and
+	// the engine's in-flight build coalescing) lives on the batcher
+	// goroutine; the first requests simply queue behind it.
+	dep := b.srv.deployment(b.wl, b.mode)
+	for {
+		select {
+		case first := <-b.queue:
+			b.collectAndRun(dep, first)
+		case <-b.stop:
+			// Admission is closed (Server.Close flips closed before closing
+			// stop), so the queue can only shrink now; drain it.
+			for {
+				select {
+				case first := <-b.queue:
+					b.collectAndRun(dep, first)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collectAndRun grows a batch around its first job until full or stale,
+// then runs it.
+func (b *batcher) collectAndRun(dep *engine.Deployment, first *predictJob) {
+	batch := make([]*predictJob, 1, b.srv.cfg.MaxBatch)
+	batch[0] = first
+	timer := time.NewTimer(b.srv.cfg.MaxDelay)
+	defer timer.Stop()
+collect:
+	for len(batch) < b.srv.cfg.MaxBatch {
+		select {
+		case job := <-b.queue:
+			batch = append(batch, job)
+		case <-timer.C:
+			break collect
+		case <-b.stop:
+			// Shutting down: flush immediately with whatever we hold; the
+			// drain pass in loop picks up the rest.
+			break collect
+		}
+	}
+	b.run(dep, batch)
+}
+
+// run answers one batch: drop jobs whose context is already done, then fan
+// the survivors across the engine's eval workers. Every forward runs under
+// the job's own content-derived noise scope, so the answer is independent
+// of the batch around it.
+func (b *batcher) run(dep *engine.Deployment, batch []*predictJob) {
+	live := batch[:0]
+	for _, job := range batch {
+		if err := job.ctx.Err(); err != nil {
+			job.done <- predictOutcome{err: err}
+			continue
+		}
+		live = append(live, job)
+	}
+	if len(live) == 0 {
+		return
+	}
+	size := len(live)
+	started := time.Now()
+	b.srv.batches.Add(1)
+	b.srv.batched.Add(int64(size))
+	for {
+		old := b.srv.maxBatch.Load()
+		if int64(size) <= old || b.srv.maxBatch.CompareAndSwap(old, int64(size)) {
+			break
+		}
+	}
+	engine.ParallelFor(b.srv.eng.EvalWorkers(), size, func(i int) {
+		job := live[i]
+		// Re-check between admission and inference: deadlines may have
+		// fired while the job waited for its batch to fill.
+		if err := job.ctx.Err(); err != nil {
+			job.done <- predictOutcome{err: err}
+			return
+		}
+		rr := dep.Runner().WithNoiseScope(job.scope)
+		job.done <- predictOutcome{
+			token: rr.PredictLast(job.tokens),
+			batch: size,
+			wait:  started.Sub(job.enqueued),
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBase is the width of the first latency bucket; bucket k covers
+// [histBase·2^(k-1), histBase·2^k), so 28 power-of-two buckets span 50 µs
+// to ~1.9 h — comfortably both sides of any request this server answers.
+const (
+	histBase    = 50 * time.Microsecond
+	histBuckets = 28
+)
+
+// histogram is a lock-free log-bucketed latency histogram with an error
+// counter, one per endpoint. Quantiles are read from the bucket boundaries,
+// so they are upper-bound estimates with ≤ 2× resolution — the right
+// trade for a hot-path counter that must never contend.
+type histogram struct {
+	count   atomic.Int64
+	errs    atomic.Int64
+	sumNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func bucketIndex(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	idx := bits.Len64(uint64(d / histBase))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// observe records one request's latency; isErr additionally counts it as a
+// non-2xx outcome (errors still carry a latency — a 429 burns queue time).
+func (h *histogram) observe(d time.Duration, isErr bool) {
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+	if isErr {
+		h.errs.Add(1)
+	}
+}
+
+// quantile returns an upper bound on the q-quantile latency (q in [0, 1]);
+// 0 before any observation.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return histBase << uint(i)
+		}
+	}
+	return histBase << uint(histBuckets-1)
+}
+
+// EndpointStats is the JSON view of one endpoint's histogram.
+type EndpointStats struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+func (h *histogram) stats() EndpointStats {
+	count := h.count.Load()
+	s := EndpointStats{
+		Count:  count,
+		Errors: h.errs.Load(),
+		P50MS:  float64(h.quantile(0.50)) / 1e6,
+		P95MS:  float64(h.quantile(0.95)) / 1e6,
+		P99MS:  float64(h.quantile(0.99)) / 1e6,
+	}
+	if count > 0 {
+		s.MeanMS = float64(h.sumNS.Load()) / float64(count) / 1e6
+	}
+	return s
+}

@@ -1,0 +1,536 @@
+// Package serve is the online inference layer over the experiment engine:
+// a stdlib-only HTTP service that turns the repo's offline deploy→eval
+// machinery into a request/response system with dynamic micro-batching,
+// bounded admission, per-request deadlines, and live observability.
+//
+// Endpoints:
+//
+//	POST /v1/predict  — last-word prediction for one context, micro-batched
+//	POST /v1/eval     — batch accuracy over a sequence set (engine-memoized)
+//	GET  /healthz     — liveness + preloaded model list
+//	GET  /statz       — engine stats, cache hit rates, fault stats, batcher
+//	                    counters, per-endpoint latency histograms
+//
+// The core is the dynamic micro-batcher (batcher.go): concurrent predict
+// requests that target the same (model, mode, config) deployment coalesce
+// into one batch, flushed when it reaches Config.MaxBatch or when
+// Config.MaxDelay elapses after the first request. Each batch fans out
+// across the engine's eval workers, and every sequence forward rides the
+// zero-allocation MVMBatchInto read path, so server throughput inherits
+// the batched analog kernels.
+//
+// Determinism: a predict response is a pure function of (deployment,
+// context tokens) — each request's stochastic read noise is scoped by a
+// hash of its own tokens, never by its position in a batch — so batching,
+// concurrency, cancellations, and retries cannot change any answer.
+// Cancelled or deadline-exceeded requests are dropped between sequences
+// (engine.Deployment.EvalCtx's contract) and never advance the engine's
+// completed-work counters or poison its memo.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/engine"
+	"nora/internal/harness"
+)
+
+// Config tunes the server. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// MaxBatch caps one micro-batch; a batch flushes as soon as it holds
+	// this many requests. <= 0 selects DefaultMaxBatch.
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a batch waits for
+	// company before the batch flushes anyway. <= 0 selects
+	// DefaultMaxDelay.
+	MaxDelay time.Duration
+	// QueueDepth bounds each deployment's admission queue; requests
+	// arriving beyond it are rejected with 429 + Retry-After instead of
+	// piling up unbounded. <= 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// RequestTimeout is the server-side deadline applied to every request
+	// (clients may shorten it per request via "timeout_ms", never extend
+	// it). <= 0 selects DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// Analog is the tile configuration for analog deployments. The zero
+	// value selects analog.PaperPreset().
+	Analog analog.Config
+}
+
+// Default serving knobs.
+const (
+	DefaultMaxBatch       = 16
+	DefaultMaxDelay       = 2 * time.Millisecond
+	DefaultQueueDepth     = 256
+	DefaultRequestTimeout = 30 * time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = DefaultMaxDelay
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.Analog == (analog.Config{}) {
+		c.Analog = analog.PaperPreset()
+	}
+	return c
+}
+
+// Server is the HTTP inference service. It implements http.Handler; wire
+// it into an http.Server (or httptest) for transport. Close drains the
+// micro-batchers; call it after the HTTP listener has stopped accepting.
+type Server struct {
+	eng   *engine.Engine
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	// workloads is immutable after New.
+	workloads map[string]*harness.Workload
+
+	mu       sync.RWMutex // guards batchers, deps, closed
+	closed   bool
+	batchers map[string]*batcher
+	deps     map[string]*engine.Deployment
+
+	predictHist histogram
+	evalHist    histogram
+	batches     atomic.Int64 // micro-batches flushed
+	batched     atomic.Int64 // predict requests carried by those batches
+	maxBatch    atomic.Int64 // largest batch flushed so far
+	queueFull   atomic.Int64 // predicts rejected with 429
+	canceled    atomic.Int64 // predicts dropped on a done context
+	wg          sync.WaitGroup
+}
+
+// New assembles a server over eng serving the given preloaded workloads.
+func New(eng *engine.Engine, cfg Config, workloads []*harness.Workload) *Server {
+	s := &Server{
+		eng:       eng,
+		cfg:       cfg.withDefaults(),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		workloads: make(map[string]*harness.Workload, len(workloads)),
+		batchers:  make(map[string]*batcher),
+		deps:      make(map[string]*engine.Deployment),
+	}
+	for _, w := range workloads {
+		s.workloads[w.Spec.Key] = w
+	}
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/eval", s.handleEval)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statz", s.handleStatz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the micro-batchers after draining every admitted request.
+// New requests racing with Close are rejected with 503; requests already
+// queued are processed to completion before Close returns. Call after the
+// HTTP listener has shut down; Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	batchers := make([]*batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		batchers = append(batchers, b)
+	}
+	s.mu.Unlock()
+	for _, b := range batchers {
+		close(b.stop)
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// parseMode maps the wire-format mode names (and the DeployMode String
+// forms) to deployment modes.
+func parseMode(s string) (core.DeployMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "digital", "digital-fp", "fp":
+		return core.DeployDigital, nil
+	case "naive", "analog-naive":
+		return core.DeployAnalogNaive, nil
+	case "nora", "analog-nora", "":
+		// NORA is the headline deployment; an omitted mode selects it.
+		return core.DeployAnalogNORA, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want digital, naive, or nora)", s)
+	}
+}
+
+// deployment resolves (and caches for statz) the engine deployment for one
+// workload and mode. The engine's content-keyed cache makes repeated calls
+// a map lookup; concurrent first calls coalesce into one build.
+func (s *Server) deployment(w *harness.Workload, mode core.DeployMode) *engine.Deployment {
+	cfg := s.cfg.Analog
+	if mode == core.DeployDigital {
+		// Canonical zero config for digital requests (engine keying rule).
+		cfg = analog.Config{}
+	}
+	dep := s.eng.Deploy(w.Request(mode, cfg, core.Options{}, ""))
+	key := w.Spec.Key + "/" + mode.String()
+	s.mu.Lock()
+	s.deps[key] = dep
+	s.mu.Unlock()
+	return dep
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	// Encoding errors past WriteHeader are the client hanging up; there is
+	// nothing useful left to do with them.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// requestCtx derives the request's working context: the transport context
+// bounded by the server deadline, further shortened (never extended) by
+// the client's timeout_ms.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if d := time.Duration(timeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// predictRequest is the /v1/predict wire format.
+type predictRequest struct {
+	Model     string `json:"model"`
+	Mode      string `json:"mode"`
+	Context   []int  `json:"context"`
+	TimeoutMS int    `json:"timeout_ms"`
+}
+
+// predictResponse is the /v1/predict reply.
+type predictResponse struct {
+	Model     string  `json:"model"`
+	Mode      string  `json:"mode"`
+	Token     int     `json:"token"`
+	BatchSize int     `json:"batch_size"`
+	QueueMS   float64 `json:"queue_ms"`
+	TotalMS   float64 `json:"total_ms"`
+}
+
+// validateContext rejects contexts the forward pass would panic on.
+func validateContext(w *harness.Workload, tokens []int) error {
+	if len(tokens) == 0 {
+		return fmt.Errorf("context is empty")
+	}
+	if max := w.Model.Cfg.MaxSeq; len(tokens) > max {
+		return fmt.Errorf("context holds %d tokens, model %q accepts at most %d", len(tokens), w.Spec.Key, max)
+	}
+	for i, tok := range tokens {
+		if tok < 0 || tok >= w.Model.Cfg.Vocab {
+			return fmt.Errorf("context[%d] = %d outside vocabulary [0, %d)", i, tok, w.Model.Cfg.Vocab)
+		}
+	}
+	return nil
+}
+
+// noiseScope labels a predict request's stochastic draws by its content, so
+// the answer is independent of batch composition and scheduling.
+func noiseScope(tokens []int) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, tok := range tokens {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(tok) >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("serve/predict/%016x", h.Sum64())
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code, resp := s.predict(r, start)
+	s.predictHist.observe(time.Since(start), code >= 400)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, resp)
+}
+
+// predict runs the decode→admit→batch→reply pipeline, returning the status
+// code and JSON body (errorBody or predictResponse).
+func (s *Server) predict(r *http.Request, start time.Time) (int, any) {
+	if r.Method != http.MethodPost {
+		return http.StatusMethodNotAllowed, errorBody{Error: "POST required"}
+	}
+	var req predictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20)).Decode(&req); err != nil {
+		return http.StatusBadRequest, errorBody{Error: "malformed JSON: " + err.Error()}
+	}
+	wl, ok := s.workloads[req.Model]
+	if !ok {
+		return http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown model %q (see /healthz for the loaded set)", req.Model)}
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		return http.StatusBadRequest, errorBody{Error: err.Error()}
+	}
+	if err := validateContext(wl, req.Context); err != nil {
+		return http.StatusBadRequest, errorBody{Error: err.Error()}
+	}
+
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	job := &predictJob{
+		ctx:      ctx,
+		tokens:   req.Context,
+		scope:    noiseScope(req.Context),
+		enqueued: start,
+		done:     make(chan predictOutcome, 1),
+	}
+	b, err := s.batcherFor(wl, mode)
+	if err != nil {
+		return http.StatusServiceUnavailable, errorBody{Error: err.Error()}
+	}
+	if !b.enqueue(job) {
+		s.queueFull.Add(1)
+		return http.StatusTooManyRequests, errorBody{Error: "admission queue full, retry shortly"}
+	}
+	select {
+	case out := <-job.done:
+		if out.err != nil {
+			s.canceled.Add(1)
+			return http.StatusGatewayTimeout, errorBody{Error: "request canceled: " + out.err.Error()}
+		}
+		return http.StatusOK, predictResponse{
+			Model:     req.Model,
+			Mode:      mode.String(),
+			Token:     out.token,
+			BatchSize: out.batch,
+			QueueMS:   float64(out.wait) / 1e6,
+			TotalMS:   float64(time.Since(start)) / 1e6,
+		}
+	case <-ctx.Done():
+		// The batcher will observe the done context and drop the job; its
+		// buffered reply (if any) is garbage-collected with the job.
+		s.canceled.Add(1)
+		return http.StatusGatewayTimeout, errorBody{Error: "request canceled: " + ctx.Err().Error()}
+	}
+}
+
+// evalRequest is the /v1/eval wire format. An omitted sequence set selects
+// the workload's preloaded eval split (the offline experiments' split, so
+// the response agrees exactly with nora-eval).
+type evalRequest struct {
+	Model     string  `json:"model"`
+	Mode      string  `json:"mode"`
+	Sequences [][]int `json:"sequences"`
+	TimeoutMS int     `json:"timeout_ms"`
+}
+
+type evalResponse struct {
+	Model     string  `json:"model"`
+	Mode      string  `json:"mode"`
+	Accuracy  float64 `json:"accuracy"`
+	Correct   int     `json:"correct"`
+	Evaluated int     `json:"evaluated"`
+	Skipped   int     `json:"skipped"`
+	Tokens    int64   `json:"tokens"`
+	TotalMS   float64 `json:"total_ms"`
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code, resp := s.eval(r, start)
+	s.evalHist.observe(time.Since(start), code >= 400)
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) eval(r *http.Request, start time.Time) (int, any) {
+	if r.Method != http.MethodPost {
+		return http.StatusMethodNotAllowed, errorBody{Error: "POST required"}
+	}
+	var req evalRequest
+	if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20)).Decode(&req); err != nil {
+		return http.StatusBadRequest, errorBody{Error: "malformed JSON: " + err.Error()}
+	}
+	wl, ok := s.workloads[req.Model]
+	if !ok {
+		return http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown model %q (see /healthz for the loaded set)", req.Model)}
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		return http.StatusBadRequest, errorBody{Error: err.Error()}
+	}
+	seqs := req.Sequences
+	if seqs == nil {
+		seqs = wl.Eval
+	}
+	for i, seq := range seqs {
+		if len(seq) < 2 {
+			continue // Eval counts these as skipped; nothing to validate
+		}
+		if err := validateContext(wl, seq[:len(seq)-1]); err != nil {
+			return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("sequences[%d]: %v", i, err)}
+		}
+		if last := seq[len(seq)-1]; last < 0 || last >= wl.Model.Cfg.Vocab {
+			return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("sequences[%d]: target token %d outside vocabulary", i, last)}
+		}
+	}
+
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	res, err := s.deployment(wl, mode).EvalCtx(ctx, seqs)
+	if err != nil {
+		return http.StatusGatewayTimeout, errorBody{Error: "request canceled: " + err.Error()}
+	}
+	return http.StatusOK, evalResponse{
+		Model:     req.Model,
+		Mode:      mode.String(),
+		Accuracy:  res.Accuracy(),
+		Correct:   res.Correct,
+		Evaluated: res.Evaluated,
+		Skipped:   res.Skipped,
+		Tokens:    res.Tokens,
+		TotalMS:   float64(time.Since(start)) / 1e6,
+	}
+}
+
+// Models returns the sorted keys of the preloaded workloads.
+func (s *Server) Models() []string {
+	keys := make([]string, 0, len(s.workloads))
+	for k := range s.workloads {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type healthzResponse struct {
+	Status  string   `json:"status"`
+	Models  []string `json:"models"`
+	UptimeS float64  `json:"uptime_s"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:  "ok",
+		Models:  s.Models(),
+		UptimeS: time.Since(s.start).Seconds(),
+	})
+}
+
+// BatchStatz is the micro-batcher section of /statz.
+type BatchStatz struct {
+	Batches   int64   `json:"batches"`
+	Requests  int64   `json:"requests"`
+	MeanBatch float64 `json:"mean_batch"`
+	MaxBatch  int64   `json:"max_batch"`
+	QueueFull int64   `json:"queue_full"`
+	Canceled  int64   `json:"canceled"`
+
+	MaxBatchLimit int64   `json:"max_batch_limit"`
+	MaxDelayMS    float64 `json:"max_delay_ms"`
+	QueueDepth    int64   `json:"queue_depth"`
+}
+
+// Statz is the /statz JSON document.
+type Statz struct {
+	UptimeS float64      `json:"uptime_s"`
+	Models  []string     `json:"models"`
+	Engine  engine.Stats `json:"engine"`
+	// DeployCacheHitRate is hits/(hits+builds) of the engine's deployment
+	// cache; EvalMemoHitRate the same for the per-deployment eval memo.
+	DeployCacheHitRate float64                  `json:"deploy_cache_hit_rate"`
+	EvalMemoHitRate    float64                  `json:"eval_memo_hit_rate"`
+	Batch              BatchStatz               `json:"batch"`
+	Faults             analog.FaultStats        `json:"faults"`
+	Endpoints          map[string]EndpointStats `json:"endpoints"`
+}
+
+// StatzSnapshot assembles the /statz document (exported for the loadgen
+// client and tests).
+func (s *Server) StatzSnapshot() Statz {
+	es := s.eng.Stats()
+	ratio := func(hit, miss int64) float64 {
+		if hit+miss == 0 {
+			return 0
+		}
+		return float64(hit) / float64(hit+miss)
+	}
+	batches := s.batches.Load()
+	batched := s.batched.Load()
+	bs := BatchStatz{
+		Batches:       batches,
+		Requests:      batched,
+		MaxBatch:      s.maxBatch.Load(),
+		QueueFull:     s.queueFull.Load(),
+		Canceled:      s.canceled.Load(),
+		MaxBatchLimit: int64(s.cfg.MaxBatch),
+		MaxDelayMS:    float64(s.cfg.MaxDelay) / 1e6,
+		QueueDepth:    int64(s.cfg.QueueDepth),
+	}
+	if batches > 0 {
+		bs.MeanBatch = float64(batched) / float64(batches)
+	}
+	var faults analog.FaultStats
+	s.mu.RLock()
+	for _, dep := range s.deps {
+		faults.Add(dep.FaultStats())
+	}
+	s.mu.RUnlock()
+	return Statz{
+		UptimeS:            time.Since(s.start).Seconds(),
+		Models:             s.Models(),
+		Engine:             es,
+		DeployCacheHitRate: ratio(es.DeployHits, es.DeployBuilds),
+		EvalMemoHitRate:    ratio(es.EvalHits, es.Evals),
+		Batch:              bs,
+		Faults:             faults,
+		Endpoints: map[string]EndpointStats{
+			"/v1/predict": s.predictHist.stats(),
+			"/v1/eval":    s.evalHist.stats(),
+		},
+	}
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatzSnapshot())
+}

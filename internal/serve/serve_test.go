@@ -1,0 +1,408 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/engine"
+	"nora/internal/harness"
+	"nora/internal/model"
+	"nora/internal/nn"
+	"nora/internal/rng"
+)
+
+// testWorkload builds a workload over a small untrained model — serving
+// mechanics (batching, admission, cancellation, determinism) do not care
+// about accuracy.
+func testWorkload(t testing.TB, key string) *harness.Workload {
+	t.Helper()
+	cfg := nn.Config{
+		Arch: nn.ArchOPT, Vocab: 40, DModel: 16, NHeads: 2,
+		NLayers: 1, DFF: 32, MaxSeq: 16,
+	}
+	m, err := nn.NewModel(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([][]int, 12)
+	r := rng.New(9)
+	for i := range seqs {
+		seq := make([]int, 8)
+		for j := range seq {
+			seq[j] = int(r.Uint64() % 40)
+		}
+		seqs[i] = seq
+	}
+	return &harness.Workload{
+		Spec:  model.Spec{Key: key, Display: key, Family: "opt"},
+		Model: m,
+		Eval:  seqs,
+		Calib: seqs,
+	}
+}
+
+// testAnalog is a small, fast tile configuration for analog deployments.
+func testAnalog() analog.Config {
+	cfg := analog.PaperPreset()
+	cfg.TileRows, cfg.TileCols = 32, 32
+	return cfg
+}
+
+func testServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	if cfg.Analog == (analog.Config{}) {
+		cfg.Analog = testAnalog()
+	}
+	return New(engine.New(engine.Config{}), cfg, []*harness.Workload{testWorkload(t, "tiny")})
+}
+
+// do runs one request through the handler stack, returning the code and
+// decoded JSON body.
+func do(t testing.TB, s *Server, method, path, body string) (int, map[string]any, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader([]byte(body)))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var decoded map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("%s %s: non-JSON response %q", method, path, rec.Body.String())
+	}
+	return rec.Code, decoded, rec.Header()
+}
+
+func TestPredictHappyPath(t *testing.T) {
+	s := testServer(t, Config{})
+	defer s.Close()
+	code, body, _ := do(t, s, http.MethodPost, "/v1/predict",
+		`{"model":"tiny","mode":"digital","context":[1,2,3,4]}`)
+	if code != http.StatusOK {
+		t.Fatalf("predict: %d %v", code, body)
+	}
+	tok, ok := body["token"].(float64)
+	if !ok || tok < 0 || tok >= 40 {
+		t.Fatalf("predict token out of vocabulary: %v", body)
+	}
+	if body["mode"] != "digital-fp" {
+		t.Fatalf("mode echo = %v", body["mode"])
+	}
+	if bs, _ := body["batch_size"].(float64); bs < 1 {
+		t.Fatalf("batch_size = %v", body["batch_size"])
+	}
+	// Same context again: deterministic answer (digital and analog alike).
+	code2, body2, _ := do(t, s, http.MethodPost, "/v1/predict",
+		`{"model":"tiny","mode":"digital","context":[1,2,3,4]}`)
+	if code2 != http.StatusOK || body2["token"] != body["token"] {
+		t.Fatalf("repeat predict diverged: %v vs %v", body2, body)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	s := testServer(t, Config{})
+	defer s.Close()
+	for _, tc := range []struct {
+		name, body string
+		code       int
+	}{
+		{"malformed JSON", `{"model":`, http.StatusBadRequest},
+		{"unknown model", `{"model":"nope","context":[1]}`, http.StatusNotFound},
+		{"unknown mode", `{"model":"tiny","mode":"quantum","context":[1]}`, http.StatusBadRequest},
+		{"empty context", `{"model":"tiny","mode":"digital","context":[]}`, http.StatusBadRequest},
+		{"token out of vocab", `{"model":"tiny","mode":"digital","context":[1,99]}`, http.StatusBadRequest},
+		{"context too long", `{"model":"tiny","mode":"digital","context":[1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1]}`, http.StatusBadRequest},
+	} {
+		code, body, _ := do(t, s, http.MethodPost, "/v1/predict", tc.body)
+		if code != tc.code {
+			t.Errorf("%s: code %d (%v), want %d", tc.name, code, body, tc.code)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s: missing error body: %v", tc.name, body)
+		}
+	}
+	if code, _, _ := do(t, s, http.MethodGet, "/v1/predict", ""); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET predict: %d, want 405", code)
+	}
+}
+
+// TestPredictQueueFull pins the bounded-admission contract: a full queue
+// answers 429 with a Retry-After hint instead of queueing unbounded.
+func TestPredictQueueFull(t *testing.T) {
+	s := testServer(t, Config{QueueDepth: 2})
+	wl := s.workloads["tiny"]
+	b, err := s.batcherFor(wl, core.DeployDigital)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retire the batcher goroutine so the queue stops draining, then fill
+	// the queue to capacity with parked jobs.
+	close(b.stop)
+	s.wg.Wait()
+	for i := 0; i < 2; i++ {
+		b.queue <- &predictJob{ctx: context.Background(), done: make(chan predictOutcome, 1)}
+	}
+	code, body, hdr := do(t, s, http.MethodPost, "/v1/predict",
+		`{"model":"tiny","mode":"digital","context":[1,2,3]}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("full queue: %d %v, want 429", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if s.StatzSnapshot().Batch.QueueFull != 1 {
+		t.Fatalf("queue_full counter: %+v", s.StatzSnapshot().Batch)
+	}
+}
+
+// TestMicroBatchCoalescing: concurrent requests for one deployment must
+// ride one multi-request batch (the dynamic micro-batcher's whole point),
+// visible both in each response's batch_size and in /statz.
+func TestMicroBatchCoalescing(t *testing.T) {
+	// A generous delay window so every concurrent request joins the first
+	// one's batch regardless of scheduling jitter.
+	s := testServer(t, Config{MaxBatch: 8, MaxDelay: 500 * time.Millisecond})
+	defer s.Close()
+
+	// Warm the deployment so the batcher is past its deploy step.
+	if code, body, _ := do(t, s, http.MethodPost, "/v1/predict",
+		`{"model":"tiny","mode":"naive","context":[5,6,7]}`); code != http.StatusOK {
+		t.Fatalf("warmup: %d %v", code, body)
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	maxSeen := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"model":"tiny","mode":"naive","context":[%d,2,3]}`, i%16)
+			code, resp, _ := do(t, s, http.MethodPost, "/v1/predict", body)
+			if code != http.StatusOK {
+				t.Errorf("concurrent predict %d: %d %v", i, code, resp)
+				return
+			}
+			maxSeen[i], _ = resp["batch_size"].(float64)
+		}(i)
+	}
+	wg.Wait()
+
+	var sawMulti bool
+	for _, bs := range maxSeen {
+		if bs > 1 {
+			sawMulti = true
+		}
+	}
+	if !sawMulti {
+		t.Fatalf("no request rode a multi-request batch: batch sizes %v", maxSeen)
+	}
+	stats := s.StatzSnapshot().Batch
+	if stats.MeanBatch <= 1 {
+		t.Fatalf("mean batch %.2f not > 1 (%+v)", stats.MeanBatch, stats)
+	}
+	if stats.MaxBatch < 2 {
+		t.Fatalf("max batch %d < 2 (%+v)", stats.MaxBatch, stats)
+	}
+}
+
+// TestPredictBatchIndependence pins the serving determinism contract: the
+// answer for a context is identical whether the request ran alone or
+// coalesced into a batch with other requests (noise is scoped by request
+// content, not batch position).
+func TestPredictBatchIndependence(t *testing.T) {
+	alone := testServer(t, Config{})
+	probe := `{"model":"tiny","mode":"naive","context":[9,8,7,6]}`
+	code, soloResp, _ := do(t, alone, http.MethodPost, "/v1/predict", probe)
+	if code != http.StatusOK {
+		t.Fatalf("solo predict: %d %v", code, soloResp)
+	}
+	alone.Close()
+
+	crowd := testServer(t, Config{MaxBatch: 8, MaxDelay: 500 * time.Millisecond})
+	defer crowd.Close()
+	if code, body, _ := do(t, crowd, http.MethodPost, "/v1/predict", probe); code != http.StatusOK {
+		t.Fatalf("warmup: %d %v", code, body)
+	}
+	var wg sync.WaitGroup
+	var probeResp map[string]any
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"model":"tiny","mode":"naive","context":[%d,3,1]}`, i)
+			do(t, crowd, http.MethodPost, "/v1/predict", body)
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, probeResp, _ = do(t, crowd, http.MethodPost, "/v1/predict", probe)
+	}()
+	wg.Wait()
+	if probeResp["token"] != soloResp["token"] {
+		t.Fatalf("batched answer %v != solo answer %v", probeResp["token"], soloResp["token"])
+	}
+}
+
+func TestEvalEndpoint(t *testing.T) {
+	s := testServer(t, Config{})
+	defer s.Close()
+	// Default split: omitted sequences select the workload's eval split.
+	code, body, _ := do(t, s, http.MethodPost, "/v1/eval", `{"model":"tiny","mode":"digital"}`)
+	if code != http.StatusOK {
+		t.Fatalf("eval: %d %v", code, body)
+	}
+	if body["evaluated"].(float64) != 12 {
+		t.Fatalf("eval count: %v", body)
+	}
+	// The server's answer must agree exactly with the offline engine path.
+	wl := s.workloads["tiny"]
+	want := s.deployment(wl, core.DeployDigital).Eval(wl.Eval)
+	if got := body["accuracy"].(float64); got != want.Accuracy() {
+		t.Fatalf("served accuracy %v != engine accuracy %v", got, want.Accuracy())
+	}
+	// Second call hits the engine memo.
+	if code, _, _ := do(t, s, http.MethodPost, "/v1/eval", `{"model":"tiny","mode":"digital"}`); code != http.StatusOK {
+		t.Fatal("repeat eval failed")
+	}
+	if stats := s.StatzSnapshot(); stats.Engine.EvalHits < 1 {
+		t.Fatalf("repeat eval missed the memo: %+v", stats.Engine)
+	}
+
+	// Explicit sequences and validation.
+	code, body, _ = do(t, s, http.MethodPost, "/v1/eval",
+		`{"model":"tiny","mode":"digital","sequences":[[1,2,3],[4,99,6]]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad sequence accepted: %d %v", code, body)
+	}
+	code, _, _ = do(t, s, http.MethodPost, "/v1/eval", `{"model":"gone"}`)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown model: %d", code)
+	}
+}
+
+func TestHealthzAndStatz(t *testing.T) {
+	s := testServer(t, Config{})
+	defer s.Close()
+	code, body, _ := do(t, s, http.MethodGet, "/healthz", "")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+	models, _ := body["models"].([]any)
+	if len(models) != 1 || models[0] != "tiny" {
+		t.Fatalf("healthz models: %v", body)
+	}
+
+	if code, body, _ := do(t, s, http.MethodPost, "/v1/predict",
+		`{"model":"tiny","mode":"naive","context":[1,2]}`); code != http.StatusOK {
+		t.Fatalf("predict for statz: %d %v", code, body)
+	}
+	code, body, _ = do(t, s, http.MethodGet, "/statz", "")
+	if code != http.StatusOK {
+		t.Fatalf("statz: %d", code)
+	}
+	eps, _ := body["endpoints"].(map[string]any)
+	pred, _ := eps["/v1/predict"].(map[string]any)
+	if pred["count"].(float64) < 1 || pred["p99_ms"].(float64) <= 0 {
+		t.Fatalf("predict histogram empty: %v", pred)
+	}
+	eng, _ := body["engine"].(map[string]any)
+	if eng == nil {
+		t.Fatalf("statz missing engine stats: %v", body)
+	}
+	batch, _ := body["batch"].(map[string]any)
+	if batch["requests"].(float64) < 1 {
+		t.Fatalf("statz batch counters: %v", batch)
+	}
+}
+
+// TestGracefulShutdown drives a live HTTP server with concurrent clients
+// while it shuts down; run under -race in CI. Every admitted request must
+// be answered (drained), late requests must see a clean 503, and Close
+// must return with no goroutine stuck.
+func TestGracefulShutdown(t *testing.T) {
+	s := testServer(t, Config{MaxBatch: 4, MaxDelay: time.Millisecond})
+	ts := httptest.NewServer(s)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"model":"tiny","mode":"digital","context":[%d,1,2]}`, c%16)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					return // listener closed mid-flight
+				}
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable &&
+					resp.StatusCode != http.StatusTooManyRequests {
+					t.Errorf("client %d: unexpected status %d", c, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	time.Sleep(50 * time.Millisecond) // let traffic flow
+	close(stop)
+	ts.Close() // drains in-flight HTTP handlers
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// The server is drained: a late request is rejected, not queued.
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict",
+		bytes.NewReader([]byte(`{"model":"tiny","mode":"digital","context":[1]}`)))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown predict: %d, want 503", rec.Code)
+	}
+	// Close is idempotent.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPredictDeadline: a microscopic client deadline must produce a 504,
+// and the storm of expirations must not corrupt the deployment — the same
+// context still answers identically afterwards (cancellation never changes
+// hardware state or noise streams).
+func TestPredictDeadline(t *testing.T) {
+	s := testServer(t, Config{})
+	defer s.Close()
+	probe := `{"model":"tiny","mode":"naive","context":[4,4,4]}`
+	code, before, _ := do(t, s, http.MethodPost, "/v1/predict", probe)
+	if code != http.StatusOK {
+		t.Fatalf("baseline predict: %d", code)
+	}
+	// A 1 ms budget may or may not expire before the forward finishes;
+	// either outcome (200 or 504) is legal — the assertion is that the
+	// expirations leave the deployment's answers unchanged.
+	for i := 0; i < 16; i++ {
+		code, body, _ := do(t, s, http.MethodPost, "/v1/predict",
+			`{"model":"tiny","mode":"naive","context":[7,7,7],"timeout_ms":1}`)
+		if code != http.StatusOK && code != http.StatusGatewayTimeout {
+			t.Fatalf("deadline predict %d: %d %v", i, code, body)
+		}
+	}
+	code, after, _ := do(t, s, http.MethodPost, "/v1/predict", probe)
+	if code != http.StatusOK || after["token"] != before["token"] {
+		t.Fatalf("post-deadline-storm predict diverged: %d %v vs %v", code, after, before)
+	}
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the HTTP inference service: start
+# nora-serve on a random port against the committed zoo, wait for /healthz,
+# issue a /v1/predict, check /statz, then SIGINT and require a clean drain.
+# CI runs this; it is also the quickest way to sanity-check serving locally.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT=$(( (RANDOM % 20000) + 20000 ))
+ADDR="127.0.0.1:${PORT}"
+LOG="$(mktemp)"
+trap 'kill "${SERVE_PID}" 2>/dev/null || true; rm -f "${LOG}"' EXIT
+
+go build -o /tmp/nora-serve-smoke ./cmd/nora-serve
+/tmp/nora-serve-smoke -addr "${ADDR}" -models opt-c1 >"${LOG}" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the server to come up (zoo load + listener bind).
+for i in $(seq 1 100); do
+    if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "${SERVE_PID}" 2>/dev/null; then
+        echo "serve_smoke: server died during startup:" >&2
+        cat "${LOG}" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+health=$(curl -sf "http://${ADDR}/healthz")
+echo "healthz: ${health}"
+echo "${health}" | grep -q '"status":"ok"'
+echo "${health}" | grep -q 'opt-c1'
+
+predict=$(curl -sf -X POST "http://${ADDR}/v1/predict" \
+    -d '{"model":"opt-c1","mode":"nora","context":[1,2,3,4,5]}')
+echo "predict: ${predict}"
+echo "${predict}" | grep -q '"token":'
+
+# Determinism across requests: same context, same answer.
+predict2=$(curl -sf -X POST "http://${ADDR}/v1/predict" \
+    -d '{"model":"opt-c1","mode":"nora","context":[1,2,3,4,5]}')
+tok1=$(echo "${predict}" | sed 's/.*"token":\([0-9]*\).*/\1/')
+tok2=$(echo "${predict2}" | sed 's/.*"token":\([0-9]*\).*/\1/')
+if [ "${tok1}" != "${tok2}" ]; then
+    echo "serve_smoke: nondeterministic predict: ${tok1} vs ${tok2}" >&2
+    exit 1
+fi
+
+# Bad requests surface as client errors, not 5xx.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://${ADDR}/v1/predict" -d '{"model":')
+[ "${code}" = "400" ] || { echo "serve_smoke: malformed JSON gave ${code}, want 400" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://${ADDR}/v1/predict" \
+    -d '{"model":"nope","context":[1]}')
+[ "${code}" = "404" ] || { echo "serve_smoke: unknown model gave ${code}, want 404" >&2; exit 1; }
+
+curl -sf "http://${ADDR}/statz" | grep -q '"batch"'
+
+# Clean shutdown: SIGINT must drain and exit 0.
+kill -INT "${SERVE_PID}"
+for i in $(seq 1 100); do
+    kill -0 "${SERVE_PID}" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "${SERVE_PID}" 2>/dev/null; then
+    echo "serve_smoke: server did not exit after SIGINT" >&2
+    exit 1
+fi
+wait "${SERVE_PID}" || { echo "serve_smoke: server exited non-zero" >&2; cat "${LOG}" >&2; exit 1; }
+grep -q "drained" "${LOG}" || { echo "serve_smoke: no drain marker in log" >&2; cat "${LOG}" >&2; exit 1; }
+echo "serve_smoke: OK"
