@@ -74,7 +74,7 @@ func main() {
 		emit(harness.LambdaTable(harness.LambdaAblation(eng, ws, lambdas)), "lambda")
 	}
 	if *cost {
-		rows := harness.CostStudy(eng, ws, analog.PaperPreset(), analog.DefaultCostModel())
+		rows := harness.CostStudy(eng, ws, analog.PaperPreset(), opt.CostModel())
 		emit(harness.CostTable(rows), "cost")
 	}
 	if *perLayer {

@@ -1,0 +1,117 @@
+// Command nora-pareto explores the hardware design space (E21): a tile
+// configuration sweep — ADC bits × tile size × bit-slicing scheme — over
+// the model zoo with the cost engine enabled, emitting the accuracy-vs-
+// energy Pareto front as a table, CSV, and terminal chart.
+//
+// Usage:
+//
+//	nora-pareto [-modeldir testdata/models] [-eval 150]
+//	            [-models opt-c3,mistral-c] [-bits 5,6,7,8]
+//	            [-tiles 128,256,512] [-slices] [-costmodel cost.json]
+//	            [-csv out.csv] [-front-only] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nora/internal/analog"
+	"nora/internal/cli"
+	"nora/internal/harness"
+	"nora/internal/prof"
+)
+
+func main() {
+	var opt cli.Options
+	opt.RegisterFlags(flag.CommandLine)
+	csvPath := flag.String("csv", "", "also write results as CSV")
+	models := flag.String("models", "", "comma-separated zoo keys (default: all)")
+	bits := flag.String("bits", "", "comma-separated ADC bit widths (default: study ladder)")
+	tiles := flag.String("tiles", "", "comma-separated square tile sizes (default: study ladder)")
+	slices := flag.Bool("slices", true, "include the 2x4-bit multi-cell slicing scheme alongside continuous")
+	frontOnly := flag.Bool("front-only", false, "print only rows on the Pareto front")
+	noChart := flag.Bool("no-chart", false, "suppress the terminal chart")
+	flag.Parse()
+	if err := run(&opt, *csvPath, *models, *bits, *tiles, *slices, *frontOnly, *noChart); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(opt *cli.Options, csvPath, models, bits, tiles string, slices, frontOnly, noChart bool) error {
+	if err := opt.Finish(); err != nil {
+		return err
+	}
+
+	stopProf := prof.Start()
+	defer stopProf()
+
+	bitLadder := harness.DefaultParetoBits()
+	tileLadder := harness.DefaultParetoTiles()
+	schemes := harness.DefaultParetoSchemes()
+	if !slices {
+		schemes = harness.QuickParetoSchemes()
+	}
+	if opt.Quick {
+		bitLadder = harness.QuickParetoBits()
+		tileLadder = harness.QuickParetoTiles()
+		schemes = harness.QuickParetoSchemes()
+		if models == "" {
+			models = "opt-c3"
+		}
+		opt.QuickEval(30)
+	}
+	if bits != "" {
+		is, err := cli.ParseInts(bits)
+		if err != nil {
+			return fmt.Errorf("-bits: %w", err)
+		}
+		bitLadder = is
+	}
+	if tiles != "" {
+		is, err := cli.ParseInts(tiles)
+		if err != nil {
+			return fmt.Errorf("-tiles: %w", err)
+		}
+		tileLadder = is
+	}
+
+	ws, err := opt.LoadModels(models)
+	if err != nil {
+		return err
+	}
+
+	eng := opt.NewEngine()
+	tcs := harness.ParetoGrid(bitLadder, tileLadder, schemes)
+	rows := harness.ParetoSweep(eng, ws, analog.PaperPreset(), tcs, opt.CostModel())
+
+	shown := rows
+	if frontOnly {
+		shown = shown[:0:0]
+		for _, r := range rows {
+			if r.Front {
+				shown = append(shown, r)
+			}
+		}
+	}
+	tbl := harness.ParetoTable(shown)
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if !noChart {
+		fmt.Println()
+		if err := harness.ParetoChart(rows).Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" {
+		// The CSV always carries the full sweep (front membership is a
+		// column), so downstream plotting never loses the dominated points.
+		if err := harness.ParetoTable(rows).WriteCSVFile(csvPath); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr, eng.Stats())
+	return nil
+}

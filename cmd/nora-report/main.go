@@ -153,7 +153,7 @@ func run(opt *cli.Options, outPath string) (err error) {
 	}
 
 	// E10 — cost estimate.
-	if err := emit(harness.CostTable(harness.CostStudy(eng, focus, cfg, analog.DefaultCostModel()))); err != nil {
+	if err := emit(harness.CostTable(harness.CostStudy(eng, focus, cfg, opt.CostModel()))); err != nil {
 		return err
 	}
 
@@ -212,8 +212,13 @@ func run(opt *cli.Options, outPath string) (err error) {
 	}
 
 	stats := eng.Stats()
-	if _, err := fmt.Fprintf(f, "---\nengine stats: `%s`\n\ntotal wall time: %s\n",
-		stats, time.Since(start).Round(time.Second)); err != nil {
+	cost := stats.Cost
+	if _, err := fmt.Fprintf(f, "---\nengine stats: `%s`\n\ncost (all deployments, counted events): analog %.1f uJ / %.1f ms vs digital %.1f uJ / %.1f ms — energy saving %.1fx, bm-retries %d\n\ntotal wall time: %s\n",
+		stats,
+		cost.Analog.EnergyPJ/1e6, cost.Analog.LatencyNS/1e6,
+		cost.Digital.EnergyPJ/1e6, cost.Digital.LatencyNS/1e6,
+		cost.EnergySaving, cost.Analog.Counters.BMRetries,
+		time.Since(start).Round(time.Second)); err != nil {
 		return err
 	}
 	fmt.Println(stats)

@@ -8,7 +8,7 @@
 // flags are guaranteed to build identical engines — a property pinned by
 // TestBinariesResolveIdenticalEngineConfig.
 //
-// Usage pattern (all nine cmd binaries):
+// Usage pattern (all ten cmd binaries):
 //
 //	var opt cli.Options
 //	opt.RegisterFlags(flag.CommandLine)
@@ -25,8 +25,11 @@
 package cli
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
@@ -54,9 +57,16 @@ type Options struct {
 	// (-noise-stream): "v1" (Box-Muller, bit-compatible with prior runs) or
 	// "v2" (ziggurat, faster). Finish validates and applies it.
 	NoiseStream string
+	// CostModelSpec overrides the energy/latency constants (-costmodel):
+	// either a JSON file holding an analog.CostModel, or comma-separated
+	// key=value pairs over the JSON keys (e.g. "adc_pj=2.1,mvm_ns=80").
+	// Empty keeps analog.DefaultCostModel. Cost constants only price the
+	// counted hardware events — they never change deployments or results.
+	CostModelSpec string
 
-	stream   rng.StreamVersion
-	finished bool
+	stream    rng.StreamVersion
+	costModel analog.CostModel
+	finished  bool
 }
 
 // Default flag values, shared by every binary. Exported so tests (and the
@@ -74,6 +84,7 @@ func (o *Options) RegisterFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Quick, "quick", false, "reduced sweep for a fast smoke run")
 	fs.IntVar(&o.BatchRows, "batch", 0, "analog batch rows per pass (0 = package default, 1 = legacy row loop; never changes results)")
 	fs.StringVar(&o.NoiseStream, "noise-stream", DefaultNoiseStream, "analog noise stream: v1 (Box-Muller, bit-compatible with prior runs) or v2 (ziggurat, faster)")
+	fs.StringVar(&o.CostModelSpec, "costmodel", "", "cost-model override: JSON file or k=v list (keys: dac_pj, adc_pj, cell_pj, mac_pj, mvm_ns, macs_per_ns, row_ns); empty = built-in defaults")
 }
 
 // Finish validates the parsed options and applies the process-wide ones
@@ -86,8 +97,57 @@ func (o *Options) Finish() error {
 	}
 	o.stream = sv
 	analog.SetDefaultNoiseStream(sv)
+	cm, err := ParseCostModel(o.CostModelSpec)
+	if err != nil {
+		return err
+	}
+	o.costModel = cm
 	o.finished = true
 	return nil
+}
+
+// ParseCostModel resolves a -costmodel spec: empty keeps the defaults, a
+// path to a .json file (or any existing file) is decoded over the defaults,
+// anything else is parsed as comma-separated key=value overrides using the
+// JSON keys (see analog.CostModel).
+func ParseCostModel(spec string) (analog.CostModel, error) {
+	cm := analog.DefaultCostModel()
+	if spec == "" {
+		return cm, nil
+	}
+	if _, err := os.Stat(spec); err == nil || strings.HasSuffix(spec, ".json") {
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return cm, fmt.Errorf("cli: -costmodel %s: %w", spec, err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cm); err != nil {
+			return cm, fmt.Errorf("cli: -costmodel %s: %w", spec, err)
+		}
+		return cm, nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return cm, fmt.Errorf("cli: -costmodel: %q is neither a readable file nor key=value", pair)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return cm, fmt.Errorf("cli: -costmodel %s: %w", key, err)
+		}
+		if err := cm.Set(strings.TrimSpace(key), v); err != nil {
+			return cm, fmt.Errorf("cli: -costmodel: %w", err)
+		}
+	}
+	return cm, nil
+}
+
+// CostModel returns the resolved cost-model constants (Finish must have
+// succeeded first).
+func (o *Options) CostModel() analog.CostModel {
+	o.mustFinish("CostModel")
+	return o.costModel
 }
 
 // Stream returns the validated noise-stream version (Finish must have
@@ -101,7 +161,14 @@ func (o *Options) Stream() rng.StreamVersion {
 // derives its engine from this one function, so identical flags always
 // mean identical engines.
 func (o *Options) Engine() engine.Config {
-	return engine.Config{BatchRows: o.BatchRows}
+	cfg := engine.Config{BatchRows: o.BatchRows}
+	if o.CostModelSpec != "" {
+		// Only an explicit override lands in the config; the zero value lets
+		// engine.New resolve analog.DefaultCostModel itself, keeping the
+		// default engine config the zero value.
+		cfg.CostModel = o.costModel
+	}
+	return cfg
 }
 
 // NewEngine builds the engine for the resolved configuration.

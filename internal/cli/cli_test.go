@@ -1,10 +1,14 @@
 package cli
 
 import (
+	"encoding/json"
 	"flag"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
+	"nora/internal/analog"
 	"nora/internal/engine"
 	"nora/internal/harness"
 )
@@ -136,4 +140,85 @@ func TestUseBeforeFinishPanics(t *testing.T) {
 	}()
 	var o Options
 	o.NewEngine()
+}
+
+// TestCostModelRoundTrip pins the -costmodel flag surface: a model written
+// as JSON parses back identically, k=v overrides patch exactly the named
+// constants, and the engine config carries the override only when one was
+// given (so the default engine config stays the zero value).
+func TestCostModelRoundTrip(t *testing.T) {
+	want := analog.DefaultCostModel()
+	want.ADCEnergyPJ = 2.125
+	want.TileMVMLatencyNS = 87.5
+
+	// JSON file round trip.
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cost.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCostModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("JSON round trip: got %+v, want %+v", got, want)
+	}
+
+	// k=v overrides reach the same model.
+	got, err = ParseCostModel("adc_pj=2.125, mvm_ns=87.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("k=v overrides: got %+v, want %+v", got, want)
+	}
+
+	// Through the flag surface into the engine config.
+	o := parseAs(t, "x", []string{"-costmodel", "adc_pj=2.125,mvm_ns=87.5"})
+	if o.CostModel() != want {
+		t.Fatalf("Options.CostModel = %+v, want %+v", o.CostModel(), want)
+	}
+	if o.Engine().CostModel != want {
+		t.Fatalf("engine config cost model = %+v, want %+v", o.Engine().CostModel, want)
+	}
+
+	// No override: defaults resolved, zero-value engine config preserved.
+	o = parseAs(t, "x", nil)
+	if o.CostModel() != analog.DefaultCostModel() {
+		t.Fatalf("default cost model = %+v", o.CostModel())
+	}
+	if o.Engine() != (engine.Config{}) {
+		t.Fatalf("default engine config = %+v, want zero value", o.Engine())
+	}
+}
+
+// TestCostModelRejectsGarbage covers the error paths: unknown keys, bare
+// tokens, non-numeric values, and JSON with unknown fields.
+func TestCostModelRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{"warp_pj=1", "adc_pj", "adc_pj=fast"} {
+		if _, err := ParseCostModel(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"adc_pj": 1, "warp_pj": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseCostModel(path); err == nil {
+		t.Error("JSON with unknown field accepted")
+	}
+	// Finish surfaces the parse error.
+	var o Options
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-costmodel", "warp_pj=1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Finish(); err == nil {
+		t.Fatal("Finish accepted an invalid cost model")
+	}
 }

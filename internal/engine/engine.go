@@ -66,6 +66,12 @@ type Config struct {
 	// EvalWorkers parallelism does not already saturate the cores. Applied
 	// process-wide (analog.SetMACWorkers) by New. Never changes results.
 	MACWorkers int
+
+	// CostModel prices the analog hardware events the engine counts around
+	// evaluation passes (Stats.Cost, Deployment.CostComparison). The zero
+	// value selects analog.DefaultCostModel(). Pure reporting: it never
+	// enters deployment content keys or changes any result.
+	CostModel analog.CostModel
 }
 
 // DefaultCacheSize bounds the deployment cache when Config.CacheSize is
@@ -103,6 +109,9 @@ func New(cfg Config) *Engine {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = DefaultCacheSize
 	}
+	if cfg.CostModel == (analog.CostModel{}) {
+		cfg.CostModel = analog.DefaultCostModel()
+	}
 	// Always store the MAC worker setting: it is process-wide, so skipping
 	// the call for MACWorkers <= 1 would leave a previous engine's parallel
 	// setting in force. SetMACWorkers clamps <= 1 back to the serial default.
@@ -119,6 +128,10 @@ func New(cfg Config) *Engine {
 // callers that evaluate runners built outside the engine (for example the
 // digital-quantization baselines) but want matching parallelism.
 func (e *Engine) EvalWorkers() int { return e.cfg.EvalWorkers }
+
+// CostModel returns the resolved cost model the engine prices analog work
+// with (the config override, or analog.DefaultCostModel()).
+func (e *Engine) CostModel() analog.CostModel { return e.cfg.CostModel }
 
 // Request names one deployment: which model, onto what hardware, under
 // which rescaling. Everything except Net enters the content key; Net is
@@ -374,8 +387,7 @@ func (d *Deployment) EvalCtx(ctx context.Context, sequences [][]int) (nn.EvalRes
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		mallocs0 := ms.Mallocs
-		reads0 := d.analogMVMs()
-		rows0 := d.analogRows()
+		before := d.opSnapshot()
 
 		start := time.Now()
 		res, err := d.runner.EvalCtx(ctx, sequences, d.eng.cfg.EvalWorkers)
@@ -394,31 +406,75 @@ func (d *Deployment) EvalCtx(ctx context.Context, sequences [][]int) (nn.EvalRes
 
 		runtime.ReadMemStats(&ms)
 
+		after := d.opSnapshot()
 		s := &d.eng.stats
 		s.evalRuns.Add(1)
 		s.evalNanos.Add(elapsed.Nanoseconds())
 		s.sequences.Add(int64(res.Evaluated))
 		s.skipped.Add(int64(res.Skipped))
 		s.tokens.Add(res.Tokens)
-		s.analogReads.Add(d.analogMVMs() - reads0)
-		s.analogRows.Add(d.analogRows() - rows0)
+		s.analogReads.Add(after.counters.MVMs - before.counters.MVMs)
+		s.dacConvs.Add(after.counters.DACConvs - before.counters.DACConvs)
+		s.adcConvs.Add(after.counters.ADCConvs - before.counters.ADCConvs)
+		s.cellReads.Add(after.counters.CellReads - before.counters.CellReads)
+		s.bmRetries.Add(after.counters.BMRetries - before.counters.BMRetries)
+		s.analogRows.Add(after.rows - before.rows)
+		s.digitalMACs.Add(after.macs - before.macs)
 		s.mallocs.Add(int64(ms.Mallocs - mallocs0))
 		return res, nil
 	}
 }
 
-// analogMVMs sums the analog MVM read counters across the deployment's
-// operators (zero for digital deployments). Deltas around an eval measure
-// the crossbar reads that eval issued.
-func (d *Deployment) analogMVMs() int64 {
-	type costOp interface{ CostCounters() analog.OpCounters }
-	var total int64
+// opSnapshot is a consistent-enough view of a deployment's hardware-event
+// counters: OpCounters, the digital-MAC-equivalent work, and the processed
+// activation rows, summed across its analog layers.
+type opSnapshot struct {
+	counters analog.OpCounters
+	macs     int64
+	rows     int64
+}
+
+// opSnapshot reads the deployment's analog counters (all zero for digital
+// deployments). Deltas around an eval measure the hardware events that eval
+// issued.
+func (d *Deployment) opSnapshot() opSnapshot {
+	type costOp interface {
+		CostCounters() analog.OpCounters
+		DigitalEquivalentMACs() int64
+		RowsProcessed() int64
+	}
+	var snap opSnapshot
 	for _, spec := range d.runner.Model().Linears() {
 		if op, ok := d.runner.Linear(spec.Name).(costOp); ok {
-			total += op.CostCounters().MVMs
+			snap.counters.Add(op.CostCounters())
+			snap.macs += op.DigitalEquivalentMACs()
+			snap.rows += op.RowsProcessed()
 		}
 	}
-	return total
+	return snap
+}
+
+// OpCounters aggregates the hardware-event counters across the deployment's
+// analog layers (all zero for digital deployments). Counters reflect every
+// eval pass actually run on this deployment — memoized eval hits re-run
+// nothing and advance nothing — so a sole-user deployment (distinct salt)
+// evaluated once holds exactly one eval pass of events.
+func (d *Deployment) OpCounters() analog.OpCounters { return d.opSnapshot().counters }
+
+// DigitalEquivalentMACs is the digital multiply-accumulate count equivalent
+// to the analog work counted so far (rows × in × out per layer).
+func (d *Deployment) DigitalEquivalentMACs() int64 { return d.opSnapshot().macs }
+
+// AnalogRows is the activation-row count pushed through the deployment's
+// analog layers so far.
+func (d *Deployment) AnalogRows() int64 { return d.opSnapshot().rows }
+
+// CostComparison prices the deployment's counted analog work under the
+// engine's cost model, against the digital-MAC baseline for the same
+// linear-layer workload.
+func (d *Deployment) CostComparison() analog.CostComparison {
+	snap := d.opSnapshot()
+	return d.eng.cfg.CostModel.Compare(snap.counters, snap.macs, snap.rows)
 }
 
 // FaultStats aggregates programming-time device-fault and mitigation
@@ -431,20 +487,6 @@ func (d *Deployment) FaultStats() analog.FaultStats {
 	for _, spec := range d.runner.Model().Linears() {
 		if op, ok := d.runner.Linear(spec.Name).(faultOp); ok {
 			total.Add(op.FaultStats())
-		}
-	}
-	return total
-}
-
-// analogRows sums processed activation rows across the deployment's analog
-// layers. Each row is one full pass through a layer's tile grid, so deltas
-// around an eval measure the batched read path's unit of work.
-func (d *Deployment) analogRows() int64 {
-	type rowsOp interface{ RowsProcessed() int64 }
-	var total int64
-	for _, spec := range d.runner.Model().Linears() {
-		if op, ok := d.runner.Linear(spec.Name).(rowsOp); ok {
-			total += op.RowsProcessed()
 		}
 	}
 	return total
@@ -492,6 +534,11 @@ type statCounters struct {
 	tokens       atomic.Int64
 	analogReads  atomic.Int64
 	analogRows   atomic.Int64
+	dacConvs     atomic.Int64
+	adcConvs     atomic.Int64
+	cellReads    atomic.Int64
+	bmRetries    atomic.Int64
+	digitalMACs  atomic.Int64
 	mallocs      atomic.Int64
 
 	// streamMask records every noise-stream version requested from this
@@ -538,6 +585,14 @@ type Stats struct {
 	// AnalogRows counts activation rows pushed through analog layers by
 	// evaluation runs — the unit the sequence-batched read path chunks.
 	AnalogRows int64
+	// Counters is the full analog hardware-event tally of completed
+	// evaluation runs (Counters.MVMs == AnalogReads); DigitalMACs the
+	// digital multiply-accumulate count equivalent to that analog work.
+	Counters    analog.OpCounters
+	DigitalMACs int64
+	// Cost prices Counters/DigitalMACs under the engine's cost model: the
+	// analog energy/latency estimate against the digital-MAC baseline.
+	Cost analog.CostComparison
 	// BatchRows is the effective analog batch size in force (the engine
 	// config override, or the analog package default).
 	BatchRows int
@@ -567,6 +622,15 @@ func (e *Engine) Stats() Stats {
 			streams = append(streams, v.String())
 		}
 	}
+	counters := analog.OpCounters{
+		MVMs:      s.analogReads.Load(),
+		DACConvs:  s.dacConvs.Load(),
+		ADCConvs:  s.adcConvs.Load(),
+		CellReads: s.cellReads.Load(),
+		BMRetries: s.bmRetries.Load(),
+	}
+	macs := s.digitalMACs.Load()
+	rows := s.analogRows.Load()
 	return Stats{
 		DeployBuilds:  s.deployBuilds.Load(),
 		DeployHits:    s.deployHits.Load(),
@@ -579,8 +643,11 @@ func (e *Engine) Stats() Stats {
 		Sequences:     s.sequences.Load(),
 		SkippedSeqs:   s.skipped.Load(),
 		Tokens:        s.tokens.Load(),
-		AnalogReads:   s.analogReads.Load(),
-		AnalogRows:    s.analogRows.Load(),
+		AnalogReads:   counters.MVMs,
+		AnalogRows:    rows,
+		Counters:      counters,
+		DigitalMACs:   macs,
+		Cost:          e.cfg.CostModel.Compare(counters, macs, rows),
 		BatchRows:     batch,
 		NoiseStreams:  strings.Join(streams, ","),
 		Mallocs:       s.mallocs.Load(),
@@ -636,11 +703,15 @@ func (s Stats) String() string {
 		"engine: deploys=%d hits=%d evictions=%d deploy-time=%s | "+
 			"evals=%d eval-hits=%d eval-time=%s | seqs=%d skipped=%d tokens=%d (%.0f tok/s) | "+
 			"reads=%d (%.0f reads/s) rows=%d (%.0f rows/s) batch=%d stream=%s | "+
-			"allocs=%d (%.1f allocs/seq)",
+			"allocs=%d (%.1f allocs/seq) | "+
+			"cost: analog=%.1fuJ/%.1fms digital=%.1fuJ/%.1fms saving=%.1fx bm-retries=%d",
 		s.DeployBuilds, s.DeployHits, s.Evictions, s.DeployTime.Round(time.Millisecond),
 		s.Evals, s.EvalHits, s.EvalTime.Round(time.Millisecond),
 		s.Sequences, s.SkippedSeqs, s.Tokens, s.TokensPerSecond(),
 		s.AnalogReads, s.ReadsPerSecond(), s.AnalogRows, s.RowsPerSecond(),
 		s.BatchRows, streams,
-		s.Mallocs, s.AllocsPerSequence())
+		s.Mallocs, s.AllocsPerSequence(),
+		s.Cost.Analog.EnergyPJ/1e6, s.Cost.Analog.LatencyNS/1e6,
+		s.Cost.Digital.EnergyPJ/1e6, s.Cost.Digital.LatencyNS/1e6,
+		s.Cost.EnergySaving, s.Counters.BMRetries)
 }

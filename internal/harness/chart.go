@@ -132,37 +132,65 @@ func (c *Chart) Render(w io.Writer) error {
 	return err
 }
 
+// Series declares one chart series over a uniform result-row type: a name,
+// an optional row filter, and the x/y projections. The chart companion of
+// the Col/TableOf table emitter.
+type Series[R any] struct {
+	Name   string
+	Filter func(R) bool // nil = all rows
+	X, Y   func(R) float64
+}
+
+// ChartOf builds a chart declaratively from experiment rows × series specs.
+// Series with no matching rows are omitted (so per-model series lists can
+// be declared for the full zoo and rendered for whatever subset ran).
+func ChartOf[R any](title, xlabel, ylabel string, rows []R, series []Series[R]) *Chart {
+	chart := NewChart(title, xlabel, ylabel, 60, 12)
+	for _, s := range series {
+		var xs, ys []float64
+		for _, r := range rows {
+			if s.Filter != nil && !s.Filter(r) {
+				continue
+			}
+			xs = append(xs, s.X(r))
+			ys = append(ys, s.Y(r))
+		}
+		if len(xs) > 0 {
+			chart.AddSeries(s.Name, xs, ys)
+		}
+	}
+	return chart
+}
+
 // SensitivityCharts renders one accuracy-vs-achieved-MSE chart per noise
 // kind from sensitivity points (the terminal rendition of Fig. 3's
 // panels).
 func SensitivityCharts(points []SensitivityPoint, w io.Writer) error {
-	byKind := map[NoiseKind]map[string][][2]float64{}
+	var names []string
+	seen := map[string]bool{}
 	for _, p := range points {
-		if byKind[p.Kind] == nil {
-			byKind[p.Kind] = map[string][][2]float64{}
+		if !seen[p.Model] {
+			seen[p.Model] = true
+			names = append(names, p.Model)
 		}
-		byKind[p.Kind][p.Model] = append(byKind[p.Kind][p.Model], [2]float64{p.MSE, p.Accuracy})
 	}
+	sortStrings(names)
 	for _, kind := range AllNoiseKinds() {
-		models := byKind[kind]
-		if models == nil {
-			continue
-		}
-		chart := NewChart(fmt.Sprintf("Fig. 3 (%s) — accuracy vs reference MSE", kind), "reference MSE", "accuracy", 60, 12)
-		// stable series order
-		var names []string
-		for name := range models {
-			names = append(names, name)
-		}
-		sortStrings(names)
+		kind := kind
+		series := make([]Series[SensitivityPoint], 0, len(names))
 		for _, name := range names {
-			pts := models[name]
-			xs := make([]float64, len(pts))
-			ys := make([]float64, len(pts))
-			for i, p := range pts {
-				xs[i], ys[i] = p[0], p[1]
-			}
-			chart.AddSeries(name, xs, ys)
+			name := name
+			series = append(series, Series[SensitivityPoint]{
+				Name:   name,
+				Filter: func(p SensitivityPoint) bool { return p.Kind == kind && p.Model == name },
+				X:      func(p SensitivityPoint) float64 { return p.MSE },
+				Y:      func(p SensitivityPoint) float64 { return p.Accuracy },
+			})
+		}
+		chart := ChartOf(fmt.Sprintf("Fig. 3 (%s) — accuracy vs reference MSE", kind),
+			"reference MSE", "accuracy", points, series)
+		if len(chart.series) == 0 {
+			continue
 		}
 		if err := chart.Render(w); err != nil {
 			return err

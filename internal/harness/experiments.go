@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"nora/internal/analog"
@@ -10,14 +9,25 @@ import (
 	"nora/internal/engine"
 )
 
-// Every experiment routes its deploy→eval points through the engine:
-// engine.RunGrid supplies the grid-level worker pool, eng.Deploy the
-// content-keyed deployment cache, and Deployment.Eval the memoized
-// sequence-parallel evaluation. Identical (model, mode, config, options)
-// points — which recur across experiments by construction, e.g. the
-// paper-preset naive/NORA deployments of OverallAccuracy, SlicingStudy's
-// "continuous" scheme, and ModeStudy's "voltage" mode — intentionally
-// share one cached deployment and one recorded eval.
+// Every experiment is a Sweep (sweep.go): an axis of points × named arms ×
+// workloads, flattened through engine.RunGrid. The engine supplies the
+// grid-level worker pool, eng.Deploy the content-keyed deployment cache,
+// and Deployment.Eval the memoized sequence-parallel evaluation. Identical
+// (model, mode, config, options) points — which recur across experiments by
+// construction, e.g. the paper-preset naive/NORA deployments of
+// OverallAccuracy, SlicingStudy's "continuous" scheme, and ModeStudy's
+// "voltage" mode — intentionally share one cached deployment and one
+// recorded eval.
+
+// prepareBaselines computes the digital baseline and calibration once per
+// workload before a sweep's grid runs.
+func prepareBaselines(eng *engine.Engine, w *Workload) {
+	w.DigitalAccuracy(eng)
+	w.Calibration()
+}
+
+// prepareCalibration computes only the calibration statistics.
+func prepareCalibration(_ *engine.Engine, w *Workload) { w.Calibration() }
 
 // --- E1: sensitivity study (Fig. 3) -----------------------------------
 
@@ -48,40 +58,45 @@ func Sensitivity(eng *engine.Engine, ws []*Workload, targets []float64) []Sensit
 		}
 	})
 
-	// Digital baselines (cached on the workload and in the engine).
-	for _, w := range ws {
-		w.DigitalAccuracy(eng)
-	}
-
-	type point struct {
-		w    *Workload
+	type axis struct {
 		kind NoiseKind
-		lvl  CalibratedLevel
 		li   int
+		lvl  CalibratedLevel
 	}
-	points := make([]point, 0, len(ws)*len(kinds)*len(targets))
-	for _, w := range ws {
-		for ki, kind := range kinds {
-			for li := range targets {
-				points = append(points, point{w, kind, levels[ki][li], li})
-			}
+	points := make([]axis, 0, len(kinds)*len(targets))
+	for ki, kind := range kinds {
+		for li := range targets {
+			points = append(points, axis{kind, li, levels[ki][li]})
 		}
 	}
-	return engine.RunGrid(eng, points, func(_ int, p point) SensitivityPoint {
-		cfg := ConfigFor(p.kind, p.lvl.Param)
-		acc := eng.Deploy(p.w.Request(core.DeployAnalogNaive, cfg, core.Options{}, "")).
-			EvalAccuracy(p.w.Eval)
-		return SensitivityPoint{
-			Model:     p.w.Spec.Display,
-			Kind:      p.kind,
-			Level:     p.li,
-			TargetMSE: p.lvl.TargetMSE,
-			MSE:       p.lvl.MSE,
-			Param:     p.lvl.Param,
-			Accuracy:  acc,
-			Drop:      p.w.DigitalAccuracy(eng) - acc,
+	g := Sweep[axis]{
+		Points: points,
+		Arms: []Arm[axis]{{
+			Name: core.DeployAnalogNaive.String(),
+			Request: func(w *Workload, p axis) engine.Request {
+				return w.Request(core.DeployAnalogNaive, ConfigFor(p.kind, p.lvl.Param), core.Options{}, "")
+			},
+		}},
+		Prepare: func(eng *engine.Engine, w *Workload) { w.DigitalAccuracy(eng) },
+	}.Run(eng, ws)
+
+	rows := make([]SensitivityPoint, 0, len(ws)*len(points))
+	for wi, w := range g.Workloads {
+		for pi, p := range points {
+			acc := g.Accuracy(wi, pi, 0)
+			rows = append(rows, SensitivityPoint{
+				Model:     w.Spec.Display,
+				Kind:      p.kind,
+				Level:     p.li,
+				TargetMSE: p.lvl.TargetMSE,
+				MSE:       p.lvl.MSE,
+				Param:     p.lvl.Param,
+				Accuracy:  acc,
+				Drop:      w.DigitalAccuracy(eng) - acc,
+			})
 		}
-	})
+	}
+	return rows
 }
 
 // --- E3/E4: overall accuracy (Fig. 5a, Table III) ----------------------
@@ -103,31 +118,19 @@ var analogModes = []core.DeployMode{core.DeployAnalogNaive, core.DeployAnalogNOR
 // OverallAccuracy reproduces Fig. 5(a) and Table III: digital FP vs naive
 // analog vs NORA under cfg (typically analog.PaperPreset()).
 func OverallAccuracy(eng *engine.Engine, ws []*Workload, cfg analog.Config) []AccuracyRow {
-	for _, w := range ws {
-		w.DigitalAccuracy(eng)
-		w.Calibration()
-	}
-	type point struct {
-		w    *Workload
-		mode core.DeployMode
-	}
-	points := make([]point, 0, len(ws)*len(analogModes))
-	for _, w := range ws {
-		for _, mode := range analogModes {
-			points = append(points, point{w, mode})
-		}
-	}
-	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
-		return eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
-	})
+	g := Sweep[struct{}]{
+		Points:  unitAxis,
+		Arms:    modeArms("", func(struct{}) analog.Config { return cfg }),
+		Prepare: prepareBaselines,
+	}.Run(eng, ws)
 	rows := make([]AccuracyRow, len(ws))
-	for i, w := range ws {
-		rows[i] = AccuracyRow{
+	for wi, w := range g.Workloads {
+		rows[wi] = AccuracyRow{
 			Model:   w.Spec.Display,
 			Family:  w.Spec.Family,
 			Digital: w.DigitalAccuracy(eng),
-			Naive:   accs[2*i],
-			NORA:    accs[2*i+1],
+			Naive:   g.Accuracy(wi, 0, 0),
+			NORA:    g.Accuracy(wi, 0, 1),
 		}
 	}
 	return rows
@@ -159,65 +162,43 @@ func replicaSalt(rep int) string {
 }
 
 // OverallAccuracyReplicated runs the Fig. 5(a)/Table III protocol across
-// replicas independent hardware instances per deployment, quantifying the
-// programming-noise lottery a single-seed number hides.
+// replicas independent hardware instances per deployment (the replica index
+// is the sweep axis), quantifying the programming-noise lottery a
+// single-seed number hides.
 func OverallAccuracyReplicated(eng *engine.Engine, ws []*Workload, cfg analog.Config, replicas int) []AccuracyStats {
 	if replicas < 1 {
 		panic("harness: OverallAccuracyReplicated needs replicas ≥ 1")
 	}
-	for _, w := range ws {
-		w.DigitalAccuracy(eng)
-		w.Calibration()
+	reps := make([]int, replicas)
+	for i := range reps {
+		reps[i] = i
 	}
-	type point struct {
-		w    *Workload
-		mode core.DeployMode
-		salt string
+	arms := make([]Arm[int], 0, len(analogModes))
+	for _, mode := range analogModes {
+		mode := mode
+		arms = append(arms, Arm[int]{
+			Name: mode.String(),
+			Request: func(w *Workload, rep int) engine.Request {
+				return w.Request(mode, cfg, core.Options{}, replicaSalt(rep))
+			},
+		})
 	}
-	points := make([]point, 0, len(ws)*replicas*len(analogModes))
-	for _, w := range ws {
-		for rep := 0; rep < replicas; rep++ {
-			for _, mode := range analogModes {
-				points = append(points, point{w, mode, replicaSalt(rep)})
-			}
-		}
-	}
-	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
-		return eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, p.salt)).EvalAccuracy(p.w.Eval)
-	})
+	g := Sweep[int]{Points: reps, Arms: arms, Prepare: prepareBaselines}.Run(eng, ws)
 	out := make([]AccuracyStats, len(ws))
-	for i, w := range ws {
-		var nSum, nSum2, rSum, rSum2 float64
-		for rep := 0; rep < replicas; rep++ {
-			naive := accs[(i*replicas+rep)*2]
-			nora := accs[(i*replicas+rep)*2+1]
-			nSum += naive
-			nSum2 += naive * naive
-			rSum += nora
-			rSum2 += nora * nora
-		}
-		n := float64(replicas)
-		nm, rm := nSum/n, rSum/n
-		out[i] = AccuracyStats{
+	for wi, w := range g.Workloads {
+		nm, ns := g.MeanStd(wi, 0)
+		rm, rs := g.MeanStd(wi, 1)
+		out[wi] = AccuracyStats{
 			Model:     w.Spec.Display,
 			Digital:   w.DigitalAccuracy(eng),
 			NaiveMean: nm,
-			NaiveStd:  math.Sqrt(math.Max(0, nSum2/n-nm*nm)),
+			NaiveStd:  ns,
 			NORAMean:  rm,
-			NORAStd:   math.Sqrt(math.Max(0, rSum2/n-rm*rm)),
+			NORAStd:   rs,
 			Replicas:  replicas,
 		}
 	}
 	return out
-}
-
-// AccuracyStatsTable renders replicated accuracy rows.
-func AccuracyStatsTable(title string, rows []AccuracyStats) *Table {
-	t := NewTable(title, "model", "digital-fp", "naive-mean", "naive-std", "nora-mean", "nora-std", "replicas")
-	for _, r := range rows {
-		t.Add(r.Model, r.Digital, r.NaiveMean, r.NaiveStd, r.NORAMean, r.NORAStd, r.Replicas)
-	}
-	return t
 }
 
 // --- E5: per-noise mitigation (Fig. 5b/c) -------------------------------
@@ -246,43 +227,27 @@ func Mitigation(eng *engine.Engine, ws []*Workload, target float64) []Mitigation
 	engine.ParallelFor(0, len(kinds), func(i int) {
 		levels[i] = CalibrateToMSE(kinds[i], target)
 	})
-	for _, w := range ws {
-		w.DigitalAccuracy(eng)
-		w.Calibration()
-	}
-	type point struct {
-		w    *Workload
-		lvl  CalibratedLevel
-		mode core.DeployMode
-	}
-	points := make([]point, 0, len(ws)*len(kinds)*len(analogModes))
-	for _, w := range ws {
-		for _, lvl := range levels {
-			for _, mode := range analogModes {
-				points = append(points, point{w, lvl, mode})
+	g := Sweep[CalibratedLevel]{
+		Points:  levels,
+		Arms:    modeArms("", func(lvl CalibratedLevel) analog.Config { return ConfigFor(lvl.Kind, lvl.Param) }),
+		Prepare: prepareBaselines,
+	}.Run(eng, ws)
+	rows := make([]MitigationRow, 0, len(ws)*len(kinds))
+	for wi, w := range g.Workloads {
+		for pi, lvl := range levels {
+			row := MitigationRow{
+				Model:     w.Spec.Display,
+				Kind:      lvl.Kind,
+				TargetMSE: lvl.TargetMSE,
+				Param:     lvl.Param,
+				Digital:   w.DigitalAccuracy(eng),
+				Naive:     g.Accuracy(wi, pi, 0),
+				NORA:      g.Accuracy(wi, pi, 1),
 			}
-		}
-	}
-	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
-		cfg := ConfigFor(p.lvl.Kind, p.lvl.Param)
-		return eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
-	})
-	rows := make([]MitigationRow, len(ws)*len(kinds))
-	for idx := range rows {
-		w := ws[idx/len(kinds)]
-		lvl := levels[idx%len(kinds)]
-		rows[idx] = MitigationRow{
-			Model:     w.Spec.Display,
-			Kind:      lvl.Kind,
-			TargetMSE: lvl.TargetMSE,
-			Param:     lvl.Param,
-			Digital:   w.DigitalAccuracy(eng),
-			Naive:     accs[idx*2],
-			NORA:      accs[idx*2+1],
-		}
-		drop := rows[idx].Digital - rows[idx].Naive
-		if drop > 1e-9 {
-			rows[idx].Recovery = (rows[idx].NORA - rows[idx].Naive) / drop
+			if drop := row.Digital - row.Naive; drop > 1e-9 {
+				row.Recovery = (row.NORA - row.Naive) / drop
+			}
+			rows = append(rows, row)
 		}
 	}
 	return rows
@@ -300,7 +265,8 @@ type Fig6Row struct {
 // and α·γ·g_max under naive vs NORA mappings. layerFilter selects the
 // series (e.g. "attn.q" for the paper's query-projection plots; empty for
 // all layers). The analysis probes activations directly rather than
-// deploying, so only the grid runner is engine-driven here.
+// deploying, so only the grid runner is engine-driven here — it is the one
+// study that stays off the deploy→eval sweep framework.
 func DistributionAnalysis(eng *engine.Engine, ws []*Workload, layerFilter string, cfg analog.Config) []Fig6Row {
 	perWorkload := engine.RunGrid(eng, ws, func(_ int, w *Workload) []Fig6Row {
 		sample := w.Eval
@@ -340,40 +306,28 @@ type DriftRow struct {
 // drifting the weights (1 hour in the paper), with and without global
 // drift compensation.
 func DriftStudy(eng *engine.Engine, ws []*Workload, driftSeconds float64) []DriftRow {
-	for _, w := range ws {
-		w.DigitalAccuracy(eng)
-		w.Calibration()
-	}
-	type point struct {
-		w    *Workload
-		comp bool
-		mode core.DeployMode
-	}
-	var points []point
-	for _, w := range ws {
-		for _, comp := range []bool{false, true} {
-			for _, mode := range analogModes {
-				points = append(points, point{w, comp, mode})
-			}
+	g := Sweep[bool]{
+		Points: []bool{false, true},
+		Arms: modeArms("", func(comp bool) analog.Config {
+			cfg := analog.PaperPreset()
+			cfg.DriftT = driftSeconds
+			cfg.DriftCompensation = comp
+			return cfg
+		}),
+		Prepare: prepareBaselines,
+	}.Run(eng, ws)
+	rows := make([]DriftRow, 0, len(ws)*2)
+	for wi, w := range g.Workloads {
+		for pi, comp := range g.Points {
+			rows = append(rows, DriftRow{
+				Model:        w.Spec.Display,
+				DriftSeconds: driftSeconds,
+				Compensated:  comp,
+				Digital:      w.DigitalAccuracy(eng),
+				Naive:        g.Accuracy(wi, pi, 0),
+				NORA:         g.Accuracy(wi, pi, 1),
+			})
 		}
-	}
-	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
-		cfg := analog.PaperPreset()
-		cfg.DriftT = driftSeconds
-		cfg.DriftCompensation = p.comp
-		return eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
-	})
-	rows := make([]DriftRow, 0, len(points)/2)
-	for i := 0; i < len(points); i += 2 {
-		p := points[i]
-		rows = append(rows, DriftRow{
-			Model:        p.w.Spec.Display,
-			DriftSeconds: driftSeconds,
-			Compensated:  p.comp,
-			Digital:      p.w.DigitalAccuracy(eng),
-			Naive:        accs[i],
-			NORA:         accs[i+1],
-		})
 	}
 	return rows
 }
@@ -394,57 +348,34 @@ type SlicingRow struct {
 // multiple memory cells: it compares the continuous mapping against
 // sliced mappings under the full Table II noise stack.
 func SlicingStudy(eng *engine.Engine, ws []*Workload, schemes [][2]int) []SlicingRow {
-	type cfgRow struct {
+	type scheme struct {
 		name string
 		cfg  analog.Config
 	}
-	cfgs := []cfgRow{{"continuous", analog.PaperPreset()}}
+	points := []scheme{{"continuous", analog.PaperPreset()}}
 	for _, s := range schemes {
 		c := analog.PaperPreset()
 		c.WeightSlices = s[0]
 		c.SliceBits = s[1]
-		cfgs = append(cfgs, cfgRow{fmt.Sprintf("%dx%d-bit", s[0], s[1]), c})
+		points = append(points, scheme{fmt.Sprintf("%dx%d-bit", s[0], s[1]), c})
 	}
-	for _, w := range ws {
-		w.Calibration()
-	}
-	type point struct {
-		w    *Workload
-		c    cfgRow
-		mode core.DeployMode
-	}
-	points := make([]point, 0, len(ws)*len(cfgs)*len(analogModes))
-	for _, w := range ws {
-		for _, c := range cfgs {
-			for _, mode := range analogModes {
-				points = append(points, point{w, c, mode})
-			}
+	g := Sweep[scheme]{
+		Points:  points,
+		Arms:    modeArms("", func(p scheme) analog.Config { return p.cfg }),
+		Prepare: prepareCalibration,
+	}.Run(eng, ws)
+	rows := make([]SlicingRow, 0, len(ws)*len(points))
+	for wi, w := range g.Workloads {
+		for pi, p := range g.Points {
+			rows = append(rows, SlicingRow{
+				Model:  w.Spec.Display,
+				Scheme: p.name,
+				Naive:  g.Accuracy(wi, pi, 0),
+				NORA:   g.Accuracy(wi, pi, 1),
+			})
 		}
 	}
-	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
-		return eng.Deploy(p.w.Request(p.mode, p.c.cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
-	})
-	rows := make([]SlicingRow, 0, len(points)/2)
-	for i := 0; i < len(points); i += 2 {
-		p := points[i]
-		rows = append(rows, SlicingRow{
-			Model:  p.w.Spec.Display,
-			Scheme: p.c.name,
-			Naive:  accs[i],
-			NORA:   accs[i+1],
-		})
-	}
 	return rows
-}
-
-// SlicingTable renders multi-cell precision rows.
-func SlicingTable(rows []SlicingRow) *Table {
-	t := NewTable("Ext. — multi-cell weight precision (paper-preset noise)",
-		"model", "weight-scheme", "analog-naive", "analog-nora")
-	for _, r := range rows {
-		t.Add(r.Model, r.Scheme, r.Naive, r.NORA)
-	}
-	return t
 }
 
 // --- E17: hardware operating modes ----------------------------------------
@@ -474,53 +405,30 @@ func ModeStudy(eng *engine.Engine, ws []*Workload) []ModeRow {
 	both := base
 	both.BitSerial = true
 	both.WriteVerify = 3
-	modes := []opMode{
+	points := []opMode{
 		{"voltage", base},
 		{"bit-serial", bitSerial},
 		{"write-verify×3", wv},
 		{"bit-serial+wv×3", both},
 		{"reram-device", analog.ReRAMPreset()},
 	}
-	for _, w := range ws {
-		w.Calibration()
-	}
-	type point struct {
-		w    *Workload
-		m    opMode
-		mode core.DeployMode
-	}
-	points := make([]point, 0, len(ws)*len(modes)*len(analogModes))
-	for _, w := range ws {
-		for _, m := range modes {
-			for _, mode := range analogModes {
-				points = append(points, point{w, m, mode})
-			}
+	g := Sweep[opMode]{
+		Points:  points,
+		Arms:    modeArms("", func(p opMode) analog.Config { return p.cfg }),
+		Prepare: prepareCalibration,
+	}.Run(eng, ws)
+	rows := make([]ModeRow, 0, len(ws)*len(points))
+	for wi, w := range g.Workloads {
+		for pi, p := range g.Points {
+			rows = append(rows, ModeRow{
+				Model: w.Spec.Display,
+				Mode:  p.name,
+				Naive: g.Accuracy(wi, pi, 0),
+				NORA:  g.Accuracy(wi, pi, 1),
+			})
 		}
 	}
-	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
-		return eng.Deploy(p.w.Request(p.mode, p.m.cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
-	})
-	rows := make([]ModeRow, 0, len(points)/2)
-	for i := 0; i < len(points); i += 2 {
-		p := points[i]
-		rows = append(rows, ModeRow{
-			Model: p.w.Spec.Display,
-			Mode:  p.m.name,
-			Naive: accs[i],
-			NORA:  accs[i+1],
-		})
-	}
 	return rows
-}
-
-// ModeTable renders operating-mode rows.
-func ModeTable(rows []ModeRow) *Table {
-	t := NewTable("Ext. — tile operating modes (paper-preset noise)",
-		"model", "mode", "analog-naive", "analog-nora")
-	for _, r := range rows {
-		t.Add(r.Model, r.Mode, r.Naive, r.NORA)
-	}
-	return t
 }
 
 // --- E12: calibration-quantile ablation ----------------------------------
@@ -539,37 +447,28 @@ type QuantileRow struct {
 // Each point carries its own calibration, so the deployments are keyed
 // apart by the calibration fingerprint rather than by a salt.
 func CalibrationAblation(eng *engine.Engine, ws []*Workload, quantiles []float64) []QuantileRow {
-	type point struct {
-		w *Workload
-		q float64
-	}
-	points := make([]point, 0, len(ws)*len(quantiles))
-	for _, w := range ws {
-		for _, q := range quantiles {
-			points = append(points, point{w, q})
+	g := Sweep[float64]{
+		Points: quantiles,
+		Arms: []Arm[float64]{{
+			Name: core.DeployAnalogNORA.String(),
+			Request: func(w *Workload, q float64) engine.Request {
+				return engine.Request{
+					Model:  w.Spec.Key,
+					Net:    w.Model,
+					Mode:   core.DeployAnalogNORA,
+					Cal:    core.CalibrateQuantile(w.Model, w.Calib, q),
+					Config: analog.PaperPreset(),
+				}
+			},
+		}},
+	}.Run(eng, ws)
+	rows := make([]QuantileRow, 0, len(ws)*len(quantiles))
+	for wi, w := range g.Workloads {
+		for pi, q := range g.Points {
+			rows = append(rows, QuantileRow{Model: w.Spec.Display, Quantile: q, Accuracy: g.Accuracy(wi, pi, 0)})
 		}
 	}
-	return engine.RunGrid(eng, points, func(_ int, p point) QuantileRow {
-		cal := core.CalibrateQuantile(p.w.Model, p.w.Calib, p.q)
-		dep := eng.Deploy(engine.Request{
-			Model:  p.w.Spec.Key,
-			Net:    p.w.Model,
-			Mode:   core.DeployAnalogNORA,
-			Cal:    cal,
-			Config: analog.PaperPreset(),
-		})
-		return QuantileRow{Model: p.w.Spec.Display, Quantile: p.q, Accuracy: dep.EvalAccuracy(p.w.Eval)}
-	})
-}
-
-// QuantileTable renders calibration-quantile ablation rows.
-func QuantileTable(rows []QuantileRow) *Table {
-	t := NewTable("Ext. — calibration clipping-quantile ablation (NORA, paper-preset noise)",
-		"model", "quantile", "accuracy")
-	for _, r := range rows {
-		t.Add(r.Model, r.Quantile, r.Accuracy)
-	}
-	return t
+	return rows
 }
 
 // --- E11: per-layer sensitivity ablation (paper §VII future work) -------
@@ -587,7 +486,9 @@ type PerLayerRow struct {
 
 // PerLayerSensitivity reproduces the per-layer ablation the paper lists as
 // future work: each linear layer is deployed on analog tiles alone, under
-// cfg, in both naive and NORA mappings.
+// cfg, in both naive and NORA mappings. The layer axis is per-workload
+// (models need not share layer names), so this stays a hand-flattened grid
+// rather than a shared-axis Sweep.
 func PerLayerSensitivity(eng *engine.Engine, ws []*Workload, cfg analog.Config) []PerLayerRow {
 	type point struct {
 		w     *Workload
@@ -650,55 +551,31 @@ type CostRow struct {
 // eval split, which only holds while this study is the deployment's sole
 // user.
 func CostStudy(eng *engine.Engine, ws []*Workload, cfg analog.Config, cm analog.CostModel) []CostRow {
-	type point struct {
-		w    *Workload
-		mode core.DeployMode
-	}
-	points := make([]point, 0, len(ws)*len(analogModes))
-	for _, w := range ws {
-		w.Calibration()
-		for _, mode := range analogModes {
-			points = append(points, point{w, mode})
+	g := Sweep[struct{}]{
+		Points:  unitAxis,
+		Arms:    modeArms("cost", func(struct{}) analog.Config { return cfg }),
+		Prepare: prepareCalibration,
+		Cost:    true,
+	}.Run(eng, ws)
+	rows := make([]CostRow, 0, len(ws)*len(g.Arms))
+	for wi, w := range g.Workloads {
+		for ai, arm := range g.Arms {
+			cell := g.Cell(wi, 0, ai)
+			cmp := cell.Cost.Compare(cm)
+			rows = append(rows, CostRow{
+				Model:            w.Spec.Display,
+				Deploy:           arm.Name,
+				AnalogEnergyPJ:   cmp.Analog.EnergyPJ,
+				AnalogLatencyNS:  cmp.Analog.LatencyNS,
+				DigitalEnergyPJ:  cmp.Digital.EnergyPJ,
+				DigitalLatencyNS: cmp.Digital.LatencyNS,
+				EnergySaving:     cmp.EnergySaving,
+				BMRetries:        cell.Cost.Counters.BMRetries,
+				Accuracy:         cell.Accuracy,
+			})
 		}
 	}
-	return engine.RunGrid(eng, points, func(_ int, p point) CostRow {
-		dep := eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, "cost"))
-		acc := dep.EvalAccuracy(p.w.Eval)
-		runner := dep.Runner()
-		var counters analog.OpCounters
-		var macs, procRows int64
-		for _, spec := range p.w.Model.Linears() {
-			lin, ok := runner.Linear(spec.Name).(*analog.AnalogLinear)
-			if !ok {
-				continue
-			}
-			c := lin.CostCounters()
-			counters.MVMs += c.MVMs
-			counters.DACConvs += c.DACConvs
-			counters.ADCConvs += c.ADCConvs
-			counters.CellReads += c.CellReads
-			counters.BMRetries += c.BMRetries
-			macs += lin.DigitalEquivalentMACs()
-			procRows += lin.RowsProcessed()
-		}
-		a := cm.AnalogCost(counters)
-		d := cm.DigitalCost(macs, procRows)
-		saving := 0.0
-		if a.EnergyPJ > 0 {
-			saving = d.EnergyPJ / a.EnergyPJ
-		}
-		return CostRow{
-			Model:            p.w.Spec.Display,
-			Deploy:           p.mode.String(),
-			AnalogEnergyPJ:   a.EnergyPJ,
-			AnalogLatencyNS:  a.LatencyNS,
-			DigitalEnergyPJ:  d.EnergyPJ,
-			DigitalLatencyNS: d.LatencyNS,
-			EnergySaving:     saving,
-			BMRetries:        counters.BMRetries,
-			Accuracy:         acc,
-		}
-	})
+	return rows
 }
 
 // --- E9: λ ablation (paper §VII future work) ----------------------------
@@ -715,24 +592,22 @@ type LambdaRow struct {
 // balanced λ=0.5 is the deployment default (and shares its deployment
 // with the other paper-preset NORA experiments in the engine cache).
 func LambdaAblation(eng *engine.Engine, ws []*Workload, lambdas []float64) []LambdaRow {
-	for _, w := range ws {
-		w.Calibration()
-	}
-	type point struct {
-		w      *Workload
-		lambda float64
-	}
-	points := make([]point, 0, len(ws)*len(lambdas))
-	for _, w := range ws {
-		for _, lambda := range lambdas {
-			points = append(points, point{w, lambda})
+	g := Sweep[float64]{
+		Points: lambdas,
+		Arms: []Arm[float64]{{
+			Name: core.DeployAnalogNORA.String(),
+			Request: func(w *Workload, lambda float64) engine.Request {
+				return w.Request(core.DeployAnalogNORA, analog.PaperPreset(), core.Options{Lambda: lambda}, "")
+			},
+		}},
+		Prepare: prepareCalibration,
+	}.Run(eng, ws)
+	rows := make([]LambdaRow, 0, len(ws)*len(lambdas))
+	for wi, w := range g.Workloads {
+		for pi, lambda := range g.Points {
+			rows = append(rows, LambdaRow{Model: w.Spec.Display, Lambda: lambda, Accuracy: g.Accuracy(wi, pi, 0)})
 		}
 	}
-	rows := engine.RunGrid(eng, points, func(_ int, p point) LambdaRow {
-		opt := core.Options{Lambda: p.lambda}
-		dep := eng.Deploy(p.w.Request(core.DeployAnalogNORA, analog.PaperPreset(), opt, ""))
-		return LambdaRow{Model: p.w.Spec.Display, Lambda: p.lambda, Accuracy: dep.EvalAccuracy(p.w.Eval)}
-	})
 	sort.SliceStable(rows, func(i, j int) bool {
 		if rows[i].Model != rows[j].Model {
 			return rows[i].Model < rows[j].Model

@@ -1,0 +1,642 @@
+package harness
+
+// Golden tests for the Sweep port: every experiment that moved onto the
+// shared sweep/arm framework must emit tables byte-identical to its
+// pre-refactor implementation. The legacy implementations below are
+// transcribed verbatim (only renamed legacyXxx) from the hand-rolled
+// versions this framework replaced; they issue the exact same engine
+// requests, so running legacy-then-ported on the shared test engine also
+// exercises the deployment cache: the ported run memo-hits everything the
+// legacy run deployed, which is precisely why the CostStudy counters (one
+// eval pass per sole-user deployment) compare exactly.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/engine"
+)
+
+// --- legacy implementations (pre-Sweep, verbatim) ------------------------
+
+func legacySensitivity(eng *engine.Engine, ws []*Workload, targets []float64) []SensitivityPoint {
+	kinds := AllNoiseKinds()
+	levels := make([][]CalibratedLevel, len(kinds))
+	engine.ParallelFor(0, len(kinds), func(i int) {
+		levels[i] = make([]CalibratedLevel, len(targets))
+		for j, target := range targets {
+			levels[i][j] = CalibrateToMSE(kinds[i], target)
+		}
+	})
+
+	for _, w := range ws {
+		w.DigitalAccuracy(eng)
+	}
+
+	type point struct {
+		w    *Workload
+		kind NoiseKind
+		lvl  CalibratedLevel
+		li   int
+	}
+	points := make([]point, 0, len(ws)*len(kinds)*len(targets))
+	for _, w := range ws {
+		for ki, kind := range kinds {
+			for li := range targets {
+				points = append(points, point{w, kind, levels[ki][li], li})
+			}
+		}
+	}
+	return engine.RunGrid(eng, points, func(_ int, p point) SensitivityPoint {
+		cfg := ConfigFor(p.kind, p.lvl.Param)
+		acc := eng.Deploy(p.w.Request(core.DeployAnalogNaive, cfg, core.Options{}, "")).
+			EvalAccuracy(p.w.Eval)
+		return SensitivityPoint{
+			Model:     p.w.Spec.Display,
+			Kind:      p.kind,
+			Level:     p.li,
+			TargetMSE: p.lvl.TargetMSE,
+			MSE:       p.lvl.MSE,
+			Param:     p.lvl.Param,
+			Accuracy:  acc,
+			Drop:      p.w.DigitalAccuracy(eng) - acc,
+		}
+	})
+}
+
+func legacyOverallAccuracy(eng *engine.Engine, ws []*Workload, cfg analog.Config) []AccuracyRow {
+	for _, w := range ws {
+		w.DigitalAccuracy(eng)
+		w.Calibration()
+	}
+	type point struct {
+		w    *Workload
+		mode core.DeployMode
+	}
+	points := make([]point, 0, len(ws)*len(analogModes))
+	for _, w := range ws {
+		for _, mode := range analogModes {
+			points = append(points, point{w, mode})
+		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		return eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
+	})
+	rows := make([]AccuracyRow, len(ws))
+	for i, w := range ws {
+		rows[i] = AccuracyRow{
+			Model:   w.Spec.Display,
+			Family:  w.Spec.Family,
+			Digital: w.DigitalAccuracy(eng),
+			Naive:   accs[2*i],
+			NORA:    accs[2*i+1],
+		}
+	}
+	return rows
+}
+
+func legacyOverallAccuracyReplicated(eng *engine.Engine, ws []*Workload, cfg analog.Config, replicas int) []AccuracyStats {
+	if replicas < 1 {
+		panic("harness: OverallAccuracyReplicated needs replicas ≥ 1")
+	}
+	for _, w := range ws {
+		w.DigitalAccuracy(eng)
+		w.Calibration()
+	}
+	type point struct {
+		w    *Workload
+		mode core.DeployMode
+		salt string
+	}
+	points := make([]point, 0, len(ws)*replicas*len(analogModes))
+	for _, w := range ws {
+		for rep := 0; rep < replicas; rep++ {
+			for _, mode := range analogModes {
+				points = append(points, point{w, mode, replicaSalt(rep)})
+			}
+		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		return eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, p.salt)).EvalAccuracy(p.w.Eval)
+	})
+	out := make([]AccuracyStats, len(ws))
+	for i, w := range ws {
+		var nSum, nSum2, rSum, rSum2 float64
+		for rep := 0; rep < replicas; rep++ {
+			naive := accs[(i*replicas+rep)*2]
+			nora := accs[(i*replicas+rep)*2+1]
+			nSum += naive
+			nSum2 += naive * naive
+			rSum += nora
+			rSum2 += nora * nora
+		}
+		n := float64(replicas)
+		nm, rm := nSum/n, rSum/n
+		out[i] = AccuracyStats{
+			Model:     w.Spec.Display,
+			Digital:   w.DigitalAccuracy(eng),
+			NaiveMean: nm,
+			NaiveStd:  math.Sqrt(math.Max(0, nSum2/n-nm*nm)),
+			NORAMean:  rm,
+			NORAStd:   math.Sqrt(math.Max(0, rSum2/n-rm*rm)),
+			Replicas:  replicas,
+		}
+	}
+	return out
+}
+
+func legacyMitigation(eng *engine.Engine, ws []*Workload, target float64) []MitigationRow {
+	kinds := AllNoiseKinds()
+	levels := make([]CalibratedLevel, len(kinds))
+	engine.ParallelFor(0, len(kinds), func(i int) {
+		levels[i] = CalibrateToMSE(kinds[i], target)
+	})
+	for _, w := range ws {
+		w.DigitalAccuracy(eng)
+		w.Calibration()
+	}
+	type point struct {
+		w    *Workload
+		lvl  CalibratedLevel
+		mode core.DeployMode
+	}
+	points := make([]point, 0, len(ws)*len(kinds)*len(analogModes))
+	for _, w := range ws {
+		for _, lvl := range levels {
+			for _, mode := range analogModes {
+				points = append(points, point{w, lvl, mode})
+			}
+		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		cfg := ConfigFor(p.lvl.Kind, p.lvl.Param)
+		return eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
+	})
+	rows := make([]MitigationRow, len(ws)*len(kinds))
+	for idx := range rows {
+		w := ws[idx/len(kinds)]
+		lvl := levels[idx%len(kinds)]
+		rows[idx] = MitigationRow{
+			Model:     w.Spec.Display,
+			Kind:      lvl.Kind,
+			TargetMSE: lvl.TargetMSE,
+			Param:     lvl.Param,
+			Digital:   w.DigitalAccuracy(eng),
+			Naive:     accs[idx*2],
+			NORA:      accs[idx*2+1],
+		}
+		drop := rows[idx].Digital - rows[idx].Naive
+		if drop > 1e-9 {
+			rows[idx].Recovery = (rows[idx].NORA - rows[idx].Naive) / drop
+		}
+	}
+	return rows
+}
+
+func legacyDriftStudy(eng *engine.Engine, ws []*Workload, driftSeconds float64) []DriftRow {
+	for _, w := range ws {
+		w.DigitalAccuracy(eng)
+		w.Calibration()
+	}
+	type point struct {
+		w    *Workload
+		comp bool
+		mode core.DeployMode
+	}
+	var points []point
+	for _, w := range ws {
+		for _, comp := range []bool{false, true} {
+			for _, mode := range analogModes {
+				points = append(points, point{w, comp, mode})
+			}
+		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		cfg := analog.PaperPreset()
+		cfg.DriftT = driftSeconds
+		cfg.DriftCompensation = p.comp
+		return eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
+	})
+	rows := make([]DriftRow, 0, len(points)/2)
+	for i := 0; i < len(points); i += 2 {
+		p := points[i]
+		rows = append(rows, DriftRow{
+			Model:        p.w.Spec.Display,
+			DriftSeconds: driftSeconds,
+			Compensated:  p.comp,
+			Digital:      p.w.DigitalAccuracy(eng),
+			Naive:        accs[i],
+			NORA:         accs[i+1],
+		})
+	}
+	return rows
+}
+
+func legacySlicingStudy(eng *engine.Engine, ws []*Workload, schemes [][2]int) []SlicingRow {
+	type cfgRow struct {
+		name string
+		cfg  analog.Config
+	}
+	cfgs := []cfgRow{{"continuous", analog.PaperPreset()}}
+	for _, s := range schemes {
+		c := analog.PaperPreset()
+		c.WeightSlices = s[0]
+		c.SliceBits = s[1]
+		cfgs = append(cfgs, cfgRow{fmt.Sprintf("%dx%d-bit", s[0], s[1]), c})
+	}
+	for _, w := range ws {
+		w.Calibration()
+	}
+	type point struct {
+		w    *Workload
+		c    cfgRow
+		mode core.DeployMode
+	}
+	points := make([]point, 0, len(ws)*len(cfgs)*len(analogModes))
+	for _, w := range ws {
+		for _, c := range cfgs {
+			for _, mode := range analogModes {
+				points = append(points, point{w, c, mode})
+			}
+		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		return eng.Deploy(p.w.Request(p.mode, p.c.cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
+	})
+	rows := make([]SlicingRow, 0, len(points)/2)
+	for i := 0; i < len(points); i += 2 {
+		p := points[i]
+		rows = append(rows, SlicingRow{
+			Model:  p.w.Spec.Display,
+			Scheme: p.c.name,
+			Naive:  accs[i],
+			NORA:   accs[i+1],
+		})
+	}
+	return rows
+}
+
+func legacyModeStudy(eng *engine.Engine, ws []*Workload) []ModeRow {
+	type opMode struct {
+		name string
+		cfg  analog.Config
+	}
+	base := analog.PaperPreset()
+	bitSerial := base
+	bitSerial.BitSerial = true
+	wv := base
+	wv.WriteVerify = 3
+	both := base
+	both.BitSerial = true
+	both.WriteVerify = 3
+	modes := []opMode{
+		{"voltage", base},
+		{"bit-serial", bitSerial},
+		{"write-verify×3", wv},
+		{"bit-serial+wv×3", both},
+		{"reram-device", analog.ReRAMPreset()},
+	}
+	for _, w := range ws {
+		w.Calibration()
+	}
+	type point struct {
+		w    *Workload
+		m    opMode
+		mode core.DeployMode
+	}
+	points := make([]point, 0, len(ws)*len(modes)*len(analogModes))
+	for _, w := range ws {
+		for _, m := range modes {
+			for _, mode := range analogModes {
+				points = append(points, point{w, m, mode})
+			}
+		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		return eng.Deploy(p.w.Request(p.mode, p.m.cfg, core.Options{}, "")).EvalAccuracy(p.w.Eval)
+	})
+	rows := make([]ModeRow, 0, len(points)/2)
+	for i := 0; i < len(points); i += 2 {
+		p := points[i]
+		rows = append(rows, ModeRow{
+			Model: p.w.Spec.Display,
+			Mode:  p.m.name,
+			Naive: accs[i],
+			NORA:  accs[i+1],
+		})
+	}
+	return rows
+}
+
+func legacyCalibrationAblation(eng *engine.Engine, ws []*Workload, quantiles []float64) []QuantileRow {
+	type point struct {
+		w *Workload
+		q float64
+	}
+	points := make([]point, 0, len(ws)*len(quantiles))
+	for _, w := range ws {
+		for _, q := range quantiles {
+			points = append(points, point{w, q})
+		}
+	}
+	return engine.RunGrid(eng, points, func(_ int, p point) QuantileRow {
+		cal := core.CalibrateQuantile(p.w.Model, p.w.Calib, p.q)
+		dep := eng.Deploy(engine.Request{
+			Model:  p.w.Spec.Key,
+			Net:    p.w.Model,
+			Mode:   core.DeployAnalogNORA,
+			Cal:    cal,
+			Config: analog.PaperPreset(),
+		})
+		return QuantileRow{Model: p.w.Spec.Display, Quantile: p.q, Accuracy: dep.EvalAccuracy(p.w.Eval)}
+	})
+}
+
+func legacyCostStudy(eng *engine.Engine, ws []*Workload, cfg analog.Config, cm analog.CostModel) []CostRow {
+	type point struct {
+		w    *Workload
+		mode core.DeployMode
+	}
+	points := make([]point, 0, len(ws)*len(analogModes))
+	for _, w := range ws {
+		w.Calibration()
+		for _, mode := range analogModes {
+			points = append(points, point{w, mode})
+		}
+	}
+	return engine.RunGrid(eng, points, func(_ int, p point) CostRow {
+		dep := eng.Deploy(p.w.Request(p.mode, cfg, core.Options{}, "cost"))
+		acc := dep.EvalAccuracy(p.w.Eval)
+		runner := dep.Runner()
+		var counters analog.OpCounters
+		var macs, procRows int64
+		for _, spec := range p.w.Model.Linears() {
+			lin, ok := runner.Linear(spec.Name).(*analog.AnalogLinear)
+			if !ok {
+				continue
+			}
+			c := lin.CostCounters()
+			counters.MVMs += c.MVMs
+			counters.DACConvs += c.DACConvs
+			counters.ADCConvs += c.ADCConvs
+			counters.CellReads += c.CellReads
+			counters.BMRetries += c.BMRetries
+			macs += lin.DigitalEquivalentMACs()
+			procRows += lin.RowsProcessed()
+		}
+		a := cm.AnalogCost(counters)
+		d := cm.DigitalCost(macs, procRows)
+		saving := 0.0
+		if a.EnergyPJ > 0 {
+			saving = d.EnergyPJ / a.EnergyPJ
+		}
+		return CostRow{
+			Model:            p.w.Spec.Display,
+			Deploy:           p.mode.String(),
+			AnalogEnergyPJ:   a.EnergyPJ,
+			AnalogLatencyNS:  a.LatencyNS,
+			DigitalEnergyPJ:  d.EnergyPJ,
+			DigitalLatencyNS: d.LatencyNS,
+			EnergySaving:     saving,
+			BMRetries:        counters.BMRetries,
+			Accuracy:         acc,
+		}
+	})
+}
+
+func legacyLambdaAblation(eng *engine.Engine, ws []*Workload, lambdas []float64) []LambdaRow {
+	for _, w := range ws {
+		w.Calibration()
+	}
+	type point struct {
+		w      *Workload
+		lambda float64
+	}
+	points := make([]point, 0, len(ws)*len(lambdas))
+	for _, w := range ws {
+		for _, lambda := range lambdas {
+			points = append(points, point{w, lambda})
+		}
+	}
+	rows := engine.RunGrid(eng, points, func(_ int, p point) LambdaRow {
+		opt := core.Options{Lambda: p.lambda}
+		dep := eng.Deploy(p.w.Request(core.DeployAnalogNORA, analog.PaperPreset(), opt, ""))
+		return LambdaRow{Model: p.w.Spec.Display, Lambda: p.lambda, Accuracy: dep.EvalAccuracy(p.w.Eval)}
+	})
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Model != rows[j].Model {
+			return rows[i].Model < rows[j].Model
+		}
+		return rows[i].Lambda < rows[j].Lambda
+	})
+	return rows
+}
+
+func legacyFaultSweep(eng *engine.Engine, ws []*Workload, base analog.Config, rates []float64) []FaultRow {
+	for _, w := range ws {
+		w.DigitalAccuracy(eng)
+		w.Calibration()
+	}
+	type arm struct {
+		mode core.DeployMode
+		mit  bool
+	}
+	arms := []arm{
+		{core.DeployAnalogNaive, false},
+		{core.DeployAnalogNORA, false},
+		{core.DeployAnalogNORA, true},
+	}
+	type point struct {
+		w    *Workload
+		rate float64
+		a    arm
+	}
+	points := make([]point, 0, len(ws)*len(rates)*len(arms))
+	for _, w := range ws {
+		for _, rate := range rates {
+			for _, a := range arms {
+				points = append(points, point{w, rate, a})
+			}
+		}
+	}
+	type result struct {
+		acc   float64
+		stats analog.FaultStats
+	}
+	results := engine.RunGrid(eng, points, func(_ int, p point) result {
+		cfg := base
+		cfg.FaultRate = float32(p.rate)
+		if cfg.FaultRate > 0 {
+			cfg.FaultSA1Frac = RobustnessSA1Frac
+		}
+		if p.a.mit {
+			cfg = Mitigate(cfg)
+		}
+		dep := eng.Deploy(p.w.Request(p.a.mode, cfg, core.Options{}, ""))
+		return result{acc: dep.EvalAccuracy(p.w.Eval), stats: dep.FaultStats()}
+	})
+	rows := make([]FaultRow, 0, len(points)/len(arms))
+	for i := 0; i < len(points); i += len(arms) {
+		p := points[i]
+		mit := results[i+2]
+		rows = append(rows, FaultRow{
+			Model:         p.w.Spec.Display,
+			FaultRate:     p.rate,
+			Digital:       p.w.DigitalAccuracy(eng),
+			Naive:         results[i].acc,
+			NORA:          results[i+1].acc,
+			Mitigated:     mit.acc,
+			StuckFraction: mit.stats.StuckFraction(),
+			RemappedCols:  mit.stats.RemappedCols,
+		})
+	}
+	return rows
+}
+
+func legacyDriftAgeSweep(eng *engine.Engine, ws []*Workload, base analog.Config, ages []float64) []DriftAgeRow {
+	for _, w := range ws {
+		w.DigitalAccuracy(eng)
+		w.Calibration()
+	}
+	type arm struct {
+		mode core.DeployMode
+		comp bool
+	}
+	arms := []arm{
+		{core.DeployAnalogNaive, false},
+		{core.DeployAnalogNORA, false},
+		{core.DeployAnalogNORA, true},
+	}
+	type point struct {
+		w   *Workload
+		age float64
+		a   arm
+	}
+	points := make([]point, 0, len(ws)*len(ages)*len(arms))
+	for _, w := range ws {
+		for _, age := range ages {
+			for _, a := range arms {
+				points = append(points, point{w, age, a})
+			}
+		}
+	}
+	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+		cfg := base
+		cfg.DriftT = p.age
+		cfg.DriftCompensation = p.a.comp
+		dep := eng.Deploy(p.w.Request(p.a.mode, cfg, core.Options{}, ""))
+		return dep.EvalAccuracy(p.w.Eval)
+	})
+	rows := make([]DriftAgeRow, 0, len(points)/len(arms))
+	for i := 0; i < len(points); i += len(arms) {
+		p := points[i]
+		rows = append(rows, DriftAgeRow{
+			Model:      p.w.Spec.Display,
+			AgeSeconds: p.age,
+			Digital:    p.w.DigitalAccuracy(eng),
+			Naive:      accs[i],
+			NORA:       accs[i+1],
+			Mitigated:  accs[i+2],
+		})
+	}
+	return rows
+}
+
+// --- the golden comparison ------------------------------------------------
+
+func renderTable(t *testing.T, tbl *Table) string {
+	t.Helper()
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatalf("render table: %v", err)
+	}
+	return b.String()
+}
+
+// TestPortedExperimentsMatchLegacy runs every framework-ported experiment
+// side by side with its verbatim pre-refactor implementation and requires
+// byte-identical rendered tables. The legacy copy runs first in each case:
+// for the cost study that means the legacy run performs the (sole) eval
+// pass and the ported run memo-hits it, leaving the one-pass counters
+// untouched — so even the counter-derived columns must match exactly.
+func TestPortedExperimentsMatchLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trained fixture")
+	}
+	w := tinyWorkload(t)
+	ws := []*Workload{w}
+	eng := testEng
+	paper := analog.PaperPreset()
+	targets := []float64{0.0015}
+	quantiles := []float64{0.9, 1.0}
+	lambdas := []float64{0.25, 0.5}
+	rates := []float64{0, 0.02}
+	ages := []float64{0, 3600}
+
+	cases := []struct {
+		name   string
+		legacy func() *Table
+		ported func() *Table
+	}{
+		{"Sensitivity",
+			func() *Table { return SensitivityTable(legacySensitivity(eng, ws, targets)) },
+			func() *Table { return SensitivityTable(Sensitivity(eng, ws, targets)) }},
+		{"OverallAccuracy",
+			func() *Table { return AccuracyTable("golden", legacyOverallAccuracy(eng, ws, paper)) },
+			func() *Table { return AccuracyTable("golden", OverallAccuracy(eng, ws, paper)) }},
+		{"OverallAccuracyReplicated",
+			func() *Table {
+				return AccuracyStatsTable("golden", legacyOverallAccuracyReplicated(eng, ws, paper, 2))
+			},
+			func() *Table {
+				return AccuracyStatsTable("golden", OverallAccuracyReplicated(eng, ws, paper, 2))
+			}},
+		{"Mitigation",
+			func() *Table { return MitigationTable(legacyMitigation(eng, ws, MitigationMSETarget)) },
+			func() *Table { return MitigationTable(Mitigation(eng, ws, MitigationMSETarget)) }},
+		{"DriftStudy",
+			func() *Table { return DriftTable(legacyDriftStudy(eng, ws, 3600)) },
+			func() *Table { return DriftTable(DriftStudy(eng, ws, 3600)) }},
+		{"SlicingStudy",
+			func() *Table { return SlicingTable(legacySlicingStudy(eng, ws, [][2]int{{2, 4}})) },
+			func() *Table { return SlicingTable(SlicingStudy(eng, ws, [][2]int{{2, 4}})) }},
+		{"ModeStudy",
+			func() *Table { return ModeTable(legacyModeStudy(eng, ws)) },
+			func() *Table { return ModeTable(ModeStudy(eng, ws)) }},
+		{"CalibrationAblation",
+			func() *Table { return QuantileTable(legacyCalibrationAblation(eng, ws, quantiles)) },
+			func() *Table { return QuantileTable(CalibrationAblation(eng, ws, quantiles)) }},
+		{"LambdaAblation",
+			func() *Table { return LambdaTable(legacyLambdaAblation(eng, ws, lambdas)) },
+			func() *Table { return LambdaTable(LambdaAblation(eng, ws, lambdas)) }},
+		{"CostStudy",
+			func() *Table {
+				return CostTable(legacyCostStudy(eng, ws, paper, analog.DefaultCostModel()))
+			},
+			func() *Table {
+				return CostTable(CostStudy(eng, ws, paper, analog.DefaultCostModel()))
+			}},
+		{"FaultSweep",
+			func() *Table { return FaultTable(legacyFaultSweep(eng, ws, paper, rates)) },
+			func() *Table { return FaultTable(FaultSweep(eng, ws, paper, rates)) }},
+		{"DriftAgeSweep",
+			func() *Table { return DriftAgeTable(legacyDriftAgeSweep(eng, ws, paper, ages)) },
+			func() *Table { return DriftAgeTable(DriftAgeSweep(eng, ws, paper, ages)) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			want := renderTable(t, c.legacy())
+			got := renderTable(t, c.ported())
+			if want != got {
+				t.Errorf("ported %s table differs from legacy.\nlegacy:\n%s\nported:\n%s",
+					c.name, want, got)
+			}
+		})
+	}
+}

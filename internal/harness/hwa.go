@@ -48,6 +48,10 @@ func cloneModel(m *nn.Model) (*nn.Model, error) {
 // fine-tuning budget. The tuned model is a distinct network, so its engine
 // requests carry a derived model key — it must never alias the original
 // model's cached deployments.
+//
+// The four deployments (original×{naive,NORA} and tuned×{digital,naive})
+// are one unit-axis sweep: the training happens up front, then the arms
+// compare the resulting networks like any other experiment.
 func HWAStudy(eng *engine.Engine, w *Workload, steps int, cfg analog.Config) (HWARow, error) {
 	row := HWARow{Model: w.Spec.Display, Steps: steps}
 	row.Digital = w.DigitalAccuracy(eng)
@@ -63,10 +67,6 @@ func HWAStudy(eng *engine.Engine, w *Workload, steps int, cfg analog.Config) (HW
 	calStart := time.Now()
 	cal := core.Calibrate(w.Model, w.Calib)
 	row.CalibrateSeconds = time.Since(calStart).Seconds()
-	row.NORA = eng.Deploy(engine.Request{
-		Model: w.Spec.Key, Net: w.Model, Mode: core.DeployAnalogNORA, Cal: cal, Config: cfg,
-	}).EvalAccuracy(w.Eval)
-	row.Naive = eng.Deploy(w.Request(core.DeployAnalogNaive, cfg, core.Options{}, "")).EvalAccuracy(w.Eval)
 
 	// HWA path: fine-tune a copy with noise injection.
 	tuned, err := cloneModel(w.Model)
@@ -90,23 +90,43 @@ func HWAStudy(eng *engine.Engine, w *Workload, steps int, cfg analog.Config) (HW
 	tuned.SetTrainNoise(0, nil)
 
 	tunedKey := w.Spec.Key + "/hwa-tuned"
-	row.HWAFP = eng.Deploy(engine.Request{
-		Model: tunedKey, Net: tuned, Mode: core.DeployDigital,
-	}).EvalAccuracy(w.Eval)
-	row.HWA = eng.Deploy(engine.Request{
-		Model: tunedKey, Net: tuned, Mode: core.DeployAnalogNaive, Config: cfg,
-	}).EvalAccuracy(w.Eval)
+	g := Sweep[struct{}]{
+		Points: unitAxis,
+		Arms: []Arm[struct{}]{
+			{Name: "nora", Request: func(w *Workload, _ struct{}) engine.Request {
+				return engine.Request{Model: w.Spec.Key, Net: w.Model, Mode: core.DeployAnalogNORA, Cal: cal, Config: cfg}
+			}},
+			{Name: "naive", Request: func(w *Workload, _ struct{}) engine.Request {
+				return w.Request(core.DeployAnalogNaive, cfg, core.Options{}, "")
+			}},
+			{Name: "hwa-digital", Request: func(w *Workload, _ struct{}) engine.Request {
+				return engine.Request{Model: tunedKey, Net: tuned, Mode: core.DeployDigital}
+			}},
+			{Name: "hwa-analog", Request: func(w *Workload, _ struct{}) engine.Request {
+				return engine.Request{Model: tunedKey, Net: tuned, Mode: core.DeployAnalogNaive, Config: cfg}
+			}},
+		},
+	}.Run(eng, []*Workload{w})
+	row.NORA = g.Accuracy(0, 0, 0)
+	row.Naive = g.Accuracy(0, 0, 1)
+	row.HWAFP = g.Accuracy(0, 0, 2)
+	row.HWA = g.Accuracy(0, 0, 3)
 	return row, nil
 }
 
 // HWATable renders HWA-vs-NORA rows.
 func HWATable(rows []HWARow) *Table {
-	t := NewTable("Ext. — hardware-aware training vs NORA (paper Fig. 1 Challenge 1)",
-		"model", "digital", "naive", "hwa-analog", "hwa-digital", "nora-analog",
-		"hwa-train-s", "nora-calib-s", "steps", "noise-rel")
-	for _, r := range rows {
-		t.Add(r.Model, r.Digital, r.Naive, r.HWA, r.HWAFP, r.NORA,
-			r.HWATrainSeconds, r.CalibrateSeconds, r.Steps, r.NoiseRel)
-	}
-	return t
+	return TableOf("Ext. — hardware-aware training vs NORA (paper Fig. 1 Challenge 1)",
+		rows, []Col[HWARow]{
+			{"model", func(r HWARow) any { return r.Model }},
+			{"digital", func(r HWARow) any { return r.Digital }},
+			{"naive", func(r HWARow) any { return r.Naive }},
+			{"hwa-analog", func(r HWARow) any { return r.HWA }},
+			{"hwa-digital", func(r HWARow) any { return r.HWAFP }},
+			{"nora-analog", func(r HWARow) any { return r.NORA }},
+			{"hwa-train-s", func(r HWARow) any { return r.HWATrainSeconds }},
+			{"nora-calib-s", func(r HWARow) any { return r.CalibrateSeconds }},
+			{"steps", func(r HWARow) any { return r.Steps }},
+			{"noise-rel", func(r HWARow) any { return r.NoiseRel }},
+		})
 }

@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"nora/internal/analog"
+	"nora/internal/engine"
+)
+
+// --- E21: accuracy-per-joule Pareto exploration ---------------------------
+//
+// ADC resolution, array size, and bit-slicing scheme trade accuracy against
+// energy and latency (AnalogNAS-Bench-style design-space exploration; the
+// NORA paper defers this cost axis to §VII). ParetoSweep runs the zoo over
+// a tile-configuration grid with the cost engine enabled and marks, per
+// (model, deployment mode), the configurations on the accuracy-vs-energy
+// Pareto front.
+
+// TileConfig is one point of the hardware design space.
+type TileConfig struct {
+	ADCBits  int // ADC resolution in bits (OutSteps = 2^(bits−1))
+	TileSize int // square crossbar dimension (TileRows = TileCols)
+	// Slices/SliceBits select multi-cell weight slicing; Slices ≤ 1 keeps
+	// the continuous single-cell mapping.
+	Slices    int
+	SliceBits int
+}
+
+// Label names the configuration, e.g. "adc7/512/continuous" or
+// "adc6/256/2x4-bit".
+func (tc TileConfig) Label() string {
+	scheme := "continuous"
+	if tc.Slices > 1 {
+		scheme = fmt.Sprintf("%dx%d-bit", tc.Slices, tc.SliceBits)
+	}
+	return fmt.Sprintf("adc%d/%d/%s", tc.ADCBits, tc.TileSize, scheme)
+}
+
+// Apply stamps the configuration onto base.
+func (tc TileConfig) Apply(base analog.Config) analog.Config {
+	base.OutSteps = analog.StepsForBits(tc.ADCBits)
+	base.TileRows = tc.TileSize
+	base.TileCols = tc.TileSize
+	if tc.Slices > 1 {
+		base.WeightSlices = tc.Slices
+		base.SliceBits = tc.SliceBits
+	}
+	return base
+}
+
+// ParetoGrid crosses ADC bit widths × tile sizes × slicing schemes. A
+// scheme of {0, 0} (or {1, x}) means the continuous mapping.
+func ParetoGrid(bits, tiles []int, schemes [][2]int) []TileConfig {
+	var tcs []TileConfig
+	for _, b := range bits {
+		for _, ts := range tiles {
+			for _, s := range schemes {
+				tcs = append(tcs, TileConfig{ADCBits: b, TileSize: ts, Slices: s[0], SliceBits: s[1]})
+			}
+		}
+	}
+	return tcs
+}
+
+// DefaultParetoBits/Tiles/Schemes span the full E21 design space;
+// QuickPareto* is the CI smoke subset.
+func DefaultParetoBits() []int  { return []int{5, 6, 7, 8} }
+func DefaultParetoTiles() []int { return []int{128, 256, 512} }
+func DefaultParetoSchemes() [][2]int {
+	return [][2]int{{0, 0}, {2, 4}}
+}
+func QuickParetoBits() []int       { return []int{5, 7} }
+func QuickParetoTiles() []int      { return []int{256, 512} }
+func QuickParetoSchemes() [][2]int { return [][2]int{{0, 0}} }
+
+// ParetoRow is one (model, tile config, mode) outcome: task accuracy plus
+// the priced cost of the eval pass.
+type ParetoRow struct {
+	Model        string
+	Config       string // TileConfig.Label()
+	Arm          string // deployment mode
+	Accuracy     float64
+	EnergyUJ     float64 // analog energy for the eval pass
+	LatencyMS    float64 // analog latency (serial-MVM bound)
+	DigitalUJ    float64 // digital baseline for the same linear work
+	EnergySaving float64 // digital / analog energy
+	AccPerMJ     float64 // accuracy per millijoule of analog energy
+	Front        bool    // on the accuracy-vs-energy Pareto front of its (model, arm) group
+}
+
+// ParetoSweep measures accuracy and cost for every (workload, tile config,
+// mode) cell. Deployments are salted "pareto" so the cost counters are
+// sole-user one-eval-pass tallies (see CostSample), and marks the Pareto
+// front per (model, arm).
+func ParetoSweep(eng *engine.Engine, ws []*Workload, base analog.Config, tcs []TileConfig, cm analog.CostModel) []ParetoRow {
+	g := Sweep[TileConfig]{
+		Points:  tcs,
+		Arms:    modeArms("pareto", func(tc TileConfig) analog.Config { return tc.Apply(base) }),
+		Prepare: prepareCalibration,
+		Cost:    true,
+	}.Run(eng, ws)
+	rows := make([]ParetoRow, 0, len(ws)*len(tcs)*len(g.Arms))
+	for wi, w := range g.Workloads {
+		for pi, tc := range g.Points {
+			for ai, arm := range g.Arms {
+				cell := g.Cell(wi, pi, ai)
+				// Price each configuration at its own converter resolution
+				// (Walden scaling): the counters are resolution-blind.
+				cmp := cell.Cost.Compare(cm.WithADCBits(tc.ADCBits))
+				row := ParetoRow{
+					Model:        w.Spec.Display,
+					Config:       tc.Label(),
+					Arm:          arm.Name,
+					Accuracy:     cell.Accuracy,
+					EnergyUJ:     cmp.Analog.EnergyPJ / 1e6,
+					LatencyMS:    cmp.Analog.LatencyNS / 1e6,
+					DigitalUJ:    cmp.Digital.EnergyPJ / 1e6,
+					EnergySaving: cmp.EnergySaving,
+				}
+				if cmp.Analog.EnergyPJ > 0 {
+					row.AccPerMJ = row.Accuracy / (cmp.Analog.EnergyPJ / 1e9)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	MarkParetoFront(rows)
+	return rows
+}
+
+// MarkParetoFront sets Front on every row that is not dominated within its
+// (model, arm) group: no other configuration of the group has both lower
+// (or equal) energy and strictly higher accuracy, nor equal accuracy at
+// strictly lower energy.
+func MarkParetoFront(rows []ParetoRow) {
+	groups := map[[2]string][]int{}
+	for i, r := range rows {
+		key := [2]string{r.Model, r.Arm}
+		groups[key] = append(groups[key], i)
+	}
+	for _, idx := range groups {
+		sort.SliceStable(idx, func(a, b int) bool {
+			ra, rb := rows[idx[a]], rows[idx[b]]
+			if ra.EnergyUJ != rb.EnergyUJ {
+				return ra.EnergyUJ < rb.EnergyUJ
+			}
+			return ra.Accuracy > rb.Accuracy
+		})
+		best := -1.0
+		for _, i := range idx {
+			if rows[i].Accuracy > best {
+				rows[i].Front = true
+				best = rows[i].Accuracy
+			}
+		}
+	}
+}
+
+// ParetoTable renders Pareto sweep rows.
+func ParetoTable(rows []ParetoRow) *Table {
+	return TableOf("E21 — accuracy-per-joule Pareto exploration (ADC bits × tile size × slicing)",
+		rows, []Col[ParetoRow]{
+			{"model", func(r ParetoRow) any { return r.Model }},
+			{"tile-config", func(r ParetoRow) any { return r.Config }},
+			{"deploy", func(r ParetoRow) any { return r.Arm }},
+			{"accuracy", func(r ParetoRow) any { return r.Accuracy }},
+			{"analog-uJ", func(r ParetoRow) any { return r.EnergyUJ }},
+			{"analog-ms", func(r ParetoRow) any { return r.LatencyMS }},
+			{"digital-uJ", func(r ParetoRow) any { return r.DigitalUJ }},
+			{"energy-saving", func(r ParetoRow) any { return r.EnergySaving }},
+			{"acc-per-mJ", func(r ParetoRow) any { return r.AccPerMJ }},
+			{"front", func(r ParetoRow) any { return r.Front }},
+		})
+}
+
+// ParetoChart plots accuracy against analog energy, one series per
+// deployment mode plus a series for each mode's front.
+func ParetoChart(rows []ParetoRow) *Chart {
+	series := []Series[ParetoRow]{}
+	for _, mode := range analogModes {
+		arm := mode.String()
+		series = append(series,
+			Series[ParetoRow]{
+				Name:   arm,
+				Filter: func(r ParetoRow) bool { return r.Arm == arm && !r.Front },
+				X:      func(r ParetoRow) float64 { return r.EnergyUJ },
+				Y:      func(r ParetoRow) float64 { return r.Accuracy },
+			},
+			Series[ParetoRow]{
+				Name:   arm + " front",
+				Filter: func(r ParetoRow) bool { return r.Arm == arm && r.Front },
+				X:      func(r ParetoRow) float64 { return r.EnergyUJ },
+				Y:      func(r ParetoRow) float64 { return r.Accuracy },
+			})
+	}
+	return ChartOf("E21 — accuracy vs analog energy (Pareto front marked)",
+		"analog energy (uJ, eval pass)", "accuracy", rows, series)
+}

@@ -59,66 +59,53 @@ type FaultRow struct {
 	RemappedCols  int64
 }
 
+// faultConfig applies one sweep point's stuck-at fault rate to base. The
+// SA1 split is only set for a nonzero rate so the rate-0 point keeps base's
+// exact content key (and therefore aliases the fault-free deployments other
+// experiments already cached).
+func faultConfig(base analog.Config, rate float64) analog.Config {
+	base.FaultRate = float32(rate)
+	if base.FaultRate > 0 {
+		base.FaultSA1Frac = RobustnessSA1Frac
+	}
+	return base
+}
+
 // FaultSweep measures accuracy against the stuck-at device fault rate under
 // base (typically analog.PaperPreset()). Rates should include 0 so the
 // sweep anchors at the fault-free accuracy of each arm.
 func FaultSweep(eng *engine.Engine, ws []*Workload, base analog.Config, rates []float64) []FaultRow {
-	for _, w := range ws {
-		w.DigitalAccuracy(eng)
-		w.Calibration()
-	}
-	type arm struct {
-		mode core.DeployMode
-		mit  bool
-	}
-	arms := []arm{
-		{core.DeployAnalogNaive, false},
-		{core.DeployAnalogNORA, false},
-		{core.DeployAnalogNORA, true},
-	}
-	type point struct {
-		w    *Workload
-		rate float64
-		a    arm
-	}
-	points := make([]point, 0, len(ws)*len(rates)*len(arms))
-	for _, w := range ws {
-		for _, rate := range rates {
-			for _, a := range arms {
-				points = append(points, point{w, rate, a})
-			}
+	g := Sweep[float64]{
+		Points: rates,
+		Arms: []Arm[float64]{
+			{Name: "naive", Request: func(w *Workload, rate float64) engine.Request {
+				return w.Request(core.DeployAnalogNaive, faultConfig(base, rate), core.Options{}, "")
+			}},
+			{Name: "nora", Request: func(w *Workload, rate float64) engine.Request {
+				return w.Request(core.DeployAnalogNORA, faultConfig(base, rate), core.Options{}, "")
+			}},
+			{Name: "mitigated", Request: func(w *Workload, rate float64) engine.Request {
+				return w.Request(core.DeployAnalogNORA, Mitigate(faultConfig(base, rate)), core.Options{}, "")
+			}},
+		},
+		Prepare: prepareBaselines,
+		Faults:  true,
+	}.Run(eng, ws)
+	rows := make([]FaultRow, 0, len(ws)*len(rates))
+	for wi, w := range g.Workloads {
+		for pi, rate := range g.Points {
+			mit := g.Cell(wi, pi, 2)
+			rows = append(rows, FaultRow{
+				Model:         w.Spec.Display,
+				FaultRate:     rate,
+				Digital:       w.DigitalAccuracy(eng),
+				Naive:         g.Accuracy(wi, pi, 0),
+				NORA:          g.Accuracy(wi, pi, 1),
+				Mitigated:     mit.Accuracy,
+				StuckFraction: mit.Faults.StuckFraction(),
+				RemappedCols:  mit.Faults.RemappedCols,
+			})
 		}
-	}
-	type result struct {
-		acc   float64
-		stats analog.FaultStats
-	}
-	results := engine.RunGrid(eng, points, func(_ int, p point) result {
-		cfg := base
-		cfg.FaultRate = float32(p.rate)
-		if cfg.FaultRate > 0 {
-			cfg.FaultSA1Frac = RobustnessSA1Frac
-		}
-		if p.a.mit {
-			cfg = Mitigate(cfg)
-		}
-		dep := eng.Deploy(p.w.Request(p.a.mode, cfg, core.Options{}, ""))
-		return result{acc: dep.EvalAccuracy(p.w.Eval), stats: dep.FaultStats()}
-	})
-	rows := make([]FaultRow, 0, len(points)/len(arms))
-	for i := 0; i < len(points); i += len(arms) {
-		p := points[i]
-		mit := results[i+2]
-		rows = append(rows, FaultRow{
-			Model:         p.w.Spec.Display,
-			FaultRate:     p.rate,
-			Digital:       p.w.DigitalAccuracy(eng),
-			Naive:         results[i].acc,
-			NORA:          results[i+1].acc,
-			Mitigated:     mit.acc,
-			StuckFraction: mit.stats.StuckFraction(),
-			RemappedCols:  mit.stats.RemappedCols,
-		})
 	}
 	return rows
 }
@@ -139,73 +126,69 @@ type DriftAgeRow struct {
 // per-device log-normal drift, and the 1/f read-noise floor rises with the
 // read time. Ages should include 0 for the fresh-array anchor.
 func DriftAgeSweep(eng *engine.Engine, ws []*Workload, base analog.Config, ages []float64) []DriftAgeRow {
-	for _, w := range ws {
-		w.DigitalAccuracy(eng)
-		w.Calibration()
-	}
-	type arm struct {
-		mode core.DeployMode
-		comp bool
-	}
-	arms := []arm{
-		{core.DeployAnalogNaive, false},
-		{core.DeployAnalogNORA, false},
-		{core.DeployAnalogNORA, true},
-	}
-	type point struct {
-		w   *Workload
-		age float64
-		a   arm
-	}
-	points := make([]point, 0, len(ws)*len(ages)*len(arms))
-	for _, w := range ws {
-		for _, age := range ages {
-			for _, a := range arms {
-				points = append(points, point{w, age, a})
-			}
-		}
-	}
-	accs := engine.RunGrid(eng, points, func(_ int, p point) float64 {
+	ageConfig := func(age float64, comp bool) analog.Config {
 		cfg := base
-		cfg.DriftT = p.age
-		cfg.DriftCompensation = p.a.comp
-		dep := eng.Deploy(p.w.Request(p.a.mode, cfg, core.Options{}, ""))
-		return dep.EvalAccuracy(p.w.Eval)
-	})
-	rows := make([]DriftAgeRow, 0, len(points)/len(arms))
-	for i := 0; i < len(points); i += len(arms) {
-		p := points[i]
-		rows = append(rows, DriftAgeRow{
-			Model:      p.w.Spec.Display,
-			AgeSeconds: p.age,
-			Digital:    p.w.DigitalAccuracy(eng),
-			Naive:      accs[i],
-			NORA:       accs[i+1],
-			Mitigated:  accs[i+2],
-		})
+		cfg.DriftT = age
+		cfg.DriftCompensation = comp
+		return cfg
+	}
+	g := Sweep[float64]{
+		Points: ages,
+		Arms: []Arm[float64]{
+			{Name: "naive", Request: func(w *Workload, age float64) engine.Request {
+				return w.Request(core.DeployAnalogNaive, ageConfig(age, false), core.Options{}, "")
+			}},
+			{Name: "nora", Request: func(w *Workload, age float64) engine.Request {
+				return w.Request(core.DeployAnalogNORA, ageConfig(age, false), core.Options{}, "")
+			}},
+			{Name: "nora+comp", Request: func(w *Workload, age float64) engine.Request {
+				return w.Request(core.DeployAnalogNORA, ageConfig(age, true), core.Options{}, "")
+			}},
+		},
+		Prepare: prepareBaselines,
+	}.Run(eng, ws)
+	rows := make([]DriftAgeRow, 0, len(ws)*len(ages))
+	for wi, w := range g.Workloads {
+		for pi, age := range g.Points {
+			rows = append(rows, DriftAgeRow{
+				Model:      w.Spec.Display,
+				AgeSeconds: age,
+				Digital:    w.DigitalAccuracy(eng),
+				Naive:      g.Accuracy(wi, pi, 0),
+				NORA:       g.Accuracy(wi, pi, 1),
+				Mitigated:  g.Accuracy(wi, pi, 2),
+			})
+		}
 	}
 	return rows
 }
 
 // FaultTable renders fault-sweep rows.
 func FaultTable(rows []FaultRow) *Table {
-	t := NewTable("E19 — accuracy vs stuck-at device fault rate (paper-preset noise)",
-		"model", "fault-rate", "digital", "naive", "nora", "mitigated", "stuck-frac", "remapped-cols")
-	for _, r := range rows {
-		t.Add(r.Model, r.FaultRate, r.Digital, r.Naive, r.NORA, r.Mitigated,
-			r.StuckFraction, r.RemappedCols)
-	}
-	return t
+	return TableOf("E19 — accuracy vs stuck-at device fault rate (paper-preset noise)",
+		rows, []Col[FaultRow]{
+			{"model", func(r FaultRow) any { return r.Model }},
+			{"fault-rate", func(r FaultRow) any { return r.FaultRate }},
+			{"digital", func(r FaultRow) any { return r.Digital }},
+			{"naive", func(r FaultRow) any { return r.Naive }},
+			{"nora", func(r FaultRow) any { return r.NORA }},
+			{"mitigated", func(r FaultRow) any { return r.Mitigated }},
+			{"stuck-frac", func(r FaultRow) any { return r.StuckFraction }},
+			{"remapped-cols", func(r FaultRow) any { return r.RemappedCols }},
+		})
 }
 
 // DriftAgeTable renders drift-age sweep rows.
 func DriftAgeTable(rows []DriftAgeRow) *Table {
-	t := NewTable("E19 — accuracy vs deploy age under conductance drift (paper-preset noise)",
-		"model", "age-s", "digital", "naive", "nora", "nora+comp")
-	for _, r := range rows {
-		t.Add(r.Model, r.AgeSeconds, r.Digital, r.Naive, r.NORA, r.Mitigated)
-	}
-	return t
+	return TableOf("E19 — accuracy vs deploy age under conductance drift (paper-preset noise)",
+		rows, []Col[DriftAgeRow]{
+			{"model", func(r DriftAgeRow) any { return r.Model }},
+			{"age-s", func(r DriftAgeRow) any { return r.AgeSeconds }},
+			{"digital", func(r DriftAgeRow) any { return r.Digital }},
+			{"naive", func(r DriftAgeRow) any { return r.Naive }},
+			{"nora", func(r DriftAgeRow) any { return r.NORA }},
+			{"nora+comp", func(r DriftAgeRow) any { return r.Mitigated }},
+		})
 }
 
 // DefaultFaultRates is the stuck-at fault-rate ladder of the robustness

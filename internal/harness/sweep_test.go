@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/engine"
+)
+
+// testSweep is a small but non-trivial sweep: a two-point drift-age axis
+// with the standard naive/nora arm pair, fault and cost collection on.
+// The salt keeps its deployments out of the other experiments' cache slots
+// so cost counters stay sole-user one-pass tallies.
+func testSweep(salt string) Sweep[float64] {
+	return Sweep[float64]{
+		Points: []float64{0, 1800},
+		Arms: modeArms(salt, func(age float64) analog.Config {
+			cfg := analog.PaperPreset()
+			cfg.DriftT = age
+			return cfg
+		}),
+		Prepare: prepareBaselines,
+		Faults:  true,
+		Cost:    true,
+	}
+}
+
+// TestSweepWorkerCountDeterminism pins the framework's core contract: a
+// sweep's cells are pure functions of the request content, so serial and
+// highly parallel grid execution produce bit-identical grids — accuracy,
+// fault statistics, and cost counters alike. Both engines are fresh, so
+// each performs its own eval passes; equality is not a cache artifact.
+func TestSweepWorkerCountDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trained fixture")
+	}
+	ws := []*Workload{tinyWorkload(t)}
+	serial := testSweep("sweepdet").Run(engine.New(engine.Config{GridWorkers: 1}), ws)
+	wide := testSweep("sweepdet").Run(engine.New(engine.Config{GridWorkers: 8}), ws)
+	if len(serial.Workloads) != len(wide.Workloads) || len(serial.Points) != len(wide.Points) || len(serial.Arms) != len(wide.Arms) {
+		t.Fatalf("grid shapes differ: %dx%dx%d vs %dx%dx%d",
+			len(serial.Workloads), len(serial.Points), len(serial.Arms),
+			len(wide.Workloads), len(wide.Points), len(wide.Arms))
+	}
+	for wi := range serial.Workloads {
+		for pi := range serial.Points {
+			for ai := range serial.Arms {
+				s, w := serial.Cell(wi, pi, ai), wide.Cell(wi, pi, ai)
+				if s != w {
+					t.Errorf("cell (%d,%d,%d) differs across worker counts:\nserial: %+v\nwide:   %+v", wi, pi, ai, s, w)
+				}
+				if s.Cost.Counters.MVMs == 0 {
+					t.Errorf("cell (%d,%d,%d): cost collection produced no MVM events", wi, pi, ai)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepArmOrderInvariance runs the same sweep with its arms reversed:
+// every cell must be identical under the permuted indexing. The first run
+// evals on the shared engine and the second memo-hits it, which also pins
+// that memoized eval hits advance no cost counters — a reordered (or
+// repeated) sweep cannot inflate a deployment's one-pass tally.
+func TestSweepArmOrderInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trained fixture")
+	}
+	ws := []*Workload{tinyWorkload(t)}
+	fwd := testSweep("sweeporder")
+	rev := testSweep("sweeporder")
+	rev.Arms = []Arm[float64]{fwd.Arms[1], fwd.Arms[0]}
+
+	fg := fwd.Run(testEng, ws)
+	rg := rev.Run(testEng, ws)
+	for wi := range fg.Workloads {
+		for pi := range fg.Points {
+			for ai := range fg.Arms {
+				// Arm ai of the forward grid is arm len-1-ai of the reversed one.
+				f, r := fg.Cell(wi, pi, ai), rg.Cell(wi, pi, len(fg.Arms)-1-ai)
+				if f != r {
+					t.Errorf("cell (%d,%d,arm %q) differs under arm reordering:\nfwd: %+v\nrev: %+v",
+						wi, pi, fg.Arms[ai].Name, f, r)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepCostFlowsIntoEngineStats pins the cost wiring end to end: after
+// a cost-collecting sweep on a fresh engine, the engine-level stats carry
+// the aggregated hardware events priced under the cost model, and the
+// analog-read counter agrees with the MVM tally.
+func TestSweepCostFlowsIntoEngineStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trained fixture")
+	}
+	ws := []*Workload{tinyWorkload(t)}
+	eng := engine.New(engine.Config{})
+	testSweep("sweepstats").Run(eng, ws)
+
+	stats := eng.Stats()
+	if stats.Counters.MVMs == 0 || stats.Counters.ADCConvs == 0 {
+		t.Fatalf("engine stats carry no analog events: %+v", stats.Counters)
+	}
+	if stats.Counters.MVMs != stats.AnalogReads {
+		t.Errorf("Counters.MVMs = %d, AnalogReads = %d; the tallies must agree",
+			stats.Counters.MVMs, stats.AnalogReads)
+	}
+	if stats.Cost.Analog.EnergyPJ <= 0 || stats.Cost.Digital.EnergyPJ <= 0 {
+		t.Errorf("cost report not populated: %+v", stats.Cost)
+	}
+	if stats.Cost.EnergySaving <= 0 {
+		t.Errorf("energy saving not computed: %+v", stats.Cost)
+	}
+	if s := stats.String(); !strings.Contains(s, "cost:") {
+		t.Errorf("Stats.String() lacks the cost segment: %s", s)
+	}
+}
+
+// TestModeArmsNaming pins the arm naming contract the table emitters rely
+// on: modeArms produces exactly the naive/nora pair, named by the deploy
+// mode's String() — the same strings the pre-framework tables printed.
+func TestModeArmsNaming(t *testing.T) {
+	arms := modeArms("", func(struct{}) analog.Config { return analog.PaperPreset() })
+	if len(arms) != 2 {
+		t.Fatalf("modeArms produced %d arms, want 2", len(arms))
+	}
+	if arms[0].Name != core.DeployAnalogNaive.String() || arms[1].Name != core.DeployAnalogNORA.String() {
+		t.Errorf("arm names = %q, %q; want deploy-mode strings %q, %q",
+			arms[0].Name, arms[1].Name, core.DeployAnalogNaive.String(), core.DeployAnalogNORA.String())
+	}
+}
+
+// TestMarkParetoFront checks front marking on a hand-built grid: within a
+// (model, arm) group only points that strictly improve accuracy as energy
+// rises stay on the front, and groups are independent.
+func TestMarkParetoFront(t *testing.T) {
+	rows := []ParetoRow{
+		{Model: "m", Arm: "a", Config: "lo", EnergyUJ: 1, Accuracy: 0.50},
+		{Model: "m", Arm: "a", Config: "mid", EnergyUJ: 2, Accuracy: 0.45}, // dominated by lo
+		{Model: "m", Arm: "a", Config: "hi", EnergyUJ: 3, Accuracy: 0.80},
+		{Model: "m", Arm: "b", Config: "lo", EnergyUJ: 5, Accuracy: 0.40},
+		{Model: "m", Arm: "b", Config: "hi", EnergyUJ: 6, Accuracy: 0.40}, // same accuracy, more energy
+	}
+	MarkParetoFront(rows)
+	want := []bool{true, false, true, true, false}
+	for i, r := range rows {
+		if r.Front != want[i] {
+			t.Errorf("row %d (%s/%s/%s): Front = %v, want %v", i, r.Model, r.Arm, r.Config, r.Front, want[i])
+		}
+	}
+}

@@ -151,87 +151,180 @@ func (t *Table) WriteCSVFile(path string) (err error) {
 	return t.WriteCSV(f)
 }
 
-// SensitivityTable renders sensitivity points grouped like Fig. 3.
-func SensitivityTable(points []SensitivityPoint) *Table {
-	t := NewTable("Fig. 3 — sensitivity of LLM accuracy to single non-idealities (naive analog)",
-		"model", "noise", "level", "target-mse", "achieved-mse", "param", "accuracy", "drop")
-	for _, p := range points {
-		t.Add(p.Model, p.Kind.String(), p.Level, p.TargetMSE, p.MSE, p.Param, p.Accuracy, p.Drop)
+// Col describes one column of a declarative table: a header plus the value
+// extracted from each row. Values pass through Table.Add, so float64/float32
+// keep the %.4f rendering every experiment table has always used.
+type Col[R any] struct {
+	Header string
+	Value  func(R) any
+}
+
+// TableOf builds a Table from rows × column specs. Every experiment's table
+// emitter is this one function applied to its uniform result-row type; the
+// per-experiment builders below only declare title + columns.
+func TableOf[R any](title string, rows []R, cols []Col[R]) *Table {
+	headers := make([]string, len(cols))
+	for i, c := range cols {
+		headers[i] = c.Header
+	}
+	t := NewTable(title, headers...)
+	for _, r := range rows {
+		cells := make([]interface{}, len(cols))
+		for i, c := range cols {
+			cells[i] = c.Value(r)
+		}
+		t.Add(cells...)
 	}
 	return t
+}
+
+// SensitivityTable renders sensitivity points grouped like Fig. 3.
+func SensitivityTable(points []SensitivityPoint) *Table {
+	return TableOf("Fig. 3 — sensitivity of LLM accuracy to single non-idealities (naive analog)",
+		points, []Col[SensitivityPoint]{
+			{"model", func(p SensitivityPoint) any { return p.Model }},
+			{"noise", func(p SensitivityPoint) any { return p.Kind.String() }},
+			{"level", func(p SensitivityPoint) any { return p.Level }},
+			{"target-mse", func(p SensitivityPoint) any { return p.TargetMSE }},
+			{"achieved-mse", func(p SensitivityPoint) any { return p.MSE }},
+			{"param", func(p SensitivityPoint) any { return p.Param }},
+			{"accuracy", func(p SensitivityPoint) any { return p.Accuracy }},
+			{"drop", func(p SensitivityPoint) any { return p.Drop }},
+		})
 }
 
 // AccuracyTable renders overall accuracy rows (Fig. 5a / Table III).
 func AccuracyTable(title string, rows []AccuracyRow) *Table {
-	t := NewTable(title, "model", "digital-fp", "analog-naive", "analog-nora", "nora-loss-vs-fp")
-	for _, r := range rows {
-		t.Add(r.Model, r.Digital, r.Naive, r.NORA, r.Digital-r.NORA)
-	}
-	return t
+	return TableOf(title, rows, []Col[AccuracyRow]{
+		{"model", func(r AccuracyRow) any { return r.Model }},
+		{"digital-fp", func(r AccuracyRow) any { return r.Digital }},
+		{"analog-naive", func(r AccuracyRow) any { return r.Naive }},
+		{"analog-nora", func(r AccuracyRow) any { return r.NORA }},
+		{"nora-loss-vs-fp", func(r AccuracyRow) any { return r.Digital - r.NORA }},
+	})
+}
+
+// AccuracyStatsTable renders replicated accuracy rows.
+func AccuracyStatsTable(title string, rows []AccuracyStats) *Table {
+	return TableOf(title, rows, []Col[AccuracyStats]{
+		{"model", func(r AccuracyStats) any { return r.Model }},
+		{"digital-fp", func(r AccuracyStats) any { return r.Digital }},
+		{"naive-mean", func(r AccuracyStats) any { return r.NaiveMean }},
+		{"naive-std", func(r AccuracyStats) any { return r.NaiveStd }},
+		{"nora-mean", func(r AccuracyStats) any { return r.NORAMean }},
+		{"nora-std", func(r AccuracyStats) any { return r.NORAStd }},
+		{"replicas", func(r AccuracyStats) any { return r.Replicas }},
+	})
 }
 
 // MitigationTable renders mitigation rows (Fig. 5b/c).
 func MitigationTable(rows []MitigationRow) *Table {
-	t := NewTable("Fig. 5(b)(c) — per-noise mitigation at matched MSE",
-		"model", "noise", "target-mse", "digital", "naive", "nora", "recovery")
-	for _, r := range rows {
-		t.Add(r.Model, r.Kind.String(), r.TargetMSE, r.Digital, r.Naive, r.NORA, r.Recovery)
-	}
-	return t
+	return TableOf("Fig. 5(b)(c) — per-noise mitigation at matched MSE",
+		rows, []Col[MitigationRow]{
+			{"model", func(r MitigationRow) any { return r.Model }},
+			{"noise", func(r MitigationRow) any { return r.Kind.String() }},
+			{"target-mse", func(r MitigationRow) any { return r.TargetMSE }},
+			{"digital", func(r MitigationRow) any { return r.Digital }},
+			{"naive", func(r MitigationRow) any { return r.Naive }},
+			{"nora", func(r MitigationRow) any { return r.NORA }},
+			{"recovery", func(r MitigationRow) any { return r.Recovery }},
+		})
 }
 
 // Fig6Table renders distribution/scale analysis rows.
 func Fig6Table(rows []Fig6Row) *Table {
-	t := NewTable("Fig. 6 — per-layer kurtosis and scale factors (naive vs NORA)",
-		"model", "layer", "in-kurt-naive", "in-kurt-nora", "w-kurt-naive", "w-kurt-nora",
-		"alphagamma-naive", "alphagamma-nora")
-	for _, r := range rows {
-		t.Add(r.Model, r.Name, r.InputKurtosisNaive, r.InputKurtosisNORA,
-			r.WeightKurtosisNaive, r.WeightKurtosisNORA, r.AlphaGammaNaive, r.AlphaGammaNORA)
-	}
-	return t
+	return TableOf("Fig. 6 — per-layer kurtosis and scale factors (naive vs NORA)",
+		rows, []Col[Fig6Row]{
+			{"model", func(r Fig6Row) any { return r.Model }},
+			{"layer", func(r Fig6Row) any { return r.Name }},
+			{"in-kurt-naive", func(r Fig6Row) any { return r.InputKurtosisNaive }},
+			{"in-kurt-nora", func(r Fig6Row) any { return r.InputKurtosisNORA }},
+			{"w-kurt-naive", func(r Fig6Row) any { return r.WeightKurtosisNaive }},
+			{"w-kurt-nora", func(r Fig6Row) any { return r.WeightKurtosisNORA }},
+			{"alphagamma-naive", func(r Fig6Row) any { return r.AlphaGammaNaive }},
+			{"alphagamma-nora", func(r Fig6Row) any { return r.AlphaGammaNORA }},
+		})
 }
 
 // DriftTable renders drift-study rows.
 func DriftTable(rows []DriftRow) *Table {
-	t := NewTable("Ext. — accuracy after conductance drift",
-		"model", "drift-s", "compensated", "digital", "naive", "nora")
-	for _, r := range rows {
-		t.Add(r.Model, r.DriftSeconds, r.Compensated, r.Digital, r.Naive, r.NORA)
-	}
-	return t
+	return TableOf("Ext. — accuracy after conductance drift",
+		rows, []Col[DriftRow]{
+			{"model", func(r DriftRow) any { return r.Model }},
+			{"drift-s", func(r DriftRow) any { return r.DriftSeconds }},
+			{"compensated", func(r DriftRow) any { return r.Compensated }},
+			{"digital", func(r DriftRow) any { return r.Digital }},
+			{"naive", func(r DriftRow) any { return r.Naive }},
+			{"nora", func(r DriftRow) any { return r.NORA }},
+		})
+}
+
+// SlicingTable renders multi-cell precision rows.
+func SlicingTable(rows []SlicingRow) *Table {
+	return TableOf("Ext. — multi-cell weight precision (paper-preset noise)",
+		rows, []Col[SlicingRow]{
+			{"model", func(r SlicingRow) any { return r.Model }},
+			{"weight-scheme", func(r SlicingRow) any { return r.Scheme }},
+			{"analog-naive", func(r SlicingRow) any { return r.Naive }},
+			{"analog-nora", func(r SlicingRow) any { return r.NORA }},
+		})
+}
+
+// ModeTable renders operating-mode rows.
+func ModeTable(rows []ModeRow) *Table {
+	return TableOf("Ext. — tile operating modes (paper-preset noise)",
+		rows, []Col[ModeRow]{
+			{"model", func(r ModeRow) any { return r.Model }},
+			{"mode", func(r ModeRow) any { return r.Mode }},
+			{"analog-naive", func(r ModeRow) any { return r.Naive }},
+			{"analog-nora", func(r ModeRow) any { return r.NORA }},
+		})
+}
+
+// QuantileTable renders calibration-quantile ablation rows.
+func QuantileTable(rows []QuantileRow) *Table {
+	return TableOf("Ext. — calibration clipping-quantile ablation (NORA, paper-preset noise)",
+		rows, []Col[QuantileRow]{
+			{"model", func(r QuantileRow) any { return r.Model }},
+			{"quantile", func(r QuantileRow) any { return r.Quantile }},
+			{"accuracy", func(r QuantileRow) any { return r.Accuracy }},
+		})
 }
 
 // PerLayerTable renders per-layer ablation rows.
 func PerLayerTable(rows []PerLayerRow) *Table {
-	t := NewTable("Ext. — per-layer analog sensitivity (one layer analog at a time)",
-		"model", "layer", "digital", "naive-only-this", "nora-only-this")
-	for _, r := range rows {
-		t.Add(r.Model, r.Layer, r.Digital, r.Naive, r.NORA)
-	}
-	return t
+	return TableOf("Ext. — per-layer analog sensitivity (one layer analog at a time)",
+		rows, []Col[PerLayerRow]{
+			{"model", func(r PerLayerRow) any { return r.Model }},
+			{"layer", func(r PerLayerRow) any { return r.Layer }},
+			{"digital", func(r PerLayerRow) any { return r.Digital }},
+			{"naive-only-this", func(r PerLayerRow) any { return r.Naive }},
+			{"nora-only-this", func(r PerLayerRow) any { return r.NORA }},
+		})
 }
 
 // CostTable renders energy/latency estimate rows.
 func CostTable(rows []CostRow) *Table {
-	t := NewTable("Ext. — estimated energy/latency of the linear layers (eval pass)",
-		"model", "deploy", "analog-uJ", "analog-ms", "digital-uJ", "digital-ms",
-		"energy-saving", "bm-retries", "accuracy")
-	for _, r := range rows {
-		t.Add(r.Model, r.Deploy,
-			r.AnalogEnergyPJ/1e6, r.AnalogLatencyNS/1e6,
-			r.DigitalEnergyPJ/1e6, r.DigitalLatencyNS/1e6,
-			r.EnergySaving, r.BMRetries, r.Accuracy)
-	}
-	return t
+	return TableOf("Ext. — estimated energy/latency of the linear layers (eval pass)",
+		rows, []Col[CostRow]{
+			{"model", func(r CostRow) any { return r.Model }},
+			{"deploy", func(r CostRow) any { return r.Deploy }},
+			{"analog-uJ", func(r CostRow) any { return r.AnalogEnergyPJ / 1e6 }},
+			{"analog-ms", func(r CostRow) any { return r.AnalogLatencyNS / 1e6 }},
+			{"digital-uJ", func(r CostRow) any { return r.DigitalEnergyPJ / 1e6 }},
+			{"digital-ms", func(r CostRow) any { return r.DigitalLatencyNS / 1e6 }},
+			{"energy-saving", func(r CostRow) any { return r.EnergySaving }},
+			{"bm-retries", func(r CostRow) any { return r.BMRetries }},
+			{"accuracy", func(r CostRow) any { return r.Accuracy }},
+		})
 }
 
 // LambdaTable renders λ-ablation rows.
 func LambdaTable(rows []LambdaRow) *Table {
-	t := NewTable("Ext. — NORA migration strength λ ablation (paper-preset noise)",
-		"model", "lambda", "accuracy")
-	for _, r := range rows {
-		t.Add(r.Model, r.Lambda, r.Accuracy)
-	}
-	return t
+	return TableOf("Ext. — NORA migration strength λ ablation (paper-preset noise)",
+		rows, []Col[LambdaRow]{
+			{"model", func(r LambdaRow) any { return r.Model }},
+			{"lambda", func(r LambdaRow) any { return r.Lambda }},
+			{"accuracy", func(r LambdaRow) any { return r.Accuracy }},
+		})
 }

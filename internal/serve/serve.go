@@ -478,11 +478,16 @@ type Statz struct {
 	Engine  engine.Stats `json:"engine"`
 	// DeployCacheHitRate is hits/(hits+builds) of the engine's deployment
 	// cache; EvalMemoHitRate the same for the per-deployment eval memo.
-	DeployCacheHitRate float64                  `json:"deploy_cache_hit_rate"`
-	EvalMemoHitRate    float64                  `json:"eval_memo_hit_rate"`
-	Batch              BatchStatz               `json:"batch"`
-	Faults             analog.FaultStats        `json:"faults"`
-	Endpoints          map[string]EndpointStats `json:"endpoints"`
+	DeployCacheHitRate float64           `json:"deploy_cache_hit_rate"`
+	EvalMemoHitRate    float64           `json:"eval_memo_hit_rate"`
+	Batch              BatchStatz        `json:"batch"`
+	Faults             analog.FaultStats `json:"faults"`
+	// Cost is the engine-wide analog-vs-digital estimate (also inside
+	// Engine.Cost); DeploymentCost breaks it down per served deployment,
+	// keyed "<model>/<mode>".
+	Cost           analog.CostComparison            `json:"cost"`
+	DeploymentCost map[string]analog.CostComparison `json:"deployment_cost"`
+	Endpoints      map[string]EndpointStats         `json:"endpoints"`
 }
 
 // StatzSnapshot assembles the /statz document (exported for the loadgen
@@ -511,9 +516,11 @@ func (s *Server) StatzSnapshot() Statz {
 		bs.MeanBatch = float64(batched) / float64(batches)
 	}
 	var faults analog.FaultStats
+	depCost := make(map[string]analog.CostComparison)
 	s.mu.RLock()
-	for _, dep := range s.deps {
+	for key, dep := range s.deps {
 		faults.Add(dep.FaultStats())
+		depCost[key] = dep.CostComparison()
 	}
 	s.mu.RUnlock()
 	return Statz{
@@ -524,6 +531,8 @@ func (s *Server) StatzSnapshot() Statz {
 		EvalMemoHitRate:    ratio(es.EvalHits, es.Evals),
 		Batch:              bs,
 		Faults:             faults,
+		Cost:               es.Cost,
+		DeploymentCost:     depCost,
 		Endpoints: map[string]EndpointStats{
 			"/v1/predict": s.predictHist.stats(),
 			"/v1/eval":    s.evalHist.stats(),

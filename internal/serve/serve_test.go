@@ -304,6 +304,12 @@ func TestHealthzAndStatz(t *testing.T) {
 		`{"model":"tiny","mode":"naive","context":[1,2]}`); code != http.StatusOK {
 		t.Fatalf("predict for statz: %d %v", code, body)
 	}
+	// An analog eval pass: engine-wide cost only prices counted (completed
+	// evaluation) events, so this is what populates statz.cost below.
+	if code, body, _ := do(t, s, http.MethodPost, "/v1/eval",
+		`{"model":"tiny","mode":"naive"}`); code != http.StatusOK {
+		t.Fatalf("eval for statz: %d %v", code, body)
+	}
 	code, body, _ = do(t, s, http.MethodGet, "/statz", "")
 	if code != http.StatusOK {
 		t.Fatalf("statz: %d", code)
@@ -320,6 +326,27 @@ func TestHealthzAndStatz(t *testing.T) {
 	batch, _ := body["batch"].(map[string]any)
 	if batch["requests"].(float64) < 1 {
 		t.Fatalf("statz batch counters: %v", batch)
+	}
+
+	// The naive-mode predict above ran on analog tiles, so the cost wiring
+	// must surface priced hardware events: the engine-wide comparison and a
+	// per-deployment entry.
+	cost, _ := body["cost"].(map[string]any)
+	if cost == nil {
+		t.Fatalf("statz missing cost report: %v", body)
+	}
+	if analogSide, _ := cost["analog"].(map[string]any); analogSide == nil || analogSide["energy_pj"].(float64) <= 0 {
+		t.Fatalf("statz cost carries no analog energy: %v", cost)
+	}
+	depCost, _ := body["deployment_cost"].(map[string]any)
+	if len(depCost) == 0 {
+		t.Fatalf("statz missing per-deployment cost: %v", body)
+	}
+	for key, v := range depCost {
+		dc, _ := v.(map[string]any)
+		if dc == nil || dc["energy_saving"].(float64) <= 0 {
+			t.Fatalf("deployment %q cost not priced: %v", key, v)
+		}
 	}
 }
 
