@@ -585,3 +585,95 @@ func BenchmarkCalibration(b *testing.B) {
 		core.Calibrate(w.Model, w.Calib)
 	}
 }
+
+// ---- E22: continuous-batching decode throughput -------------------------
+
+func bestToken(logits []float32) int {
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// decodeRunner deploys a mid-size untrained OPT-class model (d=256,
+// 256×256 tiles — big enough that weight streaming, the cost batching
+// amortizes, is visible next to the per-row digitize) under the naive
+// analog stack with the v2 noise stream, once for all decode benchmarks.
+// Weight quality is irrelevant to throughput, so training is skipped.
+var (
+	decodeOnce sync.Once
+	decodeRun  *nn.Runner
+)
+
+func decodeBenchRunner(b *testing.B) *nn.Runner {
+	b.Helper()
+	decodeOnce.Do(func() {
+		mcfg := nn.Config{Arch: nn.ArchOPT, Vocab: 256, DModel: 256, NHeads: 4, NLayers: 2, DFF: 1024, MaxSeq: 32}
+		m, err := nn.NewModel(mcfg, rng.New(1))
+		if err != nil {
+			panic(err)
+		}
+		cfg := analog.PaperPreset()
+		cfg.TileRows, cfg.TileCols = 256, 256
+		cfg.NoiseStream = rng.StreamV2
+		decodeRun = core.Deploy(m, core.DeployAnalogNaive, nil, cfg, 42, core.Options{})
+	})
+	return decodeRun
+}
+
+// benchmarkDecode measures aggregate greedy-decode throughput with `width`
+// sequences kept in flight over one continuous-batching generator. Each
+// iteration admits `width` short prompts and decodes 8 tokens per
+// sequence; the reported tok/s metric is the acceptance number for the
+// batched-vs-sequential decode comparison (DecodeBatch8/16 vs DecodeT1).
+func benchmarkDecode(b *testing.B, width int) {
+	bg := nn.NewBatchGenerator(decodeBenchRunner(b), width)
+	const newTokens = 8
+	prompt := []int{1, 2}
+	ids := make([]int, width)
+	toks := make([]int, width)
+	var tokens int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < width; s++ {
+			slot, logits, err := bg.Admit(prompt, fmt.Sprintf("bench/gen/%d", s))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[s] = slot
+			toks[s] = bestToken(logits) // row view dies at the next bg call
+			tokens++
+		}
+		for t := 1; t < newTokens; t++ {
+			logits, err := bg.Step(ids, toks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for s := 0; s < width; s++ {
+				toks[s] = bestToken(logits.Row(s))
+				tokens++
+			}
+		}
+		for s := 0; s < width; s++ {
+			bg.Release(ids[s])
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(tokens)/secs, "tok/s")
+	}
+}
+
+// BenchmarkDecodeT1 is the sequential baseline: one sequence per step.
+func BenchmarkDecodeT1(b *testing.B) { benchmarkDecode(b, 1) }
+
+// BenchmarkDecodeBatch8 decodes eight sequences per batched step; its
+// tok/s must be ≥1.5× BenchmarkDecodeT1's.
+func BenchmarkDecodeBatch8(b *testing.B) { benchmarkDecode(b, 8) }
+
+// BenchmarkDecodeBatch16 decodes sixteen sequences per batched step — the
+// occupancy a loaded server converges to with the default decode batch.
+func BenchmarkDecodeBatch16(b *testing.B) { benchmarkDecode(b, 16) }

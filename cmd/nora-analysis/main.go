@@ -7,7 +7,7 @@
 //
 //	nora-analysis [-modeldir testdata/models] [-layer attn.q]
 //	              [-models opt-c3,llama3-c,mistral-c]
-//	              [-drift] [-driftsec 3600] [-lambda] [-csv prefix]
+//	              [-drift] [-driftsec 3600] [-lambda] [-gen] [-csv prefix]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"nora/internal/analog"
 	"nora/internal/cli"
+	"nora/internal/core"
 	"nora/internal/harness"
 )
 
@@ -33,6 +34,8 @@ func main() {
 	quantile := flag.Bool("quantile", false, "also run the calibration clipping-quantile ablation")
 	slicing := flag.Bool("slicing", false, "also run the multi-cell weight-precision study")
 	modes := flag.Bool("modes", false, "also run the tile operating-mode study (bit-serial, write-verify)")
+	gen := flag.Bool("gen", false, "also run the continuous-batching generation throughput study")
+	genConc := flag.String("genconc", "1,2,4,8", "comma-separated decode batch widths for -gen")
 	hwa := flag.Bool("hwa", false, "also compare against hardware-aware noise-injection fine-tuning")
 	hwaSteps := flag.Int("hwasteps", 300, "fine-tuning steps for the HWA baseline")
 	csvPrefix := flag.String("csv", "", "write CSVs with this path prefix")
@@ -91,6 +94,20 @@ func main() {
 	}
 	if *modes {
 		emit(harness.ModeTable(harness.ModeStudy(eng, ws)), "modes")
+	}
+	if *gen {
+		conc, err := cli.ParseInts(*genConc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spec := harness.GenSpec{Mode: core.DeployAnalogNORA, Config: analog.PaperPreset(), Concurrencies: conc}
+		rows, err := harness.GenerationThroughput(eng, ws, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		emit(harness.GenerationTable(rows), "gen")
 	}
 	if *hwa {
 		var rows []harness.HWARow

@@ -6,10 +6,17 @@
 // is the throughput-vs-concurrency curve that shows dynamic batching
 // amortizing analog reads across requests.
 //
+// With -generate the workload switches to streaming /v1/generate requests:
+// each worker holds one generation stream open at a time, and the report
+// shows time-to-first-token and inter-token latency quantiles plus the
+// aggregate token throughput and the server's decode-batch occupancy — the
+// continuous-batching throughput-vs-concurrency curve.
+//
 // Usage:
 //
 //	nora-loadgen [-url http://localhost:8080] [-model opt-c1] [-mode nora]
 //	             [-concurrency 1,8,32] [-duration 10s] [-ctxlen 12]
+//	             [-generate] [-max-tokens 16] [-temperature 0] [-topk 0]
 //	             [-seed 1] [-csv out.csv]
 //
 // Contexts are random token windows drawn from the model's vocabulary
@@ -18,6 +25,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -60,9 +68,13 @@ func main() {
 	mode := flag.String("mode", "nora", "deployment mode: digital, naive or nora")
 	levels := flag.String("concurrency", "1,8,32", "comma-separated closed-loop concurrency levels")
 	duration := flag.Duration("duration", 10*time.Second, "measurement window per concurrency level")
-	ctxLen := flag.Int("ctxlen", 12, "tokens per predict context")
+	ctxLen := flag.Int("ctxlen", 12, "tokens per predict context (or generate prompt)")
 	seed := flag.Uint64("seed", 1, "context generator seed")
 	csvPath := flag.String("csv", "", "also write the result table as CSV to this path")
+	generate := flag.Bool("generate", false, "drive streaming /v1/generate instead of /v1/predict")
+	maxTokens := flag.Int("max-tokens", 16, "generation: tokens requested per stream")
+	temperature := flag.Float64("temperature", 0, "generation: sampling temperature (0 = greedy)")
+	topK := flag.Int("topk", 0, "generation: top-k filter (0 = full vocabulary)")
 	flag.Parse()
 	if err := opt.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -91,6 +103,15 @@ func main() {
 	if err := waitHealthy(client, *url); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *generate {
+		if err := runGenerateBench(client, *url, *modelKey, *mode, spec.Cfg.Vocab, n,
+			conc, *duration, *seed, *maxTokens, *temperature, *topK, *csvPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	tbl := harness.NewTable(
@@ -184,6 +205,176 @@ func runLevel(client *http.Client, url, modelKey, mode string, vocab, ctxLen, wo
 	res.elapsed = time.Since(start)
 	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
 	return res
+}
+
+// genLevelResult aggregates one concurrency level of generation streams.
+type genLevelResult struct {
+	ok, rejects, errs int
+	tokens            int64
+	elapsed           time.Duration
+	ttfts             []time.Duration // request start → first token, per stream
+	gaps              []time.Duration // inter-token latencies, per token
+}
+
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// runGenerateBench drives the streaming /v1/generate workload across the
+// concurrency levels and prints the TTFT / inter-token / token-throughput
+// table, plus the server's decode-batch occupancy delta per level.
+func runGenerateBench(client *http.Client, url, modelKey, mode string, vocab, promptLen int,
+	conc []int, d time.Duration, seed uint64, maxTokens int, temperature float64, topK int, csvPath string) error {
+	tbl := harness.NewTable(
+		fmt.Sprintf("nora-loadgen generate — %s/%s, %v per level, prompt %d, max_tokens %d",
+			modelKey, mode, d, promptLen, maxTokens),
+		"concurrency", "tok/s", "streams", "429", "errors",
+		"ttft p50 ms", "ttft p95 ms", "itl p50 ms", "itl p95 ms", "decode batch")
+	for _, c := range conc {
+		before, err := fetchStatz(client, url)
+		if err != nil {
+			return err
+		}
+		res := runGenLevel(client, url, modelKey, mode, vocab, promptLen, c, d, seed, maxTokens, temperature, topK)
+		after, err := fetchStatz(client, url)
+		if err != nil {
+			return err
+		}
+		// Server-side decode-batch occupancy over this level's steps.
+		occupancy := 0.0
+		if steps := after.Engine.GenSteps - before.Engine.GenSteps; steps > 0 {
+			occupancy = float64(after.Engine.GenTokens-before.Engine.GenTokens) / float64(steps)
+		}
+		tbl.Add(
+			fmt.Sprintf("%d", c),
+			float64(res.tokens)/res.elapsed.Seconds(),
+			float64(res.ok), float64(res.rejects), float64(res.errs),
+			float64(quantileDur(res.ttfts, 0.50))/1e6,
+			float64(quantileDur(res.ttfts, 0.95))/1e6,
+			float64(quantileDur(res.gaps, 0.50))/1e6,
+			float64(quantileDur(res.gaps, 0.95))/1e6,
+			occupancy,
+		)
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if statz, err := fetchStatz(client, url); err == nil {
+		fmt.Printf("\nserver: %d streams produced %d tokens over %d decode steps "+
+			"(mean batch %.2f, max %d, %.0f tok/s inside steps), %d rejected, %d canceled\n",
+			statz.Gen.Requests, statz.Gen.Tokens, statz.Gen.Steps,
+			statz.Gen.MeanBatch, statz.Gen.MaxBatch, statz.Gen.TokensPerSecond,
+			statz.Gen.QueueFull, statz.Gen.Canceled)
+	}
+	if csvPath != "" {
+		return tbl.WriteCSVFile(csvPath)
+	}
+	return nil
+}
+
+// runGenLevel keeps `workers` generation streams in flight for `d`,
+// closed-loop: each worker opens its next stream as soon as the previous
+// one finishes, reading NDJSON token events as they arrive.
+func runGenLevel(client *http.Client, url, modelKey, mode string, vocab, promptLen, workers int,
+	d time.Duration, seed uint64, maxTokens int, temperature float64, topK int) genLevelResult {
+	var res genLevelResult
+	deadline := time.Now().Add(d)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(seed + uint64(w)*7919)
+			local := genLevelResult{}
+			for time.Now().Before(deadline) {
+				prompt := make([]int, promptLen)
+				for i := range prompt {
+					prompt[i] = int(r.Uint64() % uint64(vocab))
+				}
+				body, _ := json.Marshal(map[string]any{
+					"model": modelKey, "mode": mode, "prompt": prompt,
+					"max_tokens": maxTokens, "temperature": temperature, "top_k": topK,
+					"seed": r.Uint64(),
+				})
+				t0 := time.Now()
+				resp, err := client.Post(url+"/v1/generate", "application/json", bytes.NewReader(body))
+				if err != nil {
+					local.errs++
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					toks, ttft, gaps, ok := drainStream(resp.Body, t0)
+					if !ok {
+						local.errs++
+					} else {
+						local.ok++
+						local.tokens += int64(toks)
+						if toks > 0 {
+							local.ttfts = append(local.ttfts, ttft)
+							local.gaps = append(local.gaps, gaps...)
+						}
+					}
+				case http.StatusTooManyRequests:
+					local.rejects++
+					time.Sleep(time.Millisecond) // honor backpressure briefly
+				default:
+					local.errs++
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			mu.Lock()
+			res.ok += local.ok
+			res.rejects += local.rejects
+			res.errs += local.errs
+			res.tokens += local.tokens
+			res.ttfts = append(res.ttfts, local.ttfts...)
+			res.gaps = append(res.gaps, local.gaps...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	sort.Slice(res.ttfts, func(i, j int) bool { return res.ttfts[i] < res.ttfts[j] })
+	sort.Slice(res.gaps, func(i, j int) bool { return res.gaps[i] < res.gaps[j] })
+	return res
+}
+
+// drainStream reads one NDJSON generation stream, timing the first token
+// and every inter-token gap. ok is false when the stream ends without a
+// final event or with a non-clean finish ("error" finals count as errors;
+// "shutdown" and "canceled" count as clean — the server retired us).
+func drainStream(body io.Reader, t0 time.Time) (tokens int, ttft time.Duration, gaps []time.Duration, ok bool) {
+	sc := bufio.NewScanner(body)
+	prev := t0
+	for sc.Scan() {
+		var ev struct {
+			Token        int    `json:"token"`
+			Done         bool   `json:"done"`
+			FinishReason string `json:"finish_reason"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return tokens, ttft, gaps, false
+		}
+		if ev.Done {
+			return tokens, ttft, gaps, ev.FinishReason != "error"
+		}
+		now := time.Now()
+		if tokens == 0 {
+			ttft = now.Sub(t0)
+		} else {
+			gaps = append(gaps, now.Sub(prev))
+		}
+		prev = now
+		tokens++
+	}
+	return tokens, ttft, gaps, false
 }
 
 func fetchStatz(client *http.Client, url string) (serve.Statz, error) {

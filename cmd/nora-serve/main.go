@@ -1,6 +1,6 @@
 // Command nora-serve exposes the experiment engine as an HTTP inference
-// service (internal/serve): micro-batched /v1/predict, engine-memoized
-// /v1/eval, /healthz, and /statz. Models come from the same cached zoo the
+// service (internal/serve): micro-batched /v1/predict, continuous-batched
+// streaming /v1/generate, engine-memoized /v1/eval, /healthz, and /statz. Models come from the same cached zoo the
 // offline experiments use, so a served answer is comparable — and for
 // /v1/eval identical — to the corresponding offline run.
 //
@@ -8,7 +8,7 @@
 //
 //	nora-serve [-addr :8080] [-models opt-c1,llama-c1] [-modeldir testdata/models]
 //	           [-max-batch 16] [-max-delay 2ms] [-queue 256] [-timeout 30s]
-//	           [-eval 150] [-batch 0] [-noise-stream v1]
+//	           [-decode-batch 16] [-eval 150] [-batch 0] [-noise-stream v1]
 //
 // Shut down with SIGINT/SIGTERM: the listener stops accepting, in-flight
 // requests drain, then the micro-batchers close.
@@ -39,6 +39,7 @@ func main() {
 	maxDelay := flag.Duration("max-delay", serve.DefaultMaxDelay, "max wait for a micro-batch to fill")
 	queue := flag.Int("queue", serve.DefaultQueueDepth, "admission queue depth per deployment (beyond it: 429)")
 	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "server-side per-request deadline")
+	decodeBatch := flag.Int("decode-batch", serve.DefaultMaxDecodeBatch, "max concurrent /v1/generate sequences per decode batch")
 	flag.Parse()
 
 	if err := opt.Finish(); err != nil {
@@ -56,6 +57,7 @@ func main() {
 		MaxDelay:       *maxDelay,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
+		MaxDecodeBatch: *decodeBatch,
 	}, ws)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -64,8 +66,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("nora-serve: listening on %s, serving %v (max-batch %d, max-delay %v, queue %d)",
-		*addr, srv.Models(), *maxBatch, *maxDelay, *queue)
+	log.Printf("nora-serve: listening on %s, serving %v (max-batch %d, max-delay %v, queue %d, decode-batch %d)",
+		*addr, srv.Models(), *maxBatch, *maxDelay, *queue, *decodeBatch)
 
 	select {
 	case <-ctx.Done():

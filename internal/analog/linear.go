@@ -2,6 +2,7 @@ package analog
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"nora/internal/nn"
@@ -40,7 +41,10 @@ type AnalogLinear struct {
 	rowsProcessed *atomic.Int64 // activation rows seen, shared across scoped views
 }
 
-var _ nn.NoiseScopedOp = (*AnalogLinear)(nil)
+var (
+	_ nn.NoiseScopedOp    = (*AnalogLinear)(nil)
+	_ nn.RowScopedBatchOp = (*AnalogLinear)(nil)
+)
 
 // NewAnalogLinear programs weight matrix w (in × out) onto tiles.
 // bias may be nil. s may be nil (no rescaling) or a length-in positive
@@ -198,21 +202,68 @@ func (l *AnalogLinear) ForwardInto(out, x *tensor.Matrix) {
 	}
 	l.rowsProcessed.Add(int64(x.Rows))
 	if b := l.effectiveBatchRows(); b > 1 && l.gridBatchable() {
-		l.forwardBatched(out, x, b)
+		l.forwardBatched(out, x, b, nil)
 		return
 	}
-	l.forwardRows(out, x)
+	l.forwardRows(out, x, nil)
+}
+
+// randsPool recycles the per-row stream slice of ForwardIntoRowScoped so the
+// row-scoped read stays allocation-free in steady state.
+var randsPool = sync.Pool{New: func() any { return new([]*rng.Rand) }}
+
+// ForwardIntoRowScoped implements nn.RowScopedBatchOp: row i of x is read
+// under the noise stream of scopes[i] — each a WithNoiseScope view of this
+// same layer — while the deterministic phase-1 work (α, DAC conversion, the
+// blocked MAC) is shared across the whole batch. Row i's result and consumed
+// draws are bit-identical to a single-row ForwardInto on scopes[i], which is
+// what lets a continuous-batching decode step mix many requests in one
+// analog read without entangling their noise streams: each request's output
+// stays a pure function of (deployment, its own tokens), independent of
+// batch composition.
+func (l *AnalogLinear) ForwardIntoRowScoped(out, x *tensor.Matrix, scopes []nn.LinearOp) {
+	if x.Cols != l.in {
+		panic(fmt.Sprintf("analog: %s: input width %d, expected %d", l.name, x.Cols, l.in))
+	}
+	if out.Rows != x.Rows || out.Cols != l.out {
+		panic(fmt.Sprintf("analog: %s: output %dx%d, expected %dx%d", l.name, out.Rows, out.Cols, x.Rows, l.out))
+	}
+	if len(scopes) != x.Rows {
+		panic(fmt.Sprintf("analog: %s: %d noise scopes for %d rows", l.name, len(scopes), x.Rows))
+	}
+	np := randsPool.Get().(*[]*rng.Rand)
+	noises := (*np)[:0]
+	for _, op := range scopes {
+		v, ok := op.(*AnalogLinear)
+		if !ok || v.rowsProcessed != l.rowsProcessed {
+			panic(fmt.Sprintf("analog: %s: scope operator is not a view of this layer", l.name))
+		}
+		noises = append(noises, v.noise)
+	}
+	*np = noises
+	defer randsPool.Put(np)
+	l.rowsProcessed.Add(int64(x.Rows))
+	if b := l.effectiveBatchRows(); b > 1 && l.gridBatchable() {
+		l.forwardBatched(out, x, b, noises)
+		return
+	}
+	l.forwardRows(out, x, noises)
 }
 
 // forwardRows is the historical row-at-a-time read loop: one scratch is
 // leased from the pool for the whole call — every tile read reuses its
 // buffers, any NORA rescaling is applied row-by-row into scratch instead of
 // materializing a scaled copy of x, and partial sums accumulate directly
-// into out's rows.
-func (l *AnalogLinear) forwardRows(out, x *tensor.Matrix) {
+// into out's rows. noises, when non-nil, holds a per-row noise stream
+// (ForwardIntoRowScoped); nil reads every row from the layer stream.
+func (l *AnalogLinear) forwardRows(out, x *tensor.Matrix, noises []*rng.Rand) {
 	s := getScratch()
 	defer putScratch(s)
 	for i := 0; i < x.Rows; i++ {
+		r := l.noise
+		if noises != nil {
+			r = noises[i]
+		}
 		row := x.Row(i)
 		if l.invS != nil {
 			xr := grow(&s.xrow, l.in)
@@ -228,7 +279,7 @@ func (l *AnalogLinear) forwardRows(out, x *tensor.Matrix) {
 		for rb := 0; rb+1 < len(l.rowOff); rb++ {
 			slice := row[l.rowOff[rb]:l.rowOff[rb+1]]
 			for cb := 0; cb+1 < len(l.colOff); cb++ {
-				l.tiles[rb][cb].MVMRowInto(1, orow[l.colOff[cb]:l.colOff[cb+1]], slice, l.noise, s)
+				l.tiles[rb][cb].MVMRowInto(1, orow[l.colOff[cb]:l.colOff[cb+1]], slice, r, s)
 			}
 		}
 	}
@@ -245,8 +296,10 @@ func (l *AnalogLinear) forwardRows(out, x *tensor.Matrix) {
 // the noise stream exactly as the row loop would, the result is bit-identical
 // to forwardRows for every chunk size. With MACWorkers() > 1, phase 1 fans
 // tile panels out across goroutines — also without changing results, since
-// panels write disjoint buffers and draw nothing.
-func (l *AnalogLinear) forwardBatched(out, x *tensor.Matrix, batch int) {
+// panels write disjoint buffers and draw nothing. noises, when non-nil,
+// digitizes row i under its own stream (ForwardIntoRowScoped): phase 2 then
+// consumes each stream exactly as a single-row call on that scope would.
+func (l *AnalogLinear) forwardBatched(out, x *tensor.Matrix, batch int, noises []*rng.Rand) {
 	s := getScratch()
 	defer putScratch(s)
 	bs := getBatchScratch()
@@ -309,13 +362,17 @@ func (l *AnalogLinear) forwardBatched(out, x *tensor.Matrix, batch int) {
 			})
 		}
 		for i := 0; i < T; i++ {
+			r := l.noise
+			if noises != nil {
+				r = noises[lo+i]
+			}
 			orow := out.Row(lo + i)
 			for j := range orow {
 				orow[j] = 0
 			}
 			for rb := 0; rb < nrb; rb++ {
 				for cb := 0; cb < ncb; cb++ {
-					l.tiles[rb][cb].finishRow(1, orow[l.colOff[cb]:l.colOff[cb+1]], &ips[rb], &preps[rb*ncb+cb], i, l.noise, s)
+					l.tiles[rb][cb].finishRow(1, orow[l.colOff[cb]:l.colOff[cb+1]], &ips[rb], &preps[rb*ncb+cb], i, r, s)
 				}
 			}
 		}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"nora/internal/analog"
+	"nora/internal/nn"
+)
+
+// greedyRef decodes the reference continuation for one request with the
+// sequential Generator over a scoped runner view — the path every request
+// would take if it were served alone, one token per analog read.
+func greedyRef(r *nn.Runner, scope string, prompt []int, n int) ([][]float32, []int) {
+	g := nn.NewGenerator(r.WithNoiseScope(scope))
+	logits, err := g.PrefillChecked(prompt)
+	if err != nil {
+		panic(err)
+	}
+	rows := [][]float32{append([]float32(nil), logits...)}
+	var toks []int
+	for i := 0; i < n; i++ {
+		next := argmaxF(logits)
+		toks = append(toks, next)
+		if g.Pos() >= r.Model().Cfg.MaxSeq {
+			break
+		}
+		logits, err = g.AppendChecked(next)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, append([]float32(nil), logits...))
+	}
+	return rows, toks
+}
+
+func argmaxF(xs []float32) int {
+	best, bi := float32(-1e38), 0
+	for i, v := range xs {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// The tentpole guarantee, end to end on analog deployments: continuous-
+// batched decode (BatchGenerator: staggered admission, mixed batches, early
+// retirement) must reproduce every request's logits BIT-IDENTICALLY to
+// decoding that request alone with the sequential Generator under the same
+// noise scope — for both naive and NORA analog modes under the paper's full
+// noise stack.
+func TestBatchedGenerationBitIdenticalToSequentialAnalog(t *testing.T) {
+	m, eval, calib := trained(t)
+	cal := Calibrate(m, calib)
+	cfg := analog.PaperPreset()
+	cfg.TileRows, cfg.TileCols = 64, 64 // multi-tile grids even on the tiny model
+
+	for _, tc := range []struct {
+		name string
+		mode DeployMode
+		cal  *Calibration
+	}{
+		{"naive", DeployAnalogNaive, nil},
+		{"nora", DeployAnalogNORA, cal},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Deploy(m, tc.mode, tc.cal, cfg, 42, Options{})
+			prompts := [][]int{
+				eval[0][:6],
+				eval[1][:3],
+				eval[2][:8],
+				eval[3][:2],
+			}
+			const steps = 6
+			scope := func(i int) string { return fmt.Sprintf("gen/req%d", i) }
+			want := make([][][]float32, len(prompts))
+			for i, p := range prompts {
+				want[i], _ = greedyRef(r, scope(i), p, steps)
+			}
+
+			bg := nn.NewBatchGenerator(r, 3)
+			slot := make(map[int]int)
+			next := make(map[int]int)
+			emit := make(map[int]int)
+			check := func(seq int, row []float32) {
+				w := want[seq][emit[seq]]
+				for j := range row {
+					if row[j] != w[j] {
+						t.Fatalf("seq %d logits row %d col %d: batched %v != sequential %v",
+							seq, emit[seq], j, row[j], w[j])
+					}
+				}
+				emit[seq]++
+			}
+			admit := func(seq int) {
+				s, logits, err := bg.Admit(prompts[seq], scope(seq))
+				if err != nil {
+					t.Fatalf("admit %d: %v", seq, err)
+				}
+				slot[seq] = s
+				check(seq, logits)
+				next[seq] = argmaxF(logits)
+			}
+			step := func(seqs ...int) {
+				ids := make([]int, len(seqs))
+				toks := make([]int, len(seqs))
+				for i, q := range seqs {
+					ids[i] = slot[q]
+					toks[i] = next[q]
+				}
+				logits, err := bg.Step(ids, toks)
+				if err != nil {
+					t.Fatalf("step %v: %v", seqs, err)
+				}
+				for i, q := range seqs {
+					check(q, logits.Row(i))
+					next[q] = argmaxF(logits.Row(i))
+				}
+			}
+
+			// Staggered continuous-batching schedule: admissions and
+			// retirements at step boundaries, row order varying per step.
+			admit(0)
+			step(0)
+			admit(1)
+			admit(2)
+			step(2, 0, 1)
+			step(1, 2, 0)
+			bg.Release(slot[1])
+			admit(3) // reuses seq 1's freed KV slot
+			step(3, 0, 2)
+			step(0, 3, 2)
+			step(2, 0, 3)
+		})
+	}
+}
+
+// Noise-scope independence at the serving boundary: a request's full
+// continuation is identical whether it is decoded alone or admitted into a
+// fully occupied batch — and identical across two separate BatchGenerators
+// over the same deployment.
+func TestGenerationScopeIndependentOfBatchComposition(t *testing.T) {
+	m, eval, _ := trained(t)
+	cfg := analog.PaperPreset()
+	r := Deploy(m, DeployAnalogNaive, nil, cfg, 7, Options{})
+
+	decode := func(bg *nn.BatchGenerator, prompt []int, scope string, others [][]int) []int {
+		slot, logits, err := bg.Admit(prompt, scope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := argmaxF(logits) // consume before the next bg call invalidates the row
+		otherSlots := make([]int, 0, len(others))
+		otherNext := make([]int, 0, len(others))
+		for i, p := range others {
+			s, lg, err := bg.Admit(p, fmt.Sprintf("other%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			otherSlots = append(otherSlots, s)
+			otherNext = append(otherNext, argmaxF(lg))
+		}
+		var out []int
+		for len(out) < 4 {
+			out = append(out, next)
+			ids := append([]int{slot}, otherSlots...)
+			toks := append([]int{next}, otherNext...)
+			res, err := bg.Step(ids, toks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			next = argmaxF(res.Row(0))
+			for i := range otherSlots {
+				otherNext[i] = argmaxF(res.Row(1 + i))
+			}
+		}
+		for _, s := range otherSlots {
+			bg.Release(s)
+		}
+		bg.Release(slot)
+		return out
+	}
+
+	prompt := eval[5][:5]
+	alone := decode(nn.NewBatchGenerator(r, 4), prompt, "req", nil)
+	crowded := decode(nn.NewBatchGenerator(r, 4), prompt, "req", [][]int{
+		eval[6][:7], eval[7][:2], eval[8][:4],
+	})
+	if fmt.Sprint(alone) != fmt.Sprint(crowded) {
+		t.Fatalf("tokens depend on batch composition: alone %v vs crowded %v", alone, crowded)
+	}
+}

@@ -492,6 +492,21 @@ func (d *Deployment) FaultStats() analog.FaultStats {
 	return total
 }
 
+// RecordGenStep counts one continuous-batching decode step run on this
+// deployment: batch is the number of in-flight sequences the step advanced
+// (= tokens produced), elapsed its wall-clock, and reads the analog MVM
+// delta the step issued (0 for digital deployments). Pure accounting — the
+// serving layer calls it around each nn.BatchGenerator step so /statz and
+// engine reports can show decode-batch occupancy and token throughput next
+// to the eval counters.
+func (d *Deployment) RecordGenStep(batch int, elapsed time.Duration, reads int64) {
+	s := &d.eng.stats
+	s.genSteps.Add(1)
+	s.genTokens.Add(int64(batch))
+	s.genNanos.Add(elapsed.Nanoseconds())
+	s.genReads.Add(reads)
+}
+
 // EvalAccuracy is Eval reduced to the accuracy scalar.
 func (d *Deployment) EvalAccuracy(sequences [][]int) float64 {
 	return d.Eval(sequences).Accuracy()
@@ -540,6 +555,11 @@ type statCounters struct {
 	bmRetries    atomic.Int64
 	digitalMACs  atomic.Int64
 	mallocs      atomic.Int64
+
+	genSteps  atomic.Int64
+	genTokens atomic.Int64
+	genNanos  atomic.Int64
+	genReads  atomic.Int64
 
 	// streamMask records every noise-stream version requested from this
 	// engine for an analog deployment, as a bitmask (bit v = StreamVersion
@@ -601,6 +621,15 @@ type Stats struct {
 	// the first analog deploy. More than one entry in a single run usually
 	// indicates a configuration mistake.
 	NoiseStreams string
+	// GenSteps counts continuous-batching decode steps recorded via
+	// Deployment.RecordGenStep; GenTokens the tokens those steps produced
+	// (one per in-flight sequence per step), GenTime their cumulative
+	// wall-clock, and GenReads the analog MVM reads they issued. The mean
+	// decode-batch occupancy is GenTokens/GenSteps (Stats.GenMeanBatch).
+	GenSteps  int64
+	GenTokens int64
+	GenTime   time.Duration
+	GenReads  int64
 	// Mallocs counts heap allocations during evaluation runs, measured as
 	// runtime.MemStats.Mallocs deltas around each eval. The counter is
 	// process-global, so concurrent non-eval work inflates it; treat it as
@@ -650,6 +679,10 @@ func (e *Engine) Stats() Stats {
 		Cost:          e.cfg.CostModel.Compare(counters, macs, rows),
 		BatchRows:     batch,
 		NoiseStreams:  strings.Join(streams, ","),
+		GenSteps:      s.genSteps.Load(),
+		GenTokens:     s.genTokens.Load(),
+		GenTime:       time.Duration(s.genNanos.Load()),
+		GenReads:      s.genReads.Load(),
 		Mallocs:       s.mallocs.Load(),
 	}
 }
@@ -684,6 +717,25 @@ func (s Stats) RowsPerSecond() float64 {
 	return float64(s.AnalogRows) / s.EvalTime.Seconds()
 }
 
+// GenTokensPerSecond is the aggregate generation throughput: decoded tokens
+// per second of cumulative decode-step wall-clock (0 before any generation).
+func (s Stats) GenTokensPerSecond() float64 {
+	if s.GenTime <= 0 {
+		return 0
+	}
+	return float64(s.GenTokens) / s.GenTime.Seconds()
+}
+
+// GenMeanBatch is the mean decode-batch occupancy across recorded decode
+// steps — the continuous-batching figure of merit (1.0 means the scheduler
+// never overlapped requests; 0 before any generation).
+func (s Stats) GenMeanBatch() float64 {
+	if s.GenSteps <= 0 {
+		return 0
+	}
+	return float64(s.GenTokens) / float64(s.GenSteps)
+}
+
 // AllocsPerSequence is the average heap allocations per evaluated sequence
 // (0 before any eval). See Stats.Mallocs for measurement caveats.
 func (s Stats) AllocsPerSequence() float64 {
@@ -699,6 +751,11 @@ func (s Stats) String() string {
 	if streams == "" {
 		streams = "none"
 	}
+	gen := ""
+	if s.GenSteps > 0 {
+		gen = fmt.Sprintf(" | gen: steps=%d tokens=%d (%.0f tok/s) mean-batch=%.2f reads=%d",
+			s.GenSteps, s.GenTokens, s.GenTokensPerSecond(), s.GenMeanBatch(), s.GenReads)
+	}
 	return fmt.Sprintf(
 		"engine: deploys=%d hits=%d evictions=%d deploy-time=%s | "+
 			"evals=%d eval-hits=%d eval-time=%s | seqs=%d skipped=%d tokens=%d (%.0f tok/s) | "+
@@ -713,5 +770,5 @@ func (s Stats) String() string {
 		s.Mallocs, s.AllocsPerSequence(),
 		s.Cost.Analog.EnergyPJ/1e6, s.Cost.Analog.LatencyNS/1e6,
 		s.Cost.Digital.EnergyPJ/1e6, s.Cost.Digital.LatencyNS/1e6,
-		s.Cost.EnergySaving, s.Counters.BMRetries)
+		s.Cost.EnergySaving, s.Counters.BMRetries) + gen
 }

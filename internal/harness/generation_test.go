@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+)
+
+func TestGenerationThroughputStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trained fixture")
+	}
+	w := tinyWorkload(t)
+	cfg := analog.PaperPreset()
+	cfg.TileRows, cfg.TileCols = 64, 64
+	spec := GenSpec{
+		Mode:          core.DeployAnalogNaive,
+		Config:        cfg,
+		Concurrencies: []int{1, 2, 4},
+		Sequences:     8,
+		TokensPerSeq:  5,
+	}
+	rows, err := GenerationThroughput(testEng, []*Workload{w}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(spec.Concurrencies) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(spec.Concurrencies))
+	}
+	for i, r := range rows {
+		if r.Model != w.Spec.Key || r.Mode != core.DeployAnalogNaive.String() {
+			t.Fatalf("row %d labeled %s/%s", i, r.Model, r.Mode)
+		}
+		if r.Concurrency != spec.Concurrencies[i] {
+			t.Fatalf("row %d concurrency %d, want %d", i, r.Concurrency, spec.Concurrencies[i])
+		}
+		if r.Sequences != spec.Sequences {
+			t.Fatalf("row %d completed %d sequences, want %d", i, r.Sequences, spec.Sequences)
+		}
+		wantTokens := int64(spec.Sequences * spec.TokensPerSeq)
+		if r.Tokens != wantTokens {
+			t.Fatalf("row %d emitted %d tokens, want %d", i, r.Tokens, wantTokens)
+		}
+		if r.Steps <= 0 || r.TokensPerSec <= 0 || r.ReadsPerTok <= 0 {
+			t.Fatalf("row %d has degenerate metrics: %+v", i, r)
+		}
+		if r.MeanBatch < 1 || r.MeanBatch > float64(r.Concurrency) {
+			t.Fatalf("row %d mean batch %.2f outside [1, %d]", i, r.MeanBatch, r.Concurrency)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("row %d speedup %.2f", i, r.Speedup)
+		}
+	}
+	// Occupancy must actually rise with concurrency; speedup magnitude is a
+	// benchmark question, not a unit-test one.
+	if rows[2].MeanBatch <= rows[0].MeanBatch {
+		t.Fatalf("mean batch did not grow: c=1 %.2f vs c=4 %.2f",
+			rows[0].MeanBatch, rows[2].MeanBatch)
+	}
+	if rows[0].Speedup != 1 {
+		t.Fatalf("baseline row speedup %.3f, want 1", rows[0].Speedup)
+	}
+
+	var sb strings.Builder
+	if err := GenerationTable(rows).WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"E22", "mean-batch", "tok/s", w.Spec.Key} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Per-sequence noise scoping means study results are independent of the
+// concurrency a sequence happened to run at: reads per token are identical
+// across cells (same operators, same tokens — only the batching differs).
+func TestGenerationThroughputReadsStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trained fixture")
+	}
+	w := tinyWorkload(t)
+	cfg := analog.PaperPreset()
+	cfg.TileRows, cfg.TileCols = 64, 64
+	spec := GenSpec{
+		Mode:          core.DeployAnalogNaive,
+		Config:        cfg,
+		Concurrencies: []int{1, 4},
+		Sequences:     4,
+		TokensPerSeq:  4,
+	}
+	rows, err := GenerationThroughput(testEng, []*Workload{w}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].ReadsPerTok != rows[1].ReadsPerTok {
+		t.Fatalf("reads/token differ across concurrency: %.3f vs %.3f",
+			rows[0].ReadsPerTok, rows[1].ReadsPerTok)
+	}
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"fmt"
+
+	"nora/internal/tensor"
+)
+
+// BatchGenerator decodes many sequences at once over one runner: the
+// current token of every in-flight sequence is stacked into a single N×d
+// matrix per step and driven through the batched operators, so N requests
+// share one blocked analog MAC per linear instead of issuing N single-row
+// reads. Each sequence owns a pooled KV-cache slot and (on noisy runners) a
+// noise-scoped operator view, so row i of every step is bit-identical to
+// sequentially decoding that sequence alone with Generator.Append — batch
+// composition, admission order, and retirement order never change any
+// request's tokens. That is the contract a continuous-batching scheduler
+// needs to admit and retire sequences at step boundaries freely.
+//
+// A BatchGenerator is not safe for concurrent use; the serving scheduler
+// drives it from a single goroutine.
+type BatchGenerator struct {
+	r      *Runner
+	slots  []*decodeState // pooled per-slot KV caches, allocated once
+	inUse  []bool
+	free   int
+	sc     decodeScratch
+	states []*decodeState // step assembly buffer
+}
+
+// NewBatchGenerator returns a generator with maxSlots pooled sequence
+// slots over the runner's model and operators. Slot KV caches (maxSlots ×
+// layers × MaxSeq×KVDim) are allocated once here and reused across
+// admissions — steady-state serving does no per-request cache allocation.
+func NewBatchGenerator(r *Runner, maxSlots int) *BatchGenerator {
+	if maxSlots <= 0 {
+		panic("nn: NewBatchGenerator: non-positive slot count")
+	}
+	bg := &BatchGenerator{r: r, free: maxSlots}
+	for i := 0; i < maxSlots; i++ {
+		bg.slots = append(bg.slots, newDecodeState(r))
+	}
+	bg.inUse = make([]bool, maxSlots)
+	return bg
+}
+
+// Slots returns the total slot count.
+func (bg *BatchGenerator) Slots() int { return len(bg.slots) }
+
+// Free returns the number of currently unclaimed slots.
+func (bg *BatchGenerator) Free() int { return bg.free }
+
+// MaxSeq returns the model's KV-cache capacity in tokens.
+func (bg *BatchGenerator) MaxSeq() int { return bg.r.model.Cfg.MaxSeq }
+
+// Pos returns the number of tokens slot has consumed.
+func (bg *BatchGenerator) Pos(slot int) int { return bg.slots[slot].pos }
+
+// Admit claims a free slot, prefills the prompt through it in one batched
+// T×d pass, and returns the slot id plus the logits after the last prompt
+// token (valid until the next call). scope labels the sequence's noise
+// streams: on a noisy runner every stochastic operator reads this sequence
+// under a stream that is a pure function of (operator seed, scope), which
+// is what keeps its decode independent of batch composition. An empty
+// scope shares the runner's own streams — fine for digital runners, but it
+// forfeits per-request determinism on analog ones. On error no slot is
+// consumed.
+func (bg *BatchGenerator) Admit(tokens []int, scope string) (int, []float32, error) {
+	slot := -1
+	for i, used := range bg.inUse {
+		if !used {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return -1, nil, ErrNoFreeSlot
+	}
+	st := bg.slots[slot]
+	st.pos = 0
+	if scope != "" && bg.r.hasScopedOps() {
+		st.runner = bg.r.WithNoiseScope(scope)
+	} else {
+		st.runner = bg.r
+	}
+	logits, err := prefillInto(st, tokens, &bg.sc)
+	if err != nil {
+		return -1, nil, err
+	}
+	bg.inUse[slot] = true
+	bg.free--
+	return slot, logits, nil
+}
+
+// Release returns a slot to the pool. Its KV cache storage is retained for
+// the next admission; releasing an inactive slot is a no-op.
+func (bg *BatchGenerator) Release(slot int) {
+	if slot < 0 || slot >= len(bg.slots) || !bg.inUse[slot] {
+		return
+	}
+	bg.inUse[slot] = false
+	bg.slots[slot].pos = 0
+	bg.slots[slot].runner = bg.r // drop the scoped view so it can be collected
+	bg.free++
+}
+
+// Step appends tokens[i] to the sequence in slot ids[i] — one batched
+// decode step over all of them — and returns the stacked next-token logits
+// (len(ids) × vocab, rows in ids order, valid until the next call). Any
+// subset of active slots may be stepped, in any order; a sequence's results
+// depend only on its own tokens. Errors (inactive slot, full cache,
+// out-of-range token) are reported before any state changes.
+func (bg *BatchGenerator) Step(ids, tokens []int) (*tensor.Matrix, error) {
+	if len(ids) == 0 || len(ids) != len(tokens) {
+		return nil, fmt.Errorf("nn: decode: %d slots, %d tokens", len(ids), len(tokens))
+	}
+	states := bg.states[:0]
+	for _, id := range ids {
+		if id < 0 || id >= len(bg.slots) || !bg.inUse[id] {
+			return nil, fmt.Errorf("nn: decode: slot %d not active", id)
+		}
+		states = append(states, bg.slots[id])
+	}
+	bg.states = states
+	return decodeStepInto(bg.r, states, tokens, &bg.sc)
+}

@@ -1,0 +1,414 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nora/internal/tensor"
+)
+
+// Shared machinery of incremental decoding. Generator (one sequence) and
+// BatchGenerator (N in-flight sequences, continuous batching) both drive
+// decodeStepInto: the current token of every sequence is stacked into one
+// N×d matrix, the whole step — QKV projections, cached attention, MLP, LM
+// head — runs through the batched operators, and stochastic operators read
+// row i under sequence i's own noise scope (RowScopedBatchOp). Each row is
+// therefore bit-identical to appending that token on that sequence alone,
+// no matter which other sequences share the batch — the property the
+// serving layer's continuous-batching scheduler depends on.
+
+// Sentinel errors of the checked decode API. The serving path maps these to
+// 4xx responses instead of letting a bad request crash the process.
+var (
+	// ErrCacheFull reports a sequence that has consumed MaxSeq tokens.
+	ErrCacheFull = errors.New("nn: decode: KV cache full (MaxSeq reached)")
+	// ErrEmptyPrompt reports a prefill with no tokens.
+	ErrEmptyPrompt = errors.New("nn: decode: empty prompt")
+	// ErrNoFreeSlot reports a BatchGenerator with every sequence slot taken.
+	ErrNoFreeSlot = errors.New("nn: decode: no free sequence slot")
+)
+
+// TokenRangeError reports a token id outside [0, Vocab).
+type TokenRangeError struct {
+	Token int
+	Vocab int
+}
+
+func (e *TokenRangeError) Error() string {
+	return fmt.Sprintf("nn: decode: token %d out of range [0, %d)", e.Token, e.Vocab)
+}
+
+// decodeState is the per-sequence state of incremental decoding: position,
+// per-layer KV caches, and the (possibly noise-scoped) runner view whose
+// operator streams this sequence draws from.
+type decodeState struct {
+	runner *Runner
+	pos    int
+	kCache []*tensor.Matrix // per layer: MaxSeq × KVDim, rows [0, pos) valid
+	vCache []*tensor.Matrix
+}
+
+func newDecodeState(r *Runner) *decodeState {
+	m := r.model
+	st := &decodeState{runner: r}
+	for range m.Blocks {
+		st.kCache = append(st.kCache, tensor.New(m.Cfg.MaxSeq, m.Cfg.KVDim()))
+		st.vCache = append(st.vCache, tensor.New(m.Cfg.MaxSeq, m.Cfg.KVDim()))
+	}
+	return st
+}
+
+// decodeScratch pools every intermediate buffer of a decode step or batched
+// prefill, including the matrix headers, so steady-state decoding allocates
+// nothing. All buffers are fully overwritten before being read (Into
+// kernels, norm helpers, attendCachedRow), so reuse cannot perturb results
+// — the same discipline as inferScratch.
+type decodeScratch struct {
+	x, h, q, k, v, attn, o, ff1, ff2 []float32
+	logits                           []float32
+	scores                           []float32
+	pos                              []int
+	views                            []LinearOp
+
+	xM, hM, qM, kM, vM, attnM, oM, ff1M, ff2M, logitsM tensor.Matrix
+	rowIn, rowOut                                      tensor.Matrix
+
+	states1 [1]*decodeState
+	tok1    [1]int
+}
+
+// mat re-points one of the scratch's matrix headers at a rows×cols buffer
+// grown in place. The header lives inside the scratch, so taking its
+// address never escapes to the heap.
+func (sc *decodeScratch) mat(m *tensor.Matrix, buf *[]float32, rows, cols int) *tensor.Matrix {
+	m.Rows, m.Cols = rows, cols
+	m.Data = growF(buf, rows*cols)
+	return m
+}
+
+// rowView re-points a pooled header at row i of m (zero-copy 1×cols view).
+func rowView(h *tensor.Matrix, m *tensor.Matrix, i int) *tensor.Matrix {
+	h.Rows, h.Cols, h.Data = 1, m.Cols, m.Row(i)
+	return h
+}
+
+// decodeStepInto advances every state by one token: tokens[i] is appended
+// to states[i], and row i of the returned logits matrix (len(states) ×
+// vocab, valid until the scratch's next use) is that sequence's next-token
+// distribution. Nothing is mutated when an error is returned.
+func decodeStepInto(base *Runner, states []*decodeState, tokens []int, sc *decodeScratch) (*tensor.Matrix, error) {
+	m := base.model
+	n := len(states)
+	if n == 0 || n != len(tokens) {
+		return nil, fmt.Errorf("nn: decode: %d states, %d tokens", n, len(tokens))
+	}
+	for i, st := range states {
+		if st.pos >= m.Cfg.MaxSeq {
+			return nil, ErrCacheFull
+		}
+		if tokens[i] < 0 || tokens[i] >= m.Cfg.Vocab {
+			return nil, &TokenRangeError{Token: tokens[i], Vocab: m.Cfg.Vocab}
+		}
+	}
+	d := m.Cfg.DModel
+	x := sc.mat(&sc.xM, &sc.x, n, d)
+	for i, st := range states {
+		copy(x.Row(i), m.TokEmb.Value.Row(tokens[i]))
+		if m.Cfg.Arch == ArchOPT {
+			tensor.Axpy(1, m.PosEmb.Value.Row(st.pos), x.Row(i))
+		}
+	}
+	for l, b := range m.Blocks {
+		decodeBlock(base, states, l, b, x, sc)
+	}
+	h := sc.mat(&sc.hM, &sc.h, n, d)
+	if m.Cfg.Arch == ArchOPT {
+		layerNormInferInto(h, x, m.FinalNormGain.Value.Row(0), m.FinalNormBias.Value.Row(0))
+	} else {
+		rmsNormInferInto(h, x, m.FinalNormGain.Value.Row(0))
+	}
+	logits := sc.mat(&sc.logitsM, &sc.logits, n, m.Cfg.Vocab)
+	tensor.MatMulInto(logits, h, m.LMHead.Value)
+	for _, st := range states {
+		st.pos++
+	}
+	return logits, nil
+}
+
+// decodeBlock runs one transformer block of a decode step over the stacked
+// residual stream x (row i belonging to states[i]), updating it in place.
+func decodeBlock(base *Runner, states []*decodeState, layer int, b *Block, x *tensor.Matrix, sc *decodeScratch) {
+	m := base.model
+	names := base.layerNames[layer]
+	n, d := x.Rows, x.Cols
+
+	h := sc.mat(&sc.hM, &sc.h, n, d)
+	if m.Cfg.Arch == ArchOPT {
+		layerNormInferInto(h, x, b.AttnNormGain.Value.Row(0), b.AttnNormBias.Value.Row(0))
+	} else {
+		rmsNormInferInto(h, x, b.AttnNormGain.Value.Row(0))
+	}
+	q := sc.mat(&sc.qM, &sc.q, n, b.WQ.Value.Cols)
+	k := sc.mat(&sc.kM, &sc.k, n, b.WK.Value.Cols)
+	v := sc.mat(&sc.vM, &sc.v, n, b.WV.Value.Cols)
+	applyRowScoped(base, states, names["attn.q"], h, q, sc)
+	applyRowScoped(base, states, names["attn.k"], h, k, sc)
+	applyRowScoped(base, states, names["attn.v"], h, v, sc)
+	if m.Cfg.Arch == ArchLLaMA {
+		positions := growInt(&sc.pos, n)
+		for i, st := range states {
+			positions[i] = st.pos
+		}
+		ropeInferInPlace(q, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
+		ropeInferInPlace(k, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
+	}
+	attn := sc.mat(&sc.attnM, &sc.attn, n, d)
+	for i, st := range states {
+		copy(st.kCache[layer].Row(st.pos), k.Row(i))
+		copy(st.vCache[layer].Row(st.pos), v.Row(i))
+		attendCachedRow(attn.Row(i), m, st.kCache[layer], st.vCache[layer], q.Row(i), st.pos, &sc.scores)
+	}
+	o := sc.mat(&sc.oM, &sc.o, n, d)
+	applyRowScoped(base, states, names["attn.o"], attn, o, sc)
+	x.AddInPlace(o)
+
+	if m.Cfg.Arch == ArchOPT {
+		layerNormInferInto(h, x, b.MLPNormGain.Value.Row(0), b.MLPNormBias.Value.Row(0))
+		ff := b.W1.Value.Cols
+		f1 := sc.mat(&sc.ff1M, &sc.ff1, n, ff)
+		applyRowScoped(base, states, names["mlp.fc1"], h, f1, sc)
+		f1.ApplyInPlace(func(v float32) float32 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		})
+		applyRowScoped(base, states, names["mlp.fc2"], f1, o, sc)
+	} else {
+		rmsNormInferInto(h, x, b.MLPNormGain.Value.Row(0))
+		ff := b.WGate.Value.Cols
+		gate := sc.mat(&sc.ff1M, &sc.ff1, n, ff)
+		applyRowScoped(base, states, names["mlp.gate"], h, gate, sc)
+		gate.ApplyInPlace(siluScalar)
+		up := sc.mat(&sc.ff2M, &sc.ff2, n, ff)
+		applyRowScoped(base, states, names["mlp.up"], h, up, sc)
+		gate.MulInPlace(up)
+		applyRowScoped(base, states, names["mlp.down"], gate, o, sc)
+	}
+	x.AddInPlace(o)
+}
+
+// applyRowScoped runs the named linear over the stacked batch x (row i
+// belonging to states[i]), writing into out. Operators that support
+// row-scoped batching take the whole mixed-scope batch in one call;
+// deterministic operators batch trivially (they draw nothing); anything
+// else falls back to a per-row loop through each state's own operator view.
+func applyRowScoped(base *Runner, states []*decodeState, name string, x, out *tensor.Matrix, sc *decodeScratch) {
+	if base.PreLinear != nil {
+		base.PreLinear(name, x)
+	}
+	op, ok := states[0].runner.ops[name]
+	if !ok {
+		panic(fmt.Sprintf("nn: no operator for layer %q", name))
+	}
+	if rs, ok := op.(RowScopedBatchOp); ok {
+		views := sc.views[:0]
+		for _, st := range states {
+			views = append(views, st.runner.ops[name])
+		}
+		sc.views = views
+		rs.ForwardIntoRowScoped(out, x, views)
+		return
+	}
+	if _, noisy := op.(NoiseScopedOp); !noisy {
+		if fi, ok := op.(ForwardIntoOp); ok {
+			fi.ForwardInto(out, x)
+			return
+		}
+	}
+	for i, st := range states {
+		in := rowView(&sc.rowIn, x, i)
+		dst := rowView(&sc.rowOut, out, i)
+		rop := st.runner.ops[name]
+		if fi, ok := rop.(ForwardIntoOp); ok {
+			fi.ForwardInto(dst, in)
+			continue
+		}
+		res := rop.Forward(in)
+		if res.Rows != 1 || res.Cols != out.Cols {
+			panic(fmt.Sprintf("nn: %s: result %dx%d, expected 1x%d", name, res.Rows, res.Cols, out.Cols))
+		}
+		copy(dst.Data, res.Data)
+	}
+}
+
+// attendCachedRow computes multi-head attention of the single query row q
+// (length DModel) at position pos against cache rows [max(0, pos-window+1),
+// pos], writing into out (length DModel, fully overwritten). It honors the
+// sliding window and grouped-query head sharing, and is the scalar kernel
+// behind sequential Append, batched decode, and batched prefill alike —
+// each row attends only to its own sequence's cache, so batching cannot
+// change its result.
+func attendCachedRow(out []float32, m *Model, kc, vc *tensor.Matrix, q []float32, pos int, scores *[]float32) {
+	dh := m.Cfg.HeadDim()
+	group := m.Cfg.NHeads / m.Cfg.KVHeads()
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	lo := 0
+	if w := m.Cfg.Window; w > 0 && pos-w+1 > 0 {
+		lo = pos - w + 1
+	}
+	span := pos - lo + 1
+	for c := range out {
+		out[c] = 0
+	}
+	// Size the score buffer to the cache capacity, not the current span —
+	// span grows with every decode step, and growing to it exactly would
+	// reallocate once per token.
+	sc := growF(scores, kc.Rows)[:span]
+	for hIdx := 0; hIdx < m.Cfg.NHeads; hIdx++ {
+		cLo, cHi := hIdx*dh, (hIdx+1)*dh
+		kvLo := (hIdx / group) * dh
+		qh := q[cLo:cHi]
+		// scores over cached positions [lo, pos]
+		mx := float32(math.Inf(-1))
+		for t := 0; t < span; t++ {
+			krow := kc.Row(lo + t)[kvLo : kvLo+dh]
+			var s float32
+			for c, qv := range qh {
+				s += qv * krow[c]
+			}
+			s *= scale
+			sc[t] = s
+			if s > mx {
+				mx = s
+			}
+		}
+		var sum float64
+		for t := range sc {
+			e := float32(math.Exp(float64(sc[t] - mx)))
+			sc[t] = e
+			sum += float64(e)
+		}
+		inv := float32(1 / sum)
+		orow := out[cLo:cHi]
+		for t := 0; t < span; t++ {
+			w := sc[t] * inv
+			vrow := vc.Row(lo + t)[kvLo : kvLo+dh]
+			for c := range orow {
+				orow[c] += w * vrow[c]
+			}
+		}
+	}
+}
+
+// prefillInto consumes the whole prompt through st in one batched pass: the
+// T prompt rows stream through every linear as a T×d matrix (the sequence-
+// batched analog path), attention runs causally against the growing cache,
+// and the returned row (valid until the scratch's next use) holds the
+// logits after the last token. Bit-identical to T sequential single-token
+// steps: each layer operator's noise stream sees the same rows in the same
+// order either way, and every digital kernel is row-independent. Nothing is
+// mutated when an error is returned.
+func prefillInto(st *decodeState, tokens []int, sc *decodeScratch) ([]float32, error) {
+	r := st.runner
+	m := r.model
+	T := len(tokens)
+	if T == 0 {
+		return nil, ErrEmptyPrompt
+	}
+	if st.pos+T > m.Cfg.MaxSeq {
+		return nil, ErrCacheFull
+	}
+	for _, tok := range tokens {
+		if tok < 0 || tok >= m.Cfg.Vocab {
+			return nil, &TokenRangeError{Token: tok, Vocab: m.Cfg.Vocab}
+		}
+	}
+	d := m.Cfg.DModel
+	x := sc.mat(&sc.xM, &sc.x, T, d)
+	positions := growInt(&sc.pos, T)
+	for i, tok := range tokens {
+		positions[i] = st.pos + i
+		copy(x.Row(i), m.TokEmb.Value.Row(tok))
+		if m.Cfg.Arch == ArchOPT {
+			tensor.Axpy(1, m.PosEmb.Value.Row(positions[i]), x.Row(i))
+		}
+	}
+	for l, b := range m.Blocks {
+		prefillBlock(r, st, l, b, x, positions, sc)
+	}
+	// Only the last row's logits are observable — a sequential prefill
+	// computes (and discards) the earlier rows' LM-head products, which
+	// draw nothing, so skipping them cannot change results.
+	last := rowView(&sc.rowIn, x, T-1)
+	h := sc.mat(&sc.hM, &sc.h, 1, d)
+	if m.Cfg.Arch == ArchOPT {
+		layerNormInferInto(h, last, m.FinalNormGain.Value.Row(0), m.FinalNormBias.Value.Row(0))
+	} else {
+		rmsNormInferInto(h, last, m.FinalNormGain.Value.Row(0))
+	}
+	logits := sc.mat(&sc.logitsM, &sc.logits, 1, m.Cfg.Vocab)
+	tensor.MatMulInto(logits, h, m.LMHead.Value)
+	st.pos += T
+	return logits.Row(0), nil
+}
+
+// prefillBlock runs one transformer block over the T stacked prompt rows of
+// a single sequence, filling its KV cache at positions[i].
+func prefillBlock(r *Runner, st *decodeState, layer int, b *Block, x *tensor.Matrix, positions []int, sc *decodeScratch) {
+	m := r.model
+	names := r.layerNames[layer]
+	n, d := x.Rows, x.Cols
+
+	h := sc.mat(&sc.hM, &sc.h, n, d)
+	if m.Cfg.Arch == ArchOPT {
+		layerNormInferInto(h, x, b.AttnNormGain.Value.Row(0), b.AttnNormBias.Value.Row(0))
+	} else {
+		rmsNormInferInto(h, x, b.AttnNormGain.Value.Row(0))
+	}
+	q := sc.mat(&sc.qM, &sc.q, n, b.WQ.Value.Cols)
+	k := sc.mat(&sc.kM, &sc.k, n, b.WK.Value.Cols)
+	v := sc.mat(&sc.vM, &sc.v, n, b.WV.Value.Cols)
+	r.applyInto(names["attn.q"], h, q)
+	r.applyInto(names["attn.k"], h, k)
+	r.applyInto(names["attn.v"], h, v)
+	if m.Cfg.Arch == ArchLLaMA {
+		ropeInferInPlace(q, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
+		ropeInferInPlace(k, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
+	}
+	attn := sc.mat(&sc.attnM, &sc.attn, n, d)
+	for i := 0; i < n; i++ {
+		copy(st.kCache[layer].Row(positions[i]), k.Row(i))
+		copy(st.vCache[layer].Row(positions[i]), v.Row(i))
+		attendCachedRow(attn.Row(i), m, st.kCache[layer], st.vCache[layer], q.Row(i), positions[i], &sc.scores)
+	}
+	o := sc.mat(&sc.oM, &sc.o, n, d)
+	r.applyInto(names["attn.o"], attn, o)
+	x.AddInPlace(o)
+
+	if m.Cfg.Arch == ArchOPT {
+		layerNormInferInto(h, x, b.MLPNormGain.Value.Row(0), b.MLPNormBias.Value.Row(0))
+		ff := b.W1.Value.Cols
+		f1 := sc.mat(&sc.ff1M, &sc.ff1, n, ff)
+		r.applyInto(names["mlp.fc1"], h, f1)
+		f1.ApplyInPlace(func(v float32) float32 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		})
+		r.applyInto(names["mlp.fc2"], f1, o)
+	} else {
+		rmsNormInferInto(h, x, b.MLPNormGain.Value.Row(0))
+		ff := b.WGate.Value.Cols
+		gate := sc.mat(&sc.ff1M, &sc.ff1, n, ff)
+		r.applyInto(names["mlp.gate"], h, gate)
+		gate.ApplyInPlace(siluScalar)
+		up := sc.mat(&sc.ff2M, &sc.ff2, n, ff)
+		r.applyInto(names["mlp.up"], h, up)
+		gate.MulInPlace(up)
+		r.applyInto(names["mlp.down"], gate, o)
+	}
+	x.AddInPlace(o)
+}

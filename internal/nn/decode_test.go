@@ -1,0 +1,233 @@
+package nn
+
+import (
+	"errors"
+	"testing"
+
+	"nora/internal/rng"
+)
+
+// greedySequential decodes a reference continuation with the sequential
+// Generator: prefill then greedy steps, collecting every logits row.
+func greedySequential(r *Runner, prompt []int, n int) ([][]float32, []int) {
+	g := NewGenerator(r)
+	logits := g.Prefill(prompt)
+	rows := [][]float32{append([]float32(nil), logits...)}
+	var toks []int
+	for i := 0; i < n; i++ {
+		next := argmax(logits)
+		toks = append(toks, next)
+		if g.Pos() >= r.Model().Cfg.MaxSeq {
+			break
+		}
+		logits = g.Append(next)
+		rows = append(rows, append([]float32(nil), logits...))
+	}
+	return rows, toks
+}
+
+// The batched continuous decode must be bit-identical per sequence to the
+// sequential Generator, across batch compositions and arrival orders:
+// sequences are admitted staggered, stepped together, and retired at
+// different times, and every logits row must equal the sequential run's
+// row exactly (float bit equality, not tolerance).
+func TestBatchGeneratorMatchesSequential(t *testing.T) {
+	for _, cfg := range []Config{optConfig(), llamaConfig()} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			m, err := NewModel(cfg, rng.New(810))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := NewRunner(m)
+			prompts := [][]int{
+				{5, 1, 29, 8},
+				{2, 2},
+				{7, 0, 3, 3, 11, 24, 9},
+				{30},
+			}
+			const steps = 6
+			want := make([][][]float32, len(prompts))
+			for i, p := range prompts {
+				want[i], _ = greedySequential(r, p, steps)
+			}
+
+			bg := NewBatchGenerator(r, 3)
+			// Staggered schedule: admit 0 and 1, step twice, retire 1 early,
+			// admit 2, finish 0, admit 3 into 0's freed slot. next[i] is the
+			// sequence's pending token, got[i] the logits rows seen so far.
+			slot := make(map[int]int) // seq -> slot
+			next := make(map[int]int) // seq -> pending token
+			emit := make(map[int]int) // seq -> rows checked
+			check := func(seq int, row []float32) {
+				w := want[seq][emit[seq]]
+				for j := range row {
+					if row[j] != w[j] {
+						t.Fatalf("seq %d row %d col %d: batched %v != sequential %v", seq, emit[seq], j, row[j], w[j])
+					}
+				}
+				emit[seq]++
+			}
+			admit := func(seq int) {
+				s, logits, err := bg.Admit(prompts[seq], "")
+				if err != nil {
+					t.Fatalf("admit seq %d: %v", seq, err)
+				}
+				slot[seq] = s
+				check(seq, logits)
+				next[seq] = argmax(logits)
+			}
+			step := func(seqs ...int) {
+				ids := make([]int, len(seqs))
+				toks := make([]int, len(seqs))
+				for i, q := range seqs {
+					ids[i] = slot[q]
+					toks[i] = next[q]
+				}
+				logits, err := bg.Step(ids, toks)
+				if err != nil {
+					t.Fatalf("step %v: %v", seqs, err)
+				}
+				for i, q := range seqs {
+					check(q, logits.Row(i))
+					next[q] = argmax(logits.Row(i))
+				}
+			}
+
+			admit(0)
+			admit(1)
+			step(0, 1)
+			step(1, 0) // arrival order within the batch must not matter
+			bg.Release(slot[1])
+			admit(2)
+			step(2, 0)
+			step(0, 2)
+			step(0, 2)
+			step(0, 2)
+			bg.Release(slot[0])
+			admit(3)
+			step(3, 2)
+			if bg.Free() != 1 {
+				t.Fatalf("free slots = %d, want 1", bg.Free())
+			}
+		})
+	}
+}
+
+func TestBatchGeneratorErrors(t *testing.T) {
+	cfg := optConfig()
+	cfg.MaxSeq = 6
+	m, _ := NewModel(cfg, rng.New(811))
+	bg := NewBatchGenerator(NewRunner(m), 2)
+
+	if _, _, err := bg.Admit(nil, ""); !errors.Is(err, ErrEmptyPrompt) {
+		t.Fatalf("empty prompt: %v", err)
+	}
+	if _, _, err := bg.Admit([]int{1, 2, 3, 4, 5, 6, 7}, ""); !errors.Is(err, ErrCacheFull) {
+		t.Fatalf("over-long prompt: %v", err)
+	}
+	var tre *TokenRangeError
+	if _, _, err := bg.Admit([]int{1, 999}, ""); !errors.As(err, &tre) {
+		t.Fatalf("bad token: %v", err)
+	}
+	if bg.Free() != 2 {
+		t.Fatalf("failed admits must not consume slots, free = %d", bg.Free())
+	}
+
+	s0, _, err := bg.Admit([]int{1, 2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _, err := bg.Admit([]int{3}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bg.Admit([]int{4}, ""); !errors.Is(err, ErrNoFreeSlot) {
+		t.Fatalf("full generator: %v", err)
+	}
+	if _, err := bg.Step([]int{s0}, []int{999}); err == nil {
+		t.Fatal("out-of-range step token must error")
+	}
+	if _, err := bg.Step([]int{5}, []int{1}); err == nil {
+		t.Fatal("inactive slot must error")
+	}
+	bg.Release(s1)
+	if _, err := bg.Step([]int{s1}, []int{1}); err == nil {
+		t.Fatal("released slot must error")
+	}
+	// Fill slot 0's cache, then the step must report ErrCacheFull.
+	for bg.Pos(s0) < cfg.MaxSeq {
+		if _, err := bg.Step([]int{s0}, []int{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := bg.Step([]int{s0}, []int{1}); !errors.Is(err, ErrCacheFull) {
+		t.Fatalf("full cache: %v", err)
+	}
+}
+
+func TestGeneratorCheckedErrors(t *testing.T) {
+	cfg := optConfig()
+	cfg.MaxSeq = 4
+	m, _ := NewModel(cfg, rng.New(812))
+	g := NewGenerator(NewRunner(m))
+
+	var tre *TokenRangeError
+	if _, err := g.AppendChecked(-1); !errors.As(err, &tre) {
+		t.Fatalf("bad token: %v", err)
+	}
+	if _, err := g.PrefillChecked(nil); !errors.Is(err, ErrEmptyPrompt) {
+		t.Fatalf("empty prompt: %v", err)
+	}
+	if _, err := g.PrefillChecked([]int{1, 2, 3, 4, 5}); !errors.Is(err, ErrCacheFull) {
+		t.Fatalf("over-capacity prompt: %v", err)
+	}
+	if g.Pos() != 0 {
+		t.Fatalf("failed calls must not advance pos, got %d", g.Pos())
+	}
+	if _, err := g.PrefillChecked([]int{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AppendChecked(1); !errors.Is(err, ErrCacheFull) {
+		t.Fatalf("append past MaxSeq: %v", err)
+	}
+}
+
+// The decode step must be allocation-free in steady state (satellite of the
+// continuous-batching PR): pooled activations, pooled logits, pooled
+// matrix headers. Guarded here for the digital path; the analog path's
+// scratch is gated by the existing analog 0-alloc tests.
+func TestDecodeStepAllocs(t *testing.T) {
+	cfg := optConfig()
+	cfg.MaxSeq = 512
+	m, _ := NewModel(cfg, rng.New(813))
+	g := NewGenerator(NewRunner(m))
+	g.Append(1) // warm the scratch
+	allocs := testing.AllocsPerRun(200, func() {
+		if g.Pos() >= cfg.MaxSeq {
+			g.Reset()
+		}
+		g.Append(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("decode step allocates %v times in steady state, want 0", allocs)
+	}
+}
+
+// BenchmarkDecodeStepAllocs is the benchmark face of the alloc gate: run
+// with -benchmem to see steady-state decode allocations (0 allocs/op).
+func BenchmarkDecodeStepAllocs(b *testing.B) {
+	cfg := optConfig()
+	cfg.MaxSeq = 512
+	m, _ := NewModel(cfg, rng.New(814))
+	g := NewGenerator(NewRunner(m))
+	g.Append(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Pos() >= cfg.MaxSeq {
+			g.Reset()
+		}
+		g.Append(2)
+	}
+}

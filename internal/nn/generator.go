@@ -1,180 +1,97 @@
 package nn
 
 import (
-	"fmt"
 	"math"
 
 	"nora/internal/rng"
-	"nora/internal/tensor"
 )
 
 // Generator performs incremental (token-at-a-time) decoding with per-layer
 // key/value caches, so autoregressive generation costs O(n) attention per
 // step instead of re-running the full sequence. It drives the same
 // pluggable linear operators as Runner — generation runs on analog tiles
-// when the Runner is an analog deployment.
+// when the Runner is an analog deployment. It is the single-sequence front
+// of the shared decode machinery (decode.go); BatchGenerator drives the
+// same step over many sequences at once, bit-identically per sequence.
 type Generator struct {
-	r   *Runner
-	pos int
-
-	kCache []*tensor.Matrix // per layer: MaxSeq × d, rows [0, pos) valid
-	vCache []*tensor.Matrix
+	r  *Runner
+	st *decodeState
+	sc decodeScratch
 }
 
 // NewGenerator returns an empty-generation state over the runner's model
 // and operators.
 func NewGenerator(r *Runner) *Generator {
-	m := r.model
-	g := &Generator{r: r}
-	for range m.Blocks {
-		g.kCache = append(g.kCache, tensor.New(m.Cfg.MaxSeq, m.Cfg.KVDim()))
-		g.vCache = append(g.vCache, tensor.New(m.Cfg.MaxSeq, m.Cfg.KVDim()))
-	}
-	return g
+	return &Generator{r: r, st: newDecodeState(r)}
 }
 
 // Pos returns the number of tokens consumed so far.
-func (g *Generator) Pos() int { return g.pos }
+func (g *Generator) Pos() int { return g.st.pos }
 
 // Reset clears the cache for a new sequence.
 func (g *Generator) Reset() {
-	g.pos = 0
+	g.st.pos = 0
+}
+
+// AppendChecked consumes one token and returns the next-token logits row
+// (length vocab, valid until the next call on this generator). It returns
+// ErrCacheFull once MaxSeq tokens have been consumed and *TokenRangeError
+// for out-of-vocabulary ids — the serving path maps both to 4xx responses
+// instead of crashing the process. State is unchanged on error.
+func (g *Generator) AppendChecked(token int) ([]float32, error) {
+	g.sc.states1[0] = g.st
+	g.sc.tok1[0] = token
+	logits, err := decodeStepInto(g.r, g.sc.states1[:], g.sc.tok1[:], &g.sc)
+	if err != nil {
+		return nil, err
+	}
+	return logits.Row(0), nil
 }
 
 // Append consumes one token and returns the next-token logits row
-// (length vocab). It panics when the cache is full (MaxSeq tokens).
+// (length vocab). It panics when the cache is full (MaxSeq tokens) or the
+// token is out of range; AppendChecked is the error-returning variant.
 func (g *Generator) Append(token int) []float32 {
-	m := g.r.model
-	if g.pos >= m.Cfg.MaxSeq {
-		panic(fmt.Sprintf("nn: Generator: sequence exceeds MaxSeq %d", m.Cfg.MaxSeq))
+	logits, err := g.AppendChecked(token)
+	if err != nil {
+		panic(err.Error())
 	}
-	if token < 0 || token >= m.Cfg.Vocab {
-		panic(fmt.Sprintf("nn: Generator: token %d out of range", token))
-	}
-	x := tensor.New(1, m.Cfg.DModel)
-	copy(x.Row(0), m.TokEmb.Value.Row(token))
-	if m.Cfg.Arch == ArchOPT {
-		tensor.Axpy(1, m.PosEmb.Value.Row(g.pos), x.Row(0))
-	}
-	for l, b := range m.Blocks {
-		x = g.stepBlock(l, b, x)
-	}
-	var h *tensor.Matrix
-	if m.Cfg.Arch == ArchOPT {
-		h = layerNormInfer(x, m.FinalNormGain.Value.Row(0), m.FinalNormBias.Value.Row(0))
-	} else {
-		h = rmsNormInfer(x, m.FinalNormGain.Value.Row(0))
-	}
-	logits := tensor.MatMul(h, m.LMHead.Value)
-	g.pos++
-	return logits.Row(0)
+	return logits
 }
 
-func (g *Generator) stepBlock(layer int, b *Block, x *tensor.Matrix) *tensor.Matrix {
+// PrefillChecked consumes the prompt and returns the logits after its last
+// token (valid until the next call on this generator). Capacity and token
+// range are validated up front, so a rejected prompt leaves the state
+// untouched.
+func (g *Generator) PrefillChecked(tokens []int) ([]float32, error) {
 	m := g.r.model
-	p := func(s string) string { return fmt.Sprintf("layer%d.%s", layer, s) }
-
-	var h *tensor.Matrix
-	if m.Cfg.Arch == ArchOPT {
-		h = layerNormInfer(x, b.AttnNormGain.Value.Row(0), b.AttnNormBias.Value.Row(0))
-	} else {
-		h = rmsNormInfer(x, b.AttnNormGain.Value.Row(0))
-	}
-	q := g.r.apply(p("attn.q"), h)
-	k := g.r.apply(p("attn.k"), h)
-	v := g.r.apply(p("attn.v"), h)
-	if m.Cfg.Arch == ArchLLaMA {
-		pos := []int{g.pos}
-		ropeInferInPlace(q, m.Cfg.HeadDim(), pos, m.Cfg.RoPEBase)
-		ropeInferInPlace(k, m.Cfg.HeadDim(), pos, m.Cfg.RoPEBase)
-	}
-	copy(g.kCache[layer].Row(g.pos), k.Row(0))
-	copy(g.vCache[layer].Row(g.pos), v.Row(0))
-
-	attn := g.attendCached(layer, q)
-	x = tensor.Add(x, g.r.apply(p("attn.o"), attn))
-
-	if m.Cfg.Arch == ArchOPT {
-		h = layerNormInfer(x, b.MLPNormGain.Value.Row(0), b.MLPNormBias.Value.Row(0))
-		h = g.r.apply(p("mlp.fc1"), h)
-		h.ApplyInPlace(func(v float32) float32 {
-			if v > 0 {
-				return v
-			}
-			return 0
-		})
-		h = g.r.apply(p("mlp.fc2"), h)
-	} else {
-		h = rmsNormInfer(x, b.MLPNormGain.Value.Row(0))
-		gate := g.r.apply(p("mlp.gate"), h)
-		gate.ApplyInPlace(siluScalar)
-		up := g.r.apply(p("mlp.up"), h)
-		h = g.r.apply(p("mlp.down"), tensor.Mul(gate, up))
-	}
-	return tensor.Add(x, h)
-}
-
-// attendCached computes multi-head attention of the single query row q
-// against the cached keys/values of layer, honoring the sliding window and
-// grouped-query head sharing.
-func (g *Generator) attendCached(layer int, q *tensor.Matrix) *tensor.Matrix {
-	m := g.r.model
-	dh := m.Cfg.HeadDim()
-	group := m.Cfg.NHeads / m.Cfg.KVHeads()
-	scale := float32(1 / math.Sqrt(float64(dh)))
-	lo := 0
-	if w := m.Cfg.Window; w > 0 && g.pos-w+1 > 0 {
-		lo = g.pos - w + 1
-	}
-	span := g.pos - lo + 1
-	out := tensor.New(1, m.Cfg.DModel)
-	kc, vc := g.kCache[layer], g.vCache[layer]
-	scores := make([]float32, span)
-	for hIdx := 0; hIdx < m.Cfg.NHeads; hIdx++ {
-		cLo, cHi := hIdx*dh, (hIdx+1)*dh
-		kvLo := (hIdx / group) * dh
-		qh := q.Row(0)[cLo:cHi]
-		// scores over cached positions [lo, pos]
-		mx := float32(math.Inf(-1))
-		for t := 0; t < span; t++ {
-			krow := kc.Row(lo + t)[kvLo : kvLo+dh]
-			var s float32
-			for c, qv := range qh {
-				s += qv * krow[c]
-			}
-			s *= scale
-			scores[t] = s
-			if s > mx {
-				mx = s
-			}
-		}
-		var sum float64
-		for t := range scores {
-			e := float32(math.Exp(float64(scores[t] - mx)))
-			scores[t] = e
-			sum += float64(e)
-		}
-		inv := float32(1 / sum)
-		orow := out.Row(0)[cLo:cHi]
-		for t := 0; t < span; t++ {
-			w := scores[t] * inv
-			vrow := vc.Row(lo + t)[kvLo : kvLo+dh]
-			for c := range orow {
-				orow[c] += w * vrow[c]
-			}
-		}
-	}
-	return out
-}
-
-// Prefill consumes the prompt and returns the logits after its last token.
-func (g *Generator) Prefill(tokens []int) []float32 {
 	if len(tokens) == 0 {
-		panic("nn: Generator.Prefill on empty prompt")
+		return nil, ErrEmptyPrompt
+	}
+	if g.st.pos+len(tokens) > m.Cfg.MaxSeq {
+		return nil, ErrCacheFull
+	}
+	for _, tok := range tokens {
+		if tok < 0 || tok >= m.Cfg.Vocab {
+			return nil, &TokenRangeError{Token: tok, Vocab: m.Cfg.Vocab}
+		}
 	}
 	var logits []float32
 	for _, tok := range tokens {
-		logits = g.Append(tok)
+		var err error
+		if logits, err = g.AppendChecked(tok); err != nil {
+			return nil, err
+		}
+	}
+	return logits, nil
+}
+
+// Prefill consumes the prompt and returns the logits after its last token.
+// It panics on invalid input; PrefillChecked is the error-returning variant.
+func (g *Generator) Prefill(tokens []int) []float32 {
+	logits, err := g.PrefillChecked(tokens)
+	if err != nil {
+		panic(err.Error())
 	}
 	return logits
 }
@@ -187,7 +104,7 @@ func (g *Generator) Greedy(prompt []int, n int) []int {
 	for i := 0; i < n; i++ {
 		next := argmax(logits)
 		out = append(out, next)
-		if g.pos >= g.r.model.Cfg.MaxSeq {
+		if g.st.pos >= g.r.model.Cfg.MaxSeq {
 			break
 		}
 		logits = g.Append(next)
@@ -214,12 +131,21 @@ func (g *Generator) Sample(prompt []int, n int, temperature float64, topK int, r
 	for i := 0; i < n; i++ {
 		next := sampleToken(logits, temperature, topK, r)
 		out = append(out, next)
-		if g.pos >= g.r.model.Cfg.MaxSeq {
+		if g.st.pos >= g.r.model.Cfg.MaxSeq {
 			break
 		}
 		logits = g.Append(next)
 	}
 	return out
+}
+
+// SampleToken draws one token id from temperature-scaled, top-k-filtered
+// logits: temperature ≤ 0 or topK == 1 select the argmax, topK ≤ 0 keeps
+// the full vocabulary. r drives the categorical draw; the serving layer
+// gives every request its own seed-derived stream so sampled continuations
+// are reproducible.
+func SampleToken(logits []float32, temperature float64, topK int, r *rng.Rand) int {
+	return sampleToken(logits, temperature, topK, r)
 }
 
 // sampleToken draws one token id from temperature-scaled, top-k-filtered

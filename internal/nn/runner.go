@@ -128,6 +128,20 @@ type NoiseScopedOp interface {
 	WithNoiseScope(label string) LinearOp
 }
 
+// RowScopedBatchOp is a ForwardIntoOp that can read each row of a batch
+// under a different noise scope: row i draws from scopes[i]'s stream (a
+// WithNoiseScope view of the same operator) exactly as a single-row
+// ForwardInto on that view would, while the deterministic work — input
+// conversion and the blocked MAC on an analog tile grid — is shared across
+// the whole batch. This is the primitive continuous-batching decode rides:
+// N in-flight requests' current tokens form one N×d read whose per-request
+// noise remains a pure function of (deployment, request), independent of
+// which other requests happen to share the batch.
+type RowScopedBatchOp interface {
+	ForwardIntoOp
+	ForwardIntoRowScoped(out, x *tensor.Matrix, scopes []LinearOp)
+}
+
 // WithNoiseScope returns a view of the runner in which every NoiseScopedOp
 // is replaced by its scoped view; deterministic operators are shared. The
 // view shares the underlying model and any programmed hardware state.
@@ -485,12 +499,6 @@ func (r *Runner) evalCtx(ctx context.Context, sequences [][]int, workers int) (E
 
 // --- digital inference kernels (mirror the autograd forward exactly) ---
 
-func layerNormInfer(x *tensor.Matrix, gain, bias []float32) *tensor.Matrix {
-	out := tensor.New(x.Rows, x.Cols)
-	layerNormInferInto(out, x, gain, bias)
-	return out
-}
-
 func layerNormInferInto(out, x *tensor.Matrix, gain, bias []float32) {
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
@@ -511,12 +519,6 @@ func layerNormInferInto(out, x *tensor.Matrix, gain, bias []float32) {
 			o[j] = (v-float32(mean))*is*gain[j] + bias[j]
 		}
 	}
-}
-
-func rmsNormInfer(x *tensor.Matrix, gain []float32) *tensor.Matrix {
-	out := tensor.New(x.Rows, x.Cols)
-	rmsNormInferInto(out, x, gain)
-	return out
 }
 
 func rmsNormInferInto(out, x *tensor.Matrix, gain []float32) {
@@ -594,12 +596,6 @@ func growF(buf *[]float32, n int) []float32 {
 	}
 	*buf = (*buf)[:n]
 	return *buf
-}
-
-func attentionInfer(q, k, v *tensor.Matrix, nHeads, kvHeads int, mask *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(q.Rows, q.Cols)
-	attentionInferInto(out, q, k, v, nHeads, kvHeads, mask)
-	return out
 }
 
 // attentionInferInto writes multi-head attention into out (q.Rows × q.Cols,

@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"time"
+
+	"nora/internal/core"
+	"nora/internal/engine"
+	"nora/internal/harness"
+	"nora/internal/nn"
+	"nora/internal/rng"
+)
+
+// generateRequest is the /v1/generate wire format. Sampling defaults to
+// greedy (temperature 0); seed makes sampled continuations reproducible.
+type generateRequest struct {
+	Model       string  `json:"model"`
+	Mode        string  `json:"mode"`
+	Prompt      []int   `json:"prompt"`
+	MaxTokens   int     `json:"max_tokens"`
+	Temperature float64 `json:"temperature"`
+	TopK        int     `json:"top_k"`
+	Seed        uint64  `json:"seed"`
+	StopTokens  []int   `json:"stop_tokens"`
+	TimeoutMS   int     `json:"timeout_ms"`
+}
+
+// generateEvent is one NDJSON line of the /v1/generate stream: token lines
+// first ({"token":..,"index":..}), then exactly one final line with
+// Done=true summarizing the request. FinishReason is "length" (max_tokens
+// or context window reached), "stop" (a stop_tokens match), "canceled"
+// (client context ended mid-generation), "shutdown" (server closed), or
+// "error" (the decode step failed; Error carries the message).
+type generateEvent struct {
+	Token int  `json:"token"`
+	Index int  `json:"index"`
+	Done  bool `json:"done,omitempty"`
+
+	FinishReason string  `json:"finish_reason,omitempty"`
+	Tokens       int     `json:"tokens,omitempty"`
+	PromptTokens int     `json:"prompt_tokens,omitempty"`
+	TotalMS      float64 `json:"total_ms,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// genJob is one admitted generate request travelling through a scheduler.
+// events is buffered for the full clamped token budget plus the final, so
+// the scheduler can always retire a sequence without blocking — even when
+// the client has stopped reading.
+type genJob struct {
+	ctx         context.Context
+	prompt      []int
+	maxTokens   int // clamped to the remaining KV-cache capacity
+	temperature float64
+	topK        int
+	stop        map[int]bool
+	scope       string
+	sampler     *rng.Rand
+	enqueued    time.Time
+	events      chan generateEvent
+}
+
+// genSeq is a job while it occupies a BatchGenerator slot.
+type genSeq struct {
+	job     *genJob
+	slot    int
+	next    int // sampled but not yet appended token
+	emitted int
+}
+
+// genScheduler owns continuous-batching generation for one (model, mode)
+// deployment: a single goroutine drives a BatchGenerator, admitting queued
+// requests whenever a KV slot is free (at step boundaries, never mid-step),
+// advancing every in-flight sequence one token per decode step, and
+// retiring finished or canceled sequences without flushing the rest of the
+// batch. Each request decodes under its own content-derived noise scope, so
+// its stream is a pure function of (deployment, its own tokens) regardless
+// of what shares the batch.
+type genScheduler struct {
+	srv  *Server
+	wl   *harness.Workload
+	mode core.DeployMode
+
+	queue chan *genJob  // buffered QueueDepth: the admission bound
+	stop  chan struct{} // closed by Server.Close after admission stops
+}
+
+// genSchedulerFor returns (creating and starting on first use) the
+// generation scheduler for one workload and mode.
+func (s *Server) genSchedulerFor(wl *harness.Workload, mode core.DeployMode) (*genScheduler, error) {
+	key := wl.Spec.Key + "/" + mode.String()
+	s.mu.RLock()
+	g, ok := s.genScheds[key]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("server shutting down")
+	}
+	if ok {
+		return g, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server shutting down")
+	}
+	if g, ok := s.genScheds[key]; ok {
+		return g, nil
+	}
+	g = &genScheduler{
+		srv:   s,
+		wl:    wl,
+		mode:  mode,
+		queue: make(chan *genJob, s.cfg.QueueDepth),
+		stop:  make(chan struct{}),
+	}
+	s.genScheds[key] = g
+	s.wg.Add(1)
+	go g.loop()
+	return g, nil
+}
+
+// enqueue admits the job into the bounded queue, reporting false when the
+// queue is full or the server closed (same locking discipline as the
+// predict batcher: the read lock orders admission against Close).
+func (g *genScheduler) enqueue(job *genJob) bool {
+	g.srv.mu.RLock()
+	defer g.srv.mu.RUnlock()
+	if g.srv.closed {
+		return false
+	}
+	select {
+	case g.queue <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// finish emits the job's final event. The events channel is sized so this
+// never blocks.
+func (j *genJob) finish(reason string, errText string) {
+	j.events <- generateEvent{
+		Done:         true,
+		FinishReason: reason,
+		PromptTokens: len(j.prompt),
+		Error:        errText,
+	}
+}
+
+// loop is the scheduler goroutine: deploy once, then run decode steps until
+// the server closes. Admission happens only between steps; on shutdown the
+// queue and the in-flight batch retire with "shutdown" finals (generation
+// is not drained to completion — a decode can be arbitrarily long).
+func (g *genScheduler) loop() {
+	defer g.srv.wg.Done()
+	dep := g.srv.deployment(g.wl, g.mode)
+	bg := nn.NewBatchGenerator(dep.Runner(), g.srv.cfg.MaxDecodeBatch)
+	var active []*genSeq
+	for {
+		if len(active) == 0 {
+			select {
+			case job := <-g.queue:
+				active = g.admit(dep, bg, active, job)
+			case <-g.stop:
+				g.shutdown(active)
+				return
+			}
+			continue
+		}
+		// Slots free and work queued? Admit at the step boundary.
+	fill:
+		for bg.Free() > 0 {
+			select {
+			case job := <-g.queue:
+				active = g.admit(dep, bg, active, job)
+			case <-g.stop:
+				g.shutdown(active)
+				return
+			default:
+				break fill
+			}
+		}
+		active = g.step(dep, bg, active)
+	}
+}
+
+// shutdown retires every in-flight and queued job with a "shutdown" final.
+func (g *genScheduler) shutdown(active []*genSeq) {
+	for _, seq := range active {
+		seq.job.finish("shutdown", "")
+	}
+	for {
+		select {
+		case job := <-g.queue:
+			job.finish("shutdown", "")
+		default:
+			return
+		}
+	}
+}
+
+// admit prefills one request into a free slot and emits its first token.
+// The prefill rides the batched-rows path inside the slot's own noise
+// scope; it is not counted as a decode step (engine gen stats measure
+// decode-batch occupancy), but the server-side prefill counter advances.
+func (g *genScheduler) admit(dep *engine.Deployment, bg *nn.BatchGenerator, active []*genSeq, job *genJob) []*genSeq {
+	if job.ctx.Err() != nil {
+		g.srv.genCanceled.Add(1)
+		job.finish("canceled", "")
+		return active
+	}
+	slot, logits, err := bg.Admit(job.prompt, job.scope)
+	if err != nil {
+		// Validation happens before enqueue, so this is an internal fault.
+		job.finish("error", err.Error())
+		return active
+	}
+	g.srv.genPrefills.Add(1)
+	g.srv.ttftHist.observe(time.Since(job.enqueued), false)
+	seq := &genSeq{job: job, slot: slot}
+	tok := nn.SampleToken(logits, job.temperature, job.topK, job.sampler)
+	return g.emit(bg, active, seq, tok)
+}
+
+// emit delivers one sampled token to the sequence's stream and either keeps
+// the sequence in flight (recording the token as its pending input) or
+// retires it, freeing the KV slot for the next admission.
+func (g *genScheduler) emit(bg *nn.BatchGenerator, active []*genSeq, seq *genSeq, tok int) []*genSeq {
+	seq.job.events <- generateEvent{Token: tok, Index: seq.emitted}
+	seq.emitted++
+	g.srv.genTokens.Add(1)
+	switch {
+	case seq.job.stop[tok]:
+		bg.Release(seq.slot)
+		seq.job.finish("stop", "")
+	case seq.emitted >= seq.job.maxTokens:
+		bg.Release(seq.slot)
+		seq.job.finish("length", "")
+	default:
+		seq.next = tok
+		active = append(active, seq)
+	}
+	return active
+}
+
+// step advances every in-flight sequence one token through a single batched
+// decode pass, then samples and routes each sequence's next token. Canceled
+// sequences are retired before the pass so they cost nothing.
+func (g *genScheduler) step(dep *engine.Deployment, bg *nn.BatchGenerator, active []*genSeq) []*genSeq {
+	live := active[:0]
+	for _, seq := range active {
+		if seq.job.ctx.Err() != nil {
+			bg.Release(seq.slot)
+			g.srv.genCanceled.Add(1)
+			seq.job.finish("canceled", "")
+			continue
+		}
+		live = append(live, seq)
+	}
+	if len(live) == 0 {
+		return live
+	}
+	ids := make([]int, len(live))
+	toks := make([]int, len(live))
+	for i, seq := range live {
+		ids[i] = seq.slot
+		toks[i] = seq.next
+	}
+	reads0 := dep.OpCounters().MVMs
+	start := time.Now()
+	logits, err := bg.Step(ids, toks)
+	elapsed := time.Since(start)
+	if err != nil {
+		for _, seq := range live {
+			bg.Release(seq.slot)
+			seq.job.finish("error", err.Error())
+		}
+		return live[:0]
+	}
+	dep.RecordGenStep(len(live), elapsed, dep.OpCounters().MVMs-reads0)
+	g.srv.stepHist.observe(elapsed, false)
+	for {
+		old := g.srv.genMaxBatch.Load()
+		if int64(len(live)) <= old || g.srv.genMaxBatch.CompareAndSwap(old, int64(len(live))) {
+			break
+		}
+	}
+	// Sample from a snapshot of each row before emitting: emit only appends
+	// to the survivor list, never touches logits.
+	out := live[:0]
+	for i, seq := range live {
+		tok := nn.SampleToken(logits.Row(i), seq.job.temperature, seq.job.topK, seq.job.sampler)
+		out = g.emit(bg, out, seq, tok)
+	}
+	return out
+}
+
+// genScope labels a generate request's stochastic draws by its prompt, so
+// the decode is independent of batch composition and scheduling. Requests
+// sharing a prompt share a scope — and therefore, by design, identical
+// per-position noise (sampling still differs by seed).
+func genScope(tokens []int) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, tok := range tokens {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(tok) >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("serve/gen/%016x", h.Sum64())
+}
+
+// DefaultMaxNewTokens bounds generation when the client omits max_tokens.
+const DefaultMaxNewTokens = 16
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if code, body := s.generate(w, r, start); body != nil {
+		// Pre-stream failure: plain JSON error, histogrammed as an error.
+		s.generateHist.observe(time.Since(start), true)
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, code, body)
+		return
+	}
+	s.generateHist.observe(time.Since(start), false)
+}
+
+// generate validates, admits, and streams one request. A non-nil return
+// body means nothing has been written yet and the handler should reply with
+// that JSON error; a nil body means the NDJSON stream was (fully) written.
+func (s *Server) generate(w http.ResponseWriter, r *http.Request, start time.Time) (int, any) {
+	if r.Method != http.MethodPost {
+		return http.StatusMethodNotAllowed, errorBody{Error: "POST required"}
+	}
+	var req generateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20)).Decode(&req); err != nil {
+		return http.StatusBadRequest, errorBody{Error: "malformed JSON: " + err.Error()}
+	}
+	wl, ok := s.workloads[req.Model]
+	if !ok {
+		return http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown model %q (see /healthz for the loaded set)", req.Model)}
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		return http.StatusBadRequest, errorBody{Error: err.Error()}
+	}
+	if err := validateContext(wl, req.Prompt); err != nil {
+		return http.StatusBadRequest, errorBody{Error: err.Error()}
+	}
+	if req.MaxTokens < 0 {
+		return http.StatusBadRequest, errorBody{Error: fmt.Sprintf("max_tokens = %d must be positive", req.MaxTokens)}
+	}
+	maxTokens := req.MaxTokens
+	if maxTokens == 0 {
+		maxTokens = DefaultMaxNewTokens
+	}
+	// Clamp to the remaining KV-cache capacity: emitting m tokens appends
+	// only m-1 of them, so a full-context prompt can still produce one.
+	if remaining := wl.Model.Cfg.MaxSeq - len(req.Prompt) + 1; maxTokens > remaining {
+		maxTokens = remaining
+	}
+	var stop map[int]bool
+	if len(req.StopTokens) > 0 {
+		stop = make(map[int]bool, len(req.StopTokens))
+		for _, tok := range req.StopTokens {
+			stop[tok] = true
+		}
+	}
+
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	job := &genJob{
+		ctx:         ctx,
+		prompt:      req.Prompt,
+		maxTokens:   maxTokens,
+		temperature: req.Temperature,
+		topK:        req.TopK,
+		stop:        stop,
+		scope:       genScope(req.Prompt),
+		sampler:     rng.New(req.Seed),
+		enqueued:    start,
+		events:      make(chan generateEvent, maxTokens+1),
+	}
+	sched, err := s.genSchedulerFor(wl, mode)
+	if err != nil {
+		return http.StatusServiceUnavailable, errorBody{Error: err.Error()}
+	}
+	if !sched.enqueue(job) {
+		s.genQueueFull.Add(1)
+		return http.StatusTooManyRequests, errorBody{Error: "generation queue full, retry shortly"}
+	}
+	s.genRequests.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	tokens := 0
+	for {
+		select {
+		case ev := <-job.events:
+			if ev.Done {
+				ev.Tokens = tokens
+				ev.TotalMS = float64(time.Since(start)) / 1e6
+				_ = enc.Encode(ev)
+				if flusher != nil {
+					flusher.Flush()
+				}
+				return 0, nil
+			}
+			tokens++
+			if err := enc.Encode(ev); err != nil {
+				// Client hung up mid-stream; the context will cancel and the
+				// scheduler retires the sequence at the next step boundary.
+				return 0, nil
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-ctx.Done():
+			// Canceled while waiting for the next token. The scheduler owns
+			// the slot and will observe the done context; the buffered events
+			// channel guarantees it never blocks on this abandoned job.
+			_ = enc.Encode(generateEvent{
+				Done:         true,
+				FinishReason: "canceled",
+				Tokens:       tokens,
+				PromptTokens: len(req.Prompt),
+				TotalMS:      float64(time.Since(start)) / 1e6,
+			})
+			return 0, nil
+		}
+	}
+}

@@ -6,10 +6,19 @@
 // Endpoints:
 //
 //	POST /v1/predict  — last-word prediction for one context, micro-batched
+//	POST /v1/generate — streaming autoregressive generation (NDJSON token
+//	                    events), continuous-batched across requests
 //	POST /v1/eval     — batch accuracy over a sequence set (engine-memoized)
 //	GET  /healthz     — liveness + preloaded model list
 //	GET  /statz       — engine stats, cache hit rates, fault stats, batcher
-//	                    counters, per-endpoint latency histograms
+//	                    + generation counters, latency histograms
+//
+// Generation (generate.go) uses vLLM-style continuous batching: one
+// scheduler goroutine per (model, mode) drives an nn.BatchGenerator,
+// admitting queued prompts whenever a KV slot frees up — at decode-step
+// boundaries, never mid-step — and retiring finished sequences without
+// flushing the rest of the batch. Every decode step advances all in-flight
+// sequences one token through a single batched pass over the analog tiles.
 //
 // The core is the dynamic micro-batcher (batcher.go): concurrent predict
 // requests that target the same (model, mode, config) deployment coalesce
@@ -64,6 +73,11 @@ type Config struct {
 	// (clients may shorten it per request via "timeout_ms", never extend
 	// it). <= 0 selects DefaultRequestTimeout.
 	RequestTimeout time.Duration
+	// MaxDecodeBatch caps the continuous-batching decode batch: the number
+	// of /v1/generate sequences one scheduler advances per decode step (and
+	// the number of preallocated KV-cache slots per (model, mode)). <= 0
+	// selects DefaultMaxDecodeBatch.
+	MaxDecodeBatch int
 	// Analog is the tile configuration for analog deployments. The zero
 	// value selects analog.PaperPreset().
 	Analog analog.Config
@@ -75,6 +89,7 @@ const (
 	DefaultMaxDelay       = 2 * time.Millisecond
 	DefaultQueueDepth     = 256
 	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxDecodeBatch = 16
 )
 
 func (c Config) withDefaults() Config {
@@ -89,6 +104,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxDecodeBatch <= 0 {
+		c.MaxDecodeBatch = DefaultMaxDecodeBatch
 	}
 	if c.Analog == (analog.Config{}) {
 		c.Analog = analog.PaperPreset()
@@ -108,10 +126,11 @@ type Server struct {
 	// workloads is immutable after New.
 	workloads map[string]*harness.Workload
 
-	mu       sync.RWMutex // guards batchers, deps, closed
-	closed   bool
-	batchers map[string]*batcher
-	deps     map[string]*engine.Deployment
+	mu        sync.RWMutex // guards batchers, genScheds, deps, closed
+	closed    bool
+	batchers  map[string]*batcher
+	genScheds map[string]*genScheduler
+	deps      map[string]*engine.Deployment
 
 	predictHist histogram
 	evalHist    histogram
@@ -120,7 +139,18 @@ type Server struct {
 	maxBatch    atomic.Int64 // largest batch flushed so far
 	queueFull   atomic.Int64 // predicts rejected with 429
 	canceled    atomic.Int64 // predicts dropped on a done context
-	wg          sync.WaitGroup
+
+	generateHist histogram    // whole-request /v1/generate latency
+	ttftHist     histogram    // enqueue → first token, per generate request
+	stepHist     histogram    // batched decode step latency
+	genRequests  atomic.Int64 // generate requests admitted to a scheduler
+	genTokens    atomic.Int64 // tokens streamed out
+	genPrefills  atomic.Int64 // prompts prefilled (≈ sequences started)
+	genQueueFull atomic.Int64 // generates rejected with 429
+	genCanceled  atomic.Int64 // sequences retired on a done context
+	genMaxBatch  atomic.Int64 // largest decode batch stepped so far
+
+	wg sync.WaitGroup
 }
 
 // New assembles a server over eng serving the given preloaded workloads.
@@ -132,12 +162,14 @@ func New(eng *engine.Engine, cfg Config, workloads []*harness.Workload) *Server 
 		start:     time.Now(),
 		workloads: make(map[string]*harness.Workload, len(workloads)),
 		batchers:  make(map[string]*batcher),
+		genScheds: make(map[string]*genScheduler),
 		deps:      make(map[string]*engine.Deployment),
 	}
 	for _, w := range workloads {
 		s.workloads[w.Spec.Key] = w
 	}
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("/v1/eval", s.handleEval)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
@@ -147,10 +179,13 @@ func New(eng *engine.Engine, cfg Config, workloads []*harness.Workload) *Server 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the micro-batchers after draining every admitted request.
-// New requests racing with Close are rejected with 503; requests already
-// queued are processed to completion before Close returns. Call after the
-// HTTP listener has shut down; Close is idempotent.
+// Close stops the micro-batchers after draining every admitted request,
+// and stops the generation schedulers: queued and in-flight generations
+// retire immediately with a "shutdown" final event (a decode can be
+// arbitrarily long, so generation is cut short rather than drained). New
+// requests racing with Close are rejected with 503; predict requests
+// already queued are processed to completion before Close returns. Call
+// after the HTTP listener has shut down; Close is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -162,9 +197,16 @@ func (s *Server) Close() error {
 	for _, b := range s.batchers {
 		batchers = append(batchers, b)
 	}
+	scheds := make([]*genScheduler, 0, len(s.genScheds))
+	for _, g := range s.genScheds {
+		scheds = append(scheds, g)
+	}
 	s.mu.Unlock()
 	for _, b := range batchers {
 		close(b.stop)
+	}
+	for _, g := range scheds {
+		close(g.stop)
 	}
 	s.wg.Wait()
 	return nil
@@ -471,6 +513,31 @@ type BatchStatz struct {
 	QueueDepth    int64   `json:"queue_depth"`
 }
 
+// GenStatz is the continuous-batching generation section of /statz. The
+// engine section holds the matching decode-step aggregates (GenSteps,
+// GenTokens, GenTime, GenReads — per-step analog reads and occupancy).
+type GenStatz struct {
+	Requests  int64 `json:"requests"`
+	Tokens    int64 `json:"tokens"`
+	Prefills  int64 `json:"prefills"`
+	QueueFull int64 `json:"queue_full"`
+	Canceled  int64 `json:"canceled"`
+	// Steps/MeanBatch/TokensPerSecond mirror the engine's decode-step
+	// counters for convenience; MaxBatch is the largest batch stepped.
+	Steps           int64   `json:"steps"`
+	MeanBatch       float64 `json:"mean_batch"`
+	MaxBatch        int64   `json:"max_batch"`
+	TokensPerSecond float64 `json:"tokens_per_second"`
+	AnalogReads     int64   `json:"analog_reads"`
+
+	MaxDecodeBatch int64 `json:"max_decode_batch"`
+
+	// TTFT is the enqueue→first-token latency distribution; Step the
+	// batched decode-step latency distribution.
+	TTFT EndpointStats `json:"ttft"`
+	Step EndpointStats `json:"step"`
+}
+
 // Statz is the /statz JSON document.
 type Statz struct {
 	UptimeS float64      `json:"uptime_s"`
@@ -481,6 +548,7 @@ type Statz struct {
 	DeployCacheHitRate float64           `json:"deploy_cache_hit_rate"`
 	EvalMemoHitRate    float64           `json:"eval_memo_hit_rate"`
 	Batch              BatchStatz        `json:"batch"`
+	Gen                GenStatz          `json:"gen"`
 	Faults             analog.FaultStats `json:"faults"`
 	// Cost is the engine-wide analog-vs-digital estimate (also inside
 	// Engine.Cost); DeploymentCost breaks it down per served deployment,
@@ -515,6 +583,21 @@ func (s *Server) StatzSnapshot() Statz {
 	if batches > 0 {
 		bs.MeanBatch = float64(batched) / float64(batches)
 	}
+	gs := GenStatz{
+		Requests:        s.genRequests.Load(),
+		Tokens:          s.genTokens.Load(),
+		Prefills:        s.genPrefills.Load(),
+		QueueFull:       s.genQueueFull.Load(),
+		Canceled:        s.genCanceled.Load(),
+		Steps:           es.GenSteps,
+		MeanBatch:       es.GenMeanBatch(),
+		MaxBatch:        s.genMaxBatch.Load(),
+		TokensPerSecond: es.GenTokensPerSecond(),
+		AnalogReads:     es.GenReads,
+		MaxDecodeBatch:  int64(s.cfg.MaxDecodeBatch),
+		TTFT:            s.ttftHist.stats(),
+		Step:            s.stepHist.stats(),
+	}
 	var faults analog.FaultStats
 	depCost := make(map[string]analog.CostComparison)
 	s.mu.RLock()
@@ -530,12 +613,14 @@ func (s *Server) StatzSnapshot() Statz {
 		DeployCacheHitRate: ratio(es.DeployHits, es.DeployBuilds),
 		EvalMemoHitRate:    ratio(es.EvalHits, es.Evals),
 		Batch:              bs,
+		Gen:                gs,
 		Faults:             faults,
 		Cost:               es.Cost,
 		DeploymentCost:     depCost,
 		Endpoints: map[string]EndpointStats{
-			"/v1/predict": s.predictHist.stats(),
-			"/v1/eval":    s.evalHist.stats(),
+			"/v1/predict":  s.predictHist.stats(),
+			"/v1/eval":     s.evalHist.stats(),
+			"/v1/generate": s.generateHist.stats(),
 		},
 	}
 }

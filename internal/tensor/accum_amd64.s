@@ -1,0 +1,84 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func accumQuadAsm(dst, r0, r1, r2, r3 *float32, n int, x0, x1, x2, x3 float32)
+//
+// dst[j] += x0·r0[j] + x1·r1[j] + x2·r2[j] + x3·r3[j] for j in [0, n),
+// with the four addends applied to each dst element in that exact order —
+// packed SSE2 single-precision rounds identically to the scalar ops, so
+// the result is bit-identical to the generic Go loop.
+TEXT ·accumQuadAsm(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), AX
+	MOVQ r0+8(FP), BX
+	MOVQ r1+16(FP), CX
+	MOVQ r2+24(FP), DX
+	MOVQ r3+32(FP), SI
+	MOVQ n+40(FP), DI
+
+	// Broadcast the four scalars across the lanes.
+	MOVSS  x0+48(FP), X4
+	SHUFPS $0, X4, X4
+	MOVSS  x1+52(FP), X5
+	SHUFPS $0, X5, X5
+	MOVSS  x2+56(FP), X6
+	SHUFPS $0, X6, X6
+	MOVSS  x3+60(FP), X7
+	SHUFPS $0, X7, X7
+
+	CMPQ DI, $4
+	JL   tail
+
+loop4:
+	MOVUPS (AX), X0
+	MOVUPS (BX), X1
+	MULPS  X4, X1
+	ADDPS  X1, X0
+	MOVUPS (CX), X2
+	MULPS  X5, X2
+	ADDPS  X2, X0
+	MOVUPS (DX), X3
+	MULPS  X6, X3
+	ADDPS  X3, X0
+	MOVUPS (SI), X1
+	MULPS  X7, X1
+	ADDPS  X1, X0
+	MOVUPS X0, (AX)
+	ADDQ   $16, AX
+	ADDQ   $16, BX
+	ADDQ   $16, CX
+	ADDQ   $16, DX
+	ADDQ   $16, SI
+	SUBQ   $4, DI
+	CMPQ   DI, $4
+	JGE    loop4
+
+tail:
+	TESTQ DI, DI
+	JE    done
+
+tail1:
+	MOVSS (AX), X0
+	MOVSS (BX), X1
+	MULSS X4, X1
+	ADDSS X1, X0
+	MOVSS (CX), X2
+	MULSS X5, X2
+	ADDSS X2, X0
+	MOVSS (DX), X3
+	MULSS X6, X3
+	ADDSS X3, X0
+	MOVSS (SI), X1
+	MULSS X7, X1
+	ADDSS X1, X0
+	MOVSS X0, (AX)
+	ADDQ  $4, AX
+	ADDQ  $4, BX
+	ADDQ  $4, CX
+	ADDQ  $4, DX
+	ADDQ  $4, SI
+	DECQ  DI
+	JNE   tail1
+
+done:
+	RET

@@ -14,7 +14,7 @@ const parallelThreshold = 64 * 1024
 // kPanelBytes bounds the working set of one k-panel (the rows of b a blocked
 // kernel streams repeatedly) so it stays resident in L1/L2 across the output
 // rows that reuse it.
-const kPanelBytes = 16 * 1024
+const kPanelBytes = 32 * 1024
 
 // kPanelFor returns the number of k-rows per panel for row width n, so a
 // panel occupies about kPanelBytes. Panels never shrink below 16 rows: the
@@ -108,10 +108,11 @@ func matMulRange(out, a, b *Matrix, rowLo, rowHi int) {
 
 // accumRows computes dst[j] += Σ_k x[k]·b[k0+k][j] — the shared axpy kernel
 // behind MatMul and VecMul. The k loop is unrolled 4-way with one load/store
-// of dst per group instead of per row; each dst element still receives its
-// addends in strictly increasing k order, so the result is bit-identical to
-// the scalar loop (adding a zero product is exact: the accumulator can never
-// be −0, because it starts at the running +0-rooted sum).
+// of dst per group instead of per row (accumQuad: SSE2 on amd64, scalar
+// elsewhere); each dst element still receives its addends in strictly
+// increasing k order, so the result is bit-identical to the scalar loop
+// (adding a zero product is exact: the accumulator can never be −0, because
+// it starts at the running +0-rooted sum).
 func accumRows(dst, x []float32, b *Matrix, k0 int) {
 	n := b.Cols
 	k := 0
@@ -121,17 +122,12 @@ func accumRows(dst, x []float32, b *Matrix, k0 int) {
 			continue
 		}
 		base := (k0 + k) * n
-		r0 := b.Data[base : base+n][:len(dst)]
-		r1 := b.Data[base+n : base+2*n][:len(dst)]
-		r2 := b.Data[base+2*n : base+3*n][:len(dst)]
-		r3 := b.Data[base+3*n : base+4*n][:len(dst)]
-		for j, d := range dst {
-			d += x0 * r0[j]
-			d += x1 * r1[j]
-			d += x2 * r2[j]
-			d += x3 * r3[j]
-			dst[j] = d
-		}
+		accumQuad(dst,
+			b.Data[base:base+n],
+			b.Data[base+n:base+2*n],
+			b.Data[base+2*n:base+3*n],
+			b.Data[base+3*n:base+4*n],
+			x0, x1, x2, x3)
 	}
 	for ; k < len(x); k++ {
 		xv := x[k]

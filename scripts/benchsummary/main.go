@@ -32,6 +32,8 @@ type summary struct {
 	NsOp     float64  `json:"ns_per_op_median"`
 	BytesOp  *float64 `json:"bytes_per_op_median,omitempty"`
 	AllocsOp *float64 `json:"allocs_per_op_median,omitempty"`
+	// Custom b.ReportMetric units (e.g. "tok/s"), median per unit.
+	Metrics map[string]float64 `json:"metrics_median,omitempty"`
 }
 
 type output struct {
@@ -55,10 +57,11 @@ func main() {
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	flag.Parse()
 
-	res := output{Command: "go test -run '^$' -bench 'MVM|Forward' -count N"}
+	res := output{Command: "go test -run '^$' -bench 'MVM|Forward|Decode' -count N"}
 	ns := map[string][]float64{}
 	bytes := map[string][]float64{}
 	allocs := map[string][]float64{}
+	extra := map[string]map[string][]float64{} // name → unit → values
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -92,6 +95,11 @@ func main() {
 				bytes[name] = append(bytes[name], x)
 			case "allocs/op":
 				allocs[name] = append(allocs[name], x)
+			default:
+				if extra[name] == nil {
+					extra[name] = map[string][]float64{}
+				}
+				extra[name][mm[2]] = append(extra[name][mm[2]], x)
 			}
 		}
 	}
@@ -118,6 +126,12 @@ func main() {
 		if xs := allocs[name]; len(xs) > 0 {
 			v := median(xs)
 			s.AllocsOp = &v
+		}
+		for unit, xs := range extra[name] {
+			if s.Metrics == nil {
+				s.Metrics = map[string]float64{}
+			}
+			s.Metrics[unit] = median(xs)
 		}
 		res.Benchmarks = append(res.Benchmarks, s)
 	}

@@ -56,7 +56,32 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://${ADDR}/v1/predict
     -d '{"model":"nope","context":[1]}')
 [ "${code}" = "404" ] || { echo "serve_smoke: unknown model gave ${code}, want 404" >&2; exit 1; }
 
-curl -sf "http://${ADDR}/statz" | grep -q '"batch"'
+# Streamed generation: a short greedy completion must yield NDJSON token
+# events, a final done event, and non-empty token output.
+gen=$(curl -sfN -X POST "http://${ADDR}/v1/generate" \
+    -d '{"model":"opt-c1","mode":"nora","prompt":[1,2,3],"max_tokens":4}')
+echo "generate:"
+echo "${gen}"
+echo "${gen}" | grep -q '"token":'
+echo "${gen}" | grep -q '"done":true'
+echo "${gen}" | grep -q '"finish_reason":"length"'
+lines=$(echo "${gen}" | grep -c '"token":')
+[ "${lines}" -ge 4 ] || { echo "serve_smoke: generate streamed ${lines} tokens, want 4" >&2; exit 1; }
+
+# Generation determinism: same prompt, same greedy tokens (the final event
+# carries wall-clock total_ms, so compare the token sequences only).
+gen2=$(curl -sfN -X POST "http://${ADDR}/v1/generate" \
+    -d '{"model":"opt-c1","mode":"nora","prompt":[1,2,3],"max_tokens":4}')
+toks1=$(echo "${gen}" | grep -o '"token":[0-9]*' | tr '\n' ' ')
+toks2=$(echo "${gen2}" | grep -o '"token":[0-9]*' | tr '\n' ' ')
+if [ "${toks1}" != "${toks2}" ]; then
+    echo "serve_smoke: nondeterministic generation: ${toks1} vs ${toks2}" >&2
+    exit 1
+fi
+
+statz=$(curl -sf "http://${ADDR}/statz")
+echo "${statz}" | grep -q '"batch"'
+echo "${statz}" | grep -q '"gen"'
 
 # Clean shutdown: SIGINT must drain and exit 0.
 kill -INT "${SERVE_PID}"
