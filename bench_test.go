@@ -8,9 +8,11 @@ package nora
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"nora/internal/analog"
 	"nora/internal/core"
@@ -677,3 +679,233 @@ func BenchmarkDecodeBatch8(b *testing.B) { benchmarkDecode(b, 8) }
 // BenchmarkDecodeBatch16 decodes sixteen sequences per batched step — the
 // occupancy a loaded server converges to with the default decode batch.
 func BenchmarkDecodeBatch16(b *testing.B) { benchmarkDecode(b, 16) }
+
+// ---- E23: chunked prefill under mixed prompt lengths ---------------------
+
+// mixedRunner deploys the long-context variant of the decode bench model
+// (same d=256 geometry, MaxSeq=520 so a 512-token prompt plus a short
+// decode fits) for the prefill and mixed-workload benchmarks.
+var (
+	mixedOnce sync.Once
+	mixedRun  *nn.Runner
+)
+
+func mixedBenchRunner(b *testing.B) *nn.Runner {
+	b.Helper()
+	mixedOnce.Do(func() {
+		mcfg := nn.Config{Arch: nn.ArchOPT, Vocab: 256, DModel: 256, NHeads: 4, NLayers: 2, DFF: 1024, MaxSeq: 520}
+		m, err := nn.NewModel(mcfg, rng.New(1))
+		if err != nil {
+			panic(err)
+		}
+		cfg := analog.PaperPreset()
+		cfg.TileRows, cfg.TileCols = 256, 256
+		cfg.NoiseStream = rng.StreamV2
+		mixedRun = core.Deploy(m, core.DeployAnalogNaive, nil, cfg, 42, core.Options{})
+	})
+	return mixedRun
+}
+
+// benchmarkPrefill feeds a 512-token prompt through Begin+StepSegs in
+// `chunk`-token pieces (chunk=512 is the monolithic single pass) and
+// reports prompt tok/s — the per-token cost of chunking a prefill, i.e.
+// the throughput side of the chunk-size tradeoff.
+func benchmarkPrefill(b *testing.B, chunk int) {
+	bg := nn.NewBatchGeneratorPaged(mixedBenchRunner(b), 1, 0, 0)
+	const promptLen = 512
+	prompt := make([]int, promptLen)
+	for i := range prompt {
+		prompt[i] = (i*7 + 3) % 256
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot, err := bg.Begin("bench/prefill", promptLen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for off := 0; off < promptLen; off += chunk {
+			end := off + chunk
+			if end > promptLen {
+				end = promptLen
+			}
+			if _, err := bg.StepSegs([]nn.StepSeg{{Slot: slot, Tokens: prompt[off:end]}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		bg.Release(slot)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(promptLen)*float64(b.N)/secs, "tok/s")
+	}
+}
+
+// BenchmarkPrefillMonolithic512 prefills 512 tokens in one batched pass.
+func BenchmarkPrefillMonolithic512(b *testing.B) { benchmarkPrefill(b, 512) }
+
+// BenchmarkPrefillChunked64 prefills the same 512 tokens in eight 64-token
+// chunks — the serving default. Its tok/s must stay within a few percent
+// of the monolithic pass (weight streaming is already amortized at 64
+// rows), which is what makes chunked admission nearly free.
+func BenchmarkPrefillChunked64(b *testing.B) { benchmarkPrefill(b, 64) }
+
+// mixSeq is one request of the simulated mixed-length serving workload.
+type mixSeq struct {
+	slot    int
+	pending []int // unfed prompt suffix (chunked scheduler only)
+	next    int
+	emitted int
+	short   bool
+	born    time.Time
+}
+
+// benchmarkDecodeMixed replays the checked-in mixed-length workload —
+// prompt lengths 512/16/16/128/16/16 arriving together, 8 new tokens each
+// — through a scheduler shaped like internal/serve's. chunk <= 0 selects
+// monolithic admission (PR7 behavior: each prompt prefills in one
+// uninterrupted pass at admission, decode steps in between); chunk > 0
+// selects chunked prefill with a shortest-remaining-first per-step token
+// budget. Reported metrics are the acceptance numbers: aggregate tok/s
+// (prompt + generated tokens) and the p95 TTFT of the short (16-token)
+// prompts. Chunked must hold short-prompt p95 TTFT ≥2× below monolithic at
+// aggregate tok/s within 5%.
+func benchmarkDecodeMixed(b *testing.B, chunk int) {
+	bg := nn.NewBatchGeneratorPaged(mixedBenchRunner(b), 8, 0, 0)
+	const newTokens = 8
+	lengths := []int{512, 16, 16, 128, 16, 16}
+	prompts := make([][]int, len(lengths))
+	var workTokens int64 // prompt + generated tokens per iteration
+	for i, n := range lengths {
+		p := make([]int, n)
+		for j := range p {
+			p[j] = (j*11 + i*17 + 5) % 256
+		}
+		prompts[i] = p
+		workTokens += int64(n + newTokens)
+	}
+	var shortTTFT []time.Duration
+	var tokens int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		born := time.Now() // all requests arrive together, FIFO: long first
+		queue := prompts
+		var live []*mixSeq
+		for len(queue) > 0 || len(live) > 0 {
+			// Admit at the step boundary while slots last (FIFO).
+			for len(queue) > 0 && bg.Free() > 0 {
+				p := queue[0]
+				queue = queue[1:]
+				seq := &mixSeq{short: len(p) == 16, born: born}
+				if chunk <= 0 {
+					// Monolithic: the whole prompt in one blocking pass.
+					slot, logits, err := bg.AdmitBudget(p, "bench/mix", len(p)+newTokens-1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					seq.slot, seq.next, seq.emitted = slot, bestToken(logits), 1
+					if seq.short {
+						shortTTFT = append(shortTTFT, time.Since(seq.born))
+					}
+					tokens++
+				} else {
+					slot, err := bg.Begin("bench/mix", len(p)+newTokens-1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					seq.slot, seq.pending = slot, p
+				}
+				live = append(live, seq)
+			}
+			// One mixed step: decode rows plus (chunked only) prefill chunks
+			// under a shortest-remaining-first budget.
+			alloc := make([]int, len(live))
+			budget := chunk
+			order := make([]int, 0, len(live))
+			for idx, seq := range live {
+				if len(seq.pending) > 0 {
+					order = append(order, idx)
+				}
+			}
+			sort.SliceStable(order, func(a, c int) bool {
+				return len(live[order[a]].pending) < len(live[order[c]].pending)
+			})
+			for _, idx := range order {
+				if budget <= 0 {
+					break
+				}
+				n := len(live[idx].pending)
+				if n > budget {
+					n = budget
+				}
+				alloc[idx] = n
+				budget -= n
+			}
+			var segs []nn.StepSeg
+			var rows []*mixSeq
+			for idx, seq := range live {
+				if len(seq.pending) == 0 {
+					segs = append(segs, nn.StepSeg{Slot: seq.slot, Tokens: []int{seq.next}})
+					rows = append(rows, seq)
+				} else if alloc[idx] > 0 {
+					segs = append(segs, nn.StepSeg{Slot: seq.slot, Tokens: seq.pending[:alloc[idx]]})
+					rows = append(rows, seq)
+				}
+			}
+			if len(segs) == 0 {
+				break // unreachable: live is empty or a seg was built
+			}
+			logits, err := bg.StepSegs(segs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := live[:0]
+			row := 0
+			for _, seq := range live {
+				if row < len(rows) && rows[row] == seq {
+					lr := logits.Row(row)
+					if len(seq.pending) > 0 {
+						seq.pending = seq.pending[len(segs[row].Tokens):]
+						row++
+						if len(seq.pending) > 0 {
+							out = append(out, seq)
+							continue
+						}
+						if seq.short {
+							shortTTFT = append(shortTTFT, time.Since(seq.born))
+						}
+					} else {
+						row++
+					}
+					seq.next = bestToken(lr)
+					seq.emitted++
+					tokens++
+					if seq.emitted >= newTokens {
+						bg.Release(seq.slot)
+						continue
+					}
+				}
+				out = append(out, seq)
+			}
+			live = out
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(workTokens)*float64(b.N)/secs, "tok/s")
+	}
+	if len(shortTTFT) > 0 {
+		sort.Slice(shortTTFT, func(i, j int) bool { return shortTTFT[i] < shortTTFT[j] })
+		p95 := shortTTFT[int(0.95*float64(len(shortTTFT)-1))]
+		b.ReportMetric(float64(p95)/1e6, "ttft-p95-ms")
+	}
+}
+
+// BenchmarkDecodeMixedMonolithic is the PR7 baseline: prompts prefill in
+// one uninterrupted pass each, so every short prompt behind the 512-token
+// one waits out its entire prefill.
+func BenchmarkDecodeMixedMonolithic(b *testing.B) { benchmarkDecodeMixed(b, 0) }
+
+// BenchmarkDecodeMixedChunked64 runs the same workload with 64-token
+// chunked prefill: short prompts overtake the long prefill within one
+// budget round and stream their first token ~an order of magnitude sooner.
+func BenchmarkDecodeMixedChunked64(b *testing.B) { benchmarkDecodeMixed(b, 64) }

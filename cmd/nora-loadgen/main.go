@@ -8,16 +8,20 @@
 //
 // With -generate the workload switches to streaming /v1/generate requests:
 // each worker holds one generation stream open at a time, and the report
-// shows time-to-first-token and inter-token latency quantiles plus the
-// aggregate token throughput and the server's decode-batch occupancy — the
-// continuous-batching throughput-vs-concurrency curve.
+// shows time-to-first-token and inter-token latency quantiles (p50/p95/p99)
+// plus the aggregate token throughput and the server's decode-batch
+// occupancy — the continuous-batching throughput-vs-concurrency curve.
+// -prompt-mix draws each stream's prompt length from a weighted mix
+// ("16:4,128:2,512:1" — length:weight pairs), the workload shape where
+// chunked prefill keeps short-prompt TTFT flat while long prompts prefill
+// incrementally.
 //
 // Usage:
 //
 //	nora-loadgen [-url http://localhost:8080] [-model opt-c1] [-mode nora]
 //	             [-concurrency 1,8,32] [-duration 10s] [-ctxlen 12]
 //	             [-generate] [-max-tokens 16] [-temperature 0] [-topk 0]
-//	             [-seed 1] [-csv out.csv]
+//	             [-prompt-mix 16:4,128:2,512:1] [-seed 1] [-csv out.csv]
 //
 // Contexts are random token windows drawn from the model's vocabulary
 // (deterministic per -seed); the server's answers are deterministic per
@@ -34,6 +38,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -75,6 +81,7 @@ func main() {
 	maxTokens := flag.Int("max-tokens", 16, "generation: tokens requested per stream")
 	temperature := flag.Float64("temperature", 0, "generation: sampling temperature (0 = greedy)")
 	topK := flag.Int("topk", 0, "generation: top-k filter (0 = full vocabulary)")
+	promptMixSpec := flag.String("prompt-mix", "", "generation: weighted prompt-length mix as length:weight pairs (e.g. 16:4,128:2,512:1; empty = fixed -ctxlen)")
 	flag.Parse()
 	if err := opt.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -98,6 +105,11 @@ func main() {
 	if n > spec.Cfg.MaxSeq {
 		n = spec.Cfg.MaxSeq
 	}
+	mix, err := parsePromptMix(*promptMixSpec, spec.Cfg.MaxSeq)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	client := &http.Client{Timeout: 2 * time.Minute}
 	if err := waitHealthy(client, *url); err != nil {
@@ -106,12 +118,16 @@ func main() {
 	}
 
 	if *generate {
-		if err := runGenerateBench(client, *url, *modelKey, *mode, spec.Cfg.Vocab, n,
+		if err := runGenerateBench(client, *url, *modelKey, *mode, spec.Cfg.Vocab, n, mix,
 			conc, *duration, *seed, *maxTokens, *temperature, *topK, *csvPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
+	}
+	if mix != nil {
+		fmt.Fprintln(os.Stderr, "-prompt-mix only applies with -generate")
+		os.Exit(1)
 	}
 
 	tbl := harness.NewTable(
@@ -207,6 +223,60 @@ func runLevel(client *http.Client, url, modelKey, mode string, vocab, ctxLen, wo
 	return res
 }
 
+// promptMix is a weighted distribution over prompt lengths, parsed from the
+// -prompt-mix flag.
+type promptMix struct {
+	lengths []int
+	weights []int
+	total   int
+}
+
+// parsePromptMix parses "length:weight,length:weight,…" (weight omitted =
+// 1); an empty spec returns nil (fixed prompt length).
+func parsePromptMix(spec string, maxSeq int) (*promptMix, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	mix := &promptMix{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		lenStr, weightStr, hasWeight := strings.Cut(part, ":")
+		length, err := strconv.Atoi(lenStr)
+		if err != nil || length < 1 || length > maxSeq {
+			return nil, fmt.Errorf("prompt-mix entry %q: length must be in [1, %d]", part, maxSeq)
+		}
+		weight := 1
+		if hasWeight {
+			if weight, err = strconv.Atoi(weightStr); err != nil || weight < 1 {
+				return nil, fmt.Errorf("prompt-mix entry %q: weight must be a positive integer", part)
+			}
+		}
+		mix.lengths = append(mix.lengths, length)
+		mix.weights = append(mix.weights, weight)
+		mix.total += weight
+	}
+	return mix, nil
+}
+
+// pick draws one prompt length, weight-proportionally.
+func (m *promptMix) pick(r *rng.Rand) int {
+	u := int(r.Uint64() % uint64(m.total))
+	for i, w := range m.weights {
+		if u -= w; u < 0 {
+			return m.lengths[i]
+		}
+	}
+	return m.lengths[len(m.lengths)-1]
+}
+
+func (m *promptMix) String() string {
+	parts := make([]string, len(m.lengths))
+	for i := range m.lengths {
+		parts[i] = fmt.Sprintf("%d:%d", m.lengths[i], m.weights[i])
+	}
+	return strings.Join(parts, ",")
+}
+
 // genLevelResult aggregates one concurrency level of generation streams.
 type genLevelResult struct {
 	ok, rejects, errs int
@@ -226,19 +296,24 @@ func quantileDur(sorted []time.Duration, q float64) time.Duration {
 // runGenerateBench drives the streaming /v1/generate workload across the
 // concurrency levels and prints the TTFT / inter-token / token-throughput
 // table, plus the server's decode-batch occupancy delta per level.
-func runGenerateBench(client *http.Client, url, modelKey, mode string, vocab, promptLen int,
+func runGenerateBench(client *http.Client, url, modelKey, mode string, vocab, promptLen int, mix *promptMix,
 	conc []int, d time.Duration, seed uint64, maxTokens int, temperature float64, topK int, csvPath string) error {
+	promptDesc := fmt.Sprintf("prompt %d", promptLen)
+	if mix != nil {
+		promptDesc = "prompt mix " + mix.String()
+	}
 	tbl := harness.NewTable(
-		fmt.Sprintf("nora-loadgen generate — %s/%s, %v per level, prompt %d, max_tokens %d",
-			modelKey, mode, d, promptLen, maxTokens),
+		fmt.Sprintf("nora-loadgen generate — %s/%s, %v per level, %s, max_tokens %d",
+			modelKey, mode, d, promptDesc, maxTokens),
 		"concurrency", "tok/s", "streams", "429", "errors",
-		"ttft p50 ms", "ttft p95 ms", "itl p50 ms", "itl p95 ms", "decode batch")
+		"ttft p50 ms", "ttft p95 ms", "ttft p99 ms",
+		"itl p50 ms", "itl p95 ms", "itl p99 ms", "decode batch")
 	for _, c := range conc {
 		before, err := fetchStatz(client, url)
 		if err != nil {
 			return err
 		}
-		res := runGenLevel(client, url, modelKey, mode, vocab, promptLen, c, d, seed, maxTokens, temperature, topK)
+		res := runGenLevel(client, url, modelKey, mode, vocab, promptLen, mix, c, d, seed, maxTokens, temperature, topK)
 		after, err := fetchStatz(client, url)
 		if err != nil {
 			return err
@@ -254,8 +329,10 @@ func runGenerateBench(client *http.Client, url, modelKey, mode string, vocab, pr
 			float64(res.ok), float64(res.rejects), float64(res.errs),
 			float64(quantileDur(res.ttfts, 0.50))/1e6,
 			float64(quantileDur(res.ttfts, 0.95))/1e6,
+			float64(quantileDur(res.ttfts, 0.99))/1e6,
 			float64(quantileDur(res.gaps, 0.50))/1e6,
 			float64(quantileDur(res.gaps, 0.95))/1e6,
+			float64(quantileDur(res.gaps, 0.99))/1e6,
 			occupancy,
 		)
 	}
@@ -263,10 +340,12 @@ func runGenerateBench(client *http.Client, url, modelKey, mode string, vocab, pr
 		return err
 	}
 	if statz, err := fetchStatz(client, url); err == nil {
-		fmt.Printf("\nserver: %d streams produced %d tokens over %d decode steps "+
-			"(mean batch %.2f, max %d, %.0f tok/s inside steps), %d rejected, %d canceled\n",
+		fmt.Printf("\nserver: %d streams produced %d tokens over %d mixed steps "+
+			"(mean decode batch %.2f, max rows %d, %.0f tok/s inside steps, "+
+			"%d prefill tokens at %.0f tok/s), %d rejected, %d canceled\n",
 			statz.Gen.Requests, statz.Gen.Tokens, statz.Gen.Steps,
 			statz.Gen.MeanBatch, statz.Gen.MaxBatch, statz.Gen.TokensPerSecond,
+			statz.Gen.PrefillTokens, statz.Gen.PrefillTokensPerSecond,
 			statz.Gen.QueueFull, statz.Gen.Canceled)
 	}
 	if csvPath != "" {
@@ -278,7 +357,7 @@ func runGenerateBench(client *http.Client, url, modelKey, mode string, vocab, pr
 // runGenLevel keeps `workers` generation streams in flight for `d`,
 // closed-loop: each worker opens its next stream as soon as the previous
 // one finishes, reading NDJSON token events as they arrive.
-func runGenLevel(client *http.Client, url, modelKey, mode string, vocab, promptLen, workers int,
+func runGenLevel(client *http.Client, url, modelKey, mode string, vocab, promptLen int, mix *promptMix, workers int,
 	d time.Duration, seed uint64, maxTokens int, temperature float64, topK int) genLevelResult {
 	var res genLevelResult
 	deadline := time.Now().Add(d)
@@ -292,7 +371,11 @@ func runGenLevel(client *http.Client, url, modelKey, mode string, vocab, promptL
 			r := rng.New(seed + uint64(w)*7919)
 			local := genLevelResult{}
 			for time.Now().Before(deadline) {
-				prompt := make([]int, promptLen)
+				n := promptLen
+				if mix != nil {
+					n = mix.pick(r)
+				}
+				prompt := make([]int, n)
 				for i := range prompt {
 					prompt[i] = int(r.Uint64() % uint64(vocab))
 				}

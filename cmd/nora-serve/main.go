@@ -8,7 +8,8 @@
 //
 //	nora-serve [-addr :8080] [-models opt-c1,llama-c1] [-modeldir testdata/models]
 //	           [-max-batch 16] [-max-delay 2ms] [-queue 256] [-timeout 30s]
-//	           [-decode-batch 16] [-eval 150] [-batch 0] [-noise-stream v1]
+//	           [-decode-batch 16] [-prefill-chunk 64] [-kv-pages 0]
+//	           [-eval 150] [-batch 0] [-noise-stream v1]
 //
 // Shut down with SIGINT/SIGTERM: the listener stops accepting, in-flight
 // requests drain, then the micro-batchers close.
@@ -40,6 +41,8 @@ func main() {
 	queue := flag.Int("queue", serve.DefaultQueueDepth, "admission queue depth per deployment (beyond it: 429)")
 	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "server-side per-request deadline")
 	decodeBatch := flag.Int("decode-batch", serve.DefaultMaxDecodeBatch, "max concurrent /v1/generate sequences per decode batch")
+	prefillChunk := flag.Int("prefill-chunk", serve.DefaultPrefillChunk, "max prompt tokens consumed per mixed decode step (chunked prefill)")
+	kvPages := flag.Int("kv-pages", 0, "KV page pool size per generation scheduler (0 = slab-equivalent)")
 	flag.Parse()
 
 	if err := opt.Finish(); err != nil {
@@ -58,6 +61,8 @@ func main() {
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 		MaxDecodeBatch: *decodeBatch,
+		PrefillChunk:   *prefillChunk,
+		KVPages:        *kvPages,
 	}, ws)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -66,8 +71,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("nora-serve: listening on %s, serving %v (max-batch %d, max-delay %v, queue %d, decode-batch %d)",
-		*addr, srv.Models(), *maxBatch, *maxDelay, *queue, *decodeBatch)
+	log.Printf("nora-serve: listening on %s, serving %v (max-batch %d, max-delay %v, queue %d, decode-batch %d, prefill-chunk %d, kv-pages %d)",
+		*addr, srv.Models(), *maxBatch, *maxDelay, *queue, *decodeBatch, *prefillChunk, *kvPages)
 
 	select {
 	case <-ctx.Done():

@@ -136,6 +136,97 @@ func TestBatchedGenerationBitIdenticalToSequentialAnalog(t *testing.T) {
 	}
 }
 
+// Chunked prefill on analog deployments: feeding a prompt through Begin +
+// StepSegs in fixed-size chunks — each chunk batched with another
+// sequence's live decode row — must reproduce the sequential Generator's
+// logits bit-identically for every chunk size, in both naive and NORA
+// modes. This is the noise-stream half of the chunked-prefill contract: a
+// sequence's rows consume its scoped operator streams in prompt order no
+// matter how the scheduler chunks or batches them, and the paged KV layout
+// never enters the arithmetic.
+func TestChunkedPrefillBitIdenticalAnalog(t *testing.T) {
+	m, eval, calib := trained(t)
+	cal := Calibrate(m, calib)
+	cfg := analog.PaperPreset()
+	cfg.TileRows, cfg.TileCols = 64, 64
+
+	for _, tc := range []struct {
+		name string
+		mode DeployMode
+		cal  *Calibration
+	}{
+		{"naive", DeployAnalogNaive, nil},
+		{"nora", DeployAnalogNORA, cal},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Deploy(m, tc.mode, tc.cal, cfg, 42, Options{})
+			long := eval[2][:8]
+			short := eval[3][:2]
+			const steps = 3
+			wantLong, _ := greedyRef(r, "gen/long", long, steps)
+			wantShort, _ := greedyRef(r, "gen/short", short, len(long)+steps)
+
+			for _, chunk := range []int{1, 4, len(long)} {
+				bg := nn.NewBatchGeneratorPaged(r, 2, 4, 0)
+				emitL, emitS := 0, 0
+				check := func(want [][]float32, emit *int, row []float32) {
+					w := want[*emit]
+					for j := range row {
+						if row[j] != w[j] {
+							t.Fatalf("chunk=%d: row %d col %d: chunked %v != sequential %v",
+								chunk, *emit, j, row[j], w[j])
+						}
+					}
+					*emit++
+				}
+				slotS, logitsS, err := bg.Admit(short, "gen/short")
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(wantShort, &emitS, logitsS)
+				nextS := argmaxF(logitsS)
+				slotL, err := bg.Begin("gen/long", 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var nextL int
+				for off := 0; off < len(long); {
+					n := chunk
+					if off+n > len(long) {
+						n = len(long) - off
+					}
+					logits, err := bg.StepSegs([]nn.StepSeg{
+						{Slot: slotS, Tokens: []int{nextS}},
+						{Slot: slotL, Tokens: long[off : off+n]},
+					})
+					if err != nil {
+						t.Fatalf("chunk=%d off=%d: %v", chunk, off, err)
+					}
+					check(wantShort, &emitS, logits.Row(0))
+					nextS = argmaxF(logits.Row(0))
+					off += n
+					if off == len(long) {
+						check(wantLong, &emitL, logits.Row(1))
+						nextL = argmaxF(logits.Row(1))
+					}
+				}
+				for s := 0; s < steps-1; s++ {
+					logits, err := bg.Step([]int{slotL, slotS}, []int{nextL, nextS})
+					if err != nil {
+						t.Fatal(err)
+					}
+					check(wantLong, &emitL, logits.Row(0))
+					check(wantShort, &emitS, logits.Row(1))
+					nextL = argmaxF(logits.Row(0))
+					nextS = argmaxF(logits.Row(1))
+				}
+				bg.Release(slotL)
+				bg.Release(slotS)
+			}
+		})
+	}
+}
+
 // Noise-scope independence at the serving boundary: a request's full
 // continuation is identical whether it is decoded alone or admitted into a
 // fully occupied batch — and identical across two separate BatchGenerators

@@ -492,17 +492,19 @@ func (d *Deployment) FaultStats() analog.FaultStats {
 	return total
 }
 
-// RecordGenStep counts one continuous-batching decode step run on this
-// deployment: batch is the number of in-flight sequences the step advanced
-// (= tokens produced), elapsed its wall-clock, and reads the analog MVM
-// delta the step issued (0 for digital deployments). Pure accounting — the
-// serving layer calls it around each nn.BatchGenerator step so /statz and
-// engine reports can show decode-batch occupancy and token throughput next
-// to the eval counters.
-func (d *Deployment) RecordGenStep(batch int, elapsed time.Duration, reads int64) {
+// RecordGenStep counts one continuous-batching generation step run on this
+// deployment: batch is the number of decoding sequences the step advanced
+// (= tokens produced), prefillTokens the prompt tokens consumed by prefill
+// chunks riding the same step, elapsed its wall-clock, and reads the analog
+// MVM delta the step issued (0 for digital deployments). Pure accounting —
+// the serving layer calls it around each nn.BatchGenerator step so /statz
+// and engine reports can show decode-batch occupancy and token/prefill
+// throughput next to the eval counters.
+func (d *Deployment) RecordGenStep(batch, prefillTokens int, elapsed time.Duration, reads int64) {
 	s := &d.eng.stats
 	s.genSteps.Add(1)
 	s.genTokens.Add(int64(batch))
+	s.genPrefillToks.Add(int64(prefillTokens))
 	s.genNanos.Add(elapsed.Nanoseconds())
 	s.genReads.Add(reads)
 }
@@ -556,10 +558,11 @@ type statCounters struct {
 	digitalMACs  atomic.Int64
 	mallocs      atomic.Int64
 
-	genSteps  atomic.Int64
-	genTokens atomic.Int64
-	genNanos  atomic.Int64
-	genReads  atomic.Int64
+	genSteps       atomic.Int64
+	genTokens      atomic.Int64
+	genPrefillToks atomic.Int64
+	genNanos       atomic.Int64
+	genReads       atomic.Int64
 
 	// streamMask records every noise-stream version requested from this
 	// engine for an analog deployment, as a bitmask (bit v = StreamVersion
@@ -621,15 +624,18 @@ type Stats struct {
 	// the first analog deploy. More than one entry in a single run usually
 	// indicates a configuration mistake.
 	NoiseStreams string
-	// GenSteps counts continuous-batching decode steps recorded via
+	// GenSteps counts continuous-batching generation steps recorded via
 	// Deployment.RecordGenStep; GenTokens the tokens those steps produced
-	// (one per in-flight sequence per step), GenTime their cumulative
-	// wall-clock, and GenReads the analog MVM reads they issued. The mean
-	// decode-batch occupancy is GenTokens/GenSteps (Stats.GenMeanBatch).
-	GenSteps  int64
-	GenTokens int64
-	GenTime   time.Duration
-	GenReads  int64
+	// (one per decoding sequence per step), GenPrefillTokens the prompt
+	// tokens consumed by prefill chunks riding those steps, GenTime their
+	// cumulative wall-clock, and GenReads the analog MVM reads they issued.
+	// The mean decode-batch occupancy is GenTokens/GenSteps
+	// (Stats.GenMeanBatch).
+	GenSteps         int64
+	GenTokens        int64
+	GenPrefillTokens int64
+	GenTime          time.Duration
+	GenReads         int64
 	// Mallocs counts heap allocations during evaluation runs, measured as
 	// runtime.MemStats.Mallocs deltas around each eval. The counter is
 	// process-global, so concurrent non-eval work inflates it; treat it as
@@ -679,10 +685,11 @@ func (e *Engine) Stats() Stats {
 		Cost:          e.cfg.CostModel.Compare(counters, macs, rows),
 		BatchRows:     batch,
 		NoiseStreams:  strings.Join(streams, ","),
-		GenSteps:      s.genSteps.Load(),
-		GenTokens:     s.genTokens.Load(),
-		GenTime:       time.Duration(s.genNanos.Load()),
-		GenReads:      s.genReads.Load(),
+		GenSteps:         s.genSteps.Load(),
+		GenTokens:        s.genTokens.Load(),
+		GenPrefillTokens: s.genPrefillToks.Load(),
+		GenTime:          time.Duration(s.genNanos.Load()),
+		GenReads:         s.genReads.Load(),
 		Mallocs:       s.mallocs.Load(),
 	}
 }
@@ -726,6 +733,16 @@ func (s Stats) GenTokensPerSecond() float64 {
 	return float64(s.GenTokens) / s.GenTime.Seconds()
 }
 
+// GenPrefillTokensPerSecond is the aggregate chunked-prefill throughput:
+// prompt tokens consumed per second of cumulative generation-step
+// wall-clock (0 before any prefill chunk rode a step).
+func (s Stats) GenPrefillTokensPerSecond() float64 {
+	if s.GenTime <= 0 {
+		return 0
+	}
+	return float64(s.GenPrefillTokens) / s.GenTime.Seconds()
+}
+
 // GenMeanBatch is the mean decode-batch occupancy across recorded decode
 // steps — the continuous-batching figure of merit (1.0 means the scheduler
 // never overlapped requests; 0 before any generation).
@@ -753,8 +770,8 @@ func (s Stats) String() string {
 	}
 	gen := ""
 	if s.GenSteps > 0 {
-		gen = fmt.Sprintf(" | gen: steps=%d tokens=%d (%.0f tok/s) mean-batch=%.2f reads=%d",
-			s.GenSteps, s.GenTokens, s.GenTokensPerSecond(), s.GenMeanBatch(), s.GenReads)
+		gen = fmt.Sprintf(" | gen: steps=%d tokens=%d (%.0f tok/s) prefill=%d (%.0f tok/s) mean-batch=%.2f reads=%d",
+			s.GenSteps, s.GenTokens, s.GenTokensPerSecond(), s.GenPrefillTokens, s.GenPrefillTokensPerSecond(), s.GenMeanBatch(), s.GenReads)
 	}
 	return fmt.Sprintf(
 		"engine: deploys=%d hits=%d evictions=%d deploy-time=%s | "+

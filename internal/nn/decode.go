@@ -10,13 +10,16 @@ import (
 
 // Shared machinery of incremental decoding. Generator (one sequence) and
 // BatchGenerator (N in-flight sequences, continuous batching) both drive
-// decodeStepInto: the current token of every sequence is stacked into one
-// N×d matrix, the whole step — QKV projections, cached attention, MLP, LM
-// head — runs through the batched operators, and stochastic operators read
-// row i under sequence i's own noise scope (RowScopedBatchOp). Each row is
-// therefore bit-identical to appending that token on that sequence alone,
-// no matter which other sequences share the batch — the property the
-// serving layer's continuous-batching scheduler depends on.
+// stepSegments: every segment — one decode token, a prefill chunk, or a
+// whole prompt — contributes its rows to one stacked n×d matrix, the whole
+// step (QKV projections, cached attention, MLP, LM head) runs through the
+// batched operators, and stochastic operators read each row under its own
+// sequence's noise scope (RowScopedBatchOp). A sequence's rows pass through
+// every operator in prompt order no matter how they are split into chunks
+// or interleaved with other sequences' rows, so each sequence is
+// bit-identical to appending its tokens one at a time on that sequence
+// alone — the property the serving layer's chunked-prefill continuous-
+// batching scheduler depends on.
 
 // Sentinel errors of the checked decode API. The serving path maps these to
 // 4xx responses instead of letting a bad request crash the process.
@@ -40,42 +43,47 @@ func (e *TokenRangeError) Error() string {
 }
 
 // decodeState is the per-sequence state of incremental decoding: position,
-// per-layer KV caches, and the (possibly noise-scoped) runner view whose
-// operator streams this sequence draws from.
+// reserved KV pages (kvpage.go), and the (possibly noise-scoped) runner view
+// whose operator streams this sequence draws from.
 type decodeState struct {
 	runner *Runner
 	pos    int
-	kCache []*tensor.Matrix // per layer: MaxSeq × KVDim, rows [0, pos) valid
-	vCache []*tensor.Matrix
+	pool   *kvPagePool
+	pages  [][]float32 // positions [0, pos) valid; cap len(pages)·pageTokens
 }
 
-func newDecodeState(r *Runner) *decodeState {
-	m := r.model
-	st := &decodeState{runner: r}
-	for range m.Blocks {
-		st.kCache = append(st.kCache, tensor.New(m.Cfg.MaxSeq, m.Cfg.KVDim()))
-		st.vCache = append(st.vCache, tensor.New(m.Cfg.MaxSeq, m.Cfg.KVDim()))
-	}
-	return st
+func newDecodeState(r *Runner, pool *kvPagePool) *decodeState {
+	return &decodeState{runner: r, pool: pool}
 }
 
-// decodeScratch pools every intermediate buffer of a decode step or batched
-// prefill, including the matrix headers, so steady-state decoding allocates
-// nothing. All buffers are fully overwritten before being read (Into
-// kernels, norm helpers, attendCachedRow), so reuse cannot perturb results
-// — the same discipline as inferScratch.
+// stepSeg is one sequence's contribution to a unified step: tokens are
+// consumed at consecutive positions starting at st.pos. One token makes a
+// decode row; several make a prefill chunk.
+type stepSeg struct {
+	st     *decodeState
+	tokens []int
+}
+
+// decodeScratch pools every intermediate buffer of a step — activations,
+// logits, positions, per-row state/view tables, the matrix headers — so
+// steady-state decoding allocates nothing. All buffers are fully overwritten
+// before being read (Into kernels, norm helpers, attendCachedRow), so reuse
+// cannot perturb results — the same discipline as inferScratch.
 type decodeScratch struct {
 	x, h, q, k, v, attn, o, ff1, ff2 []float32
+	end                              []float32
 	logits                           []float32
 	scores                           []float32
 	pos                              []int
 	views                            []LinearOp
+	rowStates                        []*decodeState
 
-	xM, hM, qM, kM, vM, attnM, oM, ff1M, ff2M, logitsM tensor.Matrix
-	rowIn, rowOut                                      tensor.Matrix
+	xM, hM, qM, kM, vM, attnM, oM, ff1M, ff2M tensor.Matrix
+	endM, logitsM                             tensor.Matrix
+	rowIn, rowOut                             tensor.Matrix
 
-	states1 [1]*decodeState
-	tok1    [1]int
+	seg1 [1]stepSeg
+	tok1 [1]int
 }
 
 // mat re-points one of the scratch's matrix headers at a rows×cols buffer
@@ -93,52 +101,105 @@ func rowView(h *tensor.Matrix, m *tensor.Matrix, i int) *tensor.Matrix {
 	return h
 }
 
-// decodeStepInto advances every state by one token: tokens[i] is appended
-// to states[i], and row i of the returned logits matrix (len(states) ×
-// vocab, valid until the scratch's next use) is that sequence's next-token
-// distribution. Nothing is mutated when an error is returned.
-func decodeStepInto(base *Runner, states []*decodeState, tokens []int, sc *decodeScratch) (*tensor.Matrix, error) {
-	m := base.model
-	n := len(states)
-	if n == 0 || n != len(tokens) {
-		return nil, fmt.Errorf("nn: decode: %d states, %d tokens", n, len(tokens))
+func growStates(buf *[]*decodeState, n int) []*decodeState {
+	if cap(*buf) < n {
+		*buf = make([]*decodeState, n)
 	}
-	for i, st := range states {
-		if st.pos >= m.Cfg.MaxSeq {
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// stepSegments runs one batched pass over the segments: segment i's tokens
+// are appended to its sequence at consecutive positions, and row i of the
+// returned logits matrix (len(segs) × vocab, valid until the scratch's next
+// use) is that sequence's next-token distribution after the segment's last
+// token. Mixing one-token decode segments with multi-token prefill chunks in
+// a single pass is what lets long prompts ride along with live decodes
+// instead of stalling them.
+//
+// Bit-exactness: stochastic operators consume row i under rowStates[i]'s
+// scoped stream in ascending row order (applyRowScoped), so a sequence's
+// rows draw exactly what they would drawn appended one at a time, whatever
+// the chunking or batch composition. Attention is computed per row against
+// only that sequence's cache, in position order within each segment. The LM
+// head is evaluated only for each segment's last row — earlier rows'
+// logits are unobservable, and the head draws nothing, so skipping them
+// cannot change results.
+//
+// A slot must appear in at most one segment per step. No sequence position
+// advances when an error is returned (page reservations may grow, which is
+// unobservable).
+func stepSegments(base *Runner, segs []stepSeg, sc *decodeScratch) (*tensor.Matrix, error) {
+	m := base.model
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("nn: decode: empty step")
+	}
+	n := 0
+	for _, s := range segs {
+		T := len(s.tokens)
+		if T == 0 {
+			return nil, ErrEmptyPrompt
+		}
+		if s.st.pos+T > m.Cfg.MaxSeq {
 			return nil, ErrCacheFull
 		}
-		if tokens[i] < 0 || tokens[i] >= m.Cfg.Vocab {
-			return nil, &TokenRangeError{Token: tokens[i], Vocab: m.Cfg.Vocab}
+		for _, tok := range s.tokens {
+			if tok < 0 || tok >= m.Cfg.Vocab {
+				return nil, &TokenRangeError{Token: tok, Vocab: m.Cfg.Vocab}
+			}
+		}
+		n += T
+	}
+	for _, s := range segs {
+		if err := s.st.reserve(s.st.pos + len(s.tokens)); err != nil {
+			return nil, err
 		}
 	}
+
 	d := m.Cfg.DModel
+	rowStates := growStates(&sc.rowStates, n)
+	positions := growInt(&sc.pos, n)
 	x := sc.mat(&sc.xM, &sc.x, n, d)
-	for i, st := range states {
-		copy(x.Row(i), m.TokEmb.Value.Row(tokens[i]))
-		if m.Cfg.Arch == ArchOPT {
-			tensor.Axpy(1, m.PosEmb.Value.Row(st.pos), x.Row(i))
+	r := 0
+	for _, s := range segs {
+		for j, tok := range s.tokens {
+			rowStates[r] = s.st
+			positions[r] = s.st.pos + j
+			copy(x.Row(r), m.TokEmb.Value.Row(tok))
+			if m.Cfg.Arch == ArchOPT {
+				tensor.Axpy(1, m.PosEmb.Value.Row(positions[r]), x.Row(r))
+			}
+			r++
 		}
 	}
 	for l, b := range m.Blocks {
-		decodeBlock(base, states, l, b, x, sc)
+		stepBlock(base, l, b, x, rowStates, positions, sc)
 	}
-	h := sc.mat(&sc.hM, &sc.h, n, d)
+	// Gather each segment's last row and run norm + LM head over just those.
+	e := sc.mat(&sc.endM, &sc.end, len(segs), d)
+	r = 0
+	for i, s := range segs {
+		r += len(s.tokens)
+		copy(e.Row(i), x.Row(r-1))
+	}
+	h := sc.mat(&sc.hM, &sc.h, len(segs), d)
 	if m.Cfg.Arch == ArchOPT {
-		layerNormInferInto(h, x, m.FinalNormGain.Value.Row(0), m.FinalNormBias.Value.Row(0))
+		layerNormInferInto(h, e, m.FinalNormGain.Value.Row(0), m.FinalNormBias.Value.Row(0))
 	} else {
-		rmsNormInferInto(h, x, m.FinalNormGain.Value.Row(0))
+		rmsNormInferInto(h, e, m.FinalNormGain.Value.Row(0))
 	}
-	logits := sc.mat(&sc.logitsM, &sc.logits, n, m.Cfg.Vocab)
+	logits := sc.mat(&sc.logitsM, &sc.logits, len(segs), m.Cfg.Vocab)
 	tensor.MatMulInto(logits, h, m.LMHead.Value)
-	for _, st := range states {
-		st.pos++
+	for _, s := range segs {
+		s.st.pos += len(s.tokens)
 	}
 	return logits, nil
 }
 
-// decodeBlock runs one transformer block of a decode step over the stacked
-// residual stream x (row i belonging to states[i]), updating it in place.
-func decodeBlock(base *Runner, states []*decodeState, layer int, b *Block, x *tensor.Matrix, sc *decodeScratch) {
+// stepBlock runs one transformer block over the stacked rows x (row i
+// belonging to rowStates[i] at positions[i]), updating x in place and
+// filling each sequence's KV cache.
+func stepBlock(base *Runner, layer int, b *Block, x *tensor.Matrix, rowStates []*decodeState, positions []int, sc *decodeScratch) {
 	m := base.model
 	names := base.layerNames[layer]
 	n, d := x.Rows, x.Cols
@@ -152,58 +213,62 @@ func decodeBlock(base *Runner, states []*decodeState, layer int, b *Block, x *te
 	q := sc.mat(&sc.qM, &sc.q, n, b.WQ.Value.Cols)
 	k := sc.mat(&sc.kM, &sc.k, n, b.WK.Value.Cols)
 	v := sc.mat(&sc.vM, &sc.v, n, b.WV.Value.Cols)
-	applyRowScoped(base, states, names["attn.q"], h, q, sc)
-	applyRowScoped(base, states, names["attn.k"], h, k, sc)
-	applyRowScoped(base, states, names["attn.v"], h, v, sc)
+	applyRowScoped(base, rowStates, names["attn.q"], h, q, sc)
+	applyRowScoped(base, rowStates, names["attn.k"], h, k, sc)
+	applyRowScoped(base, rowStates, names["attn.v"], h, v, sc)
 	if m.Cfg.Arch == ArchLLaMA {
-		positions := growInt(&sc.pos, n)
-		for i, st := range states {
-			positions[i] = st.pos
-		}
 		ropeInferInPlace(q, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
 		ropeInferInPlace(k, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
 	}
 	attn := sc.mat(&sc.attnM, &sc.attn, n, d)
-	for i, st := range states {
-		copy(st.kCache[layer].Row(st.pos), k.Row(i))
-		copy(st.vCache[layer].Row(st.pos), v.Row(i))
-		attendCachedRow(attn.Row(i), m, st.kCache[layer], st.vCache[layer], q.Row(i), st.pos, &sc.scores)
+	// Write each row's K/V into its sequence's cache before attending, in
+	// row order: within a segment the rows sit at ascending positions, so
+	// every row attends causally to its own prompt prefix exactly as a
+	// sequential decode would.
+	for i := 0; i < n; i++ {
+		st := rowStates[i]
+		kr, vr := st.kvAt(layer, positions[i])
+		copy(kr, k.Row(i))
+		copy(vr, v.Row(i))
+		attendCachedRow(attn.Row(i), m, st, layer, q.Row(i), positions[i], &sc.scores)
 	}
 	o := sc.mat(&sc.oM, &sc.o, n, d)
-	applyRowScoped(base, states, names["attn.o"], attn, o, sc)
+	applyRowScoped(base, rowStates, names["attn.o"], attn, o, sc)
 	x.AddInPlace(o)
 
 	if m.Cfg.Arch == ArchOPT {
 		layerNormInferInto(h, x, b.MLPNormGain.Value.Row(0), b.MLPNormBias.Value.Row(0))
 		ff := b.W1.Value.Cols
 		f1 := sc.mat(&sc.ff1M, &sc.ff1, n, ff)
-		applyRowScoped(base, states, names["mlp.fc1"], h, f1, sc)
+		applyRowScoped(base, rowStates, names["mlp.fc1"], h, f1, sc)
 		f1.ApplyInPlace(func(v float32) float32 {
 			if v > 0 {
 				return v
 			}
 			return 0
 		})
-		applyRowScoped(base, states, names["mlp.fc2"], f1, o, sc)
+		applyRowScoped(base, rowStates, names["mlp.fc2"], f1, o, sc)
 	} else {
 		rmsNormInferInto(h, x, b.MLPNormGain.Value.Row(0))
 		ff := b.WGate.Value.Cols
 		gate := sc.mat(&sc.ff1M, &sc.ff1, n, ff)
-		applyRowScoped(base, states, names["mlp.gate"], h, gate, sc)
+		applyRowScoped(base, rowStates, names["mlp.gate"], h, gate, sc)
 		gate.ApplyInPlace(siluScalar)
 		up := sc.mat(&sc.ff2M, &sc.ff2, n, ff)
-		applyRowScoped(base, states, names["mlp.up"], h, up, sc)
+		applyRowScoped(base, rowStates, names["mlp.up"], h, up, sc)
 		gate.MulInPlace(up)
-		applyRowScoped(base, states, names["mlp.down"], gate, o, sc)
+		applyRowScoped(base, rowStates, names["mlp.down"], gate, o, sc)
 	}
 	x.AddInPlace(o)
 }
 
 // applyRowScoped runs the named linear over the stacked batch x (row i
 // belonging to states[i]), writing into out. Operators that support
-// row-scoped batching take the whole mixed-scope batch in one call;
-// deterministic operators batch trivially (they draw nothing); anything
-// else falls back to a per-row loop through each state's own operator view.
+// row-scoped batching take the whole mixed-scope batch in one call — rows of
+// the same sequence share one scoped view, whose stream they consume in row
+// order, exactly as a single-sequence batched call would; deterministic
+// operators batch trivially (they draw nothing); anything else falls back to
+// a per-row loop through each state's own operator view.
 func applyRowScoped(base *Runner, states []*decodeState, name string, x, out *tensor.Matrix, sc *decodeScratch) {
 	if base.PreLinear != nil {
 		base.PreLinear(name, x)
@@ -244,13 +309,16 @@ func applyRowScoped(base *Runner, states []*decodeState, name string, x, out *te
 }
 
 // attendCachedRow computes multi-head attention of the single query row q
-// (length DModel) at position pos against cache rows [max(0, pos-window+1),
-// pos], writing into out (length DModel, fully overwritten). It honors the
-// sliding window and grouped-query head sharing, and is the scalar kernel
-// behind sequential Append, batched decode, and batched prefill alike —
-// each row attends only to its own sequence's cache, so batching cannot
-// change its result.
-func attendCachedRow(out []float32, m *Model, kc, vc *tensor.Matrix, q []float32, pos int, scores *[]float32) {
+// (length DModel) at position pos against st's cached positions
+// [max(0, pos-window+1), pos] of one layer, writing into out (length DModel,
+// fully overwritten). It honors the sliding window and grouped-query head
+// sharing, and is the scalar kernel behind sequential Append, batched
+// decode, and chunked prefill alike — each row attends only to its own
+// sequence's cache, so batching cannot change its result. The cache is
+// paged: positions are walked page-segment by page-segment in ascending
+// order, so the arithmetic (and therefore the result, bit for bit) is
+// independent of the page size.
+func attendCachedRow(out []float32, m *Model, st *decodeState, layer int, q []float32, pos int, scores *[]float32) {
 	dh := m.Cfg.HeadDim()
 	group := m.Cfg.NHeads / m.Cfg.KVHeads()
 	scale := float32(1 / math.Sqrt(float64(dh)))
@@ -262,27 +330,39 @@ func attendCachedRow(out []float32, m *Model, kc, vc *tensor.Matrix, q []float32
 	for c := range out {
 		out[c] = 0
 	}
-	// Size the score buffer to the cache capacity, not the current span —
+	pt, kvd := st.pool.pageTokens, st.pool.kvDim
+	// Size the score buffer to the reserved capacity, not the current span —
 	// span grows with every decode step, and growing to it exactly would
 	// reallocate once per token.
-	sc := growF(scores, kc.Rows)[:span]
+	sc := growF(scores, len(st.pages)*pt)[:span]
 	for hIdx := 0; hIdx < m.Cfg.NHeads; hIdx++ {
 		cLo, cHi := hIdx*dh, (hIdx+1)*dh
 		kvLo := (hIdx / group) * dh
 		qh := q[cLo:cHi]
 		// scores over cached positions [lo, pos]
 		mx := float32(math.Inf(-1))
-		for t := 0; t < span; t++ {
-			krow := kc.Row(lo + t)[kvLo : kvLo+dh]
-			var s float32
-			for c, qv := range qh {
-				s += qv * krow[c]
+		for t0, t := lo, 0; t0 <= pos; {
+			p := t0 / pt
+			s0 := t0 - p*pt
+			nseg := pt - s0
+			if t0+nseg > pos+1 {
+				nseg = pos + 1 - t0
 			}
-			s *= scale
-			sc[t] = s
-			if s > mx {
-				mx = s
+			kb := st.pages[p][layer*2*pt*kvd:]
+			for s := s0; s < s0+nseg; s++ {
+				krow := kb[s*kvd+kvLo:][:dh]
+				var sum float32
+				for c, qv := range qh {
+					sum += qv * krow[c]
+				}
+				sum *= scale
+				sc[t] = sum
+				if sum > mx {
+					mx = sum
+				}
+				t++
 			}
+			t0 += nseg
 		}
 		var sum float64
 		for t := range sc {
@@ -292,123 +372,23 @@ func attendCachedRow(out []float32, m *Model, kc, vc *tensor.Matrix, q []float32
 		}
 		inv := float32(1 / sum)
 		orow := out[cLo:cHi]
-		for t := 0; t < span; t++ {
-			w := sc[t] * inv
-			vrow := vc.Row(lo + t)[kvLo : kvLo+dh]
-			for c := range orow {
-				orow[c] += w * vrow[c]
+		for t0, t := lo, 0; t0 <= pos; {
+			p := t0 / pt
+			s0 := t0 - p*pt
+			nseg := pt - s0
+			if t0+nseg > pos+1 {
+				nseg = pos + 1 - t0
 			}
-		}
-	}
-}
-
-// prefillInto consumes the whole prompt through st in one batched pass: the
-// T prompt rows stream through every linear as a T×d matrix (the sequence-
-// batched analog path), attention runs causally against the growing cache,
-// and the returned row (valid until the scratch's next use) holds the
-// logits after the last token. Bit-identical to T sequential single-token
-// steps: each layer operator's noise stream sees the same rows in the same
-// order either way, and every digital kernel is row-independent. Nothing is
-// mutated when an error is returned.
-func prefillInto(st *decodeState, tokens []int, sc *decodeScratch) ([]float32, error) {
-	r := st.runner
-	m := r.model
-	T := len(tokens)
-	if T == 0 {
-		return nil, ErrEmptyPrompt
-	}
-	if st.pos+T > m.Cfg.MaxSeq {
-		return nil, ErrCacheFull
-	}
-	for _, tok := range tokens {
-		if tok < 0 || tok >= m.Cfg.Vocab {
-			return nil, &TokenRangeError{Token: tok, Vocab: m.Cfg.Vocab}
-		}
-	}
-	d := m.Cfg.DModel
-	x := sc.mat(&sc.xM, &sc.x, T, d)
-	positions := growInt(&sc.pos, T)
-	for i, tok := range tokens {
-		positions[i] = st.pos + i
-		copy(x.Row(i), m.TokEmb.Value.Row(tok))
-		if m.Cfg.Arch == ArchOPT {
-			tensor.Axpy(1, m.PosEmb.Value.Row(positions[i]), x.Row(i))
-		}
-	}
-	for l, b := range m.Blocks {
-		prefillBlock(r, st, l, b, x, positions, sc)
-	}
-	// Only the last row's logits are observable — a sequential prefill
-	// computes (and discards) the earlier rows' LM-head products, which
-	// draw nothing, so skipping them cannot change results.
-	last := rowView(&sc.rowIn, x, T-1)
-	h := sc.mat(&sc.hM, &sc.h, 1, d)
-	if m.Cfg.Arch == ArchOPT {
-		layerNormInferInto(h, last, m.FinalNormGain.Value.Row(0), m.FinalNormBias.Value.Row(0))
-	} else {
-		rmsNormInferInto(h, last, m.FinalNormGain.Value.Row(0))
-	}
-	logits := sc.mat(&sc.logitsM, &sc.logits, 1, m.Cfg.Vocab)
-	tensor.MatMulInto(logits, h, m.LMHead.Value)
-	st.pos += T
-	return logits.Row(0), nil
-}
-
-// prefillBlock runs one transformer block over the T stacked prompt rows of
-// a single sequence, filling its KV cache at positions[i].
-func prefillBlock(r *Runner, st *decodeState, layer int, b *Block, x *tensor.Matrix, positions []int, sc *decodeScratch) {
-	m := r.model
-	names := r.layerNames[layer]
-	n, d := x.Rows, x.Cols
-
-	h := sc.mat(&sc.hM, &sc.h, n, d)
-	if m.Cfg.Arch == ArchOPT {
-		layerNormInferInto(h, x, b.AttnNormGain.Value.Row(0), b.AttnNormBias.Value.Row(0))
-	} else {
-		rmsNormInferInto(h, x, b.AttnNormGain.Value.Row(0))
-	}
-	q := sc.mat(&sc.qM, &sc.q, n, b.WQ.Value.Cols)
-	k := sc.mat(&sc.kM, &sc.k, n, b.WK.Value.Cols)
-	v := sc.mat(&sc.vM, &sc.v, n, b.WV.Value.Cols)
-	r.applyInto(names["attn.q"], h, q)
-	r.applyInto(names["attn.k"], h, k)
-	r.applyInto(names["attn.v"], h, v)
-	if m.Cfg.Arch == ArchLLaMA {
-		ropeInferInPlace(q, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
-		ropeInferInPlace(k, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
-	}
-	attn := sc.mat(&sc.attnM, &sc.attn, n, d)
-	for i := 0; i < n; i++ {
-		copy(st.kCache[layer].Row(positions[i]), k.Row(i))
-		copy(st.vCache[layer].Row(positions[i]), v.Row(i))
-		attendCachedRow(attn.Row(i), m, st.kCache[layer], st.vCache[layer], q.Row(i), positions[i], &sc.scores)
-	}
-	o := sc.mat(&sc.oM, &sc.o, n, d)
-	r.applyInto(names["attn.o"], attn, o)
-	x.AddInPlace(o)
-
-	if m.Cfg.Arch == ArchOPT {
-		layerNormInferInto(h, x, b.MLPNormGain.Value.Row(0), b.MLPNormBias.Value.Row(0))
-		ff := b.W1.Value.Cols
-		f1 := sc.mat(&sc.ff1M, &sc.ff1, n, ff)
-		r.applyInto(names["mlp.fc1"], h, f1)
-		f1.ApplyInPlace(func(v float32) float32 {
-			if v > 0 {
-				return v
+			vb := st.pages[p][(layer*2+1)*pt*kvd:]
+			for s := s0; s < s0+nseg; s++ {
+				w := sc[t] * inv
+				vrow := vb[s*kvd+kvLo:][:dh]
+				for c := range orow {
+					orow[c] += w * vrow[c]
+				}
+				t++
 			}
-			return 0
-		})
-		r.applyInto(names["mlp.fc2"], f1, o)
-	} else {
-		rmsNormInferInto(h, x, b.MLPNormGain.Value.Row(0))
-		ff := b.WGate.Value.Cols
-		gate := sc.mat(&sc.ff1M, &sc.ff1, n, ff)
-		r.applyInto(names["mlp.gate"], h, gate)
-		gate.ApplyInPlace(siluScalar)
-		up := sc.mat(&sc.ff2M, &sc.ff2, n, ff)
-		r.applyInto(names["mlp.up"], h, up)
-		gate.MulInPlace(up)
-		r.applyInto(names["mlp.down"], gate, o)
+			t0 += nseg
+		}
 	}
-	x.AddInPlace(o)
 }

@@ -166,6 +166,143 @@ func TestBatchGeneratorErrors(t *testing.T) {
 	}
 }
 
+// Chunked prefill must be bit-identical to the sequential Generator for
+// every chunk size and page size, even while the prefilling prompt's chunks
+// share their steps with another sequence's live decode rows — the tentpole
+// contract of the chunked-prefill scheduler. The long prompt is fed through
+// Begin + StepSegs in fixed-size chunks riding along with a decoding short
+// sequence, then both decode together; every observable logits row must
+// equal the sequential run's row exactly (float bit equality).
+func TestChunkedPrefillMatchesSequential(t *testing.T) {
+	for _, cfg := range []Config{optConfig(), llamaConfig()} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			m, err := NewModel(cfg, rng.New(815))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := NewRunner(m)
+			long := []int{7, 0, 3, 3, 11, 24, 9, 16, 2, 28, 5, 1}
+			short := []int{5, 1, 29}
+			const steps = 5
+			wantLong, _ := greedySequential(r, long, steps)
+			// The short sequence decodes one token per prefill chunk plus the
+			// joint steps; size its reference for the smallest chunk size.
+			wantShort, _ := greedySequential(r, short, len(long)+steps)
+
+			for _, pageTokens := range []int{3, DefaultKVPageTokens, cfg.MaxSeq} {
+				for _, chunk := range []int{1, 3, 5, len(long)} {
+					bg := NewBatchGeneratorPaged(r, 2, pageTokens, 0)
+					emitL, emitS := 0, 0
+					check := func(want [][]float32, emit *int, row []float32) {
+						w := want[*emit]
+						for j := range row {
+							if row[j] != w[j] {
+								t.Fatalf("page=%d chunk=%d: row %d col %d: chunked %v != sequential %v",
+									pageTokens, chunk, *emit, j, row[j], w[j])
+							}
+						}
+						*emit++
+					}
+					slotS, logitsS, err := bg.Admit(short, "")
+					if err != nil {
+						t.Fatal(err)
+					}
+					check(wantShort, &emitS, logitsS)
+					nextS := argmax(logitsS)
+					slotL, err := bg.Begin("", 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Prefill the long prompt chunk by chunk, each chunk batched
+					// with one of the short sequence's decode rows.
+					var nextL int
+					for off := 0; off < len(long); {
+						n := chunk
+						if off+n > len(long) {
+							n = len(long) - off
+						}
+						logits, err := bg.StepSegs([]StepSeg{
+							{Slot: slotS, Tokens: []int{nextS}},
+							{Slot: slotL, Tokens: long[off : off+n]},
+						})
+						if err != nil {
+							t.Fatalf("page=%d chunk=%d off=%d: %v", pageTokens, chunk, off, err)
+						}
+						check(wantShort, &emitS, logits.Row(0))
+						nextS = argmax(logits.Row(0))
+						off += n
+						if off == len(long) {
+							// The completing chunk's row is the prompt's logits.
+							check(wantLong, &emitL, logits.Row(1))
+							nextL = argmax(logits.Row(1))
+						}
+					}
+					if bg.Pos(slotL) != len(long) {
+						t.Fatalf("prefilled pos = %d, want %d", bg.Pos(slotL), len(long))
+					}
+					// Joint decode: both sequences advance together.
+					for s := 0; s < steps-1; s++ {
+						logits, err := bg.Step([]int{slotL, slotS}, []int{nextL, nextS})
+						if err != nil {
+							t.Fatal(err)
+						}
+						check(wantLong, &emitL, logits.Row(0))
+						check(wantShort, &emitS, logits.Row(1))
+						nextL = argmax(logits.Row(0))
+						nextS = argmax(logits.Row(1))
+					}
+					bg.Release(slotL)
+					bg.Release(slotS)
+				}
+			}
+		})
+	}
+}
+
+// Chunked prefill + decode must stay allocation-free in steady state, like
+// the pure-decode path: pooled segments, pooled per-row tables, pooled
+// pages.
+func TestChunkedStepAllocs(t *testing.T) {
+	cfg := optConfig()
+	cfg.MaxSeq = 256
+	m, _ := NewModel(cfg, rng.New(816))
+	bg := NewBatchGeneratorPaged(NewRunner(m), 2, 8, 0)
+	prompt := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	slotD, _, err := bg.Admit([]int{3, 4}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make([]StepSeg, 2)
+	tokD := []int{2}
+	runOnce := func() {
+		slotP, err := bg.Begin("", 0)
+		if err != nil {
+			panic(err)
+		}
+		for off := 0; off < len(prompt); off += 4 {
+			segs[0] = StepSeg{Slot: slotD, Tokens: tokD}
+			segs[1] = StepSeg{Slot: slotP, Tokens: prompt[off : off+4]}
+			if _, err := bg.StepSegs(segs); err != nil {
+				panic(err)
+			}
+		}
+		bg.Release(slotP)
+		if bg.Pos(slotD) >= cfg.MaxSeq-1 {
+			bg.Release(slotD)
+			slotD, _, err = bg.Admit([]int{3, 4}, "")
+			if err != nil {
+				panic(err)
+			}
+		}
+	}
+	runOnce() // warm the scratch
+	allocs := testing.AllocsPerRun(50, runOnce)
+	if allocs != 0 {
+		t.Fatalf("chunked step allocates %v times in steady state, want 0", allocs)
+	}
+}
+
 func TestGeneratorCheckedErrors(t *testing.T) {
 	cfg := optConfig()
 	cfg.MaxSeq = 4

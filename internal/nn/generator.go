@@ -20,9 +20,17 @@ type Generator struct {
 }
 
 // NewGenerator returns an empty-generation state over the runner's model
-// and operators.
+// and operators. The single sequence owns a private one-page KV pool
+// spanning the whole context window — the degenerate page size, so the
+// sequential path pays no paging overhead.
 func NewGenerator(r *Runner) *Generator {
-	return &Generator{r: r, st: newDecodeState(r)}
+	m := r.model
+	pool := newKVPagePool(len(m.Blocks), m.Cfg.KVDim(), m.Cfg.MaxSeq, 1)
+	st := newDecodeState(r, pool)
+	if err := st.reserve(m.Cfg.MaxSeq); err != nil {
+		panic(err.Error()) // unreachable: the pool was sized for exactly this
+	}
+	return &Generator{r: r, st: st}
 }
 
 // Pos returns the number of tokens consumed so far.
@@ -39,9 +47,9 @@ func (g *Generator) Reset() {
 // for out-of-vocabulary ids — the serving path maps both to 4xx responses
 // instead of crashing the process. State is unchanged on error.
 func (g *Generator) AppendChecked(token int) ([]float32, error) {
-	g.sc.states1[0] = g.st
 	g.sc.tok1[0] = token
-	logits, err := decodeStepInto(g.r, g.sc.states1[:], g.sc.tok1[:], &g.sc)
+	g.sc.seg1[0] = stepSeg{st: g.st, tokens: g.sc.tok1[:]}
+	logits, err := stepSegments(g.r, g.sc.seg1[:], &g.sc)
 	if err != nil {
 		return nil, err
 	}

@@ -3,9 +3,11 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"sort"
 	"time"
 
 	"nora/internal/core"
@@ -64,22 +66,29 @@ type genJob struct {
 	events      chan generateEvent
 }
 
-// genSeq is a job while it occupies a BatchGenerator slot.
+// genSeq is a job while it occupies a BatchGenerator slot. pending holds
+// the prompt suffix not yet fed through the model: admission only reserves
+// the slot and its KV pages, then the prompt is consumed in chunks of at
+// most Config.PrefillChunk tokens that ride along with the other sequences'
+// decode rows. Once pending drains, next carries the sampled-but-not-yet-
+// appended token like any decode-phase sequence.
 type genSeq struct {
 	job     *genJob
 	slot    int
-	next    int // sampled but not yet appended token
+	pending []int // unfed prompt suffix; non-empty ⇒ mid-prefill
+	next    int   // sampled but not yet appended token (decode phase)
 	emitted int
 }
 
 // genScheduler owns continuous-batching generation for one (model, mode)
-// deployment: a single goroutine drives a BatchGenerator, admitting queued
-// requests whenever a KV slot is free (at step boundaries, never mid-step),
-// advancing every in-flight sequence one token per decode step, and
-// retiring finished or canceled sequences without flushing the rest of the
-// batch. Each request decodes under its own content-derived noise scope, so
-// its stream is a pure function of (deployment, its own tokens) regardless
-// of what shares the batch.
+// deployment: a single goroutine drives a paged-KV BatchGenerator,
+// admitting queued requests whenever their full page budget fits (at step
+// boundaries, never mid-step), advancing every in-flight sequence through
+// mixed decode+prefill steps, and retiring finished or canceled sequences
+// without flushing the rest of the batch. Each request decodes under its
+// own content-derived noise scope, so its stream is a pure function of
+// (deployment, its own tokens) regardless of what shares the batch — and,
+// with chunked prefill, regardless of how its prompt was chunked.
 type genScheduler struct {
 	srv  *Server
 	wl   *harness.Workload
@@ -152,34 +161,45 @@ func (j *genJob) finish(reason string, errText string) {
 	}
 }
 
-// loop is the scheduler goroutine: deploy once, then run decode steps until
-// the server closes. Admission happens only between steps; on shutdown the
-// queue and the in-flight batch retire with "shutdown" finals (generation
-// is not drained to completion — a decode can be arbitrarily long).
+// loop is the scheduler goroutine: deploy once, then run mixed
+// decode+prefill steps until the server closes. Admission happens only
+// between steps. A job that does not fit the KV page pool right now parks
+// (at most one — the queue stays FIFO behind it) and retries at every step
+// boundary until retirements free enough pages. On shutdown the queue, the
+// parked job, and the in-flight batch retire with "shutdown" finals
+// (generation is not drained to completion — a decode can be arbitrarily
+// long).
 func (g *genScheduler) loop() {
 	defer g.srv.wg.Done()
 	dep := g.srv.deployment(g.wl, g.mode)
-	bg := nn.NewBatchGenerator(dep.Runner(), g.srv.cfg.MaxDecodeBatch)
+	bg := nn.NewBatchGeneratorPaged(dep.Runner(), g.srv.cfg.MaxDecodeBatch, 0, g.srv.cfg.KVPages)
 	var active []*genSeq
+	var parked *genJob // pulled from the queue, waiting on a KV slot or pages
 	for {
-		if len(active) == 0 {
+		if len(active) == 0 && parked == nil {
 			select {
 			case job := <-g.queue:
-				active = g.admit(dep, bg, active, job)
+				active, parked = g.admit(bg, active, job)
 			case <-g.stop:
-				g.shutdown(active)
+				g.shutdown(active, parked)
 				return
 			}
 			continue
 		}
-		// Slots free and work queued? Admit at the step boundary.
+		// Step boundary: retry the parked job first (admission stays FIFO),
+		// then drain the queue while slots last.
+		if parked != nil {
+			job := parked
+			parked = nil
+			active, parked = g.admit(bg, active, job)
+		}
 	fill:
-		for bg.Free() > 0 {
+		for parked == nil && bg.Free() > 0 {
 			select {
 			case job := <-g.queue:
-				active = g.admit(dep, bg, active, job)
+				active, parked = g.admit(bg, active, job)
 			case <-g.stop:
-				g.shutdown(active)
+				g.shutdown(active, parked)
 				return
 			default:
 				break fill
@@ -189,10 +209,14 @@ func (g *genScheduler) loop() {
 	}
 }
 
-// shutdown retires every in-flight and queued job with a "shutdown" final.
-func (g *genScheduler) shutdown(active []*genSeq) {
+// shutdown retires every in-flight, parked, and queued job with a
+// "shutdown" final.
+func (g *genScheduler) shutdown(active []*genSeq, parked *genJob) {
 	for _, seq := range active {
 		seq.job.finish("shutdown", "")
+	}
+	if parked != nil {
+		parked.finish("shutdown", "")
 	}
 	for {
 		select {
@@ -204,32 +228,163 @@ func (g *genScheduler) shutdown(active []*genSeq) {
 	}
 }
 
-// admit prefills one request into a free slot and emits its first token.
-// The prefill rides the batched-rows path inside the slot's own noise
-// scope; it is not counted as a decode step (engine gen stats measure
-// decode-batch occupancy), but the server-side prefill counter advances.
-func (g *genScheduler) admit(dep *engine.Deployment, bg *nn.BatchGenerator, active []*genSeq, job *genJob) []*genSeq {
+// admit claims a KV slot and reserves the request's full page budget
+// (prompt plus decode continuation), then parks the prompt for chunked
+// prefill: no model work happens here. The prompt is consumed at most
+// Config.PrefillChunk tokens per step inside the batched passes, so a long
+// prompt never stalls the other sequences' decode — that is the TTFT win.
+// When the generator is out of slots or pages the job is handed back as
+// parked and retried after the next step, once retirements have freed
+// capacity; a budget that could never fit even an idle generator fails
+// immediately instead of parking forever.
+func (g *genScheduler) admit(bg *nn.BatchGenerator, active []*genSeq, job *genJob) ([]*genSeq, *genJob) {
 	if job.ctx.Err() != nil {
 		g.srv.genCanceled.Add(1)
 		job.finish("canceled", "")
-		return active
+		return active, nil
 	}
-	slot, logits, err := bg.Admit(job.prompt, job.scope)
+	// Emitting m tokens appends only m-1 of them after the prompt.
+	budget := len(job.prompt) + job.maxTokens - 1
+	slot, err := bg.Begin(job.scope, budget)
 	if err != nil {
-		// Validation happens before enqueue, so this is an internal fault.
+		if errors.Is(err, nn.ErrNoFreeSlot) || errors.Is(err, nn.ErrNoFreePages) {
+			if bg.PagesFor(budget) <= bg.TotalPages() {
+				return active, job // transient: retry at the next step boundary
+			}
+			err = fmt.Errorf("request needs %d KV pages, pool holds %d: %w",
+				bg.PagesFor(budget), bg.TotalPages(), err)
+		}
 		job.finish("error", err.Error())
-		return active
+		return active, nil
 	}
-	g.srv.genPrefills.Add(1)
-	g.srv.ttftHist.observe(time.Since(job.enqueued), false)
-	seq := &genSeq{job: job, slot: slot}
-	tok := nn.SampleToken(logits, job.temperature, job.topK, job.sampler)
-	return g.emit(bg, active, seq, tok)
+	return append(active, &genSeq{job: job, slot: slot, pending: job.prompt}), nil
+}
+
+// step advances the batch one mixed pass: every decode-phase sequence
+// contributes its one-token row, and mid-prefill sequences contribute
+// prompt chunks until the per-step prefill token budget
+// (Config.PrefillChunk) is spent — one batched pass over the analog tiles
+// serves them all. The budget is allocated shortest-remaining-first: a
+// 16-token prompt finishes its prefill (and starts streaming) in its first
+// ride even when a 512-token prompt is mid-prefill ahead of it, while the
+// long prompt concedes at most the short prompts' tokens per step — that
+// bounded concession is the short-prompt TTFT win. Afterwards decode rows
+// and prompt-completing rows sample their next token (the latter closes
+// the request's TTFT); mid-prompt rows return no usable logits and just
+// advance their pending cursor. Canceled sequences — mid-prefill or not —
+// are retired before the pass, releasing every reserved KV page
+// immediately.
+func (g *genScheduler) step(dep *engine.Deployment, bg *nn.BatchGenerator, active []*genSeq) []*genSeq {
+	live := active[:0]
+	for _, seq := range active {
+		if seq.job.ctx.Err() != nil {
+			bg.Release(seq.slot)
+			g.srv.genCanceled.Add(1)
+			seq.job.finish("canceled", "")
+			continue
+		}
+		live = append(live, seq)
+	}
+	if len(live) == 0 {
+		return live
+	}
+	// Allocate the prefill budget shortest-remaining-first (stable, so ties
+	// keep admission order): alloc[i] is live[i]'s chunk for this step.
+	var prefilling []int
+	for i, seq := range live {
+		if len(seq.pending) > 0 {
+			prefilling = append(prefilling, i)
+		}
+	}
+	sort.SliceStable(prefilling, func(a, b int) bool {
+		return len(live[prefilling[a]].pending) < len(live[prefilling[b]].pending)
+	})
+	alloc := make([]int, len(live))
+	budget := g.srv.cfg.PrefillChunk
+	prefillTokens := 0
+	for _, i := range prefilling {
+		if budget <= 0 {
+			break
+		}
+		n := len(live[i].pending)
+		if n > budget {
+			n = budget
+		}
+		alloc[i] = n
+		budget -= n
+		prefillTokens += n
+	}
+	segs := make([]nn.StepSeg, 0, len(live))
+	rows := make([]*genSeq, 0, len(live)) // rows[i] owns segs[i], in live order
+	toks := make([]int, len(live))        // backing for the decode rows' single tokens
+	decodeRows := 0
+	for i, seq := range live {
+		if len(seq.pending) == 0 {
+			toks[i] = seq.next
+			segs = append(segs, nn.StepSeg{Slot: seq.slot, Tokens: toks[i : i+1]})
+			rows = append(rows, seq)
+			decodeRows++
+			continue
+		}
+		if alloc[i] == 0 {
+			continue // no budget this step; this prompt rides the next one
+		}
+		segs = append(segs, nn.StepSeg{Slot: seq.slot, Tokens: seq.pending[:alloc[i]]})
+		rows = append(rows, seq)
+	}
+	reads0 := dep.OpCounters().MVMs
+	start := time.Now()
+	logits, err := bg.StepSegs(segs)
+	elapsed := time.Since(start)
+	if err != nil {
+		for _, seq := range live {
+			bg.Release(seq.slot)
+			seq.job.finish("error", err.Error())
+		}
+		return live[:0]
+	}
+	dep.RecordGenStep(decodeRows, prefillTokens, elapsed, dep.OpCounters().MVMs-reads0)
+	g.srv.stepHist.observe(elapsed, false)
+	for {
+		old := g.srv.genMaxBatch.Load()
+		if int64(len(segs)) <= old || g.srv.genMaxBatch.CompareAndSwap(old, int64(len(segs))) {
+			break
+		}
+	}
+	// Route each row's result. Sample from a snapshot of each row before
+	// emitting: emit only appends to the survivor list, never touches
+	// logits. Mid-prefill sequences skipped by the budget carry straight
+	// over to the survivor list.
+	out := live[:0]
+	row := 0
+	for _, seq := range live {
+		if len(seq.pending) > 0 {
+			if row < len(rows) && rows[row] == seq {
+				seq.pending = seq.pending[len(segs[row].Tokens):]
+				row++
+				if len(seq.pending) == 0 {
+					// The chunk that finished the prompt: its row holds the
+					// prompt's last-token logits — sample the first token.
+					g.srv.genPrefills.Add(1)
+					g.srv.ttftHist.observe(time.Since(seq.job.enqueued), false)
+					tok := nn.SampleToken(logits.Row(row-1), seq.job.temperature, seq.job.topK, seq.job.sampler)
+					out = g.emit(bg, out, seq, tok)
+					continue
+				}
+			}
+			out = append(out, seq)
+			continue
+		}
+		tok := nn.SampleToken(logits.Row(row), seq.job.temperature, seq.job.topK, seq.job.sampler)
+		row++
+		out = g.emit(bg, out, seq, tok)
+	}
+	return out
 }
 
 // emit delivers one sampled token to the sequence's stream and either keeps
 // the sequence in flight (recording the token as its pending input) or
-// retires it, freeing the KV slot for the next admission.
+// retires it, freeing the KV slot and pages for the next admission.
 func (g *genScheduler) emit(bg *nn.BatchGenerator, active []*genSeq, seq *genSeq, tok int) []*genSeq {
 	seq.job.events <- generateEvent{Token: tok, Index: seq.emitted}
 	seq.emitted++
@@ -246,58 +401,6 @@ func (g *genScheduler) emit(bg *nn.BatchGenerator, active []*genSeq, seq *genSeq
 		active = append(active, seq)
 	}
 	return active
-}
-
-// step advances every in-flight sequence one token through a single batched
-// decode pass, then samples and routes each sequence's next token. Canceled
-// sequences are retired before the pass so they cost nothing.
-func (g *genScheduler) step(dep *engine.Deployment, bg *nn.BatchGenerator, active []*genSeq) []*genSeq {
-	live := active[:0]
-	for _, seq := range active {
-		if seq.job.ctx.Err() != nil {
-			bg.Release(seq.slot)
-			g.srv.genCanceled.Add(1)
-			seq.job.finish("canceled", "")
-			continue
-		}
-		live = append(live, seq)
-	}
-	if len(live) == 0 {
-		return live
-	}
-	ids := make([]int, len(live))
-	toks := make([]int, len(live))
-	for i, seq := range live {
-		ids[i] = seq.slot
-		toks[i] = seq.next
-	}
-	reads0 := dep.OpCounters().MVMs
-	start := time.Now()
-	logits, err := bg.Step(ids, toks)
-	elapsed := time.Since(start)
-	if err != nil {
-		for _, seq := range live {
-			bg.Release(seq.slot)
-			seq.job.finish("error", err.Error())
-		}
-		return live[:0]
-	}
-	dep.RecordGenStep(len(live), elapsed, dep.OpCounters().MVMs-reads0)
-	g.srv.stepHist.observe(elapsed, false)
-	for {
-		old := g.srv.genMaxBatch.Load()
-		if int64(len(live)) <= old || g.srv.genMaxBatch.CompareAndSwap(old, int64(len(live))) {
-			break
-		}
-	}
-	// Sample from a snapshot of each row before emitting: emit only appends
-	// to the survivor list, never touches logits.
-	out := live[:0]
-	for i, seq := range live {
-		tok := nn.SampleToken(logits.Row(i), seq.job.temperature, seq.job.topK, seq.job.sampler)
-		out = g.emit(bg, out, seq, tok)
-	}
-	return out
 }
 
 // genScope labels a generate request's stochastic draws by its prompt, so

@@ -12,6 +12,10 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"nora/internal/core"
+	"nora/internal/nn"
+	"nora/internal/rng"
 )
 
 // doGenerate runs one /v1/generate request through the handler stack and
@@ -110,8 +114,14 @@ func TestGenerateHappyPath(t *testing.T) {
 	if stats.Gen.Requests < 2 || stats.Gen.Prefills < 2 || stats.Gen.Tokens < 10 {
 		t.Fatalf("gen statz counters: %+v", stats.Gen)
 	}
-	if stats.Gen.Steps < 4 || stats.Gen.MeanBatch < 1 {
+	// Mixed steps: prefill-only steps carry zero decode rows, so the mean
+	// decode batch may legitimately dip below 1 here.
+	if stats.Gen.Steps < 4 || stats.Gen.MeanBatch <= 0 {
 		t.Fatalf("gen statz decode steps: %+v", stats.Gen)
+	}
+	// Two requests, three prompt tokens each, all consumed by chunked prefill.
+	if stats.Gen.PrefillTokens != 6 || stats.Gen.PrefillTokensPerSecond <= 0 {
+		t.Fatalf("gen statz prefill counters: %+v", stats.Gen)
 	}
 	if stats.Gen.TTFT.Count < 2 {
 		t.Fatalf("gen statz TTFT histogram empty: %+v", stats.Gen.TTFT)
@@ -340,12 +350,197 @@ func readStreamTokens(t testing.TB, resp *http.Response) []int {
 	return nil
 }
 
+// mkGenJob builds a scheduler-level job for the white-box admission tests
+// below (no HTTP transport, so page accounting can be asserted exactly).
+func mkGenJob(ctx context.Context, prompt []int, maxTokens int) *genJob {
+	return &genJob{
+		ctx:       ctx,
+		prompt:    prompt,
+		maxTokens: maxTokens,
+		scope:     genScope(prompt),
+		sampler:   rng.New(1),
+		enqueued:  time.Now(),
+		events:    make(chan generateEvent, maxTokens+1),
+	}
+}
+
+// drainFinal returns the job's final event, failing if none is buffered.
+func drainFinal(t *testing.T, job *genJob) generateEvent {
+	t.Helper()
+	for {
+		select {
+		case ev := <-job.events:
+			if ev.Done {
+				return ev
+			}
+		default:
+			t.Fatalf("job has no final event buffered")
+		}
+	}
+}
+
+// TestGenerateMidPrefillCancelFreesPages pins the disconnect half of the
+// chunked-prefill contract at the scheduler level: a client that goes away
+// while its prompt is only partially consumed must be retired at the next
+// step boundary, releasing its KV slot and every reserved page — admission
+// capacity for other requests comes back promptly, not at end-of-decode.
+func TestGenerateMidPrefillCancelFreesPages(t *testing.T) {
+	s := testServer(t, Config{PrefillChunk: 2})
+	defer s.Close()
+	wl := s.workloads["tiny"]
+	g := &genScheduler{srv: s, wl: wl, mode: core.DeployAnalogNaive,
+		queue: make(chan *genJob, 4), stop: make(chan struct{})}
+	dep := s.deployment(wl, g.mode)
+	// 4-token pages, 4 pages total: one 16-position budget drains the pool.
+	bg := nn.NewBatchGeneratorPaged(dep.Runner(), 2, 4, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	prompt := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
+	job := mkGenJob(ctx, prompt, 3)
+	active, parked := g.admit(bg, nil, job) // budget 16 → 4 pages
+	if parked != nil || len(active) != 1 {
+		t.Fatalf("admit: active=%d parked=%v", len(active), parked)
+	}
+	if bg.FreePages() != 0 {
+		t.Fatalf("admission must reserve the full budget up front, free=%d", bg.FreePages())
+	}
+	active = g.step(dep, bg, active) // consumes PrefillChunk=2 of 14 prompt tokens
+	if len(active) != 1 || len(active[0].pending) != 12 {
+		t.Fatalf("after one chunked step: active=%d pending=%d", len(active), len(active[0].pending))
+	}
+
+	canceled0 := s.genCanceled.Load()
+	cancel()
+	active = g.step(dep, bg, active) // retired before the pass, mid-prefill
+	if len(active) != 0 {
+		t.Fatalf("canceled mid-prefill sequence still active: %d", len(active))
+	}
+	if bg.FreePages() != 4 || bg.Free() != 2 {
+		t.Fatalf("cancellation must free slot and pages: pages=%d slots=%d", bg.FreePages(), bg.Free())
+	}
+	if s.genCanceled.Load() != canceled0+1 {
+		t.Fatalf("genCanceled not advanced")
+	}
+	if ev := drainFinal(t, job); ev.FinishReason != "canceled" {
+		t.Fatalf("mid-prefill cancel final: %+v", ev)
+	}
+
+	// The freed capacity admits a fresh full-budget request immediately.
+	active, parked = g.admit(bg, nil, mkGenJob(context.Background(), prompt, 3))
+	if parked != nil || len(active) != 1 {
+		t.Fatalf("re-admission after mid-prefill cancel: active=%d parked=%v", len(active), parked)
+	}
+	bg.Release(active[0].slot)
+}
+
+// TestGenerateAdmissionParksOnPageExhaustion pins the holding-area policy:
+// a job that fits the pool in principle parks (and is retried at step
+// boundaries) when pages are momentarily exhausted, while a job whose
+// budget could never fit fails immediately with an "error" final instead of
+// parking forever.
+func TestGenerateAdmissionParksOnPageExhaustion(t *testing.T) {
+	s := testServer(t, Config{})
+	defer s.Close()
+	wl := s.workloads["tiny"]
+	g := &genScheduler{srv: s, wl: wl, mode: core.DeployDigital,
+		queue: make(chan *genJob, 4), stop: make(chan struct{})}
+	dep := s.deployment(wl, g.mode)
+	bg := nn.NewBatchGeneratorPaged(dep.Runner(), 2, 4, 4)
+
+	holder := mkGenJob(context.Background(), []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}, 3)
+	active, parked := g.admit(bg, nil, holder) // takes all 4 pages
+	if parked != nil || bg.FreePages() != 0 {
+		t.Fatalf("holder admission: parked=%v free=%d", parked, bg.FreePages())
+	}
+
+	// Fits in principle (1 page) but not right now → parked, no final event.
+	waiter := mkGenJob(context.Background(), []int{1, 2}, 2)
+	active2, parked2 := g.admit(bg, nil, waiter)
+	if parked2 != waiter || len(active2) != 0 {
+		t.Fatalf("page-starved job must park: active=%d parked=%v", len(active2), parked2)
+	}
+	select {
+	case ev := <-waiter.events:
+		t.Fatalf("parked job emitted %+v", ev)
+	default:
+	}
+
+	// Release the holder; the parked job admits on retry.
+	bg.Release(active[0].slot)
+	active2, parked2 = g.admit(bg, nil, waiter)
+	if parked2 != nil || len(active2) != 1 {
+		t.Fatalf("parked job retry after release: active=%d parked=%v", len(active2), parked2)
+	}
+	bg.Release(active2[0].slot)
+
+	// A budget larger than the whole pool can never park its way in: the
+	// pool holds 2 pages = 8 positions, the job needs 10.
+	tiny := nn.NewBatchGeneratorPaged(dep.Runner(), 2, 4, 2)
+	never := mkGenJob(context.Background(), []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 1)
+	active3, parked3 := g.admit(tiny, nil, never)
+	if parked3 != nil || len(active3) != 0 {
+		t.Fatalf("oversized job must fail, not park: active=%d parked=%v", len(active3), parked3)
+	}
+	if ev := drainFinal(t, never); ev.FinishReason != "error" || ev.Error == "" {
+		t.Fatalf("oversized job final: %+v", ev)
+	}
+}
+
+// TestGenerateAdmissionFullCleanReject pins the saturation contract: with
+// every KV slot, page, and queue position busy, the next request comes back
+// as an immediate, well-formed 429 with Retry-After — never a hang — and
+// other deployments keep serving normally. The stuffed scheduler's loop is
+// deliberately never started, so the saturated state cannot drain under the
+// test (a live server this overloaded behaves identically until a sequence
+// retires).
+func TestGenerateAdmissionFullCleanReject(t *testing.T) {
+	s := testServer(t, Config{MaxDecodeBatch: 1, QueueDepth: 1, KVPages: 1})
+	defer s.Close()
+	wl := s.workloads["tiny"]
+	g := &genScheduler{srv: s, wl: wl, mode: core.DeployAnalogNaive,
+		queue: make(chan *genJob, s.cfg.QueueDepth), stop: make(chan struct{})}
+	g.queue <- mkGenJob(context.Background(), []int{1}, 1) // queue at capacity
+	s.mu.Lock()
+	s.genScheds[wl.Spec.Key+"/"+core.DeployAnalogNaive.String()] = g
+	s.mu.Unlock()
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/generate",
+		strings.NewReader(`{"model":"tiny","mode":"naive","prompt":[1,2,3],"max_tokens":4}`))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req) // synchronous: returning at all proves no hang
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated generate: %d %s, want 429", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After")
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+		t.Fatalf("429 body not a JSON error: %q (%v)", rec.Body.String(), err)
+	}
+	if got := s.StatzSnapshot().Gen.QueueFull; got != 1 {
+		t.Fatalf("genQueueFull=%d, want 1", got)
+	}
+
+	// A different deployment of the same model is unaffected.
+	code, events, errBody := doGenerate(t, s,
+		`{"model":"tiny","mode":"digital","prompt":[1,2,3],"max_tokens":4}`)
+	if code != http.StatusOK {
+		t.Fatalf("unrelated deployment: %d %v", code, errBody)
+	}
+	if final := finalOf(t, events); final.FinishReason != "length" {
+		t.Fatalf("unrelated deployment final: %+v", final)
+	}
+}
+
 // TestGenerateConcurrentHammer drives a live server with concurrent
-// generating clients — some canceling mid-stream — through shutdown; run
-// under -race in CI. Every stream must end cleanly or with a transport
-// error from the closing listener, never a hang.
+// generating clients — mixed short and long prompts (the long ones prefill
+// in chunks across several steps), some canceling mid-stream, over a
+// page-starved KV pool (3 pages for 4 slots, so admissions park and retry)
+// — through shutdown; run under -race in CI. Every stream must end cleanly
+// or with a transport error from the closing listener, never a hang.
 func TestGenerateConcurrentHammer(t *testing.T) {
-	s := testServer(t, Config{MaxDecodeBatch: 4})
+	s := testServer(t, Config{MaxDecodeBatch: 4, PrefillChunk: 3, KVPages: 3})
 	ts := httptest.NewServer(s)
 
 	const clients = 6
@@ -363,6 +558,10 @@ func TestGenerateConcurrentHammer(t *testing.T) {
 				}
 				ctx, cancel := context.WithCancel(context.Background())
 				body := fmt.Sprintf(`{"model":"tiny","mode":"digital","prompt":[%d,1,2],"max_tokens":10}`, (c+n)%16)
+				if c%2 == 1 {
+					// Long prompt: 13 tokens chunk into ⌈13/3⌉ = 5 prefill steps.
+					body = fmt.Sprintf(`{"model":"tiny","mode":"digital","prompt":[%d,1,2,3,4,5,6,7,8,9,10,11,12],"max_tokens":4}`, (c+n)%16)
+				}
 				req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/generate", strings.NewReader(body))
 				req.Header.Set("Content-Type", "application/json")
 				resp, err := http.DefaultClient.Do(req)

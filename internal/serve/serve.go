@@ -13,12 +13,15 @@
 //	GET  /statz       — engine stats, cache hit rates, fault stats, batcher
 //	                    + generation counters, latency histograms
 //
-// Generation (generate.go) uses vLLM-style continuous batching: one
-// scheduler goroutine per (model, mode) drives an nn.BatchGenerator,
-// admitting queued prompts whenever a KV slot frees up — at decode-step
-// boundaries, never mid-step — and retiring finished sequences without
-// flushing the rest of the batch. Every decode step advances all in-flight
-// sequences one token through a single batched pass over the analog tiles.
+// Generation (generate.go) uses vLLM-style continuous batching with
+// chunked prefill over a paged KV cache: one scheduler goroutine per
+// (model, mode) drives an nn.BatchGenerator, admitting queued prompts
+// whenever their KV page budget fits — at step boundaries, never mid-step —
+// and retiring finished sequences without flushing the rest of the batch.
+// Every step runs one batched pass over the analog tiles carrying all live
+// decode rows plus up to Config.PrefillChunk tokens of pending prompts, so
+// long prompts prefill incrementally instead of stalling every running
+// sequence (short-prompt TTFT stays flat under mixed-length load).
 //
 // The core is the dynamic micro-batcher (batcher.go): concurrent predict
 // requests that target the same (model, mode, config) deployment coalesce
@@ -78,6 +81,23 @@ type Config struct {
 	// the number of preallocated KV-cache slots per (model, mode)). <= 0
 	// selects DefaultMaxDecodeBatch.
 	MaxDecodeBatch int
+	// PrefillChunk bounds the prompt tokens one mixed decode step consumes
+	// across all mid-prefill sequences: long prompts are fed through the
+	// model in chunks of at most this many tokens, riding along with the
+	// live decode rows, so a 512-token prompt never stalls every other
+	// sequence's next token for a monolithic prefill. Smaller chunks mean
+	// lower inter-token latency for running sequences and later first
+	// tokens for long prompts. Chunking never changes any answer — each
+	// sequence's noise streams depend only on its own scope and token
+	// order. <= 0 selects DefaultPrefillChunk.
+	PrefillChunk int
+	// KVPages sizes each scheduler's paged KV pool (pages of
+	// nn.DefaultKVPageTokens positions each). Admission reserves
+	// ceil((prompt+max_tokens-1)/pageTokens) pages per request, so capacity
+	// is governed by actual sequence lengths instead of slots × MaxSeq
+	// worst-case slabs. <= 0 sizes the pool so MaxDecodeBatch full-window
+	// sequences fit — the slab-equivalent default.
+	KVPages int
 	// Analog is the tile configuration for analog deployments. The zero
 	// value selects analog.PaperPreset().
 	Analog analog.Config
@@ -90,6 +110,7 @@ const (
 	DefaultQueueDepth     = 256
 	DefaultRequestTimeout = 30 * time.Second
 	DefaultMaxDecodeBatch = 16
+	DefaultPrefillChunk   = 64
 )
 
 func (c Config) withDefaults() Config {
@@ -108,6 +129,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxDecodeBatch <= 0 {
 		c.MaxDecodeBatch = DefaultMaxDecodeBatch
 	}
+	if c.PrefillChunk <= 0 {
+		c.PrefillChunk = DefaultPrefillChunk
+	}
+	// KVPages <= 0 stays as-is: the BatchGenerator sizes the slab-equivalent
+	// pool itself.
 	if c.Analog == (analog.Config{}) {
 		c.Analog = analog.PaperPreset()
 	}
@@ -523,14 +549,23 @@ type GenStatz struct {
 	QueueFull int64 `json:"queue_full"`
 	Canceled  int64 `json:"canceled"`
 	// Steps/MeanBatch/TokensPerSecond mirror the engine's decode-step
-	// counters for convenience; MaxBatch is the largest batch stepped.
+	// counters for convenience; MaxBatch is the largest number of rows
+	// (decode + prefill chunks) one mixed step carried.
 	Steps           int64   `json:"steps"`
 	MeanBatch       float64 `json:"mean_batch"`
 	MaxBatch        int64   `json:"max_batch"`
 	TokensPerSecond float64 `json:"tokens_per_second"`
-	AnalogReads     int64   `json:"analog_reads"`
+	// PrefillTokens counts prompt tokens consumed by chunked prefill;
+	// PrefillTokensPerSecond normalizes them over total gen-step time.
+	PrefillTokens          int64   `json:"prefill_tokens"`
+	PrefillTokensPerSecond float64 `json:"prefill_tokens_per_second"`
+	AnalogReads            int64   `json:"analog_reads"`
 
 	MaxDecodeBatch int64 `json:"max_decode_batch"`
+	// PrefillChunk is the per-step prompt-token budget; KVPages the
+	// configured page-pool size (0 = slab-equivalent auto-sizing).
+	PrefillChunk int64 `json:"prefill_chunk"`
+	KVPages      int64 `json:"kv_pages"`
 
 	// TTFT is the enqueue→first-token latency distribution; Step the
 	// batched decode-step latency distribution.
@@ -593,10 +628,15 @@ func (s *Server) StatzSnapshot() Statz {
 		MeanBatch:       es.GenMeanBatch(),
 		MaxBatch:        s.genMaxBatch.Load(),
 		TokensPerSecond: es.GenTokensPerSecond(),
-		AnalogReads:     es.GenReads,
-		MaxDecodeBatch:  int64(s.cfg.MaxDecodeBatch),
-		TTFT:            s.ttftHist.stats(),
-		Step:            s.stepHist.stats(),
+
+		PrefillTokens:          es.GenPrefillTokens,
+		PrefillTokensPerSecond: es.GenPrefillTokensPerSecond(),
+		AnalogReads:            es.GenReads,
+		MaxDecodeBatch:         int64(s.cfg.MaxDecodeBatch),
+		PrefillChunk:           int64(s.cfg.PrefillChunk),
+		KVPages:                int64(s.cfg.KVPages),
+		TTFT:                   s.ttftHist.stats(),
+		Step:                   s.stepHist.stats(),
 	}
 	var faults analog.FaultStats
 	depCost := make(map[string]analog.CostComparison)

@@ -1,23 +1,26 @@
 #!/usr/bin/env bash
 # Runs the analog read-path and decode-throughput benchmark set (every
-# benchmark matching MVM|Forward|Decode) -count times and distills the
-# medians into a checked-in JSON artifact via scripts/benchsummary. The
+# benchmark matching MVM|Forward|Decode|Prefill) -count times and distills
+# the medians into a checked-in JSON artifact via scripts/benchsummary. The
 # Decode set records the continuous-batching acceptance numbers: aggregate
 # tok/s of DecodeBatch8/DecodeBatch16 vs the sequential DecodeT1 baseline.
+# The Prefill/DecodeMixed set records the chunked-prefill acceptance
+# numbers: short-prompt p95 TTFT of DecodeMixedChunked64 vs
+# DecodeMixedMonolithic at aggregate tok/s within 5%.
 #
 # Usage:
-#   scripts/bench.sh                 # 5 runs, 1s each, writes BENCH_pr7.json
+#   scripts/bench.sh                 # 5 runs, 1s each, writes BENCH_pr8.json
 #   COUNT=3 BENCHTIME=2s OUT=/tmp/b.json scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-1s}"
-OUT="${OUT:-BENCH_pr7.json}"
+OUT="${OUT:-BENCH_pr8.json}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'MVM|Forward|Decode' -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$raw"
+go test -run '^$' -bench 'MVM|Forward|Decode|Prefill' -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$raw"
 go run ./scripts/benchsummary -out "$OUT" <"$raw"
 echo "wrote $OUT"

@@ -57,7 +57,7 @@ func main() {
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	flag.Parse()
 
-	res := output{Command: "go test -run '^$' -bench 'MVM|Forward|Decode' -count N"}
+	res := output{Command: "go test -run '^$' -bench 'MVM|Forward|Decode|Prefill' -count N"}
 	ns := map[string][]float64{}
 	bytes := map[string][]float64{}
 	allocs := map[string][]float64{}

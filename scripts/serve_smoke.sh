@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — end-to-end smoke of the HTTP inference service: start
 # nora-serve on a random port against the committed zoo, wait for /healthz,
-# issue a /v1/predict, check /statz, then SIGINT and require a clean drain.
-# CI runs this; it is also the quickest way to sanity-check serving locally.
+# issue a /v1/predict, check generation determinism (including a long and
+# a short prompt decoded concurrently under chunked prefill), check /statz,
+# then SIGINT and require a clean drain. CI runs this; it is also the
+# quickest way to sanity-check serving locally.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,7 +15,9 @@ LOG="$(mktemp)"
 trap 'kill "${SERVE_PID}" 2>/dev/null || true; rm -f "${LOG}"' EXIT
 
 go build -o /tmp/nora-serve-smoke ./cmd/nora-serve
-/tmp/nora-serve-smoke -addr "${ADDR}" -models opt-c1 >"${LOG}" 2>&1 &
+# -prefill-chunk 4 forces the long prompt below to prefill across several
+# mixed steps, exercising the chunked path rather than a single pass.
+/tmp/nora-serve-smoke -addr "${ADDR}" -models opt-c1 -prefill-chunk 4 >"${LOG}" 2>&1 &
 SERVE_PID=$!
 
 # Wait for the server to come up (zoo load + listener bind).
@@ -79,9 +83,44 @@ if [ "${toks1}" != "${toks2}" ]; then
     exit 1
 fi
 
+# Chunked-prefill determinism under concurrency: a long prompt (several
+# -prefill-chunk 4 chunks) and a short one decoded at the same time must
+# each produce the exact tokens they produce alone — batch composition and
+# chunk boundaries must not leak into any sequence's noise stream.
+LONG='[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24]'
+SHORT='[5,6,7]'
+long_alone=$(curl -sfN -X POST "http://${ADDR}/v1/generate" \
+    -d '{"model":"opt-c1","mode":"nora","prompt":'"${LONG}"',"max_tokens":6}')
+short_alone=$(curl -sfN -X POST "http://${ADDR}/v1/generate" \
+    -d '{"model":"opt-c1","mode":"nora","prompt":'"${SHORT}"',"max_tokens":6}')
+long_out="$(mktemp)"; short_out="$(mktemp)"
+curl -sfN -X POST "http://${ADDR}/v1/generate" \
+    -d '{"model":"opt-c1","mode":"nora","prompt":'"${LONG}"',"max_tokens":6}' >"${long_out}" &
+LONG_PID=$!
+curl -sfN -X POST "http://${ADDR}/v1/generate" \
+    -d '{"model":"opt-c1","mode":"nora","prompt":'"${SHORT}"',"max_tokens":6}' >"${short_out}" &
+SHORT_PID=$!
+wait "${LONG_PID}" "${SHORT_PID}"
+long_toks_alone=$(echo "${long_alone}" | grep -o '"token":[0-9]*' | tr '\n' ' ')
+short_toks_alone=$(echo "${short_alone}" | grep -o '"token":[0-9]*' | tr '\n' ' ')
+long_toks_conc=$(grep -o '"token":[0-9]*' "${long_out}" | tr '\n' ' ')
+short_toks_conc=$(grep -o '"token":[0-9]*' "${short_out}" | tr '\n' ' ')
+rm -f "${long_out}" "${short_out}"
+if [ "${long_toks_alone}" != "${long_toks_conc}" ]; then
+    echo "serve_smoke: long prompt drifted under concurrency: '${long_toks_alone}' vs '${long_toks_conc}'" >&2
+    exit 1
+fi
+if [ "${short_toks_alone}" != "${short_toks_conc}" ]; then
+    echo "serve_smoke: short prompt drifted under concurrency: '${short_toks_alone}' vs '${short_toks_conc}'" >&2
+    exit 1
+fi
+echo "concurrent long+short generation: deterministic"
+
 statz=$(curl -sf "http://${ADDR}/statz")
 echo "${statz}" | grep -q '"batch"'
 echo "${statz}" | grep -q '"gen"'
+echo "${statz}" | grep -q '"prefill_tokens"'
+echo "${statz}" | grep -q '"kv_pages"'
 
 # Clean shutdown: SIGINT must drain and exit 0.
 kill -INT "${SERVE_PID}"
