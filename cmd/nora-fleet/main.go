@@ -1,0 +1,237 @@
+// Command nora-fleet runs the multi-chip fleet study (E24): served
+// accuracy and virtual-time queueing delay versus fleet size and worst-chip
+// stuck-at fault rate, comparing round-robin routing against the
+// health-aware router (internal/fleet). Chips form a linear fault gradient
+// from fresh to the worst rate; every chip realizes its own content-keyed
+// fault draw, so results are bit-identical across runs and machines.
+//
+// With -scenario the command also scripts a fleet failure drill against the
+// largest configured fleet and prints the per-chip outcome:
+//
+//	failure  fail the busiest chip mid-traffic, show the routing shift to
+//	         the survivors, restore it
+//	rolling  re-program every chip in sequence (fresh fault draws), the
+//	         router steering traffic around the chip being rewritten
+//
+// Usage:
+//
+//	nora-fleet [-modeldir testdata/models] [-eval 150] [-models opt-c3]
+//	           [-sizes 1,2,4,8] [-rates 0,0.02,0.08] [-requests 2000]
+//	           [-gap 0.6] [-scenario failure|rolling] [-csv out.csv] [-quick]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nora/internal/analog"
+	"nora/internal/cli"
+	"nora/internal/core"
+	"nora/internal/engine"
+	"nora/internal/fleet"
+	"nora/internal/harness"
+	"nora/internal/prof"
+)
+
+func main() {
+	var opt cli.Options
+	opt.RegisterFlags(flag.CommandLine)
+	csvPath := flag.String("csv", "", "also write the sweep as CSV")
+	models := flag.String("models", "", "comma-separated zoo keys (default: all)")
+	sizes := flag.String("sizes", "", "comma-separated fleet sizes (default: study ladder)")
+	rates := flag.String("rates", "", "comma-separated worst-chip stuck-at rates (default: study ladder)")
+	requests := flag.Int("requests", harness.DefaultFleetRequests, "virtual requests per routing simulation")
+	gap := flag.Float64("gap", harness.DefaultFleetGap, "virtual arrival gap between requests")
+	scenario := flag.String("scenario", "", "also run a failure drill: failure or rolling")
+	flag.Parse()
+	if err := run(&opt, *csvPath, *models, *sizes, *rates, *requests, *gap, *scenario); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(opt *cli.Options, csvPath, models, sizes, rates string, requests int, gap float64, scenario string) error {
+	if err := opt.Finish(); err != nil {
+		return err
+	}
+
+	stopProf := prof.Start()
+	defer stopProf()
+
+	sizeLadder := harness.DefaultFleetSizes()
+	rateLadder := harness.DefaultFleetRates()
+	if opt.Quick {
+		sizeLadder = []int{1, 3}
+		rateLadder = []float64{0, 0.05}
+		requests = 300
+		if models == "" {
+			models = "opt-c3"
+		}
+		opt.QuickEval(30)
+	}
+	var err error
+	if sizes != "" {
+		if sizeLadder, err = parseInts(sizes); err != nil {
+			return fmt.Errorf("-sizes: %w", err)
+		}
+	}
+	if rates != "" {
+		if rateLadder, err = cli.ParseFloats(rates); err != nil {
+			return fmt.Errorf("-rates: %w", err)
+		}
+	}
+
+	ws, err := opt.LoadModels(models)
+	if err != nil {
+		return err
+	}
+
+	eng := opt.NewEngine()
+	base := analog.PaperPreset()
+
+	rows := harness.FleetSweep(eng, ws, base, sizeLadder, rateLadder, requests, gap)
+	tbl := harness.FleetTable(rows)
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if csvPath != "" {
+		if err := tbl.WriteCSVFile(csvPath); err != nil {
+			return err
+		}
+	}
+
+	if scenario != "" {
+		size := sizeLadder[len(sizeLadder)-1]
+		rate := rateLadder[len(rateLadder)-1]
+		if err := runScenario(eng, ws[0], base, scenario, size, rate); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr, eng.Stats())
+	return nil
+}
+
+// chipName renders a chip ID for the drill output ("" is the implicit
+// fresh chip).
+func chipName(id string) string {
+	if id == "" {
+		return "chip0"
+	}
+	return id
+}
+
+// fire routes n synchronous requests through the group — the same
+// Acquire/release path nora-serve requests take — and tallies which chips
+// carried them.
+func fire(grp *fleet.Group, n int) (map[string]int, error) {
+	served := make(map[string]int)
+	for i := 0; i < n; i++ {
+		rep, release, err := grp.Acquire()
+		if err != nil {
+			return served, err
+		}
+		for _, c := range rep.Chips() {
+			served[chipName(c.Spec.ID)]++
+		}
+		release()
+	}
+	return served, nil
+}
+
+// runScenario scripts one failure drill on a gradient fleet and prints the
+// per-chip outcome.
+func runScenario(eng *engine.Engine, w *harness.Workload, base analog.Config, scenario string, size int, rate float64) error {
+	flt := fleet.New(eng, fleet.Config{Chips: fleet.GradientChips(size, rate), Policy: fleet.HealthAware})
+	grp := flt.Deploy(w.Request(core.DeployAnalogNORA, base, core.Options{}, ""))
+	fmt.Printf("\nscenario %s: %s, %d chips, worst-chip rate %g, policy %s\n",
+		scenario, w.Spec.Display, size, rate, flt.Config().Policy)
+
+	switch scenario {
+	case "failure":
+		before, err := fire(grp, 24)
+		if err != nil {
+			return err
+		}
+		target, busiest := "", -1
+		for id, n := range before {
+			if n > busiest {
+				target, busiest = id, n
+			}
+		}
+		targetID := target
+		if targetID == "chip0" {
+			targetID = "" // the implicit chip's real ID
+		}
+		fmt.Printf("  baseline traffic: %v\n", fmtServed(before))
+		if err := flt.Fail(targetID); err != nil {
+			return err
+		}
+		after, ferr := fire(grp, 24)
+		fmt.Printf("  after failing %s: %v\n", target, fmtServed(after))
+		if ferr != nil {
+			fmt.Printf("  (fleet exhausted: %v)\n", ferr)
+		}
+		if err := flt.Restore(targetID); err != nil {
+			return err
+		}
+		restored, err := fire(grp, 24)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  after restore: %v\n", fmtServed(restored))
+	case "rolling":
+		fmt.Printf("  health before: %s\n", fmtHealth(grp))
+		if err := flt.RollingReprogram(context.Background()); err != nil {
+			return err
+		}
+		fmt.Printf("  health after:  %s\n", fmtHealth(grp))
+		for _, c := range flt.Chips() {
+			fmt.Printf("  %s: state %s, reprogrammed %d time(s)\n",
+				chipName(c.Spec.ID), c.State(), c.Reprograms())
+		}
+	default:
+		return fmt.Errorf("unknown -scenario %q (want failure or rolling)", scenario)
+	}
+	return nil
+}
+
+// fmtServed renders a traffic tally in stable chip order.
+func fmtServed(served map[string]int) string {
+	ids := make([]string, 0, len(served))
+	for id := range served {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%s=%d", id, served[id])
+	}
+	return strings.Join(parts, " ")
+}
+
+// fmtHealth renders each replica's health penalty.
+func fmtHealth(grp *fleet.Group) string {
+	var parts []string
+	for _, rep := range grp.Replicas() {
+		parts = append(parts, fmt.Sprintf("r%d=%.4f", rep.Index, rep.HealthScore()))
+	}
+	return strings.Join(parts, " ")
+}
+
+// parseInts parses a comma-separated int list (the -sizes flag).
+func parseInts(list string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -9,7 +9,13 @@
 //	nora-serve [-addr :8080] [-models opt-c1,llama-c1] [-modeldir testdata/models]
 //	           [-max-batch 16] [-max-delay 2ms] [-queue 256] [-timeout 30s]
 //	           [-decode-batch 16] [-prefill-chunk 64] [-kv-pages 0]
+//	           [-chips 1] [-replicas 0] [-policy health] [-fault-gradient 0]
 //	           [-eval 150] [-batch 0] [-noise-stream v1]
+//
+// With -chips > 1 requests route through a simulated multi-chip fleet
+// (internal/fleet): each chip realizes independent fault/drift draws, the
+// router picks replicas by health and load, and /v1/chips scripts drain /
+// fail / restore / reprogram scenarios.
 //
 // Shut down with SIGINT/SIGTERM: the listener stops accepting, in-flight
 // requests drain, then the micro-batchers close.
@@ -34,6 +40,8 @@ import (
 func main() {
 	var opt cli.Options
 	opt.RegisterFlags(flag.CommandLine)
+	var flt cli.FleetOptions
+	flt.RegisterFlags(flag.CommandLine)
 	addr := flag.String("addr", ":8080", "listen address")
 	models := flag.String("models", "", "comma-separated zoo keys to serve (empty = full zoo)")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max predict requests per micro-batch")
@@ -46,6 +54,15 @@ func main() {
 	flag.Parse()
 
 	if err := opt.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := cli.ValidateServeKnobs(*decodeBatch, *prefillChunk, *kvPages); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fleetCfg, err := flt.Fleet()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -63,6 +80,7 @@ func main() {
 		MaxDecodeBatch: *decodeBatch,
 		PrefillChunk:   *prefillChunk,
 		KVPages:        *kvPages,
+		Fleet:          fleetCfg,
 	}, ws)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -71,8 +89,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("nora-serve: listening on %s, serving %v (max-batch %d, max-delay %v, queue %d, decode-batch %d, prefill-chunk %d, kv-pages %d)",
-		*addr, srv.Models(), *maxBatch, *maxDelay, *queue, *decodeBatch, *prefillChunk, *kvPages)
+	log.Printf("nora-serve: listening on %s, serving %v (max-batch %d, max-delay %v, queue %d, decode-batch %d, prefill-chunk %d, kv-pages %d, chips %d, policy %s)",
+		*addr, srv.Models(), *maxBatch, *maxDelay, *queue, *decodeBatch, *prefillChunk, *kvPages, flt.Chips, fleetCfg.Policy)
 
 	select {
 	case <-ctx.Done():

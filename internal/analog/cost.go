@@ -19,7 +19,11 @@ type OpCounters struct {
 	BMRetries int64 `json:"bm_retries"` // bound-management re-runs (extra attempts)
 }
 
-// Add accumulates o into c without atomics; for aggregating snapshots.
+// Add accumulates o into c with plain (non-atomic) stores. It is the
+// aggregation path for combining Snapshot values into a function-local or
+// otherwise unshared accumulator, where atomics would be pure overhead. For
+// counters that are concurrently written on the read hot path, use the
+// atomic twin add.
 func (c *OpCounters) Add(o OpCounters) {
 	c.MVMs += o.MVMs
 	c.DACConvs += o.DACConvs
@@ -28,6 +32,9 @@ func (c *OpCounters) Add(o OpCounters) {
 	c.BMRetries += o.BMRetries
 }
 
+// add is the atomic hot-path twin of Add: it accumulates o into a counter
+// set that concurrent readers may Snapshot mid-flight (e.g. a tile's live
+// counters while experiment points share the deployment).
 func (c *OpCounters) add(o OpCounters) {
 	atomic.AddInt64(&c.MVMs, o.MVMs)
 	atomic.AddInt64(&c.DACConvs, o.DACConvs)

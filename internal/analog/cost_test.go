@@ -87,6 +87,43 @@ func TestAnalogLinearCostAggregation(t *testing.T) {
 	}
 }
 
+// Regression: ResetCost on a sliced deployment used to reset only the
+// composite's scratch accumulator, leaving every slice's live counters
+// intact — the next CostCounters read resurrected the "cleared" events.
+func TestResetCostClearsSlicedTiles(t *testing.T) {
+	cfg := Ideal()
+	cfg.WeightSlices, cfg.SliceBits = 2, 4
+	w := randMat(620, 16, 8)
+	l := NewAnalogLinear("sliced-cost", w, nil, nil, cfg, rng.New(621))
+	l.Forward(randMat(622, 2, 16))
+	if l.CostCounters() == (OpCounters{}) {
+		t.Fatal("sliced forward must count hardware events")
+	}
+	l.ResetCost()
+	if got := l.CostCounters(); got != (OpCounters{}) {
+		t.Fatalf("ResetCost left sliced-tile counters: %+v", got)
+	}
+}
+
+// Regression: SlicedTile counter aggregation used to run through a shared
+// scratch accumulator (reset-then-add), so two concurrent readers tore each
+// other's totals. Run under -race; also checks values stay exact.
+func TestSlicedCounterSnapshotConcurrent(t *testing.T) {
+	w := randMat(623, 8, 4)
+	tile := NewSlicedTile(Ideal(), w, 3, 4, rng.New(624))
+	tile.MVMRow(randVec(625, 8), rng.New(626))
+	want := tile.CounterSnapshot()
+	done := make(chan OpCounters, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- tile.CounterSnapshot() }()
+	}
+	for i := 0; i < 8; i++ {
+		if got := <-done; got != want {
+			t.Fatalf("concurrent snapshot torn: %+v vs %+v", got, want)
+		}
+	}
+}
+
 func TestCostModelEstimates(t *testing.T) {
 	cm := DefaultCostModel()
 	c := OpCounters{MVMs: 2, DACConvs: 100, ADCConvs: 50, CellReads: 5000, BMRetries: 1}

@@ -62,6 +62,17 @@ func (f FaultStats) StuckFraction() float64 {
 	return float64(f.Stuck) / float64(f.Devices)
 }
 
+// UnfixedFraction is the fraction of devices left outside programming
+// tolerance after all mitigation — the residual error that actually reaches
+// inference, and the primary input to fleet health scoring (0 when no
+// devices were programmed under the fault model).
+func (f FaultStats) UnfixedFraction() float64 {
+	if f.Devices == 0 {
+		return 0
+	}
+	return float64(f.UnfixedCells) / float64(f.Devices)
+}
+
 // progPlane is one programmed device array (the signed abstraction's single
 // plane, or one of the g⁺/g⁻ planes of a differential pair) threaded
 // through the fault pipeline. programmed and ideal are row-major

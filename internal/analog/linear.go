@@ -383,21 +383,23 @@ func (l *AnalogLinear) forwardBatched(out, x *tensor.Matrix, batch int, noises [
 }
 
 // CostCounters aggregates hardware-event counts across the layer's tiles.
+// The accumulator is function-local, so aggregation uses the non-atomic Add.
 func (l *AnalogLinear) CostCounters() OpCounters {
 	var total OpCounters
 	for _, row := range l.tiles {
 		for _, t := range row {
-			total.add(t.Counters().Snapshot())
+			total.Add(t.CounterSnapshot())
 		}
 	}
 	return total
 }
 
-// ResetCost clears all tile counters and the processed-row count.
+// ResetCost clears all tile counters (including every slice of a sliced
+// tile) and the processed-row count.
 func (l *AnalogLinear) ResetCost() {
 	for _, row := range l.tiles {
 		for _, t := range row {
-			t.Counters().Reset()
+			t.ResetCounters()
 		}
 	}
 	l.rowsProcessed.Store(0)

@@ -22,7 +22,8 @@ type mvmTile interface {
 	MVMBatchInto(coef float32, dst, xs *tensor.Matrix, r *rng.Rand)
 	ColScales() []float32
 	SetTime(tSec float64)
-	Counters() *OpCounters
+	CounterSnapshot() OpCounters
+	ResetCounters()
 	FaultStats() FaultStats
 	Rows() int
 	Cols() int
@@ -52,8 +53,7 @@ type SlicedTile struct {
 	rows   int
 	cols   int
 
-	colScale []float32  // effective combined per-column scales
-	counters OpCounters // shift-add level counters (slices count their own)
+	colScale []float32 // effective combined per-column scales
 }
 
 // NewSlicedTile programs ws across slices·sliceBits of weight precision.
@@ -137,13 +137,22 @@ func (st *SlicedTile) SetTime(tSec float64) {
 	}
 }
 
-// Counters aggregates hardware events across all slices.
-func (st *SlicedTile) Counters() *OpCounters {
-	st.counters.Reset()
+// CounterSnapshot aggregates a consistent copy of the hardware events
+// across all slices into a fresh value — no shared scratch, so concurrent
+// snapshots (e.g. /statz against a live fleet) never tear each other.
+func (st *SlicedTile) CounterSnapshot() OpCounters {
+	var total OpCounters
 	for _, s := range st.slices {
-		st.counters.add(s.Counters().Snapshot())
+		total.Add(s.counters.Snapshot())
 	}
-	return &st.counters
+	return total
+}
+
+// ResetCounters zeroes every slice's counters.
+func (st *SlicedTile) ResetCounters() {
+	for _, s := range st.slices {
+		s.counters.Reset()
+	}
 }
 
 // MVMRow runs the input through every slice and shift-adds the digitized

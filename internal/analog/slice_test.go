@@ -90,7 +90,7 @@ func TestSlicedTileCountersScaleWithSlices(t *testing.T) {
 	w := randMat(814, 8, 4)
 	tile := NewSlicedTile(Ideal(), w, 3, 4, rng.New(815))
 	tile.MVMRow(randVec(816, 8), rng.New(817))
-	c := tile.Counters().Snapshot()
+	c := tile.CounterSnapshot()
 	if c.MVMs != 3 {
 		t.Fatalf("3 slices must issue 3 MVMs, got %d", c.MVMs)
 	}

@@ -300,6 +300,12 @@ func (t *Tile) ColScales() []float32 { return t.colScale }
 // Counters exposes the tile's accumulated hardware-event counts.
 func (t *Tile) Counters() *OpCounters { return &t.counters }
 
+// CounterSnapshot returns a consistent copy of the tile's hardware events.
+func (t *Tile) CounterSnapshot() OpCounters { return t.counters.Snapshot() }
+
+// ResetCounters zeroes the tile's hardware-event counts.
+func (t *Tile) ResetCounters() { t.counters.Reset() }
+
 // SetTime advances the tile to time tSec since programming: conductances
 // drift as ĝ·(t/t0)^(−ν) (clamped to never grow), the 1/f read-noise floor
 // rises with √log(t), and — when DriftCompensation is set — a global

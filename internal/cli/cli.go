@@ -35,6 +35,7 @@ import (
 
 	"nora/internal/analog"
 	"nora/internal/engine"
+	"nora/internal/fleet"
 	"nora/internal/harness"
 	"nora/internal/model"
 	"nora/internal/rng"
@@ -228,6 +229,82 @@ func ParseModels(keys string) ([]model.Spec, error) {
 		specs = append(specs, spec)
 	}
 	return specs, nil
+}
+
+// FleetOptions is the shared flag surface for multi-chip fleet serving and
+// simulation (nora-serve, nora-fleet). Resolve through Fleet(), which
+// validates.
+type FleetOptions struct {
+	// Chips is the number of simulated chips (-chips); must be >= 1.
+	Chips int
+	// Replicas is the replicas per deployment (-replicas); 0 selects the
+	// fleet default (one replica per shard-width chips), negatives are
+	// rejected.
+	Replicas int
+	// Policy names the routing policy (-policy): roundrobin or health.
+	Policy string
+	// FaultGradient is the worst chip's stuck-at fault rate
+	// (-fault-gradient): chips ramp linearly from fresh (chip 0) to this
+	// rate, realizing a heterogeneous fleet. 0 keeps every chip fresh.
+	FaultGradient float64
+}
+
+// RegisterFlags installs the fleet flag set on fs.
+func (f *FleetOptions) RegisterFlags(fs *flag.FlagSet) {
+	fs.IntVar(&f.Chips, "chips", 1, "simulated chips in the fleet (>= 1)")
+	fs.IntVar(&f.Replicas, "replicas", 0, "replicas per deployment (0 = one per chip)")
+	fs.StringVar(&f.Policy, "policy", "health", "replica routing policy: roundrobin or health")
+	fs.Float64Var(&f.FaultGradient, "fault-gradient", 0,
+		"stuck-at fault rate of the worst chip; chips ramp linearly from fresh to it")
+}
+
+// Fleet validates the parsed fleet flags and resolves the fleet
+// configuration. A 1-chip fleet with no gradient is the implicit chip —
+// bit-identical to fleet-unaware serving.
+func (f *FleetOptions) Fleet() (fleet.Config, error) {
+	if f.Chips < 1 {
+		return fleet.Config{}, fmt.Errorf("cli: -chips %d: a fleet needs at least one chip", f.Chips)
+	}
+	if f.Replicas < 0 {
+		return fleet.Config{}, fmt.Errorf("cli: -replicas %d must not be negative", f.Replicas)
+	}
+	if f.FaultGradient < 0 || f.FaultGradient >= 1 {
+		return fleet.Config{}, fmt.Errorf("cli: -fault-gradient %g must be in [0, 1)", f.FaultGradient)
+	}
+	pol, err := fleet.ParsePolicy(f.Policy)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	return fleet.Config{
+		Chips:    FleetChips(f.Chips, f.FaultGradient),
+		Replicas: f.Replicas,
+		Policy:   pol,
+	}, nil
+}
+
+// FleetChips builds the canonical gradient chip set (see
+// fleet.GradientChips): chip 0 is the implicit fresh chip and later chips
+// ramp linearly up to the worst stuck-at rate.
+func FleetChips(n int, worst float64) []fleet.ChipSpec {
+	return fleet.GradientChips(n, worst)
+}
+
+// ValidateServeKnobs rejects serving knobs the schedulers would misbehave
+// on: the continuous batcher needs at least one decode row and one prompt
+// token of budget per step, and a negative KV page pool is meaningless.
+// Zero KV pages stays valid — it selects the documented slab-equivalent
+// auto-sized pool.
+func ValidateServeKnobs(decodeBatch, prefillChunk, kvPages int) error {
+	if decodeBatch <= 0 {
+		return fmt.Errorf("cli: -decode-batch %d must be positive", decodeBatch)
+	}
+	if prefillChunk <= 0 {
+		return fmt.Errorf("cli: -prefill-chunk %d must be positive", prefillChunk)
+	}
+	if kvPages < 0 {
+		return fmt.Errorf("cli: -kv-pages %d must not be negative (0 = slab-equivalent pool)", kvPages)
+	}
+	return nil
 }
 
 // ParseFloats parses a comma-separated float list (ladder flags like

@@ -10,6 +10,7 @@ import (
 
 	"nora/internal/analog"
 	"nora/internal/engine"
+	"nora/internal/fleet"
 	"nora/internal/harness"
 )
 
@@ -220,5 +221,73 @@ func TestCostModelRejectsGarbage(t *testing.T) {
 	}
 	if err := o.Finish(); err == nil {
 		t.Fatal("Finish accepted an invalid cost model")
+	}
+}
+
+// TestFleetOptionsValidation pins the fleet/serving flag guard rails: a
+// zero- or negative-chip fleet, negative replicas, an out-of-range fault
+// gradient, and bad serving knobs all fail fast at startup instead of
+// panicking (or silently misbehaving) deep inside the scheduler. Zero
+// -kv-pages stays valid — it selects the documented slab-equivalent pool.
+func TestFleetOptionsValidation(t *testing.T) {
+	parseFleet := func(args []string) (*FleetOptions, error) {
+		var f FleetOptions
+		fs := flag.NewFlagSet("nora-serve", flag.ContinueOnError)
+		f.RegisterFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatalf("parse %v: %v", args, err)
+		}
+		_, err := f.Fleet()
+		return &f, err
+	}
+	for _, bad := range [][]string{
+		{"-chips", "0"},
+		{"-chips", "-3"},
+		{"-replicas", "-1"},
+		{"-fault-gradient", "-0.1"},
+		{"-fault-gradient", "1.5"},
+		{"-policy", "coinflip"},
+	} {
+		if _, err := parseFleet(bad); err == nil {
+			t.Errorf("args %v: invalid fleet flags accepted", bad)
+		}
+	}
+	f, err := parseFleet([]string{"-chips", "4", "-fault-gradient", "0.08", "-policy", "rr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Chips) != 4 || cfg.Chips[0].ID != "" || cfg.Chips[3].FaultRate != 0.08 {
+		t.Fatalf("resolved fleet config: %+v", cfg)
+	}
+	// Defaults resolve to the implicit single chip (bit-identity path).
+	f, err = parseFleet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ = f.Fleet()
+	if len(cfg.Chips) != 1 || cfg.Chips[0] != (fleet.ChipSpec{}) {
+		t.Fatalf("default fleet config not the implicit chip: %+v", cfg)
+	}
+
+	for _, bad := range [][3]int{
+		{0, 64, 0},   // zero decode batch
+		{-4, 64, 0},  // negative decode batch
+		{16, 0, 0},   // zero prefill chunk
+		{16, -8, 0},  // negative prefill chunk
+		{16, 64, -1}, // negative kv pages
+	} {
+		if err := ValidateServeKnobs(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("ValidateServeKnobs(%v) accepted invalid knobs", bad)
+		}
+	}
+	if err := ValidateServeKnobs(16, 64, 0); err != nil {
+		t.Errorf("kv-pages 0 (slab-equivalent) rejected: %v", err)
+	}
+	if err := ValidateServeKnobs(1, 1, 128); err != nil {
+		t.Errorf("minimal valid knobs rejected: %v", err)
 	}
 }

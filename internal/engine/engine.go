@@ -100,8 +100,12 @@ type Engine struct {
 
 type cacheEntry struct {
 	key   string
-	ready chan struct{} // closed once dep is populated
+	ready chan struct{} // closed once dep is populated (or the build failed)
 	dep   *Deployment
+	// failure holds the recovered panic value when the build died before
+	// populating dep. Written by the builder before it closes ready, read
+	// by waiters only after ready is closed.
+	failure any
 }
 
 // New returns an Engine with the given configuration.
@@ -159,6 +163,14 @@ type Request struct {
 	// anyone else (for example the cost study, which reads per-layer event
 	// counters after its eval). Empty for the common shared pool.
 	Salt string
+	// Chip names the simulated chip this deployment is programmed onto
+	// (internal/fleet). A non-empty Chip extends the content key — and
+	// therefore the deployment seed — so each chip realizes its own
+	// independent fault/drift/G_max draws. Empty means the implicit
+	// single chip every pre-fleet deployment used: the key is then
+	// byte-identical to the historical format, so existing fingerprints,
+	// seeds, and cache slots are untouched.
+	Chip string
 }
 
 // contentKey is the canonical string over everything that determines the
@@ -173,9 +185,15 @@ func (r Request) contentKey() string {
 	if r.Mode == core.DeployAnalogNORA {
 		cal = r.Cal.Fingerprint()
 	}
-	return fmt.Sprintf("model=%s;mode=%s;cfg=%s;cal=%016x;lambda=%g;layers=%s;salt=%s",
+	key := fmt.Sprintf("model=%s;mode=%s;cfg=%s;cal=%016x;lambda=%g;layers=%s;salt=%s",
 		r.Model, r.Mode, r.Config.Fingerprint(), cal, lambda,
 		strings.Join(r.Opt.Layers, ","), r.Salt)
+	if r.Chip != "" {
+		// Appended only when set: the empty (implicit) chip must keep the
+		// historical key byte-for-byte so legacy seeds survive.
+		key += ";chip=" + r.Chip
+	}
+	return key
 }
 
 // Seed returns the deployment seed: a pure function of the content key, so
@@ -286,6 +304,12 @@ func (e *Engine) Deploy(req Request) *Deployment {
 		entry := el.Value.(*cacheEntry)
 		e.mu.Unlock()
 		<-entry.ready
+		if entry.dep == nil {
+			// The builder we waited on panicked; its entry is already gone
+			// from the cache. Re-raise the same failure here rather than
+			// returning a nil deployment.
+			panic(entry.failure)
+		}
 		e.stats.deployHits.Add(1)
 		return entry.dep
 	}
@@ -298,6 +322,26 @@ func (e *Engine) Deploy(req Request) *Deployment {
 		e.stats.evictions.Add(1)
 	}
 	e.mu.Unlock()
+
+	// If the build below panics (core.Deploy invariants, bad Opt.Layers,
+	// ...), waiters parked on entry.ready would otherwise block forever and
+	// the dead entry would poison the cache for every later request on this
+	// key. Unwind instead: remove the entry, record the failure for waiters,
+	// close ready, and re-panic.
+	defer func() {
+		if entry.dep != nil {
+			return
+		}
+		entry.failure = recover()
+		e.mu.Lock()
+		if el, ok := e.entries[key]; ok && el.Value.(*cacheEntry) == entry {
+			e.order.Remove(el)
+			delete(e.entries, key)
+		}
+		e.mu.Unlock()
+		close(entry.ready)
+		panic(entry.failure)
+	}()
 
 	start := time.Now()
 	runner := core.Deploy(req.Net, req.Mode, req.Cal, req.Config, req.Seed(), req.Opt)
@@ -667,30 +711,30 @@ func (e *Engine) Stats() Stats {
 	macs := s.digitalMACs.Load()
 	rows := s.analogRows.Load()
 	return Stats{
-		DeployBuilds:  s.deployBuilds.Load(),
-		DeployHits:    s.deployHits.Load(),
-		Evictions:     s.evictions.Load(),
-		DeployTime:    time.Duration(s.deployNanos.Load()),
-		Evals:         s.evalRuns.Load(),
-		EvalHits:      s.evalHits.Load(),
-		EvalsCanceled: s.evalCanceled.Load(),
-		EvalTime:      time.Duration(s.evalNanos.Load()),
-		Sequences:     s.sequences.Load(),
-		SkippedSeqs:   s.skipped.Load(),
-		Tokens:        s.tokens.Load(),
-		AnalogReads:   counters.MVMs,
-		AnalogRows:    rows,
-		Counters:      counters,
-		DigitalMACs:   macs,
-		Cost:          e.cfg.CostModel.Compare(counters, macs, rows),
-		BatchRows:     batch,
-		NoiseStreams:  strings.Join(streams, ","),
+		DeployBuilds:     s.deployBuilds.Load(),
+		DeployHits:       s.deployHits.Load(),
+		Evictions:        s.evictions.Load(),
+		DeployTime:       time.Duration(s.deployNanos.Load()),
+		Evals:            s.evalRuns.Load(),
+		EvalHits:         s.evalHits.Load(),
+		EvalsCanceled:    s.evalCanceled.Load(),
+		EvalTime:         time.Duration(s.evalNanos.Load()),
+		Sequences:        s.sequences.Load(),
+		SkippedSeqs:      s.skipped.Load(),
+		Tokens:           s.tokens.Load(),
+		AnalogReads:      counters.MVMs,
+		AnalogRows:       rows,
+		Counters:         counters,
+		DigitalMACs:      macs,
+		Cost:             e.cfg.CostModel.Compare(counters, macs, rows),
+		BatchRows:        batch,
+		NoiseStreams:     strings.Join(streams, ","),
 		GenSteps:         s.genSteps.Load(),
 		GenTokens:        s.genTokens.Load(),
 		GenPrefillTokens: s.genPrefillToks.Load(),
 		GenTime:          time.Duration(s.genNanos.Load()),
 		GenReads:         s.genReads.Load(),
-		Mallocs:       s.mallocs.Load(),
+		Mallocs:          s.mallocs.Load(),
 	}
 }
 

@@ -3,9 +3,11 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"nora/internal/analog"
 	"nora/internal/core"
@@ -356,5 +358,86 @@ func TestRunGridOrderAndResults(t *testing.T) {
 	sums := RunGrid[int, int](nil, []int{1, 2, 3}, func(_ int, p int) int { return p * p })
 	if sums[0] != 1 || sums[1] != 4 || sums[2] != 9 {
 		t.Fatalf("nil-engine grid: %v", sums)
+	}
+}
+
+// Regression: a panicking build (here an unknown Opt.Layers name, which
+// core.Deploy rejects) used to leave entry.ready open forever — every
+// concurrent waiter on the key hung, and the dead entry poisoned the cache
+// so even retries after the panic hung. Deploy must instead propagate the
+// failure to the builder AND every waiter, and drop the entry so the key
+// stays usable.
+func TestDeployPanicReleasesWaiters(t *testing.T) {
+	m := testModel(t)
+	eng := New(Config{})
+	bad := Request{Model: "m", Net: m, Mode: core.DeployAnalogNaive,
+		Config: testConfig(), Opt: core.Options{Layers: []string{"no-such-layer"}}}
+
+	const goroutines = 6
+	done := make(chan any, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer func() { done <- recover() }()
+			eng.Deploy(bad)
+			done <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		select {
+		case failure := <-done:
+			if failure == nil {
+				t.Fatal("Deploy of a panicking build returned instead of panicking")
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("waiter on a panicked build hung (ready never closed)")
+		}
+	}
+
+	// The key must not be poisoned: a retry panics afresh (it is not served
+	// a nil deployment from a dead cache entry)...
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("retry after panicked build did not panic")
+			}
+		}()
+		eng.Deploy(bad)
+	}()
+	// ...and unrelated valid requests on the same engine still deploy.
+	good := Request{Model: "m", Net: m, Mode: core.DeployAnalogNaive, Config: testConfig()}
+	if eng.Deploy(good) == nil {
+		t.Fatal("valid deploy after panicked build failed")
+	}
+}
+
+// Fleet chip keying: the empty (implicit) chip must keep the historical
+// content key byte-for-byte — same seed, same cache slot — while a named
+// chip reseeds, so each chip in a fleet realizes independent fault draws
+// without perturbing single-chip fingerprints.
+func TestChipKeying(t *testing.T) {
+	m := testModel(t)
+	req := Request{Model: "m", Net: m, Mode: core.DeployAnalogNaive, Config: testConfig()}
+	implicit := req
+	implicit.Chip = ""
+	if req.Seed() != implicit.Seed() {
+		t.Fatal("empty Chip changed the deployment seed")
+	}
+	if strings.Contains(implicit.contentKey(), ";chip=") {
+		t.Fatalf("empty Chip leaked into the content key: %q", implicit.contentKey())
+	}
+
+	chipA, chipB := req, req
+	chipA.Chip, chipB.Chip = "chip1", "chip2"
+	if chipA.Seed() == req.Seed() || chipB.Seed() == req.Seed() || chipA.Seed() == chipB.Seed() {
+		t.Fatal("named chips must derive distinct seeds")
+	}
+
+	eng := New(Config{})
+	d0 := eng.Deploy(req)
+	if eng.Deploy(implicit) != d0 {
+		t.Fatal("implicit-chip request missed the legacy cache slot")
+	}
+	if eng.Deploy(chipA) == d0 || eng.Deploy(chipB) == d0 {
+		t.Fatal("chip-keyed deployments aliased the implicit chip")
 	}
 }

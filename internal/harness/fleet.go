@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"nora/internal/analog"
+	"nora/internal/core"
+	"nora/internal/engine"
+	"nora/internal/fleet"
+)
+
+// --- E24: multi-chip fleet study ----------------------------------------
+//
+// The offline studies measure one chip. This study measures a deployment
+// reality the fleet layer (internal/fleet) simulates: N replicas of one
+// NORA deployment on heterogeneous chips — fresh silicon next to chips with
+// growing stuck-at fault populations — behind a router. Two routing arms
+// are compared at every (fleet size, worst-chip fault rate) point:
+//
+//	roundrobin  cycles through replicas, blind to health — the accuracy a
+//	            user sees is the fleet average
+//	health      scores replicas by in-flight load plus a health penalty
+//	            (fleet.Pick), shifting traffic toward clean chips at the
+//	            cost of queueing on them
+//
+// Accuracy is measured on real chip deployments (each chip's fault draw is
+// content-keyed and independent; see the fleet package) and weighted by
+// where the router actually sent traffic. Latency comes from a
+// deterministic virtual-time queueing simulation (SimulateRouting) that
+// routes through the same fleet.Pick function the live router uses, so the
+// two arms differ only in policy — no randomness, bit-identical across
+// runs.
+
+// FleetServicePenalty inflates a replica's virtual service time per unit of
+// health penalty: a faulty chip re-reads and re-checks more, so its
+// requests hold the chip longer. Service = 1 + FleetServicePenalty·health
+// virtual time units.
+const FleetServicePenalty = 0.5
+
+// DefaultFleetRequests is the virtual request count of the queueing
+// simulation.
+const DefaultFleetRequests = 2000
+
+// DefaultFleetGap is the virtual arrival gap between requests. At service
+// time 1 a single fresh chip saturates below gap 1; larger fleets drain the
+// same arrival stream with slack.
+const DefaultFleetGap = 0.6
+
+// DefaultFleetSizes is the fleet-size ladder of the study.
+func DefaultFleetSizes() []int { return []int{1, 2, 4, 8} }
+
+// DefaultFleetRates is the worst-chip stuck-at fault-rate ladder (chips
+// ramp linearly from fresh to the worst rate; see fleet.GradientChips).
+func DefaultFleetRates() []float64 { return []float64{0, 0.02, 0.08} }
+
+// SimReplica is one replica's profile in the queueing simulation.
+type SimReplica struct {
+	// Health is the routing health penalty (Replica.HealthScore).
+	Health float64
+	// Service is the virtual time one request occupies the replica.
+	Service float64
+}
+
+// SimStats is the outcome of one SimulateRouting run.
+type SimStats struct {
+	// Served counts the requests routed to each replica.
+	Served []int
+	// MeanWait and MaxWait are queueing delays (time from arrival to
+	// service start) in virtual time units.
+	MeanWait float64
+	MaxWait  float64
+}
+
+// Share returns the fraction of requests replica i served.
+func (s SimStats) Share(i int) float64 {
+	var total int
+	for _, n := range s.Served {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Served[i]) / float64(total)
+}
+
+// SimulateRouting runs the deterministic virtual-time queueing simulation:
+// requests arrive every gap time units, each is routed by fleet.Pick over
+// the replicas' live (load, health) snapshots — exactly the live router's
+// scoring — and occupies its replica FIFO for the replica's service time.
+// A pure function of its arguments: no randomness, no wall clock.
+func SimulateRouting(pol fleet.Policy, healthWeight float64, reps []SimReplica, requests int, gap float64) SimStats {
+	type state struct {
+		freeAt float64   // when the replica's FIFO drains
+		done   []float64 // outstanding completion times, ascending
+	}
+	sts := make([]state, len(reps))
+	stats := SimStats{Served: make([]int, len(reps))}
+	cands := make([]fleet.Candidate, len(reps))
+	var sumWait float64
+	for k := 0; k < requests; k++ {
+		t := float64(k) * gap
+		for i := range reps {
+			st := &sts[i]
+			for len(st.done) > 0 && st.done[0] <= t {
+				st.done = st.done[1:]
+			}
+			cands[i] = fleet.Candidate{
+				Available: true,
+				Load:      float64(len(st.done)),
+				Health:    reps[i].Health,
+			}
+		}
+		idx := fleet.Pick(pol, int64(k), healthWeight, cands)
+		st := &sts[idx]
+		start := t
+		if st.freeAt > start {
+			start = st.freeAt
+		}
+		compl := start + reps[idx].Service
+		st.freeAt = compl
+		st.done = append(st.done, compl)
+		stats.Served[idx]++
+		wait := start - t
+		sumWait += wait
+		if wait > stats.MaxWait {
+			stats.MaxWait = wait
+		}
+	}
+	if requests > 0 {
+		stats.MeanWait = sumWait / float64(requests)
+	}
+	return stats
+}
+
+// FleetRow is one (model, fleet size, worst rate, policy) measurement.
+type FleetRow struct {
+	Model     string
+	Chips     int
+	WorstRate float64 // stuck-at rate of the most-faulty chip
+	Policy    string
+	Digital   float64
+	Accuracy  float64 // served accuracy: per-replica accuracy weighted by routed share
+	MeanWait  float64 // virtual-time queueing delay, mean
+	MaxWait   float64 // virtual-time queueing delay, worst request
+	WornShare float64 // share of traffic landing on chips with injected faults
+}
+
+// FleetSweep runs the E24 study: for every workload and (size, rate) point
+// it builds the gradient fleet on real chip deployments, measures each
+// replica's accuracy, and routes a fixed virtual request stream under both
+// policies. Deployments are engine-cached and content-keyed per chip, so a
+// chip that appears in several fleet sizes is programmed (and evaluated)
+// exactly once.
+func FleetSweep(eng *engine.Engine, ws []*Workload, base analog.Config, sizes []int, rates []float64, requests int, gap float64) []FleetRow {
+	if requests <= 0 {
+		requests = DefaultFleetRequests
+	}
+	if gap <= 0 {
+		gap = DefaultFleetGap
+	}
+	var rows []FleetRow
+	for _, w := range ws {
+		prepareBaselines(eng, w)
+		for _, size := range sizes {
+			for _, rate := range rates {
+				flt := fleet.New(eng, fleet.Config{Chips: fleet.GradientChips(size, rate)})
+				grp := flt.Deploy(w.Request(core.DeployAnalogNORA, base, core.Options{}, ""))
+				reps := grp.Replicas()
+				accs := make([]float64, len(reps))
+				profiles := make([]SimReplica, len(reps))
+				for i, rep := range reps {
+					res, err := rep.EvalCtx(context.Background(), w.Eval)
+					if err != nil {
+						panic(fmt.Sprintf("harness: fleet eval: %v", err)) // ctx is Background; cannot cancel
+					}
+					accs[i] = res.Accuracy()
+					h := rep.HealthScore()
+					profiles[i] = SimReplica{Health: h, Service: 1 + FleetServicePenalty*h}
+				}
+				for _, pol := range []fleet.Policy{fleet.RoundRobin, fleet.HealthAware} {
+					stats := SimulateRouting(pol, fleet.DefaultHealthWeight, profiles, requests, gap)
+					var acc, worn float64
+					for i := range reps {
+						share := stats.Share(i)
+						acc += share * accs[i]
+						if reps[i].Chips()[0].Spec.FaultRate > 0 {
+							worn += share
+						}
+					}
+					rows = append(rows, FleetRow{
+						Model:     w.Spec.Display,
+						Chips:     size,
+						WorstRate: rate,
+						Policy:    pol.String(),
+						Digital:   w.DigitalAccuracy(eng),
+						Accuracy:  acc,
+						MeanWait:  stats.MeanWait,
+						MaxWait:   stats.MaxWait,
+						WornShare: worn,
+					})
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// FleetTable renders fleet-sweep rows.
+func FleetTable(rows []FleetRow) *Table {
+	return TableOf("E24 — served accuracy & queueing delay vs fleet size × worst-chip fault rate",
+		rows, []Col[FleetRow]{
+			{"model", func(r FleetRow) any { return r.Model }},
+			{"chips", func(r FleetRow) any { return r.Chips }},
+			{"worst-rate", func(r FleetRow) any { return r.WorstRate }},
+			{"policy", func(r FleetRow) any { return r.Policy }},
+			{"digital", func(r FleetRow) any { return r.Digital }},
+			{"served-acc", func(r FleetRow) any { return r.Accuracy }},
+			{"mean-wait", func(r FleetRow) any { return r.MeanWait }},
+			{"max-wait", func(r FleetRow) any { return r.MaxWait }},
+			{"worn-share", func(r FleetRow) any { return r.WornShare }},
+		})
+}

@@ -7,6 +7,7 @@ import (
 
 	"nora/internal/core"
 	"nora/internal/engine"
+	"nora/internal/fleet"
 	"nora/internal/harness"
 )
 
@@ -26,24 +27,28 @@ type predictOutcome struct {
 	err   error         // context error when the job was dropped
 }
 
-// batcher coalesces predict requests for one (model, mode, config)
-// deployment. One goroutine owns the loop: it blocks for the first request,
-// then collects company until the batch is full (MaxBatch) or stale
-// (MaxDelay since the first request), and runs the whole batch through the
-// deployment on the engine's eval workers.
+// batcher coalesces predict requests for one fleet replica of a (model,
+// mode, config) deployment. One goroutine owns the loop: it blocks for the
+// first request, then collects company until the batch is full (MaxBatch)
+// or stale (MaxDelay since the first request), and runs the whole batch
+// through the replica's runner on the engine's eval workers. Requests that
+// the router sent to different replicas batch separately — they run on
+// different simulated chips.
 type batcher struct {
 	srv  *Server
 	wl   *harness.Workload
 	mode core.DeployMode
+	rep  *fleet.Replica
 
 	queue chan *predictJob // buffered QueueDepth: the admission bound
 	stop  chan struct{}    // closed by Server.Close after admission stops
 }
 
 // batcherFor returns (creating and starting on first use) the micro-batcher
-// for one workload and mode. Returns an error once the server is closed.
-func (s *Server) batcherFor(wl *harness.Workload, mode core.DeployMode) (*batcher, error) {
-	key := wl.Spec.Key + "/" + mode.String()
+// for one workload, mode, and routed replica. Returns an error once the
+// server is closed.
+func (s *Server) batcherFor(wl *harness.Workload, mode core.DeployMode, rep *fleet.Replica) (*batcher, error) {
+	key := fmt.Sprintf("%s/%s#%d", wl.Spec.Key, mode, rep.Index)
 	s.mu.RLock()
 	b, ok := s.batchers[key]
 	closed := s.closed
@@ -66,6 +71,7 @@ func (s *Server) batcherFor(wl *harness.Workload, mode core.DeployMode) (*batche
 		srv:   s,
 		wl:    wl,
 		mode:  mode,
+		rep:   rep,
 		queue: make(chan *predictJob, s.cfg.QueueDepth),
 		stop:  make(chan struct{}),
 	}
@@ -93,25 +99,23 @@ func (b *batcher) enqueue(job *predictJob) bool {
 	}
 }
 
-// loop is the batcher goroutine: deploy once, then coalesce-and-run until
-// the server closes, finishing with a drain of everything still queued.
+// loop is the batcher goroutine: coalesce-and-run until the server closes,
+// finishing with a drain of everything still queued. The replica was
+// resolved (and its tiles programmed) before the batcher existed — the
+// handler's group() call — so the loop never deploys.
 func (b *batcher) loop() {
 	defer b.srv.wg.Done()
-	// Deploy here — not in the request path — so tile programming cost (and
-	// the engine's in-flight build coalescing) lives on the batcher
-	// goroutine; the first requests simply queue behind it.
-	dep := b.srv.deployment(b.wl, b.mode)
 	for {
 		select {
 		case first := <-b.queue:
-			b.collectAndRun(dep, first)
+			b.collectAndRun(first)
 		case <-b.stop:
 			// Admission is closed (Server.Close flips closed before closing
 			// stop), so the queue can only shrink now; drain it.
 			for {
 				select {
 				case first := <-b.queue:
-					b.collectAndRun(dep, first)
+					b.collectAndRun(first)
 				default:
 					return
 				}
@@ -122,7 +126,7 @@ func (b *batcher) loop() {
 
 // collectAndRun grows a batch around its first job until full or stale,
 // then runs it.
-func (b *batcher) collectAndRun(dep *engine.Deployment, first *predictJob) {
+func (b *batcher) collectAndRun(first *predictJob) {
 	batch := make([]*predictJob, 1, b.srv.cfg.MaxBatch)
 	batch[0] = first
 	timer := time.NewTimer(b.srv.cfg.MaxDelay)
@@ -140,14 +144,14 @@ collect:
 			break collect
 		}
 	}
-	b.run(dep, batch)
+	b.run(batch)
 }
 
 // run answers one batch: drop jobs whose context is already done, then fan
 // the survivors across the engine's eval workers. Every forward runs under
 // the job's own content-derived noise scope, so the answer is independent
 // of the batch around it.
-func (b *batcher) run(dep *engine.Deployment, batch []*predictJob) {
+func (b *batcher) run(batch []*predictJob) {
 	live := batch[:0]
 	for _, job := range batch {
 		if err := job.ctx.Err(); err != nil {
@@ -169,6 +173,7 @@ func (b *batcher) run(dep *engine.Deployment, batch []*predictJob) {
 			break
 		}
 	}
+	runner := b.rep.Runner()
 	engine.ParallelFor(b.srv.eng.EvalWorkers(), size, func(i int) {
 		job := live[i]
 		// Re-check between admission and inference: deadlines may have
@@ -177,7 +182,7 @@ func (b *batcher) run(dep *engine.Deployment, batch []*predictJob) {
 			job.done <- predictOutcome{err: err}
 			return
 		}
-		rr := dep.Runner().WithNoiseScope(job.scope)
+		rr := runner.WithNoiseScope(job.scope)
 		job.done <- predictOutcome{
 			token: rr.PredictLast(job.tokens),
 			batch: size,

@@ -11,7 +11,7 @@ import (
 	"time"
 
 	"nora/internal/core"
-	"nora/internal/engine"
+	"nora/internal/fleet"
 	"nora/internal/harness"
 	"nora/internal/nn"
 	"nora/internal/rng"
@@ -93,15 +93,18 @@ type genScheduler struct {
 	srv  *Server
 	wl   *harness.Workload
 	mode core.DeployMode
+	rep  *fleet.Replica
 
 	queue chan *genJob  // buffered QueueDepth: the admission bound
 	stop  chan struct{} // closed by Server.Close after admission stops
 }
 
 // genSchedulerFor returns (creating and starting on first use) the
-// generation scheduler for one workload and mode.
-func (s *Server) genSchedulerFor(wl *harness.Workload, mode core.DeployMode) (*genScheduler, error) {
-	key := wl.Spec.Key + "/" + mode.String()
+// generation scheduler for one workload, mode, and routed replica (each
+// replica decodes on its own simulated chip(s), so each has its own
+// scheduler and KV pool).
+func (s *Server) genSchedulerFor(wl *harness.Workload, mode core.DeployMode, rep *fleet.Replica) (*genScheduler, error) {
+	key := fmt.Sprintf("%s/%s#%d", wl.Spec.Key, mode, rep.Index)
 	s.mu.RLock()
 	g, ok := s.genScheds[key]
 	closed := s.closed
@@ -124,6 +127,7 @@ func (s *Server) genSchedulerFor(wl *harness.Workload, mode core.DeployMode) (*g
 		srv:   s,
 		wl:    wl,
 		mode:  mode,
+		rep:   rep,
 		queue: make(chan *genJob, s.cfg.QueueDepth),
 		stop:  make(chan struct{}),
 	}
@@ -161,18 +165,21 @@ func (j *genJob) finish(reason string, errText string) {
 	}
 }
 
-// loop is the scheduler goroutine: deploy once, then run mixed
-// decode+prefill steps until the server closes. Admission happens only
-// between steps. A job that does not fit the KV page pool right now parks
-// (at most one — the queue stays FIFO behind it) and retries at every step
-// boundary until retirements free enough pages. On shutdown the queue, the
-// parked job, and the in-flight batch retire with "shutdown" finals
-// (generation is not drained to completion — a decode can be arbitrarily
-// long).
+// loop is the scheduler goroutine: run mixed decode+prefill steps until
+// the server closes. Admission happens only between steps. A job that does
+// not fit the KV page pool right now parks (at most one — the queue stays
+// FIFO behind it) and retries at every step boundary until retirements
+// free enough pages. On shutdown the queue, the parked job, and the
+// in-flight batch retire with "shutdown" finals (generation is not drained
+// to completion — a decode can be arbitrarily long).
+//
+// The generator captures the replica's runner once: live KV caches are
+// bound to it, so a chip re-programming mid-decode does not swap hardware
+// under running sequences — they finish on the realization they started
+// on, and sequences admitted after the scheduler restarts see the new one.
 func (g *genScheduler) loop() {
 	defer g.srv.wg.Done()
-	dep := g.srv.deployment(g.wl, g.mode)
-	bg := nn.NewBatchGeneratorPaged(dep.Runner(), g.srv.cfg.MaxDecodeBatch, 0, g.srv.cfg.KVPages)
+	bg := nn.NewBatchGeneratorPaged(g.rep.Runner(), g.srv.cfg.MaxDecodeBatch, 0, g.srv.cfg.KVPages)
 	var active []*genSeq
 	var parked *genJob // pulled from the queue, waiting on a KV slot or pages
 	for {
@@ -205,7 +212,7 @@ func (g *genScheduler) loop() {
 				break fill
 			}
 		}
-		active = g.step(dep, bg, active)
+		active = g.step(bg, active)
 	}
 }
 
@@ -274,7 +281,7 @@ func (g *genScheduler) admit(bg *nn.BatchGenerator, active []*genSeq, job *genJo
 // advance their pending cursor. Canceled sequences — mid-prefill or not —
 // are retired before the pass, releasing every reserved KV page
 // immediately.
-func (g *genScheduler) step(dep *engine.Deployment, bg *nn.BatchGenerator, active []*genSeq) []*genSeq {
+func (g *genScheduler) step(bg *nn.BatchGenerator, active []*genSeq) []*genSeq {
 	live := active[:0]
 	for _, seq := range active {
 		if seq.job.ctx.Err() != nil {
@@ -332,7 +339,7 @@ func (g *genScheduler) step(dep *engine.Deployment, bg *nn.BatchGenerator, activ
 		segs = append(segs, nn.StepSeg{Slot: seq.slot, Tokens: seq.pending[:alloc[i]]})
 		rows = append(rows, seq)
 	}
-	reads0 := dep.OpCounters().MVMs
+	reads0 := g.rep.OpCounters().MVMs
 	start := time.Now()
 	logits, err := bg.StepSegs(segs)
 	elapsed := time.Since(start)
@@ -343,7 +350,7 @@ func (g *genScheduler) step(dep *engine.Deployment, bg *nn.BatchGenerator, activ
 		}
 		return live[:0]
 	}
-	dep.RecordGenStep(decodeRows, prefillTokens, elapsed, dep.OpCounters().MVMs-reads0)
+	g.rep.RecordGenStep(decodeRows, prefillTokens, elapsed, g.rep.OpCounters().MVMs-reads0)
 	g.srv.stepHist.observe(elapsed, false)
 	for {
 		old := g.srv.genMaxBatch.Load()
@@ -478,6 +485,19 @@ func (s *Server) generate(w http.ResponseWriter, r *http.Request, start time.Tim
 		}
 	}
 
+	grp, err := s.group(wl, mode)
+	if err != nil {
+		return http.StatusInternalServerError, errorBody{Error: err.Error()}
+	}
+	rep, release, err := grp.Acquire()
+	if err != nil {
+		return http.StatusServiceUnavailable, errorBody{Error: err.Error()}
+	}
+	// The handler streams until the final event, so the request stays
+	// charged to the replica (and its chips) for the whole generation — a
+	// chip drain waits for every admitted stream to finish.
+	defer release()
+
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 	job := &genJob{
@@ -492,7 +512,7 @@ func (s *Server) generate(w http.ResponseWriter, r *http.Request, start time.Tim
 		enqueued:    start,
 		events:      make(chan generateEvent, maxTokens+1),
 	}
-	sched, err := s.genSchedulerFor(wl, mode)
+	sched, err := s.genSchedulerFor(wl, mode, rep)
 	if err != nil {
 		return http.StatusServiceUnavailable, errorBody{Error: err.Error()}
 	}

@@ -388,11 +388,11 @@ func TestGenerateMidPrefillCancelFreesPages(t *testing.T) {
 	s := testServer(t, Config{PrefillChunk: 2})
 	defer s.Close()
 	wl := s.workloads["tiny"]
-	g := &genScheduler{srv: s, wl: wl, mode: core.DeployAnalogNaive,
+	rep := testReplica(t, s, wl, core.DeployAnalogNaive)
+	g := &genScheduler{srv: s, wl: wl, mode: core.DeployAnalogNaive, rep: rep,
 		queue: make(chan *genJob, 4), stop: make(chan struct{})}
-	dep := s.deployment(wl, g.mode)
 	// 4-token pages, 4 pages total: one 16-position budget drains the pool.
-	bg := nn.NewBatchGeneratorPaged(dep.Runner(), 2, 4, 4)
+	bg := nn.NewBatchGeneratorPaged(rep.Runner(), 2, 4, 4)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	prompt := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
@@ -404,14 +404,14 @@ func TestGenerateMidPrefillCancelFreesPages(t *testing.T) {
 	if bg.FreePages() != 0 {
 		t.Fatalf("admission must reserve the full budget up front, free=%d", bg.FreePages())
 	}
-	active = g.step(dep, bg, active) // consumes PrefillChunk=2 of 14 prompt tokens
+	active = g.step(bg, active) // consumes PrefillChunk=2 of 14 prompt tokens
 	if len(active) != 1 || len(active[0].pending) != 12 {
 		t.Fatalf("after one chunked step: active=%d pending=%d", len(active), len(active[0].pending))
 	}
 
 	canceled0 := s.genCanceled.Load()
 	cancel()
-	active = g.step(dep, bg, active) // retired before the pass, mid-prefill
+	active = g.step(bg, active) // retired before the pass, mid-prefill
 	if len(active) != 0 {
 		t.Fatalf("canceled mid-prefill sequence still active: %d", len(active))
 	}
@@ -442,10 +442,10 @@ func TestGenerateAdmissionParksOnPageExhaustion(t *testing.T) {
 	s := testServer(t, Config{})
 	defer s.Close()
 	wl := s.workloads["tiny"]
-	g := &genScheduler{srv: s, wl: wl, mode: core.DeployDigital,
+	rep := testReplica(t, s, wl, core.DeployDigital)
+	g := &genScheduler{srv: s, wl: wl, mode: core.DeployDigital, rep: rep,
 		queue: make(chan *genJob, 4), stop: make(chan struct{})}
-	dep := s.deployment(wl, g.mode)
-	bg := nn.NewBatchGeneratorPaged(dep.Runner(), 2, 4, 4)
+	bg := nn.NewBatchGeneratorPaged(rep.Runner(), 2, 4, 4)
 
 	holder := mkGenJob(context.Background(), []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}, 3)
 	active, parked := g.admit(bg, nil, holder) // takes all 4 pages
@@ -475,7 +475,7 @@ func TestGenerateAdmissionParksOnPageExhaustion(t *testing.T) {
 
 	// A budget larger than the whole pool can never park its way in: the
 	// pool holds 2 pages = 8 positions, the job needs 10.
-	tiny := nn.NewBatchGeneratorPaged(dep.Runner(), 2, 4, 2)
+	tiny := nn.NewBatchGeneratorPaged(rep.Runner(), 2, 4, 2)
 	never := mkGenJob(context.Background(), []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 1)
 	active3, parked3 := g.admit(tiny, nil, never)
 	if parked3 != nil || len(active3) != 0 {
@@ -497,11 +497,12 @@ func TestGenerateAdmissionFullCleanReject(t *testing.T) {
 	s := testServer(t, Config{MaxDecodeBatch: 1, QueueDepth: 1, KVPages: 1})
 	defer s.Close()
 	wl := s.workloads["tiny"]
-	g := &genScheduler{srv: s, wl: wl, mode: core.DeployAnalogNaive,
+	rep := testReplica(t, s, wl, core.DeployAnalogNaive)
+	g := &genScheduler{srv: s, wl: wl, mode: core.DeployAnalogNaive, rep: rep,
 		queue: make(chan *genJob, s.cfg.QueueDepth), stop: make(chan struct{})}
 	g.queue <- mkGenJob(context.Background(), []int{1}, 1) // queue at capacity
 	s.mu.Lock()
-	s.genScheds[wl.Spec.Key+"/"+core.DeployAnalogNaive.String()] = g
+	s.genScheds[fmt.Sprintf("%s/%s#%d", wl.Spec.Key, core.DeployAnalogNaive, rep.Index)] = g
 	s.mu.Unlock()
 
 	req := httptest.NewRequest(http.MethodPost, "/v1/generate",

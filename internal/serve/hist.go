@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -48,20 +49,26 @@ func (h *histogram) observe(d time.Duration, isErr bool) {
 }
 
 // quantile returns an upper bound on the q-quantile latency (q in [0, 1]);
-// 0 before any observation.
+// 0 before any observation. Nearest-rank definition: the k-th smallest
+// observation with k = ceil(q·total), so p95 of 100 samples reads the 95th
+// smallest — not the 96th, which the old `seen > rank` formulation selected
+// (and which let float rounding shift the answer a whole bucket at exact
+// boundaries).
 func (h *histogram) quantile(q float64) time.Duration {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
 	}
-	rank := int64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
+	k := int64(math.Ceil(q * float64(total)))
+	if k < 1 {
+		k = 1
+	} else if k > total {
+		k = total
 	}
 	var seen int64
 	for i := 0; i < histBuckets; i++ {
 		seen += h.buckets[i].Load()
-		if seen > rank {
+		if seen >= k {
 			return histBase << uint(i)
 		}
 	}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fill records n observations into the bucket that starts at d.
+func histFill(h *histogram, d time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		h.observe(d, false)
+	}
+}
+
+// TestQuantileNearestRank pins the nearest-rank definition: quantile(q) is
+// the ceil(q·total)-th smallest observation. The 95+5 case is the
+// regression for the old off-by-one (`seen > rank`), which read the 96th
+// smallest of 100 samples for p95 and reported bucket B.
+func TestQuantileNearestRank(t *testing.T) {
+	lo := histBase / 2   // falls in bucket 0 → reported as histBase
+	hi := histBase * 100 // a much later bucket
+	hiUpper := histBase << uint(bucketIndex(hi))
+	cases := []struct {
+		name string
+		nLo  int
+		nHi  int
+		q    float64
+		want time.Duration
+	}{
+		{"p95 of 95 low + 5 high sits in the low bucket", 95, 5, 0.95, histBase},
+		{"p96 of 95 low + 5 high crosses into the high bucket", 95, 5, 0.96, hiUpper},
+		{"p50 of a single sample is that sample", 1, 0, 0.50, histBase},
+		{"p99 of a single high sample", 0, 1, 0.99, hiUpper},
+		{"p50 of 1 low + 1 high is the low one (k=1)", 1, 1, 0.50, histBase},
+		{"p100 is the maximum", 3, 1, 1.0, hiUpper},
+		{"q=0 clamps to the minimum (k=1)", 2, 2, 0, histBase},
+		{"p50 of 2 low + 2 high is the 2nd smallest", 2, 2, 0.50, histBase},
+		{"p75 of 2 low + 2 high is the 3rd smallest", 2, 2, 0.75, hiUpper},
+	}
+	for _, tc := range cases {
+		var h histogram
+		histFill(&h, lo, tc.nLo)
+		histFill(&h, hi, tc.nHi)
+		if got := h.quantile(tc.q); got != tc.want {
+			t.Errorf("%s: quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// Exact bucket boundaries must not drift a bucket under float rounding:
+// with 20 samples, p95 is the 19th smallest, and ceil(0.95·20) must be
+// exactly 19 even though 0.95·20 can evaluate to 19.000000000000004.
+func TestQuantileBucketEdges(t *testing.T) {
+	var h histogram
+	histFill(&h, histBase/2, 19)
+	histFill(&h, histBase*100, 1)
+	if got := h.quantile(0.95); got != histBase {
+		t.Fatalf("p95 of 19+1 = %v, want %v (19th smallest)", got, histBase)
+	}
+	if h.quantile(0) != histBase {
+		t.Fatal("q=0 must clamp to the first observation, not return 0")
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h histogram
+	if got := h.quantile(0.95); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}

@@ -11,7 +11,20 @@
 //	POST /v1/eval     — batch accuracy over a sequence set (engine-memoized)
 //	GET  /healthz     — liveness + preloaded model list
 //	GET  /statz       — engine stats, cache hit rates, fault stats, batcher
-//	                    + generation counters, latency histograms
+//	                    + generation counters, latency histograms, per-chip
+//	                    fleet state
+//	GET  /v1/chips    — fleet chip states (admin)
+//	POST /v1/chips    — chip lifecycle actions: drain, fail, restore,
+//	                    reprogram, rolling-reprogram (admin)
+//
+// Requests route through a fleet (internal/fleet): every deployment is a
+// replica group over N simulated chips, each chip realizing independent
+// fault/drift/G_max draws under its own content key. The router picks a
+// replica per request by chip availability plus (under the health-aware
+// policy) in-flight load and fault-derived health, so draining or failing
+// a chip shifts traffic to survivors with zero dropped in-flight requests.
+// The zero fleet.Config is one implicit chip — bit-identical to the
+// pre-fleet single-deployment server.
 //
 // Generation (generate.go) uses vLLM-style continuous batching with
 // chunked prefill over a paged KV cache: one scheduler goroutine per
@@ -43,6 +56,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net/http"
@@ -55,6 +69,7 @@ import (
 	"nora/internal/analog"
 	"nora/internal/core"
 	"nora/internal/engine"
+	"nora/internal/fleet"
 	"nora/internal/harness"
 )
 
@@ -101,6 +116,10 @@ type Config struct {
 	// Analog is the tile configuration for analog deployments. The zero
 	// value selects analog.PaperPreset().
 	Analog analog.Config
+	// Fleet describes the simulated chip fleet requests route through. The
+	// zero value is one implicit fresh chip with a single replica —
+	// bit-identical to the pre-fleet server.
+	Fleet fleet.Config
 }
 
 // Default serving knobs.
@@ -148,15 +167,16 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	start time.Time
+	flt   *fleet.Fleet
 
 	// workloads is immutable after New.
 	workloads map[string]*harness.Workload
 
-	mu        sync.RWMutex // guards batchers, genScheds, deps, closed
+	mu        sync.RWMutex // guards batchers, genScheds, groups, closed
 	closed    bool
 	batchers  map[string]*batcher
 	genScheds map[string]*genScheduler
-	deps      map[string]*engine.Deployment
+	groups    map[string]*fleet.Group // keyed "<model>/<mode>"
 
 	predictHist histogram
 	evalHist    histogram
@@ -189,14 +209,16 @@ func New(eng *engine.Engine, cfg Config, workloads []*harness.Workload) *Server 
 		workloads: make(map[string]*harness.Workload, len(workloads)),
 		batchers:  make(map[string]*batcher),
 		genScheds: make(map[string]*genScheduler),
-		deps:      make(map[string]*engine.Deployment),
+		groups:    make(map[string]*fleet.Group),
 	}
+	s.flt = fleet.New(eng, s.cfg.Fleet)
 	for _, w := range workloads {
 		s.workloads[w.Spec.Key] = w
 	}
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("/v1/eval", s.handleEval)
+	s.mux.HandleFunc("/v1/chips", s.handleChips)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
 	return s
@@ -254,21 +276,38 @@ func parseMode(s string) (core.DeployMode, error) {
 	}
 }
 
-// deployment resolves (and caches for statz) the engine deployment for one
-// workload and mode. The engine's content-keyed cache makes repeated calls
-// a map lookup; concurrent first calls coalesce into one build.
-func (s *Server) deployment(w *harness.Workload, mode core.DeployMode) *engine.Deployment {
+// Fleet returns the server's chip fleet (for admin tooling and tests).
+func (s *Server) Fleet() *fleet.Fleet { return s.flt }
+
+// group resolves (and caches for statz) the fleet replica group for one
+// workload and mode. The fleet and engine caches make repeated calls map
+// lookups. Engine shape-guard panics (a structurally different model under
+// a served key, invalid layer options) are recovered into errors here, so
+// one bad deployment cannot kill the server — offline callers (harness,
+// CLI) keep the loud panic.
+func (s *Server) group(w *harness.Workload, mode core.DeployMode) (g *fleet.Group, err error) {
+	key := w.Spec.Key + "/" + mode.String()
+	s.mu.RLock()
+	g, ok := s.groups[key]
+	s.mu.RUnlock()
+	if ok {
+		return g, nil
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			g, err = nil, fmt.Errorf("deploy %s: %v", key, p)
+		}
+	}()
 	cfg := s.cfg.Analog
 	if mode == core.DeployDigital {
 		// Canonical zero config for digital requests (engine keying rule).
 		cfg = analog.Config{}
 	}
-	dep := s.eng.Deploy(w.Request(mode, cfg, core.Options{}, ""))
-	key := w.Spec.Key + "/" + mode.String()
+	g = s.flt.Deploy(w.Request(mode, cfg, core.Options{}, ""))
 	s.mu.Lock()
-	s.deps[key] = dep
+	s.groups[key] = g
 	s.mu.Unlock()
-	return dep
+	return g, nil
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.
@@ -383,6 +422,18 @@ func (s *Server) predict(r *http.Request, start time.Time) (int, any) {
 		return http.StatusBadRequest, errorBody{Error: err.Error()}
 	}
 
+	grp, err := s.group(wl, mode)
+	if err != nil {
+		return http.StatusInternalServerError, errorBody{Error: err.Error()}
+	}
+	rep, release, err := grp.Acquire()
+	if err != nil {
+		return http.StatusServiceUnavailable, errorBody{Error: err.Error()}
+	}
+	// The request stays charged to the replica (and its chips) until the
+	// handler returns, so a chip drain waits for every admitted predict.
+	defer release()
+
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 
@@ -393,7 +444,7 @@ func (s *Server) predict(r *http.Request, start time.Time) (int, any) {
 		enqueued: start,
 		done:     make(chan predictOutcome, 1),
 	}
-	b, err := s.batcherFor(wl, mode)
+	b, err := s.batcherFor(wl, mode, rep)
 	if err != nil {
 		return http.StatusServiceUnavailable, errorBody{Error: err.Error()}
 	}
@@ -483,9 +534,19 @@ func (s *Server) eval(r *http.Request, start time.Time) (int, any) {
 		}
 	}
 
+	grp, err := s.group(wl, mode)
+	if err != nil {
+		return http.StatusInternalServerError, errorBody{Error: err.Error()}
+	}
+	rep, release, err := grp.Acquire()
+	if err != nil {
+		return http.StatusServiceUnavailable, errorBody{Error: err.Error()}
+	}
+	defer release()
+
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
-	res, err := s.deployment(wl, mode).EvalCtx(ctx, seqs)
+	res, err := rep.EvalCtx(ctx, seqs)
 	if err != nil {
 		return http.StatusGatewayTimeout, errorBody{Error: "request canceled: " + err.Error()}
 	}
@@ -573,6 +634,24 @@ type GenStatz struct {
 	Step EndpointStats `json:"step"`
 }
 
+// ChipStatz is one chip's row in the /statz fleet section (and the
+// /v1/chips document).
+type ChipStatz struct {
+	ID         string            `json:"id"`
+	State      string            `json:"state"`
+	Inflight   int64             `json:"inflight"`
+	Served     int64             `json:"served"`
+	Reprograms int64             `json:"reprograms"`
+	Faults     analog.FaultStats `json:"faults"`
+}
+
+// FleetStatz is the multi-chip fleet section of /statz.
+type FleetStatz struct {
+	Policy   string      `json:"policy"`
+	Replicas int         `json:"replicas"`
+	Chips    []ChipStatz `json:"chips"`
+}
+
 // Statz is the /statz JSON document.
 type Statz struct {
 	UptimeS float64      `json:"uptime_s"`
@@ -584,13 +663,66 @@ type Statz struct {
 	EvalMemoHitRate    float64           `json:"eval_memo_hit_rate"`
 	Batch              BatchStatz        `json:"batch"`
 	Gen                GenStatz          `json:"gen"`
+	Fleet              FleetStatz        `json:"fleet"`
 	Faults             analog.FaultStats `json:"faults"`
 	// Cost is the engine-wide analog-vs-digital estimate (also inside
 	// Engine.Cost); DeploymentCost breaks it down per served deployment,
-	// keyed "<model>/<mode>".
+	// keyed "<model>/<mode>" (implicit chip) or "<model>/<mode>@<chip>".
 	Cost           analog.CostComparison            `json:"cost"`
 	DeploymentCost map[string]analog.CostComparison `json:"deployment_cost"`
 	Endpoints      map[string]EndpointStats         `json:"endpoints"`
+}
+
+// fleetSnapshot walks the served groups once, producing the per-chip fleet
+// rows, the chip-keyed deployment cost breakdown, and the aggregate fault
+// stats. Deployments shared between replicas (digital mode) count once.
+func (s *Server) fleetSnapshot() (FleetStatz, map[string]analog.CostComparison, analog.FaultStats) {
+	s.mu.RLock()
+	groups := make(map[string]*fleet.Group, len(s.groups))
+	for k, g := range s.groups {
+		groups[k] = g
+	}
+	s.mu.RUnlock()
+
+	var faults analog.FaultStats
+	depCost := make(map[string]analog.CostComparison)
+	chipFaults := make(map[string]analog.FaultStats)
+	seen := make(map[*engine.Deployment]bool)
+	for key, grp := range groups {
+		for _, rep := range grp.Replicas() {
+			deps := rep.Deployments()
+			ids := rep.ChipIDs()
+			for k, dep := range deps {
+				ck := key
+				if ids[k] != "" {
+					ck = key + "@" + ids[k]
+				}
+				depCost[ck] = dep.CostComparison()
+				if seen[dep] {
+					continue
+				}
+				seen[dep] = true
+				fs := dep.FaultStats()
+				faults.Add(fs)
+				cf := chipFaults[ids[k]]
+				cf.Add(fs)
+				chipFaults[ids[k]] = cf
+			}
+		}
+	}
+	cfg := s.flt.Config()
+	fs := FleetStatz{Policy: cfg.Policy.String(), Replicas: cfg.Replicas}
+	for _, c := range s.flt.Chips() {
+		fs.Chips = append(fs.Chips, ChipStatz{
+			ID:         c.Spec.ID,
+			State:      c.State().String(),
+			Inflight:   c.Inflight(),
+			Served:     c.Served(),
+			Reprograms: c.Reprograms(),
+			Faults:     chipFaults[c.Spec.ID],
+		})
+	}
+	return fs, depCost, faults
 }
 
 // StatzSnapshot assembles the /statz document (exported for the loadgen
@@ -638,14 +770,7 @@ func (s *Server) StatzSnapshot() Statz {
 		TTFT:                   s.ttftHist.stats(),
 		Step:                   s.stepHist.stats(),
 	}
-	var faults analog.FaultStats
-	depCost := make(map[string]analog.CostComparison)
-	s.mu.RLock()
-	for key, dep := range s.deps {
-		faults.Add(dep.FaultStats())
-		depCost[key] = dep.CostComparison()
-	}
-	s.mu.RUnlock()
+	fls, depCost, faults := s.fleetSnapshot()
 	return Statz{
 		UptimeS:            time.Since(s.start).Seconds(),
 		Models:             s.Models(),
@@ -654,6 +779,7 @@ func (s *Server) StatzSnapshot() Statz {
 		EvalMemoHitRate:    ratio(es.EvalHits, es.Evals),
 		Batch:              bs,
 		Gen:                gs,
+		Fleet:              fls,
 		Faults:             faults,
 		Cost:               es.Cost,
 		DeploymentCost:     depCost,
@@ -667,4 +793,58 @@ func (s *Server) StatzSnapshot() Statz {
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatzSnapshot())
+}
+
+// chipActionRequest is the POST /v1/chips wire format.
+type chipActionRequest struct {
+	Chip   string `json:"chip"`
+	Action string `json:"action"`
+}
+
+// handleChips is the fleet admin endpoint: GET lists chip states, POST
+// applies a lifecycle action (drain, fail, restore, reprogram,
+// rolling-reprogram) and replies with the resulting fleet state. Reprogram
+// drains the chip first and blocks until its in-flight requests finish, so
+// the scripted "chip failure mid-traffic" and "rolling re-programming"
+// scenarios drop no admitted work.
+func (s *Server) handleChips(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		fls, _, _ := s.fleetSnapshot()
+		writeJSON(w, http.StatusOK, fls)
+	case http.MethodPost:
+		var req chipActionRequest
+		if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+			return
+		}
+		var err error
+		switch strings.ToLower(strings.TrimSpace(req.Action)) {
+		case "drain":
+			err = s.flt.Drain(req.Chip)
+		case "fail":
+			err = s.flt.Fail(req.Chip)
+		case "restore":
+			err = s.flt.Restore(req.Chip)
+		case "reprogram":
+			err = s.flt.Reprogram(r.Context(), req.Chip)
+		case "rolling-reprogram":
+			err = s.flt.RollingReprogram(r.Context())
+		default:
+			writeError(w, http.StatusBadRequest,
+				"unknown action %q (want drain, fail, restore, reprogram, or rolling-reprogram)", req.Action)
+			return
+		}
+		switch {
+		case err == nil:
+			fls, _, _ := s.fleetSnapshot()
+			writeJSON(w, http.StatusOK, fls)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "%v", err)
+		default:
+			writeError(w, http.StatusNotFound, "%v", err)
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"nora/internal/analog"
 	"nora/internal/core"
 	"nora/internal/engine"
+	"nora/internal/fleet"
 	"nora/internal/harness"
 	"nora/internal/model"
 	"nora/internal/nn"
@@ -63,6 +64,18 @@ func testServer(t testing.TB, cfg Config) *Server {
 		cfg.Analog = testAnalog()
 	}
 	return New(engine.New(engine.Config{}), cfg, []*harness.Workload{testWorkload(t, "tiny")})
+}
+
+// testReplica resolves a fleet replica directly — for tests that drive the
+// batcher/scheduler internals without going through a handler. The zero
+// fleet config routes everything to the single implicit replica.
+func testReplica(t testing.TB, s *Server, wl *harness.Workload, mode core.DeployMode) *fleet.Replica {
+	t.Helper()
+	grp, err := s.group(wl, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grp.Replicas()[0]
 }
 
 // do runs one request through the handler stack, returning the code and
@@ -137,7 +150,7 @@ func TestPredictErrors(t *testing.T) {
 func TestPredictQueueFull(t *testing.T) {
 	s := testServer(t, Config{QueueDepth: 2})
 	wl := s.workloads["tiny"]
-	b, err := s.batcherFor(wl, core.DeployDigital)
+	b, err := s.batcherFor(wl, core.DeployDigital, testReplica(t, s, wl, core.DeployDigital))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +277,7 @@ func TestEvalEndpoint(t *testing.T) {
 	}
 	// The server's answer must agree exactly with the offline engine path.
 	wl := s.workloads["tiny"]
-	want := s.deployment(wl, core.DeployDigital).Eval(wl.Eval)
+	want := testReplica(t, s, wl, core.DeployDigital).Dep().Eval(wl.Eval)
 	if got := body["accuracy"].(float64); got != want.Accuracy() {
 		t.Fatalf("served accuracy %v != engine accuracy %v", got, want.Accuracy())
 	}
