@@ -1,0 +1,98 @@
+// Command nora-hwa runs the hardware-aware training study (E25): zoo models
+// are fine-tuned under the Rasch-style HWA recipe (ramped output noise,
+// drop-connect from the deploy-time stuck-at sampler, crossbar-aware weight
+// clamping, distillation from the digital checkpoint) and compared against
+// their digital originals across the drift-age axis, extended to one
+// simulated year: naive vs NORA+GDC vs HWA+GDC vs NORA+HWA+GDC.
+//
+// HWA variants are cached alongside the digital zoo under recipe-
+// fingerprinted keys, so repeat runs (and CI) skip the fine-tune.
+//
+// Usage:
+//
+//	nora-hwa [-modeldir testdata/models] [-eval 150]
+//	         [-models opt-c3,mistral-c] [-ages 0,3600,3.156e7]
+//	         [-steps 300] [-noise-rel 0.08] [-drop-rate 0.01]
+//	         [-clamp-sigma 3] [-distill-alpha 0.5] [-csv out] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nora/internal/analog"
+	"nora/internal/cli"
+	"nora/internal/harness"
+	"nora/internal/model"
+	"nora/internal/prof"
+)
+
+func main() {
+	var opt cli.Options
+	opt.RegisterFlags(flag.CommandLine)
+	recipe := model.DefaultHWARecipe()
+	csvPath := flag.String("csv", "", "also write results as CSV to this path")
+	models := flag.String("models", "opt-c3,mistral-c", "comma-separated zoo keys")
+	ages := flag.String("ages", "", "comma-separated deploy ages in seconds (default: E19 ladder + 1 year)")
+	flag.IntVar(&recipe.Steps, "steps", recipe.Steps, "HWA fine-tune steps")
+	flag.Float64Var(&recipe.NoiseRel, "noise-rel", recipe.NoiseRel, "injected output-noise std relative to max|y|")
+	flag.Float64Var(&recipe.RampFrac, "ramp-frac", recipe.RampFrac, "fraction of training over which noise ramps 0→full")
+	flag.Float64Var(&recipe.DropRate, "drop-rate", recipe.DropRate, "per-device stuck probability of drop-connect")
+	flag.Float64Var(&recipe.ClampSigma, "clamp-sigma", recipe.ClampSigma, "weight clamp at ±sigma·RMS(W); 0 disables")
+	flag.Float64Var(&recipe.DistillAlpha, "distill-alpha", recipe.DistillAlpha, "soft-target distillation weight; 0 disables")
+	flag.Parse()
+	if err := run(&opt, recipe, *csvPath, *models, *ages); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(opt *cli.Options, recipe model.HWARecipe, csvPath, models, ages string) error {
+	if err := opt.Finish(); err != nil {
+		return err
+	}
+
+	stopProf := prof.Start()
+	defer stopProf()
+
+	ageLadder := harness.DefaultHWADriftAges()
+	if opt.Quick {
+		// Quick mode keeps the default recipe so the committed HWA
+		// checkpoints cache-hit (no fine-tune in CI), and keeps the 1-year
+		// point — it is the experiment's headline.
+		ageLadder = []float64{0, 3600, harness.OneYearSeconds}
+		models = "opt-c3"
+		opt.QuickEval(30)
+	}
+	var err error
+	if ages != "" {
+		if ageLadder, err = cli.ParseFloats(ages); err != nil {
+			return fmt.Errorf("-ages: %w", err)
+		}
+	}
+
+	ws, err := opt.LoadModels(models)
+	if err != nil {
+		return err
+	}
+
+	eng := opt.NewEngine()
+	base := analog.PaperPreset()
+
+	rows, err := harness.HWASweep(eng, ws, opt.ModelDir, recipe, base, ageLadder)
+	if err != nil {
+		return err
+	}
+	tbl := harness.HWADriftTable(rows)
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if csvPath != "" {
+		if err := tbl.WriteCSVFile(csvPath); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr, eng.Stats())
+	return nil
+}

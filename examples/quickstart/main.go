@@ -29,7 +29,7 @@ func main() {
 	//    trained on the synthetic Lambada-style task. With a cached zoo
 	//    (go run ./cmd/nora-train) use model.LoadOrTrain instead.
 	spec := model.TinySpec()
-	fmt.Printf("training %s (%d-ish seconds)...\n", spec.Display, spec.TrainSteps/50)
+	fmt.Printf("training %s (%d-ish seconds)...\n", spec.Display, spec.Train.Steps/50)
 	m, res, err := model.Train(spec)
 	if err != nil {
 		log.Fatal(err)

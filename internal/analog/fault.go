@@ -33,6 +33,23 @@ const (
 	deviceStuckHi       // stuck at G_max (shorted / set-stuck cell)
 )
 
+// Exported stuck-at states, for consumers of DrawStuckMask.
+const (
+	DeviceHealthy = deviceHealthy
+	DeviceStuckLo = deviceStuckLo
+	DeviceStuckHi = deviceStuckHi
+)
+
+// DrawStuckMask draws per-device stuck-at states with the exact procedure
+// the programming pipeline uses (two uniforms per device, so the stream
+// position is independent of the realized pattern). It is exported so
+// train-time drop-connect (DropConnect) samples faults from the identical
+// distribution the deployment realizes at programming time — one source of
+// truth for fault statistics across training and inference.
+func DrawStuckMask(r *rng.Rand, n int, rate, sa1 float32) []uint8 {
+	return drawFaultMask(r, n, rate, sa1)
+}
+
 // FaultStats aggregates the programming-time fault and mitigation events of
 // a tile (or a whole layer / deployment). All counts are fixed once
 // programming finishes; reads during evaluation are safe.

@@ -1,0 +1,141 @@
+package analog
+
+import (
+	"fmt"
+
+	"nora/internal/autograd"
+	"nora/internal/nn"
+	"nora/internal/rng"
+	"nora/internal/tensor"
+)
+
+// DropConnect is the stuck-cell injector of the hardware-aware training
+// recipe: each optimizer step, every block-linear weight sees a fresh
+// stuck-at realization drawn by DrawStuckMask — the same sampler the
+// programming pipeline runs at deploy time, so training and deployment share
+// one source of truth for fault statistics. Stuck-at-G_min cells read as
+// zero; stuck-at-G_max cells read as the column's conductance rail with the
+// ideal weight's sign, mirroring pinStuck under the signed abstraction
+// (rail = per-column max|w|, the column scale the digital rescale chain
+// assumes). No gradient flows into stuck cells: a device that ignores
+// programming also ignores the weight update.
+type DropConnect struct {
+	Rate    float32   // per-device stuck probability; ≤0 disables
+	SA1Frac float32   // fraction of stuck devices pinned at G_max
+	Rng     *rng.Rand // source stream (required when Rate > 0)
+
+	begun   bool
+	step    int
+	stepRng *rng.Rand
+	cache   map[string]*dropRealization
+}
+
+var _ nn.Injector = (*DropConnect)(nil)
+
+// dropRealization is one per-(step, layer) frozen fault pattern. keep holds
+// 1 at healthy cells and 0 at stuck cells; rail holds the signed rail value
+// at stuck-hi cells (nil when the draw produced none). Both are captured at
+// the first forward of the step — including the column rails, which depend
+// on the weights — so repeated forwards within a step are exact constant
+// transformations of the parameters.
+type dropRealization struct {
+	keep *tensor.Matrix
+	rail *tensor.Matrix
+}
+
+// BeginStep freezes the per-step fault stream and clears cached realizations.
+func (d *DropConnect) BeginStep(step, totalSteps int) {
+	if d.Rate <= 0 || d.Rng == nil {
+		return
+	}
+	if d.begun && step == d.step {
+		return
+	}
+	d.begun, d.step = true, step
+	d.stepRng = d.Rng.Split(fmt.Sprintf("step%d", step))
+	d.cache = make(map[string]*dropRealization)
+}
+
+// Weight applies this step's stuck-at realization for the layer: healthy
+// cells pass through, stuck-lo cells drop to zero, stuck-hi cells pin to the
+// signed column rail.
+func (d *DropConnect) Weight(tp *autograd.Tape, ctx nn.LinearCtx, w *autograd.Var) *autograd.Var {
+	if d.Rate <= 0 || d.Rng == nil {
+		return w
+	}
+	if !d.begun {
+		panic("analog: DropConnect.Weight before BeginStep (use a Trainer)")
+	}
+	key := ctx.WeightKey()
+	rz, ok := d.cache[key]
+	if !ok {
+		rz = d.realize(key, w.Val)
+		d.cache[key] = rz
+	}
+	if rz.keep == nil {
+		return w
+	}
+	out := tp.Mask(w, rz.keep)
+	if rz.rail != nil {
+		out = tp.AddConst(out, rz.rail)
+	}
+	return out
+}
+
+// Output is the identity: drop-connect lives in weight space.
+func (d *DropConnect) Output(tp *autograd.Tape, ctx nn.LinearCtx, out *autograd.Var) *autograd.Var {
+	return out
+}
+
+func (d *DropConnect) realize(key string, w *tensor.Matrix) *dropRealization {
+	mask := drawFaultMask(d.stepRng.Split(key), len(w.Data), d.Rate, d.SA1Frac)
+	anyStuck, anyHi := false, false
+	for _, m := range mask {
+		if m != deviceHealthy {
+			anyStuck = true
+			if m == deviceStuckHi {
+				anyHi = true
+			}
+		}
+	}
+	if !anyStuck {
+		return &dropRealization{}
+	}
+	rz := &dropRealization{keep: tensor.New(w.Rows, w.Cols)}
+	for i := range rz.keep.Data {
+		if mask[i] == deviceHealthy {
+			rz.keep.Data[i] = 1
+		}
+	}
+	if anyHi {
+		// Column rails: per-column max|w|, the scale the deployment maps to
+		// G_max when programming this layer onto tiles.
+		colMax := make([]float32, w.Cols)
+		for i := 0; i < w.Rows; i++ {
+			row := w.Row(i)
+			for j, v := range row {
+				if v < 0 {
+					v = -v
+				}
+				if v > colMax[j] {
+					colMax[j] = v
+				}
+			}
+		}
+		rz.rail = tensor.New(w.Rows, w.Cols)
+		for i := 0; i < w.Rows; i++ {
+			idx := i * w.Cols
+			for j := 0; j < w.Cols; j++ {
+				if mask[idx+j] != deviceStuckHi {
+					continue
+				}
+				v := colMax[j]
+				if w.Data[idx+j] < 0 {
+					v = -v
+				}
+				rz.rail.Data[idx+j] = v
+			}
+		}
+	}
+	return rz
+}

@@ -1,0 +1,126 @@
+package analog
+
+import (
+	"math"
+	"testing"
+
+	"nora/internal/autograd"
+	"nora/internal/nn"
+	"nora/internal/rng"
+)
+
+// dropFDConfig mirrors the tiny finite-difference config of the nn injector
+// tests; LLaMA keeps every activation smooth (no ReLU kinks in the stencil).
+func dropFDConfig() nn.Config {
+	return nn.Config{
+		Name: "drop-fd-test", Arch: nn.ArchLLaMA,
+		Vocab: 13, DModel: 16, NHeads: 2, NLayers: 2, DFF: 24, MaxSeq: 16,
+		RoPEBase: 10000,
+	}
+}
+
+var dropFDBatch = [][]int{{1, 2, 3, 4, 5, 6, 7}, {3, 1, 4, 1, 5, 9, 2}}
+
+// TestGradTrainForwardDropConnect finite-difference checks the training
+// forward under drop-connect. The per-step mask and rail constants are
+// frozen at the first forward of the step, so the loss is an exact linear
+// masking of the parameters: gradients vanish at stuck cells and pass
+// through at healthy ones.
+func TestGradTrainForwardDropConnect(t *testing.T) {
+	m, err := nn.NewModel(dropFDConfig(), rng.New(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &DropConnect{Rate: 0.05, SA1Frac: 0.3, Rng: rng.New(10)}
+	m.SetInjectors(inj)
+	loss := func() float64 {
+		inj.BeginStep(0, 10)
+		return m.LossOnBatch(dropFDBatch)
+	}
+	params := m.Params()
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	loss()
+	analytic := make(map[*autograd.Param][]float32, len(params))
+	for _, p := range params {
+		analytic[p] = append([]float32(nil), p.Grad.Data...)
+	}
+	const h = 5e-4
+	checked := 0
+	for _, p := range params {
+		stride := p.NumEl()/3 + 1
+		for i := 0; i < p.NumEl(); i += stride {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + h
+			up := loss()
+			p.Value.Data[i] = orig - h
+			down := loss()
+			p.Value.Data[i] = orig
+			a := float64(analytic[p][i])
+			n := (up - down) / (2 * h)
+			denom := math.Max(1, math.Max(math.Abs(a), math.Abs(n)))
+			if math.Abs(a-n)/denom > 3e-2 {
+				t.Fatalf("%s[%d]: analytic grad %v vs numeric %v", p.Name, i, a, n)
+			}
+			checked++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d gradient entries checked — sampling broken", checked)
+	}
+}
+
+// TestDropConnectSharesDeploySampler pins the single-source-of-truth
+// contract: the train-time injector draws stuck cells with the exported
+// DrawStuckMask, which must be the exact sampler the programming pipeline
+// uses (same stream, same draws, same states).
+func TestDropConnectSharesDeploySampler(t *testing.T) {
+	a := DrawStuckMask(rng.New(77), 4096, 0.05, 0.3)
+	b := drawFaultMask(rng.New(77), 4096, 0.05, 0.3)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	stuck, hi := 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("device %d: exported %d vs internal %d", i, a[i], b[i])
+		}
+		if a[i] != DeviceHealthy {
+			stuck++
+			if a[i] == DeviceStuckHi {
+				hi++
+			}
+		}
+	}
+	frac := float64(stuck) / float64(len(a))
+	if frac < 0.03 || frac > 0.07 {
+		t.Fatalf("realized stuck fraction %v far from rate 0.05", frac)
+	}
+	if hi == 0 || hi == stuck {
+		t.Fatalf("SA1 split degenerate: %d of %d stuck-hi", hi, stuck)
+	}
+}
+
+// TestDropConnectDeterministicPerStep: realizations are frozen within a
+// step (identical loss on repeated forwards) and redrawn across steps.
+func TestDropConnectDeterministicPerStep(t *testing.T) {
+	m, err := nn.NewModel(dropFDConfig(), rng.New(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &DropConnect{Rate: 0.05, SA1Frac: 0.3, Rng: rng.New(11)}
+	m.SetInjectors(inj)
+	inj.BeginStep(0, 10)
+	l1 := m.LossOnBatch(dropFDBatch)
+	inj.BeginStep(0, 10) // same step: must be a no-op
+	l2 := m.LossOnBatch(dropFDBatch)
+	if l1 != l2 {
+		t.Fatalf("same-step losses differ: %v vs %v", l1, l2)
+	}
+	inj.BeginStep(1, 10)
+	l3 := m.LossOnBatch(dropFDBatch)
+	if l3 == l1 {
+		t.Fatal("step 1 realization identical to step 0 — mask not redrawn")
+	}
+}

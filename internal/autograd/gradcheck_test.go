@@ -190,6 +190,78 @@ func TestGradCrossEntropy(t *testing.T) {
 	})
 }
 
+func TestGradMask(t *testing.T) {
+	// A 0/1 drop-connect-style mask: gradient must vanish exactly where the
+	// mask does and pass through elsewhere.
+	mask := tensor.New(4, 5)
+	for i := range mask.Data {
+		if i%3 != 0 {
+			mask.Data[i] = 1
+		}
+	}
+	checkGrad(t, "mask", randMat(220, 4, 5), func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.Mask(x, mask))
+	})
+}
+
+func TestGradClamp(t *testing.T) {
+	// Clamp uses the exact clamp gradient, so finite differences agree —
+	// except within h of the boundary, where the kink straddles the stencil.
+	// Nudge such entries away from the rails before checking.
+	const lo, hi = -0.8, 0.5
+	in := randMat(221, 4, 5)
+	for i, v := range in.Data {
+		if d := v - lo; d > -0.01 && d < 0.01 {
+			in.Data[i] = lo - 0.1
+		}
+		if d := v - hi; d > -0.01 && d < 0.01 {
+			in.Data[i] = hi + 0.1
+		}
+	}
+	checkGrad(t, "clamp", in, func(tp *Tape, x *Var) *Var {
+		return squareMean(tp, tp.Clamp(x, lo, hi))
+	})
+}
+
+func TestClampPanicsOnInvertedRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clamp(lo > hi) did not panic")
+		}
+	}()
+	tp := NewTape()
+	tp.Clamp(tp.Leaf(randMat(222, 2, 2)), 1, -1)
+}
+
+func TestGradSoftCrossEntropy(t *testing.T) {
+	soft := randMat(230, 4, 5)
+	soft.SoftmaxRows() // valid distributions, like a teacher's softmax
+	active := []bool{true, true, false, true}
+	checkGrad(t, "soft-xent", randMat(231, 4, 5), func(tp *Tape, x *Var) *Var {
+		return tp.SoftCrossEntropy(x, soft, active)
+	})
+}
+
+func TestSoftCrossEntropyMatchesHardOnOneHot(t *testing.T) {
+	// With one-hot soft targets, SoftCrossEntropy must equal CrossEntropy.
+	logits := randMat(232, 4, 5)
+	targets := []int{1, 3, -1, 0}
+	soft := tensor.New(4, 5)
+	active := make([]bool, 4)
+	for i, tgt := range targets {
+		if tgt >= 0 {
+			soft.Set(i, tgt, 1)
+			active[i] = true
+		}
+	}
+	tp := NewTape()
+	hard := tp.CrossEntropy(tp.Const(logits), targets).Val.At(0, 0)
+	softLoss := tp.SoftCrossEntropy(tp.Const(logits), soft, active).Val.At(0, 0)
+	if d := float64(hard - softLoss); math.Abs(d) > 1e-5 {
+		t.Fatalf("one-hot soft CE %v != hard CE %v", softLoss, hard)
+	}
+}
+
 func TestGradComposite(t *testing.T) {
 	// A miniature transformer-like block: LN → linear → GELU → linear → CE.
 	w1 := randMat(210, 6, 10)

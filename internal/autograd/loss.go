@@ -67,6 +67,71 @@ func (t *Tape) CrossEntropy(logits *Var, targets []int) *Var {
 	return out
 }
 
+// SoftCrossEntropy computes the mean, over active rows, of the cross-entropy
+// between a soft target distribution and the row-wise softmax of logits:
+// −Σ_j soft[i][j]·log softmax(logits)[i][j]. Rows with active[i] == false are
+// ignored (the usual padding convention). The soft targets are constants; any
+// temperature scaling (and the T² distillation factor) is the caller's job.
+func (t *Tape) SoftCrossEntropy(logits *Var, soft *tensor.Matrix, active []bool) *Var {
+	rows, cols := logits.Val.Rows, logits.Val.Cols
+	if soft.Rows != rows || soft.Cols != cols {
+		panic(fmt.Sprintf("autograd: SoftCrossEntropy soft %dx%d vs logits %dx%d", soft.Rows, soft.Cols, rows, cols))
+	}
+	if len(active) != rows {
+		panic(fmt.Sprintf("autograd: SoftCrossEntropy %d active flags for %d rows", len(active), rows))
+	}
+	probs := logits.Val.Clone()
+	probs.SoftmaxRows()
+	var loss float64
+	n := 0
+	for i, on := range active {
+		if !on {
+			continue
+		}
+		srow := soft.Row(i)
+		prow := probs.Row(i)
+		for j, s := range srow {
+			if s == 0 {
+				continue
+			}
+			p := float64(prow[j])
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			loss -= float64(s) * math.Log(p)
+		}
+		n++
+	}
+	if n > 0 {
+		loss /= float64(n)
+	}
+	val := tensor.New(1, 1)
+	val.Set(0, 0, float32(loss))
+	out := newResult(val, logits)
+	if out.needGrad {
+		activeCopy := append([]bool(nil), active...)
+		t.push(func() {
+			if n == 0 {
+				return
+			}
+			scale := out.grad().At(0, 0) / float32(n)
+			lg := logits.grad()
+			for i, on := range activeCopy {
+				if !on {
+					continue
+				}
+				srow := soft.Row(i)
+				prow := probs.Row(i)
+				grow := lg.Row(i)
+				for j := range grow {
+					grow[j] += scale * (prow[j] - srow[j])
+				}
+			}
+		})
+	}
+	return out
+}
+
 // Accuracy returns the fraction of rows whose argmax matches the target
 // (targets < 0 are skipped). It is not differentiable and records nothing
 // on the tape.

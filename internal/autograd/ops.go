@@ -125,6 +125,56 @@ func (t *Tape) AddConst(a *Var, c *tensor.Matrix) *Var {
 	return out
 }
 
+// Mask multiplies elementwise by a constant 0/1 (or arbitrary) matrix; no
+// gradient flows into the mask. Used by drop-connect-style injectors, where
+// the mask is a fixed per-step realization.
+func (t *Tape) Mask(a *Var, m *tensor.Matrix) *Var {
+	out := newResult(tensor.Mul(a.Val, m), a)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			ag := a.grad()
+			for i, mv := range m.Data {
+				ag.Data[i] += g.Data[i] * mv
+			}
+		})
+	}
+	return out
+}
+
+// Clamp limits every element to [lo, hi] with the exact clamp gradient:
+// unity strictly inside the range, zero on the clamped rails. This is the
+// standard (non-straight-through) clamp used by crossbar-aware weight
+// scaling, where out-of-range weights are pinned to the conductance rail
+// and stop receiving gradient.
+func (t *Tape) Clamp(a *Var, lo, hi float32) *Var {
+	if lo > hi {
+		panic(fmt.Sprintf("autograd: Clamp lo %v > hi %v", lo, hi))
+	}
+	val := tensor.Apply(a.Val, func(v float32) float32 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	})
+	out := newResult(val, a)
+	if out.needGrad {
+		t.push(func() {
+			g := out.grad()
+			ag := a.grad()
+			for i, v := range a.Val.Data {
+				if v > lo && v < hi {
+					ag.Data[i] += g.Data[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
 // ReLU applies max(0, x) elementwise.
 func (t *Tape) ReLU(a *Var) *Var {
 	val := tensor.Apply(a.Val, func(v float32) float32 {

@@ -69,7 +69,7 @@ func TestNewWorkloadTrainsAndCaches(t *testing.T) {
 	}
 	dir := t.TempDir()
 	spec := model.TinySpec()
-	spec.TrainSteps = 15 // mechanics only
+	spec.Train.Steps = 15 // mechanics only
 	w, err := NewWorkload(dir, spec, 10, 5)
 	if err != nil {
 		t.Fatal(err)

@@ -6,9 +6,9 @@ import (
 	"time"
 
 	"nora/internal/analog"
-	"nora/internal/autograd"
 	"nora/internal/core"
 	"nora/internal/engine"
+	"nora/internal/model"
 	"nora/internal/nn"
 	"nora/internal/rng"
 )
@@ -68,7 +68,9 @@ func HWAStudy(eng *engine.Engine, w *Workload, steps int, cfg analog.Config) (HW
 	cal := core.Calibrate(w.Model, w.Calib)
 	row.CalibrateSeconds = time.Since(calStart).Seconds()
 
-	// HWA path: fine-tune a copy with noise injection.
+	// HWA path: fine-tune a copy with noise injection through the shared
+	// Trainer. Fresh mode on the OutputNoise injector and the direct (un-
+	// split) data stream reproduce this study's historical rng draw order.
 	tuned, err := cloneModel(w.Model)
 	if err != nil {
 		return row, err
@@ -77,17 +79,23 @@ func HWAStudy(eng *engine.Engine, w *Workload, steps int, cfg analog.Config) (HW
 	if err != nil {
 		return row, err
 	}
-	tuned.SetTrainNoise(float32(row.NoiseRel), rng.New(seedFor("hwa-noise", w.Spec.Key)))
-	opt := autograd.NewAdam(tuned.Params(), 1e-3)
-	opt.ClipNorm = 1
-	dataRng := rng.New(seedFor("hwa-data", w.Spec.Key))
-	trainStart := time.Now()
-	for step := 0; step < steps; step++ {
-		tuned.LossOnBatch(corpus.Batch(dataRng, 8))
-		opt.Step()
+	tr, err := model.NewTrainer(tuned, corpus, w.Spec.Seed, model.TrainOptions{
+		Steps:     steps,
+		BatchSize: 8,
+		LR:        1e-3,
+		Injectors: []nn.Injector{&nn.OutputNoise{
+			Rel:   float32(row.NoiseRel),
+			Rng:   rng.New(seedFor("hwa-noise", w.Spec.Key)),
+			Fresh: true,
+		}},
+		DataRng: rng.New(seedFor("hwa-data", w.Spec.Key)),
+	})
+	if err != nil {
+		return row, err
 	}
+	trainStart := time.Now()
+	tr.Run()
 	row.HWATrainSeconds = time.Since(trainStart).Seconds()
-	tuned.SetTrainNoise(0, nil)
 
 	tunedKey := w.Spec.Key + "/hwa-tuned"
 	g := Sweep[struct{}]{

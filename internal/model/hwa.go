@@ -1,0 +1,192 @@
+package model
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"nora/internal/analog"
+	"nora/internal/nn"
+	"nora/internal/rng"
+)
+
+// HWARecipe is one hardware-aware fine-tuning configuration: the four
+// injector knobs of the Rasch et al. (Nature Electronics 2023) recipe plus
+// the fine-tune budget. The zero value is not useful — start from
+// DefaultHWARecipe. Every field participates in Fingerprint, so distinct
+// recipes never alias a cache file or an engine deployment key.
+type HWARecipe struct {
+	Steps     int     // fine-tune optimizer steps
+	BatchSize int     // sequences per step
+	LR        float32 // Adam learning rate
+
+	// Output-noise injection: Gaussian noise with std NoiseRel·max|y| on
+	// every block-linear output, ramped linearly from 0 over the first
+	// RampFrac of training.
+	NoiseRel float64
+	RampFrac float64
+
+	// Drop-connect: per-step stuck-at realizations drawn from the same
+	// sampler the deployment programs tiles with (analog.DrawStuckMask).
+	DropRate    float64
+	DropSA1Frac float64
+
+	// Crossbar-aware weight clamping at ±ClampSigma·RMS(W).
+	ClampSigma float64
+
+	// Soft-target distillation from the digital checkpoint.
+	DistillAlpha float64
+	DistillTemp  float64
+}
+
+// DefaultHWARecipe returns the tuned default used by the committed HWA zoo
+// variants and the E25 experiment.
+func DefaultHWARecipe() HWARecipe {
+	return HWARecipe{
+		Steps:     300,
+		BatchSize: 8,
+		LR:        1e-3,
+
+		NoiseRel: 0.08,
+		RampFrac: 0.25,
+
+		DropRate:    0.01,
+		DropSA1Frac: 0.1,
+
+		ClampSigma: 3,
+
+		DistillAlpha: 0.5,
+		DistillTemp:  2,
+	}
+}
+
+// Fingerprint returns a short content hash over every recipe field. Two
+// recipes share a fingerprint iff they train identical models (given the
+// same spec), so it keys both cache filenames and engine deployment keys.
+func (r HWARecipe) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "hwa1|%d|%d|%g|%g|%g|%g|%g|%g|%g|%g",
+		r.Steps, r.BatchSize, r.LR,
+		r.NoiseRel, r.RampFrac, r.DropRate, r.DropSA1Frac,
+		r.ClampSigma, r.DistillAlpha, r.DistillTemp)
+	return fmt.Sprintf("%08x", h.Sum64()&0xffffffff)
+}
+
+// HWAKey derives the registry/deployment key of a spec's HWA variant. The
+// suffix keeps HWA networks from ever aliasing the digital model's cached
+// deployments in the engine.
+func HWAKey(specKey string, r HWARecipe) string {
+	return specKey + "+hwa-" + r.Fingerprint()
+}
+
+// injectors materializes the recipe's injector chain. Streams split from
+// seed keep the run deterministic; chain order is weight-space conditioning
+// (clamp), then device faults (drop-connect), then read noise on the output.
+func (r HWARecipe) injectors(seed uint64) []nn.Injector {
+	var chain []nn.Injector
+	if r.ClampSigma > 0 {
+		chain = append(chain, &nn.WeightClamp{MaxSigma: float32(r.ClampSigma)})
+	}
+	if r.DropRate > 0 {
+		chain = append(chain, &analog.DropConnect{
+			Rate:    float32(r.DropRate),
+			SA1Frac: float32(r.DropSA1Frac),
+			Rng:     rng.New(seed).Split("hwa-drop"),
+		})
+	}
+	if r.NoiseRel > 0 {
+		chain = append(chain, &nn.OutputNoise{
+			Rel:      float32(r.NoiseRel),
+			Rng:      rng.New(seed).Split("hwa-noise"),
+			RampFrac: r.RampFrac,
+		})
+	}
+	return chain
+}
+
+// HWAResult reports the outcome of one hardware-aware fine-tune.
+type HWAResult struct {
+	Steps     int
+	FinalLoss float64
+	EvalAcc   float64 // digital FP accuracy of the HWA model
+	BaseAcc   float64 // digital FP accuracy of the base model
+}
+
+// TrainHWA fine-tunes a copy of base (the finished digital zoo artifact for
+// spec) under the recipe's injector chain, distilling from base itself as
+// the teacher. base is not modified. The run is a pure function of
+// (spec, base weights, recipe): all streams derive from spec.Seed, and
+// injector realizations are frozen per step.
+func TrainHWA(spec Spec, base *nn.Model, r HWARecipe) (*nn.Model, HWAResult, error) {
+	corpus, err := spec.Corpus()
+	if err != nil {
+		return nil, HWAResult{}, err
+	}
+	var buf bytes.Buffer
+	if err := base.Save(&buf); err != nil {
+		return nil, HWAResult{}, err
+	}
+	tuned, err := nn.Load(&buf)
+	if err != nil {
+		return nil, HWAResult{}, err
+	}
+	opts := TrainOptions{
+		Steps:     r.Steps,
+		BatchSize: r.BatchSize,
+		LR:        r.LR,
+		Injectors: r.injectors(spec.Seed),
+		DataRng:   rng.New(spec.Seed).Split("hwa-data"),
+	}
+	if r.DistillAlpha > 0 {
+		opts.Teacher = base
+		opts.DistillAlpha = float32(r.DistillAlpha)
+		opts.DistillTemp = float32(r.DistillTemp)
+	}
+	tr, err := NewTrainer(tuned, corpus, spec.Seed, opts)
+	if err != nil {
+		return nil, HWAResult{}, err
+	}
+	loss := tr.Run()
+	eval := corpus.Split("eval", 200)
+	res := HWAResult{
+		Steps:     r.Steps,
+		FinalLoss: loss,
+		EvalAcc:   nn.NewRunner(tuned).EvalAccuracy(eval),
+		BaseAcc:   nn.NewRunner(base).EvalAccuracy(eval),
+	}
+	return tuned, res, nil
+}
+
+// LoadOrTrainHWA returns the HWA variant of spec under recipe, loading it
+// from the cache in dir when present (keyed by HWAKey, alongside the digital
+// zoo) and fine-tuning from the cached/retrained digital model otherwise.
+// Writes are atomic (temp file + rename), like every zoo cache write.
+func LoadOrTrainHWA(dir string, spec Spec, r HWARecipe) (*nn.Model, error) {
+	path := CachePath(dir, HWAKey(spec.Key, r))
+	if m, err := nn.LoadFile(path); err == nil {
+		if m.Cfg.Name != spec.Cfg.Name {
+			return nil, fmt.Errorf("model: cache %s holds %q, want %q", path, m.Cfg.Name, spec.Cfg.Name)
+		}
+		if m.Cfg == spec.Cfg {
+			return m, nil
+		}
+		// Same name, different architecture: spec changed since the cache
+		// was written — refine below rather than serving a stale shape.
+	}
+	base, err := LoadOrTrain(dir, spec)
+	if err != nil {
+		return nil, err
+	}
+	tuned, _, err := TrainHWA(spec, base, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := tuned.SaveFile(path); err != nil {
+		return nil, err
+	}
+	return tuned, nil
+}

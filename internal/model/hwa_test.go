@@ -1,0 +1,188 @@
+package model
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nora/internal/nn"
+)
+
+// tinyHWASetup returns a fast spec/recipe pair for HWA mechanics tests.
+func tinyHWASetup() (Spec, HWARecipe) {
+	spec := TinySpec()
+	spec.Train.Steps = 25
+	recipe := DefaultHWARecipe()
+	recipe.Steps = 12
+	return spec, recipe
+}
+
+func modelBytes(t *testing.T, m *nn.Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainHWADeterministic: two HWA runs with equal seeds must produce
+// identical checkpoints — every stochastic choice (batch order, noise,
+// drop-connect masks) derives from the spec seed. CI runs this under -race.
+func TestTrainHWADeterministic(t *testing.T) {
+	spec, recipe := tinyHWASetup()
+	base, _, err := Train(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, resA, err := TrainHWA(spec, base, recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, resB, err := TrainHWA(spec, base, recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, a), modelBytes(t, b)) {
+		t.Fatal("two HWA runs with equal seeds produced different checkpoints")
+	}
+	if resA.FinalLoss != resB.FinalLoss {
+		t.Fatalf("final losses differ: %v vs %v", resA.FinalLoss, resB.FinalLoss)
+	}
+	// The fine-tune must actually move the weights.
+	if bytes.Equal(modelBytes(t, a), modelBytes(t, base)) {
+		t.Fatal("HWA fine-tune left the base model unchanged")
+	}
+}
+
+// TestTrainHWALeavesBaseUntouched: the teacher/base model must not be
+// mutated by the fine-tune (it keeps serving as the digital deployment).
+func TestTrainHWALeavesBaseUntouched(t *testing.T) {
+	spec, recipe := tinyHWASetup()
+	base, _, err := Train(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := modelBytes(t, base)
+	if _, _, err := TrainHWA(spec, base, recipe); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, modelBytes(t, base)) {
+		t.Fatal("TrainHWA mutated the base model")
+	}
+	if got := len(base.Injectors()); got != 0 {
+		t.Fatalf("TrainHWA left %d injectors installed on the base model", got)
+	}
+}
+
+func TestHWAKeyAndFingerprint(t *testing.T) {
+	r1 := DefaultHWARecipe()
+	r2 := r1
+	r2.NoiseRel += 0.01
+	if r1.Fingerprint() == r2.Fingerprint() {
+		t.Fatal("distinct recipes share a fingerprint")
+	}
+	key := HWAKey("opt-c3", r1)
+	if !strings.HasPrefix(key, "opt-c3+hwa-") {
+		t.Fatalf("HWAKey %q lacks the spec prefix", key)
+	}
+	if HWAKey("opt-c3", r1) == HWAKey("opt-c3", r2) {
+		t.Fatal("distinct recipes share a deployment key")
+	}
+	if r1.Fingerprint() != DefaultHWARecipe().Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+// TestLoadOrTrainHWACaches: the first call trains and writes the cache
+// (alongside the digital zoo file); the second serves identical bytes
+// without retraining.
+func TestLoadOrTrainHWACaches(t *testing.T) {
+	spec, recipe := tinyHWASetup()
+	dir := t.TempDir()
+	m1, err := LoadOrTrainHWA(dir, spec, recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwaPath := CachePath(dir, HWAKey(spec.Key, recipe))
+	if _, err := os.Stat(hwaPath); err != nil {
+		t.Fatalf("HWA cache file missing: %v", err)
+	}
+	if _, err := os.Stat(CachePath(dir, spec.Key)); err != nil {
+		t.Fatalf("digital zoo cache file missing: %v", err)
+	}
+	m2, err := LoadOrTrainHWA(dir, spec, recipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, m1), modelBytes(t, m2)) {
+		t.Fatal("cached HWA model differs from the trained one")
+	}
+	// No stray temp files from the atomic writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// zooFingerprints pins the committed digital zoo byte-for-byte: the Trainer
+// refactor (and anything after it) must reproduce these artifacts exactly.
+// Regenerate with `sha256sum testdata/models/*.norabin` only when a change
+// to training is intentional and documented.
+var zooFingerprints = map[string]string{
+	"llama2-c":  "aa9136358ecd028a16b2f4268f9db7aca0791c4309733ad374dd6cd986bac3e9",
+	"llama3-c":  "d836aa562223e023f93300ef5d402cda69662805b6f7b40c736ecc75e5e4c68d",
+	"mistral-c": "2231d4d42ea98213ae8f5ecbe628cf7425e676ce07e8c3b8e269d53ce034bc26",
+	"opt-c1":    "d92a6eaab3412d3501654715b8ec888e907dbfaa22316ec031a6c501c891a568",
+	"opt-c2":    "f49a76caae6d8a332397ec0c7333b227bfc6e112456e510d84592b4163d1fdd1",
+	"opt-c3":    "a274bc2149a77897238ce0cc99530f4c55ff033dddd05bfd61b4435b12a026c9",
+	"opt-c3m":   "66d6b60dd3f1eb8a4fb7b93a92667c57de6116b7a95b26d6cf05b96bbc18050f",
+	"opt-c4":    "2dac80c796bfa6f39d3d9ea17bad7a8c5cbd0159f676dc90eb34609e6936147c",
+}
+
+// committedZooDir locates the committed zoo from the package test directory.
+const committedZooDir = "../../testdata/models"
+
+func TestZooFilesMatchCommittedFingerprints(t *testing.T) {
+	for key, want := range zooFingerprints {
+		b, err := os.ReadFile(filepath.Join(committedZooDir, key+".norabin"))
+		if err != nil {
+			t.Fatalf("committed zoo file for %s: %v", key, err)
+		}
+		sum := sha256.Sum256(b)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			t.Errorf("%s.norabin fingerprint %s, want %s", key, got, want)
+		}
+	}
+}
+
+// TestTrainCompatByteIdentical is the golden check of the compatibility
+// wrapper: retraining opt-c1 through the redesigned Trainer must reproduce
+// the committed artifact byte-for-byte. Skipped under -short (it trains a
+// full zoo model); CI runs it in a dedicated step.
+func TestTrainCompatByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full retrain of opt-c1; run without -short")
+	}
+	spec, err := ByKey("opt-c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := Train(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(modelBytes(t, m))
+	if got := hex.EncodeToString(sum[:]); got != zooFingerprints["opt-c1"] {
+		t.Fatalf("retrained opt-c1 fingerprint %s, want committed %s — the Trainer no longer reproduces the legacy loop", got, zooFingerprints["opt-c1"])
+	}
+}

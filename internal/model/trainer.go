@@ -1,0 +1,115 @@
+package model
+
+import (
+	"fmt"
+
+	"nora/internal/autograd"
+	"nora/internal/nn"
+	"nora/internal/rng"
+)
+
+// TrainOptions holds every knob of one training run, split out of Spec so
+// recipes compose without growing the zoo registry: plain digital training
+// uses only the first block; hardware-aware recipes add injectors,
+// distillation, and callbacks on top of the same loop.
+type TrainOptions struct {
+	Steps     int     // optimizer steps
+	BatchSize int     // sequences per step
+	LR        float32 // Adam learning rate
+	ClipNorm  float32 // global-norm gradient clip; 0 → 1 (the zoo default)
+
+	// Injectors are installed on the model for the duration of the run and
+	// receive BeginStep before every optimizer step (per-step frozen
+	// realizations; see nn.Injector).
+	Injectors []nn.Injector
+
+	// Teacher enables soft-target distillation: the loss becomes
+	// (1−DistillAlpha)·CE + DistillAlpha·T²·CE(student/T ‖ teacher/T).
+	// The teacher runs forward-only; nil (or DistillAlpha ≤ 0) means hard
+	// targets only.
+	Teacher      *nn.Model
+	DistillAlpha float32
+	DistillTemp  float32 // softmax temperature T; 0 → 1
+
+	// DataRng overrides the batch-sampling stream. Nil lets the Trainer
+	// derive the canonical zoo stream rng.New(seed).Split("train-data")
+	// from the seed passed to NewTrainer.
+	DataRng *rng.Rand
+
+	// OnStep, when set, observes every optimizer step after it completes.
+	OnStep func(StepInfo)
+}
+
+// StepInfo is the per-step observation passed to TrainOptions.OnStep.
+type StepInfo struct {
+	Step       int // 0-based step just completed
+	TotalSteps int
+	Loss       float64 // batch loss of this step
+}
+
+// Trainer is the composable training loop shared by digital zoo training and
+// hardware-aware recipes: one code path draws batches, runs the (optionally
+// injected and distilled) forward/backward, and steps Adam, so every recipe
+// trains under identical mechanics and rng discipline.
+type Trainer struct {
+	model *nn.Model
+	data  Dataset
+	opts  TrainOptions
+	seed  uint64
+}
+
+// NewTrainer builds a Trainer that trains m in place on data. seed feeds the
+// default batch-sampling stream (ignored when opts.DataRng is set).
+func NewTrainer(m *nn.Model, data Dataset, seed uint64, opts TrainOptions) (*Trainer, error) {
+	if m == nil {
+		return nil, fmt.Errorf("model: NewTrainer nil model")
+	}
+	if data == nil {
+		return nil, fmt.Errorf("model: NewTrainer nil dataset")
+	}
+	if opts.Steps <= 0 || opts.BatchSize <= 0 || opts.LR <= 0 {
+		return nil, fmt.Errorf("model: NewTrainer needs positive Steps/BatchSize/LR (got %d/%d/%g)",
+			opts.Steps, opts.BatchSize, opts.LR)
+	}
+	if opts.Teacher != nil && opts.DistillAlpha > 1 {
+		return nil, fmt.Errorf("model: NewTrainer DistillAlpha %g > 1", opts.DistillAlpha)
+	}
+	return &Trainer{model: m, data: data, opts: opts, seed: seed}, nil
+}
+
+// Run executes the training loop and returns the final batch loss. The
+// injector chain is installed on the model for the duration of the run and
+// the previous chain restored afterwards; with no injectors, no teacher, and
+// no DataRng override the loop is draw-for-draw identical to the historical
+// model.Train loop, which the zoo byte-compatibility tests pin.
+func (t *Trainer) Run() float64 {
+	o := t.opts
+	clip := o.ClipNorm
+	if clip == 0 {
+		clip = 1
+	}
+	opt := autograd.NewAdam(t.model.Params(), o.LR)
+	opt.ClipNorm = clip
+	dataRng := o.DataRng
+	if dataRng == nil {
+		dataRng = rng.New(t.seed).Split("train-data")
+	}
+	if len(o.Injectors) > 0 {
+		prev := t.model.Injectors()
+		t.model.SetInjectors(o.Injectors...)
+		defer t.model.SetInjectors(prev...)
+	}
+	var loss float64
+	for step := 0; step < o.Steps; step++ {
+		for _, inj := range o.Injectors {
+			inj.BeginStep(step, o.Steps)
+		}
+		batch := t.data.Batch(dataRng, o.BatchSize)
+		loss = t.model.LossOnBatchDistilled(batch, o.Teacher, o.DistillAlpha, o.DistillTemp)
+		opt.Step()
+		if o.OnStep != nil {
+			o.OnStep(StepInfo{Step: step, TotalSteps: o.Steps, Loss: loss})
+		}
+	}
+	return loss
+}

@@ -17,14 +17,14 @@ import (
 	"os"
 	"path/filepath"
 
-	"nora/internal/autograd"
 	"nora/internal/nn"
 	"nora/internal/rng"
 	"nora/internal/textgen"
 )
 
-// Spec describes one zoo entry: architecture, outlier planting, and
-// training hyperparameters.
+// Spec describes one zoo entry: architecture, outlier planting, and the
+// training configuration (hyperparameters live in Train, a TrainOptions —
+// see trainer.go for the composable training API).
 type Spec struct {
 	Key     string // registry key, e.g. "opt-c3"
 	Display string // paper-facing name, e.g. "OPT-6.7b-class"
@@ -36,10 +36,8 @@ type Spec struct {
 	OutlierFactor   float32
 
 	CorpusSeed uint64
-	TrainSteps int
-	BatchSize  int
-	LR         float32
 	Seed       uint64
+	Train      TrainOptions
 }
 
 // corpusSeed is shared across the zoo: all models speak the same synthetic
@@ -49,14 +47,14 @@ const corpusSeed = 2025
 // trainDefaults fills the shared training hyperparameters.
 func trainDefaults(s Spec) Spec {
 	s.CorpusSeed = corpusSeed
-	if s.TrainSteps == 0 {
-		s.TrainSteps = 500
+	if s.Train.Steps == 0 {
+		s.Train.Steps = 500
 	}
-	if s.BatchSize == 0 {
-		s.BatchSize = 8
+	if s.Train.BatchSize == 0 {
+		s.Train.BatchSize = 8
 	}
-	if s.LR == 0 {
-		s.LR = 3e-3
+	if s.Train.LR == 0 {
+		s.Train.LR = 3e-3
 	}
 	return s
 }
@@ -96,7 +94,7 @@ func Zoo() []Spec {
 			Key: "opt-c2", Display: "OPT-2.7b-class", Family: "opt",
 			Cfg:             cfg("opt-c2", nn.ArchOPT, 64, 4, 2, 128, 0, 0),
 			OutlierChannels: outlierChannels(64, 6), OutlierFactor: 30,
-			Seed: 112, TrainSteps: 800,
+			Seed: 112, Train: TrainOptions{Steps: 800},
 		},
 		{
 			Key: "opt-c3", Display: "OPT-6.7b-class", Family: "opt",
@@ -147,7 +145,7 @@ func Zoo() []Spec {
 			Task:            "majority",
 			Cfg:             cfg("opt-c3m", nn.ArchOPT, 64, 8, 3, 128, 0, 0),
 			OutlierChannels: outlierChannels(64, 6), OutlierFactor: 30,
-			Seed: 108, TrainSteps: 800,
+			Seed: 108, Train: TrainOptions{Steps: 800},
 		},
 	}
 	for i := range specs {
@@ -232,7 +230,10 @@ type TrainResult struct {
 }
 
 // Train builds and trains the model for spec, then plants its activation
-// outliers. The returned model is the finished zoo artifact.
+// outliers. The returned model is the finished zoo artifact. It is a thin
+// compatibility wrapper over the composable Trainer: with spec.Train's
+// zero extension fields (no injectors, no teacher) the loop reproduces the
+// historical training byte-for-byte, which the zoo fingerprint tests pin.
 func Train(spec Spec) (*nn.Model, TrainResult, error) {
 	corpus, err := spec.Corpus()
 	if err != nil {
@@ -242,20 +243,16 @@ func Train(spec Spec) (*nn.Model, TrainResult, error) {
 	if err != nil {
 		return nil, TrainResult{}, err
 	}
-	opt := autograd.NewAdam(m.Params(), spec.LR)
-	opt.ClipNorm = 1
-	trainRng := rng.New(spec.Seed).Split("train-data")
-	var loss float64
-	for step := 0; step < spec.TrainSteps; step++ {
-		batch := corpus.Batch(trainRng, spec.BatchSize)
-		loss = m.LossOnBatch(batch)
-		opt.Step()
+	tr, err := NewTrainer(m, corpus, spec.Seed, spec.Train)
+	if err != nil {
+		return nil, TrainResult{}, err
 	}
+	loss := tr.Run()
 	nn.PlantOutliers(m, spec.OutlierChannels, spec.OutlierFactor)
 
 	eval := corpus.Split("eval", 200)
 	res := TrainResult{
-		Steps:      spec.TrainSteps,
+		Steps:      spec.Train.Steps,
 		FinalLoss:  loss,
 		EvalAcc:    nn.NewRunner(m).EvalAccuracy(eval),
 		NumParams:  m.NumParams(),
@@ -307,8 +304,8 @@ func TinySpec() Spec {
 			Vocab: 64, DModel: 32, NHeads: 4, NLayers: 2, DFF: 64, MaxSeq: 48,
 		},
 		OutlierChannels: outlierChannels(32, 4), OutlierFactor: 25,
-		Seed:       999,
-		TrainSteps: 400,
+		Seed:  999,
+		Train: TrainOptions{Steps: 400},
 	}
 	return trainDefaults(s)
 }
@@ -321,7 +318,7 @@ func TinyMajoritySpec() Spec {
 	s.Cfg.Name = "opt-tiny-maj"
 	s.Task = "majority"
 	s.Seed = 996
-	s.TrainSteps = 600
+	s.Train.Steps = 600
 	return s
 }
 
@@ -336,8 +333,8 @@ func TinyLlamaSpec() Spec {
 			RoPEBase: 10000,
 		},
 		OutlierChannels: outlierChannels(32, 3), OutlierFactor: 6,
-		Seed:       998,
-		TrainSteps: 400,
+		Seed:  998,
+		Train: TrainOptions{Steps: 400},
 	}
 	return trainDefaults(s)
 }

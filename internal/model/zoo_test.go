@@ -37,7 +37,7 @@ func TestZooSpecsValid(t *testing.T) {
 				t.Fatalf("%s: outlier channel %d out of range", s.Key, ch)
 			}
 		}
-		if s.TrainSteps <= 0 || s.BatchSize <= 0 || s.LR <= 0 {
+		if s.Train.Steps <= 0 || s.Train.BatchSize <= 0 || s.Train.LR <= 0 {
 			t.Fatalf("%s: training defaults missing", s.Key)
 		}
 	}
@@ -173,7 +173,7 @@ func TestLoadOrTrainCaches(t *testing.T) {
 	}
 	dir := t.TempDir()
 	spec := TinySpec()
-	spec.TrainSteps = 20 // speed: cache mechanics don't need a good model
+	spec.Train.Steps = 20 // speed: cache mechanics don't need a good model
 	m1, err := LoadOrTrain(dir, spec)
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +199,7 @@ func TestLoadOrTrainCaches(t *testing.T) {
 func TestLoadOrTrainRejectsWrongCache(t *testing.T) {
 	dir := t.TempDir()
 	spec := TinySpec()
-	spec.TrainSteps = 1
+	spec.Train.Steps = 1
 	other := spec
 	other.Cfg.Name = "other-name"
 	m, err := nn.NewModel(other.Cfg, rngFor(3))
@@ -219,7 +219,7 @@ func TestTinySpecsValid(t *testing.T) {
 		if err := s.Cfg.Validate(); err != nil {
 			t.Fatalf("%s: %v", s.Key, err)
 		}
-		if s.TrainSteps <= 0 || s.BatchSize <= 0 || s.LR <= 0 {
+		if s.Train.Steps <= 0 || s.Train.BatchSize <= 0 || s.Train.LR <= 0 {
 			t.Fatalf("%s: training defaults missing", s.Key)
 		}
 	}

@@ -29,8 +29,8 @@ func (m *Model) ForwardTrain(tp *autograd.Tape, tokens []int) *autograd.Var {
 	for i := range positions {
 		positions[i] = i
 	}
-	for _, b := range m.Blocks {
-		x = m.blockTrain(tp, b, x, mask, positions)
+	for l, b := range m.Blocks {
+		x = m.blockTrain(tp, l, b, x, mask, positions)
 	}
 	var h *autograd.Var
 	if m.Cfg.Arch == ArchOPT {
@@ -43,7 +43,7 @@ func (m *Model) ForwardTrain(tp *autograd.Tape, tokens []int) *autograd.Var {
 
 const normEps = 1e-5
 
-func (m *Model) blockTrain(tp *autograd.Tape, b *Block, x *autograd.Var, mask *tensor.Matrix, positions []int) *autograd.Var {
+func (m *Model) blockTrain(tp *autograd.Tape, layer int, b *Block, x *autograd.Var, mask *tensor.Matrix, positions []int) *autograd.Var {
 	// --- attention sub-block (pre-norm) ---
 	var h *autograd.Var
 	if m.Cfg.Arch == ArchOPT {
@@ -51,40 +51,45 @@ func (m *Model) blockTrain(tp *autograd.Tape, b *Block, x *autograd.Var, mask *t
 	} else {
 		h = tp.RMSNorm(x, tp.Param(b.AttnNormGain), normEps)
 	}
-	lin := func(w, bias *autograd.Param, in *autograd.Var) *autograd.Var {
-		out := tp.MatMul(in, tp.Param(w))
+	// lin applies one block linear with the installed injector hooks: Weight
+	// hooks wrap the parameter node before the matmul, Output hooks wrap the
+	// result after the bias add. Names match Linears() so injectors can key
+	// realizations to the same layers the analog deployment maps to tiles.
+	lin := func(name string, w, bias *autograd.Param, in *autograd.Var) *autograd.Var {
+		ctx := LinearCtx{Layer: layer, Name: name, Seq: m.trainSeq}
+		wv := tp.Param(w)
+		for _, inj := range m.injectors {
+			wv = inj.Weight(tp, ctx, wv)
+		}
+		out := tp.MatMul(in, wv)
 		if bias != nil {
 			out = tp.AddBias(out, tp.Param(bias))
 		}
-		if m.trainNoiseRel > 0 {
-			// Hardware-aware noise injection: perturb the linear output
-			// like the analog tile would, straight-through for gradients.
-			noise := tensor.New(out.Val.Rows, out.Val.Cols)
-			m.trainNoiseRng.FillNormal(noise.Data, 0, m.trainNoiseRel*out.Val.AbsMax())
-			out = tp.AddConst(out, noise)
+		for _, inj := range m.injectors {
+			out = inj.Output(tp, ctx, out)
 		}
 		return out
 	}
-	q := lin(b.WQ, b.BQ, h)
-	k := lin(b.WK, b.BK, h)
-	v := lin(b.WV, b.BV, h)
+	q := lin("attn.q", b.WQ, b.BQ, h)
+	k := lin("attn.k", b.WK, b.BK, h)
+	v := lin("attn.v", b.WV, b.BV, h)
 	if m.Cfg.Arch == ArchLLaMA {
 		q = tp.RoPE(q, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
 		k = tp.RoPE(k, m.Cfg.HeadDim(), positions, m.Cfg.RoPEBase)
 	}
 	attn := m.attentionTrain(tp, q, k, v, mask)
-	x = tp.Add(x, lin(b.WO, b.BO, attn))
+	x = tp.Add(x, lin("attn.o", b.WO, b.BO, attn))
 
 	// --- MLP sub-block (pre-norm) ---
 	if m.Cfg.Arch == ArchOPT {
 		h = tp.LayerNorm(x, tp.Param(b.MLPNormGain), tp.Param(b.MLPNormBias), normEps)
-		h = tp.ReLU(lin(b.W1, b.B1, h))
-		h = lin(b.W2, b.B2, h)
+		h = tp.ReLU(lin("mlp.fc1", b.W1, b.B1, h))
+		h = lin("mlp.fc2", b.W2, b.B2, h)
 	} else {
 		h = tp.RMSNorm(x, tp.Param(b.MLPNormGain), normEps)
-		gate := tp.SiLU(lin(b.WGate, nil, h))
-		up := lin(b.WUp, nil, h)
-		h = lin(b.WDown, nil, tp.Mul(gate, up))
+		gate := tp.SiLU(lin("mlp.gate", b.WGate, nil, h))
+		up := lin("mlp.up", b.WUp, nil, h)
+		h = lin("mlp.down", b.WDown, nil, tp.Mul(gate, up))
 	}
 	return tp.Add(x, h)
 }
@@ -117,12 +122,28 @@ func (m *Model) attentionTrain(tp *autograd.Tape, q, k, v *autograd.Var, mask *t
 // caller only needs to invoke the optimizer afterwards. Returns the mean
 // loss over the batch.
 func (m *Model) LossOnBatch(batch [][]int) float64 {
+	return m.LossOnBatchDistilled(batch, nil, 0, 1)
+}
+
+// LossOnBatchDistilled is LossOnBatch with optional soft-target distillation
+// from a teacher model: the per-sequence loss becomes
+// (1−alpha)·CE(hard) + alpha·T²·CE(softmax(student/T), softmax(teacher/T)),
+// the standard Hinton blend (the T² factor keeps soft-gradient magnitudes
+// comparable across temperatures). The teacher runs forward-only on its own
+// tape; no gradients flow into it. A nil teacher or alpha ≤ 0 reduces to the
+// plain hard-target loss with an identical tape structure and rng draw order.
+func (m *Model) LossOnBatchDistilled(batch [][]int, teacher *Model, alpha, temp float32) float64 {
 	if len(batch) == 0 {
 		return 0
 	}
+	distill := teacher != nil && alpha > 0
+	if temp <= 0 {
+		temp = 1
+	}
 	var total float64
 	inv := float32(1 / float64(len(batch)))
-	for _, tokens := range batch {
+	for si, tokens := range batch {
+		m.trainSeq = si
 		tp := autograd.NewTape()
 		logits := m.ForwardTrain(tp, tokens)
 		targets := make([]int, len(tokens))
@@ -131,9 +152,25 @@ func (m *Model) LossOnBatch(batch [][]int) float64 {
 		}
 		targets[len(tokens)-1] = -1
 		loss := tp.CrossEntropy(logits, targets)
+		if distill {
+			ttp := autograd.NewTape()
+			soft := teacher.ForwardTrain(ttp, tokens).Val.Clone()
+			soft.ScaleInPlace(1 / temp)
+			soft.SoftmaxRows()
+			active := make([]bool, len(targets))
+			for i, tgt := range targets {
+				active[i] = tgt >= 0
+			}
+			softLoss := tp.SoftCrossEntropy(tp.Scale(logits, 1/temp), soft, active)
+			loss = tp.Add(
+				tp.Scale(loss, 1-alpha),
+				tp.Scale(softLoss, alpha*temp*temp),
+			)
+		}
 		scaled := tp.Scale(loss, inv)
 		tp.Backward(scaled)
 		total += float64(loss.Val.At(0, 0))
 	}
+	m.trainSeq = 0
 	return total / float64(len(batch))
 }

@@ -44,23 +44,41 @@ type Model struct {
 
 	LMHead *autograd.Param // d×vocab
 
-	// Noise-injection (hardware-aware) training state; see SetTrainNoise.
-	trainNoiseRel float32
-	trainNoiseRng *rng.Rand
+	// Hardware-aware training hooks; see SetInjectors.
+	injectors []Injector
+	trainSeq  int // batch sequence index, threaded into LinearCtx
 }
 
-// SetTrainNoise enables hardware-aware noise-injection training: during
-// ForwardTrain, every block linear output receives additive Gaussian noise
-// with std rel·max|y| drawn fresh per step from r. Gradients pass straight
-// through the noise (the standard straight-through HWA scheme, paper refs
-// [11], [28]). rel ≤ 0 (or a nil r) disables injection. Inference paths
-// are unaffected.
+// SetInjectors installs the hardware-aware training injector chain applied
+// to every block linear during ForwardTrain, replacing any previous chain
+// (call with no arguments to clear). Injectors run in order: Weight hooks
+// before the matmul, Output hooks after the bias add. Inference paths are
+// unaffected.
+func (m *Model) SetInjectors(inj ...Injector) {
+	m.injectors = inj
+}
+
+// Injectors returns the installed injector chain (nil when training is
+// purely digital).
+func (m *Model) Injectors() []Injector {
+	return m.injectors
+}
+
+// SetTrainNoise enables legacy hardware-aware noise-injection training:
+// every block linear output receives additive Gaussian noise with std
+// rel·max|y| drawn fresh per forward call from r, straight-through for
+// gradients. rel ≤ 0 (or a nil r) disables injection.
+//
+// Deprecated: use SetInjectors with an OutputNoise injector (and a
+// model.Trainer driving BeginStep) instead — it adds noise ramping and
+// per-step frozen realizations. This shim installs OutputNoise in Fresh
+// mode, which reproduces the historical draw order exactly.
 func (m *Model) SetTrainNoise(rel float32, r *rng.Rand) {
 	if rel <= 0 || r == nil {
-		m.trainNoiseRel, m.trainNoiseRng = 0, nil
+		m.SetInjectors()
 		return
 	}
-	m.trainNoiseRel, m.trainNoiseRng = rel, r
+	m.SetInjectors(&OutputNoise{Rel: rel, Rng: r, Fresh: true})
 }
 
 // NewModel builds a model with scaled Gaussian initialization

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"nora/internal/rng"
 )
@@ -191,17 +192,41 @@ func Load(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
-// SaveFile writes the model to path (creating parent-relative path as-is).
+// SaveFile writes the model to path atomically: the bytes go to a temp file
+// in the same directory, fsynced, then renamed over path. A crash mid-write
+// can leave a stray temp file but never a truncated model at path.
 func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := m.Save(f); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Sync()
+	if err := m.Save(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	// CreateTemp opens 0600; published checkpoints should be world-readable
+	// like any other written file (umask still applies via Chmod semantics).
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadFile reads a model from path.
